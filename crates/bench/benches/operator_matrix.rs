@@ -1,0 +1,41 @@
+//! Table 10 / Table 2 ablation: evaluation, provenance and SQL translation
+//! cost for every lambda DCS operator family on the paper's sample tables.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+use wtq_dcs::{eval, parse_formula};
+use wtq_provenance::provenance;
+use wtq_sql::{execute, translate};
+use wtq_table::samples;
+
+fn bench_operators(c: &mut Criterion) {
+    let olympics = samples::olympics();
+    let cases = [
+        ("column_records", "City.Athens"),
+        ("column_values", "R[Year].City.Athens"),
+        ("prev", "R[Year].Prev.City.Athens"),
+        ("aggregation", "sum(R[Year].City.Athens)"),
+        ("difference", "sub(R[Year].City.London, R[Year].City.Beijing)"),
+        ("intersection", "(City.London and Country.UK)"),
+        ("superlative", "argmax(Rows, Year)"),
+        ("most_common", "most_common((Athens or London), City)"),
+        ("compare_values", "compare_max((London or Beijing), Year, City)"),
+    ];
+    let mut group = c.benchmark_group("operator_matrix");
+    group.sample_size(30).measurement_time(Duration::from_secs(2));
+    for (name, text) in cases {
+        let formula = parse_formula(text).expect("operator formula parses");
+        group.bench_function(format!("eval/{name}"), |b| b.iter(|| eval(&formula, &olympics)));
+        group.bench_function(format!("provenance/{name}"), |b| {
+            b.iter(|| provenance(&formula, &olympics))
+        });
+        if let Ok(sql) = translate(&formula) {
+            group.bench_function(format!("sql/{name}"), |b| b.iter(|| execute(&sql, &olympics)));
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_operators);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Table 4: user-study success rate under simulated users.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::time::Duration;
+
+use wtq_bench::{environment, raw_formula_control, table4};
+use wtq_dcs::parse_formula;
+use wtq_study::SimulatedUser;
+
+fn bench_table4(c: &mut Criterion) {
+    let env = environment(10, 6, 30);
+    let t4 = table4(&env);
+    let control = raw_formula_control(&env);
+    println!(
+        "\nTable 4 (measured): {} questions, {} explanations shown, success rate {:.1}% \
+         (paper: 405 / 2,835 / 78.4%); raw-formula control {:.1}%.",
+        t4.questions,
+        t4.explanations,
+        t4.success_rate * 100.0,
+        control * 100.0
+    );
+
+    // Micro-benchmark: one simulated user decision over a 7-candidate list.
+    let candidates: Vec<wtq_dcs::Formula> = [
+        "max(R[Year].Country.Greece)",
+        "min(R[Year].Country.Greece)",
+        "R[Year].last(Country.Greece)",
+        "count(Country.Greece)",
+        "R[City].Country.Greece",
+        "max(R[Year].Rows)",
+        "sum(R[Year].Country.Greece)",
+    ]
+    .iter()
+    .map(|t| parse_formula(t).expect("parses"))
+    .collect();
+    let gold = parse_formula("max(R[Year].Country.Greece)").expect("parses");
+    let user = SimulatedUser::average();
+    let mut group = c.benchmark_group("table4_user_success");
+    group.sample_size(30).measurement_time(Duration::from_secs(2));
+    group.bench_function("single_user_decision_top7", |b| {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        b.iter(|| user.choose(&candidates, Some(&gold), &mut rng))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table4);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Table 5: work-time comparison of the two explanation modes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::time::Duration;
+
+use wtq_bench::{environment, table5};
+use wtq_study::WorkTimeModel;
+
+fn bench_table5(c: &mut Criterion) {
+    let env = environment(10, 6, 24);
+    let [with, without] = table5(&env, 10);
+    println!(
+        "\nTable 5 (measured, minutes per 20-question session):\n\
+         utterances + highlights: avg {:.1} median {:.1} min {:.1} max {:.1} (paper 16.2 / 16.6 / 6.45 / 22.5)\n\
+         utterances only        : avg {:.1} median {:.1} min {:.1} max {:.1} (paper 24.7 / 20.7 / 17.5 / 35.4)\n\
+         measured saving {:.0}% (paper 34%).",
+        with.0, with.1, with.2, with.3,
+        without.0, without.1, without.2, without.3,
+        (1.0 - with.0 / without.0) * 100.0
+    );
+
+    let model = WorkTimeModel::default();
+    let session: Vec<Vec<usize>> = (0..20).map(|i| vec![12 + (i % 8); 7]).collect();
+    let mut group = c.benchmark_group("table5_worktime");
+    group.sample_size(30).measurement_time(Duration::from_secs(2));
+    group.bench_function("session_simulation_with_highlights", |b| {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        b.iter(|| model.session_minutes(&session, true, &mut rng))
+    });
+    group.bench_function("session_simulation_utterances_only", |b| {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        b.iter(|| model.session_minutes(&session, false, &mut rng))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table5);
+criterion_main!(benches);

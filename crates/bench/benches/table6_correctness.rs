@@ -1,0 +1,44 @@
+//! Table 6: parser / user / hybrid correctness and the top-7 bound.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+use wtq_bench::{environment, k_sweep, table6};
+use wtq_parser::SemanticParser;
+use wtq_study::{DeploymentExperiment, SimulatedUser};
+
+fn bench_table6(c: &mut Criterion) {
+    let env = environment(10, 6, 30);
+    let t6 = table6(&env);
+    let d = &t6.deployment;
+    println!(
+        "\nTable 6 (measured over {} questions): parser {:.1}%, users {:.1}%, hybrid {:.1}%, bound {:.1}%, MRR {:.3}\n\
+         (paper: 37.1% / 44.6% / 48.7% / 56.0%); χ² users vs parser {:.2} (sig@0.01: {}).",
+        d.questions,
+        d.parser_correctness * 100.0,
+        d.user_correctness * 100.0,
+        d.hybrid_correctness * 100.0,
+        d.bound * 100.0,
+        d.mrr,
+        t6.user_vs_parser.0,
+        t6.user_vs_parser.1
+    );
+    for (k, coverage) in k_sweep(&env, &[7, 14]) {
+        println!("bound at k = {k:>2}: {:.1}%", coverage * 100.0);
+    }
+
+    // Micro-benchmark: one full deployment question (parse + user choice).
+    let parser = SemanticParser::with_prior();
+    let experiment = DeploymentExperiment::default();
+    let user = SimulatedUser::average();
+    let single = vec![env.test_examples[0].clone()];
+    let mut group = c.benchmark_group("table6_correctness");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group.bench_function("deployment_single_question", |b| {
+        b.iter(|| experiment.run(&parser, &single, &env.catalog, &user, 3))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table6);
+criterion_main!(benches);

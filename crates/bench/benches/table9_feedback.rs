@@ -1,0 +1,50 @@
+//! Table 9: retraining the parser on user-procured annotations.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+use wtq_bench::{environment, table9};
+use wtq_parser::{SemanticParser, TrainConfig, TrainExample, Trainer};
+
+fn bench_table9(c: &mut Criterion) {
+    let env = environment(12, 6, 24);
+    let rows = table9(&env, 40, 1);
+    println!("\nTable 9 (measured): train ex. / annotations / correctness / MRR");
+    let analogues = [
+        "paper 1,650 / 1,650 -> 49.8% / 0.586",
+        "paper 1,650 / 0 -> 41.8% / 0.499",
+        "paper 11,000 / 1,650 -> 51.6% / 0.600",
+        "paper 11,000 / 0 -> 49.5% / 0.570",
+    ];
+    for (row, analogue) in rows.iter().zip(analogues) {
+        println!(
+            "{:>5} / {:>4} / {:>5.1}% / {:.3}   ({analogue})",
+            row.train_examples,
+            row.annotations,
+            row.correctness * 100.0,
+            row.mrr
+        );
+    }
+
+    // Micro-benchmark: one AdaGrad step on a single annotated example.
+    let example = &env.train_examples[0];
+    let train_example = TrainExample::weak(
+        example.question.clone(),
+        example.table.clone(),
+        example.answer.clone(),
+    )
+    .with_annotations(vec![example.gold.clone()]);
+    let mut group = c.benchmark_group("table9_feedback");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group.bench_function("adagrad_step_single_example", |b| {
+        b.iter(|| {
+            let mut parser = SemanticParser::with_prior();
+            let mut trainer = Trainer::new(TrainConfig::default());
+            trainer.train_on_example(&mut parser, &train_example, &env.catalog)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table9);
+criterion_main!(benches);

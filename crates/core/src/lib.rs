@@ -1,0 +1,50 @@
+//! # wtq-core
+//!
+//! The end-to-end pipeline of *Explaining Queries over Web Tables to
+//! Non-Experts*: parse a natural-language question over a web table into
+//! candidate lambda DCS queries and explain each candidate to a non-expert
+//! user through an NL utterance, provenance-based table highlights and an
+//! equivalent SQL rendering (Figure 2's architecture).
+//!
+//! ```
+//! use wtq_core::ExplanationPipeline;
+//! use wtq_table::samples;
+//!
+//! let pipeline = ExplanationPipeline::new();
+//! let table = samples::olympics();
+//! let explained = pipeline.explain_question(
+//!     "Greece held its last Olympics in what year?",
+//!     &table,
+//!     7,
+//! );
+//! assert!(!explained.is_empty());
+//! // Every candidate comes with an utterance and highlights.
+//! assert!(explained[0].utterance.contains("column"));
+//! ```
+//!
+//! The sub-crates are re-exported under their short names so downstream users
+//! need a single dependency:
+//!
+//! | module | contents |
+//! |---|---|
+//! | [`table`] | web-table data model (§3.1) |
+//! | [`dcs`] | lambda DCS language and evaluator (§3.2) |
+//! | [`sql`] | SQL translation and engine (Table 10) |
+//! | [`provenance`] | multilevel cell-based provenance and highlights (§4, §5.2) |
+//! | [`explain`] | query-to-utterance explanations (§5.1) |
+//! | [`parser`] | the log-linear semantic parser (§6.2) |
+//! | [`dataset`] | synthetic WikiTableQuestions-style data (§6.1) |
+//! | [`study`] | simulated user study, deployment and feedback loops (§7) |
+
+pub use wtq_dataset as dataset;
+pub use wtq_dcs as dcs;
+pub use wtq_explain as explain;
+pub use wtq_parser as parser;
+pub use wtq_provenance as provenance;
+pub use wtq_sql as sql;
+pub use wtq_study as study;
+pub use wtq_table as table;
+
+pub mod pipeline;
+
+pub use pipeline::{ExplainedCandidate, ExplanationPipeline};

@@ -1,0 +1,234 @@
+//! Dataset assembly: examples, disjoint-table splits and JSON persistence.
+//!
+//! Mirrors the WikiTableQuestions organization (§6.1): a pool of tables, a
+//! set of `(question, table, gold answer)` examples, and a train/test split
+//! in which the *tables* (not just the questions) are disjoint, so the test
+//! parser faces relations and entities it never saw during training.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use wtq_dcs::{parse_formula, Answer, Formula};
+use wtq_table::{Catalog, Table};
+
+use crate::domains::all_domains;
+use crate::questions::{generate_questions, QuestionFamily};
+use crate::tablegen::generate_table;
+
+/// One question–table–answer example. The gold formula is retained (as text,
+/// for serializability) because the retraining experiments of §7.3 need
+/// question–query annotations; the weakly-supervised parser itself only ever
+/// reads the answer.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Example {
+    /// Stable identifier.
+    pub id: String,
+    /// Name of the table the question is about (key into the catalog).
+    pub table: String,
+    /// The natural-language question.
+    pub question: String,
+    /// The gold lambda DCS formula, in concrete syntax.
+    pub gold_formula: String,
+    /// The gold answer.
+    pub answer: Answer,
+    /// Operator family of the gold query.
+    pub family: QuestionFamily,
+}
+
+impl Example {
+    /// Parse the gold formula back into an AST.
+    pub fn formula(&self) -> Formula {
+        parse_formula(&self.gold_formula).expect("stored gold formulas are well formed")
+    }
+}
+
+/// Which side of the split an example belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Split {
+    /// Training examples.
+    Train,
+    /// Held-out test examples (tables disjoint from training tables).
+    Test,
+}
+
+/// A full synthetic dataset: tables plus examples plus the table-level split.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Dataset {
+    /// Every generated table.
+    pub tables: Vec<Table>,
+    /// Every generated example.
+    pub examples: Vec<Example>,
+    /// Names of tables assigned to the test split.
+    pub test_tables: Vec<String>,
+}
+
+/// Configuration for dataset generation.
+#[derive(Debug, Clone)]
+pub struct DatasetConfig {
+    /// Number of tables to generate.
+    pub num_tables: usize,
+    /// Questions generated per table.
+    pub questions_per_table: usize,
+    /// Fraction of tables (and hence questions) held out for testing
+    /// (the benchmark holds out 20 % of tables).
+    pub test_fraction: f64,
+}
+
+impl Default for DatasetConfig {
+    fn default() -> Self {
+        DatasetConfig { num_tables: 40, questions_per_table: 12, test_fraction: 0.2 }
+    }
+}
+
+impl Dataset {
+    /// Generate a dataset with the given configuration and RNG.
+    pub fn generate<R: Rng>(config: &DatasetConfig, rng: &mut R) -> Dataset {
+        let domains = all_domains();
+        let mut tables = Vec::with_capacity(config.num_tables);
+        for index in 0..config.num_tables {
+            let domain = &domains[index % domains.len()];
+            tables.push(generate_table(domain, index, rng));
+        }
+
+        // Table-level split: shuffle table names, hold out the last fraction.
+        let mut names: Vec<String> = tables.iter().map(|t| t.name().to_string()).collect();
+        names.shuffle(rng);
+        let test_count = ((names.len() as f64) * config.test_fraction).round() as usize;
+        let test_count = test_count.clamp(1, names.len().saturating_sub(1).max(1));
+        let test_tables: Vec<String> = names.iter().rev().take(test_count).cloned().collect();
+
+        let mut examples = Vec::new();
+        for table in &tables {
+            let questions = generate_questions(table, config.questions_per_table, rng);
+            for (i, q) in questions.into_iter().enumerate() {
+                examples.push(Example {
+                    id: format!("{}-q{:02}", table.name(), i),
+                    table: table.name().to_string(),
+                    question: q.question,
+                    gold_formula: q.formula.to_string(),
+                    answer: q.answer,
+                    family: q.family,
+                });
+            }
+        }
+        Dataset { tables, examples, test_tables }
+    }
+
+    /// The catalog of all tables, for lookup by name.
+    pub fn catalog(&self) -> Catalog {
+        self.tables.iter().cloned().collect()
+    }
+
+    /// The split an example belongs to.
+    pub fn split_of(&self, example: &Example) -> Split {
+        if self.test_tables.iter().any(|t| t == &example.table) {
+            Split::Test
+        } else {
+            Split::Train
+        }
+    }
+
+    /// Examples of one split.
+    pub fn examples_of(&self, split: Split) -> Vec<&Example> {
+        self.examples.iter().filter(|e| self.split_of(e) == split).collect()
+    }
+
+    /// Serialize to a JSON string.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("dataset serializes")
+    }
+
+    /// Deserialize from a JSON string.
+    pub fn from_json(json: &str) -> Result<Dataset, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn small_dataset(seed: u64) -> Dataset {
+        let config = DatasetConfig { num_tables: 12, questions_per_table: 6, test_fraction: 0.25 };
+        Dataset::generate(&config, &mut ChaCha8Rng::seed_from_u64(seed))
+    }
+
+    #[test]
+    fn generates_tables_and_examples() {
+        let dataset = small_dataset(1);
+        assert_eq!(dataset.tables.len(), 12);
+        assert!(dataset.examples.len() >= 12 * 4, "too few examples: {}", dataset.examples.len());
+        assert!(!dataset.test_tables.is_empty());
+        assert!(dataset.test_tables.len() < dataset.tables.len());
+    }
+
+    #[test]
+    fn train_and_test_tables_are_disjoint() {
+        let dataset = small_dataset(2);
+        let train_tables: std::collections::HashSet<&str> = dataset
+            .examples_of(Split::Train)
+            .iter()
+            .map(|e| e.table.as_str())
+            .collect();
+        let test_tables: std::collections::HashSet<&str> = dataset
+            .examples_of(Split::Test)
+            .iter()
+            .map(|e| e.table.as_str())
+            .collect();
+        assert!(train_tables.is_disjoint(&test_tables));
+        assert!(!train_tables.is_empty());
+        assert!(!test_tables.is_empty());
+    }
+
+    #[test]
+    fn gold_formulas_reparse_and_reexecute_to_gold_answers() {
+        let dataset = small_dataset(3);
+        let catalog = dataset.catalog();
+        for example in dataset.examples.iter().take(60) {
+            let table = catalog.get(&example.table).expect("table exists");
+            let formula = example.formula();
+            let denotation = wtq_dcs::eval(&formula, table).expect("gold formula evaluates");
+            assert_eq!(Answer::from_denotation(&denotation), example.answer);
+        }
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_examples() {
+        let dataset = small_dataset(4);
+        let json = dataset.to_json();
+        let restored = Dataset::from_json(&json).expect("roundtrip parses");
+        assert_eq!(restored.tables.len(), dataset.tables.len());
+        assert_eq!(restored.examples.len(), dataset.examples.len());
+        assert_eq!(restored.test_tables, dataset.test_tables);
+        assert_eq!(restored.examples[0].question, dataset.examples[0].question);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = small_dataset(7);
+        let b = small_dataset(7);
+        assert_eq!(a.examples.len(), b.examples.len());
+        assert_eq!(a.examples[0].question, b.examples[0].question);
+        assert_eq!(a.test_tables, b.test_tables);
+    }
+
+    #[test]
+    fn example_ids_are_unique() {
+        let dataset = small_dataset(5);
+        let mut ids: Vec<&str> = dataset.examples.iter().map(|e| e.id.as_str()).collect();
+        ids.sort_unstable();
+        let before = ids.len();
+        ids.dedup();
+        assert_eq!(before, ids.len());
+    }
+
+    #[test]
+    fn default_config_matches_benchmark_shape() {
+        let config = DatasetConfig::default();
+        assert!(config.test_fraction > 0.1 && config.test_fraction < 0.4);
+        assert!(config.num_tables >= 20);
+    }
+}

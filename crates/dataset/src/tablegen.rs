@@ -1,0 +1,147 @@
+//! Random table generation from a domain specification.
+//!
+//! Generated tables follow the WikiTableQuestions construction constraints
+//! (§6.1): at least 8 rows and 5 columns, mixed column types, realistic
+//! vocabulary. Category values repeat across rows (so counting and
+//! most-common questions are non-trivial) while name columns are mostly
+//! unique.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use wtq_table::{Table, TableBuilder, Value};
+
+use crate::domains::{ColumnKind, ColumnSpec, Domain};
+
+/// Minimum number of rows a generated table has (matching the benchmark's
+/// "at least 8 rows" constraint).
+pub const MIN_ROWS: usize = 8;
+
+/// Maximum number of rows a generated table has.
+pub const MAX_ROWS: usize = 18;
+
+/// Generate one table from `domain` with a random number of rows.
+pub fn generate_table<R: Rng>(domain: &Domain, table_index: usize, rng: &mut R) -> Table {
+    let rows = rng.gen_range(MIN_ROWS..=MAX_ROWS);
+    generate_table_with_rows(domain, table_index, rows, rng)
+}
+
+/// Generate one table from `domain` with exactly `rows` rows.
+pub fn generate_table_with_rows<R: Rng>(
+    domain: &Domain,
+    table_index: usize,
+    rows: usize,
+    rng: &mut R,
+) -> Table {
+    let name = format!("{}_{:03}", domain.name, table_index);
+    let mut builder =
+        TableBuilder::new(name).columns(domain.columns.iter().map(|c| c.name.to_string()));
+    // Name columns shuffle their vocabulary so values stay (mostly) unique.
+    let mut name_pools: Vec<Vec<&str>> = domain
+        .columns
+        .iter()
+        .map(|c| {
+            let mut pool: Vec<&str> = c.vocabulary.to_vec();
+            pool.shuffle(rng);
+            pool
+        })
+        .collect();
+    for row in 0..rows {
+        let mut values = Vec::with_capacity(domain.columns.len());
+        for (column_idx, column) in domain.columns.iter().enumerate() {
+            values.push(generate_value(column, row, &mut name_pools[column_idx], rng));
+        }
+        builder = builder.row(values).expect("generated row matches column count");
+    }
+    builder.build().expect("generated tables always have columns")
+}
+
+fn generate_value<R: Rng>(
+    column: &ColumnSpec,
+    row: usize,
+    name_pool: &mut Vec<&str>,
+    rng: &mut R,
+) -> Value {
+    match column.kind {
+        ColumnKind::Category => {
+            let value = column.vocabulary.choose(rng).expect("non-empty vocabulary");
+            Value::str(*value)
+        }
+        ColumnKind::Name => {
+            // Draw without replacement while the pool lasts, then recycle with
+            // a numeric suffix so names stay distinct.
+            if row < name_pool.len() {
+                Value::str(name_pool[row])
+            } else {
+                let base = column.vocabulary[row % column.vocabulary.len()];
+                Value::str(format!("{base} {}", row / column.vocabulary.len() + 1))
+            }
+        }
+        ColumnKind::Integer { min, max } => Value::num(rng.gen_range(min..=max) as f64),
+        ColumnKind::Year { min, max } => Value::num(f64::from(rng.gen_range(min..=max))),
+        ColumnKind::Decimal { min, max } => {
+            let raw: f64 = rng.gen_range(min..max);
+            Value::num((raw * 10.0).round() / 10.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domains::all_domains;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn tables_meet_benchmark_shape_constraints() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        for domain in all_domains() {
+            let table = generate_table(&domain, 0, &mut rng);
+            assert!(table.num_records() >= MIN_ROWS, "{} too small", table.name());
+            assert!(table.num_columns() >= 5, "{} too narrow", table.name());
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_given_a_seed() {
+        let domain = &all_domains()[0];
+        let a = generate_table(domain, 3, &mut ChaCha8Rng::seed_from_u64(42));
+        let b = generate_table(domain, 3, &mut ChaCha8Rng::seed_from_u64(42));
+        assert_eq!(a, b);
+        let c = generate_table(domain, 3, &mut ChaCha8Rng::seed_from_u64(43));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn numeric_columns_are_numbers_and_categories_repeat() {
+        let domain = all_domains().into_iter().find(|d| d.name == "medal_table").unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let table = generate_table_with_rows(&domain, 0, 16, &mut rng);
+        let gold = table.column_index("Gold").unwrap();
+        for record in table.record_indices() {
+            assert!(table.value_at(record, gold).unwrap().is_num());
+        }
+        // With 16 rows over a 14-nation vocabulary at least one value repeats
+        // or the column has fewer distinct values than rows.
+        let nation = table.column_index("Nation").unwrap();
+        assert!(table.distinct_column_values(nation).len() <= table.num_records());
+    }
+
+    #[test]
+    fn name_columns_stay_distinct() {
+        let domain = all_domains().into_iter().find(|d| d.name == "national_squad").unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let table = generate_table_with_rows(&domain, 0, 18, &mut rng);
+        let name = table.column_index("Name").unwrap();
+        assert_eq!(table.distinct_column_values(name).len(), table.num_records());
+    }
+
+    #[test]
+    fn table_names_encode_domain_and_index() {
+        let domain = &all_domains()[0];
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let table = generate_table(domain, 12, &mut rng);
+        assert_eq!(table.name(), "olympic_games_012");
+    }
+}

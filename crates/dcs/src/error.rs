@@ -1,0 +1,70 @@
+//! Error type for lambda DCS parsing, type checking and evaluation.
+
+use std::fmt;
+
+/// Errors produced while parsing, type-checking or executing lambda DCS
+/// formulas.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DcsError {
+    /// The textual formula could not be parsed; the message names the
+    /// offending token and position.
+    Parse { message: String, position: usize },
+    /// A column name used by the formula does not exist in the target table.
+    UnknownColumn(String),
+    /// An operator was applied to a denotation of the wrong kind (e.g. `sum`
+    /// over a set of records, or intersection of a value set with a number).
+    TypeMismatch { operator: &'static str, expected: &'static str, found: &'static str },
+    /// A numeric aggregate (`sum`, `avg`, `max`, `min`) or arithmetic
+    /// difference was applied to values that are not numbers.
+    NonNumeric { operator: &'static str, value: String },
+    /// An operation that requires exactly one value (e.g. each side of
+    /// `sub(...)`) received a different cardinality.
+    Cardinality { operator: &'static str, expected: &'static str, got: usize },
+    /// Evaluation exceeded the configured recursion depth; guards against
+    /// pathological machine-generated candidates.
+    DepthExceeded(usize),
+}
+
+impl fmt::Display for DcsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DcsError::Parse { message, position } => {
+                write!(f, "parse error at byte {position}: {message}")
+            }
+            DcsError::UnknownColumn(name) => write!(f, "unknown column {name:?}"),
+            DcsError::TypeMismatch { operator, expected, found } => {
+                write!(f, "{operator} expects {expected} but found {found}")
+            }
+            DcsError::NonNumeric { operator, value } => {
+                write!(f, "{operator} requires numeric values but found {value:?}")
+            }
+            DcsError::Cardinality { operator, expected, got } => {
+                write!(f, "{operator} expects {expected} but its argument denoted {got} values")
+            }
+            DcsError::DepthExceeded(depth) => {
+                write!(f, "formula nesting exceeds the maximum evaluation depth of {depth}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DcsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_mention_the_relevant_pieces() {
+        let e = DcsError::UnknownColumn("Lake".into());
+        assert!(e.to_string().contains("Lake"));
+        let e = DcsError::TypeMismatch {
+            operator: "intersection",
+            expected: "records",
+            found: "number",
+        };
+        assert!(e.to_string().contains("intersection"));
+        let e = DcsError::Parse { message: "unexpected ')'".into(), position: 7 };
+        assert!(e.to_string().contains("byte 7"));
+    }
+}

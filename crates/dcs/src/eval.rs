@@ -1,0 +1,906 @@
+//! Execution engine for lambda DCS formulas.
+//!
+//! A formula executed against a table denotes a [`Denotation`]: a set of
+//! values (each traced back to the cells it came from), a set of records, or
+//! a single number produced by an aggregate / arithmetic operation. The cell
+//! tracing is what the provenance model of §4 consumes: the output provenance
+//! `P_O(Q, T)` of a value-denoting query is exactly the union of the traced
+//! cells of its denotation.
+
+use std::collections::BTreeSet;
+
+use wtq_table::{CellRef, KnowledgeBase, RecordIdx, Table, Value};
+
+use crate::ast::{AggregateOp, Formula, SuperlativeOp};
+use crate::error::DcsError;
+use crate::Result;
+
+/// Maximum formula nesting depth accepted by the evaluator. Machine-generated
+/// candidates never approach this; the guard only protects against
+/// pathological inputs.
+pub const MAX_EVAL_DEPTH: usize = 64;
+
+/// One value of a value-denoting formula, together with the cells that
+/// contain it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TracedValue {
+    /// The value itself.
+    pub value: Value,
+    /// Cells whose content is this value and which participated in producing
+    /// it (empty for purely constant values that do not appear in the table).
+    pub cells: Vec<CellRef>,
+}
+
+impl TracedValue {
+    /// A value with no cell trace (e.g. a literal constant absent from the
+    /// table).
+    pub fn untraced(value: Value) -> Self {
+        TracedValue { value, cells: Vec::new() }
+    }
+}
+
+/// The result of evaluating a formula against a table.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Denotation {
+    /// A set of values, deduplicated, in first-encounter order.
+    Values(Vec<TracedValue>),
+    /// A set of record indices.
+    Records(BTreeSet<RecordIdx>),
+    /// A single number produced by an aggregate or arithmetic operation.
+    Number(f64),
+}
+
+impl Denotation {
+    /// Human-readable kind name, used in error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Denotation::Values(_) => "values",
+            Denotation::Records(_) => "records",
+            Denotation::Number(_) => "number",
+        }
+    }
+
+    /// Whether the denotation is empty (no values / records). Numbers are
+    /// never empty.
+    pub fn is_empty(&self) -> bool {
+        match self {
+            Denotation::Values(v) => v.is_empty(),
+            Denotation::Records(r) => r.is_empty(),
+            Denotation::Number(_) => false,
+        }
+    }
+
+    /// Number of elements denoted.
+    pub fn len(&self) -> usize {
+        match self {
+            Denotation::Values(v) => v.len(),
+            Denotation::Records(r) => r.len(),
+            Denotation::Number(_) => 1,
+        }
+    }
+
+    /// The plain values of a value denotation (numbers become single values).
+    pub fn values(&self) -> Vec<Value> {
+        match self {
+            Denotation::Values(v) => v.iter().map(|tv| tv.value.clone()).collect(),
+            Denotation::Number(n) => vec![Value::Num(*n)],
+            Denotation::Records(_) => Vec::new(),
+        }
+    }
+
+    /// All cells traced by a value denotation (the `P_O` of non-aggregate
+    /// value queries).
+    pub fn traced_cells(&self) -> Vec<CellRef> {
+        match self {
+            Denotation::Values(v) => {
+                let mut cells: Vec<CellRef> = v.iter().flat_map(|tv| tv.cells.clone()).collect();
+                cells.sort_unstable();
+                cells.dedup();
+                cells
+            }
+            _ => Vec::new(),
+        }
+    }
+
+    /// The record set, if this denotes records.
+    pub fn records(&self) -> Option<&BTreeSet<RecordIdx>> {
+        match self {
+            Denotation::Records(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// Interpret the denotation as a single number, if possible: either a
+    /// `Number`, or a singleton value set whose value is numeric.
+    pub fn as_single_number(&self) -> Option<f64> {
+        match self {
+            Denotation::Number(n) => Some(*n),
+            Denotation::Values(v) if v.len() == 1 => v[0].value.as_number(),
+            _ => None,
+        }
+    }
+}
+
+/// Evaluator bound to one table (and its KB view).
+pub struct Evaluator<'a> {
+    table: &'a Table,
+    kb: KnowledgeBase<'a>,
+}
+
+impl<'a> Evaluator<'a> {
+    /// Create an evaluator for `table`, building the KB inverted indexes.
+    pub fn new(table: &'a Table) -> Self {
+        Evaluator { table, kb: KnowledgeBase::new(table) }
+    }
+
+    /// The table being queried.
+    pub fn table(&self) -> &Table {
+        self.table
+    }
+
+    /// The knowledge-base view of the table.
+    pub fn kb(&self) -> &KnowledgeBase<'a> {
+        &self.kb
+    }
+
+    /// Evaluate `formula` against the table.
+    pub fn eval(&self, formula: &Formula) -> Result<Denotation> {
+        self.eval_depth(formula, 0)
+    }
+
+    fn eval_depth(&self, formula: &Formula, depth: usize) -> Result<Denotation> {
+        if depth > MAX_EVAL_DEPTH {
+            return Err(DcsError::DepthExceeded(MAX_EVAL_DEPTH));
+        }
+        match formula {
+            Formula::Const(value) => Ok(self.eval_const(value)),
+            Formula::AllRecords => {
+                Ok(Denotation::Records(self.table.record_indices().collect()))
+            }
+            Formula::Join { column, values } => {
+                let column_idx = self.column(column)?;
+                let values = self.eval_depth(values, depth + 1)?;
+                self.eval_join(column_idx, &values)
+            }
+            Formula::CompareJoin { column, op, value } => {
+                let column_idx = self.column(column)?;
+                let value = self.eval_depth(value, depth + 1)?;
+                let threshold = value.as_single_number().ok_or(DcsError::Cardinality {
+                    operator: "comparison",
+                    expected: "a single numeric value",
+                    got: value.len(),
+                })?;
+                let mut records = BTreeSet::new();
+                for record in self.table.record_indices() {
+                    if let Some(cell) = self.table.value_at(record, column_idx) {
+                        if let Some(number) = cell.as_number() {
+                            if op.compare(number, threshold) {
+                                records.insert(record);
+                            }
+                        }
+                    }
+                }
+                Ok(Denotation::Records(records))
+            }
+            Formula::ColumnValues { column, records } => {
+                let column_idx = self.column(column)?;
+                let records = self.eval_depth(records, depth + 1)?;
+                let records = self.expect_records("column projection", records)?;
+                Ok(self.project_column(column_idx, &records))
+            }
+            Formula::Prev(sub) => {
+                let records = self.eval_depth(sub, depth + 1)?;
+                let records = self.expect_records("Prev", records)?;
+                let shifted: BTreeSet<RecordIdx> =
+                    records.iter().filter_map(|&r| self.table.prev_record(r)).collect();
+                Ok(Denotation::Records(shifted))
+            }
+            Formula::Next(sub) => {
+                let records = self.eval_depth(sub, depth + 1)?;
+                let records = self.expect_records("R[Prev]", records)?;
+                let shifted: BTreeSet<RecordIdx> =
+                    records.iter().filter_map(|&r| self.table.next_record(r)).collect();
+                Ok(Denotation::Records(shifted))
+            }
+            Formula::Intersect(a, b) => {
+                let left = self.eval_depth(a, depth + 1)?;
+                let right = self.eval_depth(b, depth + 1)?;
+                self.eval_intersect(left, right)
+            }
+            Formula::Union(a, b) => {
+                let left = self.eval_depth(a, depth + 1)?;
+                let right = self.eval_depth(b, depth + 1)?;
+                self.eval_union(left, right)
+            }
+            Formula::Aggregate { op, sub } => {
+                let inner = self.eval_depth(sub, depth + 1)?;
+                self.eval_aggregate(*op, inner)
+            }
+            Formula::SuperlativeRecords { op, records, column } => {
+                let column_idx = self.column(column)?;
+                let records = self.eval_depth(records, depth + 1)?;
+                let records = self.expect_records("superlative", records)?;
+                Ok(Denotation::Records(self.superlative_records(*op, &records, column_idx)))
+            }
+            Formula::RecordIndexSuperlative { op, records } => {
+                let records = self.eval_depth(records, depth + 1)?;
+                let records = self.expect_records("index superlative", records)?;
+                let chosen = match op {
+                    SuperlativeOp::Argmax => records.iter().next_back().copied(),
+                    SuperlativeOp::Argmin => records.iter().next().copied(),
+                };
+                Ok(Denotation::Records(chosen.into_iter().collect()))
+            }
+            Formula::MostCommonValue { op, values, column } => {
+                let column_idx = self.column(column)?;
+                let values = self.eval_depth(values, depth + 1)?;
+                self.eval_most_common(*op, values, column_idx)
+            }
+            Formula::CompareValues { op, values, key_column, value_column } => {
+                let key_idx = self.column(key_column)?;
+                let value_idx = self.column(value_column)?;
+                let values = self.eval_depth(values, depth + 1)?;
+                self.eval_compare_values(*op, values, key_idx, value_idx)
+            }
+            Formula::Sub(a, b) => {
+                let left = self.eval_depth(a, depth + 1)?;
+                let right = self.eval_depth(b, depth + 1)?;
+                let left = self.expect_number("difference", &left)?;
+                let right = self.expect_number("difference", &right)?;
+                Ok(Denotation::Number(left - right))
+            }
+        }
+    }
+
+    fn column(&self, name: &str) -> Result<usize> {
+        self.table.column_index(name).ok_or_else(|| DcsError::UnknownColumn(name.to_string()))
+    }
+
+    /// A constant denotes the set of table cells holding that value (across
+    /// all columns); if the value does not appear in the table it still
+    /// denotes itself, untraced.
+    fn eval_const(&self, value: &Value) -> Denotation {
+        let mut cells = Vec::new();
+        for column in 0..self.table.num_columns() {
+            cells.extend(self.kb.matching_cells(column, value));
+        }
+        cells.sort_unstable();
+        Denotation::Values(vec![TracedValue { value: value.clone(), cells }])
+    }
+
+    fn eval_join(&self, column: usize, values: &Denotation) -> Result<Denotation> {
+        let wanted: Vec<Value> = match values {
+            Denotation::Values(v) => v.iter().map(|tv| tv.value.clone()).collect(),
+            Denotation::Number(n) => vec![Value::Num(*n)],
+            Denotation::Records(_) => {
+                return Err(DcsError::TypeMismatch {
+                    operator: "join",
+                    expected: "values",
+                    found: "records",
+                })
+            }
+        };
+        let mut records = BTreeSet::new();
+        for value in &wanted {
+            records.extend(self.kb.join(column, value).iter().copied());
+        }
+        Ok(Denotation::Records(records))
+    }
+
+    fn project_column(&self, column: usize, records: &BTreeSet<RecordIdx>) -> Denotation {
+        let mut out: Vec<TracedValue> = Vec::new();
+        for &record in records {
+            let Some(value) = self.table.value_at(record, column) else { continue };
+            let cell = CellRef::new(record, column);
+            if let Some(existing) = out.iter_mut().find(|tv| &tv.value == value) {
+                existing.cells.push(cell);
+            } else {
+                out.push(TracedValue { value: value.clone(), cells: vec![cell] });
+            }
+        }
+        Denotation::Values(out)
+    }
+
+    fn expect_records(
+        &self,
+        operator: &'static str,
+        denotation: Denotation,
+    ) -> Result<BTreeSet<RecordIdx>> {
+        match denotation {
+            Denotation::Records(r) => Ok(r),
+            other => Err(DcsError::TypeMismatch {
+                operator,
+                expected: "records",
+                found: other.kind(),
+            }),
+        }
+    }
+
+    fn expect_number(&self, operator: &'static str, denotation: &Denotation) -> Result<f64> {
+        denotation.as_single_number().ok_or(match denotation {
+            Denotation::Values(v) => DcsError::Cardinality {
+                operator,
+                expected: "a single numeric value",
+                got: v.len(),
+            },
+            other => DcsError::TypeMismatch {
+                operator,
+                expected: "a number",
+                found: other.kind(),
+            },
+        })
+    }
+
+    fn eval_intersect(&self, left: Denotation, right: Denotation) -> Result<Denotation> {
+        match (left, right) {
+            (Denotation::Records(a), Denotation::Records(b)) => {
+                Ok(Denotation::Records(a.intersection(&b).copied().collect()))
+            }
+            (Denotation::Values(a), Denotation::Values(b)) => {
+                let out = a
+                    .into_iter()
+                    .filter(|tv| b.iter().any(|other| other.value == tv.value))
+                    .collect();
+                Ok(Denotation::Values(out))
+            }
+            (left, right) => Err(DcsError::TypeMismatch {
+                operator: "intersection",
+                expected: "two record sets or two value sets",
+                found: if matches!(left, Denotation::Number(_)) {
+                    left.kind()
+                } else {
+                    right.kind()
+                },
+            }),
+        }
+    }
+
+    fn eval_union(&self, left: Denotation, right: Denotation) -> Result<Denotation> {
+        match (left, right) {
+            (Denotation::Records(a), Denotation::Records(b)) => {
+                Ok(Denotation::Records(a.union(&b).copied().collect()))
+            }
+            (Denotation::Values(mut a), Denotation::Values(b)) => {
+                for tv in b {
+                    if let Some(existing) = a.iter_mut().find(|e| e.value == tv.value) {
+                        existing.cells.extend(tv.cells);
+                        existing.cells.sort_unstable();
+                        existing.cells.dedup();
+                    } else {
+                        a.push(tv);
+                    }
+                }
+                Ok(Denotation::Values(a))
+            }
+            (left, right) => Err(DcsError::TypeMismatch {
+                operator: "union",
+                expected: "two record sets or two value sets",
+                found: if matches!(left, Denotation::Number(_)) {
+                    left.kind()
+                } else {
+                    right.kind()
+                },
+            }),
+        }
+    }
+
+    fn eval_aggregate(&self, op: AggregateOp, inner: Denotation) -> Result<Denotation> {
+        if op == AggregateOp::Count {
+            return Ok(Denotation::Number(match &inner {
+                Denotation::Records(r) => r.len() as f64,
+                Denotation::Values(v) => v.iter().map(|tv| tv.cells.len().max(1)).sum::<usize>() as f64,
+                Denotation::Number(_) => 1.0,
+            }));
+        }
+        let numbers = match &inner {
+            Denotation::Values(values) => {
+                let mut numbers = Vec::with_capacity(values.len());
+                for tv in values {
+                    // Count each cell occurrence once so that sums over
+                    // repeated values match the SQL semantics.
+                    let occurrences = tv.cells.len().max(1);
+                    let number = tv.value.as_number().ok_or_else(|| DcsError::NonNumeric {
+                        operator: op.name(),
+                        value: tv.value.to_string(),
+                    })?;
+                    numbers.extend(std::iter::repeat(number).take(occurrences));
+                }
+                numbers
+            }
+            Denotation::Number(n) => vec![*n],
+            Denotation::Records(_) => {
+                return Err(DcsError::TypeMismatch {
+                    operator: op.name(),
+                    expected: "values",
+                    found: "records",
+                })
+            }
+        };
+        if numbers.is_empty() {
+            return Err(DcsError::Cardinality {
+                operator: op.name(),
+                expected: "a non-empty value set",
+                got: 0,
+            });
+        }
+        let result = match op {
+            AggregateOp::Max => numbers.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+            AggregateOp::Min => numbers.iter().copied().fold(f64::INFINITY, f64::min),
+            AggregateOp::Sum => numbers.iter().sum(),
+            AggregateOp::Avg => numbers.iter().sum::<f64>() / numbers.len() as f64,
+            AggregateOp::Count => unreachable!("count handled above"),
+        };
+        Ok(Denotation::Number(result))
+    }
+
+    fn superlative_records(
+        &self,
+        op: SuperlativeOp,
+        records: &BTreeSet<RecordIdx>,
+        column: usize,
+    ) -> BTreeSet<RecordIdx> {
+        let mut best: Option<Value> = None;
+        for &record in records {
+            let Some(value) = self.table.value_at(record, column) else { continue };
+            let better = match (&best, op) {
+                (None, _) => true,
+                (Some(current), SuperlativeOp::Argmax) => value > current,
+                (Some(current), SuperlativeOp::Argmin) => value < current,
+            };
+            if better {
+                best = Some(value.clone());
+            }
+        }
+        let Some(best) = best else { return BTreeSet::new() };
+        records
+            .iter()
+            .copied()
+            .filter(|&record| self.table.value_at(record, column) == Some(&best))
+            .collect()
+    }
+
+    fn eval_most_common(
+        &self,
+        op: SuperlativeOp,
+        values: Denotation,
+        column: usize,
+    ) -> Result<Denotation> {
+        let candidates = match values {
+            Denotation::Values(v) => v,
+            other => {
+                return Err(DcsError::TypeMismatch {
+                    operator: "most_common",
+                    expected: "values",
+                    found: other.kind(),
+                })
+            }
+        };
+        if candidates.is_empty() {
+            return Ok(Denotation::Values(Vec::new()));
+        }
+        let counts: Vec<usize> = candidates
+            .iter()
+            .map(|tv| self.kb.join(column, &tv.value).len())
+            .collect();
+        let best = match op {
+            SuperlativeOp::Argmax => counts.iter().copied().max().unwrap_or(0),
+            SuperlativeOp::Argmin => counts.iter().copied().min().unwrap_or(0),
+        };
+        let out: Vec<TracedValue> = candidates
+            .into_iter()
+            .zip(counts)
+            .filter(|(_, count)| *count == best)
+            .map(|(tv, _)| {
+                // Trace the winner to its occurrences in the counting column.
+                let cells = self.kb.matching_cells(column, &tv.value);
+                TracedValue { value: tv.value, cells }
+            })
+            .collect();
+        Ok(Denotation::Values(out))
+    }
+
+    fn eval_compare_values(
+        &self,
+        op: SuperlativeOp,
+        values: Denotation,
+        key_column: usize,
+        value_column: usize,
+    ) -> Result<Denotation> {
+        let candidates = match values {
+            Denotation::Values(v) => v,
+            other => {
+                return Err(DcsError::TypeMismatch {
+                    operator: "compare",
+                    expected: "values",
+                    found: other.kind(),
+                })
+            }
+        };
+        // Rows whose value_column cell is one of the candidate values.
+        let mut rows: Vec<RecordIdx> = Vec::new();
+        for tv in &candidates {
+            rows.extend(self.kb.join(value_column, &tv.value).iter().copied());
+        }
+        rows.sort_unstable();
+        rows.dedup();
+        // Best key among those rows.
+        let mut best: Option<Value> = None;
+        for &record in &rows {
+            let Some(key) = self.table.value_at(record, key_column) else { continue };
+            let better = match (&best, op) {
+                (None, _) => true,
+                (Some(current), SuperlativeOp::Argmax) => key > current,
+                (Some(current), SuperlativeOp::Argmin) => key < current,
+            };
+            if better {
+                best = Some(key.clone());
+            }
+        }
+        let Some(best) = best else { return Ok(Denotation::Values(Vec::new())) };
+        // Return the candidate values of rows achieving the best key.
+        let mut out: Vec<TracedValue> = Vec::new();
+        for &record in &rows {
+            if self.table.value_at(record, key_column) != Some(&best) {
+                continue;
+            }
+            let Some(value) = self.table.value_at(record, value_column) else { continue };
+            let cell = CellRef::new(record, value_column);
+            if let Some(existing) = out.iter_mut().find(|tv| &tv.value == value) {
+                existing.cells.push(cell);
+            } else {
+                out.push(TracedValue { value: value.clone(), cells: vec![cell] });
+            }
+        }
+        Ok(Denotation::Values(out))
+    }
+}
+
+/// Evaluate `formula` against `table` (convenience wrapper that builds an
+/// [`Evaluator`] each call; reuse an `Evaluator` when running many formulas
+/// over the same table).
+pub fn eval(formula: &Formula, table: &Table) -> Result<Denotation> {
+    Evaluator::new(table).eval(formula)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{AggregateOp, CompareOp, Formula, SuperlativeOp};
+    use wtq_table::samples;
+
+    fn values_of(denotation: &Denotation) -> Vec<String> {
+        denotation.values().iter().map(|v| v.to_string()).collect()
+    }
+
+    #[test]
+    fn join_selects_records() {
+        // Country.Greece over the Figure 1 table.
+        let table = samples::olympics();
+        let q = Formula::join_str("Country", "Greece");
+        let d = eval(&q, &table).unwrap();
+        assert_eq!(d.records().unwrap().iter().copied().collect::<Vec<_>>(), vec![0, 5]);
+    }
+
+    #[test]
+    fn column_values_projects() {
+        // R[Year].Country.Greece -> {1896, 2004}
+        let table = samples::olympics();
+        let q = Formula::column_values("Year", Formula::join_str("Country", "Greece"));
+        let d = eval(&q, &table).unwrap();
+        assert_eq!(values_of(&d), vec!["1896", "2004"]);
+        assert_eq!(d.traced_cells().len(), 2);
+    }
+
+    #[test]
+    fn figure_one_query_returns_2004() {
+        // max(R[Year].Country.Greece) = 2004
+        let table = samples::olympics();
+        let q = Formula::aggregate(
+            AggregateOp::Max,
+            Formula::column_values("Year", Formula::join_str("Country", "Greece")),
+        );
+        assert_eq!(eval(&q, &table).unwrap(), Denotation::Number(2004.0));
+    }
+
+    #[test]
+    fn example_3_1_city_of_earliest_olympics() {
+        // R[City].argmin(Rows, Year) = Athens
+        let table = samples::olympics();
+        let q = Formula::column_values(
+            "City",
+            Formula::SuperlativeRecords {
+                op: SuperlativeOp::Argmin,
+                records: Box::new(Formula::AllRecords),
+                column: "Year".into(),
+            },
+        );
+        assert_eq!(values_of(&eval(&q, &table).unwrap()), vec!["Athens"]);
+    }
+
+    #[test]
+    fn count_aggregate_counts_records() {
+        // count(City.Athens) = 2
+        let table = samples::olympics();
+        let q = Formula::aggregate(AggregateOp::Count, Formula::join_str("City", "Athens"));
+        assert_eq!(eval(&q, &table).unwrap(), Denotation::Number(2.0));
+    }
+
+    #[test]
+    fn example_5_2_difference_of_totals() {
+        // sub(R[Total].Nation.Fiji, R[Total].Nation.Tonga) = 110
+        let table = samples::medals();
+        let q = Formula::Sub(
+            Box::new(Formula::column_values("Total", Formula::join_str("Nation", "Fiji"))),
+            Box::new(Formula::column_values("Total", Formula::join_str("Nation", "Tonga"))),
+        );
+        assert_eq!(eval(&q, &table).unwrap(), Denotation::Number(110.0));
+    }
+
+    #[test]
+    fn intersection_of_records() {
+        // City.London ⊓ Country.UK
+        let table = samples::olympics();
+        let q = Formula::Intersect(
+            Box::new(Formula::join_str("City", "London")),
+            Box::new(Formula::join_str("Country", "UK")),
+        );
+        let d = eval(&q, &table).unwrap();
+        assert_eq!(d.records().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn union_of_values() {
+        // R[City].(Country.Greece or Country.China)
+        let table = samples::olympics();
+        let q = Formula::column_values(
+            "City",
+            Formula::Union(
+                Box::new(Formula::join_str("Country", "Greece")),
+                Box::new(Formula::join_str("Country", "China")),
+            ),
+        );
+        assert_eq!(values_of(&eval(&q, &table).unwrap()), vec!["Athens", "Beijing"]);
+    }
+
+    #[test]
+    fn prev_and_next_shift_records() {
+        let table = samples::olympics();
+        // Values of City right above rows where City is London (Table 14).
+        let q = Formula::column_values(
+            "City",
+            Formula::Prev(Box::new(Formula::join_str("City", "London"))),
+        );
+        let d = eval(&q, &table).unwrap();
+        assert_eq!(values_of(&d), vec!["St. Louis", "Beijing"]);
+        // Values of City right below rows where City is Athens (Table 15).
+        let q = Formula::column_values(
+            "City",
+            Formula::Next(Box::new(Formula::join_str("City", "Athens"))),
+        );
+        let d = eval(&q, &table).unwrap();
+        assert_eq!(values_of(&d), vec!["Paris", "Beijing"]);
+    }
+
+    #[test]
+    fn prev_of_first_record_is_empty() {
+        let table = samples::olympics();
+        let q = Formula::Prev(Box::new(Formula::join_str("Year", "1896")));
+        assert!(eval(&q, &table).unwrap().is_empty());
+    }
+
+    #[test]
+    fn compare_join_matches_figure_4() {
+        // rows where Games > 4 in the squad table: Andy Egli (6), Heinz
+        // Hermann (6), Roger Wehrli (6), Lucien Favre (5).
+        let table = samples::squad();
+        let q = Formula::CompareJoin {
+            column: "Games".into(),
+            op: CompareOp::Gt,
+            value: Box::new(Formula::Const(Value::num(4.0))),
+        };
+        let d = eval(&q, &table).unwrap();
+        assert_eq!(d.records().unwrap().len(), 4);
+    }
+
+    #[test]
+    fn compare_join_equivalent_range_formulation() {
+        // "at least 5 and also less than 17" denotes the same rows (see §5.2).
+        let table = samples::squad();
+        let q = Formula::Intersect(
+            Box::new(Formula::CompareJoin {
+                column: "Games".into(),
+                op: CompareOp::Geq,
+                value: Box::new(Formula::Const(Value::num(5.0))),
+            }),
+            Box::new(Formula::CompareJoin {
+                column: "Games".into(),
+                op: CompareOp::Lt,
+                value: Box::new(Formula::Const(Value::num(17.0))),
+            }),
+        );
+        let gt4 = Formula::CompareJoin {
+            column: "Games".into(),
+            op: CompareOp::Gt,
+            value: Box::new(Formula::Const(Value::num(4.0))),
+        };
+        assert_eq!(eval(&q, &table).unwrap(), eval(&gt4, &table).unwrap());
+    }
+
+    #[test]
+    fn record_index_superlative_selects_last_row() {
+        // "last year the team was in the USL A-League" = 2004 (Figure 8).
+        let table = samples::usl_league();
+        let q = Formula::column_values(
+            "Year",
+            Formula::RecordIndexSuperlative {
+                op: SuperlativeOp::Argmax,
+                records: Box::new(Formula::join_str("League", "USL A-League")),
+            },
+        );
+        assert_eq!(values_of(&eval(&q, &table).unwrap()), vec!["2004"]);
+    }
+
+    #[test]
+    fn most_common_value() {
+        // The value among {Athens, London} appearing most often in City.
+        let table = samples::olympics();
+        let q = Formula::MostCommonValue {
+            op: SuperlativeOp::Argmax,
+            values: Box::new(Formula::Union(
+                Box::new(Formula::Const(Value::str("Athens"))),
+                Box::new(Formula::Const(Value::str("London"))),
+            )),
+            column: "City".into(),
+        };
+        let d = eval(&q, &table).unwrap();
+        // Athens and London both appear twice -> tie keeps both.
+        assert_eq!(values_of(&d), vec!["Athens", "London"]);
+    }
+
+    #[test]
+    fn most_common_value_over_whole_column() {
+        // Table 22: the value that appears the most in column Lake.
+        let table = samples::shipwrecks();
+        let q = Formula::MostCommonValue {
+            op: SuperlativeOp::Argmax,
+            values: Box::new(Formula::column_values("Lake", Formula::AllRecords)),
+            column: "Lake".into(),
+        };
+        assert_eq!(values_of(&eval(&q, &table).unwrap()), vec!["Lake Huron"]);
+    }
+
+    #[test]
+    fn compare_values_figure_5() {
+        // between London or Beijing, who has the highest value of Year.
+        let table = samples::olympics();
+        let q = Formula::CompareValues {
+            op: SuperlativeOp::Argmax,
+            values: Box::new(Formula::Union(
+                Box::new(Formula::Const(Value::str("London"))),
+                Box::new(Formula::Const(Value::str("Beijing"))),
+            )),
+            key_column: "Year".into(),
+            value_column: "City".into(),
+        };
+        assert_eq!(values_of(&eval(&q, &table).unwrap()), vec!["London"]);
+    }
+
+    #[test]
+    fn difference_of_occurrences() {
+        // Figure 9 / Table 18 pattern: count(Lake."Lake Huron") - count(Lake."Lake Erie").
+        let table = samples::shipwrecks();
+        let q = Formula::Sub(
+            Box::new(Formula::aggregate(
+                AggregateOp::Count,
+                Formula::join_str("Lake", "Lake Huron"),
+            )),
+            Box::new(Formula::aggregate(
+                AggregateOp::Count,
+                Formula::join_str("Lake", "Lake Erie"),
+            )),
+        );
+        assert_eq!(eval(&q, &table).unwrap(), Denotation::Number(3.0));
+    }
+
+    #[test]
+    fn sum_and_avg_aggregate() {
+        let table = samples::medals();
+        let q = Formula::aggregate(
+            AggregateOp::Sum,
+            Formula::column_values("Gold", Formula::AllRecords),
+        );
+        assert_eq!(eval(&q, &table).unwrap(), Denotation::Number(298.0));
+        let q = Formula::aggregate(
+            AggregateOp::Avg,
+            Formula::column_values("Total", Formula::join_str("Nation", "Fiji")),
+        );
+        assert_eq!(eval(&q, &table).unwrap(), Denotation::Number(130.0));
+    }
+
+    #[test]
+    fn sum_counts_repeated_values_once_per_cell() {
+        // Two records share Games = 6 twice; summing Games over DF+MF rows
+        // must count each cell, not each distinct value.
+        let table = samples::squad();
+        let q = Formula::aggregate(
+            AggregateOp::Sum,
+            Formula::column_values("Games", Formula::AllRecords),
+        );
+        assert_eq!(eval(&q, &table).unwrap(), Denotation::Number(38.0));
+    }
+
+    #[test]
+    fn aggregate_over_strings_is_an_error() {
+        let table = samples::olympics();
+        let q = Formula::aggregate(
+            AggregateOp::Sum,
+            Formula::column_values("City", Formula::AllRecords),
+        );
+        assert!(matches!(eval(&q, &table), Err(DcsError::NonNumeric { .. })));
+    }
+
+    #[test]
+    fn unknown_column_is_an_error() {
+        let table = samples::olympics();
+        let q = Formula::join_str("Continent", "Europe");
+        assert_eq!(eval(&q, &table).unwrap_err(), DcsError::UnknownColumn("Continent".into()));
+    }
+
+    #[test]
+    fn sub_requires_single_values() {
+        let table = samples::olympics();
+        // R[Year].Country.Greece denotes two values -> not a single number.
+        let q = Formula::Sub(
+            Box::new(Formula::column_values("Year", Formula::join_str("Country", "Greece"))),
+            Box::new(Formula::Const(Value::num(1.0))),
+        );
+        assert!(matches!(eval(&q, &table), Err(DcsError::Cardinality { .. })));
+    }
+
+    #[test]
+    fn type_mismatches_are_reported() {
+        let table = samples::olympics();
+        // Aggregating records with max.
+        let q = Formula::aggregate(AggregateOp::Max, Formula::AllRecords);
+        assert!(matches!(eval(&q, &table), Err(DcsError::TypeMismatch { .. })));
+        // Intersecting a number with records.
+        let q = Formula::Intersect(
+            Box::new(Formula::aggregate(AggregateOp::Count, Formula::AllRecords)),
+            Box::new(Formula::AllRecords),
+        );
+        assert!(matches!(eval(&q, &table), Err(DcsError::TypeMismatch { .. })));
+    }
+
+    #[test]
+    fn empty_superlative_is_empty_not_error() {
+        let table = samples::olympics();
+        let q = Formula::SuperlativeRecords {
+            op: SuperlativeOp::Argmax,
+            records: Box::new(Formula::join_str("Country", "Atlantis")),
+            column: "Year".into(),
+        };
+        assert!(eval(&q, &table).unwrap().is_empty());
+    }
+
+    #[test]
+    fn superlative_keeps_ties() {
+        let table = samples::squad();
+        let q = Formula::SuperlativeRecords {
+            op: SuperlativeOp::Argmax,
+            records: Box::new(Formula::AllRecords),
+            column: "Games".into(),
+        };
+        // Three players played 6 games.
+        assert_eq!(eval(&q, &table).unwrap().records().unwrap().len(), 3);
+    }
+
+    #[test]
+    fn max_eval_depth_guard() {
+        let table = samples::olympics();
+        let mut q = Formula::join_str("Country", "Greece");
+        for _ in 0..(MAX_EVAL_DEPTH + 2) {
+            q = Formula::Prev(Box::new(q));
+        }
+        assert!(matches!(eval(&q, &table), Err(DcsError::DepthExceeded(_))));
+    }
+}

@@ -1,0 +1,593 @@
+//! Concrete textual syntax for lambda DCS formulas.
+//!
+//! The syntax follows the paper's notation as closely as plain ASCII allows:
+//!
+//! ```text
+//! Country.Greece                      join ("Column Records")
+//! R[Year].Country.Greece              reverse join ("Column Values")
+//! Prev.City.Athens                    preceding records
+//! R[Prev].City.Athens                 following records
+//! (City.London and Country.UK)        intersection (⊓)
+//! (Greece or China)                   union (⊔)
+//! max(R[Year].Country.Greece)         aggregation (count, max, min, sum, avg)
+//! sub(count(City.Athens), count(City.Paris))   arithmetic difference
+//! argmax(Rows, Year)                  records with highest value in a column
+//! last(League."USL A-League")         record with highest Index (first(...) for lowest)
+//! most_common(R[City].Rows, City)     value with most appearances
+//! compare_max((London or Beijing), Year, City)  comparing values by a key column
+//! Games.(> 4)                         comparison join
+//! League."USL A-League"               quoted names for multi-word values / columns
+//! date(2013, 6, 8)                    date literals
+//! ```
+//!
+//! [`crate::Formula`]'s `Display` implementation emits exactly this syntax,
+//! so `parse_formula(&formula.to_string())` round-trips (verified by property
+//! tests).
+
+use wtq_table::Value;
+
+use crate::ast::{AggregateOp, CompareOp, Formula, SuperlativeOp};
+use crate::error::DcsError;
+use crate::Result;
+
+/// Parse a formula from its textual form.
+pub fn parse_formula(text: &str) -> Result<Formula> {
+    let tokens = tokenize(text)?;
+    let mut parser = Parser { tokens, position: 0 };
+    let formula = parser.parse_or()?;
+    parser.expect_end()?;
+    Ok(formula)
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Token {
+    Ident(String),
+    Quoted(String),
+    Number(f64),
+    Dot,
+    Comma,
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    Compare(CompareOp),
+}
+
+#[derive(Debug, Clone)]
+struct SpannedToken {
+    token: Token,
+    offset: usize,
+}
+
+fn tokenize(text: &str) -> Result<Vec<SpannedToken>> {
+    let bytes = text.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        let start = i;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => {
+                i += 1;
+            }
+            '.' => {
+                tokens.push(SpannedToken { token: Token::Dot, offset: start });
+                i += 1;
+            }
+            ',' => {
+                tokens.push(SpannedToken { token: Token::Comma, offset: start });
+                i += 1;
+            }
+            '(' => {
+                tokens.push(SpannedToken { token: Token::LParen, offset: start });
+                i += 1;
+            }
+            ')' => {
+                tokens.push(SpannedToken { token: Token::RParen, offset: start });
+                i += 1;
+            }
+            '[' => {
+                tokens.push(SpannedToken { token: Token::LBracket, offset: start });
+                i += 1;
+            }
+            ']' => {
+                tokens.push(SpannedToken { token: Token::RBracket, offset: start });
+                i += 1;
+            }
+            '>' | '<' | '!' => {
+                let op = if i + 1 < bytes.len() && bytes[i + 1] as char == '=' {
+                    i += 2;
+                    match c {
+                        '>' => CompareOp::Geq,
+                        '<' => CompareOp::Leq,
+                        _ => CompareOp::Neq,
+                    }
+                } else {
+                    i += 1;
+                    match c {
+                        '>' => CompareOp::Gt,
+                        '<' => CompareOp::Lt,
+                        _ => {
+                            return Err(DcsError::Parse {
+                                message: "'!' must be followed by '='".into(),
+                                position: start,
+                            })
+                        }
+                    }
+                };
+                tokens.push(SpannedToken { token: Token::Compare(op), offset: start });
+            }
+            '"' => {
+                let mut value = String::new();
+                i += 1;
+                let mut closed = false;
+                while i < bytes.len() {
+                    let ch = bytes[i] as char;
+                    if ch == '\\' && i + 1 < bytes.len() && bytes[i + 1] as char == '"' {
+                        value.push('"');
+                        i += 2;
+                    } else if ch == '"' {
+                        closed = true;
+                        i += 1;
+                        break;
+                    } else {
+                        value.push(ch);
+                        i += 1;
+                    }
+                }
+                if !closed {
+                    return Err(DcsError::Parse {
+                        message: "unterminated string literal".into(),
+                        position: start,
+                    });
+                }
+                tokens.push(SpannedToken { token: Token::Quoted(value), offset: start });
+            }
+            _ if c.is_ascii_digit() || c == '-' => {
+                let mut end = i + 1;
+                while end < bytes.len()
+                    && ((bytes[end] as char).is_ascii_digit() || bytes[end] as char == '.')
+                {
+                    // A trailing '.' followed by a non-digit belongs to a join,
+                    // not to the number (e.g. `2004.City`): stop before it.
+                    if bytes[end] as char == '.'
+                        && (end + 1 >= bytes.len() || !(bytes[end + 1] as char).is_ascii_digit())
+                    {
+                        break;
+                    }
+                    end += 1;
+                }
+                let literal = &text[i..end];
+                let number = literal.parse::<f64>().map_err(|_| DcsError::Parse {
+                    message: format!("invalid number literal {literal:?}"),
+                    position: start,
+                })?;
+                tokens.push(SpannedToken { token: Token::Number(number), offset: start });
+                i = end;
+            }
+            _ if c.is_ascii_alphabetic() || c == '_' => {
+                let mut end = i + 1;
+                while end < bytes.len() {
+                    let ch = bytes[end] as char;
+                    if ch.is_ascii_alphanumeric() || ch == '_' || ch == '-' {
+                        end += 1;
+                    } else {
+                        break;
+                    }
+                }
+                tokens.push(SpannedToken {
+                    token: Token::Ident(text[i..end].to_string()),
+                    offset: start,
+                });
+                i = end;
+            }
+            other => {
+                return Err(DcsError::Parse {
+                    message: format!("unexpected character {other:?}"),
+                    position: start,
+                })
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+struct Parser {
+    tokens: Vec<SpannedToken>,
+    position: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.position).map(|t| &t.token)
+    }
+
+    fn offset(&self) -> usize {
+        self.tokens
+            .get(self.position)
+            .map(|t| t.offset)
+            .unwrap_or_else(|| self.tokens.last().map(|t| t.offset + 1).unwrap_or(0))
+    }
+
+    fn advance(&mut self) -> Option<Token> {
+        let token = self.tokens.get(self.position).map(|t| t.token.clone());
+        if token.is_some() {
+            self.position += 1;
+        }
+        token
+    }
+
+    fn error(&self, message: impl Into<String>) -> DcsError {
+        DcsError::Parse { message: message.into(), position: self.offset() }
+    }
+
+    fn expect(&mut self, expected: &Token, what: &str) -> Result<()> {
+        match self.peek() {
+            Some(token) if token == expected => {
+                self.advance();
+                Ok(())
+            }
+            other => Err(self.error(format!("expected {what}, found {other:?}"))),
+        }
+    }
+
+    fn expect_end(&self) -> Result<()> {
+        if self.position == self.tokens.len() {
+            Ok(())
+        } else {
+            Err(self.error("unexpected trailing input"))
+        }
+    }
+
+    /// or_expr := and_expr ("or" and_expr)*
+    fn parse_or(&mut self) -> Result<Formula> {
+        let mut left = self.parse_and()?;
+        while matches!(self.peek(), Some(Token::Ident(word)) if word.eq_ignore_ascii_case("or")) {
+            self.advance();
+            let right = self.parse_and()?;
+            left = Formula::Union(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    /// and_expr := primary ("and" primary)*
+    fn parse_and(&mut self) -> Result<Formula> {
+        let mut left = self.parse_primary()?;
+        while matches!(self.peek(), Some(Token::Ident(word)) if word.eq_ignore_ascii_case("and")) {
+            self.advance();
+            let right = self.parse_primary()?;
+            left = Formula::Intersect(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn parse_primary(&mut self) -> Result<Formula> {
+        match self.peek().cloned() {
+            Some(Token::LParen) => {
+                self.advance();
+                let inner = self.parse_or()?;
+                self.expect(&Token::RParen, "')'")?;
+                Ok(inner)
+            }
+            Some(Token::Number(n)) => {
+                self.advance();
+                Ok(Formula::Const(Value::Num(n)))
+            }
+            Some(Token::Quoted(name)) => {
+                self.advance();
+                self.maybe_join(name)
+            }
+            Some(Token::Ident(word)) => {
+                self.advance();
+                self.parse_after_ident(word)
+            }
+            other => Err(self.error(format!("expected a formula, found {other:?}"))),
+        }
+    }
+
+    /// Handle an identifier head: keyword formulas, function calls, reverse
+    /// joins, plain joins or bare constants.
+    fn parse_after_ident(&mut self, word: String) -> Result<Formula> {
+        let lower = word.to_ascii_lowercase();
+        // Keyword atoms.
+        if lower == "rows" || lower == "record" || lower == "records" {
+            return Ok(Formula::AllRecords);
+        }
+        // Reverse join R[...] or the R[Prev] shorthand.
+        if lower == "r" && self.peek() == Some(&Token::LBracket) {
+            self.advance();
+            let column = self.parse_name("column name inside R[...]")?;
+            self.expect(&Token::RBracket, "']'")?;
+            self.expect(&Token::Dot, "'.' after R[...]")?;
+            let records = self.parse_primary()?;
+            if column.eq_ignore_ascii_case("prev") {
+                return Ok(Formula::Next(Box::new(records)));
+            }
+            return Ok(Formula::ColumnValues { column, records: Box::new(records) });
+        }
+        // Prev.<records>
+        if lower == "prev" && self.peek() == Some(&Token::Dot) {
+            self.advance();
+            let records = self.parse_primary()?;
+            return Ok(Formula::Prev(Box::new(records)));
+        }
+        // Function calls.
+        if self.peek() == Some(&Token::LParen) {
+            if let Some(formula) = self.parse_function_call(&lower)? {
+                return Ok(formula);
+            }
+        }
+        // Plain join (`Column.values`) or bare constant.
+        self.maybe_join(word)
+    }
+
+    /// After a name, a '.' introduces a join with that name as the column;
+    /// otherwise the name is a constant value.
+    fn maybe_join(&mut self, name: String) -> Result<Formula> {
+        if self.peek() != Some(&Token::Dot) {
+            return Ok(Formula::Const(Value::parse(&name)));
+        }
+        self.advance();
+        // Comparison join: Column.(> 4)
+        if self.peek() == Some(&Token::LParen) {
+            if let Some(Token::Compare(op)) = self.tokens.get(self.position + 1).map(|t| &t.token) {
+                let op = *op;
+                self.advance(); // (
+                self.advance(); // compare op
+                let value = self.parse_primary()?;
+                self.expect(&Token::RParen, "')'")?;
+                return Ok(Formula::CompareJoin { column: name, op, value: Box::new(value) });
+            }
+        }
+        let values = self.parse_primary()?;
+        Ok(Formula::Join { column: name, values: Box::new(values) })
+    }
+
+    /// A column or value name: an identifier, a quoted string, or `Index`.
+    fn parse_name(&mut self, what: &str) -> Result<String> {
+        match self.advance() {
+            Some(Token::Ident(name)) => Ok(name),
+            Some(Token::Quoted(name)) => Ok(name),
+            other => Err(self.error(format!("expected {what}, found {other:?}"))),
+        }
+    }
+
+    /// Parse `name(args...)` for the known function names. Returns `Ok(None)`
+    /// if `name` is not a function (caller falls back to join/constant).
+    fn parse_function_call(&mut self, name: &str) -> Result<Option<Formula>> {
+        let aggregate = match name {
+            "count" => Some(AggregateOp::Count),
+            "max" => Some(AggregateOp::Max),
+            "min" => Some(AggregateOp::Min),
+            "sum" => Some(AggregateOp::Sum),
+            "avg" | "average" => Some(AggregateOp::Avg),
+            _ => None,
+        };
+        if let Some(op) = aggregate {
+            self.expect(&Token::LParen, "'('")?;
+            let sub = self.parse_or()?;
+            self.expect(&Token::RParen, "')'")?;
+            return Ok(Some(Formula::Aggregate { op, sub: Box::new(sub) }));
+        }
+        let formula = match name {
+            "sub" | "difference" => {
+                self.expect(&Token::LParen, "'('")?;
+                let left = self.parse_or()?;
+                self.expect(&Token::Comma, "','")?;
+                let right = self.parse_or()?;
+                self.expect(&Token::RParen, "')'")?;
+                Formula::Sub(Box::new(left), Box::new(right))
+            }
+            "argmax" | "argmin" => {
+                let op = if name == "argmax" { SuperlativeOp::Argmax } else { SuperlativeOp::Argmin };
+                self.expect(&Token::LParen, "'('")?;
+                let records = self.parse_or()?;
+                self.expect(&Token::Comma, "','")?;
+                let key = self.parse_name("a column name or Index")?;
+                self.expect(&Token::RParen, "')'")?;
+                if key.eq_ignore_ascii_case("index") {
+                    Formula::RecordIndexSuperlative { op, records: Box::new(records) }
+                } else {
+                    Formula::SuperlativeRecords { op, records: Box::new(records), column: key }
+                }
+            }
+            "last" | "first" => {
+                let op = if name == "last" { SuperlativeOp::Argmax } else { SuperlativeOp::Argmin };
+                self.expect(&Token::LParen, "'('")?;
+                let records = self.parse_or()?;
+                self.expect(&Token::RParen, "')'")?;
+                Formula::RecordIndexSuperlative { op, records: Box::new(records) }
+            }
+            "most_common" | "least_common" => {
+                let op = if name == "most_common" {
+                    SuperlativeOp::Argmax
+                } else {
+                    SuperlativeOp::Argmin
+                };
+                self.expect(&Token::LParen, "'('")?;
+                let values = self.parse_or()?;
+                self.expect(&Token::Comma, "','")?;
+                let column = self.parse_name("a column name")?;
+                self.expect(&Token::RParen, "')'")?;
+                Formula::MostCommonValue { op, values: Box::new(values), column }
+            }
+            "compare_max" | "compare_min" => {
+                let op = if name == "compare_max" {
+                    SuperlativeOp::Argmax
+                } else {
+                    SuperlativeOp::Argmin
+                };
+                self.expect(&Token::LParen, "'('")?;
+                let values = self.parse_or()?;
+                self.expect(&Token::Comma, "','")?;
+                let key_column = self.parse_name("a key column name")?;
+                self.expect(&Token::Comma, "','")?;
+                let value_column = self.parse_name("a value column name")?;
+                self.expect(&Token::RParen, "')'")?;
+                Formula::CompareValues {
+                    op,
+                    values: Box::new(values),
+                    key_column,
+                    value_column,
+                }
+            }
+            "date" => {
+                self.expect(&Token::LParen, "'('")?;
+                let mut parts = vec![self.parse_number("a year")?];
+                while self.peek() == Some(&Token::Comma) {
+                    self.advance();
+                    parts.push(self.parse_number("a month or day")?);
+                }
+                self.expect(&Token::RParen, "')'")?;
+                let value = match parts.as_slice() {
+                    [y] => Value::year(*y as i32),
+                    [y, m] => Value::Date(wtq_table::Date {
+                        year: *y as i32,
+                        month: Some(*m as u8),
+                        day: None,
+                    }),
+                    [y, m, d] => Value::date(*y as i32, *m as u8, *d as u8),
+                    _ => {
+                        return Err(self.error("date(...) takes between one and three arguments"))
+                    }
+                };
+                Formula::Const(value)
+            }
+            _ => return Ok(None),
+        };
+        Ok(Some(formula))
+    }
+
+    fn parse_number(&mut self, what: &str) -> Result<f64> {
+        match self.advance() {
+            Some(Token::Number(n)) => Ok(n),
+            other => Err(self.error(format!("expected {what}, found {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::Formula;
+
+    fn roundtrip(text: &str) -> Formula {
+        let formula = parse_formula(text).unwrap_or_else(|e| panic!("parse {text:?}: {e}"));
+        let redisplayed = formula.to_string();
+        let reparsed = parse_formula(&redisplayed)
+            .unwrap_or_else(|e| panic!("reparse {redisplayed:?}: {e}"));
+        assert_eq!(formula, reparsed, "round trip changed the formula for {text:?}");
+        formula
+    }
+
+    #[test]
+    fn parses_paper_examples() {
+        roundtrip("Country.Greece");
+        roundtrip("R[Year].Country.Greece");
+        roundtrip("max(R[Year].Country.Greece)");
+        roundtrip("count(City.Athens)");
+        roundtrip("R[City].argmin(Rows, Year)");
+        roundtrip("sub(R[Total].Nation.Fiji, R[Total].Nation.Tonga)");
+        roundtrip("sub(count(City.Athens), count(City.London))");
+        roundtrip("(City.London and Country.UK)");
+        roundtrip("(Country.Greece or Country.China)");
+        roundtrip("R[Year].Prev.City.Athens");
+        roundtrip("R[Year].R[Prev].City.Athens");
+        roundtrip("last(League.\"USL A-League\")");
+        roundtrip("most_common((Athens or London), City)");
+        roundtrip("compare_max((London or Beijing), Year, City)");
+        roundtrip("Games.(> 4)");
+        roundtrip("date(2013, 6, 8)");
+    }
+
+    #[test]
+    fn join_with_quoted_multiword_value() {
+        let f = roundtrip("League.\"USL A-League\"");
+        assert_eq!(f, Formula::join_str("League", "USL A-League"));
+    }
+
+    #[test]
+    fn quoted_column_names() {
+        let f = roundtrip("R[\"Growth Rate\"].Country.Madagascar");
+        match f {
+            Formula::ColumnValues { column, .. } => assert_eq!(column, "Growth Rate"),
+            other => panic!("unexpected parse: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn numbers_and_negative_numbers() {
+        assert_eq!(roundtrip("Year.2004"), Formula::join_str("Year", "2004"));
+        assert!(matches!(roundtrip("-17"), Formula::Const(Value::Num(n)) if n == -17.0));
+        assert!(matches!(roundtrip("2.945"), Formula::Const(Value::Num(n)) if (n - 2.945).abs() < 1e-12));
+    }
+
+    #[test]
+    fn argmax_with_index_keyword_becomes_record_index_superlative() {
+        let f = roundtrip("argmax(League.\"USL A-League\", Index)");
+        assert!(matches!(f, Formula::RecordIndexSuperlative { op: SuperlativeOp::Argmax, .. }));
+        let g = roundtrip("argmin(Rows, Year)");
+        assert!(matches!(g, Formula::SuperlativeRecords { op: SuperlativeOp::Argmin, .. }));
+    }
+
+    #[test]
+    fn nested_composition() {
+        let f = roundtrip("count(argmax((Lake.\"Lake Huron\" and Vessel.Steamer), \"Lives lost\"))");
+        assert_eq!(f.depth(), 5);
+    }
+
+    #[test]
+    fn comparison_operators() {
+        for (text, op) in [
+            ("Games.(> 4)", CompareOp::Gt),
+            ("Games.(>= 5)", CompareOp::Geq),
+            ("Games.(< 17)", CompareOp::Lt),
+            ("Games.(<= 17)", CompareOp::Leq),
+            ("Games.(!= 3)", CompareOp::Neq),
+        ] {
+            match roundtrip(text) {
+                Formula::CompareJoin { op: parsed, .. } => assert_eq!(parsed, op),
+                other => panic!("unexpected parse for {text}: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn whitespace_is_insignificant() {
+        let a = parse_formula("max( R[Year] . Country . Greece )").unwrap();
+        let b = parse_formula("max(R[Year].Country.Greece)").unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn parse_errors_carry_positions() {
+        match parse_formula("max(R[Year].Country.Greece") {
+            Err(DcsError::Parse { position, .. }) => assert!(position >= 20),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+        assert!(parse_formula("").is_err());
+        assert!(parse_formula("Country.").is_err());
+        assert!(parse_formula("\"unterminated").is_err());
+        assert!(parse_formula("Games.(! 4)").is_err());
+        assert!(parse_formula("max(Rows) trailing").is_err());
+        assert!(parse_formula("date(2013, 6, 8, 1)").is_err());
+    }
+
+    #[test]
+    fn union_and_intersection_precedence() {
+        // and binds tighter than or.
+        let f = parse_formula("City.Athens or City.London and Country.UK").unwrap();
+        match f {
+            Formula::Union(_, right) => {
+                assert!(matches!(*right, Formula::Intersect(_, _)));
+            }
+            other => panic!("unexpected parse: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn keyword_atoms() {
+        assert_eq!(parse_formula("Rows").unwrap(), Formula::AllRecords);
+        assert_eq!(parse_formula("Record").unwrap(), Formula::AllRecords);
+    }
+}

@@ -1,0 +1,245 @@
+//! Static classification of formulas.
+//!
+//! Lambda DCS formulas denote records, values or a single number. The
+//! semantic parser's candidate generation (and the SQL translation) needs to
+//! know which kind a formula will produce *without* executing it; this module
+//! derives that statically, rejecting formulas that can never evaluate
+//! successfully (e.g. intersecting a number with records).
+
+use crate::ast::{AggregateOp, Formula};
+use crate::error::DcsError;
+use crate::Result;
+
+/// The static type of a formula's denotation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FormulaType {
+    /// A set of table records.
+    Records,
+    /// A set of values.
+    Values,
+    /// A single number (aggregate or arithmetic result).
+    Number,
+}
+
+impl FormulaType {
+    /// Human-readable name used in error messages.
+    pub fn name(self) -> &'static str {
+        match self {
+            FormulaType::Records => "records",
+            FormulaType::Values => "values",
+            FormulaType::Number => "number",
+        }
+    }
+}
+
+/// Compute the static type of `formula`, or an error if the composition is
+/// ill-typed regardless of the table it runs on.
+pub fn typecheck(formula: &Formula) -> Result<FormulaType> {
+    match formula {
+        Formula::Const(_) => Ok(FormulaType::Values),
+        Formula::AllRecords => Ok(FormulaType::Records),
+        Formula::Join { values, .. } => {
+            let inner = typecheck(values)?;
+            match inner {
+                FormulaType::Values | FormulaType::Number => Ok(FormulaType::Records),
+                FormulaType::Records => Err(DcsError::TypeMismatch {
+                    operator: "join",
+                    expected: "values",
+                    found: "records",
+                }),
+            }
+        }
+        Formula::CompareJoin { value, .. } => {
+            let inner = typecheck(value)?;
+            match inner {
+                FormulaType::Values | FormulaType::Number => Ok(FormulaType::Records),
+                FormulaType::Records => Err(DcsError::TypeMismatch {
+                    operator: "comparison",
+                    expected: "a numeric value",
+                    found: "records",
+                }),
+            }
+        }
+        Formula::ColumnValues { records, .. } => {
+            expect(records, FormulaType::Records, "column projection")?;
+            Ok(FormulaType::Values)
+        }
+        Formula::Prev(sub) => {
+            expect(sub, FormulaType::Records, "Prev")?;
+            Ok(FormulaType::Records)
+        }
+        Formula::Next(sub) => {
+            expect(sub, FormulaType::Records, "R[Prev]")?;
+            Ok(FormulaType::Records)
+        }
+        Formula::Intersect(a, b) => {
+            let left = typecheck(a)?;
+            let right = typecheck(b)?;
+            if left == right && left != FormulaType::Number {
+                Ok(left)
+            } else {
+                Err(DcsError::TypeMismatch {
+                    operator: "intersection",
+                    expected: "two record sets or two value sets",
+                    found: if left == FormulaType::Number { left.name() } else { right.name() },
+                })
+            }
+        }
+        Formula::Union(a, b) => {
+            let left = typecheck(a)?;
+            let right = typecheck(b)?;
+            if left == right && left != FormulaType::Number {
+                Ok(left)
+            } else {
+                Err(DcsError::TypeMismatch {
+                    operator: "union",
+                    expected: "two record sets or two value sets",
+                    found: if left == FormulaType::Number { left.name() } else { right.name() },
+                })
+            }
+        }
+        Formula::Aggregate { op, sub } => {
+            let inner = typecheck(sub)?;
+            match (op, inner) {
+                (AggregateOp::Count, _) => Ok(FormulaType::Number),
+                (_, FormulaType::Values | FormulaType::Number) => Ok(FormulaType::Number),
+                (_, FormulaType::Records) => Err(DcsError::TypeMismatch {
+                    operator: op.name(),
+                    expected: "values",
+                    found: "records",
+                }),
+            }
+        }
+        Formula::SuperlativeRecords { records, .. } => {
+            expect(records, FormulaType::Records, "superlative")?;
+            Ok(FormulaType::Records)
+        }
+        Formula::RecordIndexSuperlative { records, .. } => {
+            expect(records, FormulaType::Records, "index superlative")?;
+            Ok(FormulaType::Records)
+        }
+        Formula::MostCommonValue { values, .. } => {
+            expect(values, FormulaType::Values, "most_common")?;
+            Ok(FormulaType::Values)
+        }
+        Formula::CompareValues { values, .. } => {
+            expect(values, FormulaType::Values, "compare")?;
+            Ok(FormulaType::Values)
+        }
+        Formula::Sub(a, b) => {
+            for side in [a, b] {
+                let t = typecheck(side)?;
+                if t == FormulaType::Records {
+                    return Err(DcsError::TypeMismatch {
+                        operator: "difference",
+                        expected: "a numeric value",
+                        found: "records",
+                    });
+                }
+            }
+            Ok(FormulaType::Number)
+        }
+    }
+}
+
+fn expect(formula: &Formula, expected: FormulaType, operator: &'static str) -> Result<()> {
+    let found = typecheck(formula)?;
+    if found == expected {
+        Ok(())
+    } else {
+        Err(DcsError::TypeMismatch { operator, expected: expected.name(), found: found.name() })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_formula;
+
+    fn type_of(text: &str) -> Result<FormulaType> {
+        typecheck(&parse_formula(text).expect("test formula parses"))
+    }
+
+    #[test]
+    fn classifies_paper_examples() {
+        assert_eq!(type_of("Country.Greece").unwrap(), FormulaType::Records);
+        assert_eq!(type_of("R[Year].Country.Greece").unwrap(), FormulaType::Values);
+        assert_eq!(type_of("max(R[Year].Country.Greece)").unwrap(), FormulaType::Number);
+        assert_eq!(type_of("count(City.Athens)").unwrap(), FormulaType::Number);
+        assert_eq!(type_of("argmax(Rows, Year)").unwrap(), FormulaType::Records);
+        assert_eq!(type_of("R[City].argmin(Rows, Year)").unwrap(), FormulaType::Values);
+        assert_eq!(
+            type_of("sub(R[Total].Nation.Fiji, R[Total].Nation.Tonga)").unwrap(),
+            FormulaType::Number
+        );
+        assert_eq!(type_of("(City.London and Country.UK)").unwrap(), FormulaType::Records);
+        assert_eq!(type_of("(Greece or China)").unwrap(), FormulaType::Values);
+        assert_eq!(type_of("Games.(> 4)").unwrap(), FormulaType::Records);
+        assert_eq!(
+            type_of("compare_max((London or Beijing), Year, City)").unwrap(),
+            FormulaType::Values
+        );
+        assert_eq!(type_of("most_common((Athens or London), City)").unwrap(), FormulaType::Values);
+        assert_eq!(type_of("last(League.\"USL A-League\")").unwrap(), FormulaType::Records);
+    }
+
+    #[test]
+    fn rejects_ill_typed_compositions() {
+        // max over records.
+        assert!(type_of("max(Rows)").is_err());
+        // Intersection of a number with records.
+        assert!(type_of("(count(Rows) and Rows)").is_err());
+        // Union of values with records.
+        assert!(type_of("(Greece or Country.Greece)").is_err());
+        // Projection of a value set.
+        assert!(type_of("R[Year].Greece").is_err());
+        // Difference of record sets.
+        assert!(type_of("sub(Rows, Rows)").is_err());
+        // Prev over values.
+        assert!(type_of("Prev.Greece").is_err());
+        // Superlative over values.
+        assert!(type_of("argmax(Greece, Year)").is_err());
+        // most_common over records.
+        assert!(type_of("most_common(Rows, City)").is_err());
+    }
+
+    #[test]
+    fn count_accepts_both_records_and_values() {
+        assert_eq!(type_of("count(Rows)").unwrap(), FormulaType::Number);
+        assert_eq!(type_of("count(R[City].Rows)").unwrap(), FormulaType::Number);
+    }
+
+    #[test]
+    fn join_of_number_result_is_allowed() {
+        // Joining on an aggregate result, e.g. Year.(count of something), is
+        // statically fine (the number coerces to a single value).
+        assert_eq!(type_of("Year.(count(City.Athens))").unwrap(), FormulaType::Records);
+    }
+
+    #[test]
+    fn typecheck_agrees_with_evaluation_kind() {
+        use crate::eval::eval;
+        use wtq_table::samples;
+        let table = samples::olympics();
+        for text in [
+            "Country.Greece",
+            "R[Year].Country.Greece",
+            "max(R[Year].Country.Greece)",
+            "count(City.Athens)",
+            "R[City].argmin(Rows, Year)",
+            "(City.London and Country.UK)",
+            "(Country.Greece or Country.China)",
+            "R[City].Prev.City.London",
+        ] {
+            let formula = parse_formula(text).unwrap();
+            let static_type = typecheck(&formula).unwrap();
+            let denotation = eval(&formula, &table).unwrap();
+            let dynamic = match denotation {
+                crate::eval::Denotation::Records(_) => FormulaType::Records,
+                crate::eval::Denotation::Values(_) => FormulaType::Values,
+                crate::eval::Denotation::Number(_) => FormulaType::Number,
+            };
+            assert_eq!(static_type, dynamic, "disagreement on {text}");
+        }
+    }
+}

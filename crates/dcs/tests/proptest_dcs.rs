@@ -1,0 +1,172 @@
+//! Property-based tests for the lambda DCS language.
+
+use proptest::prelude::*;
+use wtq_dcs::{eval, parse_formula, typecheck, AggregateOp, CompareOp, Formula, SuperlativeOp};
+use wtq_table::{samples, Value};
+
+/// Strategy over column names of the Olympics sample table.
+fn olympics_column() -> impl Strategy<Value = String> {
+    prop_oneof![Just("Year".to_string()), Just("Country".to_string()), Just("City".to_string())]
+}
+
+/// Strategy over constants likely (and unlikely) to appear in the table.
+fn constant() -> impl Strategy<Value = Formula> {
+    prop_oneof![
+        Just(Formula::Const(Value::str("Greece"))),
+        Just(Formula::Const(Value::str("Athens"))),
+        Just(Formula::Const(Value::str("London"))),
+        Just(Formula::Const(Value::str("Nowhere"))),
+        (1890i32..2020).prop_map(|y| Formula::Const(Value::num(f64::from(y)))),
+    ]
+}
+
+/// Record-denoting formulas over the Olympics table, recursively composed.
+fn records_formula() -> impl Strategy<Value = Formula> {
+    let leaf = prop_oneof![
+        Just(Formula::AllRecords),
+        (olympics_column(), constant())
+            .prop_map(|(column, values)| Formula::Join { column, values: Box::new(values) }),
+        (any::<bool>(), 1890f64..2020f64).prop_map(|(gt, threshold)| Formula::CompareJoin {
+            column: "Year".to_string(),
+            op: if gt { CompareOp::Gt } else { CompareOp::Leq },
+            value: Box::new(Formula::Const(Value::Num(threshold.round()))),
+        }),
+    ];
+    leaf.prop_recursive(3, 16, 4, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|r| Formula::Prev(Box::new(r))),
+            inner.clone().prop_map(|r| Formula::Next(Box::new(r))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Formula::Intersect(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Formula::Union(Box::new(a), Box::new(b))),
+            (inner.clone(), olympics_column(), any::<bool>()).prop_map(|(r, column, max)| {
+                Formula::SuperlativeRecords {
+                    op: if max { SuperlativeOp::Argmax } else { SuperlativeOp::Argmin },
+                    records: Box::new(r),
+                    column,
+                }
+            }),
+            (inner, any::<bool>()).prop_map(|(r, max)| Formula::RecordIndexSuperlative {
+                op: if max { SuperlativeOp::Argmax } else { SuperlativeOp::Argmin },
+                records: Box::new(r),
+            }),
+        ]
+    })
+}
+
+/// Arbitrary well-typed formulas (records, values or numbers).
+fn any_formula() -> impl Strategy<Value = Formula> {
+    records_formula().prop_flat_map(|records| {
+        let records2 = records.clone();
+        prop_oneof![
+            Just(records.clone()),
+            olympics_column().prop_map(move |column| Formula::ColumnValues {
+                column,
+                records: Box::new(records.clone()),
+            }),
+            (olympics_column(), any::<u8>()).prop_map(move |(column, op)| {
+                let op = match op % 3 {
+                    0 => AggregateOp::Count,
+                    1 => AggregateOp::Max,
+                    _ => AggregateOp::Min,
+                };
+                Formula::Aggregate {
+                    op,
+                    sub: Box::new(Formula::ColumnValues {
+                        column: column.clone(),
+                        records: Box::new(records2.clone()),
+                    }),
+                }
+            }),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The concrete syntax round-trips: display then parse gives back the
+    /// same AST.
+    #[test]
+    fn display_parse_roundtrip(formula in any_formula()) {
+        let text = formula.to_string();
+        let reparsed = parse_formula(&text)
+            .unwrap_or_else(|e| panic!("failed to reparse {text:?}: {e}"));
+        prop_assert_eq!(formula, reparsed);
+    }
+
+    /// Well-typed formulas evaluate without type errors (only data-dependent
+    /// errors such as aggregating an empty set are allowed), and when they do
+    /// evaluate the denotation kind matches the static type.
+    #[test]
+    fn typecheck_predicts_evaluation(formula in any_formula()) {
+        use wtq_dcs::{Denotation, DcsError, FormulaType};
+        let table = samples::olympics();
+        let static_type = typecheck(&formula).expect("generated formulas are well typed");
+        match eval(&formula, &table) {
+            Ok(denotation) => {
+                let dynamic = match denotation {
+                    Denotation::Records(_) => FormulaType::Records,
+                    Denotation::Values(_) => FormulaType::Values,
+                    Denotation::Number(_) => FormulaType::Number,
+                };
+                prop_assert_eq!(static_type, dynamic);
+            }
+            Err(DcsError::Cardinality { .. }) | Err(DcsError::NonNumeric { .. }) => {
+                // Data-dependent failures (empty aggregates, text in numeric
+                // aggregates) are acceptable; type errors are not.
+            }
+            Err(other) => prop_assert!(false, "unexpected evaluation error: {other}"),
+        }
+    }
+
+    /// Record-denoting formulas always denote a subset of the table's records.
+    #[test]
+    fn record_denotations_stay_in_bounds(formula in records_formula()) {
+        let table = samples::olympics();
+        if let Ok(denotation) = eval(&formula, &table) {
+            if let Some(records) = denotation.records() {
+                for &r in records {
+                    prop_assert!(r < table.num_records());
+                }
+            }
+        }
+    }
+
+    /// Union is commutative and intersection is commutative on record sets.
+    #[test]
+    fn union_and_intersection_commute(a in records_formula(), b in records_formula()) {
+        let table = samples::olympics();
+        let ab = eval(&Formula::Union(Box::new(a.clone()), Box::new(b.clone())), &table);
+        let ba = eval(&Formula::Union(Box::new(b.clone()), Box::new(a.clone())), &table);
+        if let (Ok(x), Ok(y)) = (ab, ba) {
+            prop_assert_eq!(x.records(), y.records());
+        }
+        let ab = eval(&Formula::Intersect(Box::new(a.clone()), Box::new(b.clone())), &table);
+        let ba = eval(&Formula::Intersect(Box::new(b), Box::new(a)), &table);
+        if let (Ok(x), Ok(y)) = (ab, ba) {
+            prop_assert_eq!(x.records(), y.records());
+        }
+    }
+
+    /// The superlative of a record set is always a non-strict subset of it.
+    #[test]
+    fn superlative_is_a_subset(records in records_formula(), max in any::<bool>()) {
+        let table = samples::olympics();
+        let op = if max { SuperlativeOp::Argmax } else { SuperlativeOp::Argmin };
+        let sup = Formula::SuperlativeRecords {
+            op,
+            records: Box::new(records.clone()),
+            column: "Year".to_string(),
+        };
+        if let (Ok(base), Ok(selected)) = (eval(&records, &table), eval(&sup, &table)) {
+            let base = base.records().cloned().unwrap_or_default();
+            let selected = selected.records().cloned().unwrap_or_default();
+            prop_assert!(selected.is_subset(&base));
+            if !base.is_empty() {
+                prop_assert!(!selected.is_empty());
+            }
+        }
+    }
+}

@@ -1,0 +1,474 @@
+//! Derivation trees and utterance realization (Figure 3).
+//!
+//! A [`DerivationNode`] mirrors the right-hand tree of Figure 3: each node
+//! records the grammar category it derives, the rule applied, the utterance
+//! fragment produced so far, and its children. The utterance of the whole
+//! formula is the text of the root node; [`DerivationNode::render_tree`]
+//! draws the tree for documentation and the experiments binary.
+
+use wtq_dcs::{AggregateOp, CompareOp, Formula, SuperlativeOp};
+
+use crate::grammar::Category;
+
+/// One node of the utterance derivation tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DerivationNode {
+    /// Grammar category of the derived phrase.
+    pub category: Category,
+    /// Name of the grammar rule applied (see [`crate::grammar`]).
+    pub rule: &'static str,
+    /// The utterance fragment derived at this node.
+    pub text: String,
+    /// Child derivations, left to right.
+    pub children: Vec<DerivationNode>,
+}
+
+impl DerivationNode {
+    fn leaf(category: Category, rule: &'static str, text: impl Into<String>) -> Self {
+        DerivationNode { category, rule, text: text.into(), children: Vec::new() }
+    }
+
+    /// The utterance derived by this (sub)tree.
+    pub fn utterance(&self) -> String {
+        self.text.clone()
+    }
+
+    /// Number of nodes in the derivation tree.
+    pub fn size(&self) -> usize {
+        1 + self.children.iter().map(DerivationNode::size).sum::<usize>()
+    }
+
+    /// Render the derivation as an indented tree (the textual analogue of
+    /// Figure 3(b)).
+    pub fn render_tree(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out, 0);
+        out
+    }
+
+    fn render_into(&self, out: &mut String, depth: usize) {
+        out.push_str(&"  ".repeat(depth));
+        out.push_str(&format!("({}) {}\n", self.category.name(), self.text));
+        for child in &self.children {
+            child.render_into(out, depth + 1);
+        }
+    }
+}
+
+/// Build the derivation tree (and thereby the utterance) of a formula.
+pub fn derivation(formula: &Formula) -> DerivationNode {
+    match formula {
+        Formula::Const(value) => {
+            DerivationNode::leaf(Category::Entity, "entity", value.to_string())
+        }
+        Formula::AllRecords => DerivationNode::leaf(Category::Records, "all_records", "rows"),
+        Formula::Join { column, values } => {
+            let values_node = derivation(values);
+            let text = format!(
+                "rows where value of column {column} is {}",
+                values_node.text
+            );
+            DerivationNode {
+                category: Category::Records,
+                rule: "join",
+                text,
+                children: vec![binary_node(column), values_node],
+            }
+        }
+        Formula::CompareJoin { column, op, value } => {
+            let value_node = derivation(value);
+            let text = format!(
+                "rows where values of column {column} are {} {}",
+                compare_phrase(*op),
+                value_node.text
+            );
+            DerivationNode {
+                category: Category::Records,
+                rule: "comparison",
+                text,
+                children: vec![binary_node(column), value_node],
+            }
+        }
+        Formula::ColumnValues { column, records } => {
+            let records_node = derivation(records);
+            let text = format!("values in column {column} in {}", records_node.text);
+            DerivationNode {
+                category: Category::Values,
+                rule: "column_values",
+                text,
+                children: vec![binary_node(column), records_node],
+            }
+        }
+        Formula::Prev(records) => {
+            let records_node = derivation(records);
+            let text = format!("rows right above {}", records_node.text);
+            DerivationNode {
+                category: Category::Records,
+                rule: "prev",
+                text,
+                children: vec![records_node],
+            }
+        }
+        Formula::Next(records) => {
+            let records_node = derivation(records);
+            let text = format!("rows right below {}", records_node.text);
+            DerivationNode {
+                category: Category::Records,
+                rule: "next",
+                text,
+                children: vec![records_node],
+            }
+        }
+        Formula::Intersect(a, b) => {
+            let left = derivation(a);
+            let right = derivation(b);
+            // "rows where ... is London and also where ... is UK" (Table 3):
+            // drop the second operand's leading "rows " for readability.
+            let right_text = right.text.strip_prefix("rows ").unwrap_or(&right.text).to_string();
+            let text = format!("{} and also {}", left.text, right_text);
+            DerivationNode {
+                category: Category::Records,
+                rule: "intersection",
+                text,
+                children: vec![left, right],
+            }
+        }
+        Formula::Union(a, b) => {
+            let left = derivation(a);
+            let right = derivation(b);
+            let category = if left.category == Category::Records {
+                Category::Records
+            } else {
+                Category::Values
+            };
+            let text = format!("{} or {}", left.text, right.text);
+            DerivationNode { category, rule: "union", text, children: vec![left, right] }
+        }
+        Formula::Aggregate { op, sub } => {
+            let sub_node = derivation(sub);
+            let text = match op {
+                AggregateOp::Count => format!("the number of {}", sub_node.text),
+                _ => format!("{} of {}", aggregate_phrase(*op), sub_node.text),
+            };
+            let rule = if *op == AggregateOp::Count { "count" } else { "aggregate" };
+            DerivationNode {
+                category: Category::Entity,
+                rule,
+                text,
+                children: vec![sub_node],
+            }
+        }
+        Formula::SuperlativeRecords { op, records, column } => {
+            let records_node = derivation(records);
+            let text = format!(
+                "{} that have the {} value in column {column}",
+                records_node.text,
+                superlative_phrase(*op)
+            );
+            DerivationNode {
+                category: Category::Records,
+                rule: "superlative_records",
+                text,
+                children: vec![records_node, binary_node(column)],
+            }
+        }
+        Formula::RecordIndexSuperlative { op, records } => {
+            let records_node = derivation(records);
+            let position = match op {
+                SuperlativeOp::Argmax => "last",
+                SuperlativeOp::Argmin => "first",
+            };
+            let text = format!("where it is the {position} row in {}", records_node.text);
+            DerivationNode {
+                category: Category::Records,
+                rule: "index_superlative",
+                text,
+                children: vec![records_node],
+            }
+        }
+        Formula::MostCommonValue { op, values, column } => {
+            let values_node = derivation(values);
+            let frequency = match op {
+                SuperlativeOp::Argmax => "most",
+                SuperlativeOp::Argmin => "least",
+            };
+            let text = format!(
+                "the value of {} that appears the {frequency} in column {column}",
+                values_node.text
+            );
+            DerivationNode {
+                category: Category::Values,
+                rule: "most_common",
+                text,
+                children: vec![values_node, binary_node(column)],
+            }
+        }
+        Formula::CompareValues { op, values, key_column, value_column } => {
+            let values_node = derivation(values);
+            let text = format!(
+                "between {}, who has the {} value of column {key_column} out of the values in {value_column}",
+                values_node.text,
+                superlative_phrase(*op)
+            );
+            DerivationNode {
+                category: Category::Values,
+                rule: "compare_values",
+                text,
+                children: vec![values_node, binary_node(key_column), binary_node(value_column)],
+            }
+        }
+        Formula::Sub(a, b) => difference_derivation(a, b),
+    }
+}
+
+/// Difference queries get the two dedicated Table 3 phrasings when their
+/// operands have the canonical shapes, and a generic phrasing otherwise.
+fn difference_derivation(a: &Formula, b: &Formula) -> DerivationNode {
+    // Difference of values: sub(R[C1].C2.v, R[C1].C2.u).
+    if let (Some((c1a, c2a, va)), Some((c1b, c2b, vb))) =
+        (projected_join(a), projected_join(b))
+    {
+        if c1a.eq_ignore_ascii_case(c1b) && c2a.eq_ignore_ascii_case(c2b) {
+            let left = derivation(a);
+            let right = derivation(b);
+            let text = format!(
+                "difference in values of column {c1a} between rows where value of column {c2a} is {va} and {vb}"
+            );
+            return DerivationNode {
+                category: Category::Values,
+                rule: "difference_values",
+                text,
+                children: vec![left, right],
+            };
+        }
+    }
+    // Difference of occurrences: sub(count(C.v), count(C.u)).
+    if let (Some((ca, va)), Some((cb, vb))) = (counted_join(a), counted_join(b)) {
+        if ca.eq_ignore_ascii_case(cb) {
+            let left = derivation(a);
+            let right = derivation(b);
+            let text = format!(
+                "in column {ca}, what is the difference between rows with value {va} and rows with value {vb}"
+            );
+            return DerivationNode {
+                category: Category::Values,
+                rule: "difference_occurrences",
+                text,
+                children: vec![left, right],
+            };
+        }
+    }
+    let left = derivation(a);
+    let right = derivation(b);
+    let text = format!("the difference between {} and {}", left.text, right.text);
+    DerivationNode {
+        category: Category::Values,
+        rule: "difference_values",
+        text,
+        children: vec![left, right],
+    }
+}
+
+/// Match `R[C1].C2.v` and return `(C1, C2, v)`.
+fn projected_join(formula: &Formula) -> Option<(&str, &str, String)> {
+    if let Formula::ColumnValues { column: c1, records } = formula {
+        if let Formula::Join { column: c2, values } = records.as_ref() {
+            if let Formula::Const(value) = values.as_ref() {
+                return Some((c1, c2, value.to_string()));
+            }
+        }
+    }
+    None
+}
+
+/// Match `count(C.v)` and return `(C, v)`.
+fn counted_join(formula: &Formula) -> Option<(&str, String)> {
+    if let Formula::Aggregate { op: AggregateOp::Count, sub } = formula {
+        if let Formula::Join { column, values } = sub.as_ref() {
+            if let Formula::Const(value) = values.as_ref() {
+                return Some((column, value.to_string()));
+            }
+        }
+    }
+    None
+}
+
+fn binary_node(column: &str) -> DerivationNode {
+    DerivationNode::leaf(Category::Binary, "binary", column.to_string())
+}
+
+fn compare_phrase(op: CompareOp) -> &'static str {
+    match op {
+        CompareOp::Gt => "more than",
+        CompareOp::Geq => "at least",
+        CompareOp::Lt => "less than",
+        CompareOp::Leq => "at most",
+        CompareOp::Neq => "different from",
+    }
+}
+
+fn aggregate_phrase(op: AggregateOp) -> &'static str {
+    match op {
+        AggregateOp::Count => "the number",
+        AggregateOp::Max => "maximum",
+        AggregateOp::Min => "minimum",
+        AggregateOp::Sum => "sum",
+        AggregateOp::Avg => "average",
+    }
+}
+
+fn superlative_phrase(op: SuperlativeOp) -> &'static str {
+    match op {
+        SuperlativeOp::Argmax => "highest",
+        SuperlativeOp::Argmin => "lowest",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::utter;
+    use wtq_dcs::parse_formula;
+
+    fn utterance_of(text: &str) -> String {
+        utter(&parse_formula(text).unwrap())
+    }
+
+    #[test]
+    fn example_5_1_figure_one_utterance() {
+        assert_eq!(
+            utterance_of("R[Year].Country.Greece"),
+            "values in column Year in rows where value of column Country is Greece"
+        );
+        assert_eq!(
+            utterance_of("max(R[Year].Country.Greece)"),
+            "maximum of values in column Year in rows where value of column Country is Greece"
+        );
+    }
+
+    #[test]
+    fn table_3_examples() {
+        assert_eq!(
+            utterance_of("count(City.Athens)"),
+            "the number of rows where value of column City is Athens"
+        );
+        assert_eq!(
+            utterance_of("(City.London and Country.UK)"),
+            "rows where value of column City is London and also where value of column Country is UK"
+        );
+        assert_eq!(
+            utterance_of("argmax(Rows, Year)"),
+            "rows that have the highest value in column Year"
+        );
+        assert_eq!(
+            utterance_of("last(City.Athens)"),
+            "where it is the last row in rows where value of column City is Athens"
+        );
+        assert_eq!(
+            utterance_of("most_common((Athens or London), City)"),
+            "the value of Athens or London that appears the most in column City"
+        );
+        assert_eq!(
+            utterance_of("Games.(> 4)"),
+            "rows where values of column Games are more than 4"
+        );
+        assert_eq!(utterance_of("(China or Greece)"), "China or Greece");
+        assert_eq!(
+            utterance_of("R[City].Prev.City.Athens"),
+            "values in column City in rows right above rows where value of column City is Athens"
+        );
+        assert_eq!(
+            utterance_of("R[City].R[Prev].City.Athens"),
+            "values in column City in rows right below rows where value of column City is Athens"
+        );
+    }
+
+    #[test]
+    fn difference_phrasings() {
+        // Figure 6 / Example 5.2.
+        assert_eq!(
+            utterance_of("sub(R[Total].Nation.Fiji, R[Total].Nation.Tonga)"),
+            "difference in values of column Total between rows where value of column Nation is Fiji and Tonga"
+        );
+        // Figure 9 / Table 18.
+        assert_eq!(
+            utterance_of("sub(count(Lake.\"Lake Huron\"), count(Lake.\"Lake Erie\"))"),
+            "in column Lake, what is the difference between rows with value Lake Huron and rows with value Lake Erie"
+        );
+        // Generic fallback for mismatched shapes.
+        let generic = utterance_of("sub(max(R[Year].Rows), min(R[Year].Rows))");
+        assert!(generic.starts_with("the difference between"));
+    }
+
+    #[test]
+    fn compare_values_utterance_matches_figure_five() {
+        assert_eq!(
+            utterance_of("compare_max((London or Beijing), Year, City)"),
+            "between London or Beijing, who has the highest value of column Year out of the values in City"
+        );
+        assert_eq!(
+            utterance_of("compare_min((\"Myriam Asfry\" or \"Tatiana Abramenko\"), Age, Candidate)"),
+            "between Myriam Asfry or Tatiana Abramenko, who has the lowest value of column Age out of the values in Candidate"
+        );
+    }
+
+    #[test]
+    fn figure_8_incorrect_candidate_utterance() {
+        assert_eq!(
+            utterance_of("min(R[Year].argmax(Rows, \"Open Cup\"))"),
+            "minimum of values in column Year in rows that have the highest value in column Open Cup"
+        );
+    }
+
+    #[test]
+    fn comparison_phrases_cover_all_operators() {
+        assert!(utterance_of("Games.(>= 5)").contains("at least 5"));
+        assert!(utterance_of("Games.(<= 17)").contains("at most 17"));
+        assert!(utterance_of("Games.(< 17)").contains("less than 17"));
+        assert!(utterance_of("Games.(!= 3)").contains("different from 3"));
+    }
+
+    #[test]
+    fn derivation_tree_matches_figure_three() {
+        let formula = parse_formula("max(R[Year].Country.Greece)").unwrap();
+        let tree = derivation(&formula);
+        // Root is the aggregate (Entity), its child the projection (Values),
+        // below that the join (Records) and the constant (Entity).
+        assert_eq!(tree.category, Category::Entity);
+        assert_eq!(tree.rule, "aggregate");
+        assert_eq!(tree.children.len(), 1);
+        let projection = &tree.children[0];
+        assert_eq!(projection.category, Category::Values);
+        assert_eq!(projection.children[0].category, Category::Binary);
+        let join = &projection.children[1];
+        assert_eq!(join.category, Category::Records);
+        assert_eq!(join.children[1].category, Category::Entity);
+        assert_eq!(join.children[1].text, "Greece");
+        // The rendered tree names categories like Figure 3.
+        let rendered = tree.render_tree();
+        assert!(rendered.contains("(Entity) maximum of values in column Year"));
+        assert!(rendered.contains("(Records) rows where value of column Country is Greece"));
+        assert!(tree.size() >= 5);
+    }
+
+    #[test]
+    fn utterances_are_distinct_for_distinct_queries() {
+        // The two §5.2 queries share highlights but must differ in utterance.
+        let a = utterance_of("Games.(> 4)");
+        let b = utterance_of("(Games.(>= 5) and Games.(< 17))");
+        assert_ne!(a, b);
+        assert_eq!(
+            b,
+            "rows where values of column Games are at least 5 and also where values of column Games are less than 17"
+        );
+    }
+
+    #[test]
+    fn aggregate_phrases() {
+        assert!(utterance_of("sum(R[Year].City.Athens)")
+            .starts_with("sum of values in column Year"));
+        assert!(utterance_of("avg(R[Year].City.Athens)")
+            .starts_with("average of values in column Year"));
+        assert!(utterance_of("min(R[Year].Rows)").starts_with("minimum of values in column Year in rows"));
+    }
+}

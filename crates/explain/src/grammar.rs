@@ -1,0 +1,210 @@
+//! The utterance grammar of Table 3.
+//!
+//! The paper augments each deduction rule of the semantic parser's CFG with a
+//! natural-language template; the utterance of a formula is the yield of its
+//! derivation under these templates. This module holds the rule catalogue as
+//! data — the templates themselves are applied by [`crate::derive`] — so the
+//! rules can be listed, documented and printed by the experiments binary
+//! (reproducing Table 3).
+
+/// Syntactic category of a grammar symbol (the non-terminals of Figure 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Category {
+    /// A constant value (table cell content or literal).
+    Entity,
+    /// A set of values.
+    Values,
+    /// A set of table records.
+    Records,
+    /// A column header used as a binary relation.
+    Binary,
+}
+
+impl Category {
+    /// Display name matching Figure 3.
+    pub fn name(self) -> &'static str {
+        match self {
+            Category::Entity => "Entity",
+            Category::Values => "Values",
+            Category::Records => "Records",
+            Category::Binary => "Binary",
+        }
+    }
+}
+
+/// One grammar rule augmented with its NL template (a row of Table 3).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GrammarRule {
+    /// Stable identifier used by derivation nodes.
+    pub name: &'static str,
+    /// Category produced by the rule.
+    pub category: Category,
+    /// The rule's right-hand side with NL phrases, non-terminals in braces.
+    pub template: &'static str,
+    /// An example utterance, matching the examples column of Table 3.
+    pub example: &'static str,
+}
+
+/// The catalogue of utterance rules (Table 3 plus the handful of extra
+/// operators of Table 10 that Table 3 elides).
+pub fn rule_catalogue() -> Vec<GrammarRule> {
+    vec![
+        GrammarRule {
+            name: "entity",
+            category: Category::Values,
+            template: "{Entity}",
+            example: "Athens.",
+        },
+        GrammarRule {
+            name: "comparison",
+            category: Category::Records,
+            template: "rows where values of column {Binary} are {cmp} {Entity}",
+            example: "rows where values of column Games are more than 4.",
+        },
+        GrammarRule {
+            name: "join",
+            category: Category::Records,
+            template: "rows where value of column {Binary} is {Values}",
+            example: "rows where value in column City is Athens or London.",
+        },
+        GrammarRule {
+            name: "column_values",
+            category: Category::Values,
+            template: "values in column {Binary} in {Records}",
+            example: "values of column Year in rows where value of column City is Athens.",
+        },
+        GrammarRule {
+            name: "prev",
+            category: Category::Records,
+            template: "rows right above {Records}",
+            example: "right above rows where value of column City is Athens.",
+        },
+        GrammarRule {
+            name: "next",
+            category: Category::Records,
+            template: "rows right below {Records}",
+            example: "right below rows where value of column City is Athens.",
+        },
+        GrammarRule {
+            name: "count",
+            category: Category::Entity,
+            template: "the number of {Records}",
+            example: "the number of rows where value of column City is Athens.",
+        },
+        GrammarRule {
+            name: "aggregate",
+            category: Category::Entity,
+            template: "{aggr} of {Values}",
+            example: "maximum of values in column Year in rows where value of column City is Athens.",
+        },
+        GrammarRule {
+            name: "difference_values",
+            category: Category::Values,
+            template: "difference in values of column {Binary} between rows where value of column {Binary} is {Values} and {Values}",
+            example: "difference in values of column Year between rows where values of column City is London and Beijing.",
+        },
+        GrammarRule {
+            name: "difference_occurrences",
+            category: Category::Values,
+            template: "in column {Binary}, what is the difference between rows with value {Entity} and rows with value {Entity}",
+            example: "in column City, what is the difference between rows with value Athens and rows with value London.",
+        },
+        GrammarRule {
+            name: "union",
+            category: Category::Values,
+            template: "{Values} or {Values}",
+            example: "China or Greece.",
+        },
+        GrammarRule {
+            name: "intersection",
+            category: Category::Records,
+            template: "{Records} and also {Records}",
+            example: "rows where value of column City is London and also where value of column Country is UK.",
+        },
+        GrammarRule {
+            name: "superlative_records",
+            category: Category::Records,
+            template: "{Records} that have the {highest|lowest} value in column {Binary}",
+            example: "rows that have the highest value in column Year.",
+        },
+        GrammarRule {
+            name: "index_superlative",
+            category: Category::Records,
+            template: "where it is the {last|first} row in {Records}",
+            example: "where it is the last row in rows where value of column City is Athens.",
+        },
+        GrammarRule {
+            name: "most_common",
+            category: Category::Values,
+            template: "the value of {Values} that appears the {most|least} in column {Binary}",
+            example: "the value of Athens or London that appears the most in column City.",
+        },
+        GrammarRule {
+            name: "compare_values",
+            category: Category::Values,
+            template: "between {Values}, who has the {highest|lowest} value of column {Binary} out of the values in {Binary}",
+            example: "between London or Beijing who has the highest value of column Year.",
+        },
+        GrammarRule {
+            name: "all_records",
+            category: Category::Records,
+            template: "rows",
+            example: "rows.",
+        },
+    ]
+}
+
+/// Look up a rule by its stable name.
+pub fn rule(name: &str) -> Option<GrammarRule> {
+    rule_catalogue().into_iter().find(|r| r.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalogue_covers_every_operator_family() {
+        let names: Vec<&str> = rule_catalogue().iter().map(|r| r.name).collect();
+        for required in [
+            "join",
+            "column_values",
+            "prev",
+            "next",
+            "count",
+            "aggregate",
+            "difference_values",
+            "difference_occurrences",
+            "union",
+            "intersection",
+            "superlative_records",
+            "index_superlative",
+            "most_common",
+            "compare_values",
+            "comparison",
+        ] {
+            assert!(names.contains(&required), "missing rule {required}");
+        }
+    }
+
+    #[test]
+    fn rule_names_are_unique_and_templates_nonempty() {
+        let catalogue = rule_catalogue();
+        let mut names: Vec<&str> = catalogue.iter().map(|r| r.name).collect();
+        names.sort_unstable();
+        let before = names.len();
+        names.dedup();
+        assert_eq!(before, names.len());
+        for rule in &catalogue {
+            assert!(!rule.template.is_empty());
+            assert!(!rule.example.is_empty());
+        }
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert_eq!(rule("join").unwrap().category, Category::Records);
+        assert!(rule("nonexistent").is_none());
+        assert_eq!(Category::Values.name(), "Values");
+    }
+}

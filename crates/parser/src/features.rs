@@ -1,0 +1,331 @@
+//! Feature extraction `φ(x, T, z)` (Eq. 4).
+//!
+//! Features are sparse name → value pairs combining three signal sources, in
+//! the style of the log-linear parsers the paper builds on:
+//!
+//! * **formula shape** — which operators the candidate uses, its size,
+//! * **alignment with the question** — whether the candidate's constants and
+//!   columns are actually mentioned in the question, and whether question
+//!   trigger phrases ("how many", "difference", "highest", "right after", …)
+//!   agree with the operators used,
+//! * **denotation** — the type and size of the candidate's answer, matched
+//!   against the question's wh-words.
+
+use std::collections::BTreeMap;
+
+use wtq_dcs::{AggregateOp, Answer, Formula, SuperlativeOp};
+use wtq_table::Table;
+
+use crate::candidates::RawCandidate;
+use crate::lexicon::QuestionAnalysis;
+
+/// A sparse feature vector.
+pub type FeatureVector = BTreeMap<String, f64>;
+
+fn bump(features: &mut FeatureVector, name: &str, delta: f64) {
+    *features.entry(name.to_string()).or_insert(0.0) += delta;
+}
+
+fn set(features: &mut FeatureVector, name: &str, value: f64) {
+    features.insert(name.to_string(), value);
+}
+
+/// Root operator label used for the `family:` feature.
+fn root_label(formula: &Formula) -> &'static str {
+    match formula {
+        Formula::Const(_) => "const",
+        Formula::AllRecords => "all_records",
+        Formula::Join { .. } => "join",
+        Formula::CompareJoin { .. } => "compare_join",
+        Formula::ColumnValues { .. } => "column_values",
+        Formula::Prev(_) => "prev",
+        Formula::Next(_) => "next",
+        Formula::Intersect(_, _) => "intersect",
+        Formula::Union(_, _) => "union",
+        Formula::Aggregate { op: AggregateOp::Count, .. } => "count",
+        Formula::Aggregate { .. } => "aggregate",
+        Formula::SuperlativeRecords { .. } => "superlative",
+        Formula::RecordIndexSuperlative { .. } => "index_superlative",
+        Formula::MostCommonValue { .. } => "most_common",
+        Formula::CompareValues { .. } => "compare_values",
+        Formula::Sub(_, _) => "difference",
+    }
+}
+
+fn operators_used(formula: &Formula) -> Vec<&'static str> {
+    formula.sub_formulas().iter().map(|f| root_label(f)).collect()
+}
+
+/// Constants appearing anywhere in the formula, rendered as lower-case text.
+fn constants_of(formula: &Formula) -> Vec<String> {
+    formula
+        .sub_formulas()
+        .iter()
+        .filter_map(|f| match f {
+            Formula::Const(value) => Some(value.to_string().to_lowercase()),
+            _ => None,
+        })
+        .collect()
+}
+
+/// Extract the feature vector of one candidate.
+pub fn extract_features(
+    analysis: &QuestionAnalysis,
+    table: &Table,
+    candidate: &RawCandidate,
+) -> FeatureVector {
+    let mut features = FeatureVector::new();
+    let formula = &candidate.formula;
+
+    // ---- Formula shape -----------------------------------------------------
+    set(&mut features, &format!("family:{}", root_label(formula)), 1.0);
+    let operators = operators_used(formula);
+    for op in &operators {
+        bump(&mut features, &format!("op:{op}"), 1.0);
+    }
+    set(&mut features, "size", formula.size() as f64 / 8.0);
+
+    // ---- Question / formula alignment ---------------------------------------
+    let constants = constants_of(formula);
+    let mut grounded = 0usize;
+    for constant in &constants {
+        if analysis.lowered.contains(constant)
+            || analysis.numbers.iter().any(|n| wtq_table::Value::Num(*n).to_string() == *constant)
+        {
+            grounded += 1;
+        } else {
+            bump(&mut features, "const_not_in_question", 1.0);
+        }
+    }
+    if !constants.is_empty() {
+        set(&mut features, "const_coverage", grounded as f64 / constants.len() as f64);
+    }
+    // Linked values the formula fails to use (a correct parse usually uses
+    // every linked entity).
+    let unused_links = analysis
+        .value_links
+        .iter()
+        .filter(|link| {
+            let text = link.value.to_string().to_lowercase();
+            !constants.iter().any(|c| c == &text)
+        })
+        .count();
+    set(&mut features, "unused_links", unused_links as f64);
+
+    let mut columns_in_question = 0usize;
+    let mentioned_columns = formula.columns_mentioned();
+    for column in &mentioned_columns {
+        if analysis.lowered.contains(&column.to_lowercase()) {
+            columns_in_question += 1;
+        } else {
+            bump(&mut features, "col_not_in_question", 1.0);
+        }
+    }
+    if !mentioned_columns.is_empty() {
+        set(
+            &mut features,
+            "col_coverage",
+            columns_in_question as f64 / mentioned_columns.len() as f64,
+        );
+    }
+    let _ = table;
+
+    // ---- Trigger phrase / operator agreement --------------------------------
+    let triggers: &[(&str, &[&str])] = &[
+        ("count", &["how many", "number of", "how often", "how many times"]),
+        ("difference", &["difference", "how many more", "how much more", "more rows"]),
+        ("aggregate_max", &["highest", "most", "largest", "greatest", "maximum", "top"]),
+        ("aggregate_min", &["lowest", "least", "smallest", "fewest", "minimum", "bottom"]),
+        ("sum", &["total", "sum", "in total", "altogether", "combined"]),
+        ("avg", &["average", "mean"]),
+        ("prev", &["before", "above", "previous", "prior"]),
+        ("next", &["after", "below", "next", "following"]),
+        ("last", &["last", "latest", "final", "most recent"]),
+        ("first", &["first", "earliest"]),
+        ("compare", &["higher", "lower", "older", "younger", "bigger", "smaller", "longer", "shorter"]),
+        ("most_common", &["most common", "appears the most", "most frequent", "most often"]),
+        ("union", &[" or "]),
+        ("intersect", &[" and also ", " both "]),
+        ("comparison", &["more than", "less than", "at least", "at most", "over", "under"]),
+    ];
+    let has_op = |name: &str| operators.contains(&name);
+    let uses_max_aggregate = formula
+        .sub_formulas()
+        .iter()
+        .any(|f| matches!(f, Formula::Aggregate { op: AggregateOp::Max, .. }));
+    let uses_min_aggregate = formula
+        .sub_formulas()
+        .iter()
+        .any(|f| matches!(f, Formula::Aggregate { op: AggregateOp::Min, .. }));
+    let uses_sum = formula
+        .sub_formulas()
+        .iter()
+        .any(|f| matches!(f, Formula::Aggregate { op: AggregateOp::Sum, .. }));
+    let uses_avg = formula
+        .sub_formulas()
+        .iter()
+        .any(|f| matches!(f, Formula::Aggregate { op: AggregateOp::Avg, .. }));
+    let uses_argmax = formula.sub_formulas().iter().any(|f| {
+        matches!(
+            f,
+            Formula::SuperlativeRecords { op: SuperlativeOp::Argmax, .. }
+                | Formula::CompareValues { op: SuperlativeOp::Argmax, .. }
+        )
+    });
+    let uses_argmin = formula.sub_formulas().iter().any(|f| {
+        matches!(
+            f,
+            Formula::SuperlativeRecords { op: SuperlativeOp::Argmin, .. }
+                | Formula::CompareValues { op: SuperlativeOp::Argmin, .. }
+        )
+    });
+    let uses_last = formula.sub_formulas().iter().any(|f| {
+        matches!(f, Formula::RecordIndexSuperlative { op: SuperlativeOp::Argmax, .. })
+    });
+    let uses_first = formula.sub_formulas().iter().any(|f| {
+        matches!(f, Formula::RecordIndexSuperlative { op: SuperlativeOp::Argmin, .. })
+    });
+    for (kind, phrases) in triggers {
+        let triggered = analysis.mentions_any(phrases);
+        let used = match *kind {
+            "count" => has_op("count"),
+            "difference" => has_op("difference"),
+            "aggregate_max" => uses_max_aggregate || uses_argmax || uses_last,
+            "aggregate_min" => uses_min_aggregate || uses_argmin || uses_first,
+            "sum" => uses_sum,
+            "avg" => uses_avg,
+            "prev" => has_op("prev"),
+            "next" => has_op("next"),
+            "last" => uses_last || uses_max_aggregate || uses_argmax,
+            "first" => uses_first || uses_min_aggregate || uses_argmin,
+            "compare" => has_op("compare_values"),
+            "most_common" => has_op("most_common"),
+            "union" => has_op("union"),
+            "intersect" => has_op("intersect"),
+            "comparison" => has_op("compare_join"),
+            _ => false,
+        };
+        match (triggered, used) {
+            (true, true) => bump(&mut features, &format!("trig+op:{kind}"), 1.0),
+            (true, false) => bump(&mut features, &format!("trig-op:{kind}"), 1.0),
+            (false, true) => bump(&mut features, &format!("op-trig:{kind}"), 1.0),
+            (false, false) => {}
+        }
+    }
+
+    // ---- Denotation features -------------------------------------------------
+    match &candidate.answer {
+        Answer::Number(_) => set(&mut features, "answer:number", 1.0),
+        Answer::Values(values) => {
+            set(&mut features, "answer:values", 1.0);
+            set(&mut features, "answer_size", (values.len() as f64).min(6.0) / 6.0);
+            if values.len() == 1 {
+                set(&mut features, "answer:singleton", 1.0);
+            }
+            if values.iter().all(|v| v.as_number().is_some()) {
+                set(&mut features, "answer:numeric_values", 1.0);
+            }
+        }
+        Answer::Records(_) => set(&mut features, "answer:records", 1.0),
+    }
+    let wants_number = analysis.mentions_any(&["how many", "how much", "number of", "difference"]);
+    let is_number = matches!(candidate.answer, Answer::Number(_));
+    match (wants_number, is_number) {
+        (true, true) => set(&mut features, "wh:number_match", 1.0),
+        (true, false) => set(&mut features, "wh:number_mismatch", 1.0),
+        (false, true) => set(&mut features, "wh:unexpected_number", 1.0),
+        (false, false) => {}
+    }
+
+    features
+}
+
+/// Dot product of a feature vector with a weight vector.
+pub fn dot(features: &FeatureVector, weights: &BTreeMap<String, f64>) -> f64 {
+    features
+        .iter()
+        .map(|(name, value)| value * weights.get(name).copied().unwrap_or(0.0))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::candidates::{generate_candidates, CandidateConfig};
+    use crate::lexicon::analyze_question;
+    use wtq_dcs::parse_formula;
+    use wtq_table::samples;
+
+    fn candidate(table: &Table, formula_text: &str) -> RawCandidate {
+        let formula = parse_formula(formula_text).unwrap();
+        let answer = Answer::from_denotation(&wtq_dcs::eval(&formula, table).unwrap());
+        RawCandidate { formula, answer }
+    }
+
+    #[test]
+    fn gold_candidate_gets_agreement_features() {
+        let table = samples::olympics();
+        let analysis = analyze_question("Greece held its last Olympics in what year?", &table);
+        let gold = candidate(&table, "max(R[Year].Country.Greece)");
+        let features = extract_features(&analysis, &table, &gold);
+        assert!(features.contains_key("trig+op:last"), "features: {features:?}");
+        assert_eq!(features.get("const_coverage"), Some(&1.0));
+        assert!(features.get("unused_links").copied().unwrap_or(9.0) < 1.0);
+    }
+
+    #[test]
+    fn ungrounded_constants_are_penalized() {
+        let table = samples::olympics();
+        let analysis = analyze_question("Greece held its last Olympics in what year?", &table);
+        let wrong = candidate(&table, "max(R[Year].Country.China)");
+        let features = extract_features(&analysis, &table, &wrong);
+        assert!(features.get("const_not_in_question").copied().unwrap_or(0.0) >= 1.0);
+        assert!(features.get("unused_links").copied().unwrap_or(0.0) >= 1.0);
+    }
+
+    #[test]
+    fn trigger_mismatch_features_fire() {
+        let table = samples::shipwrecks();
+        let analysis = analyze_question(
+            "How many more ships were wrecked in Lake Huron than in Lake Erie?",
+            &table,
+        );
+        // A plain count ignores the "difference" trigger.
+        let plain = candidate(&table, "count(Lake.\"Lake Huron\")");
+        let features = extract_features(&analysis, &table, &plain);
+        assert!(features.contains_key("trig-op:difference"));
+        // The gold difference agrees with it.
+        let gold = candidate(
+            &table,
+            "sub(count(Lake.\"Lake Huron\"), count(Lake.\"Lake Erie\"))",
+        );
+        let features = extract_features(&analysis, &table, &gold);
+        assert!(features.contains_key("trig+op:difference"));
+        assert!(features.contains_key("wh:number_match"));
+    }
+
+    #[test]
+    fn feature_extraction_is_total_over_generated_candidates() {
+        let table = samples::medals();
+        let analysis =
+            analyze_question("What is the difference in Total between Fiji and Tonga?", &table);
+        let candidates = generate_candidates(&analysis, &table, &CandidateConfig::default());
+        assert!(!candidates.is_empty());
+        for candidate in &candidates {
+            let features = extract_features(&analysis, &table, candidate);
+            assert!(!features.is_empty());
+            assert!(features.values().all(|v| v.is_finite()));
+        }
+    }
+
+    #[test]
+    fn dot_product_uses_only_present_features() {
+        let mut features = FeatureVector::new();
+        features.insert("a".into(), 2.0);
+        features.insert("b".into(), -1.0);
+        let mut weights = BTreeMap::new();
+        weights.insert("a".to_string(), 0.5);
+        weights.insert("c".to_string(), 100.0);
+        assert_eq!(dot(&features, &weights), 1.0);
+    }
+}

@@ -1,0 +1,350 @@
+//! The log-linear candidate model and the parser front-end.
+//!
+//! The parser defines the distribution of Eq. 4,
+//! `p_θ(z | x, T) ∝ exp(φ(x, T, z)ᵀ θ)`, over the candidates `Z_x` produced
+//! for a question. At deployment the candidates are ranked by score and the
+//! top-k are shown to the user with their explanations (§6.3).
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use wtq_dcs::{Answer, Formula};
+use wtq_table::Table;
+
+use crate::candidates::{generate_candidates, CandidateConfig, RawCandidate};
+use crate::features::{dot, extract_features, FeatureVector};
+use crate::lexicon::{analyze_question, QuestionAnalysis};
+
+/// A scored candidate query.
+#[derive(Debug, Clone)]
+pub struct Candidate {
+    /// The candidate lambda DCS formula.
+    pub formula: Formula,
+    /// Its canonical answer on the table.
+    pub answer: Answer,
+    /// The extracted feature vector `φ(x, T, z)`.
+    pub features: FeatureVector,
+    /// The model score `φᵀθ`.
+    pub score: f64,
+}
+
+/// Log-linear model parameters `θ` (a sparse weight vector).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct LogLinearModel {
+    weights: BTreeMap<String, f64>,
+}
+
+impl LogLinearModel {
+    /// A model with all-zero weights (uniform candidate distribution).
+    pub fn new() -> Self {
+        LogLinearModel::default()
+    }
+
+    /// A model with hand-set prior weights favouring question/operator
+    /// agreement — the starting point the trainer improves on, and a fair
+    /// stand-in for the pretrained baseline parser of [37].
+    pub fn with_prior() -> Self {
+        let mut model = LogLinearModel::new();
+        for (name, weight) in [
+            ("const_coverage", 2.0),
+            ("const_not_in_question", -2.5),
+            ("unused_links", -1.2),
+            ("col_coverage", 0.8),
+            ("wh:number_match", 0.8),
+            ("wh:number_mismatch", -0.8),
+            ("wh:unexpected_number", -0.4),
+            ("size", -0.3),
+        ] {
+            model.weights.insert(name.to_string(), weight);
+        }
+        for kind in [
+            "count",
+            "difference",
+            "aggregate_max",
+            "aggregate_min",
+            "sum",
+            "avg",
+            "prev",
+            "next",
+            "last",
+            "first",
+            "compare",
+            "most_common",
+            "union",
+            "intersect",
+            "comparison",
+        ] {
+            model.weights.insert(format!("trig+op:{kind}"), 1.0);
+            model.weights.insert(format!("trig-op:{kind}"), -0.6);
+            model.weights.insert(format!("op-trig:{kind}"), -0.6);
+        }
+        model
+    }
+
+    /// The weight of one feature.
+    pub fn weight(&self, name: &str) -> f64 {
+        self.weights.get(name).copied().unwrap_or(0.0)
+    }
+
+    /// Mutable access to the weights (used by the trainer).
+    pub fn weights_mut(&mut self) -> &mut BTreeMap<String, f64> {
+        &mut self.weights
+    }
+
+    /// Read access to the weights.
+    pub fn weights(&self) -> &BTreeMap<String, f64> {
+        &self.weights
+    }
+
+    /// Number of non-zero weights.
+    pub fn num_parameters(&self) -> usize {
+        self.weights.values().filter(|w| **w != 0.0).count()
+    }
+
+    /// Score a feature vector.
+    pub fn score(&self, features: &FeatureVector) -> f64 {
+        dot(features, &self.weights)
+    }
+}
+
+/// Softmax over candidate scores — the normalized `p_θ(z | x, T)` of Eq. 4.
+pub fn softmax(scores: &[f64]) -> Vec<f64> {
+    if scores.is_empty() {
+        return Vec::new();
+    }
+    let max = scores.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let exps: Vec<f64> = scores.iter().map(|s| (s - max).exp()).collect();
+    let total: f64 = exps.iter().sum();
+    exps.into_iter().map(|e| e / total).collect()
+}
+
+/// Structural equivalence of formulas modulo the order of commutative
+/// operands (union, intersection): the notion of "same query" used when
+/// checking whether a candidate matches a gold or annotated query.
+pub fn formulas_equivalent(a: &Formula, b: &Formula) -> bool {
+    normalize(a) == normalize(b)
+}
+
+fn normalize(formula: &Formula) -> Formula {
+    match formula {
+        Formula::Union(a, b) => {
+            let (a, b) = (normalize(a), normalize(b));
+            if a.to_string() <= b.to_string() {
+                Formula::Union(Box::new(a), Box::new(b))
+            } else {
+                Formula::Union(Box::new(b), Box::new(a))
+            }
+        }
+        Formula::Intersect(a, b) => {
+            let (a, b) = (normalize(a), normalize(b));
+            if a.to_string() <= b.to_string() {
+                Formula::Intersect(Box::new(a), Box::new(b))
+            } else {
+                Formula::Intersect(Box::new(b), Box::new(a))
+            }
+        }
+        Formula::Join { column, values } => Formula::Join {
+            column: column.clone(),
+            values: Box::new(normalize(values)),
+        },
+        Formula::CompareJoin { column, op, value } => Formula::CompareJoin {
+            column: column.clone(),
+            op: *op,
+            value: Box::new(normalize(value)),
+        },
+        Formula::ColumnValues { column, records } => Formula::ColumnValues {
+            column: column.clone(),
+            records: Box::new(normalize(records)),
+        },
+        Formula::Prev(sub) => Formula::Prev(Box::new(normalize(sub))),
+        Formula::Next(sub) => Formula::Next(Box::new(normalize(sub))),
+        Formula::Aggregate { op, sub } => {
+            Formula::Aggregate { op: *op, sub: Box::new(normalize(sub)) }
+        }
+        Formula::SuperlativeRecords { op, records, column } => Formula::SuperlativeRecords {
+            op: *op,
+            records: Box::new(normalize(records)),
+            column: column.clone(),
+        },
+        Formula::RecordIndexSuperlative { op, records } => {
+            Formula::RecordIndexSuperlative { op: *op, records: Box::new(normalize(records)) }
+        }
+        Formula::MostCommonValue { op, values, column } => Formula::MostCommonValue {
+            op: *op,
+            values: Box::new(normalize(values)),
+            column: column.clone(),
+        },
+        Formula::CompareValues { op, values, key_column, value_column } => {
+            Formula::CompareValues {
+                op: *op,
+                values: Box::new(normalize(values)),
+                key_column: key_column.clone(),
+                value_column: value_column.clone(),
+            }
+        }
+        Formula::Sub(a, b) => Formula::Sub(Box::new(normalize(a)), Box::new(normalize(b))),
+        Formula::Const(_) | Formula::AllRecords => formula.clone(),
+    }
+}
+
+/// The semantic parser: candidate generation plus log-linear ranking.
+#[derive(Debug, Clone)]
+pub struct SemanticParser {
+    /// Model parameters.
+    pub model: LogLinearModel,
+    /// Candidate-generation limits.
+    pub config: CandidateConfig,
+}
+
+impl Default for SemanticParser {
+    fn default() -> Self {
+        SemanticParser::with_prior()
+    }
+}
+
+impl SemanticParser {
+    /// A parser with zero weights (candidates in generation order).
+    pub fn untrained() -> Self {
+        SemanticParser { model: LogLinearModel::new(), config: CandidateConfig::default() }
+    }
+
+    /// A parser with the hand-set prior weights (the "baseline parser").
+    pub fn with_prior() -> Self {
+        SemanticParser { model: LogLinearModel::with_prior(), config: CandidateConfig::default() }
+    }
+
+    /// Analyze a question against a table (exposed for feature reuse).
+    pub fn analyze(&self, question: &str, table: &Table) -> QuestionAnalysis {
+        analyze_question(question, table)
+    }
+
+    /// Parse a question into ranked candidates `Z_x`, highest score first.
+    pub fn parse(&self, question: &str, table: &Table) -> Vec<Candidate> {
+        let analysis = self.analyze(question, table);
+        self.parse_analyzed(&analysis, table)
+    }
+
+    /// Parse from an existing analysis (avoids re-linking when the caller
+    /// already has one).
+    pub fn parse_analyzed(&self, analysis: &QuestionAnalysis, table: &Table) -> Vec<Candidate> {
+        let raw = generate_candidates(analysis, table, &self.config);
+        let mut candidates: Vec<Candidate> = raw
+            .into_iter()
+            .map(|RawCandidate { formula, answer }| {
+                let features = extract_features(analysis, table, &RawCandidate {
+                    formula: formula.clone(),
+                    answer: answer.clone(),
+                });
+                let score = self.model.score(&features);
+                Candidate { formula, answer, features, score }
+            })
+            .collect();
+        candidates.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.formula.size().cmp(&b.formula.size()))
+                .then_with(|| a.formula.to_string().cmp(&b.formula.to_string()))
+        });
+        candidates
+    }
+
+    /// The top-k candidates (the set shown to users at deployment).
+    pub fn parse_top_k(&self, question: &str, table: &Table, k: usize) -> Vec<Candidate> {
+        let mut candidates = self.parse(question, table);
+        candidates.truncate(k);
+        candidates
+    }
+
+    /// Normalized probabilities `p_θ(z | x, T)` over a candidate list.
+    pub fn probabilities(&self, candidates: &[Candidate]) -> Vec<f64> {
+        softmax(&candidates.iter().map(|c| c.score).collect::<Vec<f64>>())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wtq_dcs::parse_formula;
+    use wtq_table::samples;
+
+    #[test]
+    fn prior_parser_ranks_grounded_candidates_above_ungrounded_ones() {
+        let table = samples::olympics();
+        let parser = SemanticParser::with_prior();
+        let candidates = parser.parse("Greece held its last Olympics in what year?", &table);
+        assert!(candidates.len() >= 5);
+        let gold = parse_formula("max(R[Year].Country.Greece)").unwrap();
+        let gold_rank = candidates.iter().position(|c| c.formula == gold).expect("gold generated");
+        let china = parse_formula("max(R[Year].Country.China)").unwrap();
+        if let Some(china_rank) = candidates.iter().position(|c| c.formula == china) {
+            assert!(gold_rank < china_rank, "ungrounded candidate outranked the gold query");
+        }
+        // Scores are sorted descending.
+        for pair in candidates.windows(2) {
+            assert!(pair[0].score >= pair[1].score);
+        }
+    }
+
+    #[test]
+    fn probabilities_are_a_distribution() {
+        let table = samples::medals();
+        let parser = SemanticParser::with_prior();
+        let candidates =
+            parser.parse("What is the difference in Total between Fiji and Tonga?", &table);
+        let probabilities = parser.probabilities(&candidates);
+        assert_eq!(probabilities.len(), candidates.len());
+        let total: f64 = probabilities.iter().sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        assert!(probabilities.iter().all(|p| *p >= 0.0 && *p <= 1.0));
+    }
+
+    #[test]
+    fn top_k_truncates() {
+        let table = samples::medals();
+        let parser = SemanticParser::with_prior();
+        let top = parser.parse_top_k("What is the highest Gold total?", &table, 7);
+        assert!(top.len() <= 7);
+        assert!(!top.is_empty());
+    }
+
+    #[test]
+    fn softmax_handles_extremes() {
+        assert!(softmax(&[]).is_empty());
+        let p = softmax(&[1000.0, -1000.0]);
+        assert!((p[0] - 1.0).abs() < 1e-9);
+        assert!(p[1].abs() < 1e-9);
+        let uniform = softmax(&[0.0, 0.0, 0.0, 0.0]);
+        assert!(uniform.iter().all(|p| (p - 0.25).abs() < 1e-12));
+    }
+
+    #[test]
+    fn formula_equivalence_ignores_commutative_order() {
+        let a = parse_formula("(Country.Greece or Country.China)").unwrap();
+        let b = parse_formula("(Country.China or Country.Greece)").unwrap();
+        assert!(formulas_equivalent(&a, &b));
+        let c = parse_formula("(City.London and Country.UK)").unwrap();
+        let d = parse_formula("(Country.UK and City.London)").unwrap();
+        assert!(formulas_equivalent(&c, &d));
+        let e = parse_formula("sub(count(City.Athens), count(City.Paris))").unwrap();
+        let f = parse_formula("sub(count(City.Paris), count(City.Athens))").unwrap();
+        assert!(!formulas_equivalent(&e, &f), "difference is not commutative");
+        // Nested operands normalize too.
+        let g = parse_formula("count((Country.Greece or Country.China))").unwrap();
+        let h = parse_formula("count((Country.China or Country.Greece))").unwrap();
+        assert!(formulas_equivalent(&g, &h));
+    }
+
+    #[test]
+    fn model_parameter_bookkeeping() {
+        let mut model = LogLinearModel::new();
+        assert_eq!(model.num_parameters(), 0);
+        model.weights_mut().insert("x".into(), 1.5);
+        model.weights_mut().insert("y".into(), 0.0);
+        assert_eq!(model.num_parameters(), 1);
+        assert_eq!(model.weight("x"), 1.5);
+        assert_eq!(model.weight("missing"), 0.0);
+        assert!(LogLinearModel::with_prior().num_parameters() > 10);
+    }
+}

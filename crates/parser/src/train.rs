@@ -1,0 +1,426 @@
+//! Training the semantic parser (§6.2, Eq. 5–8).
+//!
+//! The parser is trained from examples `{(x_i, T_i, y_i)}` by maximizing the
+//! log-likelihood of producing the correct *answer* (weak supervision,
+//! Eq. 6): the reward indicator `r(z | T, y)` is 1 for every candidate whose
+//! execution matches the answer. When a subset of the examples additionally
+//! carries question–query annotations procured through query explanations,
+//! those examples switch to the indicator `r*(z | x, T)` of Eq. 7 — 1 only
+//! for candidates equivalent to an annotated query — giving the combined
+//! objective of Eq. 8. Optimization uses AdaGrad with L1 regularization,
+//! following the paper (and [30]).
+
+use std::collections::BTreeMap;
+
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use wtq_dcs::{Answer, Formula};
+use wtq_table::Catalog;
+
+use crate::model::{formulas_equivalent, softmax, Candidate, SemanticParser};
+
+/// One training example: a question, its table, the gold answer, and (for
+/// annotated examples) the set of user-validated correct queries `Q_x`.
+#[derive(Debug, Clone)]
+pub struct TrainExample {
+    /// The natural-language question.
+    pub question: String,
+    /// Name of the table in the catalog.
+    pub table: String,
+    /// Gold answer `y` (always available — this is the weak supervision).
+    pub answer: Answer,
+    /// User-annotated correct queries `Q_x`, when feedback was collected.
+    pub annotations: Vec<Formula>,
+}
+
+impl TrainExample {
+    /// A weakly-supervised example (answer only).
+    pub fn weak(question: impl Into<String>, table: impl Into<String>, answer: Answer) -> Self {
+        TrainExample { question: question.into(), table: table.into(), answer, annotations: Vec::new() }
+    }
+
+    /// Attach annotated queries (marking this example as a member of `A`).
+    pub fn with_annotations(mut self, annotations: Vec<Formula>) -> Self {
+        self.annotations = annotations;
+        self
+    }
+
+    /// Whether the example carries annotations (`x ∈ A` in Eq. 8).
+    pub fn is_annotated(&self) -> bool {
+        !self.annotations.is_empty()
+    }
+}
+
+/// Hyper-parameters of the AdaGrad trainer.
+#[derive(Debug, Clone)]
+pub struct TrainConfig {
+    /// Number of passes over the training data.
+    pub epochs: usize,
+    /// AdaGrad base learning rate.
+    pub learning_rate: f64,
+    /// L1 regularization strength (the `λ‖θ‖₁` of Eq. 6).
+    pub l1: f64,
+    /// Shuffle seed (training is deterministic given the seed).
+    pub seed: u64,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig { epochs: 3, learning_rate: 0.2, l1: 1e-4, seed: 13 }
+    }
+}
+
+/// Evaluation metrics over a set of examples (the paper's correctness and
+/// MRR, §7.1).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ParserEvaluation {
+    /// Number of examples evaluated.
+    pub examples: usize,
+    /// Fraction of examples whose top-ranked candidate is a correct
+    /// translation of the question.
+    pub correctness: f64,
+    /// Mean reciprocal rank of the first correct candidate.
+    pub mrr: f64,
+    /// Fraction of examples with a correct candidate anywhere in the top-k
+    /// (the correctness bound of §7.2).
+    pub bound_at_k: f64,
+    /// Fraction of examples whose top-ranked candidate merely returns the
+    /// gold answer (answer accuracy — the weaker metric the paper contrasts
+    /// correctness with in Figure 8).
+    pub answer_accuracy: f64,
+}
+
+/// AdaGrad trainer for the log-linear parser.
+pub struct Trainer {
+    /// Accumulated squared gradients per feature.
+    adagrad: BTreeMap<String, f64>,
+    config: TrainConfig,
+}
+
+impl Trainer {
+    /// Create a trainer with the given hyper-parameters.
+    pub fn new(config: TrainConfig) -> Self {
+        Trainer { adagrad: BTreeMap::new(), config }
+    }
+
+    /// Train `parser` in place on `examples` over tables from `catalog`.
+    ///
+    /// Annotated examples use the Eq. 7 indicator, all others the Eq. 5
+    /// answer indicator; this is exactly the split objective of Eq. 8.
+    pub fn train(
+        &mut self,
+        parser: &mut SemanticParser,
+        examples: &[TrainExample],
+        catalog: &Catalog,
+    ) {
+        let mut order: Vec<usize> = (0..examples.len()).collect();
+        let mut rng = ChaCha8Rng::seed_from_u64(self.config.seed);
+        for _epoch in 0..self.config.epochs {
+            order.shuffle(&mut rng);
+            for &index in &order {
+                self.train_on_example(parser, &examples[index], catalog);
+            }
+        }
+    }
+
+    /// One stochastic gradient step on a single example. Returns `true` when
+    /// the example produced a usable gradient (at least one rewarded
+    /// candidate).
+    pub fn train_on_example(
+        &mut self,
+        parser: &mut SemanticParser,
+        example: &TrainExample,
+        catalog: &Catalog,
+    ) -> bool {
+        let Some(table) = catalog.get(&example.table) else { return false };
+        let candidates = parser.parse(&example.question, table);
+        if candidates.is_empty() {
+            return false;
+        }
+        let scores: Vec<f64> = candidates.iter().map(|c| c.score).collect();
+        let probabilities = softmax(&scores);
+        let rewards: Vec<f64> = candidates
+            .iter()
+            .map(|candidate| reward(candidate, example))
+            .collect();
+        let reward_mass: f64 = probabilities
+            .iter()
+            .zip(&rewards)
+            .map(|(p, r)| p * r)
+            .sum();
+        if reward_mass <= 0.0 {
+            return false;
+        }
+        // q(z) ∝ r(z) p(z): the posterior over correct derivations.
+        let posterior: Vec<f64> = probabilities
+            .iter()
+            .zip(&rewards)
+            .map(|(p, r)| p * r / reward_mass)
+            .collect();
+        // Gradient of the log-likelihood: Σ_z (q(z) - p(z)) φ(z).
+        let mut gradient: BTreeMap<String, f64> = BTreeMap::new();
+        for ((candidate, q), p) in candidates.iter().zip(&posterior).zip(&probabilities) {
+            let delta = q - p;
+            if delta == 0.0 {
+                continue;
+            }
+            for (name, value) in &candidate.features {
+                *gradient.entry(name.clone()).or_insert(0.0) += delta * value;
+            }
+        }
+        // AdaGrad update with L1 shrinkage.
+        let weights = parser.model.weights_mut();
+        for (name, g) in gradient {
+            let accumulated = self.adagrad.entry(name.clone()).or_insert(0.0);
+            *accumulated += g * g;
+            let step = self.config.learning_rate / (accumulated.sqrt() + 1e-8);
+            let entry = weights.entry(name).or_insert(0.0);
+            *entry += step * g;
+            // Soft-threshold toward zero (L1).
+            let shrink = self.config.l1 * step;
+            if *entry > shrink {
+                *entry -= shrink;
+            } else if *entry < -shrink {
+                *entry += shrink;
+            } else {
+                *entry = 0.0;
+            }
+        }
+        true
+    }
+}
+
+/// The reward indicator: `r*` (Eq. 7) for annotated examples, `r` (Eq. 5)
+/// otherwise.
+fn reward(candidate: &Candidate, example: &TrainExample) -> f64 {
+    if example.is_annotated() {
+        if example
+            .annotations
+            .iter()
+            .any(|gold| formulas_equivalent(gold, &candidate.formula))
+        {
+            1.0
+        } else {
+            0.0
+        }
+    } else if candidate.answer == example.answer {
+        1.0
+    } else {
+        0.0
+    }
+}
+
+/// Evaluate a parser: correctness, MRR, bound@k and answer accuracy.
+///
+/// A candidate counts as a *correct translation* when it is structurally
+/// equivalent to the example's gold query; `gold_of` supplies that query
+/// (for the synthetic dataset it is stored with each example).
+pub fn evaluate<'a>(
+    parser: &SemanticParser,
+    examples: impl IntoIterator<Item = (&'a TrainExample, Formula)>,
+    catalog: &Catalog,
+    k: usize,
+) -> ParserEvaluation {
+    let mut evaluation = ParserEvaluation::default();
+    let mut reciprocal_ranks = 0.0;
+    for (example, gold) in examples {
+        let Some(table) = catalog.get(&example.table) else { continue };
+        evaluation.examples += 1;
+        let candidates = parser.parse(&example.question, table);
+        let correct_rank = candidates
+            .iter()
+            .position(|candidate| formulas_equivalent(&candidate.formula, &gold));
+        if correct_rank == Some(0) {
+            evaluation.correctness += 1.0;
+        }
+        if let Some(rank) = correct_rank {
+            reciprocal_ranks += 1.0 / (rank as f64 + 1.0);
+            if rank < k {
+                evaluation.bound_at_k += 1.0;
+            }
+        }
+        if let Some(top) = candidates.first() {
+            if top.answer == example.answer {
+                evaluation.answer_accuracy += 1.0;
+            }
+        }
+    }
+    if evaluation.examples > 0 {
+        let n = evaluation.examples as f64;
+        evaluation.correctness /= n;
+        evaluation.mrr = reciprocal_ranks / n;
+        evaluation.bound_at_k /= n;
+        evaluation.answer_accuracy /= n;
+    }
+    evaluation
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand_chacha::ChaCha8Rng;
+    use wtq_dataset::dataset::{Dataset, DatasetConfig};
+
+    fn build_dataset(seed: u64) -> Dataset {
+        let config = DatasetConfig { num_tables: 10, questions_per_table: 8, test_fraction: 0.3 };
+        Dataset::generate(&config, &mut ChaCha8Rng::seed_from_u64(seed))
+    }
+
+    fn to_examples(dataset: &Dataset, split: wtq_dataset::Split) -> Vec<(TrainExample, Formula)> {
+        dataset
+            .examples_of(split)
+            .into_iter()
+            .map(|e| {
+                (
+                    TrainExample::weak(e.question.clone(), e.table.clone(), e.answer.clone()),
+                    e.formula(),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn training_improves_correctness_over_the_untrained_parser() {
+        let dataset = build_dataset(31);
+        let catalog = dataset.catalog();
+        let train: Vec<(TrainExample, Formula)> = to_examples(&dataset, wtq_dataset::Split::Train);
+        let test: Vec<(TrainExample, Formula)> = to_examples(&dataset, wtq_dataset::Split::Test);
+        assert!(train.len() >= 30);
+        assert!(test.len() >= 10);
+
+        let mut parser = SemanticParser::untrained();
+        let before = evaluate(
+            &parser,
+            test.iter().map(|(e, g)| (e, g.clone())),
+            &catalog,
+            7,
+        );
+
+        let mut trainer = Trainer::new(TrainConfig { epochs: 2, ..TrainConfig::default() });
+        let train_examples: Vec<TrainExample> = train.iter().map(|(e, _)| e.clone()).collect();
+        trainer.train(&mut parser, &train_examples, &catalog);
+
+        let after = evaluate(
+            &parser,
+            test.iter().map(|(e, g)| (e, g.clone())),
+            &catalog,
+            7,
+        );
+        assert!(
+            after.correctness > before.correctness,
+            "training did not improve correctness ({} -> {})",
+            before.correctness,
+            after.correctness
+        );
+        assert!(after.mrr >= before.mrr);
+        assert!(after.bound_at_k >= after.correctness);
+        assert!(parser.model.num_parameters() > 0);
+    }
+
+    #[test]
+    fn annotated_reward_only_accepts_annotated_queries() {
+        let dataset = build_dataset(5);
+        let catalog = dataset.catalog();
+        let example = &dataset.examples[0];
+        let gold = example.formula();
+        let parser = SemanticParser::with_prior();
+        let table = catalog.get(&example.table).unwrap();
+        let candidates = parser.parse(&example.question, table);
+        let annotated = TrainExample::weak(
+            example.question.clone(),
+            example.table.clone(),
+            example.answer.clone(),
+        )
+        .with_annotations(vec![gold.clone()]);
+        let weak = TrainExample::weak(
+            example.question.clone(),
+            example.table.clone(),
+            example.answer.clone(),
+        );
+        let mut annotated_rewards = 0usize;
+        let mut weak_rewards = 0usize;
+        for candidate in &candidates {
+            if reward(candidate, &annotated) > 0.0 {
+                annotated_rewards += 1;
+                assert!(formulas_equivalent(&candidate.formula, &gold));
+            }
+            if reward(candidate, &weak) > 0.0 {
+                weak_rewards += 1;
+            }
+        }
+        // Weak supervision rewards at least as many candidates as annotation
+        // (spurious candidates returning the right answer).
+        assert!(weak_rewards >= annotated_rewards);
+    }
+
+    #[test]
+    fn training_on_annotations_is_at_least_as_good_as_weak_supervision() {
+        let dataset = build_dataset(11);
+        let catalog = dataset.catalog();
+        let train = to_examples(&dataset, wtq_dataset::Split::Train);
+        let test = to_examples(&dataset, wtq_dataset::Split::Test);
+        let config = TrainConfig { epochs: 2, ..TrainConfig::default() };
+
+        // Weak supervision.
+        let mut weak_parser = SemanticParser::untrained();
+        let weak_examples: Vec<TrainExample> = train.iter().map(|(e, _)| e.clone()).collect();
+        Trainer::new(config.clone()).train(&mut weak_parser, &weak_examples, &catalog);
+        let weak_eval =
+            evaluate(&weak_parser, test.iter().map(|(e, g)| (e, g.clone())), &catalog, 7);
+
+        // Annotated supervision: every training example annotated with its
+        // gold query (the idealized upper bound of the §7.3 experiment).
+        let mut annotated_parser = SemanticParser::untrained();
+        let annotated_examples: Vec<TrainExample> = train
+            .iter()
+            .map(|(e, gold)| e.clone().with_annotations(vec![gold.clone()]))
+            .collect();
+        Trainer::new(config).train(&mut annotated_parser, &annotated_examples, &catalog);
+        let annotated_eval =
+            evaluate(&annotated_parser, test.iter().map(|(e, g)| (e, g.clone())), &catalog, 7);
+
+        // On a single small split the two objectives can land within noise of
+        // each other; what must never happen is annotations degrading the
+        // parser substantially (the paper finds they help).
+        assert!(
+            annotated_eval.correctness + 0.08 >= weak_eval.correctness,
+            "annotations hurt correctness ({} vs {})",
+            annotated_eval.correctness,
+            weak_eval.correctness
+        );
+        assert!(annotated_eval.bound_at_k >= annotated_eval.correctness);
+    }
+
+    #[test]
+    fn training_is_deterministic_given_seed() {
+        let dataset = build_dataset(3);
+        let catalog = dataset.catalog();
+        let train = to_examples(&dataset, wtq_dataset::Split::Train);
+        let examples: Vec<TrainExample> = train.iter().map(|(e, _)| e.clone()).collect();
+        let run = || {
+            let mut parser = SemanticParser::untrained();
+            Trainer::new(TrainConfig { epochs: 1, ..TrainConfig::default() })
+                .train(&mut parser, &examples, &catalog);
+            let mut weights: Vec<(String, i64)> = parser
+                .model
+                .weights()
+                .iter()
+                .map(|(k, v)| (k.clone(), (v * 1e9) as i64))
+                .collect();
+            weights.sort();
+            weights
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn evaluation_on_empty_input_is_zeroed() {
+        let parser = SemanticParser::with_prior();
+        let catalog = Catalog::new();
+        let evaluation = evaluate(&parser, std::iter::empty(), &catalog, 7);
+        assert_eq!(evaluation.examples, 0);
+        assert_eq!(evaluation.correctness, 0.0);
+    }
+}

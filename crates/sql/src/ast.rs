@@ -1,0 +1,308 @@
+//! SQL abstract syntax tree and pretty-printer.
+//!
+//! The AST covers exactly the fragment produced by the Table 10 translation:
+//! single-table `SELECT` statements over the implicit table `T` with an
+//! `Index` pseudo-attribute, scalar subqueries, `IN` subqueries, aggregates,
+//! `UNION`, `GROUP BY` / `ORDER BY` / `LIMIT`, and arithmetic difference of
+//! scalar subqueries.
+
+use std::fmt;
+
+use wtq_dcs::{AggregateOp, CompareOp};
+use wtq_table::Value;
+
+/// A SQL expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SqlExpr {
+    /// A named column of the implicit table `T`.
+    Column(String),
+    /// The record-index pseudo-attribute `Index`.
+    Index,
+    /// A literal value.
+    Literal(Value),
+    /// An aggregate over an expression, e.g. `MAX(Year)` or `COUNT(Index)`.
+    Aggregate(AggregateOp, Box<SqlExpr>),
+    /// Equality test `left = right`.
+    Equals(Box<SqlExpr>, Box<SqlExpr>),
+    /// Numeric comparison `left <op> right`.
+    Compare(CompareOp, Box<SqlExpr>, Box<SqlExpr>),
+    /// Membership in a subquery: `expr IN (SELECT ...)`.
+    InSubquery(Box<SqlExpr>, Box<SqlQuery>),
+    /// Membership in a literal list: `expr IN (v1, v2, ...)`.
+    InList(Box<SqlExpr>, Vec<Value>),
+    /// A scalar subquery used as a value: `(SELECT MAX(Year) FROM T)`.
+    Scalar(Box<SqlQuery>),
+    /// Arithmetic: `left + right` / `left - right`.
+    Arith(ArithOp, Box<SqlExpr>, Box<SqlExpr>),
+    /// Conjunction.
+    And(Box<SqlExpr>, Box<SqlExpr>),
+    /// Disjunction.
+    Or(Box<SqlExpr>, Box<SqlExpr>),
+}
+
+/// Arithmetic operators appearing in the translation (`Index - 1`,
+/// `Index + 1`, and the top-level difference of scalar subqueries).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArithOp {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+}
+
+impl ArithOp {
+    fn symbol(self) -> &'static str {
+        match self {
+            ArithOp::Add => "+",
+            ArithOp::Sub => "-",
+        }
+    }
+}
+
+/// Sort direction for `ORDER BY`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SqlOrder {
+    /// Ascending.
+    Asc,
+    /// Descending.
+    Desc,
+}
+
+/// A single `SELECT` statement over the implicit table `T`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SqlSelect {
+    /// Projected expressions (`SELECT *` when empty).
+    pub projection: Vec<SqlExpr>,
+    /// Whether to deduplicate output rows (`SELECT DISTINCT`).
+    pub distinct: bool,
+    /// `WHERE` clause.
+    pub filter: Option<SqlExpr>,
+    /// `GROUP BY` expression.
+    pub group_by: Option<SqlExpr>,
+    /// `ORDER BY` expression and direction.
+    pub order_by: Option<(SqlExpr, SqlOrder)>,
+    /// `LIMIT`.
+    pub limit: Option<usize>,
+}
+
+impl SqlSelect {
+    /// `SELECT <projection> FROM T` with no other clauses.
+    pub fn project(projection: Vec<SqlExpr>) -> Self {
+        SqlSelect {
+            projection,
+            distinct: false,
+            filter: None,
+            group_by: None,
+            order_by: None,
+            limit: None,
+        }
+    }
+
+    /// Attach a `WHERE` clause.
+    pub fn with_filter(mut self, filter: SqlExpr) -> Self {
+        self.filter = Some(filter);
+        self
+    }
+}
+
+/// A SQL query: a `SELECT`, a `UNION` of queries, or an arithmetic difference
+/// between two scalar queries (the top-level form of the `sub(...)`
+/// translation in Table 10).
+#[derive(Debug, Clone, PartialEq)]
+pub enum SqlQuery {
+    /// A plain select.
+    Select(SqlSelect),
+    /// `query UNION query`.
+    Union(Box<SqlQuery>, Box<SqlQuery>),
+    /// `(scalar query) - (scalar query)`.
+    ScalarDifference(Box<SqlQuery>, Box<SqlQuery>),
+}
+
+impl SqlQuery {
+    /// Wrap a select.
+    pub fn select(select: SqlSelect) -> Self {
+        SqlQuery::Select(select)
+    }
+
+    /// Render as a single-line SQL string.
+    pub fn to_sql(&self) -> String {
+        self.to_string()
+    }
+}
+
+fn escape_literal(value: &Value) -> String {
+    match value {
+        Value::Num(_) => value.to_string(),
+        _ => format!("'{}'", value.to_string().replace('\'', "''")),
+    }
+}
+
+fn quote_ident(name: &str) -> String {
+    let simple = !name.is_empty()
+        && name.chars().next().map(|c| c.is_ascii_alphabetic() || c == '_').unwrap_or(false)
+        && name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_');
+    if simple {
+        name.to_string()
+    } else {
+        format!("\"{}\"", name.replace('"', "\"\""))
+    }
+}
+
+impl fmt::Display for SqlExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SqlExpr::Column(name) => write!(f, "{}", quote_ident(name)),
+            SqlExpr::Index => write!(f, "Index"),
+            SqlExpr::Literal(value) => write!(f, "{}", escape_literal(value)),
+            SqlExpr::Aggregate(op, expr) => {
+                write!(f, "{}({})", op.name().to_ascii_uppercase(), expr)
+            }
+            SqlExpr::Equals(left, right) => write!(f, "{left} = {right}"),
+            SqlExpr::Compare(op, left, right) => {
+                let symbol = if *op == CompareOp::Neq { "<>" } else { op.symbol() };
+                write!(f, "{left} {symbol} {right}")
+            }
+            SqlExpr::InSubquery(expr, query) => write!(f, "{expr} IN ({query})"),
+            SqlExpr::InList(expr, values) => {
+                let list: Vec<String> = values.iter().map(escape_literal).collect();
+                write!(f, "{expr} IN ({})", list.join(", "))
+            }
+            SqlExpr::Scalar(query) => write!(f, "({query})"),
+            SqlExpr::Arith(op, left, right) => write!(f, "{left} {} {right}", op.symbol()),
+            SqlExpr::And(left, right) => write!(f, "({left} AND {right})"),
+            SqlExpr::Or(left, right) => write!(f, "({left} OR {right})"),
+        }
+    }
+}
+
+impl fmt::Display for SqlSelect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SELECT ")?;
+        if self.distinct {
+            write!(f, "DISTINCT ")?;
+        }
+        if self.projection.is_empty() {
+            write!(f, "*")?;
+        } else {
+            let cols: Vec<String> = self.projection.iter().map(|e| e.to_string()).collect();
+            write!(f, "{}", cols.join(", "))?;
+        }
+        write!(f, " FROM T")?;
+        if let Some(filter) = &self.filter {
+            write!(f, " WHERE {filter}")?;
+        }
+        if let Some(group) = &self.group_by {
+            write!(f, " GROUP BY {group}")?;
+        }
+        if let Some((expr, order)) = &self.order_by {
+            let dir = match order {
+                SqlOrder::Asc => "ASC",
+                SqlOrder::Desc => "DESC",
+            };
+            write!(f, " ORDER BY {expr} {dir}")?;
+        }
+        if let Some(limit) = self.limit {
+            write!(f, " LIMIT {limit}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for SqlQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SqlQuery::Select(select) => write!(f, "{select}"),
+            SqlQuery::Union(left, right) => write!(f, "{left} UNION {right}"),
+            SqlQuery::ScalarDifference(left, right) => write!(f, "({left}) - ({right})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_example_3_2() {
+        // SELECT City FROM T WHERE Index IN (SELECT Index FROM T WHERE Year =
+        // (SELECT MIN(Year) FROM T));
+        let min_year = SqlQuery::select(SqlSelect::project(vec![SqlExpr::Aggregate(
+            AggregateOp::Min,
+            Box::new(SqlExpr::Column("Year".into())),
+        )]));
+        let inner = SqlQuery::select(
+            SqlSelect::project(vec![SqlExpr::Index]).with_filter(SqlExpr::Equals(
+                Box::new(SqlExpr::Column("Year".into())),
+                Box::new(SqlExpr::Scalar(Box::new(min_year))),
+            )),
+        );
+        let outer = SqlQuery::select(
+            SqlSelect::project(vec![SqlExpr::Column("City".into())])
+                .with_filter(SqlExpr::InSubquery(Box::new(SqlExpr::Index), Box::new(inner))),
+        );
+        assert_eq!(
+            outer.to_sql(),
+            "SELECT City FROM T WHERE Index IN (SELECT Index FROM T WHERE Year = \
+             (SELECT MIN(Year) FROM T))"
+        );
+    }
+
+    #[test]
+    fn quoting_of_identifiers_and_literals() {
+        let q = SqlQuery::select(
+            SqlSelect::project(vec![SqlExpr::Column("Open Cup".into())]).with_filter(
+                SqlExpr::Equals(
+                    Box::new(SqlExpr::Column("League".into())),
+                    Box::new(SqlExpr::Literal(Value::str("USL A-League"))),
+                ),
+            ),
+        );
+        assert_eq!(
+            q.to_sql(),
+            "SELECT \"Open Cup\" FROM T WHERE League = 'USL A-League'"
+        );
+        let q = SqlQuery::select(SqlSelect::project(vec![SqlExpr::Literal(Value::str("it's"))]));
+        assert!(q.to_sql().contains("'it''s'"));
+    }
+
+    #[test]
+    fn renders_group_order_limit() {
+        let select = SqlSelect {
+            projection: vec![SqlExpr::Column("City".into())],
+            distinct: true,
+            filter: None,
+            group_by: Some(SqlExpr::Column("City".into())),
+            order_by: Some((
+                SqlExpr::Aggregate(AggregateOp::Count, Box::new(SqlExpr::Index)),
+                SqlOrder::Desc,
+            )),
+            limit: Some(1),
+        };
+        assert_eq!(
+            SqlQuery::Select(select).to_sql(),
+            "SELECT DISTINCT City FROM T GROUP BY City ORDER BY COUNT(Index) DESC LIMIT 1"
+        );
+    }
+
+    #[test]
+    fn renders_difference_and_union() {
+        let a = SqlQuery::select(SqlSelect::project(vec![SqlExpr::Aggregate(
+            AggregateOp::Count,
+            Box::new(SqlExpr::Index),
+        )]));
+        let diff = SqlQuery::ScalarDifference(Box::new(a.clone()), Box::new(a.clone()));
+        assert!(diff.to_sql().contains(") - ("));
+        let union = SqlQuery::Union(Box::new(a.clone()), Box::new(a));
+        assert!(union.to_sql().contains(" UNION "));
+    }
+
+    #[test]
+    fn neq_renders_as_angle_brackets() {
+        let expr = SqlExpr::Compare(
+            CompareOp::Neq,
+            Box::new(SqlExpr::Column("Games".into())),
+            Box::new(SqlExpr::Literal(Value::num(3.0))),
+        );
+        assert_eq!(expr.to_string(), "Games <> 3");
+    }
+}

@@ -1,0 +1,509 @@
+//! In-memory executor for the SQL fragment of Table 10.
+//!
+//! The engine runs a [`SqlQuery`] against a single [`Table`] (the implicit
+//! `T` of the translation) and returns plain rows of values. Its purpose in
+//! this reproduction is cross-validation: for every lambda DCS operator, the
+//! translated SQL must compute the same answer as the lambda DCS evaluator,
+//! which is exactly how the paper argues its provenance model is aligned with
+//! relational provenance work.
+
+use std::collections::BTreeMap;
+
+use wtq_dcs::AggregateOp;
+use wtq_table::{RecordIdx, Table, Value};
+
+use crate::ast::{ArithOp, SqlExpr, SqlOrder, SqlQuery, SqlSelect};
+use crate::error::SqlError;
+use crate::Result;
+
+/// Query output: a list of rows, each a list of values.
+pub type SqlResult = Vec<Vec<Value>>;
+
+/// Execute `query` against `table`.
+pub fn execute(query: &SqlQuery, table: &Table) -> Result<SqlResult> {
+    match query {
+        SqlQuery::Select(select) => execute_select(select, table),
+        SqlQuery::Union(left, right) => {
+            // SQL UNION deduplicates across the whole result set.
+            let mut rows: SqlResult = Vec::new();
+            for row in execute(left, table)?.into_iter().chain(execute(right, table)?) {
+                if !rows.contains(&row) {
+                    rows.push(row);
+                }
+            }
+            Ok(rows)
+        }
+        SqlQuery::ScalarDifference(left, right) => {
+            let left = scalar_number(&execute(left, table)?)?;
+            let right = scalar_number(&execute(right, table)?)?;
+            Ok(vec![vec![Value::Num(left - right)]])
+        }
+    }
+}
+
+/// Extract the single numeric value of a scalar result.
+fn scalar_number(result: &SqlResult) -> Result<f64> {
+    if result.len() != 1 || result[0].len() != 1 {
+        return Err(SqlError::ScalarCardinality(result.len()));
+    }
+    result[0][0]
+        .as_number()
+        .ok_or_else(|| SqlError::Type(format!("expected a number, found {}", result[0][0])))
+}
+
+/// A value produced while evaluating an expression: either a table value or
+/// a boolean (from predicates).
+#[derive(Debug, Clone, PartialEq)]
+enum EvalValue {
+    Val(Value),
+    Bool(bool),
+    Null,
+}
+
+impl EvalValue {
+    fn truthy(&self) -> bool {
+        matches!(self, EvalValue::Bool(true))
+    }
+
+    fn as_value(&self) -> Result<Value> {
+        match self {
+            EvalValue::Val(v) => Ok(v.clone()),
+            EvalValue::Bool(b) => Ok(Value::Num(if *b { 1.0 } else { 0.0 })),
+            EvalValue::Null => Err(SqlError::Type("NULL used as a value".into())),
+        }
+    }
+
+    fn as_number(&self) -> Result<f64> {
+        match self {
+            EvalValue::Val(v) => v
+                .as_number()
+                .ok_or_else(|| SqlError::Type(format!("expected a number, found {v}"))),
+            EvalValue::Bool(b) => Ok(if *b { 1.0 } else { 0.0 }),
+            EvalValue::Null => Err(SqlError::Type("NULL used as a number".into())),
+        }
+    }
+}
+
+fn execute_select(select: &SqlSelect, table: &Table) -> Result<SqlResult> {
+    // 1. Filter.
+    let mut matching: Vec<RecordIdx> = Vec::new();
+    for record in table.record_indices() {
+        let keep = match &select.filter {
+            None => true,
+            Some(filter) => eval_row(filter, table, record)?.truthy(),
+        };
+        if keep {
+            matching.push(record);
+        }
+    }
+
+    // 2. Group / aggregate / project, collecting (sort_key, row) pairs.
+    let mut rows: Vec<(Option<Value>, Vec<Value>)> = Vec::new();
+    if let Some(group_expr) = &select.group_by {
+        let mut groups: BTreeMap<Value, Vec<RecordIdx>> = BTreeMap::new();
+        for &record in &matching {
+            let key = eval_row(group_expr, table, record)?.as_value()?;
+            groups.entry(key).or_default().push(record);
+        }
+        for (_key, records) in groups {
+            let row = project_aggregate(&select.projection, table, &records)?;
+            let sort_key = match &select.order_by {
+                Some((expr, _)) => Some(eval_aggregate_expr(expr, table, &records)?.as_value()?),
+                None => None,
+            };
+            rows.push((sort_key, row));
+        }
+    } else if projection_has_aggregate(&select.projection) {
+        let row = project_aggregate(&select.projection, table, &matching)?;
+        rows.push((None, row));
+    } else {
+        for &record in &matching {
+            let row = if select.projection.is_empty() {
+                table.record(record).map_err(|_| SqlError::Type("record out of range".into()))?.to_vec()
+            } else {
+                select
+                    .projection
+                    .iter()
+                    .map(|expr| eval_row(expr, table, record).and_then(|v| v.as_value()))
+                    .collect::<Result<Vec<Value>>>()?
+            };
+            let sort_key = match &select.order_by {
+                Some((expr, _)) => Some(eval_row(expr, table, record)?.as_value()?),
+                None => None,
+            };
+            rows.push((sort_key, row));
+        }
+    }
+
+    // 3. Order.
+    if let Some((_, order)) = &select.order_by {
+        rows.sort_by(|a, b| {
+            let cmp = a.0.cmp(&b.0);
+            match order {
+                SqlOrder::Asc => cmp,
+                SqlOrder::Desc => cmp.reverse(),
+            }
+        });
+    }
+
+    // 4. Distinct and limit.
+    let mut out: SqlResult = Vec::new();
+    for (_, row) in rows {
+        if select.distinct && out.contains(&row) {
+            continue;
+        }
+        out.push(row);
+        if let Some(limit) = select.limit {
+            if out.len() >= limit {
+                break;
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn projection_has_aggregate(projection: &[SqlExpr]) -> bool {
+    projection.iter().any(contains_aggregate)
+}
+
+fn contains_aggregate(expr: &SqlExpr) -> bool {
+    match expr {
+        SqlExpr::Aggregate(_, _) => true,
+        SqlExpr::Equals(a, b)
+        | SqlExpr::Compare(_, a, b)
+        | SqlExpr::Arith(_, a, b)
+        | SqlExpr::And(a, b)
+        | SqlExpr::Or(a, b) => contains_aggregate(a) || contains_aggregate(b),
+        SqlExpr::InSubquery(a, _) | SqlExpr::InList(a, _) => contains_aggregate(a),
+        SqlExpr::Column(_) | SqlExpr::Index | SqlExpr::Literal(_) | SqlExpr::Scalar(_) => false,
+    }
+}
+
+fn project_aggregate(
+    projection: &[SqlExpr],
+    table: &Table,
+    records: &[RecordIdx],
+) -> Result<Vec<Value>> {
+    projection
+        .iter()
+        .map(|expr| eval_aggregate_expr(expr, table, records).and_then(|v| v.as_value()))
+        .collect()
+}
+
+/// Evaluate an expression in aggregate context: aggregates range over
+/// `records`, other sub-expressions are evaluated on the first record of the
+/// group (they are group keys in every query the translation produces).
+fn eval_aggregate_expr(expr: &SqlExpr, table: &Table, records: &[RecordIdx]) -> Result<EvalValue> {
+    match expr {
+        SqlExpr::Aggregate(op, inner) => {
+            if *op == AggregateOp::Count {
+                return Ok(EvalValue::Val(Value::Num(records.len() as f64)));
+            }
+            let mut numbers = Vec::with_capacity(records.len());
+            for &record in records {
+                let value = eval_row(inner, table, record)?;
+                numbers.push(value.as_number()?);
+            }
+            if numbers.is_empty() {
+                return Ok(EvalValue::Null);
+            }
+            let result = match op {
+                AggregateOp::Max => numbers.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+                AggregateOp::Min => numbers.iter().copied().fold(f64::INFINITY, f64::min),
+                AggregateOp::Sum => numbers.iter().sum(),
+                AggregateOp::Avg => numbers.iter().sum::<f64>() / numbers.len() as f64,
+                AggregateOp::Count => unreachable!("count handled above"),
+            };
+            Ok(EvalValue::Val(Value::Num(result)))
+        }
+        SqlExpr::Arith(op, left, right) => {
+            let left = eval_aggregate_expr(left, table, records)?.as_number()?;
+            let right = eval_aggregate_expr(right, table, records)?.as_number()?;
+            let value = match op {
+                ArithOp::Add => left + right,
+                ArithOp::Sub => left - right,
+            };
+            Ok(EvalValue::Val(Value::Num(value)))
+        }
+        other => match records.first() {
+            Some(&record) => eval_row(other, table, record),
+            None => Ok(EvalValue::Null),
+        },
+    }
+}
+
+/// Evaluate an expression against a single record.
+fn eval_row(expr: &SqlExpr, table: &Table, record: RecordIdx) -> Result<EvalValue> {
+    match expr {
+        SqlExpr::Column(name) => {
+            let column = table
+                .column_index(name)
+                .ok_or_else(|| SqlError::UnknownColumn(name.clone()))?;
+            Ok(table
+                .value_at(record, column)
+                .map(|v| EvalValue::Val(v.clone()))
+                .unwrap_or(EvalValue::Null))
+        }
+        SqlExpr::Index => Ok(EvalValue::Val(Value::Num(record as f64))),
+        SqlExpr::Literal(value) => Ok(EvalValue::Val(value.clone())),
+        SqlExpr::Aggregate(_, _) => Err(SqlError::Type(
+            "aggregate used outside a projection or ORDER BY context".into(),
+        )),
+        SqlExpr::Equals(left, right) => {
+            let left = eval_row(left, table, record)?;
+            let right = eval_row(right, table, record)?;
+            match (left, right) {
+                (EvalValue::Null, _) | (_, EvalValue::Null) => Ok(EvalValue::Bool(false)),
+                (l, r) => Ok(EvalValue::Bool(l.as_value()? == r.as_value()?)),
+            }
+        }
+        SqlExpr::Compare(op, left, right) => {
+            let left = eval_row(left, table, record)?;
+            let right = eval_row(right, table, record)?;
+            match (left, right) {
+                (EvalValue::Null, _) | (_, EvalValue::Null) => Ok(EvalValue::Bool(false)),
+                (l, r) => match (l.as_value()?.as_number(), r.as_value()?.as_number()) {
+                    (Some(a), Some(b)) => Ok(EvalValue::Bool(op.compare(a, b))),
+                    _ => Ok(EvalValue::Bool(false)),
+                },
+            }
+        }
+        SqlExpr::InSubquery(inner, query) => {
+            let needle = eval_row(inner, table, record)?;
+            let EvalValue::Val(needle) = needle else { return Ok(EvalValue::Bool(false)) };
+            let rows = execute(query, table)?;
+            let found = rows.iter().any(|row| row.first() == Some(&needle));
+            Ok(EvalValue::Bool(found))
+        }
+        SqlExpr::InList(inner, values) => {
+            let needle = eval_row(inner, table, record)?;
+            let EvalValue::Val(needle) = needle else { return Ok(EvalValue::Bool(false)) };
+            Ok(EvalValue::Bool(values.contains(&needle)))
+        }
+        SqlExpr::Scalar(query) => {
+            let rows = execute(query, table)?;
+            if rows.len() != 1 || rows[0].len() != 1 {
+                return Err(SqlError::ScalarCardinality(rows.len()));
+            }
+            Ok(EvalValue::Val(rows[0][0].clone()))
+        }
+        SqlExpr::Arith(op, left, right) => {
+            let left = eval_row(left, table, record)?.as_number()?;
+            let right = eval_row(right, table, record)?.as_number()?;
+            let value = match op {
+                ArithOp::Add => left + right,
+                ArithOp::Sub => left - right,
+            };
+            Ok(EvalValue::Val(Value::Num(value)))
+        }
+        SqlExpr::And(left, right) => Ok(EvalValue::Bool(
+            eval_row(left, table, record)?.truthy() && eval_row(right, table, record)?.truthy(),
+        )),
+        SqlExpr::Or(left, right) => Ok(EvalValue::Bool(
+            eval_row(left, table, record)?.truthy() || eval_row(right, table, record)?.truthy(),
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{SqlExpr, SqlOrder, SqlQuery, SqlSelect};
+    use wtq_dcs::CompareOp;
+    use wtq_table::samples;
+
+    fn col(name: &str) -> SqlExpr {
+        SqlExpr::Column(name.to_string())
+    }
+
+    fn lit(value: Value) -> SqlExpr {
+        SqlExpr::Literal(value)
+    }
+
+    #[test]
+    fn select_star_with_filter() {
+        // SELECT * FROM T WHERE Country = 'Greece'
+        let table = samples::olympics();
+        let q = SqlQuery::select(SqlSelect::project(vec![]).with_filter(SqlExpr::Equals(
+            Box::new(col("Country")),
+            Box::new(lit(Value::str("Greece"))),
+        )));
+        let rows = execute(&q, &table).unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0][2], Value::str("Athens"));
+    }
+
+    #[test]
+    fn example_3_2_city_of_minimum_year() {
+        let table = samples::olympics();
+        let min_year = SqlQuery::select(SqlSelect::project(vec![SqlExpr::Aggregate(
+            AggregateOp::Min,
+            Box::new(col("Year")),
+        )]));
+        let inner = SqlQuery::select(SqlSelect::project(vec![SqlExpr::Index]).with_filter(
+            SqlExpr::Equals(Box::new(col("Year")), Box::new(SqlExpr::Scalar(Box::new(min_year)))),
+        ));
+        let outer = SqlQuery::select(
+            SqlSelect::project(vec![col("City")])
+                .with_filter(SqlExpr::InSubquery(Box::new(SqlExpr::Index), Box::new(inner))),
+        );
+        assert_eq!(execute(&outer, &table).unwrap(), vec![vec![Value::str("Athens")]]);
+    }
+
+    #[test]
+    fn aggregate_projection_produces_one_row() {
+        let table = samples::medals();
+        let q = SqlQuery::select(SqlSelect::project(vec![SqlExpr::Aggregate(
+            AggregateOp::Sum,
+            Box::new(col("Gold")),
+        )]));
+        assert_eq!(execute(&q, &table).unwrap(), vec![vec![Value::num(298.0)]]);
+    }
+
+    #[test]
+    fn count_of_filtered_rows() {
+        let table = samples::olympics();
+        let q = SqlQuery::select(
+            SqlSelect::project(vec![SqlExpr::Aggregate(
+                AggregateOp::Count,
+                Box::new(SqlExpr::Index),
+            )])
+            .with_filter(SqlExpr::Equals(
+                Box::new(col("City")),
+                Box::new(lit(Value::str("Athens"))),
+            )),
+        );
+        assert_eq!(execute(&q, &table).unwrap(), vec![vec![Value::num(2.0)]]);
+    }
+
+    #[test]
+    fn comparison_and_conjunction() {
+        let table = samples::squad();
+        let q = SqlQuery::select(SqlSelect::project(vec![col("Name")]).with_filter(SqlExpr::And(
+            Box::new(SqlExpr::Compare(
+                CompareOp::Gt,
+                Box::new(col("Games")),
+                Box::new(lit(Value::num(4.0))),
+            )),
+            Box::new(SqlExpr::Equals(
+                Box::new(col("Position")),
+                Box::new(lit(Value::str("MF"))),
+            )),
+        )));
+        let rows = execute(&q, &table).unwrap();
+        assert_eq!(rows.len(), 3);
+    }
+
+    #[test]
+    fn group_by_order_by_count_limit() {
+        // SELECT Lake FROM T GROUP BY Lake ORDER BY COUNT(Index) DESC LIMIT 1
+        let table = samples::shipwrecks();
+        let select = SqlSelect {
+            projection: vec![col("Lake")],
+            distinct: false,
+            filter: None,
+            group_by: Some(col("Lake")),
+            order_by: Some((
+                SqlExpr::Aggregate(AggregateOp::Count, Box::new(SqlExpr::Index)),
+                SqlOrder::Desc,
+            )),
+            limit: Some(1),
+        };
+        assert_eq!(
+            execute(&SqlQuery::Select(select), &table).unwrap(),
+            vec![vec![Value::str("Lake Huron")]]
+        );
+    }
+
+    #[test]
+    fn scalar_difference() {
+        let table = samples::shipwrecks();
+        let count_of = |lake: &str| {
+            SqlQuery::select(
+                SqlSelect::project(vec![SqlExpr::Aggregate(
+                    AggregateOp::Count,
+                    Box::new(SqlExpr::Index),
+                )])
+                .with_filter(SqlExpr::Equals(
+                    Box::new(col("Lake")),
+                    Box::new(lit(Value::str(lake))),
+                )),
+            )
+        };
+        let q = SqlQuery::ScalarDifference(
+            Box::new(count_of("Lake Huron")),
+            Box::new(count_of("Lake Erie")),
+        );
+        assert_eq!(execute(&q, &table).unwrap(), vec![vec![Value::num(3.0)]]);
+    }
+
+    #[test]
+    fn union_deduplicates() {
+        let table = samples::olympics();
+        let cities = |country: &str| {
+            SqlQuery::select(SqlSelect::project(vec![col("City")]).with_filter(SqlExpr::Equals(
+                Box::new(col("Country")),
+                Box::new(lit(Value::str(country))),
+            )))
+        };
+        let q = SqlQuery::Union(Box::new(cities("Greece")), Box::new(cities("Greece")));
+        let rows = execute(&q, &table).unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0][0], Value::str("Athens"));
+    }
+
+    #[test]
+    fn distinct_and_in_list() {
+        let table = samples::olympics();
+        let select = SqlSelect {
+            projection: vec![col("Country")],
+            distinct: true,
+            filter: Some(SqlExpr::InList(
+                Box::new(col("City")),
+                vec![Value::str("Athens"), Value::str("London")],
+            )),
+            group_by: None,
+            order_by: None,
+            limit: None,
+        };
+        let rows = execute(&SqlQuery::Select(select), &table).unwrap();
+        assert_eq!(rows.len(), 2);
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        let table = samples::olympics();
+        let q = SqlQuery::select(SqlSelect::project(vec![col("Continent")]));
+        assert!(matches!(execute(&q, &table), Err(SqlError::UnknownColumn(_))));
+
+        // Scalar subquery with several rows.
+        let many = SqlQuery::select(SqlSelect::project(vec![col("City")]));
+        let q = SqlQuery::select(SqlSelect::project(vec![col("City")]).with_filter(
+            SqlExpr::Equals(Box::new(col("City")), Box::new(SqlExpr::Scalar(Box::new(many)))),
+        ));
+        assert!(matches!(execute(&q, &table), Err(SqlError::ScalarCardinality(_))));
+    }
+
+    #[test]
+    fn index_arithmetic_shifts_rows() {
+        // SELECT City FROM T WHERE Index IN (SELECT Index - 1 FROM T WHERE City = 'London')
+        let table = samples::olympics();
+        let inner = SqlQuery::select(
+            SqlSelect::project(vec![SqlExpr::Arith(
+                ArithOp::Sub,
+                Box::new(SqlExpr::Index),
+                Box::new(lit(Value::num(1.0))),
+            )])
+            .with_filter(SqlExpr::Equals(
+                Box::new(col("City")),
+                Box::new(lit(Value::str("London"))),
+            )),
+        );
+        let outer = SqlQuery::select(
+            SqlSelect::project(vec![col("City")])
+                .with_filter(SqlExpr::InSubquery(Box::new(SqlExpr::Index), Box::new(inner))),
+        );
+        let rows = execute(&outer, &table).unwrap();
+        assert_eq!(rows, vec![vec![Value::str("St. Louis")], vec![Value::str("Beijing")]]);
+    }
+}

@@ -1,0 +1,45 @@
+//! Error type for SQL translation and execution.
+
+use std::fmt;
+
+/// Errors produced while translating lambda DCS to SQL or executing SQL.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SqlError {
+    /// A column referenced by the query does not exist in the table.
+    UnknownColumn(String),
+    /// A scalar subquery returned a number of rows other than one.
+    ScalarCardinality(usize),
+    /// An expression was used in a context expecting a different kind
+    /// (e.g. a non-numeric value in arithmetic).
+    Type(String),
+    /// The lambda DCS formula has no SQL translation in the supported
+    /// fragment (should not happen for formulas built from Table 10).
+    Untranslatable(String),
+}
+
+impl fmt::Display for SqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SqlError::UnknownColumn(name) => write!(f, "unknown column {name:?}"),
+            SqlError::ScalarCardinality(n) => {
+                write!(f, "scalar subquery returned {n} rows (expected exactly 1)")
+            }
+            SqlError::Type(msg) => write!(f, "type error: {msg}"),
+            SqlError::Untranslatable(msg) => write!(f, "no SQL translation: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SqlError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(SqlError::UnknownColumn("Lake".into()).to_string().contains("Lake"));
+        assert!(SqlError::ScalarCardinality(3).to_string().contains('3'));
+        assert!(SqlError::Type("boom".into()).to_string().contains("boom"));
+    }
+}

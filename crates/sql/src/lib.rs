@@ -1,0 +1,30 @@
+//! # wtq-sql
+//!
+//! SQL substrate for the *Explaining Queries over Web Tables to Non-Experts*
+//! reproduction (§3.2 "Mapping to SQL" and Table 10).
+//!
+//! The paper positions lambda DCS as an expressive fragment of SQL by giving
+//! a translation for every operator (Table 10). This crate provides:
+//!
+//! * [`ast`] — a small SQL abstract syntax tree covering exactly the query
+//!   shapes the translation produces (single-table `SELECT` with scalar and
+//!   `IN` subqueries, aggregates, `UNION`, `GROUP BY … ORDER BY … LIMIT`,
+//!   and arithmetic between scalar subqueries), with a pretty-printer,
+//! * [`translate`] — the lambda DCS → SQL translation of Table 10,
+//! * [`engine`] — an in-memory executor for that SQL fragment over a single
+//!   [`wtq_table::Table`], used to cross-validate the lambda DCS evaluator:
+//!   for every operator the translated SQL must return the same answer as the
+//!   direct lambda DCS execution.
+
+pub mod ast;
+pub mod engine;
+pub mod error;
+pub mod translate;
+
+pub use ast::{SqlExpr, SqlOrder, SqlQuery, SqlSelect};
+pub use engine::{execute, SqlResult};
+pub use error::SqlError;
+pub use translate::translate;
+
+/// Result alias used across the crate.
+pub type Result<T> = std::result::Result<T, SqlError>;

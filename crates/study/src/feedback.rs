@@ -1,0 +1,268 @@
+//! Feedback collection and retraining (§6.2, §7.3, Table 9).
+//!
+//! At deployment, user choices double as annotations: a question whose
+//! correct query was identified by the workers becomes a question–query
+//! training pair. The paper collects each annotation from three distinct
+//! workers and keeps only queries marked correct by at least two of them,
+//! then retrains the semantic parser with the split objective of Eq. 8 and
+//! measures the correctness / MRR gain on a held-out development set — once
+//! training on the annotated examples alone, and once mixing them into the
+//! full weakly-supervised training set.
+
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use wtq_dcs::Formula;
+use wtq_parser::{
+    formulas_equivalent, train::evaluate, SemanticParser, TrainConfig, TrainExample, Trainer,
+};
+use wtq_table::Catalog;
+
+use crate::deploy::StudyExample;
+use crate::user::{SimulatedUser, UserDecision};
+
+/// Collect question–query annotations by showing each question's top-k
+/// candidates to `annotators` simulated users and keeping candidates marked
+/// correct by at least `agreement` of them.
+pub fn collect_annotations(
+    parser: &SemanticParser,
+    examples: &[StudyExample],
+    catalog: &Catalog,
+    top_k: usize,
+    annotators: usize,
+    agreement: usize,
+    user: &SimulatedUser,
+    seed: u64,
+) -> Vec<(TrainExample, Formula)> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut annotated = Vec::new();
+    for example in examples {
+        let Some(table) = catalog.get(&example.table) else { continue };
+        let candidates = parser.parse_top_k(&example.question, table, top_k);
+        if candidates.is_empty() {
+            continue;
+        }
+        let formulas: Vec<Formula> = candidates.iter().map(|c| c.formula.clone()).collect();
+        // Tally how many annotators marked each candidate correct.
+        let mut votes = vec![0usize; formulas.len()];
+        for _ in 0..annotators {
+            let mut display: Vec<usize> = (0..formulas.len()).collect();
+            display.shuffle(&mut rng);
+            let displayed: Vec<Formula> =
+                display.iter().map(|&i| formulas[i].clone()).collect();
+            if let UserDecision::Selected(index) =
+                user.choose(&displayed, Some(&example.gold), &mut rng)
+            {
+                votes[display[index]] += 1;
+            }
+        }
+        let approved: Vec<Formula> = formulas
+            .iter()
+            .zip(&votes)
+            .filter(|(_, &v)| v >= agreement)
+            .map(|(f, _)| f.clone())
+            .collect();
+        if approved.is_empty() {
+            continue;
+        }
+        let train_example = TrainExample::weak(
+            example.question.clone(),
+            example.table.clone(),
+            example.answer.clone(),
+        )
+        .with_annotations(approved);
+        annotated.push((train_example, example.gold.clone()));
+    }
+    annotated
+}
+
+/// One row of Table 9.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FeedbackResult {
+    /// Number of (weak) training examples used.
+    pub train_examples: usize,
+    /// Number of annotated examples among them.
+    pub annotations: usize,
+    /// Development-set correctness after training.
+    pub correctness: f64,
+    /// Development-set MRR after training.
+    pub mrr: f64,
+}
+
+/// The Table 9 experiment: train with and without annotations at two
+/// training-set scales and compare development correctness / MRR.
+#[derive(Debug, Clone)]
+pub struct FeedbackExperiment {
+    /// Parser training hyper-parameters.
+    pub train_config: TrainConfig,
+    /// Top-k shown during annotation collection.
+    pub top_k: usize,
+}
+
+impl Default for FeedbackExperiment {
+    fn default() -> Self {
+        FeedbackExperiment { train_config: TrainConfig::default(), top_k: 7 }
+    }
+}
+
+impl FeedbackExperiment {
+    /// Train a fresh parser on `examples` (annotated or not) and evaluate it
+    /// on `dev`.
+    pub fn train_and_evaluate(
+        &self,
+        examples: &[(TrainExample, Formula)],
+        dev: &[(TrainExample, Formula)],
+        catalog: &Catalog,
+        use_annotations: bool,
+    ) -> FeedbackResult {
+        let mut parser = SemanticParser::untrained();
+        let train_examples: Vec<TrainExample> = examples
+            .iter()
+            .map(|(example, _)| {
+                if use_annotations {
+                    example.clone()
+                } else {
+                    // Strip annotations: pure weak supervision.
+                    TrainExample::weak(
+                        example.question.clone(),
+                        example.table.clone(),
+                        example.answer.clone(),
+                    )
+                }
+            })
+            .collect();
+        let mut trainer = Trainer::new(self.train_config.clone());
+        trainer.train(&mut parser, &train_examples, catalog);
+        let evaluation = evaluate(
+            &parser,
+            dev.iter().map(|(example, gold)| (example, gold.clone())),
+            catalog,
+            self.top_k,
+        );
+        FeedbackResult {
+            train_examples: examples.len(),
+            annotations: if use_annotations {
+                examples.iter().filter(|(e, _)| e.is_annotated()).count()
+            } else {
+                0
+            },
+            correctness: evaluation.correctness,
+            mrr: evaluation.mrr,
+        }
+    }
+
+    /// Fraction of collected annotations that contain the gold query — the
+    /// annotation quality the 2-of-3 agreement rule buys (§7.3 reports that
+    /// feedback collected this way is high-quality training input).
+    pub fn annotation_precision(annotated: &[(TrainExample, Formula)]) -> f64 {
+        if annotated.is_empty() {
+            return 0.0;
+        }
+        let correct = annotated
+            .iter()
+            .filter(|(example, gold)| {
+                example.annotations.iter().any(|a| formulas_equivalent(a, gold))
+            })
+            .count();
+        correct as f64 / annotated.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deploy::study_examples_from;
+    use wtq_dataset::{Dataset, Split};
+
+    fn dataset() -> Dataset {
+        let config = wtq_dataset::dataset::DatasetConfig {
+            num_tables: 12,
+            questions_per_table: 7,
+            test_fraction: 0.3,
+        };
+        Dataset::generate(&config, &mut ChaCha8Rng::seed_from_u64(101))
+    }
+
+    #[test]
+    fn majority_vote_annotations_are_high_precision() {
+        let dataset = dataset();
+        let catalog = dataset.catalog();
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let examples = study_examples_from(&dataset, Split::Train, 40, &mut rng);
+        let parser = SemanticParser::with_prior();
+        let annotated = collect_annotations(
+            &parser,
+            &examples,
+            &catalog,
+            7,
+            3,
+            2,
+            &SimulatedUser::average(),
+            11,
+        );
+        assert!(
+            annotated.len() >= examples.len() / 4,
+            "too few annotations collected: {} of {}",
+            annotated.len(),
+            examples.len()
+        );
+        let precision = FeedbackExperiment::annotation_precision(&annotated);
+        assert!(precision >= 0.7, "annotation precision {precision} too low");
+        for (example, _) in &annotated {
+            assert!(example.is_annotated());
+        }
+    }
+
+    #[test]
+    fn training_on_annotations_does_not_hurt_and_usually_helps() {
+        // The Table 9 shape: with-annotations correctness >= without, on the
+        // same training questions and dev set.
+        let dataset = dataset();
+        let catalog = dataset.catalog();
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let train_pool = study_examples_from(&dataset, Split::Train, 60, &mut rng);
+        let dev_pool = study_examples_from(&dataset, Split::Test, 30, &mut rng);
+        let parser = SemanticParser::with_prior();
+        let annotated = collect_annotations(
+            &parser,
+            &train_pool,
+            &catalog,
+            7,
+            3,
+            2,
+            &SimulatedUser::average(),
+            13,
+        );
+        assert!(annotated.len() >= 10);
+        let dev: Vec<(TrainExample, Formula)> = dev_pool
+            .iter()
+            .map(|e| {
+                (
+                    TrainExample::weak(e.question.clone(), e.table.clone(), e.answer.clone()),
+                    e.gold.clone(),
+                )
+            })
+            .collect();
+        let experiment = FeedbackExperiment {
+            train_config: TrainConfig { epochs: 2, ..TrainConfig::default() },
+            top_k: 7,
+        };
+        let with = experiment.train_and_evaluate(&annotated, &dev, &catalog, true);
+        let without = experiment.train_and_evaluate(&annotated, &dev, &catalog, false);
+        assert_eq!(with.train_examples, without.train_examples);
+        assert!(with.annotations > 0);
+        assert_eq!(without.annotations, 0);
+        assert!(
+            with.correctness + 0.05 >= without.correctness,
+            "annotated training fell well below weak supervision ({} vs {})",
+            with.correctness,
+            without.correctness
+        );
+    }
+
+    #[test]
+    fn annotation_precision_of_empty_set_is_zero() {
+        assert_eq!(FeedbackExperiment::annotation_precision(&[]), 0.0);
+    }
+}

@@ -1,0 +1,101 @@
+//! Statistical helpers: the χ² test used for Table 6.
+//!
+//! The paper marks user and hybrid correctness as significantly better than
+//! the parser baseline at the 0.01 level using a χ² test with one degree of
+//! freedom; this module provides that test for 2×2 contingency tables of
+//! (correct, incorrect) counts.
+
+/// χ² critical value for 1 degree of freedom at the 0.01 level.
+pub const CHI_SQUARE_CRITICAL_0_01: f64 = 6.635;
+
+/// χ² critical value for 1 degree of freedom at the 0.05 level.
+pub const CHI_SQUARE_CRITICAL_0_05: f64 = 3.841;
+
+/// Pearson's χ² statistic for a 2×2 table comparing two systems' success
+/// counts out of their totals. Returns `(statistic, significant_at_0.01)`.
+pub fn chi_square_2x2(
+    successes_a: usize,
+    total_a: usize,
+    successes_b: usize,
+    total_b: usize,
+) -> (f64, bool) {
+    let a = successes_a as f64;
+    let b = (total_a - successes_a) as f64;
+    let c = successes_b as f64;
+    let d = (total_b - successes_b) as f64;
+    let n = a + b + c + d;
+    if n == 0.0 {
+        return (0.0, false);
+    }
+    let denominator = (a + b) * (c + d) * (a + c) * (b + d);
+    if denominator == 0.0 {
+        return (0.0, false);
+    }
+    let statistic = n * (a * d - b * c).powi(2) / denominator;
+    (statistic, statistic >= CHI_SQUARE_CRITICAL_0_01)
+}
+
+/// Mean of a slice (0.0 for empty input).
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+/// Median of a slice (0.0 for empty input).
+pub fn median(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let mid = sorted.len() / 2;
+    if sorted.len() % 2 == 0 {
+        (sorted[mid - 1] + sorted[mid]) / 2.0
+    } else {
+        sorted[mid]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_proportions_are_not_significant() {
+        let (statistic, significant) = chi_square_2x2(50, 100, 50, 100);
+        assert!(statistic.abs() < 1e-9);
+        assert!(!significant);
+    }
+
+    #[test]
+    fn paper_scale_difference_is_significant() {
+        // Roughly the Table 6 comparison: 260/700 vs 341/700.
+        let (statistic, significant) = chi_square_2x2(341, 700, 260, 700);
+        assert!(statistic > CHI_SQUARE_CRITICAL_0_01, "statistic {statistic}");
+        assert!(significant);
+    }
+
+    #[test]
+    fn small_differences_on_small_samples_are_not() {
+        let (_, significant) = chi_square_2x2(11, 20, 9, 20);
+        assert!(!significant);
+    }
+
+    #[test]
+    fn degenerate_tables_do_not_panic() {
+        assert_eq!(chi_square_2x2(0, 0, 0, 0), (0.0, false));
+        assert_eq!(chi_square_2x2(5, 5, 5, 5), (0.0, false));
+    }
+
+    #[test]
+    fn mean_and_median() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+        assert_eq!(median(&[]), 0.0);
+        assert_eq!(median(&[1.0, 9.0, 2.0]), 2.0);
+        assert_eq!(median(&[1.0, 2.0, 3.0, 4.0]), 2.5);
+    }
+}

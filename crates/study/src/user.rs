@@ -1,0 +1,264 @@
+//! The simulated non-expert user.
+//!
+//! A worker in the paper's study is shown the explanations (utterance +
+//! highlights) of the parser's top-k candidates, in random order, and marks
+//! the candidate that correctly translates the question — or *None* when no
+//! candidate does. The paper measures a 78.4 % per-question success rate for
+//! this task (Table 4).
+//!
+//! The simulation models each candidate inspection as a noisy binary
+//! judgment: a correct candidate is recognized with probability
+//! `recognize_correct`, an incorrect one is mistakenly accepted with
+//! probability `accept_incorrect`. Both probabilities depend on the
+//! explanation mode — richer explanations make judgments more reliable,
+//! showing raw lambda DCS makes them near-random (the paper's observation
+//! that workers failed entirely without explanations).
+
+use rand::Rng;
+
+use wtq_dcs::Formula;
+use wtq_parser::formulas_equivalent;
+
+/// What the user is shown for each candidate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ExplanationMode {
+    /// Raw lambda DCS formulas only (the no-explanation control).
+    RawFormulas,
+    /// NL utterances only (the second group of Table 5).
+    Utterances,
+    /// NL utterances plus provenance-based highlights (the full system).
+    UtterancesAndHighlights,
+}
+
+impl ExplanationMode {
+    /// Probability of recognizing the correct candidate as correct.
+    pub fn recognize_correct(self) -> f64 {
+        match self {
+            ExplanationMode::RawFormulas => 0.22,
+            ExplanationMode::Utterances => 0.88,
+            ExplanationMode::UtterancesAndHighlights => 0.88,
+        }
+    }
+
+    /// Probability of mistakenly accepting an incorrect candidate.
+    pub fn accept_incorrect(self) -> f64 {
+        match self {
+            ExplanationMode::RawFormulas => 0.18,
+            ExplanationMode::Utterances => 0.035,
+            ExplanationMode::UtterancesAndHighlights => 0.035,
+        }
+    }
+
+    /// Human-readable label used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            ExplanationMode::RawFormulas => "lambda DCS only",
+            ExplanationMode::Utterances => "utterances",
+            ExplanationMode::UtterancesAndHighlights => "utterances + highlights",
+        }
+    }
+}
+
+/// The outcome of showing one question's candidates to a user.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UserDecision {
+    /// The user marked the candidate at this index (into the displayed list).
+    Selected(usize),
+    /// The user marked every candidate as incorrect.
+    None,
+}
+
+/// A simulated study participant.
+#[derive(Debug, Clone)]
+pub struct SimulatedUser {
+    /// Explanation mode the participant works with.
+    pub mode: ExplanationMode,
+    /// Relative skill multiplier (1.0 = average worker). Higher skill reduces
+    /// both error types; used to create worker variability in Table 4.
+    pub skill: f64,
+}
+
+impl SimulatedUser {
+    /// An average worker using the full explanation interface.
+    pub fn average() -> Self {
+        SimulatedUser { mode: ExplanationMode::UtterancesAndHighlights, skill: 1.0 }
+    }
+
+    /// A worker using the given explanation mode.
+    pub fn with_mode(mode: ExplanationMode) -> Self {
+        SimulatedUser { mode, skill: 1.0 }
+    }
+
+    fn recognize_probability(&self) -> f64 {
+        let base = self.mode.recognize_correct();
+        (base * self.skill).clamp(0.0, 0.995)
+    }
+
+    fn false_accept_probability(&self) -> f64 {
+        let base = self.mode.accept_incorrect();
+        (base / self.skill.max(0.1)).clamp(0.0, 1.0)
+    }
+
+    /// Inspect the displayed candidates and decide. `gold` is the correct
+    /// translation of the question (used by the simulation as ground truth
+    /// for whether each inspected candidate "looks right" to the worker).
+    ///
+    /// Candidates are inspected in display order; the first one judged
+    /// correct is selected, matching how workers fill the AMT form.
+    pub fn choose<R: Rng>(
+        &self,
+        candidates: &[Formula],
+        gold: Option<&Formula>,
+        rng: &mut R,
+    ) -> UserDecision {
+        for (index, candidate) in candidates.iter().enumerate() {
+            let is_correct =
+                gold.map(|gold| formulas_equivalent(gold, candidate)).unwrap_or(false);
+            let accept_probability = if is_correct {
+                self.recognize_probability()
+            } else {
+                self.false_accept_probability()
+            };
+            if rng.gen_bool(accept_probability) {
+                return UserDecision::Selected(index);
+            }
+        }
+        UserDecision::None
+    }
+
+    /// Whether a decision counts as a *success* in the Table 4 sense: the
+    /// user either selected a correct candidate, or answered None when no
+    /// displayed candidate was correct.
+    pub fn is_successful(
+        decision: &UserDecision,
+        candidates: &[Formula],
+        gold: Option<&Formula>,
+    ) -> bool {
+        let gold_present = gold
+            .map(|gold| candidates.iter().any(|c| formulas_equivalent(gold, c)))
+            .unwrap_or(false);
+        match decision {
+            UserDecision::Selected(index) => gold
+                .map(|gold| {
+                    candidates
+                        .get(*index)
+                        .map(|c| formulas_equivalent(gold, c))
+                        .unwrap_or(false)
+                })
+                .unwrap_or(false),
+            UserDecision::None => !gold_present,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use wtq_dcs::parse_formula;
+
+    fn candidates() -> Vec<Formula> {
+        vec![
+            parse_formula("max(R[Year].Country.China)").unwrap(),
+            parse_formula("max(R[Year].Country.Greece)").unwrap(),
+            parse_formula("R[Year].last(Country.Greece)").unwrap(),
+            parse_formula("count(Country.Greece)").unwrap(),
+        ]
+    }
+
+    #[test]
+    fn explained_users_mostly_find_the_gold_query() {
+        let gold = parse_formula("max(R[Year].Country.Greece)").unwrap();
+        let user = SimulatedUser::average();
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let mut successes = 0usize;
+        let trials = 500usize;
+        for _ in 0..trials {
+            let decision = user.choose(&candidates(), Some(&gold), &mut rng);
+            if SimulatedUser::is_successful(&decision, &candidates(), Some(&gold)) {
+                successes += 1;
+            }
+        }
+        let rate = successes as f64 / trials as f64;
+        assert!(
+            (0.65..=0.92).contains(&rate),
+            "success rate {rate} far from the paper's 78.4%"
+        );
+    }
+
+    #[test]
+    fn users_without_explanations_mostly_fail() {
+        let gold = parse_formula("max(R[Year].Country.Greece)").unwrap();
+        let user = SimulatedUser::with_mode(ExplanationMode::RawFormulas);
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let mut successes = 0usize;
+        let trials = 500usize;
+        for _ in 0..trials {
+            let decision = user.choose(&candidates(), Some(&gold), &mut rng);
+            if SimulatedUser::is_successful(&decision, &candidates(), Some(&gold)) {
+                successes += 1;
+            }
+        }
+        let explained_user = SimulatedUser::average();
+        let mut explained_successes = 0usize;
+        for _ in 0..trials {
+            let decision = explained_user.choose(&candidates(), Some(&gold), &mut rng);
+            if SimulatedUser::is_successful(&decision, &candidates(), Some(&gold)) {
+                explained_successes += 1;
+            }
+        }
+        assert!(
+            successes * 2 < explained_successes,
+            "raw-formula users ({successes}) should do far worse than explained users ({explained_successes})"
+        );
+    }
+
+    #[test]
+    fn none_is_the_right_answer_when_gold_is_absent() {
+        let gold = parse_formula("sum(R[Year].Country.Greece)").unwrap();
+        let user = SimulatedUser::average();
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let mut none_successes = 0usize;
+        let trials = 400usize;
+        for _ in 0..trials {
+            let decision = user.choose(&candidates(), Some(&gold), &mut rng);
+            if SimulatedUser::is_successful(&decision, &candidates(), Some(&gold)) {
+                assert_eq!(decision, UserDecision::None);
+                none_successes += 1;
+            }
+        }
+        assert!(none_successes as f64 / trials as f64 > 0.7);
+    }
+
+    #[test]
+    fn success_judgment_edge_cases() {
+        let gold = parse_formula("max(R[Year].Country.Greece)").unwrap();
+        let shown = candidates();
+        assert!(SimulatedUser::is_successful(&UserDecision::Selected(1), &shown, Some(&gold)));
+        assert!(!SimulatedUser::is_successful(&UserDecision::Selected(0), &shown, Some(&gold)));
+        assert!(!SimulatedUser::is_successful(&UserDecision::None, &shown, Some(&gold)));
+        assert!(!SimulatedUser::is_successful(&UserDecision::Selected(99), &shown, Some(&gold)));
+        // Without any gold query, selecting anything is wrong and None is right.
+        assert!(SimulatedUser::is_successful(&UserDecision::None, &shown, None));
+        assert!(!SimulatedUser::is_successful(&UserDecision::Selected(0), &shown, None));
+    }
+
+    #[test]
+    fn mode_labels_and_probabilities_are_sane() {
+        for mode in [
+            ExplanationMode::RawFormulas,
+            ExplanationMode::Utterances,
+            ExplanationMode::UtterancesAndHighlights,
+        ] {
+            assert!(!mode.label().is_empty());
+            assert!(mode.recognize_correct() > mode.accept_incorrect());
+        }
+        // The two explanation modes are equally accurate (the paper found no
+        // correctness difference, only a time difference).
+        assert_eq!(
+            ExplanationMode::Utterances.recognize_correct(),
+            ExplanationMode::UtterancesAndHighlights.recognize_correct()
+        );
+    }
+}

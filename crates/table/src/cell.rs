@@ -1,0 +1,59 @@
+//! Cell coordinates.
+//!
+//! The provenance model of §4 is *cell-based*: the three provenance functions
+//! `P_O`, `P_E`, `P_C` return sets of table cells. A [`CellRef`] is the
+//! coordinate of one cell — the record index plus the column index — and is
+//! the currency passed between the evaluator (`wtq-dcs`), the provenance
+//! model (`wtq-provenance`) and the highlight renderer.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::table::RecordIdx;
+
+/// Coordinate of a single table cell: `(record, column)`.
+///
+/// Both components are indexes into the owning [`crate::Table`]; the cell's
+/// value is `table.cell_value(cell)`. Ordering is row-major (record first)
+/// so that sorted sets of cells read top-to-bottom, left-to-right.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct CellRef {
+    /// Index of the record (row) the cell belongs to.
+    pub record: RecordIdx,
+    /// Index of the column the cell belongs to.
+    pub column: usize,
+}
+
+impl CellRef {
+    /// Create a cell reference.
+    pub fn new(record: RecordIdx, column: usize) -> Self {
+        CellRef { record, column }
+    }
+}
+
+impl fmt::Display for CellRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(r{}, c{})", self.record, self.column)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_is_row_major() {
+        let a = CellRef::new(0, 3);
+        let b = CellRef::new(1, 0);
+        let c = CellRef::new(1, 2);
+        assert!(a < b);
+        assert!(b < c);
+    }
+
+    #[test]
+    fn display_names_row_and_column() {
+        assert_eq!(CellRef::new(4, 2).to_string(), "(r4, c2)");
+    }
+}

@@ -1,0 +1,181 @@
+//! Minimal CSV / TSV reader and writer.
+//!
+//! WikiTableQuestions distributes its tables as TSV files; the synthetic
+//! dataset of this reproduction is persisted the same way. The format
+//! implemented here is deliberately small: one header row, `,` or `\t`
+//! delimiters, optional double-quote quoting with `""` escapes, `\n` or
+//! `\r\n` line endings. This avoids an external dependency while covering
+//! everything the workspace reads and writes.
+
+use crate::error::TableError;
+use crate::table::{Table, TableBuilder};
+use crate::Result;
+
+/// Field delimiter for [`read_table`] / [`write_table`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Delimiter {
+    /// Comma-separated values.
+    Comma,
+    /// Tab-separated values (the WikiTableQuestions distribution format).
+    Tab,
+}
+
+impl Delimiter {
+    fn as_char(self) -> char {
+        match self {
+            Delimiter::Comma => ',',
+            Delimiter::Tab => '\t',
+        }
+    }
+}
+
+/// Split one logical CSV record into fields, honouring double-quote quoting.
+fn split_record(line: &str, delimiter: char) -> std::result::Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut field = String::new();
+    let mut chars = line.chars().peekable();
+    let mut in_quotes = false;
+    while let Some(c) = chars.next() {
+        if in_quotes {
+            if c == '"' {
+                if chars.peek() == Some(&'"') {
+                    field.push('"');
+                    chars.next();
+                } else {
+                    in_quotes = false;
+                }
+            } else {
+                field.push(c);
+            }
+        } else if c == '"' {
+            if field.is_empty() {
+                in_quotes = true;
+            } else {
+                field.push(c);
+            }
+        } else if c == delimiter {
+            fields.push(std::mem::take(&mut field));
+        } else {
+            field.push(c);
+        }
+    }
+    if in_quotes {
+        return Err("unterminated quoted field".to_string());
+    }
+    fields.push(field);
+    Ok(fields)
+}
+
+/// Parse a table named `name` from CSV/TSV text.
+pub fn read_table(name: &str, text: &str, delimiter: Delimiter) -> Result<Table> {
+    let delim = delimiter.as_char();
+    let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+    let header_line = lines.next().ok_or_else(|| TableError::Csv("empty document".into()))?;
+    let headers = split_record(header_line, delim).map_err(TableError::Csv)?;
+    let mut builder = TableBuilder::new(name).columns(headers);
+    for line in lines {
+        let fields = split_record(line, delim).map_err(TableError::Csv)?;
+        builder = builder.row_text(&fields)?;
+    }
+    builder.build()
+}
+
+/// Quote a field if it contains the delimiter, a quote or a newline.
+fn quote_field(field: &str, delimiter: char) -> String {
+    if field.contains(delimiter) || field.contains('"') || field.contains('\n') {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
+/// Serialize a table to CSV/TSV text (header row first).
+pub fn write_table(table: &Table, delimiter: Delimiter) -> String {
+    let delim = delimiter.as_char();
+    let mut out = String::new();
+    let header: Vec<String> = table
+        .columns()
+        .iter()
+        .map(|c| quote_field(&c.name, delim))
+        .collect();
+    out.push_str(&header.join(&delim.to_string()));
+    out.push('\n');
+    for record in table.record_indices() {
+        let row = table.record(record).expect("record in range");
+        let fields: Vec<String> = row
+            .iter()
+            .map(|v| quote_field(&v.to_string(), delim))
+            .collect();
+        out.push_str(&fields.join(&delim.to_string()));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    #[test]
+    fn reads_simple_csv() {
+        let text = "Year,Country,City\n1896,Greece,Athens\n2008,China,Beijing\n";
+        let table = read_table("olympics", text, Delimiter::Comma).unwrap();
+        assert_eq!(table.num_records(), 2);
+        assert_eq!(table.value_at(1, 2), Some(&Value::str("Beijing")));
+        assert_eq!(table.value_at(0, 0), Some(&Value::num(1896.0)));
+    }
+
+    #[test]
+    fn reads_tsv_with_commas_inside_fields() {
+        let text = "Name\tNote\nAlice\tHello, world\n";
+        let table = read_table("t", text, Delimiter::Tab).unwrap();
+        assert_eq!(table.value_at(0, 1), Some(&Value::str("Hello, world")));
+    }
+
+    #[test]
+    fn quoted_fields_and_escaped_quotes() {
+        let text = "A,B\n\"x, y\",\"say \"\"hi\"\"\"\n";
+        let table = read_table("t", text, Delimiter::Comma).unwrap();
+        assert_eq!(table.value_at(0, 0), Some(&Value::str("x, y")));
+        assert_eq!(table.value_at(0, 1), Some(&Value::str("say \"hi\"")));
+    }
+
+    #[test]
+    fn unterminated_quote_is_an_error() {
+        let text = "A\n\"oops\n";
+        assert!(matches!(
+            read_table("t", text, Delimiter::Comma),
+            Err(TableError::Csv(_))
+        ));
+    }
+
+    #[test]
+    fn empty_document_is_an_error() {
+        assert!(read_table("t", "\n\n", Delimiter::Comma).is_err());
+    }
+
+    #[test]
+    fn roundtrip_preserves_shape_and_values() {
+        let table = Table::from_rows(
+            "medals",
+            &["Nation", "Total"],
+            &[vec!["Fiji", "130"], vec!["Tonga", "20"], vec!["New Caledonia, FR", "288"]],
+        )
+        .unwrap();
+        for delim in [Delimiter::Comma, Delimiter::Tab] {
+            let text = write_table(&table, delim);
+            let parsed = read_table("medals", &text, delim).unwrap();
+            assert_eq!(parsed.num_records(), table.num_records());
+            assert_eq!(parsed.value_at(2, 0), Some(&Value::str("New Caledonia, FR")));
+            assert_eq!(parsed.value_at(0, 1), Some(&Value::num(130.0)));
+        }
+    }
+
+    #[test]
+    fn skips_blank_lines() {
+        let text = "A,B\n\n1,2\n\n3,4\n";
+        let table = read_table("t", text, Delimiter::Comma).unwrap();
+        assert_eq!(table.num_records(), 2);
+    }
+}

@@ -1,0 +1,67 @@
+//! Error type shared by the table crate.
+
+use std::fmt;
+
+/// Errors produced while building, loading or querying tables.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TableError {
+    /// A column name was referenced that the table does not contain.
+    UnknownColumn(String),
+    /// A record index outside `0..table.num_records()` was referenced.
+    RecordOutOfBounds { index: usize, len: usize },
+    /// A row supplied to the builder had the wrong number of cells.
+    RowArity { expected: usize, got: usize, row: usize },
+    /// The table has no columns or no header row.
+    EmptyTable,
+    /// Two columns share a name; column names must be unique within a table.
+    DuplicateColumn(String),
+    /// A value could not be parsed from its textual form.
+    ValueParse(String),
+    /// A CSV/TSV document was structurally malformed.
+    Csv(String),
+    /// A named table was not found in a catalog.
+    UnknownTable(String),
+}
+
+impl fmt::Display for TableError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TableError::UnknownColumn(name) => write!(f, "unknown column: {name:?}"),
+            TableError::RecordOutOfBounds { index, len } => {
+                write!(f, "record index {index} out of bounds for table with {len} records")
+            }
+            TableError::RowArity { expected, got, row } => {
+                write!(f, "row {row} has {got} cells but the table has {expected} columns")
+            }
+            TableError::EmptyTable => write!(f, "table has no columns"),
+            TableError::DuplicateColumn(name) => write!(f, "duplicate column name: {name:?}"),
+            TableError::ValueParse(text) => write!(f, "cannot parse value from {text:?}"),
+            TableError::Csv(msg) => write!(f, "malformed csv/tsv input: {msg}"),
+            TableError::UnknownTable(name) => write!(f, "unknown table: {name:?}"),
+        }
+    }
+}
+
+impl std::error::Error for TableError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_human_readable() {
+        let err = TableError::UnknownColumn("Year".into());
+        assert_eq!(err.to_string(), "unknown column: \"Year\"");
+        let err = TableError::RecordOutOfBounds { index: 9, len: 3 };
+        assert!(err.to_string().contains("9"));
+        assert!(err.to_string().contains("3"));
+        let err = TableError::RowArity { expected: 4, got: 2, row: 7 };
+        assert!(err.to_string().contains("row 7"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TableError>();
+    }
+}

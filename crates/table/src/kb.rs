@@ -1,0 +1,163 @@
+//! Knowledge-base view of a table (§3.1).
+//!
+//! The paper views a table as `K ⊆ E × P × E`: entities `E` are all cell
+//! values plus all records, and each column header is a binary property
+//! mapping a cell value to the records in which it appears. This module
+//! materializes that view as inverted indexes so the evaluator and the
+//! semantic parser can answer `Column.value` joins and entity-linking lookups
+//! without scanning the table repeatedly.
+
+use std::collections::HashMap;
+
+use crate::cell::CellRef;
+use crate::table::{RecordIdx, Table};
+use crate::value::Value;
+
+/// Inverted index for one column: value → records containing it.
+#[derive(Debug, Clone, Default)]
+pub struct ColumnIndex {
+    by_value: HashMap<Value, Vec<RecordIdx>>,
+}
+
+impl ColumnIndex {
+    /// Records whose cell in this column equals `value` (the `C.v` join).
+    pub fn records(&self, value: &Value) -> &[RecordIdx] {
+        self.by_value.get(value).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Number of distinct values in the column.
+    pub fn num_distinct(&self) -> usize {
+        self.by_value.len()
+    }
+
+    /// Iterate over `(value, records)` pairs in unspecified order.
+    pub fn entries(&self) -> impl Iterator<Item = (&Value, &Vec<RecordIdx>)> {
+        self.by_value.iter()
+    }
+}
+
+/// The knowledge-base view of one table.
+#[derive(Debug, Clone)]
+pub struct KnowledgeBase<'a> {
+    table: &'a Table,
+    columns: Vec<ColumnIndex>,
+}
+
+impl<'a> KnowledgeBase<'a> {
+    /// Build the KB view (inverted index per column) of `table`.
+    pub fn new(table: &'a Table) -> Self {
+        let mut columns: Vec<ColumnIndex> = vec![ColumnIndex::default(); table.num_columns()];
+        for record in table.record_indices() {
+            let row = table.record(record).expect("record index in range");
+            for (column, value) in row.iter().enumerate() {
+                columns[column]
+                    .by_value
+                    .entry(value.clone())
+                    .or_default()
+                    .push(record);
+            }
+        }
+        KnowledgeBase { table, columns }
+    }
+
+    /// The underlying table.
+    pub fn table(&self) -> &Table {
+        self.table
+    }
+
+    /// Index for a column.
+    pub fn column(&self, column: usize) -> &ColumnIndex {
+        &self.columns[column]
+    }
+
+    /// Records with `value` in `column` — the binary relation application
+    /// `Column.value` (e.g. `Country.Greece`).
+    pub fn join(&self, column: usize, value: &Value) -> &[RecordIdx] {
+        self.columns[column].records(value)
+    }
+
+    /// All cells in `column` whose value equals `value` (used by the
+    /// provenance rule for *Column Records* in Table 10).
+    pub fn matching_cells(&self, column: usize, value: &Value) -> Vec<CellRef> {
+        self.join(column, value)
+            .iter()
+            .map(|&record| CellRef::new(record, column))
+            .collect()
+    }
+
+    /// Every `(column, value)` pair whose value's text matches `text`,
+    /// used for entity linking of question tokens to the table.
+    pub fn link_text(&self, text: &str) -> Vec<(usize, Value)> {
+        let mut out = Vec::new();
+        for (column, index) in self.columns.iter().enumerate() {
+            for (value, _records) in index.entries() {
+                if value.matches_text(text) {
+                    out.push((column, value.clone()));
+                }
+            }
+        }
+        out.sort_by(|a, b| a.0.cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::Table;
+
+    fn olympics() -> Table {
+        Table::from_rows(
+            "olympics",
+            &["Year", "Country", "City"],
+            &[
+                vec!["1896", "Greece", "Athens"],
+                vec!["1900", "France", "Paris"],
+                vec!["2004", "Greece", "Athens"],
+                vec!["2008", "China", "Beijing"],
+                vec!["2012", "UK", "London"],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn join_returns_matching_records() {
+        let table = olympics();
+        let kb = KnowledgeBase::new(&table);
+        let country = table.column_index("Country").unwrap();
+        assert_eq!(kb.join(country, &Value::str("Greece")), &[0, 2]);
+        assert_eq!(kb.join(country, &Value::str("Atlantis")), &[] as &[usize]);
+    }
+
+    #[test]
+    fn matching_cells_point_into_the_right_column() {
+        let table = olympics();
+        let kb = KnowledgeBase::new(&table);
+        let city = table.column_index("City").unwrap();
+        let cells = kb.matching_cells(city, &Value::str("Athens"));
+        assert_eq!(cells, vec![CellRef::new(0, city), CellRef::new(2, city)]);
+    }
+
+    #[test]
+    fn link_text_finds_entities_case_insensitively() {
+        let table = olympics();
+        let kb = KnowledgeBase::new(&table);
+        let links = kb.link_text("greece");
+        assert_eq!(links.len(), 1);
+        assert_eq!(links[0].0, table.column_index("Country").unwrap());
+        assert_eq!(links[0].1, Value::str("Greece"));
+        // Numbers link too.
+        let links = kb.link_text("2008");
+        assert_eq!(links.len(), 1);
+        assert_eq!(links[0].0, table.column_index("Year").unwrap());
+    }
+
+    #[test]
+    fn distinct_counts_match_table() {
+        let table = olympics();
+        let kb = KnowledgeBase::new(&table);
+        let country = table.column_index("Country").unwrap();
+        assert_eq!(kb.column(country).num_distinct(), 4);
+    }
+}

@@ -1,0 +1,431 @@
+//! The ordered web-table relation of §3.1.
+//!
+//! Records are ordered top to bottom; each record has a unique `Index`
+//! (0, 1, 2, …) and a `Prev` pointer to the record above it. Columns are
+//! named, and cell values are typed [`Value`]s.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+use std::fmt;
+
+use crate::cell::CellRef;
+use crate::error::TableError;
+use crate::value::Value;
+use crate::Result;
+
+/// Index of a record (row) within a table; identical to the paper's `Index`
+/// attribute.
+pub type RecordIdx = usize;
+
+/// The inferred dominant type of a column, used by the semantic parser to
+/// decide which operations are applicable (e.g. `sum` needs numbers).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ColumnType {
+    /// Mostly textual cells.
+    Text,
+    /// Mostly numeric cells.
+    Number,
+    /// Mostly date cells.
+    Date,
+    /// No clear majority.
+    Mixed,
+}
+
+/// A named column together with its inferred type.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Column {
+    /// Header text, e.g. `"Country"`. Unique within its table.
+    pub name: String,
+    /// Dominant value type of the column's cells.
+    pub column_type: ColumnType,
+}
+
+/// A single web table: a header row plus an ordered list of records.
+///
+/// Construct with [`TableBuilder`] or [`Table::from_rows`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table {
+    name: String,
+    columns: Vec<Column>,
+    /// `rows[record][column]`.
+    rows: Vec<Vec<Value>>,
+}
+
+impl Table {
+    /// Build a table from a name, header names and rows of cell text that will
+    /// be value-parsed. Convenience for tests, samples and examples.
+    pub fn from_rows<S: AsRef<str>>(
+        name: &str,
+        headers: &[S],
+        rows: &[Vec<&str>],
+    ) -> Result<Table> {
+        let mut builder = TableBuilder::new(name);
+        for header in headers {
+            builder = builder.column(header.as_ref());
+        }
+        for row in rows {
+            builder = builder.row_text(row)?;
+        }
+        builder.build()
+    }
+
+    /// The table's name (used by [`crate::Catalog`]).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// All columns in header order.
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// Number of columns.
+    pub fn num_columns(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Number of records (rows).
+    pub fn num_records(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no records.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Index of the column with the given (case-insensitive) header.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns
+            .iter()
+            .position(|c| c.name.eq_ignore_ascii_case(name.trim()))
+    }
+
+    /// Like [`Table::column_index`] but returns an error naming the column.
+    pub fn require_column(&self, name: &str) -> Result<usize> {
+        self.column_index(name)
+            .ok_or_else(|| TableError::UnknownColumn(name.to_string()))
+    }
+
+    /// Header name of a column by index.
+    pub fn column_name(&self, column: usize) -> &str {
+        &self.columns[column].name
+    }
+
+    /// Inferred type of a column by index.
+    pub fn column_type(&self, column: usize) -> ColumnType {
+        self.columns[column].column_type
+    }
+
+    /// The full record (row) at `index`.
+    pub fn record(&self, index: RecordIdx) -> Result<&[Value]> {
+        self.rows
+            .get(index)
+            .map(Vec::as_slice)
+            .ok_or(TableError::RecordOutOfBounds { index, len: self.rows.len() })
+    }
+
+    /// Value of the cell at `(record, column)`, if in bounds.
+    pub fn value_at(&self, record: RecordIdx, column: usize) -> Option<&Value> {
+        self.rows.get(record).and_then(|row| row.get(column))
+    }
+
+    /// Value at a [`CellRef`]; panics if out of bounds (cell refs are only
+    /// produced by evaluation over the same table, so OOB is a logic error).
+    pub fn cell_value(&self, cell: CellRef) -> &Value {
+        &self.rows[cell.record][cell.column]
+    }
+
+    /// All cells of one column, top to bottom.
+    pub fn column_cells(&self, column: usize) -> impl Iterator<Item = CellRef> + '_ {
+        (0..self.num_records()).map(move |record| CellRef::new(record, column))
+    }
+
+    /// All record indices `0..n`, in table order.
+    pub fn record_indices(&self) -> impl Iterator<Item = RecordIdx> {
+        0..self.num_records()
+    }
+
+    /// The `Prev` pointer of §3.1: the record directly above, if any.
+    pub fn prev_record(&self, record: RecordIdx) -> Option<RecordIdx> {
+        if record == 0 || record >= self.num_records() {
+            None
+        } else {
+            Some(record - 1)
+        }
+    }
+
+    /// The inverse of `Prev` (`R[Prev]` in lambda DCS): the record directly
+    /// below, if any.
+    pub fn next_record(&self, record: RecordIdx) -> Option<RecordIdx> {
+        let next = record + 1;
+        (next < self.num_records()).then_some(next)
+    }
+
+    /// Records whose cell in `column` equals `value` — the binary relation
+    /// `Column.value` of the KB view, e.g. `Country.Greece`.
+    pub fn records_with_value(&self, column: usize, value: &Value) -> Vec<RecordIdx> {
+        self.rows
+            .iter()
+            .enumerate()
+            .filter(|(_, row)| &row[column] == value)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Distinct values appearing in `column`, in first-appearance order.
+    pub fn distinct_column_values(&self, column: usize) -> Vec<Value> {
+        let mut seen: HashSet<Value> = HashSet::new();
+        let mut out = Vec::new();
+        for row in &self.rows {
+            let v = row[column].clone();
+            if seen.insert(v.clone()) {
+                out.push(v);
+            }
+        }
+        out
+    }
+
+    /// Render as a plain-text grid (used by examples and error messages).
+    pub fn to_text_grid(&self) -> String {
+        let mut widths: Vec<usize> = self.columns.iter().map(|c| c.name.len()).collect();
+        for row in &self.rows {
+            for (i, value) in row.iter().enumerate() {
+                widths[i] = widths[i].max(value.to_string().len());
+            }
+        }
+        let mut out = String::new();
+        for (i, column) in self.columns.iter().enumerate() {
+            out.push_str(&format!("{:<width$}  ", column.name, width = widths[i]));
+        }
+        out.push('\n');
+        for row in &self.rows {
+            for (i, value) in row.iter().enumerate() {
+                out.push_str(&format!("{:<width$}  ", value.to_string(), width = widths[i]));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_text_grid())
+    }
+}
+
+/// Incremental builder for [`Table`].
+#[derive(Debug, Clone, Default)]
+pub struct TableBuilder {
+    name: String,
+    columns: Vec<String>,
+    rows: Vec<Vec<Value>>,
+}
+
+impl TableBuilder {
+    /// Start a new table with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        TableBuilder { name: name.into(), columns: Vec::new(), rows: Vec::new() }
+    }
+
+    /// Append a column header. Must be called before any rows are added.
+    pub fn column(mut self, name: impl Into<String>) -> Self {
+        self.columns.push(name.into());
+        self
+    }
+
+    /// Append several column headers at once.
+    pub fn columns<S: Into<String>, I: IntoIterator<Item = S>>(mut self, names: I) -> Self {
+        self.columns.extend(names.into_iter().map(Into::into));
+        self
+    }
+
+    /// Append a row of already-typed values.
+    pub fn row(mut self, values: Vec<Value>) -> Result<Self> {
+        if values.len() != self.columns.len() {
+            return Err(TableError::RowArity {
+                expected: self.columns.len(),
+                got: values.len(),
+                row: self.rows.len(),
+            });
+        }
+        self.rows.push(values);
+        Ok(self)
+    }
+
+    /// Append a row of textual cells that will be value-parsed.
+    pub fn row_text<S: AsRef<str>>(self, cells: &[S]) -> Result<Self> {
+        let values = cells.iter().map(|c| Value::parse(c.as_ref())).collect();
+        self.row(values)
+    }
+
+    /// Finalize the table, inferring column types and validating headers.
+    pub fn build(self) -> Result<Table> {
+        if self.columns.is_empty() {
+            return Err(TableError::EmptyTable);
+        }
+        let mut seen = HashSet::new();
+        for name in &self.columns {
+            if !seen.insert(name.to_ascii_lowercase()) {
+                return Err(TableError::DuplicateColumn(name.clone()));
+            }
+        }
+        let columns = self
+            .columns
+            .iter()
+            .enumerate()
+            .map(|(i, name)| Column {
+                name: name.clone(),
+                column_type: infer_column_type(&self.rows, i),
+            })
+            .collect();
+        Ok(Table { name: self.name, columns, rows: self.rows })
+    }
+}
+
+/// A column's type is the strict-majority type of its non-empty cells.
+fn infer_column_type(rows: &[Vec<Value>], column: usize) -> ColumnType {
+    let mut text = 0usize;
+    let mut number = 0usize;
+    let mut date = 0usize;
+    let mut total = 0usize;
+    for row in rows {
+        match &row[column] {
+            Value::Str(s) if s.is_empty() => continue,
+            Value::Str(_) => text += 1,
+            Value::Num(_) => number += 1,
+            Value::Date(_) => date += 1,
+        }
+        total += 1;
+    }
+    if total == 0 {
+        return ColumnType::Text;
+    }
+    let half = total / 2;
+    if number > half {
+        ColumnType::Number
+    } else if date > half {
+        ColumnType::Date
+    } else if text > half {
+        ColumnType::Text
+    } else {
+        ColumnType::Mixed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn olympics() -> Table {
+        Table::from_rows(
+            "olympics",
+            &["Year", "Country", "City"],
+            &[
+                vec!["1896", "Greece", "Athens"],
+                vec!["1900", "France", "Paris"],
+                vec!["2004", "Greece", "Athens"],
+                vec!["2008", "China", "Beijing"],
+                vec!["2012", "UK", "London"],
+                vec!["2016", "Brazil", "Rio de Janeiro"],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn builds_and_reports_shape() {
+        let t = olympics();
+        assert_eq!(t.num_columns(), 3);
+        assert_eq!(t.num_records(), 6);
+        assert_eq!(t.column_name(1), "Country");
+        assert_eq!(t.column_type(0), ColumnType::Number);
+        assert_eq!(t.column_type(2), ColumnType::Text);
+    }
+
+    #[test]
+    fn column_lookup_is_case_insensitive() {
+        let t = olympics();
+        assert_eq!(t.column_index("country"), Some(1));
+        assert_eq!(t.column_index(" CITY "), Some(2));
+        assert_eq!(t.column_index("Missing"), None);
+        assert!(t.require_column("Missing").is_err());
+    }
+
+    #[test]
+    fn prev_and_next_record_pointers() {
+        let t = olympics();
+        assert_eq!(t.prev_record(0), None);
+        assert_eq!(t.prev_record(3), Some(2));
+        assert_eq!(t.next_record(5), None);
+        assert_eq!(t.next_record(2), Some(3));
+        assert_eq!(t.prev_record(99), None);
+    }
+
+    #[test]
+    fn records_with_value_matches_paper_example() {
+        // Country.Greece on the Figure 1 table returns records {0, 2} here
+        // (the paper writes {0, n-4} for its elided table).
+        let t = olympics();
+        let col = t.column_index("Country").unwrap();
+        let records = t.records_with_value(col, &Value::str("Greece"));
+        assert_eq!(records, vec![0, 2]);
+    }
+
+    #[test]
+    fn distinct_values_preserve_first_appearance_order() {
+        let t = olympics();
+        let col = t.column_index("Country").unwrap();
+        let distinct = t.distinct_column_values(col);
+        assert_eq!(distinct[0], Value::str("Greece"));
+        assert_eq!(distinct.len(), 5);
+    }
+
+    #[test]
+    fn builder_rejects_bad_shapes() {
+        let err = TableBuilder::new("t").build().unwrap_err();
+        assert_eq!(err, TableError::EmptyTable);
+
+        let err = TableBuilder::new("t")
+            .column("A")
+            .column("a")
+            .row_text(&["1", "2"])
+            .unwrap()
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, TableError::DuplicateColumn(_)));
+
+        let err = TableBuilder::new("t").column("A").row_text(&["1", "2"]).unwrap_err();
+        assert!(matches!(err, TableError::RowArity { expected: 1, got: 2, row: 0 }));
+    }
+
+    #[test]
+    fn record_out_of_bounds_is_an_error() {
+        let t = olympics();
+        assert!(t.record(5).is_ok());
+        assert!(matches!(
+            t.record(6),
+            Err(TableError::RecordOutOfBounds { index: 6, len: 6 })
+        ));
+    }
+
+    #[test]
+    fn text_grid_contains_headers_and_cells() {
+        let grid = olympics().to_text_grid();
+        assert!(grid.contains("Country"));
+        assert!(grid.contains("Rio de Janeiro"));
+        assert_eq!(grid.lines().count(), 7);
+    }
+
+    #[test]
+    fn mixed_column_type_detected() {
+        let t = Table::from_rows(
+            "mixed",
+            &["A"],
+            &[vec!["1"], vec!["x"], vec!["2"], vec!["y"]],
+        )
+        .unwrap();
+        assert_eq!(t.column_type(0), ColumnType::Mixed);
+    }
+}

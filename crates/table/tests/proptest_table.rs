@@ -1,0 +1,113 @@
+//! Property-based tests for the table data model.
+
+use proptest::prelude::*;
+use wtq_table::csv::{read_table, write_table, Delimiter};
+use wtq_table::{KnowledgeBase, Table, TableBuilder, Value};
+
+/// Strategy producing printable cell text without control characters.
+fn cell_text() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[ -~&&[^\"]]{0,12}").expect("valid regex")
+}
+
+/// Strategy producing small tables (1–6 columns, 0–12 rows) of text cells.
+fn table_strategy() -> impl Strategy<Value = Table> {
+    (1usize..=6, 0usize..=12).prop_flat_map(|(cols, rows)| {
+        let header: Vec<String> = (0..cols).map(|i| format!("Col{i}")).collect();
+        proptest::collection::vec(proptest::collection::vec(cell_text(), cols), rows).prop_map(
+            move |rows| {
+                let mut builder = TableBuilder::new("prop").columns(header.clone());
+                for row in &rows {
+                    builder = builder.row_text(row).expect("arity matches");
+                }
+                builder.build().expect("non-empty header")
+            },
+        )
+    })
+}
+
+proptest! {
+    /// Value parsing never panics and display of the parsed value re-parses to
+    /// an equal value (textual round-trip stability).
+    #[test]
+    fn value_parse_display_roundtrip(text in cell_text()) {
+        let value = Value::parse(&text);
+        let redisplayed = value.to_string();
+        let reparsed = Value::parse(&redisplayed);
+        prop_assert_eq!(value, reparsed);
+    }
+
+    /// Value ordering is a total order: antisymmetric and transitive on
+    /// sampled triples.
+    #[test]
+    fn value_ordering_is_consistent(a in cell_text(), b in cell_text(), c in cell_text()) {
+        let (a, b, c) = (Value::parse(&a), Value::parse(&b), Value::parse(&c));
+        // Antisymmetry.
+        if a < b {
+            prop_assert!(b > a);
+        }
+        // Transitivity.
+        if a <= b && b <= c {
+            prop_assert!(a <= c);
+        }
+        // Equality implies equal ordering.
+        if a == b {
+            prop_assert_eq!(a.cmp(&b), std::cmp::Ordering::Equal);
+        }
+    }
+
+    /// CSV round trip preserves the table shape and the displayed cell text.
+    #[test]
+    fn csv_roundtrip(table in table_strategy()) {
+        for delim in [Delimiter::Comma, Delimiter::Tab] {
+            let text = write_table(&table, delim);
+            let parsed = read_table("prop", &text, delim);
+            // Tables whose trailing rows are entirely empty lose those rows to
+            // blank-line skipping; skip that corner.
+            if table.record_indices().all(|r| {
+                table.record(r).unwrap().iter().any(|v| !v.to_string().is_empty())
+            }) {
+                let parsed = parsed.expect("roundtrip parses");
+                prop_assert_eq!(parsed.num_records(), table.num_records());
+                prop_assert_eq!(parsed.num_columns(), table.num_columns());
+                for r in table.record_indices() {
+                    for c in 0..table.num_columns() {
+                        let orig = table.value_at(r, c).unwrap();
+                        let round = parsed.value_at(r, c).unwrap();
+                        prop_assert_eq!(
+                            Value::parse(&orig.to_string()),
+                            round.clone(),
+                            "cell ({}, {}) changed", r, c
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// The KB inverted index agrees with a direct table scan for every
+    /// (column, value) pair present in the table.
+    #[test]
+    fn kb_join_matches_scan(table in table_strategy()) {
+        let kb = KnowledgeBase::new(&table);
+        for column in 0..table.num_columns() {
+            for value in table.distinct_column_values(column) {
+                let via_kb = kb.join(column, &value).to_vec();
+                let via_scan = table.records_with_value(column, &value);
+                prop_assert_eq!(via_kb, via_scan);
+            }
+        }
+    }
+
+    /// Prev/next pointers are mutually inverse wherever both are defined.
+    #[test]
+    fn prev_next_inverse(table in table_strategy()) {
+        for record in table.record_indices() {
+            if let Some(next) = table.next_record(record) {
+                prop_assert_eq!(table.prev_record(next), Some(record));
+            }
+            if let Some(prev) = table.prev_record(record) {
+                prop_assert_eq!(table.next_record(prev), Some(record));
+            }
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! Interactive deployment (§6.3 / §7.2): run the parser over held-out
+//! questions, show the top-7 explained candidates to a simulated non-expert
+//! user, and compare parser / user / hybrid correctness against the top-k
+//! bound — the Table 6 experiment in miniature.
+//!
+//! Run with `cargo run -p wtq-examples --bin interactive_deployment --release`.
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use wtq_dataset::dataset::{Dataset, DatasetConfig};
+use wtq_examples::section;
+use wtq_parser::SemanticParser;
+use wtq_study::deploy::study_examples_from;
+use wtq_study::{DeploymentExperiment, SimulatedUser};
+
+fn main() {
+    let mut rng = ChaCha8Rng::seed_from_u64(2024);
+    let dataset = Dataset::generate(
+        &DatasetConfig { num_tables: 16, questions_per_table: 8, test_fraction: 0.25 },
+        &mut rng,
+    );
+    let catalog = dataset.catalog();
+    let examples = study_examples_from(&dataset, wtq_dataset::Split::Test, 60, &mut rng);
+
+    section("Deployment experiment");
+    println!("test questions : {}", examples.len());
+    let parser = SemanticParser::with_prior();
+    let experiment = DeploymentExperiment::default();
+    let result =
+        experiment.run(&parser, &examples, &catalog, &SimulatedUser::average(), 7);
+
+    println!("explanations shown        : {}", result.explanations_shown);
+    println!("parser correctness (top-1): {:.1}%", result.parser_correctness * 100.0);
+    println!("user correctness          : {:.1}%", result.user_correctness * 100.0);
+    println!("hybrid correctness        : {:.1}%", result.hybrid_correctness * 100.0);
+    println!("correctness bound (top-7) : {:.1}%", result.bound * 100.0);
+    println!("MRR                       : {:.3}", result.mrr);
+    println!("user success rate         : {:.1}%", result.user_success_rate * 100.0);
+
+    section("Coverage sweep (top-k bound)");
+    for (k, coverage) in
+        DeploymentExperiment::coverage_sweep(&parser, &examples, &catalog, &[1, 3, 7, 14])
+    {
+        println!("k = {k:>2} : {:.1}%", coverage * 100.0);
+    }
+}

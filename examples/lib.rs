@@ -1,0 +1,23 @@
+//! Shared helpers for the runnable examples.
+//!
+//! Each example binary in this package exercises the public `wtq-core` API on
+//! one of the scenarios the paper motivates; this small library only holds
+//! formatting helpers they share.
+
+/// Print a section header to stdout.
+pub fn section(title: &str) {
+    println!("\n=== {title} ===\n");
+}
+
+/// Indent every line of a block by four spaces.
+pub fn indent(block: &str) -> String {
+    block.lines().map(|l| format!("    {l}\n")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn indent_prefixes_every_line() {
+        assert_eq!(super::indent("a\nb"), "    a\n    b\n");
+    }
+}

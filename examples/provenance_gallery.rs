@@ -1,0 +1,64 @@
+//! The highlight gallery of Figures 11–22: one provenance-based highlight
+//! rendering per lambda DCS operator family, over the paper's own example
+//! tables.
+//!
+//! Run with `cargo run -p wtq-examples --bin provenance_gallery`.
+
+use wtq_dcs::parse_formula;
+use wtq_examples::{indent, section};
+use wtq_explain::utter;
+use wtq_provenance::{render, Highlights};
+use wtq_table::{samples, Table};
+
+fn show(figure: &str, formula_text: &str, table: &Table) {
+    let formula = parse_formula(formula_text).expect("gallery formula parses");
+    let highlights = Highlights::compute(&formula, table).expect("gallery formula evaluates");
+    section(figure);
+    println!("query     : {formula}");
+    println!("utterance : {}", utter(&formula));
+    print!("{}", indent(&render::render_text(table, &highlights)));
+}
+
+fn main() {
+    let olympics = samples::olympics();
+    let squad = samples::squad();
+    let medals = samples::medals();
+    let temples = samples::temples();
+    let yachts = samples::yachts();
+    let wrecks = samples::shipwrecks();
+
+    show("Figure 11 — simple join", "Name.Jule", &yachts);
+    show("Figure 12 — comparison", "Games.(> 4)", &squad);
+    show("Figure 13 — reverse join", "R[Year].City.Athens", &olympics);
+    show("Figure 14 — previous row", "R[City].Prev.City.London", &olympics);
+    show("Figure 15 — next row", "R[City].R[Prev].City.Athens", &olympics);
+    show("Figure 16 — aggregation", "count(City.Athens)", &olympics);
+    show(
+        "Figure 17 — difference of values",
+        "sub(R[Total].Nation.Fiji, R[Total].Nation.Tonga)",
+        &medals,
+    );
+    show(
+        "Figure 18 — difference of occurrences",
+        "sub(count(Town.Matsuyama), count(Town.Imabari))",
+        &temples,
+    );
+    show("Figure 19 — union", "R[City].(Country.China or Country.Greece)", &olympics);
+    show(
+        "Figure 20 — intersection",
+        "R[City].(Country.UK and Year.2012)",
+        &olympics,
+    );
+    show(
+        "Figure 21 — superlative over values",
+        "compare_max((London or Beijing), Year, City)",
+        &olympics,
+    );
+    show(
+        "Figure 22 — most common value",
+        "most_common(R[Lake].Rows, Lake)",
+        &wrecks,
+    );
+
+    println!("\n{}", render::TEXT_LEGEND);
+}

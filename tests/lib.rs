@@ -1,0 +1,2 @@
+//! Marker library for the cross-crate integration-test package; all tests
+//! live under `tests/tests/`.

@@ -1,0 +1,129 @@
+//! Cross-crate integration tests for the dataset → parser → study pipeline:
+//! the experiment shapes of §7 must hold end to end on freshly generated
+//! synthetic data.
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use wtq_dataset::dataset::{Dataset, DatasetConfig};
+use wtq_dataset::Split;
+use wtq_parser::{SemanticParser, TrainConfig, TrainExample, Trainer};
+use wtq_study::deploy::study_examples_from;
+use wtq_study::{
+    collect_annotations, DeploymentExperiment, ExplanationMode, FeedbackExperiment, SimulatedUser,
+};
+
+fn build() -> (Dataset, wtq_table::Catalog) {
+    let dataset = Dataset::generate(
+        &DatasetConfig { num_tables: 12, questions_per_table: 7, test_fraction: 0.3 },
+        &mut ChaCha8Rng::seed_from_u64(4242),
+    );
+    let catalog = dataset.catalog();
+    (dataset, catalog)
+}
+
+#[test]
+fn table6_shape_holds_end_to_end() {
+    let (dataset, catalog) = build();
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+    let examples = study_examples_from(&dataset, Split::Test, 50, &mut rng);
+    assert!(examples.len() >= 15);
+    let parser = SemanticParser::with_prior();
+    let result = DeploymentExperiment::default().run(
+        &parser,
+        &examples,
+        &catalog,
+        &SimulatedUser::average(),
+        99,
+    );
+    // The Table 6 ordering: interaction never hurts, the bound caps everything.
+    assert!(result.hybrid_correctness >= result.parser_correctness - 1e-9);
+    assert!(result.bound >= result.hybrid_correctness - 1e-9);
+    assert!(result.bound > result.parser_correctness, "the parser should not already be at its bound");
+    // Table 4: users succeed on most questions.
+    assert!(result.user_success_rate > 0.55);
+    // Explanations shown ≈ questions × 7.
+    assert!(result.explanations_shown <= result.questions * 7);
+}
+
+#[test]
+fn explanations_make_the_difference_for_users() {
+    let (dataset, catalog) = build();
+    let mut rng = ChaCha8Rng::seed_from_u64(2);
+    let examples = study_examples_from(&dataset, Split::Test, 40, &mut rng);
+    let parser = SemanticParser::with_prior();
+    let experiment = DeploymentExperiment::default();
+    let with = experiment.run(&parser, &examples, &catalog, &SimulatedUser::average(), 7);
+    let without = experiment.run(
+        &parser,
+        &examples,
+        &catalog,
+        &SimulatedUser::with_mode(ExplanationMode::RawFormulas),
+        7,
+    );
+    assert!(with.user_correctness > without.user_correctness);
+    assert!(with.hybrid_correctness >= without.hybrid_correctness);
+}
+
+#[test]
+fn feedback_loop_improves_an_untrained_parser() {
+    // Close the full loop of Figure 2: explanations → user choices →
+    // annotations → retraining → better correctness on held-out questions
+    // than training-free parsing.
+    let (dataset, catalog) = build();
+    let mut rng = ChaCha8Rng::seed_from_u64(3);
+    let train_pool = study_examples_from(&dataset, Split::Train, 50, &mut rng);
+    let dev_pool = study_examples_from(&dataset, Split::Test, 30, &mut rng);
+
+    let baseline = SemanticParser::with_prior();
+    let annotated = collect_annotations(
+        &baseline,
+        &train_pool,
+        &catalog,
+        7,
+        3,
+        2,
+        &SimulatedUser::average(),
+        17,
+    );
+    assert!(annotated.len() >= 10, "too few annotations: {}", annotated.len());
+    assert!(FeedbackExperiment::annotation_precision(&annotated) >= 0.6);
+
+    // Evaluate an untrained parser and a parser retrained on the annotations.
+    let dev: Vec<(TrainExample, wtq_dcs::Formula)> = dev_pool
+        .iter()
+        .map(|e| {
+            (
+                TrainExample::weak(e.question.clone(), e.table.clone(), e.answer.clone()),
+                e.gold.clone(),
+            )
+        })
+        .collect();
+    let untrained_eval = wtq_parser::train::evaluate(
+        &SemanticParser::untrained(),
+        dev.iter().map(|(e, g)| (e, g.clone())),
+        &catalog,
+        7,
+    );
+    let mut retrained = SemanticParser::untrained();
+    let annotated_examples: Vec<TrainExample> =
+        annotated.iter().map(|(e, _)| e.clone()).collect();
+    Trainer::new(TrainConfig { epochs: 2, ..TrainConfig::default() }).train(
+        &mut retrained,
+        &annotated_examples,
+        &catalog,
+    );
+    let retrained_eval = wtq_parser::train::evaluate(
+        &retrained,
+        dev.iter().map(|(e, g)| (e, g.clone())),
+        &catalog,
+        7,
+    );
+    assert!(
+        retrained_eval.correctness > untrained_eval.correctness,
+        "feedback retraining did not improve correctness ({} -> {})",
+        untrained_eval.correctness,
+        retrained_eval.correctness
+    );
+    assert!(retrained_eval.mrr >= untrained_eval.mrr);
+}
