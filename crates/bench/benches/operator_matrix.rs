@@ -16,22 +16,34 @@ fn bench_operators(c: &mut Criterion) {
         ("column_values", "R[Year].City.Athens"),
         ("prev", "R[Year].Prev.City.Athens"),
         ("aggregation", "sum(R[Year].City.Athens)"),
-        ("difference", "sub(R[Year].City.London, R[Year].City.Beijing)"),
+        (
+            "difference",
+            "sub(R[Year].City.London, R[Year].City.Beijing)",
+        ),
         ("intersection", "(City.London and Country.UK)"),
         ("superlative", "argmax(Rows, Year)"),
         ("most_common", "most_common((Athens or London), City)"),
-        ("compare_values", "compare_max((London or Beijing), Year, City)"),
+        (
+            "compare_values",
+            "compare_max((London or Beijing), Year, City)",
+        ),
     ];
     let mut group = c.benchmark_group("operator_matrix");
-    group.sample_size(30).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(30)
+        .measurement_time(Duration::from_secs(2));
     for (name, text) in cases {
         let formula = parse_formula(text).expect("operator formula parses");
-        group.bench_function(format!("eval/{name}"), |b| b.iter(|| eval(&formula, &olympics)));
+        group.bench_function(format!("eval/{name}"), |b| {
+            b.iter(|| eval(&formula, &olympics))
+        });
         group.bench_function(format!("provenance/{name}"), |b| {
             b.iter(|| provenance(&formula, &olympics))
         });
         if let Ok(sql) = translate(&formula) {
-            group.bench_function(format!("sql/{name}"), |b| b.iter(|| execute(&sql, &olympics)));
+            group.bench_function(format!("sql/{name}"), |b| {
+                b.iter(|| execute(&sql, &olympics))
+            });
         }
     }
     group.finish();

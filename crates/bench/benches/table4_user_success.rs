@@ -38,7 +38,9 @@ fn bench_table4(c: &mut Criterion) {
     let gold = parse_formula("max(R[Year].Country.Greece)").expect("parses");
     let user = SimulatedUser::average();
     let mut group = c.benchmark_group("table4_user_success");
-    group.sample_size(30).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(30)
+        .measurement_time(Duration::from_secs(2));
     group.bench_function("single_user_decision_top7", |b| {
         let mut rng = ChaCha8Rng::seed_from_u64(1);
         b.iter(|| user.choose(&candidates, Some(&gold), &mut rng))

@@ -24,7 +24,9 @@ fn bench_table5(c: &mut Criterion) {
     let model = WorkTimeModel::default();
     let session: Vec<Vec<usize>> = (0..20).map(|i| vec![12 + (i % 8); 7]).collect();
     let mut group = c.benchmark_group("table5_worktime");
-    group.sample_size(30).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(30)
+        .measurement_time(Duration::from_secs(2));
     group.bench_function("session_simulation_with_highlights", |b| {
         let mut rng = ChaCha8Rng::seed_from_u64(2);
         b.iter(|| model.session_minutes(&session, true, &mut rng))

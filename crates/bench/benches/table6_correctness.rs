@@ -33,7 +33,9 @@ fn bench_table6(c: &mut Criterion) {
     let user = SimulatedUser::average();
     let single = vec![env.test_examples[0].clone()];
     let mut group = c.benchmark_group("table6_correctness");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     group.bench_function("deployment_single_question", |b| {
         b.iter(|| experiment.run(&parser, &single, &env.catalog, &user, 3))
     });

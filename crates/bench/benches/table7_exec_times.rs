@@ -16,13 +16,18 @@ fn bench_table7(c: &mut Criterion) {
     let candidates = parser.parse_top_k(&example.question, table, 7);
 
     let mut group = c.benchmark_group("table7_exec_times");
-    group.sample_size(20).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(3));
     group.bench_function("candidate_generation_per_question", |b| {
         b.iter(|| parser.parse_top_k(&example.question, table, 7))
     });
     group.bench_function("utterance_generation_per_question", |b| {
         b.iter(|| {
-            candidates.iter().map(|c| wtq_explain::utter(&c.formula)).collect::<Vec<String>>()
+            candidates
+                .iter()
+                .map(|c| wtq_explain::utter(&c.formula))
+                .collect::<Vec<String>>()
         })
     });
     group.bench_function("highlight_generation_per_question", |b| {

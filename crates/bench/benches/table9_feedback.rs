@@ -35,7 +35,9 @@ fn bench_table9(c: &mut Criterion) {
     )
     .with_annotations(vec![example.gold.clone()]);
     let mut group = c.benchmark_group("table9_feedback");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     group.bench_function("adagrad_step_single_example", |b| {
         b.iter(|| {
             let mut parser = SemanticParser::with_prior();

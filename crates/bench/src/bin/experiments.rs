@@ -35,7 +35,9 @@ fn heading(title: &str) {
 
 fn main() {
     println!("# Experiment report — Explaining Queries over Web Tables to Non-Experts");
-    println!("\nSynthetic substrate (see DESIGN.md); all numbers deterministic for the fixed seed.");
+    println!(
+        "\nSynthetic substrate (see DESIGN.md); all numbers deterministic for the fixed seed."
+    );
 
     // A moderately sized environment keeps the full run under a minute in
     // release mode while leaving enough test questions for stable numbers.
@@ -65,7 +67,9 @@ fn main() {
     if wanted("table5") {
         heading("Table 5 — work time (minutes per 20-question session)");
         let [with, without] = table5(&env, 10);
-        println!("| method | paper avg | measured avg | paper median | measured median | min | max |");
+        println!(
+            "| method | paper avg | measured avg | paper median | measured median | min | max |"
+        );
         println!("|---|---|---|---|---|---|---|");
         println!(
             "| utterances + highlights | 16.2 | {:.1} | 16.6 | {:.1} | {:.1} | {:.1} |",
@@ -87,7 +91,10 @@ fn main() {
         let d = &t6.deployment;
         println!("| scenario | paper | measured |");
         println!("|---|---|---|");
-        println!("| parser (top-1) | 37.1% | {:.1}% |", d.parser_correctness * 100.0);
+        println!(
+            "| parser (top-1) | 37.1% | {:.1}% |",
+            d.parser_correctness * 100.0
+        );
         println!("| users | 44.6% | {:.1}% |", d.user_correctness * 100.0);
         println!("| hybrid | 48.7% | {:.1}% |", d.hybrid_correctness * 100.0);
         println!("| bound (top-7) | 56.0% | {:.1}% |", d.bound * 100.0);
@@ -105,7 +112,9 @@ fn main() {
         for (k, coverage) in k_sweep(&env, &[1, 3, 7, 14]) {
             println!("| {k} | {:.1}% |", coverage * 100.0);
         }
-        println!("\nPaper: moving from k = 7 to k = 14 recovered only ~5% of the remaining failures.");
+        println!(
+            "\nPaper: moving from k = 7 to k = 14 recovered only ~5% of the remaining failures."
+        );
     }
 
     if wanted("table7") {
@@ -113,9 +122,18 @@ fn main() {
         let t7 = table7(&env, 7);
         println!("| stage | paper | measured |");
         println!("|---|---|---|");
-        println!("| candidate generation | 1.22 | {:.4} |", t7.candidate_generation);
-        println!("| utterance generation | 0.22 | {:.4} |", t7.utterance_generation);
-        println!("| highlight generation | 1.36 | {:.4} |", t7.highlight_generation);
+        println!(
+            "| candidate generation | 1.22 | {:.4} |",
+            t7.candidate_generation
+        );
+        println!(
+            "| utterance generation | 0.22 | {:.4} |",
+            t7.utterance_generation
+        );
+        println!(
+            "| highlight generation | 1.36 | {:.4} |",
+            t7.highlight_generation
+        );
         println!(
             "\nAbsolute times differ (different hardware and parser); the ordering —\nutterances an order of magnitude cheaper than candidate/highlight generation — is preserved."
         );
@@ -158,7 +176,10 @@ fn main() {
             println!("{}", top.render_highlights(&olympics, false));
         }
         let figure1 = parse_formula("max(R[Year].Country.Greece)").expect("parses");
-        println!("Figure 3 derivation tree:\n{}", derivation(&figure1).render_tree());
+        println!(
+            "Figure 3 derivation tree:\n{}",
+            derivation(&figure1).render_tree()
+        );
         let medals = samples::medals();
         let figure6 = parse_formula("sub(R[Total].Nation.Fiji, R[Total].Nation.Tonga)").unwrap();
         let highlights = Highlights::compute(&figure6, &medals).unwrap();
@@ -171,10 +192,26 @@ fn main() {
         let cases: Vec<(&str, &str, wtq_table::Table)> = vec![
             ("Figure 11 simple join", "Name.Jule", samples::yachts()),
             ("Figure 12 comparison", "Games.(> 4)", samples::squad()),
-            ("Figure 13 reverse join", "R[Year].City.Athens", samples::olympics()),
-            ("Figure 14 previous", "R[City].Prev.City.London", samples::olympics()),
-            ("Figure 15 next", "R[City].R[Prev].City.Athens", samples::olympics()),
-            ("Figure 16 aggregation", "count(City.Athens)", samples::olympics()),
+            (
+                "Figure 13 reverse join",
+                "R[Year].City.Athens",
+                samples::olympics(),
+            ),
+            (
+                "Figure 14 previous",
+                "R[City].Prev.City.London",
+                samples::olympics(),
+            ),
+            (
+                "Figure 15 next",
+                "R[City].R[Prev].City.Athens",
+                samples::olympics(),
+            ),
+            (
+                "Figure 16 aggregation",
+                "count(City.Athens)",
+                samples::olympics(),
+            ),
             (
                 "Figure 17 difference (values)",
                 "sub(R[Total].Nation.Fiji, R[Total].Nation.Tonga)",
@@ -185,8 +222,16 @@ fn main() {
                 "sub(count(Town.Matsuyama), count(Town.Imabari))",
                 samples::temples(),
             ),
-            ("Figure 19 union", "R[City].(Country.China or Country.Greece)", samples::olympics()),
-            ("Figure 20 intersection", "R[City].(Country.UK and Year.2012)", samples::olympics()),
+            (
+                "Figure 19 union",
+                "R[City].(Country.China or Country.Greece)",
+                samples::olympics(),
+            ),
+            (
+                "Figure 20 intersection",
+                "R[City].(Country.UK and Year.2012)",
+                samples::olympics(),
+            ),
             (
                 "Figure 21 superlative (values)",
                 "compare_max((London or Beijing), Year, City)",
@@ -219,14 +264,26 @@ fn main() {
             ("Preceding Records", "R[Year].Prev.City.Athens"),
             ("Following Records", "R[Year].R[Prev].City.Athens"),
             ("Aggregation", "sum(R[Year].City.Athens)"),
-            ("Difference of Values", "sub(R[Year].City.London, R[Year].City.Beijing)"),
-            ("Difference of Occurrences", "sub(count(City.Athens), count(City.London))"),
+            (
+                "Difference of Values",
+                "sub(R[Year].City.London, R[Year].City.Beijing)",
+            ),
+            (
+                "Difference of Occurrences",
+                "sub(count(City.Athens), count(City.London))",
+            ),
             ("Union of Values", "(Country.China or Country.Greece)"),
             ("Intersection of Records", "(City.London and Country.UK)"),
             ("Records with Highest Value", "argmax(Rows, Year)"),
             ("Value in Last Record", "R[Year].last(City.Athens)"),
-            ("Value with Most Appearances", "most_common((Athens or London), City)"),
-            ("Comparing Values", "compare_max((London or Beijing), Year, City)"),
+            (
+                "Value with Most Appearances",
+                "most_common((Athens or London), City)",
+            ),
+            (
+                "Comparing Values",
+                "compare_max((London or Beijing), Year, City)",
+            ),
         ] {
             let formula = parse_formula(text).expect("operator formula parses");
             let sql = translate(&formula)

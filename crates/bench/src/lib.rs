@@ -16,8 +16,8 @@ use wtq_parser::{generate_candidates, CandidateConfig, SemanticParser, TrainConf
 use wtq_provenance::Highlights;
 use wtq_study::deploy::{study_examples_from, StudyExample};
 use wtq_study::{
-    collect_annotations, chi_square_2x2, DeploymentExperiment, DeploymentResult,
-    ExplanationMode, FeedbackExperiment, FeedbackResult, SimulatedUser, WorkTimeModel,
+    chi_square_2x2, collect_annotations, DeploymentExperiment, DeploymentResult, ExplanationMode,
+    FeedbackExperiment, FeedbackResult, SimulatedUser, WorkTimeModel,
 };
 use wtq_table::Catalog;
 
@@ -37,16 +37,29 @@ pub struct Environment {
 }
 
 /// Build the standard experiment environment.
-pub fn environment(num_tables: usize, questions_per_table: usize, test_limit: usize) -> Environment {
+pub fn environment(
+    num_tables: usize,
+    questions_per_table: usize,
+    test_limit: usize,
+) -> Environment {
     let mut rng = ChaCha8Rng::seed_from_u64(EXPERIMENT_SEED);
     let dataset = Dataset::generate(
-        &DatasetConfig { num_tables, questions_per_table, test_fraction: 0.25 },
+        &DatasetConfig {
+            num_tables,
+            questions_per_table,
+            test_fraction: 0.25,
+        },
         &mut rng,
     );
     let catalog = dataset.catalog();
     let test_examples = study_examples_from(&dataset, Split::Test, test_limit, &mut rng);
     let train_examples = study_examples_from(&dataset, Split::Train, test_limit * 2, &mut rng);
-    Environment { dataset, catalog, test_examples, train_examples }
+    Environment {
+        dataset,
+        catalog,
+        test_examples,
+        train_examples,
+    }
 }
 
 /// Table 4: user-study success rate (questions, explanations shown, success).
@@ -136,11 +149,23 @@ pub fn table6(env: &Environment) -> Table6Result {
         EXPERIMENT_SEED + 6,
     );
     let n = deployment.questions;
-    let user_vs_parser =
-        chi_square_2x2(deployment.user_correct_count, n, deployment.parser_correct_count, n);
-    let hybrid_vs_parser =
-        chi_square_2x2(deployment.hybrid_correct_count, n, deployment.parser_correct_count, n);
-    Table6Result { deployment, user_vs_parser, hybrid_vs_parser }
+    let user_vs_parser = chi_square_2x2(
+        deployment.user_correct_count,
+        n,
+        deployment.parser_correct_count,
+        n,
+    );
+    let hybrid_vs_parser = chi_square_2x2(
+        deployment.hybrid_correct_count,
+        n,
+        deployment.parser_correct_count,
+        n,
+    );
+    Table6Result {
+        deployment,
+        user_vs_parser,
+        hybrid_vs_parser,
+    }
 }
 
 /// The §7.2 k-sweep: coverage of the correct query within the top-k.
@@ -170,15 +195,19 @@ pub fn table7(env: &Environment, top_k: usize) -> Table7Result {
     let mut highlight_time = 0.0;
     let mut questions = 0usize;
     for example in &env.test_examples {
-        let Some(table) = env.catalog.get(&example.table) else { continue };
+        let Some(table) = env.catalog.get(&example.table) else {
+            continue;
+        };
         questions += 1;
         let start = Instant::now();
         let candidates = parser.parse_top_k(&example.question, table, top_k);
         candidate_time += start.elapsed().as_secs_f64();
 
         let start = Instant::now();
-        let _utterances: Vec<String> =
-            candidates.iter().map(|c| wtq_explain::utter(&c.formula)).collect();
+        let _utterances: Vec<String> = candidates
+            .iter()
+            .map(|c| wtq_explain::utter(&c.formula))
+            .collect();
         utterance_time += start.elapsed().as_secs_f64();
 
         let start = Instant::now();
@@ -202,8 +231,12 @@ pub fn table7(env: &Environment, top_k: usize) -> Table7Result {
 pub fn table9(env: &Environment, annotated_budget: usize, epochs: usize) -> Vec<FeedbackResult> {
     let parser = SemanticParser::with_prior();
     let user = SimulatedUser::average();
-    let annotated_pool: Vec<StudyExample> =
-        env.train_examples.iter().take(annotated_budget).cloned().collect();
+    let annotated_pool: Vec<StudyExample> = env
+        .train_examples
+        .iter()
+        .take(annotated_budget)
+        .cloned()
+        .collect();
     let annotated = collect_annotations(
         &parser,
         &annotated_pool,
@@ -226,7 +259,10 @@ pub fn table9(env: &Environment, annotated_budget: usize, epochs: usize) -> Vec<
         })
         .collect();
     let experiment = FeedbackExperiment {
-        train_config: TrainConfig { epochs, ..TrainConfig::default() },
+        train_config: TrainConfig {
+            epochs,
+            ..TrainConfig::default()
+        },
         top_k: 7,
     };
 
@@ -317,7 +353,12 @@ mod tests {
     fn table5_shows_the_highlight_saving() {
         let env = tiny_env();
         let [with, without] = table5(&env, 6);
-        assert!(with.0 < without.0, "avg with highlights {} >= without {}", with.0, without.0);
+        assert!(
+            with.0 < without.0,
+            "avg with highlights {} >= without {}",
+            with.0,
+            without.0
+        );
         assert!(with.2 <= with.3);
     }
 

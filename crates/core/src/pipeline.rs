@@ -55,7 +55,9 @@ pub struct ExplanationPipeline {
 impl ExplanationPipeline {
     /// A pipeline around the baseline (prior-weighted) parser.
     pub fn new() -> Self {
-        ExplanationPipeline { parser: SemanticParser::with_prior() }
+        ExplanationPipeline {
+            parser: SemanticParser::with_prior(),
+        }
     }
 
     /// A pipeline around an already-trained parser.
@@ -132,7 +134,11 @@ mod tests {
             gold_candidate.utterance,
             "maximum of values in column Year in rows where value of column Country is Greece"
         );
-        assert!(gold_candidate.sql.as_deref().unwrap_or("").contains("MAX(Year)"));
+        assert!(gold_candidate
+            .sql
+            .as_deref()
+            .unwrap_or("")
+            .contains("MAX(Year)"));
         assert_eq!(gold_candidate.answer, Answer::number(2004.0));
         let rendering = gold_candidate.render_highlights(&table, false);
         assert!(rendering.contains("MAX(Year)"));
@@ -146,9 +152,14 @@ mod tests {
         let formula = parse_formula("sub(R[Total].Nation.Fiji, R[Total].Nation.Tonga)").unwrap();
         let explained = pipeline.explain_formula(&formula, &table).unwrap();
         assert_eq!(explained.answer, Answer::number(110.0));
-        assert!(explained.utterance.contains("difference in values of column Total"));
+        assert!(explained
+            .utterance
+            .contains("difference in values of column Total"));
         let sampled = explained.render_highlights(&table, true);
-        assert!(sampled.lines().count() <= 6, "sampled rendering too large:\n{sampled}");
+        assert!(
+            sampled.lines().count() <= 6,
+            "sampled rendering too large:\n{sampled}"
+        );
         // Errors propagate for formulas that do not evaluate.
         let bad = parse_formula("R[Missing].Nation.Fiji").unwrap();
         assert!(pipeline.explain_formula(&bad, &table).is_err());

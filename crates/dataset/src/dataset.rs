@@ -77,7 +77,11 @@ pub struct DatasetConfig {
 
 impl Default for DatasetConfig {
     fn default() -> Self {
-        DatasetConfig { num_tables: 40, questions_per_table: 12, test_fraction: 0.2 }
+        DatasetConfig {
+            num_tables: 40,
+            questions_per_table: 12,
+            test_fraction: 0.2,
+        }
     }
 }
 
@@ -112,7 +116,11 @@ impl Dataset {
                 });
             }
         }
-        Dataset { tables, examples, test_tables }
+        Dataset {
+            tables,
+            examples,
+            test_tables,
+        }
     }
 
     /// The catalog of all tables, for lookup by name.
@@ -131,7 +139,10 @@ impl Dataset {
 
     /// Examples of one split.
     pub fn examples_of(&self, split: Split) -> Vec<&Example> {
-        self.examples.iter().filter(|e| self.split_of(e) == split).collect()
+        self.examples
+            .iter()
+            .filter(|e| self.split_of(e) == split)
+            .collect()
     }
 
     /// Serialize to a JSON string.
@@ -152,7 +163,11 @@ mod tests {
     use rand_chacha::ChaCha8Rng;
 
     fn small_dataset(seed: u64) -> Dataset {
-        let config = DatasetConfig { num_tables: 12, questions_per_table: 6, test_fraction: 0.25 };
+        let config = DatasetConfig {
+            num_tables: 12,
+            questions_per_table: 6,
+            test_fraction: 0.25,
+        };
         Dataset::generate(&config, &mut ChaCha8Rng::seed_from_u64(seed))
     }
 
@@ -160,7 +175,11 @@ mod tests {
     fn generates_tables_and_examples() {
         let dataset = small_dataset(1);
         assert_eq!(dataset.tables.len(), 12);
-        assert!(dataset.examples.len() >= 12 * 4, "too few examples: {}", dataset.examples.len());
+        assert!(
+            dataset.examples.len() >= 12 * 4,
+            "too few examples: {}",
+            dataset.examples.len()
+        );
         assert!(!dataset.test_tables.is_empty());
         assert!(dataset.test_tables.len() < dataset.tables.len());
     }

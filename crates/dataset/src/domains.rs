@@ -63,7 +63,9 @@ impl Domain {
             .filter(|(_, c)| {
                 matches!(
                     c.kind,
-                    ColumnKind::Integer { .. } | ColumnKind::Decimal { .. } | ColumnKind::Year { .. }
+                    ColumnKind::Integer { .. }
+                        | ColumnKind::Decimal { .. }
+                        | ColumnKind::Year { .. }
                 )
             })
             .map(|(i, _)| i)
@@ -72,76 +74,218 @@ impl Domain {
 }
 
 const NATIONS: &[&str] = &[
-    "New Caledonia", "Tahiti", "Fiji", "Samoa", "Tonga", "Nauru", "Papua New Guinea",
-    "Cook Islands", "Vanuatu", "Kiribati", "Palau", "Guam", "Solomon Islands", "Tuvalu",
+    "New Caledonia",
+    "Tahiti",
+    "Fiji",
+    "Samoa",
+    "Tonga",
+    "Nauru",
+    "Papua New Guinea",
+    "Cook Islands",
+    "Vanuatu",
+    "Kiribati",
+    "Palau",
+    "Guam",
+    "Solomon Islands",
+    "Tuvalu",
 ];
 
 const CITIES: &[&str] = &[
-    "Athens", "Paris", "London", "Beijing", "Sydney", "Atlanta", "Barcelona", "Seoul",
-    "Moscow", "Montreal", "Munich", "Tokyo", "Rome", "Helsinki", "Rio de Janeiro",
+    "Athens",
+    "Paris",
+    "London",
+    "Beijing",
+    "Sydney",
+    "Atlanta",
+    "Barcelona",
+    "Seoul",
+    "Moscow",
+    "Montreal",
+    "Munich",
+    "Tokyo",
+    "Rome",
+    "Helsinki",
+    "Rio de Janeiro",
 ];
 
 const COUNTRIES: &[&str] = &[
-    "Greece", "France", "UK", "China", "Australia", "USA", "Spain", "South Korea", "Russia",
-    "Canada", "Germany", "Japan", "Italy", "Finland", "Brazil",
+    "Greece",
+    "France",
+    "UK",
+    "China",
+    "Australia",
+    "USA",
+    "Spain",
+    "South Korea",
+    "Russia",
+    "Canada",
+    "Germany",
+    "Japan",
+    "Italy",
+    "Finland",
+    "Brazil",
 ];
 
 const CLUBS: &[&str] = &[
-    "Grasshoppers", "Servette", "FC St. Gallen", "Toulouse", "FC Nuremburg", "Young Boys",
-    "Basel", "Lausanne", "Zurich", "Lugano",
+    "Grasshoppers",
+    "Servette",
+    "FC St. Gallen",
+    "Toulouse",
+    "FC Nuremburg",
+    "Young Boys",
+    "Basel",
+    "Lausanne",
+    "Zurich",
+    "Lugano",
 ];
 
 const POSITIONS: &[&str] = &["GK", "DF", "MF", "FW"];
 
 const PLAYER_NAMES: &[&str] = &[
-    "Erich Burgener", "Roger Berbig", "Charly In-Albon", "Beat Rietmann", "Andy Egli",
-    "Marcel Koller", "Rene Botteron", "Heinz Hermann", "Roger Wehrli", "Lucien Favre",
-    "Alain Geiger", "Umberto Barberis", "Claudio Sulser", "Raimondo Ponte", "Manfred Braschler",
-    "Georges Bregy", "Jean-Paul Brigger", "Markus Tanner", "Hanspeter Zwicker", "Ruedi Elsener",
+    "Erich Burgener",
+    "Roger Berbig",
+    "Charly In-Albon",
+    "Beat Rietmann",
+    "Andy Egli",
+    "Marcel Koller",
+    "Rene Botteron",
+    "Heinz Hermann",
+    "Roger Wehrli",
+    "Lucien Favre",
+    "Alain Geiger",
+    "Umberto Barberis",
+    "Claudio Sulser",
+    "Raimondo Ponte",
+    "Manfred Braschler",
+    "Georges Bregy",
+    "Jean-Paul Brigger",
+    "Markus Tanner",
+    "Hanspeter Zwicker",
+    "Ruedi Elsener",
 ];
 
-const LAKES: &[&str] = &["Lake Huron", "Lake Michigan", "Lake Superior", "Lake Erie", "Lake Ontario"];
+const LAKES: &[&str] = &[
+    "Lake Huron",
+    "Lake Michigan",
+    "Lake Superior",
+    "Lake Erie",
+    "Lake Ontario",
+];
 
-const VESSEL_TYPES: &[&str] = &["Steamer", "Barge", "Schooner", "Lightship", "Tug", "Freighter"];
+const VESSEL_TYPES: &[&str] = &[
+    "Steamer",
+    "Barge",
+    "Schooner",
+    "Lightship",
+    "Tug",
+    "Freighter",
+];
 
 const SHIP_NAMES: &[&str] = &[
-    "Argus", "Hydrus", "Plymouth", "Wexford", "Leafield", "James Carruthers", "Regina",
-    "Charles S. Price", "John A. McGean", "Isaac M. Scott", "Henry B. Smith", "Halsted",
-    "Nottingham", "Atlanta", "Major", "Senator",
+    "Argus",
+    "Hydrus",
+    "Plymouth",
+    "Wexford",
+    "Leafield",
+    "James Carruthers",
+    "Regina",
+    "Charles S. Price",
+    "John A. McGean",
+    "Isaac M. Scott",
+    "Henry B. Smith",
+    "Halsted",
+    "Nottingham",
+    "Atlanta",
+    "Major",
+    "Senator",
 ];
 
 const LEAGUES: &[&str] = &[
-    "USL A-League", "USL First Division", "USSF D-2 Pro League", "NASL", "MLS Reserve League",
+    "USL A-League",
+    "USL First Division",
+    "USSF D-2 Pro League",
+    "NASL",
+    "MLS Reserve League",
 ];
 
 const CUP_RESULTS: &[&str] = &[
-    "Did not qualify", "1st Round", "2nd Round", "3rd Round", "4th Round", "Quarterfinals",
-    "Semifinals", "Final",
+    "Did not qualify",
+    "1st Round",
+    "2nd Round",
+    "3rd Round",
+    "4th Round",
+    "Quarterfinals",
+    "Semifinals",
+    "Final",
 ];
 
-const GENRES: &[&str] = &["Drama", "Comedy", "Documentary", "Reality", "News", "Sports"];
+const GENRES: &[&str] = &[
+    "Drama",
+    "Comedy",
+    "Documentary",
+    "Reality",
+    "News",
+    "Sports",
+];
 
 const EPISODE_TITLES: &[&str] = &[
-    "Pilot", "The Return", "Homecoming", "Crossroads", "The Storm", "Aftermath", "Reunion",
-    "Countdown", "The Verdict", "Fallout", "New Beginnings", "The Long Night", "Endgame",
-    "Turning Point", "The Visit", "Second Chances",
+    "Pilot",
+    "The Return",
+    "Homecoming",
+    "Crossroads",
+    "The Storm",
+    "Aftermath",
+    "Reunion",
+    "Countdown",
+    "The Verdict",
+    "Fallout",
+    "New Beginnings",
+    "The Long Night",
+    "Endgame",
+    "Turning Point",
+    "The Visit",
+    "Second Chances",
 ];
 
 const SURFACES: &[&str] = &["Hard", "Clay", "Grass", "Carpet"];
 
 const TOURNAMENTS: &[&str] = &[
-    "Auckland Open", "Madrid Masters", "Rome Masters", "Halle Open", "Queens Club",
-    "Indian Wells", "Miami Open", "Basel Indoors", "Stockholm Open", "Tokyo Open",
+    "Auckland Open",
+    "Madrid Masters",
+    "Rome Masters",
+    "Halle Open",
+    "Queens Club",
+    "Indian Wells",
+    "Miami Open",
+    "Basel Indoors",
+    "Stockholm Open",
+    "Tokyo Open",
 ];
 
 const OPPONENTS: &[&str] = &[
-    "Maria Petrova", "Elena Kovacs", "Ana Silva", "Lucie Novak", "Sofia Rossi", "Emma Larsen",
-    "Julia Weber", "Nina Horvat", "Clara Dubois", "Iris Tanaka",
+    "Maria Petrova",
+    "Elena Kovacs",
+    "Ana Silva",
+    "Lucie Novak",
+    "Sofia Rossi",
+    "Emma Larsen",
+    "Julia Weber",
+    "Nina Horvat",
+    "Clara Dubois",
+    "Iris Tanaka",
 ];
 
 const PRODUCTS: &[&str] = &[
-    "Laptop Pro", "Desk Lamp", "Office Chair", "Monitor 27", "Mechanical Keyboard",
-    "USB Dock", "Webcam HD", "Noise-cancelling Headset", "Standing Desk", "Tablet Mini",
+    "Laptop Pro",
+    "Desk Lamp",
+    "Office Chair",
+    "Monitor 27",
+    "Mechanical Keyboard",
+    "USB Dock",
+    "Webcam HD",
+    "Noise-cancelling Headset",
+    "Standing Desk",
+    "Tablet Mini",
 ];
 
 const REGIONS: &[&str] = &[
@@ -149,11 +293,27 @@ const REGIONS: &[&str] = &[
 ];
 
 const MOUNTAINS: &[&str] = &[
-    "Mont Blanc", "Matterhorn", "Monte Rosa", "Eiger", "Jungfrau", "Dom", "Weisshorn",
-    "Gran Paradiso", "Piz Bernina", "Ortler", "Grossglockner", "Triglav",
+    "Mont Blanc",
+    "Matterhorn",
+    "Monte Rosa",
+    "Eiger",
+    "Jungfrau",
+    "Dom",
+    "Weisshorn",
+    "Gran Paradiso",
+    "Piz Bernina",
+    "Ortler",
+    "Grossglockner",
+    "Triglav",
 ];
 
-const RANGES: &[&str] = &["Pennine Alps", "Bernese Alps", "Graian Alps", "Eastern Alps", "Julian Alps"];
+const RANGES: &[&str] = &[
+    "Pennine Alps",
+    "Bernese Alps",
+    "Graian Alps",
+    "Eastern Alps",
+    "Julian Alps",
+];
 
 /// The full domain catalogue. Each call builds a fresh copy (domains are
 /// cheap and immutable).
@@ -162,92 +322,312 @@ pub fn all_domains() -> Vec<Domain> {
         Domain {
             name: "olympic_games",
             columns: vec![
-                ColumnSpec { name: "Year", kind: ColumnKind::Year { min: 1896, max: 2020 }, vocabulary: &[] },
-                ColumnSpec { name: "Country", kind: ColumnKind::Category, vocabulary: COUNTRIES },
-                ColumnSpec { name: "City", kind: ColumnKind::Category, vocabulary: CITIES },
-                ColumnSpec { name: "Athletes", kind: ColumnKind::Integer { min: 200, max: 12000 }, vocabulary: &[] },
-                ColumnSpec { name: "Events", kind: ColumnKind::Integer { min: 40, max: 340 }, vocabulary: &[] },
+                ColumnSpec {
+                    name: "Year",
+                    kind: ColumnKind::Year {
+                        min: 1896,
+                        max: 2020,
+                    },
+                    vocabulary: &[],
+                },
+                ColumnSpec {
+                    name: "Country",
+                    kind: ColumnKind::Category,
+                    vocabulary: COUNTRIES,
+                },
+                ColumnSpec {
+                    name: "City",
+                    kind: ColumnKind::Category,
+                    vocabulary: CITIES,
+                },
+                ColumnSpec {
+                    name: "Athletes",
+                    kind: ColumnKind::Integer {
+                        min: 200,
+                        max: 12000,
+                    },
+                    vocabulary: &[],
+                },
+                ColumnSpec {
+                    name: "Events",
+                    kind: ColumnKind::Integer { min: 40, max: 340 },
+                    vocabulary: &[],
+                },
             ],
         },
         Domain {
             name: "medal_table",
             columns: vec![
-                ColumnSpec { name: "Rank", kind: ColumnKind::Integer { min: 1, max: 20 }, vocabulary: &[] },
-                ColumnSpec { name: "Nation", kind: ColumnKind::Category, vocabulary: NATIONS },
-                ColumnSpec { name: "Gold", kind: ColumnKind::Integer { min: 0, max: 130 }, vocabulary: &[] },
-                ColumnSpec { name: "Silver", kind: ColumnKind::Integer { min: 0, max: 110 }, vocabulary: &[] },
-                ColumnSpec { name: "Bronze", kind: ColumnKind::Integer { min: 0, max: 80 }, vocabulary: &[] },
-                ColumnSpec { name: "Total", kind: ColumnKind::Integer { min: 1, max: 300 }, vocabulary: &[] },
+                ColumnSpec {
+                    name: "Rank",
+                    kind: ColumnKind::Integer { min: 1, max: 20 },
+                    vocabulary: &[],
+                },
+                ColumnSpec {
+                    name: "Nation",
+                    kind: ColumnKind::Category,
+                    vocabulary: NATIONS,
+                },
+                ColumnSpec {
+                    name: "Gold",
+                    kind: ColumnKind::Integer { min: 0, max: 130 },
+                    vocabulary: &[],
+                },
+                ColumnSpec {
+                    name: "Silver",
+                    kind: ColumnKind::Integer { min: 0, max: 110 },
+                    vocabulary: &[],
+                },
+                ColumnSpec {
+                    name: "Bronze",
+                    kind: ColumnKind::Integer { min: 0, max: 80 },
+                    vocabulary: &[],
+                },
+                ColumnSpec {
+                    name: "Total",
+                    kind: ColumnKind::Integer { min: 1, max: 300 },
+                    vocabulary: &[],
+                },
             ],
         },
         Domain {
             name: "national_squad",
             columns: vec![
-                ColumnSpec { name: "Name", kind: ColumnKind::Name, vocabulary: PLAYER_NAMES },
-                ColumnSpec { name: "Position", kind: ColumnKind::Category, vocabulary: POSITIONS },
-                ColumnSpec { name: "Games", kind: ColumnKind::Integer { min: 0, max: 30 }, vocabulary: &[] },
-                ColumnSpec { name: "Goals", kind: ColumnKind::Integer { min: 0, max: 12 }, vocabulary: &[] },
-                ColumnSpec { name: "Club", kind: ColumnKind::Category, vocabulary: CLUBS },
+                ColumnSpec {
+                    name: "Name",
+                    kind: ColumnKind::Name,
+                    vocabulary: PLAYER_NAMES,
+                },
+                ColumnSpec {
+                    name: "Position",
+                    kind: ColumnKind::Category,
+                    vocabulary: POSITIONS,
+                },
+                ColumnSpec {
+                    name: "Games",
+                    kind: ColumnKind::Integer { min: 0, max: 30 },
+                    vocabulary: &[],
+                },
+                ColumnSpec {
+                    name: "Goals",
+                    kind: ColumnKind::Integer { min: 0, max: 12 },
+                    vocabulary: &[],
+                },
+                ColumnSpec {
+                    name: "Club",
+                    kind: ColumnKind::Category,
+                    vocabulary: CLUBS,
+                },
             ],
         },
         Domain {
             name: "shipwrecks",
             columns: vec![
-                ColumnSpec { name: "Ship", kind: ColumnKind::Name, vocabulary: SHIP_NAMES },
-                ColumnSpec { name: "Vessel", kind: ColumnKind::Category, vocabulary: VESSEL_TYPES },
-                ColumnSpec { name: "Lake", kind: ColumnKind::Category, vocabulary: LAKES },
-                ColumnSpec { name: "Lives lost", kind: ColumnKind::Integer { min: 0, max: 40 }, vocabulary: &[] },
-                ColumnSpec { name: "Tonnage", kind: ColumnKind::Integer { min: 300, max: 8000 }, vocabulary: &[] },
+                ColumnSpec {
+                    name: "Ship",
+                    kind: ColumnKind::Name,
+                    vocabulary: SHIP_NAMES,
+                },
+                ColumnSpec {
+                    name: "Vessel",
+                    kind: ColumnKind::Category,
+                    vocabulary: VESSEL_TYPES,
+                },
+                ColumnSpec {
+                    name: "Lake",
+                    kind: ColumnKind::Category,
+                    vocabulary: LAKES,
+                },
+                ColumnSpec {
+                    name: "Lives lost",
+                    kind: ColumnKind::Integer { min: 0, max: 40 },
+                    vocabulary: &[],
+                },
+                ColumnSpec {
+                    name: "Tonnage",
+                    kind: ColumnKind::Integer {
+                        min: 300,
+                        max: 8000,
+                    },
+                    vocabulary: &[],
+                },
             ],
         },
         Domain {
             name: "team_seasons",
             columns: vec![
-                ColumnSpec { name: "Year", kind: ColumnKind::Year { min: 1996, max: 2018 }, vocabulary: &[] },
-                ColumnSpec { name: "League", kind: ColumnKind::Category, vocabulary: LEAGUES },
-                ColumnSpec { name: "Attendance", kind: ColumnKind::Integer { min: 2500, max: 25000 }, vocabulary: &[] },
-                ColumnSpec { name: "Open Cup", kind: ColumnKind::Category, vocabulary: CUP_RESULTS },
-                ColumnSpec { name: "Wins", kind: ColumnKind::Integer { min: 0, max: 30 }, vocabulary: &[] },
+                ColumnSpec {
+                    name: "Year",
+                    kind: ColumnKind::Year {
+                        min: 1996,
+                        max: 2018,
+                    },
+                    vocabulary: &[],
+                },
+                ColumnSpec {
+                    name: "League",
+                    kind: ColumnKind::Category,
+                    vocabulary: LEAGUES,
+                },
+                ColumnSpec {
+                    name: "Attendance",
+                    kind: ColumnKind::Integer {
+                        min: 2500,
+                        max: 25000,
+                    },
+                    vocabulary: &[],
+                },
+                ColumnSpec {
+                    name: "Open Cup",
+                    kind: ColumnKind::Category,
+                    vocabulary: CUP_RESULTS,
+                },
+                ColumnSpec {
+                    name: "Wins",
+                    kind: ColumnKind::Integer { min: 0, max: 30 },
+                    vocabulary: &[],
+                },
             ],
         },
         Domain {
             name: "tv_episodes",
             columns: vec![
-                ColumnSpec { name: "Episode", kind: ColumnKind::Name, vocabulary: EPISODE_TITLES },
-                ColumnSpec { name: "Genre", kind: ColumnKind::Category, vocabulary: GENRES },
-                ColumnSpec { name: "Rating", kind: ColumnKind::Decimal { min: 1.0, max: 9.9 }, vocabulary: &[] },
-                ColumnSpec { name: "Viewers", kind: ColumnKind::Decimal { min: 0.4, max: 14.0 }, vocabulary: &[] },
-                ColumnSpec { name: "Season", kind: ColumnKind::Integer { min: 1, max: 9 }, vocabulary: &[] },
+                ColumnSpec {
+                    name: "Episode",
+                    kind: ColumnKind::Name,
+                    vocabulary: EPISODE_TITLES,
+                },
+                ColumnSpec {
+                    name: "Genre",
+                    kind: ColumnKind::Category,
+                    vocabulary: GENRES,
+                },
+                ColumnSpec {
+                    name: "Rating",
+                    kind: ColumnKind::Decimal { min: 1.0, max: 9.9 },
+                    vocabulary: &[],
+                },
+                ColumnSpec {
+                    name: "Viewers",
+                    kind: ColumnKind::Decimal {
+                        min: 0.4,
+                        max: 14.0,
+                    },
+                    vocabulary: &[],
+                },
+                ColumnSpec {
+                    name: "Season",
+                    kind: ColumnKind::Integer { min: 1, max: 9 },
+                    vocabulary: &[],
+                },
             ],
         },
         Domain {
             name: "tournaments",
             columns: vec![
-                ColumnSpec { name: "Tournament", kind: ColumnKind::Category, vocabulary: TOURNAMENTS },
-                ColumnSpec { name: "Surface", kind: ColumnKind::Category, vocabulary: SURFACES },
-                ColumnSpec { name: "Opponent", kind: ColumnKind::Name, vocabulary: OPPONENTS },
-                ColumnSpec { name: "Prize", kind: ColumnKind::Integer { min: 10000, max: 250000 }, vocabulary: &[] },
-                ColumnSpec { name: "Year", kind: ColumnKind::Year { min: 1998, max: 2018 }, vocabulary: &[] },
+                ColumnSpec {
+                    name: "Tournament",
+                    kind: ColumnKind::Category,
+                    vocabulary: TOURNAMENTS,
+                },
+                ColumnSpec {
+                    name: "Surface",
+                    kind: ColumnKind::Category,
+                    vocabulary: SURFACES,
+                },
+                ColumnSpec {
+                    name: "Opponent",
+                    kind: ColumnKind::Name,
+                    vocabulary: OPPONENTS,
+                },
+                ColumnSpec {
+                    name: "Prize",
+                    kind: ColumnKind::Integer {
+                        min: 10000,
+                        max: 250000,
+                    },
+                    vocabulary: &[],
+                },
+                ColumnSpec {
+                    name: "Year",
+                    kind: ColumnKind::Year {
+                        min: 1998,
+                        max: 2018,
+                    },
+                    vocabulary: &[],
+                },
             ],
         },
         Domain {
             name: "sales",
             columns: vec![
-                ColumnSpec { name: "Product", kind: ColumnKind::Category, vocabulary: PRODUCTS },
-                ColumnSpec { name: "Region", kind: ColumnKind::Category, vocabulary: REGIONS },
-                ColumnSpec { name: "Units", kind: ColumnKind::Integer { min: 5, max: 900 }, vocabulary: &[] },
-                ColumnSpec { name: "Revenue", kind: ColumnKind::Integer { min: 1000, max: 90000 }, vocabulary: &[] },
-                ColumnSpec { name: "Quarter", kind: ColumnKind::Integer { min: 1, max: 4 }, vocabulary: &[] },
+                ColumnSpec {
+                    name: "Product",
+                    kind: ColumnKind::Category,
+                    vocabulary: PRODUCTS,
+                },
+                ColumnSpec {
+                    name: "Region",
+                    kind: ColumnKind::Category,
+                    vocabulary: REGIONS,
+                },
+                ColumnSpec {
+                    name: "Units",
+                    kind: ColumnKind::Integer { min: 5, max: 900 },
+                    vocabulary: &[],
+                },
+                ColumnSpec {
+                    name: "Revenue",
+                    kind: ColumnKind::Integer {
+                        min: 1000,
+                        max: 90000,
+                    },
+                    vocabulary: &[],
+                },
+                ColumnSpec {
+                    name: "Quarter",
+                    kind: ColumnKind::Integer { min: 1, max: 4 },
+                    vocabulary: &[],
+                },
             ],
         },
         Domain {
             name: "mountains",
             columns: vec![
-                ColumnSpec { name: "Mountain", kind: ColumnKind::Name, vocabulary: MOUNTAINS },
-                ColumnSpec { name: "Range", kind: ColumnKind::Category, vocabulary: RANGES },
-                ColumnSpec { name: "Height", kind: ColumnKind::Integer { min: 2800, max: 4810 }, vocabulary: &[] },
-                ColumnSpec { name: "Prominence", kind: ColumnKind::Integer { min: 100, max: 4000 }, vocabulary: &[] },
-                ColumnSpec { name: "First ascent", kind: ColumnKind::Year { min: 1786, max: 1960 }, vocabulary: &[] },
+                ColumnSpec {
+                    name: "Mountain",
+                    kind: ColumnKind::Name,
+                    vocabulary: MOUNTAINS,
+                },
+                ColumnSpec {
+                    name: "Range",
+                    kind: ColumnKind::Category,
+                    vocabulary: RANGES,
+                },
+                ColumnSpec {
+                    name: "Height",
+                    kind: ColumnKind::Integer {
+                        min: 2800,
+                        max: 4810,
+                    },
+                    vocabulary: &[],
+                },
+                ColumnSpec {
+                    name: "Prominence",
+                    kind: ColumnKind::Integer {
+                        min: 100,
+                        max: 4000,
+                    },
+                    vocabulary: &[],
+                },
+                ColumnSpec {
+                    name: "First ascent",
+                    kind: ColumnKind::Year {
+                        min: 1786,
+                        max: 1960,
+                    },
+                    vocabulary: &[],
+                },
             ],
         },
     ]
@@ -266,9 +646,17 @@ mod tests {
         names.dedup();
         assert_eq!(names.len(), domains.len(), "domain names must be unique");
         for domain in &domains {
-            assert!(domain.columns.len() >= 5, "{} needs >= 5 columns", domain.name);
+            assert!(
+                domain.columns.len() >= 5,
+                "{} needs >= 5 columns",
+                domain.name
+            );
             assert!(!domain.category_columns().is_empty() || domain.name == "mountains");
-            assert!(!domain.numeric_columns().is_empty(), "{} needs numeric columns", domain.name);
+            assert!(
+                !domain.numeric_columns().is_empty(),
+                "{} needs numeric columns",
+                domain.name
+            );
             for column in &domain.columns {
                 match column.kind {
                     ColumnKind::Category | ColumnKind::Name => {

@@ -119,7 +119,9 @@ pub fn generate_questions<R: Rng>(
     while out.len() < count && attempts < count * 12 {
         let family = families[attempts % families.len()];
         attempts += 1;
-        let Some(candidate) = generate_for_family(table, family, rng) else { continue };
+        let Some(candidate) = generate_for_family(table, family, rng) else {
+            continue;
+        };
         if out.iter().any(|q| q.question == candidate.question) {
             continue;
         }
@@ -144,7 +146,12 @@ pub fn generate_for_family<R: Rng>(
     if answer.is_empty() || answer.len() > 6 {
         return None;
     }
-    Some(GeneratedQuestion { question, formula, answer, family })
+    Some(GeneratedQuestion {
+        question,
+        formula,
+        answer,
+        family,
+    })
 }
 
 /// Columns usable as selection columns: categorical / name columns with at
@@ -191,11 +198,7 @@ fn join(column: &str, value: &Value) -> Formula {
 }
 
 #[allow(clippy::too_many_lines)]
-fn build<R: Rng>(
-    table: &Table,
-    family: QuestionFamily,
-    rng: &mut R,
-) -> Option<(String, Formula)> {
+fn build<R: Rng>(table: &Table, family: QuestionFamily, rng: &mut R) -> Option<(String, Formula)> {
     let selections = selection_columns(table);
     let numerics = numeric_columns(table);
     let column_name = |c: usize| table.column_name(c).to_string();
@@ -219,14 +222,20 @@ fn build<R: Rng>(
             let value = pick_value(table, sel, rng)?;
             let (sel_name, num_name) = (column_name(sel), column_name(num));
             let highest = rng.gen_bool(0.5);
-            let op = if highest { wtq_dcs::AggregateOp::Max } else { wtq_dcs::AggregateOp::Min };
+            let op = if highest {
+                wtq_dcs::AggregateOp::Max
+            } else {
+                wtq_dcs::AggregateOp::Min
+            };
             let adjective = if highest { "highest" } else { "lowest" };
             let question = match rng.gen_range(0..2) {
                 0 => format!("What is the {adjective} {num_name} where the {sel_name} is {value}?"),
                 _ => format!("For {sel_name} {value}, what is the {adjective} {num_name}?"),
             };
-            let formula =
-                Formula::aggregate(op, Formula::column_values(&num_name, join(&sel_name, &value)));
+            let formula = Formula::aggregate(
+                op,
+                Formula::column_values(&num_name, join(&sel_name, &value)),
+            );
             Some((question, formula))
         }
         QuestionFamily::SumValue => {
@@ -261,7 +270,11 @@ fn build<R: Rng>(
             let num = *pick(&numerics, rng)?;
             let (target_name, num_name) = (column_name(target), column_name(num));
             let highest = rng.gen_bool(0.5);
-            let op = if highest { wtq_dcs::SuperlativeOp::Argmax } else { wtq_dcs::SuperlativeOp::Argmin };
+            let op = if highest {
+                wtq_dcs::SuperlativeOp::Argmax
+            } else {
+                wtq_dcs::SuperlativeOp::Argmin
+            };
             let adjective = if highest { "highest" } else { "lowest" };
             let question = match rng.gen_range(0..2) {
                 0 => format!("Which {target_name} has the {adjective} {num_name}?"),
@@ -305,8 +318,14 @@ fn build<R: Rng>(
                 ),
             };
             let formula = Formula::Sub(
-                Box::new(Formula::aggregate(wtq_dcs::AggregateOp::Count, join(&sel_name, &v1))),
-                Box::new(Formula::aggregate(wtq_dcs::AggregateOp::Count, join(&sel_name, &v2))),
+                Box::new(Formula::aggregate(
+                    wtq_dcs::AggregateOp::Count,
+                    join(&sel_name, &v1),
+                )),
+                Box::new(Formula::aggregate(
+                    wtq_dcs::AggregateOp::Count,
+                    join(&sel_name, &v2),
+                )),
             );
             Some((question, formula))
         }
@@ -334,14 +353,21 @@ fn build<R: Rng>(
             let value = pick_value(table, sel, rng)?;
             let (sel_name, target_name) = (column_name(sel), column_name(target));
             let last = rng.gen_bool(0.5);
-            let op = if last { wtq_dcs::SuperlativeOp::Argmax } else { wtq_dcs::SuperlativeOp::Argmin };
+            let op = if last {
+                wtq_dcs::SuperlativeOp::Argmax
+            } else {
+                wtq_dcs::SuperlativeOp::Argmin
+            };
             let position = if last { "last" } else { "first" };
             let question = format!(
                 "What is the {target_name} of the {position} row whose {sel_name} is {value}?"
             );
             let formula = Formula::column_values(
                 &target_name,
-                Formula::RecordIndexSuperlative { op, records: Box::new(join(&sel_name, &value)) },
+                Formula::RecordIndexSuperlative {
+                    op,
+                    records: Box::new(join(&sel_name, &value)),
+                },
             );
             Some((question, formula))
         }
@@ -359,7 +385,11 @@ fn build<R: Rng>(
             sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
             let threshold = sorted[sorted.len() / 2];
             let more = rng.gen_bool(0.5);
-            let op = if more { wtq_dcs::CompareOp::Gt } else { wtq_dcs::CompareOp::Lt };
+            let op = if more {
+                wtq_dcs::CompareOp::Gt
+            } else {
+                wtq_dcs::CompareOp::Lt
+            };
             let word = if more { "more" } else { "less" };
             let threshold_value = Value::Num(threshold);
             let question = format!("How many rows have {num_name} {word} than {threshold_value}?");
@@ -393,7 +423,11 @@ fn build<R: Rng>(
             let (v1, v2) = pick_two_values(table, sel, rng)?;
             let (sel_name, num_name) = (column_name(sel), column_name(num));
             let higher = rng.gen_bool(0.5);
-            let op = if higher { wtq_dcs::SuperlativeOp::Argmax } else { wtq_dcs::SuperlativeOp::Argmin };
+            let op = if higher {
+                wtq_dcs::SuperlativeOp::Argmax
+            } else {
+                wtq_dcs::SuperlativeOp::Argmin
+            };
             let adjective = if higher { "higher" } else { "lower" };
             let question = format!("Which has the {adjective} {num_name}, {v1} or {v2}?");
             let formula = Formula::CompareValues {
@@ -414,7 +448,10 @@ fn build<R: Rng>(
             let question = format!("How many rows have {sel_name} {v1} or {v2}?");
             let formula = Formula::aggregate(
                 wtq_dcs::AggregateOp::Count,
-                Formula::Union(Box::new(join(&sel_name, &v1)), Box::new(join(&sel_name, &v2))),
+                Formula::Union(
+                    Box::new(join(&sel_name, &v1)),
+                    Box::new(join(&sel_name, &v2)),
+                ),
             );
             Some((question, formula))
         }
@@ -422,15 +459,13 @@ fn build<R: Rng>(
             if selections.len() < 2 {
                 return None;
             }
-            let mut chosen: Vec<usize> =
-                selections.choose_multiple(rng, 2).copied().collect();
+            let mut chosen: Vec<usize> = selections.choose_multiple(rng, 2).copied().collect();
             chosen.shuffle(rng);
             let (sel1, sel2) = (chosen[0], chosen[1]);
             let v1 = pick_value(table, sel1, rng)?;
             let v2 = pick_value(table, sel2, rng)?;
             let (name1, name2) = (column_name(sel1), column_name(sel2));
-            let question =
-                format!("How many rows have {name1} {v1} and also {name2} {v2}?");
+            let question = format!("How many rows have {name1} {v1} and also {name2} {v2}?");
             let formula = Formula::aggregate(
                 wtq_dcs::AggregateOp::Count,
                 Formula::Intersect(Box::new(join(&name1, &v1)), Box::new(join(&name2, &v2))),
@@ -464,7 +499,11 @@ mod tests {
                 }
             }
         }
-        assert_eq!(seen.len(), QuestionFamily::all().len(), "some family never generated");
+        assert_eq!(
+            seen.len(),
+            QuestionFamily::all().len(),
+            "some family never generated"
+        );
     }
 
     #[test]
@@ -475,7 +514,12 @@ mod tests {
         assert!(questions.len() >= 10);
         for q in &questions {
             let denotation = eval(&q.formula, &table).expect("gold formula evaluates");
-            assert_eq!(Answer::from_denotation(&denotation), q.answer, "mismatch for {}", q.question);
+            assert_eq!(
+                Answer::from_denotation(&denotation),
+                q.answer,
+                "mismatch for {}",
+                q.question
+            );
             assert!(!q.question.is_empty());
         }
     }
@@ -488,11 +532,19 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(21);
         for _ in 0..10 {
             if let Some(q) = generate_for_family(&table, QuestionFamily::CountRows, &mut rng) {
-                let Formula::Aggregate { sub, .. } = &q.formula else { panic!("unexpected shape") };
-                let Formula::Join { values, .. } = sub.as_ref() else { panic!("unexpected shape") };
-                let Formula::Const(value) = values.as_ref() else { panic!("unexpected shape") };
+                let Formula::Aggregate { sub, .. } = &q.formula else {
+                    panic!("unexpected shape")
+                };
+                let Formula::Join { values, .. } = sub.as_ref() else {
+                    panic!("unexpected shape")
+                };
+                let Formula::Const(value) = values.as_ref() else {
+                    panic!("unexpected shape")
+                };
                 assert!(
-                    q.question.to_lowercase().contains(&value.to_string().to_lowercase()),
+                    q.question
+                        .to_lowercase()
+                        .contains(&value.to_string().to_lowercase()),
                     "question {:?} does not mention {}",
                     q.question,
                     value

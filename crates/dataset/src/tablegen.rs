@@ -49,17 +49,26 @@ pub fn generate_table_with_rows<R: Rng>(
     for row in 0..rows {
         let mut values = Vec::with_capacity(domain.columns.len());
         for (column_idx, column) in domain.columns.iter().enumerate() {
-            values.push(generate_value(column, row, &mut name_pools[column_idx], rng));
+            values.push(generate_value(
+                column,
+                row,
+                &mut name_pools[column_idx],
+                rng,
+            ));
         }
-        builder = builder.row(values).expect("generated row matches column count");
+        builder = builder
+            .row(values)
+            .expect("generated row matches column count");
     }
-    builder.build().expect("generated tables always have columns")
+    builder
+        .build()
+        .expect("generated tables always have columns")
 }
 
 fn generate_value<R: Rng>(
     column: &ColumnSpec,
     row: usize,
-    name_pool: &mut Vec<&str>,
+    name_pool: &mut [&str],
     rng: &mut R,
 ) -> Value {
     match column.kind {
@@ -98,7 +107,11 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(7);
         for domain in all_domains() {
             let table = generate_table(&domain, 0, &mut rng);
-            assert!(table.num_records() >= MIN_ROWS, "{} too small", table.name());
+            assert!(
+                table.num_records() >= MIN_ROWS,
+                "{} too small",
+                table.name()
+            );
             assert!(table.num_columns() >= 5, "{} too narrow", table.name());
         }
     }
@@ -115,7 +128,10 @@ mod tests {
 
     #[test]
     fn numeric_columns_are_numbers_and_categories_repeat() {
-        let domain = all_domains().into_iter().find(|d| d.name == "medal_table").unwrap();
+        let domain = all_domains()
+            .into_iter()
+            .find(|d| d.name == "medal_table")
+            .unwrap();
         let mut rng = ChaCha8Rng::seed_from_u64(11);
         let table = generate_table_with_rows(&domain, 0, 16, &mut rng);
         let gold = table.column_index("Gold").unwrap();
@@ -130,11 +146,17 @@ mod tests {
 
     #[test]
     fn name_columns_stay_distinct() {
-        let domain = all_domains().into_iter().find(|d| d.name == "national_squad").unwrap();
+        let domain = all_domains()
+            .into_iter()
+            .find(|d| d.name == "national_squad")
+            .unwrap();
         let mut rng = ChaCha8Rng::seed_from_u64(5);
         let table = generate_table_with_rows(&domain, 0, 18, &mut rng);
         let name = table.column_index("Name").unwrap();
-        assert_eq!(table.distinct_column_values(name).len(), table.num_records());
+        assert_eq!(
+            table.distinct_column_values(name).len(),
+            table.num_records()
+        );
     }
 
     #[test]

@@ -84,7 +84,11 @@ impl PartialEq for Answer {
             // paper's Figure 1 treats "{2004}" and the max() result as
             // interchangeable.
             (Answer::Number(n), Answer::Values(v)) | (Answer::Values(v), Answer::Number(n)) => {
-                v.len() == 1 && v[0].as_number().map(|m| numbers_equal(*n, m)).unwrap_or(false)
+                v.len() == 1
+                    && v[0]
+                        .as_number()
+                        .map(|m| numbers_equal(*n, m))
+                        .unwrap_or(false)
             }
             _ => false,
         }
@@ -142,8 +146,7 @@ mod tests {
         // paper's motivation for explanations).
         let table = samples::usl_league();
         let correct = parse_formula("max(R[Year].League.\"USL A-League\")").unwrap();
-        let incorrect =
-            parse_formula("min(R[Year].argmax(Rows, \"Open Cup\"))").unwrap();
+        let incorrect = parse_formula("min(R[Year].argmax(Rows, \"Open Cup\"))").unwrap();
         let gold = Answer::number(2004.0);
         let a = Answer::from_denotation(&eval(&correct, &table).unwrap());
         assert_eq!(a, gold);

@@ -40,7 +40,13 @@ impl AggregateOp {
 
     /// All aggregate operators, in a stable order.
     pub fn all() -> [AggregateOp; 5] {
-        [AggregateOp::Count, AggregateOp::Max, AggregateOp::Min, AggregateOp::Sum, AggregateOp::Avg]
+        [
+            AggregateOp::Count,
+            AggregateOp::Max,
+            AggregateOp::Min,
+            AggregateOp::Sum,
+            AggregateOp::Avg,
+        ]
     }
 }
 
@@ -247,12 +253,18 @@ impl Formula {
 
     /// Convenience constructor: `R[column].records`.
     pub fn column_values(column: &str, records: Formula) -> Formula {
-        Formula::ColumnValues { column: column.to_string(), records: Box::new(records) }
+        Formula::ColumnValues {
+            column: column.to_string(),
+            records: Box::new(records),
+        }
     }
 
     /// Convenience constructor: `aggr(sub)`.
     pub fn aggregate(op: AggregateOp, sub: Formula) -> Formula {
-        Formula::Aggregate { op, sub: Box::new(sub) }
+        Formula::Aggregate {
+            op,
+            sub: Box::new(sub),
+        }
     }
 
     /// Direct sub-formulas, in a stable left-to-right order. This is the
@@ -315,7 +327,9 @@ impl Formula {
                 b.collect_columns(out);
             }
             Formula::Aggregate { sub, .. } => sub.collect_columns(out),
-            Formula::SuperlativeRecords { records, column, .. } => {
+            Formula::SuperlativeRecords {
+                records, column, ..
+            } => {
                 out.push(column.clone());
                 records.collect_columns(out);
             }
@@ -324,7 +338,12 @@ impl Formula {
                 out.push(column.clone());
                 values.collect_columns(out);
             }
-            Formula::CompareValues { values, key_column, value_column, .. } => {
+            Formula::CompareValues {
+                values,
+                key_column,
+                value_column,
+                ..
+            } => {
                 out.push(key_column.clone());
                 out.push(value_column.clone());
                 values.collect_columns(out);
@@ -359,8 +378,14 @@ impl Formula {
 /// Quote a name for the concrete syntax if it is not a simple identifier.
 fn quoted(name: &str) -> String {
     let simple = !name.is_empty()
-        && name.chars().next().map(|c| c.is_ascii_alphabetic() || c == '_').unwrap_or(false)
-        && name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
+        && name
+            .chars()
+            .next()
+            .map(|c| c.is_ascii_alphabetic() || c == '_')
+            .unwrap_or(false)
+        && name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
         && !matches!(
             name.to_ascii_lowercase().as_str(),
             "and" | "or" | "rows" | "record" | "prev" | "next" | "r"
@@ -401,13 +426,15 @@ impl fmt::Display for Formula {
                 write!(f, "{}.({} {})", quoted(column), op.symbol(), value)
             }
             Formula::ColumnValues { column, records } => {
-                if records.is_atomic() || matches!(
-                    records.as_ref(),
-                    Formula::Join { .. }
-                        | Formula::CompareJoin { .. }
-                        | Formula::Prev(_)
-                        | Formula::Next(_)
-                ) {
+                if records.is_atomic()
+                    || matches!(
+                        records.as_ref(),
+                        Formula::Join { .. }
+                            | Formula::CompareJoin { .. }
+                            | Formula::Prev(_)
+                            | Formula::Next(_)
+                    )
+                {
                     write!(f, "R[{}].{}", quoted(column), records)
                 } else {
                     write!(f, "R[{}].({})", quoted(column), records)
@@ -430,7 +457,11 @@ impl fmt::Display for Formula {
             Formula::Intersect(a, b) => write!(f, "({a} and {b})"),
             Formula::Union(a, b) => write!(f, "({a} or {b})"),
             Formula::Aggregate { op, sub } => write!(f, "{}({})", op.name(), sub),
-            Formula::SuperlativeRecords { op, records, column } => {
+            Formula::SuperlativeRecords {
+                op,
+                records,
+                column,
+            } => {
                 write!(f, "{}({}, {})", op.name(), records, quoted(column))
             }
             Formula::RecordIndexSuperlative { op, records } => {
@@ -447,7 +478,12 @@ impl fmt::Display for Formula {
                 };
                 write!(f, "{}({}, {})", name, values, quoted(column))
             }
-            Formula::CompareValues { op, values, key_column, value_column } => {
+            Formula::CompareValues {
+                op,
+                values,
+                key_column,
+                value_column,
+            } => {
                 let name = match op {
                     SuperlativeOp::Argmax => "compare_max",
                     SuperlativeOp::Argmin => "compare_min",
@@ -480,7 +516,10 @@ mod tests {
 
     #[test]
     fn display_matches_paper_style() {
-        assert_eq!(figure_one_query().to_string(), "max(R[Year].Country.Greece)");
+        assert_eq!(
+            figure_one_query().to_string(),
+            "max(R[Year].Country.Greece)"
+        );
         let q = Formula::column_values(
             "City",
             Formula::SuperlativeRecords {
@@ -517,7 +556,10 @@ mod tests {
         );
         assert_eq!(q.columns_mentioned(), vec!["City".to_string()]);
         let q = figure_one_query();
-        assert_eq!(q.columns_mentioned(), vec!["Year".to_string(), "Country".to_string()]);
+        assert_eq!(
+            q.columns_mentioned(),
+            vec!["Year".to_string(), "Country".to_string()]
+        );
     }
 
     #[test]

@@ -13,13 +13,24 @@ pub enum DcsError {
     UnknownColumn(String),
     /// An operator was applied to a denotation of the wrong kind (e.g. `sum`
     /// over a set of records, or intersection of a value set with a number).
-    TypeMismatch { operator: &'static str, expected: &'static str, found: &'static str },
+    TypeMismatch {
+        operator: &'static str,
+        expected: &'static str,
+        found: &'static str,
+    },
     /// A numeric aggregate (`sum`, `avg`, `max`, `min`) or arithmetic
     /// difference was applied to values that are not numbers.
-    NonNumeric { operator: &'static str, value: String },
+    NonNumeric {
+        operator: &'static str,
+        value: String,
+    },
     /// An operation that requires exactly one value (e.g. each side of
     /// `sub(...)`) received a different cardinality.
-    Cardinality { operator: &'static str, expected: &'static str, got: usize },
+    Cardinality {
+        operator: &'static str,
+        expected: &'static str,
+        got: usize,
+    },
     /// Evaluation exceeded the configured recursion depth; guards against
     /// pathological machine-generated candidates.
     DepthExceeded(usize),
@@ -32,17 +43,31 @@ impl fmt::Display for DcsError {
                 write!(f, "parse error at byte {position}: {message}")
             }
             DcsError::UnknownColumn(name) => write!(f, "unknown column {name:?}"),
-            DcsError::TypeMismatch { operator, expected, found } => {
+            DcsError::TypeMismatch {
+                operator,
+                expected,
+                found,
+            } => {
                 write!(f, "{operator} expects {expected} but found {found}")
             }
             DcsError::NonNumeric { operator, value } => {
                 write!(f, "{operator} requires numeric values but found {value:?}")
             }
-            DcsError::Cardinality { operator, expected, got } => {
-                write!(f, "{operator} expects {expected} but its argument denoted {got} values")
+            DcsError::Cardinality {
+                operator,
+                expected,
+                got,
+            } => {
+                write!(
+                    f,
+                    "{operator} expects {expected} but its argument denoted {got} values"
+                )
             }
             DcsError::DepthExceeded(depth) => {
-                write!(f, "formula nesting exceeds the maximum evaluation depth of {depth}")
+                write!(
+                    f,
+                    "formula nesting exceeds the maximum evaluation depth of {depth}"
+                )
             }
         }
     }
@@ -64,7 +89,10 @@ mod tests {
             found: "number",
         };
         assert!(e.to_string().contains("intersection"));
-        let e = DcsError::Parse { message: "unexpected ')'".into(), position: 7 };
+        let e = DcsError::Parse {
+            message: "unexpected ')'".into(),
+            position: 7,
+        };
         assert!(e.to_string().contains("byte 7"));
     }
 }

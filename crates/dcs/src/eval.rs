@@ -35,7 +35,10 @@ impl TracedValue {
     /// A value with no cell trace (e.g. a literal constant absent from the
     /// table).
     pub fn untraced(value: Value) -> Self {
-        TracedValue { value, cells: Vec::new() }
+        TracedValue {
+            value,
+            cells: Vec::new(),
+        }
     }
 }
 
@@ -130,7 +133,10 @@ pub struct Evaluator<'a> {
 impl<'a> Evaluator<'a> {
     /// Create an evaluator for `table`, building the KB inverted indexes.
     pub fn new(table: &'a Table) -> Self {
-        Evaluator { table, kb: KnowledgeBase::new(table) }
+        Evaluator {
+            table,
+            kb: KnowledgeBase::new(table),
+        }
     }
 
     /// The table being queried.
@@ -154,9 +160,7 @@ impl<'a> Evaluator<'a> {
         }
         match formula {
             Formula::Const(value) => Ok(self.eval_const(value)),
-            Formula::AllRecords => {
-                Ok(Denotation::Records(self.table.record_indices().collect()))
-            }
+            Formula::AllRecords => Ok(Denotation::Records(self.table.record_indices().collect())),
             Formula::Join { column, values } => {
                 let column_idx = self.column(column)?;
                 let values = self.eval_depth(values, depth + 1)?;
@@ -191,15 +195,19 @@ impl<'a> Evaluator<'a> {
             Formula::Prev(sub) => {
                 let records = self.eval_depth(sub, depth + 1)?;
                 let records = self.expect_records("Prev", records)?;
-                let shifted: BTreeSet<RecordIdx> =
-                    records.iter().filter_map(|&r| self.table.prev_record(r)).collect();
+                let shifted: BTreeSet<RecordIdx> = records
+                    .iter()
+                    .filter_map(|&r| self.table.prev_record(r))
+                    .collect();
                 Ok(Denotation::Records(shifted))
             }
             Formula::Next(sub) => {
                 let records = self.eval_depth(sub, depth + 1)?;
                 let records = self.expect_records("R[Prev]", records)?;
-                let shifted: BTreeSet<RecordIdx> =
-                    records.iter().filter_map(|&r| self.table.next_record(r)).collect();
+                let shifted: BTreeSet<RecordIdx> = records
+                    .iter()
+                    .filter_map(|&r| self.table.next_record(r))
+                    .collect();
                 Ok(Denotation::Records(shifted))
             }
             Formula::Intersect(a, b) => {
@@ -216,11 +224,17 @@ impl<'a> Evaluator<'a> {
                 let inner = self.eval_depth(sub, depth + 1)?;
                 self.eval_aggregate(*op, inner)
             }
-            Formula::SuperlativeRecords { op, records, column } => {
+            Formula::SuperlativeRecords {
+                op,
+                records,
+                column,
+            } => {
                 let column_idx = self.column(column)?;
                 let records = self.eval_depth(records, depth + 1)?;
                 let records = self.expect_records("superlative", records)?;
-                Ok(Denotation::Records(self.superlative_records(*op, &records, column_idx)))
+                Ok(Denotation::Records(
+                    self.superlative_records(*op, &records, column_idx),
+                ))
             }
             Formula::RecordIndexSuperlative { op, records } => {
                 let records = self.eval_depth(records, depth + 1)?;
@@ -236,7 +250,12 @@ impl<'a> Evaluator<'a> {
                 let values = self.eval_depth(values, depth + 1)?;
                 self.eval_most_common(*op, values, column_idx)
             }
-            Formula::CompareValues { op, values, key_column, value_column } => {
+            Formula::CompareValues {
+                op,
+                values,
+                key_column,
+                value_column,
+            } => {
                 let key_idx = self.column(key_column)?;
                 let value_idx = self.column(value_column)?;
                 let values = self.eval_depth(values, depth + 1)?;
@@ -253,7 +272,9 @@ impl<'a> Evaluator<'a> {
     }
 
     fn column(&self, name: &str) -> Result<usize> {
-        self.table.column_index(name).ok_or_else(|| DcsError::UnknownColumn(name.to_string()))
+        self.table
+            .column_index(name)
+            .ok_or_else(|| DcsError::UnknownColumn(name.to_string()))
     }
 
     /// A constant denotes the set of table cells holding that value (across
@@ -265,7 +286,10 @@ impl<'a> Evaluator<'a> {
             cells.extend(self.kb.matching_cells(column, value));
         }
         cells.sort_unstable();
-        Denotation::Values(vec![TracedValue { value: value.clone(), cells }])
+        Denotation::Values(vec![TracedValue {
+            value: value.clone(),
+            cells,
+        }])
     }
 
     fn eval_join(&self, column: usize, values: &Denotation) -> Result<Denotation> {
@@ -290,12 +314,17 @@ impl<'a> Evaluator<'a> {
     fn project_column(&self, column: usize, records: &BTreeSet<RecordIdx>) -> Denotation {
         let mut out: Vec<TracedValue> = Vec::new();
         for &record in records {
-            let Some(value) = self.table.value_at(record, column) else { continue };
+            let Some(value) = self.table.value_at(record, column) else {
+                continue;
+            };
             let cell = CellRef::new(record, column);
             if let Some(existing) = out.iter_mut().find(|tv| &tv.value == value) {
                 existing.cells.push(cell);
             } else {
-                out.push(TracedValue { value: value.clone(), cells: vec![cell] });
+                out.push(TracedValue {
+                    value: value.clone(),
+                    cells: vec![cell],
+                });
             }
         }
         Denotation::Values(out)
@@ -388,7 +417,9 @@ impl<'a> Evaluator<'a> {
         if op == AggregateOp::Count {
             return Ok(Denotation::Number(match &inner {
                 Denotation::Records(r) => r.len() as f64,
-                Denotation::Values(v) => v.iter().map(|tv| tv.cells.len().max(1)).sum::<usize>() as f64,
+                Denotation::Values(v) => {
+                    v.iter().map(|tv| tv.cells.len().max(1)).sum::<usize>() as f64
+                }
                 Denotation::Number(_) => 1.0,
             }));
         }
@@ -403,7 +434,7 @@ impl<'a> Evaluator<'a> {
                         operator: op.name(),
                         value: tv.value.to_string(),
                     })?;
-                    numbers.extend(std::iter::repeat(number).take(occurrences));
+                    numbers.extend(std::iter::repeat_n(number, occurrences));
                 }
                 numbers
             }
@@ -441,7 +472,9 @@ impl<'a> Evaluator<'a> {
     ) -> BTreeSet<RecordIdx> {
         let mut best: Option<Value> = None;
         for &record in records {
-            let Some(value) = self.table.value_at(record, column) else { continue };
+            let Some(value) = self.table.value_at(record, column) else {
+                continue;
+            };
             let better = match (&best, op) {
                 (None, _) => true,
                 (Some(current), SuperlativeOp::Argmax) => value > current,
@@ -451,7 +484,9 @@ impl<'a> Evaluator<'a> {
                 best = Some(value.clone());
             }
         }
-        let Some(best) = best else { return BTreeSet::new() };
+        let Some(best) = best else {
+            return BTreeSet::new();
+        };
         records
             .iter()
             .copied()
@@ -493,7 +528,10 @@ impl<'a> Evaluator<'a> {
             .map(|(tv, _)| {
                 // Trace the winner to its occurrences in the counting column.
                 let cells = self.kb.matching_cells(column, &tv.value);
-                TracedValue { value: tv.value, cells }
+                TracedValue {
+                    value: tv.value,
+                    cells,
+                }
             })
             .collect();
         Ok(Denotation::Values(out))
@@ -526,7 +564,9 @@ impl<'a> Evaluator<'a> {
         // Best key among those rows.
         let mut best: Option<Value> = None;
         for &record in &rows {
-            let Some(key) = self.table.value_at(record, key_column) else { continue };
+            let Some(key) = self.table.value_at(record, key_column) else {
+                continue;
+            };
             let better = match (&best, op) {
                 (None, _) => true,
                 (Some(current), SuperlativeOp::Argmax) => key > current,
@@ -536,19 +576,26 @@ impl<'a> Evaluator<'a> {
                 best = Some(key.clone());
             }
         }
-        let Some(best) = best else { return Ok(Denotation::Values(Vec::new())) };
+        let Some(best) = best else {
+            return Ok(Denotation::Values(Vec::new()));
+        };
         // Return the candidate values of rows achieving the best key.
         let mut out: Vec<TracedValue> = Vec::new();
         for &record in &rows {
             if self.table.value_at(record, key_column) != Some(&best) {
                 continue;
             }
-            let Some(value) = self.table.value_at(record, value_column) else { continue };
+            let Some(value) = self.table.value_at(record, value_column) else {
+                continue;
+            };
             let cell = CellRef::new(record, value_column);
             if let Some(existing) = out.iter_mut().find(|tv| &tv.value == value) {
                 existing.cells.push(cell);
             } else {
-                out.push(TracedValue { value: value.clone(), cells: vec![cell] });
+                out.push(TracedValue {
+                    value: value.clone(),
+                    cells: vec![cell],
+                });
             }
         }
         Ok(Denotation::Values(out))
@@ -578,7 +625,10 @@ mod tests {
         let table = samples::olympics();
         let q = Formula::join_str("Country", "Greece");
         let d = eval(&q, &table).unwrap();
-        assert_eq!(d.records().unwrap().iter().copied().collect::<Vec<_>>(), vec![0, 5]);
+        assert_eq!(
+            d.records().unwrap().iter().copied().collect::<Vec<_>>(),
+            vec![0, 5]
+        );
     }
 
     #[test]
@@ -630,8 +680,14 @@ mod tests {
         // sub(R[Total].Nation.Fiji, R[Total].Nation.Tonga) = 110
         let table = samples::medals();
         let q = Formula::Sub(
-            Box::new(Formula::column_values("Total", Formula::join_str("Nation", "Fiji"))),
-            Box::new(Formula::column_values("Total", Formula::join_str("Nation", "Tonga"))),
+            Box::new(Formula::column_values(
+                "Total",
+                Formula::join_str("Nation", "Fiji"),
+            )),
+            Box::new(Formula::column_values(
+                "Total",
+                Formula::join_str("Nation", "Tonga"),
+            )),
         );
         assert_eq!(eval(&q, &table).unwrap(), Denotation::Number(110.0));
     }
@@ -659,7 +715,10 @@ mod tests {
                 Box::new(Formula::join_str("Country", "China")),
             ),
         );
-        assert_eq!(values_of(&eval(&q, &table).unwrap()), vec!["Athens", "Beijing"]);
+        assert_eq!(
+            values_of(&eval(&q, &table).unwrap()),
+            vec!["Athens", "Beijing"]
+        );
     }
 
     #[test]
@@ -843,7 +902,10 @@ mod tests {
     fn unknown_column_is_an_error() {
         let table = samples::olympics();
         let q = Formula::join_str("Continent", "Europe");
-        assert_eq!(eval(&q, &table).unwrap_err(), DcsError::UnknownColumn("Continent".into()));
+        assert_eq!(
+            eval(&q, &table).unwrap_err(),
+            DcsError::UnknownColumn("Continent".into())
+        );
     }
 
     #[test]
@@ -851,10 +913,16 @@ mod tests {
         let table = samples::olympics();
         // R[Year].Country.Greece denotes two values -> not a single number.
         let q = Formula::Sub(
-            Box::new(Formula::column_values("Year", Formula::join_str("Country", "Greece"))),
+            Box::new(Formula::column_values(
+                "Year",
+                Formula::join_str("Country", "Greece"),
+            )),
             Box::new(Formula::Const(Value::num(1.0))),
         );
-        assert!(matches!(eval(&q, &table), Err(DcsError::Cardinality { .. })));
+        assert!(matches!(
+            eval(&q, &table),
+            Err(DcsError::Cardinality { .. })
+        ));
     }
 
     #[test]
@@ -862,13 +930,19 @@ mod tests {
         let table = samples::olympics();
         // Aggregating records with max.
         let q = Formula::aggregate(AggregateOp::Max, Formula::AllRecords);
-        assert!(matches!(eval(&q, &table), Err(DcsError::TypeMismatch { .. })));
+        assert!(matches!(
+            eval(&q, &table),
+            Err(DcsError::TypeMismatch { .. })
+        ));
         // Intersecting a number with records.
         let q = Formula::Intersect(
             Box::new(Formula::aggregate(AggregateOp::Count, Formula::AllRecords)),
             Box::new(Formula::AllRecords),
         );
-        assert!(matches!(eval(&q, &table), Err(DcsError::TypeMismatch { .. })));
+        assert!(matches!(
+            eval(&q, &table),
+            Err(DcsError::TypeMismatch { .. })
+        ));
     }
 
     #[test]

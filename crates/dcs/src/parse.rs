@@ -33,7 +33,10 @@ use crate::Result;
 /// Parse a formula from its textual form.
 pub fn parse_formula(text: &str) -> Result<Formula> {
     let tokens = tokenize(text)?;
-    let mut parser = Parser { tokens, position: 0 };
+    let mut parser = Parser {
+        tokens,
+        position: 0,
+    };
     let formula = parser.parse_or()?;
     parser.expect_end()?;
     Ok(formula)
@@ -71,27 +74,45 @@ fn tokenize(text: &str) -> Result<Vec<SpannedToken>> {
                 i += 1;
             }
             '.' => {
-                tokens.push(SpannedToken { token: Token::Dot, offset: start });
+                tokens.push(SpannedToken {
+                    token: Token::Dot,
+                    offset: start,
+                });
                 i += 1;
             }
             ',' => {
-                tokens.push(SpannedToken { token: Token::Comma, offset: start });
+                tokens.push(SpannedToken {
+                    token: Token::Comma,
+                    offset: start,
+                });
                 i += 1;
             }
             '(' => {
-                tokens.push(SpannedToken { token: Token::LParen, offset: start });
+                tokens.push(SpannedToken {
+                    token: Token::LParen,
+                    offset: start,
+                });
                 i += 1;
             }
             ')' => {
-                tokens.push(SpannedToken { token: Token::RParen, offset: start });
+                tokens.push(SpannedToken {
+                    token: Token::RParen,
+                    offset: start,
+                });
                 i += 1;
             }
             '[' => {
-                tokens.push(SpannedToken { token: Token::LBracket, offset: start });
+                tokens.push(SpannedToken {
+                    token: Token::LBracket,
+                    offset: start,
+                });
                 i += 1;
             }
             ']' => {
-                tokens.push(SpannedToken { token: Token::RBracket, offset: start });
+                tokens.push(SpannedToken {
+                    token: Token::RBracket,
+                    offset: start,
+                });
                 i += 1;
             }
             '>' | '<' | '!' => {
@@ -115,7 +136,10 @@ fn tokenize(text: &str) -> Result<Vec<SpannedToken>> {
                         }
                     }
                 };
-                tokens.push(SpannedToken { token: Token::Compare(op), offset: start });
+                tokens.push(SpannedToken {
+                    token: Token::Compare(op),
+                    offset: start,
+                });
             }
             '"' => {
                 let mut value = String::new();
@@ -141,7 +165,10 @@ fn tokenize(text: &str) -> Result<Vec<SpannedToken>> {
                         position: start,
                     });
                 }
-                tokens.push(SpannedToken { token: Token::Quoted(value), offset: start });
+                tokens.push(SpannedToken {
+                    token: Token::Quoted(value),
+                    offset: start,
+                });
             }
             _ if c.is_ascii_digit() || c == '-' => {
                 let mut end = i + 1;
@@ -162,7 +189,10 @@ fn tokenize(text: &str) -> Result<Vec<SpannedToken>> {
                     message: format!("invalid number literal {literal:?}"),
                     position: start,
                 })?;
-                tokens.push(SpannedToken { token: Token::Number(number), offset: start });
+                tokens.push(SpannedToken {
+                    token: Token::Number(number),
+                    offset: start,
+                });
                 i = end;
             }
             _ if c.is_ascii_alphabetic() || c == '_' => {
@@ -218,7 +248,10 @@ impl Parser {
     }
 
     fn error(&self, message: impl Into<String>) -> DcsError {
-        DcsError::Parse { message: message.into(), position: self.offset() }
+        DcsError::Parse {
+            message: message.into(),
+            position: self.offset(),
+        }
     }
 
     fn expect(&mut self, expected: &Token, what: &str) -> Result<()> {
@@ -303,7 +336,10 @@ impl Parser {
             if column.eq_ignore_ascii_case("prev") {
                 return Ok(Formula::Next(Box::new(records)));
             }
-            return Ok(Formula::ColumnValues { column, records: Box::new(records) });
+            return Ok(Formula::ColumnValues {
+                column,
+                records: Box::new(records),
+            });
         }
         // Prev.<records>
         if lower == "prev" && self.peek() == Some(&Token::Dot) {
@@ -336,11 +372,18 @@ impl Parser {
                 self.advance(); // compare op
                 let value = self.parse_primary()?;
                 self.expect(&Token::RParen, "')'")?;
-                return Ok(Formula::CompareJoin { column: name, op, value: Box::new(value) });
+                return Ok(Formula::CompareJoin {
+                    column: name,
+                    op,
+                    value: Box::new(value),
+                });
             }
         }
         let values = self.parse_primary()?;
-        Ok(Formula::Join { column: name, values: Box::new(values) })
+        Ok(Formula::Join {
+            column: name,
+            values: Box::new(values),
+        })
     }
 
     /// A column or value name: an identifier, a quoted string, or `Index`.
@@ -367,7 +410,10 @@ impl Parser {
             self.expect(&Token::LParen, "'('")?;
             let sub = self.parse_or()?;
             self.expect(&Token::RParen, "')'")?;
-            return Ok(Some(Formula::Aggregate { op, sub: Box::new(sub) }));
+            return Ok(Some(Formula::Aggregate {
+                op,
+                sub: Box::new(sub),
+            }));
         }
         let formula = match name {
             "sub" | "difference" => {
@@ -379,24 +425,42 @@ impl Parser {
                 Formula::Sub(Box::new(left), Box::new(right))
             }
             "argmax" | "argmin" => {
-                let op = if name == "argmax" { SuperlativeOp::Argmax } else { SuperlativeOp::Argmin };
+                let op = if name == "argmax" {
+                    SuperlativeOp::Argmax
+                } else {
+                    SuperlativeOp::Argmin
+                };
                 self.expect(&Token::LParen, "'('")?;
                 let records = self.parse_or()?;
                 self.expect(&Token::Comma, "','")?;
                 let key = self.parse_name("a column name or Index")?;
                 self.expect(&Token::RParen, "')'")?;
                 if key.eq_ignore_ascii_case("index") {
-                    Formula::RecordIndexSuperlative { op, records: Box::new(records) }
+                    Formula::RecordIndexSuperlative {
+                        op,
+                        records: Box::new(records),
+                    }
                 } else {
-                    Formula::SuperlativeRecords { op, records: Box::new(records), column: key }
+                    Formula::SuperlativeRecords {
+                        op,
+                        records: Box::new(records),
+                        column: key,
+                    }
                 }
             }
             "last" | "first" => {
-                let op = if name == "last" { SuperlativeOp::Argmax } else { SuperlativeOp::Argmin };
+                let op = if name == "last" {
+                    SuperlativeOp::Argmax
+                } else {
+                    SuperlativeOp::Argmin
+                };
                 self.expect(&Token::LParen, "'('")?;
                 let records = self.parse_or()?;
                 self.expect(&Token::RParen, "')'")?;
-                Formula::RecordIndexSuperlative { op, records: Box::new(records) }
+                Formula::RecordIndexSuperlative {
+                    op,
+                    records: Box::new(records),
+                }
             }
             "most_common" | "least_common" => {
                 let op = if name == "most_common" {
@@ -409,7 +473,11 @@ impl Parser {
                 self.expect(&Token::Comma, "','")?;
                 let column = self.parse_name("a column name")?;
                 self.expect(&Token::RParen, "')'")?;
-                Formula::MostCommonValue { op, values: Box::new(values), column }
+                Formula::MostCommonValue {
+                    op,
+                    values: Box::new(values),
+                    column,
+                }
             }
             "compare_max" | "compare_min" => {
                 let op = if name == "compare_max" {
@@ -447,9 +515,7 @@ impl Parser {
                         day: None,
                     }),
                     [y, m, d] => Value::date(*y as i32, *m as u8, *d as u8),
-                    _ => {
-                        return Err(self.error("date(...) takes between one and three arguments"))
-                    }
+                    _ => return Err(self.error("date(...) takes between one and three arguments")),
                 };
                 Formula::Const(value)
             }
@@ -474,9 +540,12 @@ mod tests {
     fn roundtrip(text: &str) -> Formula {
         let formula = parse_formula(text).unwrap_or_else(|e| panic!("parse {text:?}: {e}"));
         let redisplayed = formula.to_string();
-        let reparsed = parse_formula(&redisplayed)
-            .unwrap_or_else(|e| panic!("reparse {redisplayed:?}: {e}"));
-        assert_eq!(formula, reparsed, "round trip changed the formula for {text:?}");
+        let reparsed =
+            parse_formula(&redisplayed).unwrap_or_else(|e| panic!("reparse {redisplayed:?}: {e}"));
+        assert_eq!(
+            formula, reparsed,
+            "round trip changed the formula for {text:?}"
+        );
         formula
     }
 
@@ -519,20 +588,35 @@ mod tests {
     fn numbers_and_negative_numbers() {
         assert_eq!(roundtrip("Year.2004"), Formula::join_str("Year", "2004"));
         assert!(matches!(roundtrip("-17"), Formula::Const(Value::Num(n)) if n == -17.0));
-        assert!(matches!(roundtrip("2.945"), Formula::Const(Value::Num(n)) if (n - 2.945).abs() < 1e-12));
+        assert!(
+            matches!(roundtrip("2.945"), Formula::Const(Value::Num(n)) if (n - 2.945).abs() < 1e-12)
+        );
     }
 
     #[test]
     fn argmax_with_index_keyword_becomes_record_index_superlative() {
         let f = roundtrip("argmax(League.\"USL A-League\", Index)");
-        assert!(matches!(f, Formula::RecordIndexSuperlative { op: SuperlativeOp::Argmax, .. }));
+        assert!(matches!(
+            f,
+            Formula::RecordIndexSuperlative {
+                op: SuperlativeOp::Argmax,
+                ..
+            }
+        ));
         let g = roundtrip("argmin(Rows, Year)");
-        assert!(matches!(g, Formula::SuperlativeRecords { op: SuperlativeOp::Argmin, .. }));
+        assert!(matches!(
+            g,
+            Formula::SuperlativeRecords {
+                op: SuperlativeOp::Argmin,
+                ..
+            }
+        ));
     }
 
     #[test]
     fn nested_composition() {
-        let f = roundtrip("count(argmax((Lake.\"Lake Huron\" and Vessel.Steamer), \"Lives lost\"))");
+        let f =
+            roundtrip("count(argmax((Lake.\"Lake Huron\" and Vessel.Steamer), \"Lives lost\"))");
         assert_eq!(f.depth(), 5);
     }
 

@@ -81,7 +81,11 @@ pub fn typecheck(formula: &Formula) -> Result<FormulaType> {
                 Err(DcsError::TypeMismatch {
                     operator: "intersection",
                     expected: "two record sets or two value sets",
-                    found: if left == FormulaType::Number { left.name() } else { right.name() },
+                    found: if left == FormulaType::Number {
+                        left.name()
+                    } else {
+                        right.name()
+                    },
                 })
             }
         }
@@ -94,7 +98,11 @@ pub fn typecheck(formula: &Formula) -> Result<FormulaType> {
                 Err(DcsError::TypeMismatch {
                     operator: "union",
                     expected: "two record sets or two value sets",
-                    found: if left == FormulaType::Number { left.name() } else { right.name() },
+                    found: if left == FormulaType::Number {
+                        left.name()
+                    } else {
+                        right.name()
+                    },
                 })
             }
         }
@@ -147,7 +155,11 @@ fn expect(formula: &Formula, expected: FormulaType, operator: &'static str) -> R
     if found == expected {
         Ok(())
     } else {
-        Err(DcsError::TypeMismatch { operator, expected: expected.name(), found: found.name() })
+        Err(DcsError::TypeMismatch {
+            operator,
+            expected: expected.name(),
+            found: found.name(),
+        })
     }
 }
 
@@ -163,24 +175,42 @@ mod tests {
     #[test]
     fn classifies_paper_examples() {
         assert_eq!(type_of("Country.Greece").unwrap(), FormulaType::Records);
-        assert_eq!(type_of("R[Year].Country.Greece").unwrap(), FormulaType::Values);
-        assert_eq!(type_of("max(R[Year].Country.Greece)").unwrap(), FormulaType::Number);
+        assert_eq!(
+            type_of("R[Year].Country.Greece").unwrap(),
+            FormulaType::Values
+        );
+        assert_eq!(
+            type_of("max(R[Year].Country.Greece)").unwrap(),
+            FormulaType::Number
+        );
         assert_eq!(type_of("count(City.Athens)").unwrap(), FormulaType::Number);
         assert_eq!(type_of("argmax(Rows, Year)").unwrap(), FormulaType::Records);
-        assert_eq!(type_of("R[City].argmin(Rows, Year)").unwrap(), FormulaType::Values);
+        assert_eq!(
+            type_of("R[City].argmin(Rows, Year)").unwrap(),
+            FormulaType::Values
+        );
         assert_eq!(
             type_of("sub(R[Total].Nation.Fiji, R[Total].Nation.Tonga)").unwrap(),
             FormulaType::Number
         );
-        assert_eq!(type_of("(City.London and Country.UK)").unwrap(), FormulaType::Records);
+        assert_eq!(
+            type_of("(City.London and Country.UK)").unwrap(),
+            FormulaType::Records
+        );
         assert_eq!(type_of("(Greece or China)").unwrap(), FormulaType::Values);
         assert_eq!(type_of("Games.(> 4)").unwrap(), FormulaType::Records);
         assert_eq!(
             type_of("compare_max((London or Beijing), Year, City)").unwrap(),
             FormulaType::Values
         );
-        assert_eq!(type_of("most_common((Athens or London), City)").unwrap(), FormulaType::Values);
-        assert_eq!(type_of("last(League.\"USL A-League\")").unwrap(), FormulaType::Records);
+        assert_eq!(
+            type_of("most_common((Athens or London), City)").unwrap(),
+            FormulaType::Values
+        );
+        assert_eq!(
+            type_of("last(League.\"USL A-League\")").unwrap(),
+            FormulaType::Records
+        );
     }
 
     #[test]
@@ -213,7 +243,10 @@ mod tests {
     fn join_of_number_result_is_allowed() {
         // Joining on an aggregate result, e.g. Year.(count of something), is
         // statically fine (the number coerces to a single value).
-        assert_eq!(type_of("Year.(count(City.Athens))").unwrap(), FormulaType::Records);
+        assert_eq!(
+            type_of("Year.(count(City.Athens))").unwrap(),
+            FormulaType::Records
+        );
     }
 
     #[test]

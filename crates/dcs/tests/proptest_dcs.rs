@@ -6,7 +6,11 @@ use wtq_table::{samples, Value};
 
 /// Strategy over column names of the Olympics sample table.
 fn olympics_column() -> impl Strategy<Value = String> {
-    prop_oneof![Just("Year".to_string()), Just("Country".to_string()), Just("City".to_string())]
+    prop_oneof![
+        Just("Year".to_string()),
+        Just("Country".to_string()),
+        Just("City".to_string())
+    ]
 }
 
 /// Strategy over constants likely (and unlikely) to appear in the table.
@@ -24,8 +28,10 @@ fn constant() -> impl Strategy<Value = Formula> {
 fn records_formula() -> impl Strategy<Value = Formula> {
     let leaf = prop_oneof![
         Just(Formula::AllRecords),
-        (olympics_column(), constant())
-            .prop_map(|(column, values)| Formula::Join { column, values: Box::new(values) }),
+        (olympics_column(), constant()).prop_map(|(column, values)| Formula::Join {
+            column,
+            values: Box::new(values)
+        }),
         (any::<bool>(), 1890f64..2020f64).prop_map(|(gt, threshold)| Formula::CompareJoin {
             column: "Year".to_string(),
             op: if gt { CompareOp::Gt } else { CompareOp::Leq },
@@ -42,13 +48,21 @@ fn records_formula() -> impl Strategy<Value = Formula> {
                 .prop_map(|(a, b)| Formula::Union(Box::new(a), Box::new(b))),
             (inner.clone(), olympics_column(), any::<bool>()).prop_map(|(r, column, max)| {
                 Formula::SuperlativeRecords {
-                    op: if max { SuperlativeOp::Argmax } else { SuperlativeOp::Argmin },
+                    op: if max {
+                        SuperlativeOp::Argmax
+                    } else {
+                        SuperlativeOp::Argmin
+                    },
                     records: Box::new(r),
                     column,
                 }
             }),
             (inner, any::<bool>()).prop_map(|(r, max)| Formula::RecordIndexSuperlative {
-                op: if max { SuperlativeOp::Argmax } else { SuperlativeOp::Argmin },
+                op: if max {
+                    SuperlativeOp::Argmax
+                } else {
+                    SuperlativeOp::Argmin
+                },
                 records: Box::new(r),
             }),
         ]

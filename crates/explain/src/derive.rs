@@ -25,7 +25,12 @@ pub struct DerivationNode {
 
 impl DerivationNode {
     fn leaf(category: Category, rule: &'static str, text: impl Into<String>) -> Self {
-        DerivationNode { category, rule, text: text.into(), children: Vec::new() }
+        DerivationNode {
+            category,
+            rule,
+            text: text.into(),
+            children: Vec::new(),
+        }
     }
 
     /// The utterance derived by this (sub)tree.
@@ -35,7 +40,11 @@ impl DerivationNode {
 
     /// Number of nodes in the derivation tree.
     pub fn size(&self) -> usize {
-        1 + self.children.iter().map(DerivationNode::size).sum::<usize>()
+        1 + self
+            .children
+            .iter()
+            .map(DerivationNode::size)
+            .sum::<usize>()
     }
 
     /// Render the derivation as an indented tree (the textual analogue of
@@ -124,7 +133,11 @@ pub fn derivation(formula: &Formula) -> DerivationNode {
             let right = derivation(b);
             // "rows where ... is London and also where ... is UK" (Table 3):
             // drop the second operand's leading "rows " for readability.
-            let right_text = right.text.strip_prefix("rows ").unwrap_or(&right.text).to_string();
+            let right_text = right
+                .text
+                .strip_prefix("rows ")
+                .unwrap_or(&right.text)
+                .to_string();
             let text = format!("{} and also {}", left.text, right_text);
             DerivationNode {
                 category: Category::Records,
@@ -142,7 +155,12 @@ pub fn derivation(formula: &Formula) -> DerivationNode {
                 Category::Values
             };
             let text = format!("{} or {}", left.text, right.text);
-            DerivationNode { category, rule: "union", text, children: vec![left, right] }
+            DerivationNode {
+                category,
+                rule: "union",
+                text,
+                children: vec![left, right],
+            }
         }
         Formula::Aggregate { op, sub } => {
             let sub_node = derivation(sub);
@@ -150,7 +168,11 @@ pub fn derivation(formula: &Formula) -> DerivationNode {
                 AggregateOp::Count => format!("the number of {}", sub_node.text),
                 _ => format!("{} of {}", aggregate_phrase(*op), sub_node.text),
             };
-            let rule = if *op == AggregateOp::Count { "count" } else { "aggregate" };
+            let rule = if *op == AggregateOp::Count {
+                "count"
+            } else {
+                "aggregate"
+            };
             DerivationNode {
                 category: Category::Entity,
                 rule,
@@ -158,7 +180,11 @@ pub fn derivation(formula: &Formula) -> DerivationNode {
                 children: vec![sub_node],
             }
         }
-        Formula::SuperlativeRecords { op, records, column } => {
+        Formula::SuperlativeRecords {
+            op,
+            records,
+            column,
+        } => {
             let records_node = derivation(records);
             let text = format!(
                 "{} that have the {} value in column {column}",
@@ -203,7 +229,12 @@ pub fn derivation(formula: &Formula) -> DerivationNode {
                 children: vec![values_node, binary_node(column)],
             }
         }
-        Formula::CompareValues { op, values, key_column, value_column } => {
+        Formula::CompareValues {
+            op,
+            values,
+            key_column,
+            value_column,
+        } => {
             let values_node = derivation(values);
             let text = format!(
                 "between {}, who has the {} value of column {key_column} out of the values in {value_column}",
@@ -214,7 +245,11 @@ pub fn derivation(formula: &Formula) -> DerivationNode {
                 category: Category::Values,
                 rule: "compare_values",
                 text,
-                children: vec![values_node, binary_node(key_column), binary_node(value_column)],
+                children: vec![
+                    values_node,
+                    binary_node(key_column),
+                    binary_node(value_column),
+                ],
             }
         }
         Formula::Sub(a, b) => difference_derivation(a, b),
@@ -225,9 +260,7 @@ pub fn derivation(formula: &Formula) -> DerivationNode {
 /// operands have the canonical shapes, and a generic phrasing otherwise.
 fn difference_derivation(a: &Formula, b: &Formula) -> DerivationNode {
     // Difference of values: sub(R[C1].C2.v, R[C1].C2.u).
-    if let (Some((c1a, c2a, va)), Some((c1b, c2b, vb))) =
-        (projected_join(a), projected_join(b))
-    {
+    if let (Some((c1a, c2a, va)), Some((c1b, c2b, vb))) = (projected_join(a), projected_join(b)) {
         if c1a.eq_ignore_ascii_case(c1b) && c2a.eq_ignore_ascii_case(c2b) {
             let left = derivation(a);
             let right = derivation(b);
@@ -271,7 +304,11 @@ fn difference_derivation(a: &Formula, b: &Formula) -> DerivationNode {
 
 /// Match `R[C1].C2.v` and return `(C1, C2, v)`.
 fn projected_join(formula: &Formula) -> Option<(&str, &str, String)> {
-    if let Formula::ColumnValues { column: c1, records } = formula {
+    if let Formula::ColumnValues {
+        column: c1,
+        records,
+    } = formula
+    {
         if let Formula::Join { column: c2, values } = records.as_ref() {
             if let Formula::Const(value) = values.as_ref() {
                 return Some((c1, c2, value.to_string()));
@@ -283,7 +320,11 @@ fn projected_join(formula: &Formula) -> Option<(&str, &str, String)> {
 
 /// Match `count(C.v)` and return `(C, v)`.
 fn counted_join(formula: &Formula) -> Option<(&str, String)> {
-    if let Formula::Aggregate { op: AggregateOp::Count, sub } = formula {
+    if let Formula::Aggregate {
+        op: AggregateOp::Count,
+        sub,
+    } = formula
+    {
         if let Formula::Join { column, values } = sub.as_ref() {
             if let Formula::Const(value) = values.as_ref() {
                 return Some((column, value.to_string()));
@@ -465,10 +506,12 @@ mod tests {
 
     #[test]
     fn aggregate_phrases() {
-        assert!(utterance_of("sum(R[Year].City.Athens)")
-            .starts_with("sum of values in column Year"));
+        assert!(
+            utterance_of("sum(R[Year].City.Athens)").starts_with("sum of values in column Year")
+        );
         assert!(utterance_of("avg(R[Year].City.Athens)")
             .starts_with("average of values in column Year"));
-        assert!(utterance_of("min(R[Year].Rows)").starts_with("minimum of values in column Year in rows"));
+        assert!(utterance_of("min(R[Year].Rows)")
+            .starts_with("minimum of values in column Year in rows"));
     }
 }

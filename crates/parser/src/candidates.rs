@@ -29,7 +29,11 @@ pub struct CandidateConfig {
 
 impl Default for CandidateConfig {
     fn default() -> Self {
-        CandidateConfig { max_value_links: 6, max_record_bases: 72, max_candidates: 320 }
+        CandidateConfig {
+            max_value_links: 6,
+            max_record_bases: 72,
+            max_candidates: 320,
+        }
     }
 }
 
@@ -90,8 +94,10 @@ pub fn generate_candidates(
         record_bases.push(Formula::Prev(Box::new(join.clone())));
         record_bases.push(Formula::Next(Box::new(join.clone())));
         for op in [SuperlativeOp::Argmax, SuperlativeOp::Argmin] {
-            record_bases
-                .push(Formula::RecordIndexSuperlative { op, records: Box::new(join.clone()) });
+            record_bases.push(Formula::RecordIndexSuperlative {
+                op,
+                records: Box::new(join.clone()),
+            });
         }
     }
     // Comparison joins from literal numbers.
@@ -113,7 +119,10 @@ pub fn generate_candidates(
         .filter(|base| {
             matches!(
                 base,
-                Formula::AllRecords | Formula::Join { .. } | Formula::Intersect(_, _) | Formula::Union(_, _)
+                Formula::AllRecords
+                    | Formula::Join { .. }
+                    | Formula::Intersect(_, _)
+                    | Formula::Union(_, _)
             )
         })
         .take(12)
@@ -154,7 +163,9 @@ pub fn generate_candidates(
         if typecheck(&formula).is_err() {
             return;
         }
-        let Ok(denotation) = evaluator.eval(&formula) else { return };
+        let Ok(denotation) = evaluator.eval(&formula) else {
+            return;
+        };
         if denotation.is_empty() {
             return;
         }
@@ -185,8 +196,12 @@ pub fn generate_candidates(
                 push(projection.clone(), &mut out, &mut seen);
             }
             if numeric_columns.contains(&column) {
-                for op in [AggregateOp::Max, AggregateOp::Min, AggregateOp::Sum, AggregateOp::Avg]
-                {
+                for op in [
+                    AggregateOp::Max,
+                    AggregateOp::Min,
+                    AggregateOp::Sum,
+                    AggregateOp::Avg,
+                ] {
                     push(
                         Formula::aggregate(op, projection.clone()),
                         &mut out,
@@ -321,21 +336,25 @@ mod tests {
             "How many more ships were wrecked in Lake Huron than in Erie?",
             &table,
         );
-        let gold = wtq_dcs::parse_formula(
-            "sub(count(Lake.\"Lake Huron\"), count(Lake.\"Lake Erie\"))",
-        )
-        .unwrap();
+        let gold =
+            wtq_dcs::parse_formula("sub(count(Lake.\"Lake Huron\"), count(Lake.\"Lake Erie\"))")
+                .unwrap();
         assert!(candidates.iter().any(|c| c.formula == gold));
     }
 
     #[test]
     fn all_candidates_execute_and_are_distinct() {
         let table = samples::medals();
-        let candidates =
-            candidates_for("What is the difference in Total between Fiji and Tonga?", &table);
+        let candidates = candidates_for(
+            "What is the difference in Total between Fiji and Tonga?",
+            &table,
+        );
         let mut seen = HashSet::new();
         for candidate in &candidates {
-            assert!(seen.insert(candidate.formula.clone()), "duplicate candidate");
+            assert!(
+                seen.insert(candidate.formula.clone()),
+                "duplicate candidate"
+            );
             assert!(!candidate.answer.is_empty());
             assert!(wtq_dcs::eval(&candidate.formula, &table).is_ok());
         }
@@ -359,7 +378,10 @@ mod tests {
                 let analysis = analyze_question(&q.question, &table);
                 let candidates =
                     generate_candidates(&analysis, &table, &CandidateConfig::default());
-                if candidates.iter().any(|c| formulas_equivalent(&c.formula, &q.formula)) {
+                if candidates
+                    .iter()
+                    .any(|c| formulas_equivalent(&c.formula, &q.formula))
+                {
                     covered += 1;
                 }
             }
@@ -375,7 +397,10 @@ mod tests {
     #[test]
     fn candidate_pool_is_capped() {
         let table = samples::medals();
-        let config = CandidateConfig { max_candidates: 25, ..CandidateConfig::default() };
+        let config = CandidateConfig {
+            max_candidates: 25,
+            ..CandidateConfig::default()
+        };
         let analysis = analyze_question(
             "What is the difference in Gold between Fiji, Tonga, Samoa and Tahiti?",
             &table,

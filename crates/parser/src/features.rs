@@ -42,7 +42,10 @@ fn root_label(formula: &Formula) -> &'static str {
         Formula::Next(_) => "next",
         Formula::Intersect(_, _) => "intersect",
         Formula::Union(_, _) => "union",
-        Formula::Aggregate { op: AggregateOp::Count, .. } => "count",
+        Formula::Aggregate {
+            op: AggregateOp::Count,
+            ..
+        } => "count",
         Formula::Aggregate { .. } => "aggregate",
         Formula::SuperlativeRecords { .. } => "superlative",
         Formula::RecordIndexSuperlative { .. } => "index_superlative",
@@ -53,7 +56,11 @@ fn root_label(formula: &Formula) -> &'static str {
 }
 
 fn operators_used(formula: &Formula) -> Vec<&'static str> {
-    formula.sub_formulas().iter().map(|f| root_label(f)).collect()
+    formula
+        .sub_formulas()
+        .iter()
+        .map(|f| root_label(f))
+        .collect()
 }
 
 /// Constants appearing anywhere in the formula, rendered as lower-case text.
@@ -78,7 +85,11 @@ pub fn extract_features(
     let formula = &candidate.formula;
 
     // ---- Formula shape -----------------------------------------------------
-    set(&mut features, &format!("family:{}", root_label(formula)), 1.0);
+    set(
+        &mut features,
+        &format!("family:{}", root_label(formula)),
+        1.0,
+    );
     let operators = operators_used(formula);
     for op in &operators {
         bump(&mut features, &format!("op:{op}"), 1.0);
@@ -90,7 +101,10 @@ pub fn extract_features(
     let mut grounded = 0usize;
     for constant in &constants {
         if analysis.lowered.contains(constant)
-            || analysis.numbers.iter().any(|n| wtq_table::Value::Num(*n).to_string() == *constant)
+            || analysis
+                .numbers
+                .iter()
+                .any(|n| wtq_table::Value::Num(*n).to_string() == *constant)
         {
             grounded += 1;
         } else {
@@ -98,7 +112,11 @@ pub fn extract_features(
         }
     }
     if !constants.is_empty() {
-        set(&mut features, "const_coverage", grounded as f64 / constants.len() as f64);
+        set(
+            &mut features,
+            "const_coverage",
+            grounded as f64 / constants.len() as f64,
+        );
     }
     // Linked values the formula fails to use (a correct parse usually uses
     // every linked entity).
@@ -132,58 +150,138 @@ pub fn extract_features(
 
     // ---- Trigger phrase / operator agreement --------------------------------
     let triggers: &[(&str, &[&str])] = &[
-        ("count", &["how many", "number of", "how often", "how many times"]),
-        ("difference", &["difference", "how many more", "how much more", "more rows"]),
-        ("aggregate_max", &["highest", "most", "largest", "greatest", "maximum", "top"]),
-        ("aggregate_min", &["lowest", "least", "smallest", "fewest", "minimum", "bottom"]),
-        ("sum", &["total", "sum", "in total", "altogether", "combined"]),
+        (
+            "count",
+            &["how many", "number of", "how often", "how many times"],
+        ),
+        (
+            "difference",
+            &["difference", "how many more", "how much more", "more rows"],
+        ),
+        (
+            "aggregate_max",
+            &["highest", "most", "largest", "greatest", "maximum", "top"],
+        ),
+        (
+            "aggregate_min",
+            &["lowest", "least", "smallest", "fewest", "minimum", "bottom"],
+        ),
+        (
+            "sum",
+            &["total", "sum", "in total", "altogether", "combined"],
+        ),
         ("avg", &["average", "mean"]),
         ("prev", &["before", "above", "previous", "prior"]),
         ("next", &["after", "below", "next", "following"]),
         ("last", &["last", "latest", "final", "most recent"]),
         ("first", &["first", "earliest"]),
-        ("compare", &["higher", "lower", "older", "younger", "bigger", "smaller", "longer", "shorter"]),
-        ("most_common", &["most common", "appears the most", "most frequent", "most often"]),
+        (
+            "compare",
+            &[
+                "higher", "lower", "older", "younger", "bigger", "smaller", "longer", "shorter",
+            ],
+        ),
+        (
+            "most_common",
+            &[
+                "most common",
+                "appears the most",
+                "most frequent",
+                "most often",
+            ],
+        ),
         ("union", &[" or "]),
         ("intersect", &[" and also ", " both "]),
-        ("comparison", &["more than", "less than", "at least", "at most", "over", "under"]),
+        (
+            "comparison",
+            &[
+                "more than",
+                "less than",
+                "at least",
+                "at most",
+                "over",
+                "under",
+            ],
+        ),
     ];
     let has_op = |name: &str| operators.contains(&name);
-    let uses_max_aggregate = formula
-        .sub_formulas()
-        .iter()
-        .any(|f| matches!(f, Formula::Aggregate { op: AggregateOp::Max, .. }));
-    let uses_min_aggregate = formula
-        .sub_formulas()
-        .iter()
-        .any(|f| matches!(f, Formula::Aggregate { op: AggregateOp::Min, .. }));
-    let uses_sum = formula
-        .sub_formulas()
-        .iter()
-        .any(|f| matches!(f, Formula::Aggregate { op: AggregateOp::Sum, .. }));
-    let uses_avg = formula
-        .sub_formulas()
-        .iter()
-        .any(|f| matches!(f, Formula::Aggregate { op: AggregateOp::Avg, .. }));
+    let uses_max_aggregate = formula.sub_formulas().iter().any(|f| {
+        matches!(
+            f,
+            Formula::Aggregate {
+                op: AggregateOp::Max,
+                ..
+            }
+        )
+    });
+    let uses_min_aggregate = formula.sub_formulas().iter().any(|f| {
+        matches!(
+            f,
+            Formula::Aggregate {
+                op: AggregateOp::Min,
+                ..
+            }
+        )
+    });
+    let uses_sum = formula.sub_formulas().iter().any(|f| {
+        matches!(
+            f,
+            Formula::Aggregate {
+                op: AggregateOp::Sum,
+                ..
+            }
+        )
+    });
+    let uses_avg = formula.sub_formulas().iter().any(|f| {
+        matches!(
+            f,
+            Formula::Aggregate {
+                op: AggregateOp::Avg,
+                ..
+            }
+        )
+    });
     let uses_argmax = formula.sub_formulas().iter().any(|f| {
         matches!(
             f,
-            Formula::SuperlativeRecords { op: SuperlativeOp::Argmax, .. }
-                | Formula::CompareValues { op: SuperlativeOp::Argmax, .. }
+            Formula::SuperlativeRecords {
+                op: SuperlativeOp::Argmax,
+                ..
+            } | Formula::CompareValues {
+                op: SuperlativeOp::Argmax,
+                ..
+            }
         )
     });
     let uses_argmin = formula.sub_formulas().iter().any(|f| {
         matches!(
             f,
-            Formula::SuperlativeRecords { op: SuperlativeOp::Argmin, .. }
-                | Formula::CompareValues { op: SuperlativeOp::Argmin, .. }
+            Formula::SuperlativeRecords {
+                op: SuperlativeOp::Argmin,
+                ..
+            } | Formula::CompareValues {
+                op: SuperlativeOp::Argmin,
+                ..
+            }
         )
     });
     let uses_last = formula.sub_formulas().iter().any(|f| {
-        matches!(f, Formula::RecordIndexSuperlative { op: SuperlativeOp::Argmax, .. })
+        matches!(
+            f,
+            Formula::RecordIndexSuperlative {
+                op: SuperlativeOp::Argmax,
+                ..
+            }
+        )
     });
     let uses_first = formula.sub_formulas().iter().any(|f| {
-        matches!(f, Formula::RecordIndexSuperlative { op: SuperlativeOp::Argmin, .. })
+        matches!(
+            f,
+            Formula::RecordIndexSuperlative {
+                op: SuperlativeOp::Argmin,
+                ..
+            }
+        )
     });
     for (kind, phrases) in triggers {
         let triggered = analysis.mentions_any(phrases);
@@ -218,7 +316,11 @@ pub fn extract_features(
         Answer::Number(_) => set(&mut features, "answer:number", 1.0),
         Answer::Values(values) => {
             set(&mut features, "answer:values", 1.0);
-            set(&mut features, "answer_size", (values.len() as f64).min(6.0) / 6.0);
+            set(
+                &mut features,
+                "answer_size",
+                (values.len() as f64).min(6.0) / 6.0,
+            );
             if values.len() == 1 {
                 set(&mut features, "answer:singleton", 1.0);
             }
@@ -268,7 +370,10 @@ mod tests {
         let analysis = analyze_question("Greece held its last Olympics in what year?", &table);
         let gold = candidate(&table, "max(R[Year].Country.Greece)");
         let features = extract_features(&analysis, &table, &gold);
-        assert!(features.contains_key("trig+op:last"), "features: {features:?}");
+        assert!(
+            features.contains_key("trig+op:last"),
+            "features: {features:?}"
+        );
         assert_eq!(features.get("const_coverage"), Some(&1.0));
         assert!(features.get("unused_links").copied().unwrap_or(9.0) < 1.0);
     }
@@ -279,7 +384,13 @@ mod tests {
         let analysis = analyze_question("Greece held its last Olympics in what year?", &table);
         let wrong = candidate(&table, "max(R[Year].Country.China)");
         let features = extract_features(&analysis, &table, &wrong);
-        assert!(features.get("const_not_in_question").copied().unwrap_or(0.0) >= 1.0);
+        assert!(
+            features
+                .get("const_not_in_question")
+                .copied()
+                .unwrap_or(0.0)
+                >= 1.0
+        );
         assert!(features.get("unused_links").copied().unwrap_or(0.0) >= 1.0);
     }
 
@@ -307,8 +418,10 @@ mod tests {
     #[test]
     fn feature_extraction_is_total_over_generated_candidates() {
         let table = samples::medals();
-        let analysis =
-            analyze_question("What is the difference in Total between Fiji and Tonga?", &table);
+        let analysis = analyze_question(
+            "What is the difference in Total between Fiji and Tonga?",
+            &table,
+        );
         let candidates = generate_candidates(&analysis, &table, &CandidateConfig::default());
         assert!(!candidates.is_empty());
         for candidate in &candidates {

@@ -56,7 +56,7 @@ impl QuestionAnalysis {
     /// longer matched phrases (more specific links) first.
     pub fn top_value_links(&self, limit: usize) -> Vec<&ValueLink> {
         let mut links: Vec<&ValueLink> = self.value_links.iter().collect();
-        links.sort_by(|a, b| b.phrase.len().cmp(&a.phrase.len()));
+        links.sort_by_key(|link| std::cmp::Reverse(link.phrase.len()));
         links.truncate(limit);
         links
     }
@@ -128,8 +128,15 @@ pub fn analyze_question(question: &str, table: &Table) -> QuestionAnalysis {
                 continue;
             }
             for (column, value) in links {
-                if !value_links.iter().any(|l| l.column == column && l.value == value) {
-                    value_links.push(ValueLink { column, value, phrase: phrase.clone() });
+                if !value_links
+                    .iter()
+                    .any(|l| l.column == column && l.value == value)
+                {
+                    value_links.push(ValueLink {
+                        column,
+                        value,
+                        phrase: phrase.clone(),
+                    });
                 }
             }
             for i in start..start + n {
@@ -152,21 +159,38 @@ pub fn analyze_question(question: &str, table: &Table) -> QuestionAnalysis {
             for value in table.distinct_column_values(column) {
                 let text = value.to_string().to_lowercase();
                 let is_word_inside = text != *token
-                    && text.split(|c: char| !c.is_alphanumeric()).any(|word| word == token);
+                    && text
+                        .split(|c: char| !c.is_alphanumeric())
+                        .any(|word| word == token);
                 if is_word_inside
-                    && !value_links.iter().any(|l| l.column == column && l.value == value)
+                    && !value_links
+                        .iter()
+                        .any(|l| l.column == column && l.value == value)
                 {
-                    value_links.push(ValueLink { column, value, phrase: token.clone() });
+                    value_links.push(ValueLink {
+                        column,
+                        value,
+                        phrase: token.clone(),
+                    });
                 }
             }
         }
     }
 
     // Numbers mentioned literally in the question.
-    let mut numbers: Vec<f64> = tokens.iter().filter_map(|t| t.parse::<f64>().ok()).collect();
+    let mut numbers: Vec<f64> = tokens
+        .iter()
+        .filter_map(|t| t.parse::<f64>().ok())
+        .collect();
     numbers.dedup();
 
-    QuestionAnalysis { tokens, lowered, value_links, column_links, numbers }
+    QuestionAnalysis {
+        tokens,
+        lowered,
+        value_links,
+        column_links,
+        numbers,
+    }
 }
 
 #[cfg(test)]
@@ -193,7 +217,9 @@ mod tests {
             .iter()
             .any(|l| l.column == country && l.value == Value::str("Greece")));
         // The Year column header appears in the question.
-        assert!(analysis.column_links.contains(&table.column_index("Year").unwrap()));
+        assert!(analysis
+            .column_links
+            .contains(&table.column_index("Year").unwrap()));
         assert!(analysis.mentions("last"));
         assert!(!analysis.mentions("difference"));
     }
@@ -201,8 +227,10 @@ mod tests {
     #[test]
     fn multiword_values_link_as_phrases() {
         let table = samples::shipwrecks();
-        let analysis =
-            analyze_question("How many more ships were wrecked in Lake Huron than in Lake Erie?", &table);
+        let analysis = analyze_question(
+            "How many more ships were wrecked in Lake Huron than in Lake Erie?",
+            &table,
+        );
         let lake = table.column_index("Lake").unwrap();
         let linked: Vec<&str> = analysis
             .value_links
@@ -219,13 +247,18 @@ mod tests {
         let table = samples::squad();
         let analysis = analyze_question("How many players played more than 4 games?", &table);
         assert_eq!(analysis.numbers, vec![4.0]);
-        assert!(analysis.column_links.contains(&table.column_index("Games").unwrap()));
+        assert!(analysis
+            .column_links
+            .contains(&table.column_index("Games").unwrap()));
     }
 
     #[test]
     fn stop_words_do_not_link() {
         let table = samples::usl_league();
-        let analysis = analyze_question("What was the last year the team was a part of the USL A-League?", &table);
+        let analysis = analyze_question(
+            "What was the last year the team was a part of the USL A-League?",
+            &table,
+        );
         // "a" must not link even though values contain the letter; the league
         // itself must link as a long phrase.
         let league = table.column_index("League").unwrap();
@@ -239,13 +272,13 @@ mod tests {
     #[test]
     fn top_value_links_prefers_longer_phrases() {
         let table = samples::shipwrecks();
-        let analysis = analyze_question(
-            "Was the Argus lost on Lake Huron or Lake Superior?",
-            &table,
-        );
+        let analysis =
+            analyze_question("Was the Argus lost on Lake Huron or Lake Superior?", &table);
         let top = analysis.top_value_links(2);
         assert_eq!(top.len(), 2);
-        assert!(top.iter().all(|l| l.phrase.contains("lake") || l.phrase == "argus"));
+        assert!(top
+            .iter()
+            .all(|l| l.phrase.contains("lake") || l.phrase == "argus"));
     }
 
     #[test]

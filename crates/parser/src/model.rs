@@ -159,30 +159,39 @@ fn normalize(formula: &Formula) -> Formula {
         },
         Formula::Prev(sub) => Formula::Prev(Box::new(normalize(sub))),
         Formula::Next(sub) => Formula::Next(Box::new(normalize(sub))),
-        Formula::Aggregate { op, sub } => {
-            Formula::Aggregate { op: *op, sub: Box::new(normalize(sub)) }
-        }
-        Formula::SuperlativeRecords { op, records, column } => Formula::SuperlativeRecords {
+        Formula::Aggregate { op, sub } => Formula::Aggregate {
+            op: *op,
+            sub: Box::new(normalize(sub)),
+        },
+        Formula::SuperlativeRecords {
+            op,
+            records,
+            column,
+        } => Formula::SuperlativeRecords {
             op: *op,
             records: Box::new(normalize(records)),
             column: column.clone(),
         },
-        Formula::RecordIndexSuperlative { op, records } => {
-            Formula::RecordIndexSuperlative { op: *op, records: Box::new(normalize(records)) }
-        }
+        Formula::RecordIndexSuperlative { op, records } => Formula::RecordIndexSuperlative {
+            op: *op,
+            records: Box::new(normalize(records)),
+        },
         Formula::MostCommonValue { op, values, column } => Formula::MostCommonValue {
             op: *op,
             values: Box::new(normalize(values)),
             column: column.clone(),
         },
-        Formula::CompareValues { op, values, key_column, value_column } => {
-            Formula::CompareValues {
-                op: *op,
-                values: Box::new(normalize(values)),
-                key_column: key_column.clone(),
-                value_column: value_column.clone(),
-            }
-        }
+        Formula::CompareValues {
+            op,
+            values,
+            key_column,
+            value_column,
+        } => Formula::CompareValues {
+            op: *op,
+            values: Box::new(normalize(values)),
+            key_column: key_column.clone(),
+            value_column: value_column.clone(),
+        },
         Formula::Sub(a, b) => Formula::Sub(Box::new(normalize(a)), Box::new(normalize(b))),
         Formula::Const(_) | Formula::AllRecords => formula.clone(),
     }
@@ -206,12 +215,18 @@ impl Default for SemanticParser {
 impl SemanticParser {
     /// A parser with zero weights (candidates in generation order).
     pub fn untrained() -> Self {
-        SemanticParser { model: LogLinearModel::new(), config: CandidateConfig::default() }
+        SemanticParser {
+            model: LogLinearModel::new(),
+            config: CandidateConfig::default(),
+        }
     }
 
     /// A parser with the hand-set prior weights (the "baseline parser").
     pub fn with_prior() -> Self {
-        SemanticParser { model: LogLinearModel::with_prior(), config: CandidateConfig::default() }
+        SemanticParser {
+            model: LogLinearModel::with_prior(),
+            config: CandidateConfig::default(),
+        }
     }
 
     /// Analyze a question against a table (exposed for feature reuse).
@@ -232,12 +247,21 @@ impl SemanticParser {
         let mut candidates: Vec<Candidate> = raw
             .into_iter()
             .map(|RawCandidate { formula, answer }| {
-                let features = extract_features(analysis, table, &RawCandidate {
-                    formula: formula.clone(),
-                    answer: answer.clone(),
-                });
+                let features = extract_features(
+                    analysis,
+                    table,
+                    &RawCandidate {
+                        formula: formula.clone(),
+                        answer: answer.clone(),
+                    },
+                );
                 let score = self.model.score(&features);
-                Candidate { formula, answer, features, score }
+                Candidate {
+                    formula,
+                    answer,
+                    features,
+                    score,
+                }
             })
             .collect();
         candidates.sort_by(|a, b| {
@@ -276,10 +300,16 @@ mod tests {
         let candidates = parser.parse("Greece held its last Olympics in what year?", &table);
         assert!(candidates.len() >= 5);
         let gold = parse_formula("max(R[Year].Country.Greece)").unwrap();
-        let gold_rank = candidates.iter().position(|c| c.formula == gold).expect("gold generated");
+        let gold_rank = candidates
+            .iter()
+            .position(|c| c.formula == gold)
+            .expect("gold generated");
         let china = parse_formula("max(R[Year].Country.China)").unwrap();
         if let Some(china_rank) = candidates.iter().position(|c| c.formula == china) {
-            assert!(gold_rank < china_rank, "ungrounded candidate outranked the gold query");
+            assert!(
+                gold_rank < china_rank,
+                "ungrounded candidate outranked the gold query"
+            );
         }
         // Scores are sorted descending.
         for pair in candidates.windows(2) {
@@ -291,8 +321,10 @@ mod tests {
     fn probabilities_are_a_distribution() {
         let table = samples::medals();
         let parser = SemanticParser::with_prior();
-        let candidates =
-            parser.parse("What is the difference in Total between Fiji and Tonga?", &table);
+        let candidates = parser.parse(
+            "What is the difference in Total between Fiji and Tonga?",
+            &table,
+        );
         let probabilities = parser.probabilities(&candidates);
         assert_eq!(probabilities.len(), candidates.len());
         let total: f64 = probabilities.iter().sum();
@@ -329,7 +361,10 @@ mod tests {
         assert!(formulas_equivalent(&c, &d));
         let e = parse_formula("sub(count(City.Athens), count(City.Paris))").unwrap();
         let f = parse_formula("sub(count(City.Paris), count(City.Athens))").unwrap();
-        assert!(!formulas_equivalent(&e, &f), "difference is not commutative");
+        assert!(
+            !formulas_equivalent(&e, &f),
+            "difference is not commutative"
+        );
         // Nested operands normalize too.
         let g = parse_formula("count((Country.Greece or Country.China))").unwrap();
         let h = parse_formula("count((Country.China or Country.Greece))").unwrap();

@@ -38,7 +38,12 @@ pub struct TrainExample {
 impl TrainExample {
     /// A weakly-supervised example (answer only).
     pub fn weak(question: impl Into<String>, table: impl Into<String>, answer: Answer) -> Self {
-        TrainExample { question: question.into(), table: table.into(), answer, annotations: Vec::new() }
+        TrainExample {
+            question: question.into(),
+            table: table.into(),
+            answer,
+            annotations: Vec::new(),
+        }
     }
 
     /// Attach annotated queries (marking this example as a member of `A`).
@@ -68,7 +73,12 @@ pub struct TrainConfig {
 
 impl Default for TrainConfig {
     fn default() -> Self {
-        TrainConfig { epochs: 3, learning_rate: 0.2, l1: 1e-4, seed: 13 }
+        TrainConfig {
+            epochs: 3,
+            learning_rate: 0.2,
+            l1: 1e-4,
+            seed: 13,
+        }
     }
 }
 
@@ -102,7 +112,10 @@ pub struct Trainer {
 impl Trainer {
     /// Create a trainer with the given hyper-parameters.
     pub fn new(config: TrainConfig) -> Self {
-        Trainer { adagrad: BTreeMap::new(), config }
+        Trainer {
+            adagrad: BTreeMap::new(),
+            config,
+        }
     }
 
     /// Train `parser` in place on `examples` over tables from `catalog`.
@@ -134,7 +147,9 @@ impl Trainer {
         example: &TrainExample,
         catalog: &Catalog,
     ) -> bool {
-        let Some(table) = catalog.get(&example.table) else { return false };
+        let Some(table) = catalog.get(&example.table) else {
+            return false;
+        };
         let candidates = parser.parse(&example.question, table);
         if candidates.is_empty() {
             return false;
@@ -145,11 +160,7 @@ impl Trainer {
             .iter()
             .map(|candidate| reward(candidate, example))
             .collect();
-        let reward_mass: f64 = probabilities
-            .iter()
-            .zip(&rewards)
-            .map(|(p, r)| p * r)
-            .sum();
+        let reward_mass: f64 = probabilities.iter().zip(&rewards).map(|(p, r)| p * r).sum();
         if reward_mass <= 0.0 {
             return false;
         }
@@ -226,7 +237,9 @@ pub fn evaluate<'a>(
     let mut evaluation = ParserEvaluation::default();
     let mut reciprocal_ranks = 0.0;
     for (example, gold) in examples {
-        let Some(table) = catalog.get(&example.table) else { continue };
+        let Some(table) = catalog.get(&example.table) else {
+            continue;
+        };
         evaluation.examples += 1;
         let candidates = parser.parse(&example.question, table);
         let correct_rank = candidates
@@ -264,7 +277,11 @@ mod tests {
     use wtq_dataset::dataset::{Dataset, DatasetConfig};
 
     fn build_dataset(seed: u64) -> Dataset {
-        let config = DatasetConfig { num_tables: 10, questions_per_table: 8, test_fraction: 0.3 };
+        let config = DatasetConfig {
+            num_tables: 10,
+            questions_per_table: 8,
+            test_fraction: 0.3,
+        };
         Dataset::generate(&config, &mut ChaCha8Rng::seed_from_u64(seed))
     }
 
@@ -298,7 +315,10 @@ mod tests {
             7,
         );
 
-        let mut trainer = Trainer::new(TrainConfig { epochs: 2, ..TrainConfig::default() });
+        let mut trainer = Trainer::new(TrainConfig {
+            epochs: 2,
+            ..TrainConfig::default()
+        });
         let train_examples: Vec<TrainExample> = train.iter().map(|(e, _)| e.clone()).collect();
         trainer.train(&mut parser, &train_examples, &catalog);
 
@@ -357,18 +377,34 @@ mod tests {
 
     #[test]
     fn training_on_annotations_is_at_least_as_good_as_weak_supervision() {
-        let dataset = build_dataset(11);
+        // A larger test split than the other training tests: this one compares
+        // two statistically close training objectives, so it needs more than a
+        // handful of held-out questions for the tolerance below to be
+        // meaningful.
+        let config = DatasetConfig {
+            num_tables: 16,
+            questions_per_table: 8,
+            test_fraction: 0.3,
+        };
+        let dataset = Dataset::generate(&config, &mut ChaCha8Rng::seed_from_u64(11));
         let catalog = dataset.catalog();
         let train = to_examples(&dataset, wtq_dataset::Split::Train);
         let test = to_examples(&dataset, wtq_dataset::Split::Test);
-        let config = TrainConfig { epochs: 2, ..TrainConfig::default() };
+        let config = TrainConfig {
+            epochs: 2,
+            ..TrainConfig::default()
+        };
 
         // Weak supervision.
         let mut weak_parser = SemanticParser::untrained();
         let weak_examples: Vec<TrainExample> = train.iter().map(|(e, _)| e.clone()).collect();
         Trainer::new(config.clone()).train(&mut weak_parser, &weak_examples, &catalog);
-        let weak_eval =
-            evaluate(&weak_parser, test.iter().map(|(e, g)| (e, g.clone())), &catalog, 7);
+        let weak_eval = evaluate(
+            &weak_parser,
+            test.iter().map(|(e, g)| (e, g.clone())),
+            &catalog,
+            7,
+        );
 
         // Annotated supervision: every training example annotated with its
         // gold query (the idealized upper bound of the §7.3 experiment).
@@ -378,8 +414,12 @@ mod tests {
             .map(|(e, gold)| e.clone().with_annotations(vec![gold.clone()]))
             .collect();
         Trainer::new(config).train(&mut annotated_parser, &annotated_examples, &catalog);
-        let annotated_eval =
-            evaluate(&annotated_parser, test.iter().map(|(e, g)| (e, g.clone())), &catalog, 7);
+        let annotated_eval = evaluate(
+            &annotated_parser,
+            test.iter().map(|(e, g)| (e, g.clone())),
+            &catalog,
+            7,
+        );
 
         // On a single small split the two objectives can land within noise of
         // each other; what must never happen is annotations degrading the
@@ -401,8 +441,11 @@ mod tests {
         let examples: Vec<TrainExample> = train.iter().map(|(e, _)| e.clone()).collect();
         let run = || {
             let mut parser = SemanticParser::untrained();
-            Trainer::new(TrainConfig { epochs: 1, ..TrainConfig::default() })
-                .train(&mut parser, &examples, &catalog);
+            Trainer::new(TrainConfig {
+                epochs: 1,
+                ..TrainConfig::default()
+            })
+            .train(&mut parser, &examples, &catalog);
             let mut weights: Vec<(String, i64)> = parser
                 .model
                 .weights()

@@ -15,7 +15,8 @@ use wtq_table::{CellRef, Table};
 use crate::highlight::{HighlightKind, Highlights};
 
 /// Legend appended to text renderings.
-pub const TEXT_LEGEND: &str = "[v] colored (query output)   (v) framed (examined)   *v* lit (query columns)";
+pub const TEXT_LEGEND: &str =
+    "[v] colored (query output)   (v) framed (examined)   *v* lit (query columns)";
 
 fn text_cell(kind: HighlightKind, text: &str) -> String {
     match kind {
@@ -92,7 +93,9 @@ pub fn render_ansi(table: &Table, highlights: &Highlights) -> String {
 /// highlight level.
 pub fn render_html(table: &Table, highlights: &Highlights) -> String {
     fn escape(text: &str) -> String {
-        text.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+        text.replace('&', "&amp;")
+            .replace('<', "&lt;")
+            .replace('>', "&gt;")
     }
     let mut out = String::from("<table class=\"wtq-highlights\">\n  <thead><tr>");
     for column in 0..table.num_columns() {
@@ -143,7 +146,10 @@ mod tests {
     fn text_rendering_marks_all_three_levels() {
         let (table, highlights) = figure_six();
         let text = render_text(&table, &highlights);
-        assert!(text.contains("[130]"), "colored output cell missing:\n{text}");
+        assert!(
+            text.contains("[130]"),
+            "colored output cell missing:\n{text}"
+        );
         assert!(text.contains("[20]"));
         assert!(text.contains("(Fiji)"), "framed cell missing:\n{text}");
         assert!(text.contains("(Tonga)"));
@@ -172,8 +178,7 @@ mod tests {
         assert!(html.contains("<th>Nation</th>"));
         // Escaping of special characters.
         let table = wtq_table::Table::from_rows("t", &["A"], &[vec!["a<b&c"]]).unwrap();
-        let highlights =
-            Highlights::compute(&parse_formula("R[A].Rows").unwrap(), &table).unwrap();
+        let highlights = Highlights::compute(&parse_formula("R[A].Rows").unwrap(), &table).unwrap();
         let html = render_html(&table, &highlights);
         assert!(html.contains("a&lt;b&amp;c"));
     }
@@ -191,7 +196,10 @@ mod tests {
             render_ansi(&table, &highlights),
             render_html(&table, &highlights),
         ] {
-            assert!(rendering.contains("MAX(Year)"), "missing header mark:\n{rendering}");
+            assert!(
+                rendering.contains("MAX(Year)"),
+                "missing header mark:\n{rendering}"
+            );
         }
     }
 }

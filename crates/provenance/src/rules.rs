@@ -48,8 +48,16 @@ pub fn provenance(formula: &Formula, table: &Table) -> wtq_dcs::Result<Provenanc
     // Definition 4.1 hierarchy holds even for degenerate formulas (e.g. a
     // bare constant whose cells lie outside any mentioned column).
     chain.execution = chain.execution.union(&chain.output).copied().collect();
-    chain.execution = chain.execution.intersection(&chain.columns).copied().collect();
-    chain.output = chain.output.intersection(&chain.execution).copied().collect();
+    chain.execution = chain
+        .execution
+        .intersection(&chain.columns)
+        .copied()
+        .collect();
+    chain.output = chain
+        .output
+        .intersection(&chain.execution)
+        .copied()
+        .collect();
     Ok(chain)
 }
 
@@ -83,11 +91,13 @@ fn output_provenance(
             let _ = output_provenance(value, evaluator, chain)?;
             let column_idx = require_column(table, column)?;
             let threshold = evaluator.eval(value)?;
-            let threshold = threshold.as_single_number().ok_or(wtq_dcs::DcsError::Cardinality {
-                operator: "comparison",
-                expected: "a single numeric value",
-                got: threshold.len(),
-            })?;
+            let threshold = threshold
+                .as_single_number()
+                .ok_or(wtq_dcs::DcsError::Cardinality {
+                    operator: "comparison",
+                    expected: "a single numeric value",
+                    got: threshold.len(),
+                })?;
             table
                 .column_cells(column_idx)
                 .filter(|cell| {
@@ -104,9 +114,10 @@ fn output_provenance(
             let column_idx = require_column(table, column)?;
             let records = evaluator.eval(records)?;
             match records {
-                Denotation::Records(records) => {
-                    records.iter().map(|&record| CellRef::new(record, column_idx)).collect()
-                }
+                Denotation::Records(records) => records
+                    .iter()
+                    .map(|&record| CellRef::new(record, column_idx))
+                    .collect(),
                 _ => BTreeSet::new(),
             }
         }
@@ -127,23 +138,30 @@ fn output_provenance(
         }
         Formula::Aggregate { op, sub } => {
             let inner = output_provenance(sub, evaluator, chain)?;
-            chain.markers.push((marker_column(table, sub), OpMarker::Aggregate(*op)));
+            chain
+                .markers
+                .push((marker_column(table, sub), OpMarker::Aggregate(*op)));
             inner
         }
         Formula::Sub(a, b) => {
             let left = output_provenance(a, evaluator, chain)?;
             let right = output_provenance(b, evaluator, chain)?;
-            chain.markers.push((marker_column(table, formula), OpMarker::Difference));
+            chain
+                .markers
+                .push((marker_column(table, formula), OpMarker::Difference));
             left.union(&right).copied().collect()
         }
-        Formula::SuperlativeRecords { records, column, .. } => {
+        Formula::SuperlativeRecords {
+            records, column, ..
+        } => {
             let _ = output_provenance(records, evaluator, chain)?;
             let column_idx = require_column(table, column)?;
             let selected = evaluator.eval(formula)?;
             match selected {
-                Denotation::Records(selected) => {
-                    selected.iter().map(|&record| CellRef::new(record, column_idx)).collect()
-                }
+                Denotation::Records(selected) => selected
+                    .iter()
+                    .map(|&record| CellRef::new(record, column_idx))
+                    .collect(),
                 _ => BTreeSet::new(),
             }
         }
@@ -168,7 +186,12 @@ fn output_provenance(
             }
             cells
         }
-        Formula::CompareValues { values, key_column, value_column, op } => {
+        Formula::CompareValues {
+            values,
+            key_column,
+            value_column,
+            op,
+        } => {
             let _ = output_provenance(values, evaluator, chain)?;
             let key_idx = require_column(table, key_column)?;
             let value_idx = require_column(table, value_column)?;
@@ -178,15 +201,18 @@ fn output_provenance(
             let candidates = evaluator.eval(values)?;
             let mut candidate_rows: BTreeSet<usize> = BTreeSet::new();
             for value in candidates.values() {
-                candidate_rows
-                    .extend(evaluator.kb().join(value_idx, &value).iter().copied());
+                candidate_rows.extend(evaluator.kb().join(value_idx, &value).iter().copied());
             }
-            chain
-                .execution
-                .extend(candidate_rows.iter().map(|&record| CellRef::new(record, key_idx)));
-            chain
-                .execution
-                .extend(candidate_rows.iter().map(|&record| CellRef::new(record, value_idx)));
+            chain.execution.extend(
+                candidate_rows
+                    .iter()
+                    .map(|&record| CellRef::new(record, key_idx)),
+            );
+            chain.execution.extend(
+                candidate_rows
+                    .iter()
+                    .map(|&record| CellRef::new(record, value_idx)),
+            );
             let winners = evaluator.eval(&Formula::CompareValues {
                 op: *op,
                 values: values.clone(),
@@ -214,18 +240,27 @@ fn marker_column(table: &Table, formula: &Formula) -> Option<usize> {
             table.column_index(column)
         }
         Formula::Aggregate { sub, .. } => marker_column(table, sub),
-        _ => inner.columns_mentioned().first().and_then(|c| table.column_index(c)),
+        _ => inner
+            .columns_mentioned()
+            .first()
+            .and_then(|c| table.column_index(c)),
     }
 }
 
 fn require_column(table: &Table, name: &str) -> wtq_dcs::Result<usize> {
-    table.column_index(name).ok_or_else(|| wtq_dcs::DcsError::UnknownColumn(name.to_string()))
+    table
+        .column_index(name)
+        .ok_or_else(|| wtq_dcs::DcsError::UnknownColumn(name.to_string()))
 }
 
 /// Count-based summary of a chain, used by tests and by the experiments
 /// binary when reporting Figure galleries.
 pub fn chain_summary(chain: &ProvenanceChain) -> (usize, usize, usize) {
-    (chain.output.len(), chain.execution.len(), chain.columns.len())
+    (
+        chain.output.len(),
+        chain.execution.len(),
+        chain.columns.len(),
+    )
 }
 
 #[cfg(test)]
@@ -272,7 +307,10 @@ mod tests {
         // Colored cells: the two Total values 130 and 20.
         assert_eq!(
             chain.output,
-            BTreeSet::from([CellRef::new(fiji_row, total), CellRef::new(tonga_row, total)])
+            BTreeSet::from([
+                CellRef::new(fiji_row, total),
+                CellRef::new(tonga_row, total)
+            ])
         );
         // Framed cells additionally include the Nation cells Fiji and Tonga.
         assert!(chain.execution.contains(&CellRef::new(fiji_row, nation)));
@@ -355,7 +393,10 @@ mod tests {
         assert_eq!(chain.output, BTreeSet::from([CellRef::new(7, city)]));
         // Execution includes the Year cells of every candidate row (3, 6, 7).
         for row in [3usize, 6, 7] {
-            assert!(chain.execution.contains(&CellRef::new(row, year)), "missing year of row {row}");
+            assert!(
+                chain.execution.contains(&CellRef::new(row, year)),
+                "missing year of row {row}"
+            );
         }
         assert!(chain.is_well_formed());
     }

@@ -49,11 +49,17 @@ pub fn sample_highlights(
         selected.extend(output_records.first().copied());
     }
     // One record from R_E \ R_O.
-    if let Some(record) = execution_records.iter().find(|r| !selected.contains(r) && !output_records.contains(r)) {
+    if let Some(record) = execution_records
+        .iter()
+        .find(|r| !selected.contains(r) && !output_records.contains(r))
+    {
         selected.push(*record);
     }
     // One record from R_C \ R_E.
-    if let Some(record) = column_records.iter().find(|r| !selected.contains(r) && !execution_records.contains(r)) {
+    if let Some(record) = column_records
+        .iter()
+        .find(|r| !selected.contains(r) && !execution_records.contains(r))
+    {
         selected.push(*record);
     }
     // Degenerate queries (everything colored, or nothing highlighted): fall
@@ -75,7 +81,11 @@ pub fn sample_highlights(
     let sampled_table = project_rows(table, &selected);
     let sampled_chain = reindex_chain(&highlights.chain, &selected);
     let sampled_highlights = Highlights::from_chain(sampled_chain, &sampled_table);
-    SampledHighlights { table: sampled_table, highlights: sampled_highlights, source_records: selected }
+    SampledHighlights {
+        table: sampled_table,
+        highlights: sampled_highlights,
+        source_records: selected,
+    }
 }
 
 fn is_difference(formula: &Formula) -> bool {
@@ -83,13 +93,18 @@ fn is_difference(formula: &Formula) -> bool {
 }
 
 fn project_rows(table: &Table, records: &[RecordIdx]) -> Table {
-    let mut builder = TableBuilder::new(table.name())
-        .columns(table.columns().iter().map(|c| c.name.clone()));
+    let mut builder =
+        TableBuilder::new(table.name()).columns(table.columns().iter().map(|c| c.name.clone()));
     for &record in records {
-        let row = table.record(record).expect("sampled record exists").to_vec();
+        let row = table
+            .record(record)
+            .expect("sampled record exists")
+            .to_vec();
         builder = builder.row(row).expect("arity preserved");
     }
-    builder.build().expect("sampled table has the original columns")
+    builder
+        .build()
+        .expect("sampled table has the original columns")
 }
 
 fn reindex_chain(chain: &ProvenanceChain, records: &[RecordIdx]) -> ProvenanceChain {
@@ -138,9 +153,8 @@ mod tests {
         assert_eq!(sorted, s.source_records);
         // At least one colored cell survives the sampling.
         let growth = s.table.column_index("Growth Rate").unwrap();
-        let colored = (0..s.table.num_records()).any(|row| {
-            s.highlights.kind(CellRef::new(row, growth)) == HighlightKind::Colored
-        });
+        let colored = (0..s.table.num_records())
+            .any(|row| s.highlights.kind(CellRef::new(row, growth)) == HighlightKind::Colored);
         assert!(colored);
     }
 
@@ -152,17 +166,18 @@ mod tests {
         let colored_rows: Vec<usize> = (0..s.table.num_records())
             .filter(|&row| s.highlights.kind(CellRef::new(row, total)) == HighlightKind::Colored)
             .collect();
-        assert_eq!(colored_rows.len(), 2, "both subtracted values must be shown");
+        assert_eq!(
+            colored_rows.len(),
+            2,
+            "both subtracted values must be shown"
+        );
     }
 
     #[test]
     fn small_tables_pass_through_unchanged() {
-        let table = wtq_table::Table::from_rows(
-            "tiny",
-            &["A", "B"],
-            &[vec!["1", "x"], vec!["2", "y"]],
-        )
-        .unwrap();
+        let table =
+            wtq_table::Table::from_rows("tiny", &["A", "B"], &[vec!["1", "x"], vec!["2", "y"]])
+                .unwrap();
         let s = sampled("R[B].A.1", &table);
         assert_eq!(s.table.num_records(), table.num_records());
         assert_eq!(s.source_records, vec![0, 1]);

@@ -6,7 +6,11 @@ use wtq_provenance::{provenance, Highlights};
 use wtq_table::{samples, CellRef, Value};
 
 fn column() -> impl Strategy<Value = String> {
-    prop_oneof![Just("Year".to_string()), Just("Country".to_string()), Just("City".to_string())]
+    prop_oneof![
+        Just("Year".to_string()),
+        Just("Country".to_string()),
+        Just("City".to_string())
+    ]
 }
 
 fn constant() -> impl Strategy<Value = Formula> {
@@ -22,8 +26,10 @@ fn constant() -> impl Strategy<Value = Formula> {
 fn records_formula() -> impl Strategy<Value = Formula> {
     let leaf = prop_oneof![
         Just(Formula::AllRecords),
-        (column(), constant())
-            .prop_map(|(column, values)| Formula::Join { column, values: Box::new(values) }),
+        (column(), constant()).prop_map(|(column, values)| Formula::Join {
+            column,
+            values: Box::new(values)
+        }),
         (any::<bool>(), 1890f64..2020f64).prop_map(|(gt, t)| Formula::CompareJoin {
             column: "Year".to_string(),
             op: if gt { CompareOp::Gt } else { CompareOp::Leq },
@@ -40,13 +46,21 @@ fn records_formula() -> impl Strategy<Value = Formula> {
                 .prop_map(|(a, b)| Formula::Union(Box::new(a), Box::new(b))),
             (inner.clone(), column(), any::<bool>()).prop_map(|(r, column, max)| {
                 Formula::SuperlativeRecords {
-                    op: if max { SuperlativeOp::Argmax } else { SuperlativeOp::Argmin },
+                    op: if max {
+                        SuperlativeOp::Argmax
+                    } else {
+                        SuperlativeOp::Argmin
+                    },
                     records: Box::new(r),
                     column,
                 }
             }),
             (inner, any::<bool>()).prop_map(|(r, max)| Formula::RecordIndexSuperlative {
-                op: if max { SuperlativeOp::Argmax } else { SuperlativeOp::Argmin },
+                op: if max {
+                    SuperlativeOp::Argmax
+                } else {
+                    SuperlativeOp::Argmin
+                },
                 records: Box::new(r),
             }),
         ]

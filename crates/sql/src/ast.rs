@@ -139,7 +139,11 @@ fn escape_literal(value: &Value) -> String {
 
 fn quote_ident(name: &str) -> String {
     let simple = !name.is_empty()
-        && name.chars().next().map(|c| c.is_ascii_alphabetic() || c == '_').unwrap_or(false)
+        && name
+            .chars()
+            .next()
+            .map(|c| c.is_ascii_alphabetic() || c == '_')
+            .unwrap_or(false)
         && name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_');
     if simple {
         name.to_string()
@@ -159,7 +163,11 @@ impl fmt::Display for SqlExpr {
             }
             SqlExpr::Equals(left, right) => write!(f, "{left} = {right}"),
             SqlExpr::Compare(op, left, right) => {
-                let symbol = if *op == CompareOp::Neq { "<>" } else { op.symbol() };
+                let symbol = if *op == CompareOp::Neq {
+                    "<>"
+                } else {
+                    op.symbol()
+                };
                 write!(f, "{left} {symbol} {right}")
             }
             SqlExpr::InSubquery(expr, query) => write!(f, "{expr} IN ({query})"),
@@ -230,15 +238,16 @@ mod tests {
             AggregateOp::Min,
             Box::new(SqlExpr::Column("Year".into())),
         )]));
-        let inner = SqlQuery::select(
-            SqlSelect::project(vec![SqlExpr::Index]).with_filter(SqlExpr::Equals(
+        let inner = SqlQuery::select(SqlSelect::project(vec![SqlExpr::Index]).with_filter(
+            SqlExpr::Equals(
                 Box::new(SqlExpr::Column("Year".into())),
                 Box::new(SqlExpr::Scalar(Box::new(min_year))),
-            )),
-        );
+            ),
+        ));
         let outer = SqlQuery::select(
-            SqlSelect::project(vec![SqlExpr::Column("City".into())])
-                .with_filter(SqlExpr::InSubquery(Box::new(SqlExpr::Index), Box::new(inner))),
+            SqlSelect::project(vec![SqlExpr::Column("City".into())]).with_filter(
+                SqlExpr::InSubquery(Box::new(SqlExpr::Index), Box::new(inner)),
+            ),
         );
         assert_eq!(
             outer.to_sql(),
@@ -261,7 +270,9 @@ mod tests {
             q.to_sql(),
             "SELECT \"Open Cup\" FROM T WHERE League = 'USL A-League'"
         );
-        let q = SqlQuery::select(SqlSelect::project(vec![SqlExpr::Literal(Value::str("it's"))]));
+        let q = SqlQuery::select(SqlSelect::project(vec![SqlExpr::Literal(Value::str(
+            "it's",
+        ))]));
         assert!(q.to_sql().contains("'it''s'"));
     }
 

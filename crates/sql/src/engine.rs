@@ -26,7 +26,10 @@ pub fn execute(query: &SqlQuery, table: &Table) -> Result<SqlResult> {
         SqlQuery::Union(left, right) => {
             // SQL UNION deduplicates across the whole result set.
             let mut rows: SqlResult = Vec::new();
-            for row in execute(left, table)?.into_iter().chain(execute(right, table)?) {
+            for row in execute(left, table)?
+                .into_iter()
+                .chain(execute(right, table)?)
+            {
                 if !rows.contains(&row) {
                     rows.push(row);
                 }
@@ -119,7 +122,10 @@ fn execute_select(select: &SqlSelect, table: &Table) -> Result<SqlResult> {
     } else {
         for &record in &matching {
             let row = if select.projection.is_empty() {
-                table.record(record).map_err(|_| SqlError::Type("record out of range".into()))?.to_vec()
+                table
+                    .record(record)
+                    .map_err(|_| SqlError::Type("record out of range".into()))?
+                    .to_vec()
             } else {
                 select
                     .projection
@@ -270,14 +276,18 @@ fn eval_row(expr: &SqlExpr, table: &Table, record: RecordIdx) -> Result<EvalValu
         }
         SqlExpr::InSubquery(inner, query) => {
             let needle = eval_row(inner, table, record)?;
-            let EvalValue::Val(needle) = needle else { return Ok(EvalValue::Bool(false)) };
+            let EvalValue::Val(needle) = needle else {
+                return Ok(EvalValue::Bool(false));
+            };
             let rows = execute(query, table)?;
             let found = rows.iter().any(|row| row.first() == Some(&needle));
             Ok(EvalValue::Bool(found))
         }
         SqlExpr::InList(inner, values) => {
             let needle = eval_row(inner, table, record)?;
-            let EvalValue::Val(needle) = needle else { return Ok(EvalValue::Bool(false)) };
+            let EvalValue::Val(needle) = needle else {
+                return Ok(EvalValue::Bool(false));
+            };
             Ok(EvalValue::Bool(values.contains(&needle)))
         }
         SqlExpr::Scalar(query) => {
@@ -341,13 +351,18 @@ mod tests {
             Box::new(col("Year")),
         )]));
         let inner = SqlQuery::select(SqlSelect::project(vec![SqlExpr::Index]).with_filter(
-            SqlExpr::Equals(Box::new(col("Year")), Box::new(SqlExpr::Scalar(Box::new(min_year)))),
+            SqlExpr::Equals(
+                Box::new(col("Year")),
+                Box::new(SqlExpr::Scalar(Box::new(min_year))),
+            ),
         ));
-        let outer = SqlQuery::select(
-            SqlSelect::project(vec![col("City")])
-                .with_filter(SqlExpr::InSubquery(Box::new(SqlExpr::Index), Box::new(inner))),
+        let outer = SqlQuery::select(SqlSelect::project(vec![col("City")]).with_filter(
+            SqlExpr::InSubquery(Box::new(SqlExpr::Index), Box::new(inner)),
+        ));
+        assert_eq!(
+            execute(&outer, &table).unwrap(),
+            vec![vec![Value::str("Athens")]]
         );
-        assert_eq!(execute(&outer, &table).unwrap(), vec![vec![Value::str("Athens")]]);
     }
 
     #[test]
@@ -379,17 +394,19 @@ mod tests {
     #[test]
     fn comparison_and_conjunction() {
         let table = samples::squad();
-        let q = SqlQuery::select(SqlSelect::project(vec![col("Name")]).with_filter(SqlExpr::And(
-            Box::new(SqlExpr::Compare(
-                CompareOp::Gt,
-                Box::new(col("Games")),
-                Box::new(lit(Value::num(4.0))),
+        let q = SqlQuery::select(
+            SqlSelect::project(vec![col("Name")]).with_filter(SqlExpr::And(
+                Box::new(SqlExpr::Compare(
+                    CompareOp::Gt,
+                    Box::new(col("Games")),
+                    Box::new(lit(Value::num(4.0))),
+                )),
+                Box::new(SqlExpr::Equals(
+                    Box::new(col("Position")),
+                    Box::new(lit(Value::str("MF"))),
+                )),
             )),
-            Box::new(SqlExpr::Equals(
-                Box::new(col("Position")),
-                Box::new(lit(Value::str("MF"))),
-            )),
-        )));
+        );
         let rows = execute(&q, &table).unwrap();
         assert_eq!(rows.len(), 3);
     }
@@ -440,12 +457,12 @@ mod tests {
     #[test]
     fn union_deduplicates() {
         let table = samples::olympics();
-        let cities = |country: &str| {
-            SqlQuery::select(SqlSelect::project(vec![col("City")]).with_filter(SqlExpr::Equals(
-                Box::new(col("Country")),
-                Box::new(lit(Value::str(country))),
-            )))
-        };
+        let cities =
+            |country: &str| {
+                SqlQuery::select(SqlSelect::project(vec![col("City")]).with_filter(
+                    SqlExpr::Equals(Box::new(col("Country")), Box::new(lit(Value::str(country)))),
+                ))
+            };
         let q = SqlQuery::Union(Box::new(cities("Greece")), Box::new(cities("Greece")));
         let rows = execute(&q, &table).unwrap();
         assert_eq!(rows.len(), 1);
@@ -474,14 +491,23 @@ mod tests {
     fn errors_are_reported() {
         let table = samples::olympics();
         let q = SqlQuery::select(SqlSelect::project(vec![col("Continent")]));
-        assert!(matches!(execute(&q, &table), Err(SqlError::UnknownColumn(_))));
+        assert!(matches!(
+            execute(&q, &table),
+            Err(SqlError::UnknownColumn(_))
+        ));
 
         // Scalar subquery with several rows.
         let many = SqlQuery::select(SqlSelect::project(vec![col("City")]));
         let q = SqlQuery::select(SqlSelect::project(vec![col("City")]).with_filter(
-            SqlExpr::Equals(Box::new(col("City")), Box::new(SqlExpr::Scalar(Box::new(many)))),
+            SqlExpr::Equals(
+                Box::new(col("City")),
+                Box::new(SqlExpr::Scalar(Box::new(many))),
+            ),
         ));
-        assert!(matches!(execute(&q, &table), Err(SqlError::ScalarCardinality(_))));
+        assert!(matches!(
+            execute(&q, &table),
+            Err(SqlError::ScalarCardinality(_))
+        ));
     }
 
     #[test]
@@ -499,11 +525,13 @@ mod tests {
                 Box::new(lit(Value::str("London"))),
             )),
         );
-        let outer = SqlQuery::select(
-            SqlSelect::project(vec![col("City")])
-                .with_filter(SqlExpr::InSubquery(Box::new(SqlExpr::Index), Box::new(inner))),
-        );
+        let outer = SqlQuery::select(SqlSelect::project(vec![col("City")]).with_filter(
+            SqlExpr::InSubquery(Box::new(SqlExpr::Index), Box::new(inner)),
+        ));
         let rows = execute(&outer, &table).unwrap();
-        assert_eq!(rows, vec![vec![Value::str("St. Louis")], vec![Value::str("Beijing")]]);
+        assert_eq!(
+            rows,
+            vec![vec![Value::str("St. Louis")], vec![Value::str("Beijing")]]
+        );
     }
 }

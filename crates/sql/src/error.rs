@@ -38,7 +38,9 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        assert!(SqlError::UnknownColumn("Lake".into()).to_string().contains("Lake"));
+        assert!(SqlError::UnknownColumn("Lake".into())
+            .to_string()
+            .contains("Lake"));
         assert!(SqlError::ScalarCardinality(3).to_string().contains('3'));
         assert!(SqlError::Type("boom".into()).to_string().contains("boom"));
     }

@@ -26,10 +26,9 @@ pub fn translate(formula: &Formula) -> Result<SqlQuery> {
     match formula_type {
         FormulaType::Records => {
             let records = translate_records(formula)?;
-            Ok(SqlQuery::select(SqlSelect::project(vec![]).with_filter(SqlExpr::InSubquery(
-                Box::new(SqlExpr::Index),
-                Box::new(records),
-            ))))
+            Ok(SqlQuery::select(SqlSelect::project(vec![]).with_filter(
+                SqlExpr::InSubquery(Box::new(SqlExpr::Index), Box::new(records)),
+            )))
         }
         FormulaType::Values => translate_values(formula),
         FormulaType::Number => translate_number(formula),
@@ -42,18 +41,14 @@ fn translate_records(formula: &Formula) -> Result<SqlQuery> {
         SqlQuery::select(SqlSelect::project(vec![SqlExpr::Index]).with_filter(filter))
     };
     match formula {
-        Formula::AllRecords => {
-            Ok(SqlQuery::select(SqlSelect::project(vec![SqlExpr::Index])))
-        }
+        Formula::AllRecords => Ok(SqlQuery::select(SqlSelect::project(vec![SqlExpr::Index]))),
         Formula::Join { column, values } => {
             let filter = match constant_values(values) {
                 Some(list) if list.len() == 1 => SqlExpr::Equals(
                     Box::new(SqlExpr::Column(column.clone())),
                     Box::new(SqlExpr::Literal(list[0].clone())),
                 ),
-                Some(list) => {
-                    SqlExpr::InList(Box::new(SqlExpr::Column(column.clone())), list)
-                }
+                Some(list) => SqlExpr::InList(Box::new(SqlExpr::Column(column.clone())), list),
                 None => SqlExpr::InSubquery(
                     Box::new(SqlExpr::Column(column.clone())),
                     Box::new(translate_values(values)?),
@@ -81,7 +76,10 @@ fn translate_records(formula: &Formula) -> Result<SqlQuery> {
                     Box::new(SqlExpr::Index),
                     Box::new(SqlExpr::Literal(Value::num(1.0))),
                 )])
-                .with_filter(SqlExpr::InSubquery(Box::new(SqlExpr::Index), Box::new(inner))),
+                .with_filter(SqlExpr::InSubquery(
+                    Box::new(SqlExpr::Index),
+                    Box::new(inner),
+                )),
             ))
         }
         Formula::Next(records) => {
@@ -92,22 +90,35 @@ fn translate_records(formula: &Formula) -> Result<SqlQuery> {
                     Box::new(SqlExpr::Index),
                     Box::new(SqlExpr::Literal(Value::num(1.0))),
                 )])
-                .with_filter(SqlExpr::InSubquery(Box::new(SqlExpr::Index), Box::new(inner))),
+                .with_filter(SqlExpr::InSubquery(
+                    Box::new(SqlExpr::Index),
+                    Box::new(inner),
+                )),
             ))
         }
         Formula::Intersect(a, b) => {
             let left = translate_records(a)?;
             let right = translate_records(b)?;
             Ok(index_select(SqlExpr::And(
-                Box::new(SqlExpr::InSubquery(Box::new(SqlExpr::Index), Box::new(left))),
-                Box::new(SqlExpr::InSubquery(Box::new(SqlExpr::Index), Box::new(right))),
+                Box::new(SqlExpr::InSubquery(
+                    Box::new(SqlExpr::Index),
+                    Box::new(left),
+                )),
+                Box::new(SqlExpr::InSubquery(
+                    Box::new(SqlExpr::Index),
+                    Box::new(right),
+                )),
             )))
         }
         Formula::Union(a, b) => Ok(SqlQuery::Union(
             Box::new(translate_records(a)?),
             Box::new(translate_records(b)?),
         )),
-        Formula::SuperlativeRecords { op, records, column } => {
+        Formula::SuperlativeRecords {
+            op,
+            records,
+            column,
+        } => {
             // SELECT Index FROM T WHERE Index IN (records)
             //   AND C = (SELECT MAX(C) FROM T WHERE Index IN (records))
             let agg = match op {
@@ -126,7 +137,10 @@ fn translate_records(formula: &Formula) -> Result<SqlQuery> {
                 )),
             );
             Ok(index_select(SqlExpr::And(
-                Box::new(SqlExpr::InSubquery(Box::new(SqlExpr::Index), Box::new(inner))),
+                Box::new(SqlExpr::InSubquery(
+                    Box::new(SqlExpr::Index),
+                    Box::new(inner),
+                )),
                 Box::new(SqlExpr::Equals(
                     Box::new(SqlExpr::Column(column.clone())),
                     Box::new(SqlExpr::Scalar(Box::new(best))),
@@ -173,9 +187,7 @@ fn translate_values(formula: &Formula) -> Result<SqlQuery> {
         }
         Formula::ColumnValues { column, records } => {
             let select = match records.as_ref() {
-                Formula::AllRecords => {
-                    SqlSelect::project(vec![SqlExpr::Column(column.clone())])
-                }
+                Formula::AllRecords => SqlSelect::project(vec![SqlExpr::Column(column.clone())]),
                 other => SqlSelect::project(vec![SqlExpr::Column(column.clone())]).with_filter(
                     SqlExpr::InSubquery(
                         Box::new(SqlExpr::Index),
@@ -209,7 +221,12 @@ fn translate_values(formula: &Formula) -> Result<SqlQuery> {
                 limit: Some(1),
             }))
         }
-        Formula::CompareValues { op, values, key_column, value_column } => {
+        Formula::CompareValues {
+            op,
+            values,
+            key_column,
+            value_column,
+        } => {
             // SELECT DISTINCT C2 FROM T WHERE C2 IN (vals)
             //   AND C1 = (SELECT MAX(C1) FROM T WHERE C2 IN (vals))
             let agg = match op {
@@ -249,9 +266,7 @@ fn translate_values(formula: &Formula) -> Result<SqlQuery> {
 fn translate_number(formula: &Formula) -> Result<SqlQuery> {
     match formula {
         Formula::Aggregate { op, sub } => {
-            match wtq_dcs::typecheck(sub)
-                .map_err(|e| SqlError::Untranslatable(e.to_string()))?
-            {
+            match wtq_dcs::typecheck(sub).map_err(|e| SqlError::Untranslatable(e.to_string()))? {
                 FormulaType::Records => {
                     // COUNT over records: SELECT COUNT(Index) FROM T WHERE Index IN (...)
                     if *op != AggregateOp::Count {
@@ -286,12 +301,10 @@ fn translate_number(formula: &Formula) -> Result<SqlQuery> {
                     )];
                     let select = match records.as_ref() {
                         Formula::AllRecords => SqlSelect::project(projection),
-                        other => SqlSelect::project(projection).with_filter(
-                            SqlExpr::InSubquery(
-                                Box::new(SqlExpr::Index),
-                                Box::new(translate_records(other)?),
-                            ),
-                        ),
+                        other => SqlSelect::project(projection).with_filter(SqlExpr::InSubquery(
+                            Box::new(SqlExpr::Index),
+                            Box::new(translate_records(other)?),
+                        )),
                     };
                     Ok(SqlQuery::Select(select))
                 }
@@ -370,7 +383,8 @@ mod tests {
             Answer::values(rows.iter().filter_map(|row| row.first().cloned()))
         };
         assert_eq!(
-            dcs_answer, sql_answer,
+            dcs_answer,
+            sql_answer,
             "lambda DCS and SQL disagree for {text:?}\n  sql: {}",
             sql.to_sql()
         );
@@ -446,14 +460,13 @@ mod tests {
     #[test]
     fn table_10_shapes_are_recognizable() {
         // Difference of values renders as the difference of two scalar selects.
-        let q = translate(
-            &parse_formula("sub(R[Total].Nation.Fiji, R[Total].Nation.Tonga)").unwrap(),
-        )
-        .unwrap();
+        let q =
+            translate(&parse_formula("sub(R[Total].Nation.Fiji, R[Total].Nation.Tonga)").unwrap())
+                .unwrap();
         assert!(q.to_sql().contains(") - ("));
         // Most common value renders with GROUP BY / ORDER BY / LIMIT.
-        let q = translate(&parse_formula("most_common((Athens or London), City)").unwrap())
-            .unwrap();
+        let q =
+            translate(&parse_formula("most_common((Athens or London), City)").unwrap()).unwrap();
         let sql = q.to_sql();
         assert!(sql.contains("GROUP BY"));
         assert!(sql.contains("ORDER BY COUNT(Index) DESC"));
@@ -470,10 +483,16 @@ mod tests {
             op: AggregateOp::Sum,
             sub: Box::new(Formula::AllRecords),
         };
-        assert!(matches!(translate(&formula), Err(SqlError::Untranslatable(_))));
+        assert!(matches!(
+            translate(&formula),
+            Err(SqlError::Untranslatable(_))
+        ));
         // Aggregating a union of projections is outside the fragment.
         let formula = parse_formula("max((R[Year].Rows or R[Total].Rows))").unwrap();
-        assert!(matches!(translate(&formula), Err(SqlError::Untranslatable(_))));
+        assert!(matches!(
+            translate(&formula),
+            Err(SqlError::Untranslatable(_))
+        ));
     }
 
     #[test]

@@ -52,7 +52,7 @@ pub fn median(values: &[f64]) -> f64 {
     let mut sorted = values.to_vec();
     sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
     let mid = sorted.len() / 2;
-    if sorted.len() % 2 == 0 {
+    if sorted.len().is_multiple_of(2) {
         (sorted[mid - 1] + sorted[mid]) / 2.0
     } else {
         sorted[mid]
@@ -74,7 +74,10 @@ mod tests {
     fn paper_scale_difference_is_significant() {
         // Roughly the Table 6 comparison: 260/700 vs 341/700.
         let (statistic, significant) = chi_square_2x2(341, 700, 260, 700);
-        assert!(statistic > CHI_SQUARE_CRITICAL_0_01, "statistic {statistic}");
+        assert!(
+            statistic > CHI_SQUARE_CRITICAL_0_01,
+            "statistic {statistic}"
+        );
         assert!(significant);
     }
 

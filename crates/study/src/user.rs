@@ -81,7 +81,10 @@ pub struct SimulatedUser {
 impl SimulatedUser {
     /// An average worker using the full explanation interface.
     pub fn average() -> Self {
-        SimulatedUser { mode: ExplanationMode::UtterancesAndHighlights, skill: 1.0 }
+        SimulatedUser {
+            mode: ExplanationMode::UtterancesAndHighlights,
+            skill: 1.0,
+        }
     }
 
     /// A worker using the given explanation mode.
@@ -112,8 +115,9 @@ impl SimulatedUser {
         rng: &mut R,
     ) -> UserDecision {
         for (index, candidate) in candidates.iter().enumerate() {
-            let is_correct =
-                gold.map(|gold| formulas_equivalent(gold, candidate)).unwrap_or(false);
+            let is_correct = gold
+                .map(|gold| formulas_equivalent(gold, candidate))
+                .unwrap_or(false);
             let accept_probability = if is_correct {
                 self.recognize_probability()
             } else {
@@ -235,13 +239,37 @@ mod tests {
     fn success_judgment_edge_cases() {
         let gold = parse_formula("max(R[Year].Country.Greece)").unwrap();
         let shown = candidates();
-        assert!(SimulatedUser::is_successful(&UserDecision::Selected(1), &shown, Some(&gold)));
-        assert!(!SimulatedUser::is_successful(&UserDecision::Selected(0), &shown, Some(&gold)));
-        assert!(!SimulatedUser::is_successful(&UserDecision::None, &shown, Some(&gold)));
-        assert!(!SimulatedUser::is_successful(&UserDecision::Selected(99), &shown, Some(&gold)));
+        assert!(SimulatedUser::is_successful(
+            &UserDecision::Selected(1),
+            &shown,
+            Some(&gold)
+        ));
+        assert!(!SimulatedUser::is_successful(
+            &UserDecision::Selected(0),
+            &shown,
+            Some(&gold)
+        ));
+        assert!(!SimulatedUser::is_successful(
+            &UserDecision::None,
+            &shown,
+            Some(&gold)
+        ));
+        assert!(!SimulatedUser::is_successful(
+            &UserDecision::Selected(99),
+            &shown,
+            Some(&gold)
+        ));
         // Without any gold query, selecting anything is wrong and None is right.
-        assert!(SimulatedUser::is_successful(&UserDecision::None, &shown, None));
-        assert!(!SimulatedUser::is_successful(&UserDecision::Selected(0), &shown, None));
+        assert!(SimulatedUser::is_successful(
+            &UserDecision::None,
+            &shown,
+            None
+        ));
+        assert!(!SimulatedUser::is_successful(
+            &UserDecision::Selected(0),
+            &shown,
+            None
+        ));
     }
 
     #[test]

@@ -44,7 +44,11 @@ impl WorkTimeModel {
     /// Expected time (seconds) to handle one question whose candidates have
     /// the given utterance word counts.
     pub fn question_seconds(&self, utterance_words: &[usize], with_highlights: bool) -> f64 {
-        let read_fraction = if with_highlights { self.read_fraction_with_highlights } else { 1.0 };
+        let read_fraction = if with_highlights {
+            self.read_fraction_with_highlights
+        } else {
+            1.0
+        };
         let mut total = self.question_overhead_seconds;
         for &words in utterance_words {
             total += self.glance_seconds;
@@ -91,7 +95,9 @@ mod tests {
     /// A 20-question session with 7 candidates each, whose utterances average
     /// ~16 words (typical of the generated explanations).
     fn typical_session() -> Vec<Vec<usize>> {
-        (0..20).map(|i| (0..7).map(|j| 12 + ((i + j) % 9)).collect()).collect()
+        (0..20)
+            .map(|i| (0..7).map(|j| 12 + ((i + j) % 9)).collect())
+            .collect()
     }
 
     #[test]
@@ -114,8 +120,14 @@ mod tests {
             "saving {saving:.2} outside the plausible range around the paper's 34%"
         );
         // Absolute durations land in the right ballpark (minutes, not hours).
-        assert!((10.0..=22.0).contains(&with), "with-highlights session of {with:.1} min");
-        assert!((18.0..=32.0).contains(&without), "utterances-only session of {without:.1} min");
+        assert!(
+            (10.0..=22.0).contains(&with),
+            "with-highlights session of {with:.1} min"
+        );
+        assert!(
+            (18.0..=32.0).contains(&without),
+            "utterances-only session of {without:.1} min"
+        );
     }
 
     #[test]
@@ -134,8 +146,9 @@ mod tests {
         let model = WorkTimeModel::default();
         let mut rng = ChaCha8Rng::seed_from_u64(8);
         let expected = model.question_seconds(&[15; 7], true);
-        let samples: Vec<f64> =
-            (0..200).map(|_| model.sample_question_seconds(&[15; 7], true, &mut rng)).collect();
+        let samples: Vec<f64> = (0..200)
+            .map(|_| model.sample_question_seconds(&[15; 7], true, &mut rng))
+            .collect();
         let mean = samples.iter().sum::<f64>() / samples.len() as f64;
         assert!((mean - expected).abs() / expected < 0.1);
         assert!(samples.iter().any(|s| *s != expected));

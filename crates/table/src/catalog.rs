@@ -35,7 +35,8 @@ impl Catalog {
 
     /// Look up a table by name, producing an error if absent.
     pub fn require(&self, name: &str) -> Result<&Table> {
-        self.get(name).ok_or_else(|| TableError::UnknownTable(name.to_string()))
+        self.get(name)
+            .ok_or_else(|| TableError::UnknownTable(name.to_string()))
     }
 
     /// Remove a table by name.
@@ -106,7 +107,9 @@ mod tests {
 
     #[test]
     fn iteration_is_name_ordered() {
-        let catalog: Catalog = vec![tiny("zeta"), tiny("alpha"), tiny("mid")].into_iter().collect();
+        let catalog: Catalog = vec![tiny("zeta"), tiny("alpha"), tiny("mid")]
+            .into_iter()
+            .collect();
         let names: Vec<&str> = catalog.names().collect();
         assert_eq!(names, vec!["alpha", "mid", "zeta"]);
     }

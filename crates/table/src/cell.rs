@@ -16,9 +16,7 @@ use crate::table::RecordIdx;
 /// Both components are indexes into the owning [`crate::Table`]; the cell's
 /// value is `table.cell_value(cell)`. Ordering is row-major (record first)
 /// so that sorted sets of cells read top-to-bottom, left-to-right.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct CellRef {
     /// Index of the record (row) the cell belongs to.
     pub record: RecordIdx,

@@ -70,7 +70,9 @@ fn split_record(line: &str, delimiter: char) -> std::result::Result<Vec<String>,
 pub fn read_table(name: &str, text: &str, delimiter: Delimiter) -> Result<Table> {
     let delim = delimiter.as_char();
     let mut lines = text.lines().filter(|l| !l.trim().is_empty());
-    let header_line = lines.next().ok_or_else(|| TableError::Csv("empty document".into()))?;
+    let header_line = lines
+        .next()
+        .ok_or_else(|| TableError::Csv("empty document".into()))?;
     let headers = split_record(header_line, delim).map_err(TableError::Csv)?;
     let mut builder = TableBuilder::new(name).columns(headers);
     for line in lines {
@@ -160,14 +162,21 @@ mod tests {
         let table = Table::from_rows(
             "medals",
             &["Nation", "Total"],
-            &[vec!["Fiji", "130"], vec!["Tonga", "20"], vec!["New Caledonia, FR", "288"]],
+            &[
+                vec!["Fiji", "130"],
+                vec!["Tonga", "20"],
+                vec!["New Caledonia, FR", "288"],
+            ],
         )
         .unwrap();
         for delim in [Delimiter::Comma, Delimiter::Tab] {
             let text = write_table(&table, delim);
             let parsed = read_table("medals", &text, delim).unwrap();
             assert_eq!(parsed.num_records(), table.num_records());
-            assert_eq!(parsed.value_at(2, 0), Some(&Value::str("New Caledonia, FR")));
+            assert_eq!(
+                parsed.value_at(2, 0),
+                Some(&Value::str("New Caledonia, FR"))
+            );
             assert_eq!(parsed.value_at(0, 1), Some(&Value::num(130.0)));
         }
     }

@@ -10,7 +10,11 @@ pub enum TableError {
     /// A record index outside `0..table.num_records()` was referenced.
     RecordOutOfBounds { index: usize, len: usize },
     /// A row supplied to the builder had the wrong number of cells.
-    RowArity { expected: usize, got: usize, row: usize },
+    RowArity {
+        expected: usize,
+        got: usize,
+        row: usize,
+    },
     /// The table has no columns or no header row.
     EmptyTable,
     /// Two columns share a name; column names must be unique within a table.
@@ -28,10 +32,16 @@ impl fmt::Display for TableError {
         match self {
             TableError::UnknownColumn(name) => write!(f, "unknown column: {name:?}"),
             TableError::RecordOutOfBounds { index, len } => {
-                write!(f, "record index {index} out of bounds for table with {len} records")
+                write!(
+                    f,
+                    "record index {index} out of bounds for table with {len} records"
+                )
             }
             TableError::RowArity { expected, got, row } => {
-                write!(f, "row {row} has {got} cells but the table has {expected} columns")
+                write!(
+                    f,
+                    "row {row} has {got} cells but the table has {expected} columns"
+                )
             }
             TableError::EmptyTable => write!(f, "table has no columns"),
             TableError::DuplicateColumn(name) => write!(f, "duplicate column name: {name:?}"),
@@ -55,7 +65,11 @@ mod tests {
         let err = TableError::RecordOutOfBounds { index: 9, len: 3 };
         assert!(err.to_string().contains("9"));
         assert!(err.to_string().contains("3"));
-        let err = TableError::RowArity { expected: 4, got: 2, row: 7 };
+        let err = TableError::RowArity {
+            expected: 4,
+            got: 2,
+            row: 7,
+        };
         assert!(err.to_string().contains("row 7"));
     }
 

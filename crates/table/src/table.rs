@@ -122,7 +122,10 @@ impl Table {
         self.rows
             .get(index)
             .map(Vec::as_slice)
-            .ok_or(TableError::RecordOutOfBounds { index, len: self.rows.len() })
+            .ok_or(TableError::RecordOutOfBounds {
+                index,
+                len: self.rows.len(),
+            })
     }
 
     /// Value of the cell at `(record, column)`, if in bounds.
@@ -201,7 +204,11 @@ impl Table {
         out.push('\n');
         for row in &self.rows {
             for (i, value) in row.iter().enumerate() {
-                out.push_str(&format!("{:<width$}  ", value.to_string(), width = widths[i]));
+                out.push_str(&format!(
+                    "{:<width$}  ",
+                    value.to_string(),
+                    width = widths[i]
+                ));
             }
             out.push('\n');
         }
@@ -226,7 +233,11 @@ pub struct TableBuilder {
 impl TableBuilder {
     /// Start a new table with the given name.
     pub fn new(name: impl Into<String>) -> Self {
-        TableBuilder { name: name.into(), columns: Vec::new(), rows: Vec::new() }
+        TableBuilder {
+            name: name.into(),
+            columns: Vec::new(),
+            rows: Vec::new(),
+        }
     }
 
     /// Append a column header. Must be called before any rows are added.
@@ -280,7 +291,11 @@ impl TableBuilder {
                 column_type: infer_column_type(&self.rows, i),
             })
             .collect();
-        Ok(Table { name: self.name, columns, rows: self.rows })
+        Ok(Table {
+            name: self.name,
+            columns,
+            rows: self.rows,
+        })
     }
 }
 
@@ -396,8 +411,18 @@ mod tests {
             .unwrap_err();
         assert!(matches!(err, TableError::DuplicateColumn(_)));
 
-        let err = TableBuilder::new("t").column("A").row_text(&["1", "2"]).unwrap_err();
-        assert!(matches!(err, TableError::RowArity { expected: 1, got: 2, row: 0 }));
+        let err = TableBuilder::new("t")
+            .column("A")
+            .row_text(&["1", "2"])
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            TableError::RowArity {
+                expected: 1,
+                got: 2,
+                row: 0
+            }
+        ));
     }
 
     #[test]

@@ -22,17 +22,29 @@ pub struct Date {
 impl Date {
     /// A date with year precision only.
     pub fn year(year: i32) -> Self {
-        Date { year, month: None, day: None }
+        Date {
+            year,
+            month: None,
+            day: None,
+        }
     }
 
     /// A date with year and month precision.
     pub fn year_month(year: i32, month: u8) -> Self {
-        Date { year, month: Some(month), day: Some(1).filter(|_| false) }
+        Date {
+            year,
+            month: Some(month),
+            day: None,
+        }
     }
 
     /// A full year-month-day date.
     pub fn ymd(year: i32, month: u8, day: u8) -> Self {
-        Date { year, month: Some(month), day: Some(day) }
+        Date {
+            year,
+            month: Some(month),
+            day: Some(day),
+        }
     }
 
     /// A sortable key: missing month/day sort before present ones within the
@@ -164,7 +176,9 @@ impl Value {
     pub fn matches_text(&self, text: &str) -> bool {
         match self {
             Value::Str(s) => s.eq_ignore_ascii_case(text.trim()),
-            Value::Num(n) => parse_number(text).map(|m| numbers_equal(*n, m)).unwrap_or(false),
+            Value::Num(n) => parse_number(text)
+                .map(|m| numbers_equal(*n, m))
+                .unwrap_or(false),
             Value::Date(d) => {
                 parse_date(text).map(|other| *d == other).unwrap_or(false)
                     || text.trim() == d.to_string()
@@ -265,9 +279,7 @@ impl Ord for Value {
         match (self, other) {
             (Value::Num(a), Value::Num(b)) => a.partial_cmp(b).unwrap_or(Ordering::Equal),
             (Value::Date(a), Value::Date(b)) => a.cmp(b),
-            (Value::Str(a), Value::Str(b)) => {
-                a.to_ascii_lowercase().cmp(&b.to_ascii_lowercase())
-            }
+            (Value::Str(a), Value::Str(b)) => a.to_ascii_lowercase().cmp(&b.to_ascii_lowercase()),
             (Value::Num(n), Value::Date(d)) => n
                 .partial_cmp(&f64::from(d.year))
                 .unwrap_or(Ordering::Equal)
@@ -378,9 +390,11 @@ pub fn parse_date(text: &str) -> Option<Date> {
     for sep in ['-', '/'] {
         let parts: Vec<&str> = trimmed.split(sep).collect();
         if parts.len() == 3 {
-            if let (Ok(y), Ok(m), Ok(d)) =
-                (parts[0].parse::<i32>(), parts[1].parse::<u8>(), parts[2].parse::<u8>())
-            {
+            if let (Ok(y), Ok(m), Ok(d)) = (
+                parts[0].parse::<i32>(),
+                parts[1].parse::<u8>(),
+                parts[2].parse::<u8>(),
+            ) {
                 if (1000..=9999).contains(&y) && (1..=12).contains(&m) && (1..=31).contains(&d) {
                     return Some(Date::ymd(y, m, d));
                 }
@@ -392,16 +406,20 @@ pub fn parse_date(text: &str) -> Option<Date> {
     let tokens: Vec<&str> = cleaned.split_whitespace().collect();
     match tokens.as_slice() {
         [month, day, year] => {
-            if let (Some(m), Ok(d), Ok(y)) =
-                (month_from_name(month), day.parse::<u8>(), year.parse::<i32>())
-            {
+            if let (Some(m), Ok(d), Ok(y)) = (
+                month_from_name(month),
+                day.parse::<u8>(),
+                year.parse::<i32>(),
+            ) {
                 if (1..=31).contains(&d) {
                     return Some(Date::ymd(y, m, d));
                 }
             }
-            if let (Ok(d), Some(m), Ok(y)) =
-                (month.parse::<u8>(), month_from_name(day), year.parse::<i32>())
-            {
+            if let (Ok(d), Some(m), Ok(y)) = (
+                month.parse::<u8>(),
+                month_from_name(day),
+                year.parse::<i32>(),
+            ) {
                 if (1..=31).contains(&d) {
                     return Some(Date::ymd(y, m, d));
                 }
@@ -412,7 +430,11 @@ pub fn parse_date(text: &str) -> Option<Date> {
             let m = month_from_name(month)?;
             let y = year.parse::<i32>().ok()?;
             if (1000..=9999).contains(&y) {
-                Some(Date { year: y, month: Some(m), day: None })
+                Some(Date {
+                    year: y,
+                    month: Some(m),
+                    day: None,
+                })
             } else {
                 None
             }
@@ -441,7 +463,11 @@ mod tests {
         assert_eq!(Value::parse("2013-06-08"), Value::date(2013, 6, 8));
         assert_eq!(
             Value::parse("October 1983"),
-            Value::Date(Date { year: 1983, month: Some(10), day: None })
+            Value::Date(Date {
+                year: 1983,
+                month: Some(10),
+                day: None
+            })
         );
     }
 
@@ -480,7 +506,7 @@ mod tests {
 
     #[test]
     fn ordering_across_types_is_total_and_consistent() {
-        let mut values = vec![
+        let mut values = [
             Value::str("London"),
             Value::num(5.0),
             Value::year(1900),

@@ -16,7 +16,11 @@ use wtq_study::{collect_annotations, FeedbackExperiment, SimulatedUser};
 fn main() {
     let mut rng = ChaCha8Rng::seed_from_u64(7);
     let dataset = Dataset::generate(
-        &DatasetConfig { num_tables: 14, questions_per_table: 8, test_fraction: 0.3 },
+        &DatasetConfig {
+            num_tables: 14,
+            questions_per_table: 8,
+            test_fraction: 0.3,
+        },
         &mut rng,
     );
     let catalog = dataset.catalog();
@@ -53,7 +57,10 @@ fn main() {
         })
         .collect();
     let experiment = FeedbackExperiment {
-        train_config: TrainConfig { epochs: 2, ..TrainConfig::default() },
+        train_config: TrainConfig {
+            epochs: 2,
+            ..TrainConfig::default()
+        },
         top_k: 7,
     };
     let with = experiment.train_and_evaluate(&annotated, &dev, &catalog, true);

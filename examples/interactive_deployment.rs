@@ -16,7 +16,11 @@ use wtq_study::{DeploymentExperiment, SimulatedUser};
 fn main() {
     let mut rng = ChaCha8Rng::seed_from_u64(2024);
     let dataset = Dataset::generate(
-        &DatasetConfig { num_tables: 16, questions_per_table: 8, test_fraction: 0.25 },
+        &DatasetConfig {
+            num_tables: 16,
+            questions_per_table: 8,
+            test_fraction: 0.25,
+        },
         &mut rng,
     );
     let catalog = dataset.catalog();
@@ -26,16 +30,27 @@ fn main() {
     println!("test questions : {}", examples.len());
     let parser = SemanticParser::with_prior();
     let experiment = DeploymentExperiment::default();
-    let result =
-        experiment.run(&parser, &examples, &catalog, &SimulatedUser::average(), 7);
+    let result = experiment.run(&parser, &examples, &catalog, &SimulatedUser::average(), 7);
 
     println!("explanations shown        : {}", result.explanations_shown);
-    println!("parser correctness (top-1): {:.1}%", result.parser_correctness * 100.0);
-    println!("user correctness          : {:.1}%", result.user_correctness * 100.0);
-    println!("hybrid correctness        : {:.1}%", result.hybrid_correctness * 100.0);
+    println!(
+        "parser correctness (top-1): {:.1}%",
+        result.parser_correctness * 100.0
+    );
+    println!(
+        "user correctness          : {:.1}%",
+        result.user_correctness * 100.0
+    );
+    println!(
+        "hybrid correctness        : {:.1}%",
+        result.hybrid_correctness * 100.0
+    );
     println!("correctness bound (top-7) : {:.1}%", result.bound * 100.0);
     println!("MRR                       : {:.3}", result.mrr);
-    println!("user success rate         : {:.1}%", result.user_success_rate * 100.0);
+    println!(
+        "user success rate         : {:.1}%",
+        result.user_success_rate * 100.0
+    );
 
     section("Coverage sweep (top-k bound)");
     for (k, coverage) in

@@ -23,7 +23,9 @@ fn main() {
     ] {
         let formula = parse_formula(text).expect("example formula parses");
         let answer = Answer::from_denotation(&eval(&formula, &table).expect("evaluates"));
-        let explained = pipeline.explain_formula(&formula, &table).expect("explains");
+        let explained = pipeline
+            .explain_formula(&formula, &table)
+            .expect("explains");
         println!("query     : {formula}");
         println!("utterance : {}", explained.utterance);
         println!("answer    : {answer}");

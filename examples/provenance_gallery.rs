@@ -30,8 +30,16 @@ fn main() {
     show("Figure 11 — simple join", "Name.Jule", &yachts);
     show("Figure 12 — comparison", "Games.(> 4)", &squad);
     show("Figure 13 — reverse join", "R[Year].City.Athens", &olympics);
-    show("Figure 14 — previous row", "R[City].Prev.City.London", &olympics);
-    show("Figure 15 — next row", "R[City].R[Prev].City.Athens", &olympics);
+    show(
+        "Figure 14 — previous row",
+        "R[City].Prev.City.London",
+        &olympics,
+    );
+    show(
+        "Figure 15 — next row",
+        "R[City].R[Prev].City.Athens",
+        &olympics,
+    );
     show("Figure 16 — aggregation", "count(City.Athens)", &olympics);
     show(
         "Figure 17 — difference of values",
@@ -43,7 +51,11 @@ fn main() {
         "sub(count(Town.Matsuyama), count(Town.Imabari))",
         &temples,
     );
-    show("Figure 19 — union", "R[City].(Country.China or Country.Greece)", &olympics);
+    show(
+        "Figure 19 — union",
+        "R[City].(Country.China or Country.Greece)",
+        &olympics,
+    );
     show(
         "Figure 20 — intersection",
         "R[City].(Country.UK and Year.2012)",

@@ -19,7 +19,11 @@ fn main() {
 
     let explained = pipeline.explain_question(question, &table, 3);
     for (rank, candidate) in explained.iter().enumerate() {
-        section(&format!("Candidate #{} (score {:.2})", rank + 1, candidate.score));
+        section(&format!(
+            "Candidate #{} (score {:.2})",
+            rank + 1,
+            candidate.score
+        ));
         println!("lambda DCS : {}", candidate.formula);
         println!("utterance  : {}", candidate.utterance);
         if let Some(sql) = &candidate.sql {

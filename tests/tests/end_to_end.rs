@@ -33,8 +33,14 @@ fn figure_one_pipeline_produces_all_three_explanations() {
     // the Year header marked with MAX.
     let year = table.column_index("Year").unwrap();
     let country = table.column_index("Country").unwrap();
-    assert_eq!(candidate.highlights.kind(CellRef::new(5, year)), HighlightKind::Colored);
-    assert_eq!(candidate.highlights.kind(CellRef::new(5, country)), HighlightKind::Framed);
+    assert_eq!(
+        candidate.highlights.kind(CellRef::new(5, year)),
+        HighlightKind::Colored
+    );
+    assert_eq!(
+        candidate.highlights.kind(CellRef::new(5, country)),
+        HighlightKind::Framed
+    );
     assert_eq!(candidate.highlights.header_label(&table, year), "MAX(Year)");
     // SQL (Table 10) executes to the same answer on the same table.
     let sql = translate(&candidate.formula).unwrap();
@@ -51,14 +57,29 @@ fn lambda_dcs_sql_and_answers_agree_across_operator_families() {
         ("R[Year].Prev.City.London", samples::olympics()),
         ("R[Year].R[Prev].City.Athens", samples::olympics()),
         ("sum(R[Year].City.Athens)", samples::olympics()),
-        ("sub(R[Total].Nation.Fiji, R[Total].Nation.Tonga)", samples::medals()),
-        ("sub(count(Lake.\"Lake Huron\"), count(Lake.\"Lake Erie\"))", samples::shipwrecks()),
-        ("R[City].(Country.China or Country.Greece)", samples::olympics()),
+        (
+            "sub(R[Total].Nation.Fiji, R[Total].Nation.Tonga)",
+            samples::medals(),
+        ),
+        (
+            "sub(count(Lake.\"Lake Huron\"), count(Lake.\"Lake Erie\"))",
+            samples::shipwrecks(),
+        ),
+        (
+            "R[City].(Country.China or Country.Greece)",
+            samples::olympics(),
+        ),
         ("R[City].(City.London and Country.UK)", samples::olympics()),
         ("R[City].argmax(Rows, Year)", samples::olympics()),
-        ("R[Year].last(League.\"USL A-League\")", samples::usl_league()),
+        (
+            "R[Year].last(League.\"USL A-League\")",
+            samples::usl_league(),
+        ),
         ("most_common(R[Lake].Rows, Lake)", samples::shipwrecks()),
-        ("compare_max((London or Beijing), Year, City)", samples::olympics()),
+        (
+            "compare_max((London or Beijing), Year, City)",
+            samples::olympics(),
+        ),
         ("count(Games.(> 4))", samples::squad()),
     ];
     for (text, table) in cases {
@@ -91,7 +112,10 @@ fn every_explained_candidate_is_internally_consistent() {
         assert!(!candidate.utterance.is_empty());
         for column in candidate.formula.columns_mentioned() {
             assert!(
-                candidate.utterance.to_lowercase().contains(&column.to_lowercase()),
+                candidate
+                    .utterance
+                    .to_lowercase()
+                    .contains(&column.to_lowercase()),
                 "utterance {:?} does not mention column {column}",
                 candidate.utterance
             );
@@ -105,12 +129,14 @@ fn identical_answers_do_not_imply_identical_explanations() {
     // be distinguishable through their utterances.
     let table = samples::usl_league();
     let correct = parse_formula("max(R[Year].League.\"USL A-League\")").unwrap();
-    let incorrect = parse_formula(
-        "sum(R[Year].(League.\"USL A-League\" and \"Open Cup\".\"4th Round\"))",
-    )
-    .unwrap();
+    let incorrect =
+        parse_formula("sum(R[Year].(League.\"USL A-League\" and \"Open Cup\".\"4th Round\"))")
+            .unwrap();
     let a = Answer::from_denotation(&eval(&correct, &table).unwrap());
     let b = Answer::from_denotation(&eval(&incorrect, &table).unwrap());
-    assert_eq!(a, b, "the two Figure 8 candidates should share their answer");
+    assert_eq!(
+        a, b,
+        "the two Figure 8 candidates should share their answer"
+    );
     assert_ne!(wtq_explain::utter(&correct), wtq_explain::utter(&incorrect));
 }

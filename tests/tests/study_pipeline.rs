@@ -15,7 +15,11 @@ use wtq_study::{
 
 fn build() -> (Dataset, wtq_table::Catalog) {
     let dataset = Dataset::generate(
-        &DatasetConfig { num_tables: 12, questions_per_table: 7, test_fraction: 0.3 },
+        &DatasetConfig {
+            num_tables: 12,
+            questions_per_table: 7,
+            test_fraction: 0.3,
+        },
         &mut ChaCha8Rng::seed_from_u64(4242),
     );
     let catalog = dataset.catalog();
@@ -39,7 +43,10 @@ fn table6_shape_holds_end_to_end() {
     // The Table 6 ordering: interaction never hurts, the bound caps everything.
     assert!(result.hybrid_correctness >= result.parser_correctness - 1e-9);
     assert!(result.bound >= result.hybrid_correctness - 1e-9);
-    assert!(result.bound > result.parser_correctness, "the parser should not already be at its bound");
+    assert!(
+        result.bound > result.parser_correctness,
+        "the parser should not already be at its bound"
+    );
     // Table 4: users succeed on most questions.
     assert!(result.user_success_rate > 0.55);
     // Explanations shown ≈ questions × 7.
@@ -86,7 +93,11 @@ fn feedback_loop_improves_an_untrained_parser() {
         &SimulatedUser::average(),
         17,
     );
-    assert!(annotated.len() >= 10, "too few annotations: {}", annotated.len());
+    assert!(
+        annotated.len() >= 10,
+        "too few annotations: {}",
+        annotated.len()
+    );
     assert!(FeedbackExperiment::annotation_precision(&annotated) >= 0.6);
 
     // Evaluate an untrained parser and a parser retrained on the annotations.
@@ -106,13 +117,12 @@ fn feedback_loop_improves_an_untrained_parser() {
         7,
     );
     let mut retrained = SemanticParser::untrained();
-    let annotated_examples: Vec<TrainExample> =
-        annotated.iter().map(|(e, _)| e.clone()).collect();
-    Trainer::new(TrainConfig { epochs: 2, ..TrainConfig::default() }).train(
-        &mut retrained,
-        &annotated_examples,
-        &catalog,
-    );
+    let annotated_examples: Vec<TrainExample> = annotated.iter().map(|(e, _)| e.clone()).collect();
+    Trainer::new(TrainConfig {
+        epochs: 2,
+        ..TrainConfig::default()
+    })
+    .train(&mut retrained, &annotated_examples, &catalog);
     let retrained_eval = wtq_parser::train::evaluate(
         &retrained,
         dev.iter().map(|(e, g)| (e, g.clone())),

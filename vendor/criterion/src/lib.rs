@@ -1,0 +1,164 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the macro and method surface the workspace benches use —
+//! [`criterion_group!`], [`criterion_main!`], [`Criterion::benchmark_group`],
+//! `sample_size`, `measurement_time`, `bench_function` and [`Bencher::iter`]
+//! — backed by a simple wall-clock timer instead of criterion's statistical
+//! machinery. Benches compile with `harness = false` exactly as with the
+//! real crate and print mean per-iteration times when run.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver handed to every `criterion_group!` target.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size: 10,
+            measurement_time: Duration::from_secs(1),
+        }
+    }
+
+    /// Benchmark a function outside any group.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(&id.to_string(), 10, Duration::from_secs(1), f);
+        self
+    }
+}
+
+/// A named set of benchmarks sharing sampling configuration.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.sample_size = samples;
+        self
+    }
+
+    /// Set the wall-clock budget per benchmark.
+    pub fn measurement_time(&mut self, time: Duration) -> &mut Self {
+        self.measurement_time = time;
+        self
+    }
+
+    /// Run one benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(
+            &format!("{}/{}", self.name, id),
+            self.sample_size,
+            self.measurement_time,
+            f,
+        );
+        self
+    }
+
+    /// Finish the group (kept for API parity; all reporting is immediate).
+    pub fn finish(self) {}
+}
+
+/// Timer handle passed to the closure of `bench_function`.
+pub struct Bencher {
+    iterations: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time repeated executions of `routine`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iterations {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(
+    id: &str,
+    _sample_size: usize,
+    measurement_time: Duration,
+    mut f: F,
+) {
+    // Warm-up and calibration: one iteration, timed.
+    let mut bencher = Bencher {
+        iterations: 1,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut bencher);
+    let per_iter = bencher.elapsed.max(Duration::from_nanos(1));
+
+    // Fill the configured measurement budget. The iteration ceiling only
+    // bounds bookkeeping for sub-microsecond routines, whose loop finishes
+    // well inside any realistic budget anyway.
+    let fit = (measurement_time.as_nanos() / per_iter.as_nanos().max(1)) as u64;
+    let iterations = fit.clamp(1, 10_000_000);
+
+    let mut bencher = Bencher {
+        iterations,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut bencher);
+    let mean = bencher.elapsed / (bencher.iterations.max(1) as u32);
+    println!("{id}: {mean:?}/iter over {iterations} iterations");
+}
+
+/// Collect benchmark functions into a runnable group, mirroring criterion's
+/// `criterion_group!(name, target, ...)` form.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generate `main` running the given groups, mirroring criterion's
+/// `criterion_main!(group, ...)` form.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_the_closure() {
+        let mut criterion = Criterion::default();
+        let mut group = criterion.benchmark_group("smoke");
+        group
+            .sample_size(5)
+            .measurement_time(Duration::from_millis(10));
+        let mut runs = 0u64;
+        group.bench_function("count", |b| b.iter(|| runs += 1));
+        group.finish();
+        assert!(runs > 0);
+    }
+}

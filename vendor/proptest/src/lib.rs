@@ -1,0 +1,808 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the slice of the proptest API the workspace's property tests
+//! use: composable [`strategy::Strategy`] values (`prop_map`,
+//! `prop_flat_map`, `prop_recursive`, `boxed`), [`strategy::Just`], ranges
+//! and tuples as strategies, [`arbitrary::any`], [`collection::vec`],
+//! [`string::string_regex`] (character-class patterns only), and the
+//! [`proptest!`] / [`prop_oneof!`] / [`prop_assert!`] / [`prop_assert_eq!`]
+//! macros. Cases are generated from a per-test deterministic RNG; there is
+//! no shrinking — a failing case panics with its values' debug rendering
+//! via the assertion message instead.
+
+pub mod test_runner {
+    //! Test configuration and failure reporting.
+
+    use rand::SeedableRng;
+
+    /// The deterministic RNG driving all strategies.
+    pub type TestRng = rand_chacha::ChaCha8Rng;
+
+    /// Per-test configuration (only `cases` is honoured).
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of random cases to run per property.
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` random cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    /// A failed property within one generated case.
+    #[derive(Debug)]
+    pub struct TestCaseError {
+        message: String,
+    }
+
+    impl TestCaseError {
+        /// Build a failure from an assertion message.
+        pub fn fail(message: impl Into<String>) -> Self {
+            TestCaseError {
+                message: message.into(),
+            }
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "{}", self.message)
+        }
+    }
+
+    /// Deterministic per-test RNG, seeded from the test's name.
+    pub fn new_rng(test_name: &str) -> TestRng {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in test_name.bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng::seed_from_u64(hash)
+    }
+}
+
+pub mod strategy {
+    //! Composable random-value strategies.
+
+    use std::rc::Rc;
+
+    use rand::Rng;
+
+    use crate::test_runner::TestRng;
+
+    /// A recipe for generating random values of one type.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Generate one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transform generated values with `map_fn`.
+        fn prop_map<U, F>(self, map_fn: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U,
+        {
+            Map {
+                source: self,
+                map_fn,
+            }
+        }
+
+        /// Generate an intermediate value, then generate from the strategy
+        /// `flat_fn` builds out of it.
+        fn prop_flat_map<S, F>(self, flat_fn: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            S: Strategy,
+            F: Fn(Self::Value) -> S,
+        {
+            FlatMap {
+                source: self,
+                flat_fn,
+            }
+        }
+
+        /// Recursively grow values: `self` is the leaf strategy and `expand`
+        /// wraps an inner strategy into one producing larger values, applied
+        /// up to `depth` times. (`_desired_size` and `_expected_branch_size`
+        /// are accepted for proptest API parity but unused.)
+        fn prop_recursive<S, F>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch_size: u32,
+            expand: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+            S: Strategy<Value = Self::Value> + 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> S,
+        {
+            let leaf = self.boxed();
+            let mut current = leaf.clone();
+            for _ in 0..depth {
+                let expanded = expand(current).boxed();
+                // Two expanded arms to one leaf arm biases toward depth while
+                // still letting every level bottom out early.
+                current = Union::new(vec![leaf.clone(), expanded.clone(), expanded]).boxed();
+            }
+            current
+        }
+
+        /// Type-erase this strategy.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Rc::new(move |rng: &mut TestRng| self.generate(rng)))
+        }
+    }
+
+    /// A type-erased, cheaply clonable strategy.
+    pub struct BoxedStrategy<T>(Rc<dyn Fn(&mut TestRng) -> T>);
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(Rc::clone(&self.0))
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (self.0)(rng)
+        }
+    }
+
+    /// Strategy always yielding a clone of one value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Strategy applying a function to another strategy's values.
+    #[derive(Clone)]
+    pub struct Map<S, F> {
+        source: S,
+        map_fn: F,
+    }
+
+    impl<S, U, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> U,
+    {
+        type Value = U;
+
+        fn generate(&self, rng: &mut TestRng) -> U {
+            (self.map_fn)(self.source.generate(rng))
+        }
+    }
+
+    /// Strategy built from another strategy's value.
+    #[derive(Clone)]
+    pub struct FlatMap<S, F> {
+        source: S,
+        flat_fn: F,
+    }
+
+    impl<S, S2, F> Strategy for FlatMap<S, F>
+    where
+        S: Strategy,
+        S2: Strategy,
+        F: Fn(S::Value) -> S2,
+    {
+        type Value = S2::Value;
+
+        fn generate(&self, rng: &mut TestRng) -> S2::Value {
+            (self.flat_fn)(self.source.generate(rng)).generate(rng)
+        }
+    }
+
+    /// Uniform choice among several strategies of one value type.
+    pub struct Union<T> {
+        options: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        /// Build a union; panics on an empty option list.
+        pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(
+                !options.is_empty(),
+                "prop_oneof! needs at least one strategy"
+            );
+            Union { options }
+        }
+    }
+
+    impl<T> Clone for Union<T> {
+        fn clone(&self) -> Self {
+            Union {
+                options: self.options.clone(),
+            }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let index = rng.gen_range(0..self.options.len());
+            self.options[index].generate(rng)
+        }
+    }
+
+    macro_rules! range_strategies {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    range_strategies!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+    impl Strategy for core::ops::Range<f64> {
+        type Value = f64;
+
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    macro_rules! tuple_strategies {
+        ($(($($s:ident . $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    tuple_strategies! {
+        (S0.0)
+        (S0.0, S1.1)
+        (S0.0, S1.1, S2.2)
+        (S0.0, S1.1, S2.2, S3.3)
+    }
+}
+
+pub mod arbitrary {
+    //! `any::<T>()` strategies for primitive types.
+
+    use std::marker::PhantomData;
+
+    use rand::{Rng, RngCore};
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Types with a canonical whole-domain strategy.
+    pub trait Arbitrary: Sized {
+        /// Generate an unconstrained value.
+        fn arbitrary_value(rng: &mut TestRng) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary_value(rng: &mut TestRng) -> bool {
+            rng.next_u32() & 1 == 1
+        }
+    }
+
+    macro_rules! int_arbitrary {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary_value(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for f64 {
+        fn arbitrary_value(rng: &mut TestRng) -> f64 {
+            rng.gen_range(-1.0e6..1.0e6)
+        }
+    }
+
+    /// The strategy returned by [`any`].
+    #[derive(Clone, Debug)]
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary_value(rng)
+        }
+    }
+
+    /// Strategy over the whole domain of `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use rand::Rng;
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// An inclusive length range for generated collections.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        min: usize,
+        max: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(exact: usize) -> Self {
+            SizeRange {
+                min: exact,
+                max: exact,
+            }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(range: core::ops::Range<usize>) -> Self {
+            assert!(range.start < range.end, "empty vec size range");
+            SizeRange {
+                min: range.start,
+                max: range.end - 1,
+            }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(range: core::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                min: *range.start(),
+                max: *range.end(),
+            }
+        }
+    }
+
+    /// Strategy generating vectors of another strategy's values.
+    #[derive(Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.min..=self.size.max);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Vectors of `element` values with a length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+pub mod string {
+    //! String strategies from (a subset of) regex patterns.
+
+    use rand::Rng;
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// A malformed or unsupported pattern.
+    #[derive(Debug, Clone)]
+    pub struct Error {
+        message: String,
+    }
+
+    impl std::fmt::Display for Error {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "{}", self.message)
+        }
+    }
+
+    impl std::error::Error for Error {}
+
+    fn err<T>(message: impl Into<String>) -> Result<T, Error> {
+        Err(Error {
+            message: message.into(),
+        })
+    }
+
+    /// Strategy over strings matching a character-class pattern.
+    #[derive(Clone, Debug)]
+    pub struct RegexGeneratorStrategy {
+        alphabet: Vec<char>,
+        min_len: usize,
+        max_len: usize,
+    }
+
+    impl Strategy for RegexGeneratorStrategy {
+        type Value = String;
+
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let len = rng.gen_range(self.min_len..=self.max_len);
+            (0..len)
+                .map(|_| self.alphabet[rng.gen_range(0..self.alphabet.len())])
+                .collect()
+        }
+    }
+
+    /// Build a strategy from a pattern of the form `[class]{m,n}` (also bare
+    /// `[class]`, `[class]*` and `[class]+`). The class supports literals,
+    /// ranges (`a-z`), leading negation (`^`), escapes, and Java-style
+    /// `&&[^...]` / `&&[...]` intersection terms — enough for the printable
+    /// cell-text patterns the workspace tests use.
+    pub fn string_regex(pattern: &str) -> Result<RegexGeneratorStrategy, Error> {
+        let chars: Vec<char> = pattern.chars().collect();
+        if chars.first() != Some(&'[') {
+            return err("only [class]{m,n} patterns are supported");
+        }
+        let class_end = matching_bracket(&chars, 0)?;
+        let alphabet = parse_class(&chars[1..class_end])?;
+        if alphabet.is_empty() {
+            return err("character class matches no characters");
+        }
+        let (min_len, max_len) = parse_quantifier(&chars[class_end + 1..])?;
+        Ok(RegexGeneratorStrategy {
+            alphabet,
+            min_len,
+            max_len,
+        })
+    }
+
+    /// Index of the `]` closing the bracket at `open`, honouring escapes and
+    /// nested classes.
+    fn matching_bracket(chars: &[char], open: usize) -> Result<usize, Error> {
+        let mut depth = 0usize;
+        let mut i = open;
+        while i < chars.len() {
+            match chars[i] {
+                '\\' => i += 1,
+                '[' => depth += 1,
+                ']' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return Ok(i);
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        err("unbalanced `[` in pattern")
+    }
+
+    /// Parse the contents of a character class (without its outer brackets).
+    fn parse_class(content: &[char]) -> Result<Vec<char>, Error> {
+        // Split on top-level `&&` intersection operators.
+        let mut terms: Vec<&[char]> = Vec::new();
+        let mut start = 0usize;
+        let mut i = 0usize;
+        while i < content.len() {
+            match content[i] {
+                '\\' => i += 1,
+                '[' => i = matching_bracket(content, i)?,
+                '&' if content.get(i + 1) == Some(&'&') => {
+                    terms.push(&content[start..i]);
+                    i += 1;
+                    start = i + 1;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        terms.push(&content[start..]);
+
+        let mut alphabet = term_set(terms[0])?;
+        for term in &terms[1..] {
+            if term.first() == Some(&'[') {
+                let inner = term_set(&term[1..term.len() - 1])?;
+                alphabet.retain(|c| inner.contains(c));
+            } else {
+                let inner = term_set(term)?;
+                alphabet.retain(|c| inner.contains(c));
+            }
+        }
+        Ok(alphabet)
+    }
+
+    /// The set of characters one class term matches. A leading `^` negates
+    /// against printable ASCII.
+    fn term_set(term: &[char]) -> Result<Vec<char>, Error> {
+        let (negated, body) = match term.first() {
+            Some('^') => (true, &term[1..]),
+            _ => (false, term),
+        };
+        let mut set = Vec::new();
+        let mut i = 0usize;
+        while i < body.len() {
+            let c = if body[i] == '\\' {
+                i += 1;
+                match body.get(i) {
+                    Some(&esc) => unescape(esc),
+                    None => return err("dangling escape in class"),
+                }
+            } else {
+                body[i]
+            };
+            if body.get(i + 1) == Some(&'-') && i + 2 < body.len() && body[i + 2] != ']' {
+                let hi = if body[i + 2] == '\\' {
+                    i += 1;
+                    match body.get(i + 2) {
+                        Some(&esc) => unescape(esc),
+                        None => return err("dangling escape in range"),
+                    }
+                } else {
+                    body[i + 2]
+                };
+                if c as u32 > hi as u32 {
+                    return err("inverted character range");
+                }
+                for code in c as u32..=hi as u32 {
+                    if let Some(ch) = char::from_u32(code) {
+                        set.push(ch);
+                    }
+                }
+                i += 3;
+            } else {
+                set.push(c);
+                i += 1;
+            }
+        }
+        if negated {
+            Ok((0x20u32..0x7F)
+                .filter_map(char::from_u32)
+                .filter(|c| !set.contains(c))
+                .collect())
+        } else {
+            set.sort_unstable();
+            set.dedup();
+            Ok(set)
+        }
+    }
+
+    fn unescape(escaped: char) -> char {
+        match escaped {
+            'n' => '\n',
+            'r' => '\r',
+            't' => '\t',
+            other => other,
+        }
+    }
+
+    /// Parse the trailing quantifier: `{m,n}`, `{m}`, `*`, `+` or nothing.
+    fn parse_quantifier(rest: &[char]) -> Result<(usize, usize), Error> {
+        match rest.first() {
+            None => Ok((1, 1)),
+            Some('*') if rest.len() == 1 => Ok((0, 8)),
+            Some('+') if rest.len() == 1 => Ok((1, 8)),
+            Some('{') if rest.last() == Some(&'}') => {
+                let body: String = rest[1..rest.len() - 1].iter().collect();
+                match body.split_once(',') {
+                    Some((min, max)) => {
+                        let min = min.trim().parse().map_err(|_| Error {
+                            message: "invalid quantifier minimum".to_string(),
+                        })?;
+                        let max = max.trim().parse().map_err(|_| Error {
+                            message: "invalid quantifier maximum".to_string(),
+                        })?;
+                        if min > max {
+                            return err("inverted quantifier range");
+                        }
+                        Ok((min, max))
+                    }
+                    None => {
+                        let exact = body.trim().parse().map_err(|_| Error {
+                            message: "invalid exact quantifier".to_string(),
+                        })?;
+                        Ok((exact, exact))
+                    }
+                }
+            }
+            _ => err("unsupported pattern suffix"),
+        }
+    }
+}
+
+pub mod prelude {
+    //! The imports property tests conventionally glob in.
+
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Define property tests: an optional `#![proptest_config(...)]` header
+/// followed by `#[test] fn name(arg in strategy, ...) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests!($config; $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests!($crate::test_runner::ProptestConfig::default(); $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    ($config:expr;) => {};
+    ($config:expr;
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:pat_param in $strategy:expr),+ $(,)?) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let config = $config;
+            let mut rng = $crate::test_runner::new_rng(stringify!($name));
+            for case in 0..config.cases {
+                $(let $arg = $crate::strategy::Strategy::generate(&($strategy), &mut rng);)+
+                let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                if let ::std::result::Result::Err(failure) = outcome {
+                    panic!("property failed on case {case}: {failure}");
+                }
+            }
+        }
+        $crate::__proptest_tests!($config; $($rest)*);
+    };
+}
+
+/// Uniform choice among the listed strategies.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+/// Assert within a property body; failure aborts only the current case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Assert equality within a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(left == right, "assertion failed: `{:?}` == `{:?}`", left, right);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left == right,
+            "{}: `{:?}` == `{:?}`",
+            format!($($fmt)+),
+            left,
+            right
+        );
+    }};
+}
+
+/// Assert inequality within a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: `{:?}` != `{:?}`",
+            left,
+            right
+        );
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_and_tuples((a, b) in (0usize..10, 1890f64..2020f64), flag in any::<bool>()) {
+            prop_assert!(a < 10);
+            prop_assert!((1890.0..2020.0).contains(&b));
+            let _: bool = flag;
+        }
+
+        #[test]
+        fn oneof_and_map(value in prop_oneof![
+            Just(1u32),
+            (2u32..5).prop_map(|v| v * 10),
+        ]) {
+            prop_assert!(value == 1 || (20..50).contains(&value));
+        }
+
+        #[test]
+        fn vectors_have_requested_sizes(items in crate::collection::vec(0u8..255, 3usize)) {
+            prop_assert_eq!(items.len(), 3);
+        }
+
+        #[test]
+        fn string_regex_respects_class_and_len(
+            text in crate::string::string_regex("[ -~&&[^\"]]{0,12}").expect("valid regex")
+        ) {
+            prop_assert!(text.len() <= 12);
+            prop_assert!(text.chars().all(|c| (' '..='~').contains(&c) && c != '"'));
+        }
+    }
+
+    #[test]
+    fn recursive_strategies_terminate() {
+        use crate::strategy::{Just, Strategy};
+        let mut rng = crate::test_runner::new_rng("recursive");
+        let strategy = Just(1u64).prop_recursive(4, 16, 2, |inner| {
+            (inner.clone(), inner).prop_map(|(a, b)| a + b)
+        });
+        for _ in 0..100 {
+            assert!(strategy.generate(&mut rng) >= 1);
+        }
+    }
+}

@@ -1,0 +1,317 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build environment has no registry access, so the workspace vendors a
+//! value-tree serialization framework under serde's names: [`Serialize`]
+//! converts a value into the self-describing [`Value`] tree and
+//! [`Deserialize`] reads it back. The derive macros (re-exported from the
+//! vendored `serde_derive`) follow serde's externally-tagged enum encoding,
+//! and the vendored `serde_json` renders [`Value`] as JSON, so data files
+//! stay interchangeable with real-serde output for the types this workspace
+//! serializes.
+
+use std::collections::{BTreeMap, HashMap};
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A self-describing serialized value (the data model both traits target).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// Any number (integers are stored exactly up to 2^53).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An ordered sequence.
+    Seq(Vec<Value>),
+    /// An ordered map with string keys (field or variant names).
+    Map(Vec<(String, Value)>),
+}
+
+/// Shared `null` used as the fallback for absent map keys so `Option` fields
+/// deserialize to `None`.
+pub const NULL: Value = Value::Null;
+
+impl Value {
+    /// The map entries, if this is a [`Value::Map`].
+    pub fn as_map(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Map(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// The sequence elements, if this is a [`Value::Seq`].
+    pub fn as_seq(&self) -> Option<&[Value]> {
+        match self {
+            Value::Seq(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+/// Look up `key` in serialized map entries, falling back to [`NULL`].
+pub fn map_get<'a>(entries: &'a [(String, Value)], key: &str) -> &'a Value {
+    entries
+        .iter()
+        .find(|(k, _)| k == key)
+        .map_or(&NULL, |(_, v)| v)
+}
+
+/// A serialization or deserialization failure.
+#[derive(Debug, Clone)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    /// Build an error from a message.
+    pub fn custom(message: &str) -> Error {
+        Error {
+            message: message.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types that can be converted into a [`Value`] tree.
+pub trait Serialize {
+    /// Serialize `self` into the value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can be reconstructed from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Deserialize from the value tree.
+    fn from_value(value: &Value) -> Result<Self, Error>;
+}
+
+// --- primitive impls -------------------------------------------------------
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(value: &Value) -> Result<bool, Error> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(Error::custom("expected bool")),
+        }
+    }
+}
+
+macro_rules! int_impls {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Num(*self as f64)
+            }
+        }
+
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<$t, Error> {
+                match value {
+                    // Reject fractional and out-of-range numbers instead of
+                    // saturating, matching real serde_json's strictness.
+                    Value::Num(n)
+                        if n.fract() == 0.0
+                            && *n >= <$t>::MIN as f64
+                            && *n <= <$t>::MAX as f64 =>
+                    {
+                        Ok(*n as $t)
+                    }
+                    _ => Err(Error::custom(concat!(
+                        "expected in-range integer for ",
+                        stringify!($t)
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+int_impls!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_impls {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Num(*self as f64)
+            }
+        }
+
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<$t, Error> {
+                match value {
+                    Value::Num(n) => Ok(*n as $t),
+                    _ => Err(Error::custom(concat!("expected number for ", stringify!($t)))),
+                }
+            }
+        }
+    )*};
+}
+
+float_impls!(f32, f64);
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(value: &Value) -> Result<String, Error> {
+        match value {
+            Value::Str(s) => Ok(s.clone()),
+            _ => Err(Error::custom("expected string")),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+// --- container impls -------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(inner) => inner.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(value: &Value) -> Result<Option<T>, Error> {
+        match value {
+            Value::Null => Ok(None),
+            present => T::from_value(present).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(value: &Value) -> Result<Vec<T>, Error> {
+        match value {
+            Value::Seq(items) => items.iter().map(T::from_value).collect(),
+            _ => Err(Error::custom("expected sequence")),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(value: &Value) -> Result<Box<T>, Error> {
+        T::from_value(value).map(Box::new)
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn to_value(&self) -> Value {
+        Value::Map(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn from_value(value: &Value) -> Result<BTreeMap<String, V>, Error> {
+        let entries = value
+            .as_map()
+            .ok_or_else(|| Error::custom("expected map"))?;
+        entries
+            .iter()
+            .map(|(k, v)| Ok((k.clone(), V::from_value(v)?)))
+            .collect()
+    }
+}
+
+impl<V: Serialize> Serialize for HashMap<String, V> {
+    fn to_value(&self) -> Value {
+        // Sort for deterministic output.
+        let mut entries: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| (k.clone(), v.to_value()))
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Map(entries)
+    }
+}
+
+impl<V: Deserialize> Deserialize for HashMap<String, V> {
+    fn from_value(value: &Value) -> Result<HashMap<String, V>, Error> {
+        let entries = value
+            .as_map()
+            .ok_or_else(|| Error::custom("expected map"))?;
+        entries
+            .iter()
+            .map(|(k, v)| Ok((k.clone(), V::from_value(v)?)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn option_roundtrips_through_null() {
+        let none: Option<u8> = None;
+        assert_eq!(none.to_value(), Value::Null);
+        assert_eq!(Option::<u8>::from_value(&Value::Null).unwrap(), None);
+        assert_eq!(Option::<u8>::from_value(&Value::Num(3.0)).unwrap(), Some(3));
+    }
+
+    #[test]
+    fn integer_deserialize_rejects_fractional_and_out_of_range() {
+        assert!(u8::from_value(&Value::Num(3.5)).is_err());
+        assert!(u8::from_value(&Value::Num(-1.0)).is_err());
+        assert!(u8::from_value(&Value::Num(256.0)).is_err());
+        assert!(usize::from_value(&Value::Num(-3.0)).is_err());
+        assert_eq!(u8::from_value(&Value::Num(255.0)).unwrap(), 255);
+        assert_eq!(i32::from_value(&Value::Num(-40.0)).unwrap(), -40);
+        assert_eq!(f64::from_value(&Value::Num(2.945)).unwrap(), 2.945);
+    }
+
+    #[test]
+    fn map_get_falls_back_to_null() {
+        let entries = vec![("a".to_string(), Value::Bool(true))];
+        assert_eq!(map_get(&entries, "a"), &Value::Bool(true));
+        assert_eq!(map_get(&entries, "missing"), &Value::Null);
+    }
+}

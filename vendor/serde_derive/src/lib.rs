@@ -1,0 +1,364 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Derives the vendored `serde` crate's value-tree [`Serialize`] and
+//! [`Deserialize`] traits for the plain (non-generic) structs and enums this
+//! workspace defines. The item is parsed directly from the token stream —
+//! the build environment has no registry access, so `syn`/`quote` are not
+//! available — and the generated impls mirror serde's externally-tagged
+//! data model so the JSON produced by `serde_json::to_string_pretty` looks
+//! like real serde output.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// The shape of a parsed `struct` or `enum` item.
+enum Item {
+    /// A struct with named fields.
+    Struct { name: String, fields: Vec<String> },
+    /// An enum; each variant is `(name, payload)`.
+    Enum {
+        name: String,
+        variants: Vec<(String, Payload)>,
+    },
+}
+
+/// Payload of an enum variant.
+enum Payload {
+    /// `Variant`
+    Unit,
+    /// `Variant(T0, T1, ...)` with the given arity.
+    Tuple(usize),
+    /// `Variant { field0, field1, ... }`
+    Struct(Vec<String>),
+}
+
+/// Derive the vendored `serde::Serialize` trait.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let source = match &item {
+        Item::Struct { name, fields } => serialize_struct(name, fields),
+        Item::Enum { name, variants } => serialize_enum(name, variants),
+    };
+    source.parse().expect("generated Serialize impl parses")
+}
+
+/// Derive the vendored `serde::Deserialize` trait.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let source = match &item {
+        Item::Struct { name, fields } => deserialize_struct(name, fields),
+        Item::Enum { name, variants } => deserialize_enum(name, variants),
+    };
+    source.parse().expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------------------
+// Token-stream parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attributes_and_visibility(&tokens, &mut i);
+
+    let keyword = expect_ident(&tokens, &mut i);
+    let name = expect_ident(&tokens, &mut i);
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde derive stand-in does not support generic type `{name}`");
+    }
+    let body = match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        other => panic!("expected braced body for `{name}`, found {other:?}"),
+    };
+
+    match keyword.as_str() {
+        "struct" => Item::Struct {
+            name,
+            fields: parse_named_fields(body),
+        },
+        "enum" => Item::Enum {
+            name,
+            variants: parse_variants(body),
+        },
+        other => panic!("serde derive stand-in supports struct/enum only, found `{other}`"),
+    }
+}
+
+fn skip_attributes_and_visibility(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 2; // `#` and the bracketed attribute group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1; // `pub(crate)` etc.
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+fn expect_ident(tokens: &[TokenTree], i: &mut usize) -> String {
+    match tokens.get(*i) {
+        Some(TokenTree::Ident(id)) => {
+            *i += 1;
+            id.to_string()
+        }
+        other => panic!("expected identifier, found {other:?}"),
+    }
+}
+
+/// Parse `name: Type, ...` named fields, returning the field names.
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attributes_and_visibility(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let field = expect_ident(&tokens, &mut i);
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("expected `:` after field `{field}`, found {other:?}"),
+        }
+        skip_type_until_comma(&tokens, &mut i);
+        fields.push(field);
+    }
+    fields
+}
+
+/// Advance past a type expression up to (and including) the next top-level
+/// comma. Commas nested inside `<...>` (e.g. `BTreeMap<String, f64>`) are
+/// skipped by tracking angle-bracket depth; parenthesised/bracketed tokens
+/// arrive as opaque groups so they need no tracking.
+fn skip_type_until_comma(tokens: &[TokenTree], i: &mut usize) {
+    let mut angle_depth = 0usize;
+    while let Some(token) = tokens.get(*i) {
+        if let TokenTree::Punct(p) = token {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth = angle_depth.saturating_sub(1),
+                ',' if angle_depth == 0 => {
+                    *i += 1;
+                    return;
+                }
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+fn parse_variants(body: TokenStream) -> Vec<(String, Payload)> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attributes_and_visibility(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = expect_ident(&tokens, &mut i);
+        let payload = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Payload::Tuple(tuple_arity(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Payload::Struct(parse_named_fields(g.stream()))
+            }
+            _ => Payload::Unit,
+        };
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        variants.push((name, payload));
+    }
+    variants
+}
+
+/// Number of comma-separated types in a tuple variant payload.
+fn tuple_arity(body: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut arity = 0;
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_type_until_comma(&tokens, &mut i);
+        arity += 1;
+    }
+    arity
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn serialize_struct(name: &str, fields: &[String]) -> String {
+    let entries: Vec<String> = fields
+        .iter()
+        .map(|f| format!("(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f}))"))
+        .collect();
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n\
+                 ::serde::Value::Map(vec![{}])\n\
+             }}\n\
+         }}",
+        entries.join(", ")
+    )
+}
+
+fn serialize_enum(name: &str, variants: &[(String, Payload)]) -> String {
+    let arms: Vec<String> = variants
+        .iter()
+        .map(|(variant, payload)| match payload {
+            Payload::Unit => {
+                format!("{name}::{variant} => ::serde::Value::Str(\"{variant}\".to_string()),")
+            }
+            Payload::Tuple(1) => format!(
+                "{name}::{variant}(f0) => ::serde::Value::Map(vec![(\"{variant}\".to_string(), \
+                 ::serde::Serialize::to_value(f0))]),"
+            ),
+            Payload::Tuple(n) => {
+                let binders: Vec<String> = (0..*n).map(|k| format!("f{k}")).collect();
+                let values: Vec<String> = binders
+                    .iter()
+                    .map(|b| format!("::serde::Serialize::to_value({b})"))
+                    .collect();
+                format!(
+                    "{name}::{variant}({}) => ::serde::Value::Map(vec![(\"{variant}\".to_string(), \
+                     ::serde::Value::Seq(vec![{}]))]),",
+                    binders.join(", "),
+                    values.join(", ")
+                )
+            }
+            Payload::Struct(fields) => {
+                let entries: Vec<String> = fields
+                    .iter()
+                    .map(|f| format!("(\"{f}\".to_string(), ::serde::Serialize::to_value({f}))"))
+                    .collect();
+                format!(
+                    "{name}::{variant} {{ {} }} => ::serde::Value::Map(vec![(\"{variant}\"\
+                     .to_string(), ::serde::Value::Map(vec![{}]))]),",
+                    fields.join(", "),
+                    entries.join(", ")
+                )
+            }
+        })
+        .collect();
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n\
+                 match self {{\n{}\n}}\n\
+             }}\n\
+         }}",
+        arms.join("\n")
+    )
+}
+
+fn deserialize_struct(name: &str, fields: &[String]) -> String {
+    let inits: Vec<String> = fields
+        .iter()
+        .map(|f| format!("{f}: ::serde::Deserialize::from_value(::serde::map_get(map, \"{f}\"))?"))
+        .collect();
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(value: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 let map = value.as_map().ok_or_else(|| \
+                     ::serde::Error::custom(\"expected map for struct {name}\"))?;\n\
+                 Ok({name} {{ {} }})\n\
+             }}\n\
+         }}",
+        inits.join(", ")
+    )
+}
+
+fn deserialize_enum(name: &str, variants: &[(String, Payload)]) -> String {
+    let mut unit_arms = Vec::new();
+    let mut tagged_arms = Vec::new();
+    for (variant, payload) in variants {
+        match payload {
+            Payload::Unit => {
+                unit_arms.push(format!("\"{variant}\" => Ok({name}::{variant}),"));
+            }
+            Payload::Tuple(1) => tagged_arms.push(format!(
+                "\"{variant}\" => Ok({name}::{variant}(::serde::Deserialize::from_value(payload)?)),"
+            )),
+            Payload::Tuple(n) => {
+                let elems: Vec<String> = (0..*n)
+                    .map(|k| format!("::serde::Deserialize::from_value(&items[{k}])?"))
+                    .collect();
+                tagged_arms.push(format!(
+                    "\"{variant}\" => {{\n\
+                         let items = payload.as_seq().ok_or_else(|| ::serde::Error::custom(\
+                             \"expected sequence for variant {name}::{variant}\"))?;\n\
+                         if items.len() != {n} {{\n\
+                             return Err(::serde::Error::custom(\
+                                 \"wrong tuple arity for variant {name}::{variant}\"));\n\
+                         }}\n\
+                         Ok({name}::{variant}({}))\n\
+                     }}",
+                    elems.join(", ")
+                ));
+            }
+            Payload::Struct(fields) => {
+                let inits: Vec<String> = fields
+                    .iter()
+                    .map(|f| {
+                        format!(
+                            "{f}: ::serde::Deserialize::from_value(::serde::map_get(map, \"{f}\"))?"
+                        )
+                    })
+                    .collect();
+                tagged_arms.push(format!(
+                    "\"{variant}\" => {{\n\
+                         let map = payload.as_map().ok_or_else(|| ::serde::Error::custom(\
+                             \"expected map for variant {name}::{variant}\"))?;\n\
+                         Ok({name}::{variant} {{ {} }})\n\
+                     }}",
+                    inits.join(", ")
+                ));
+            }
+        }
+    }
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(value: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 match value {{\n\
+                     ::serde::Value::Str(tag) => match tag.as_str() {{\n\
+                         {}\n\
+                         other => Err(::serde::Error::custom(&format!(\
+                             \"unknown unit variant `{{other}}` for enum {name}\"))),\n\
+                     }},\n\
+                     ::serde::Value::Map(entries) if entries.len() == 1 => {{\n\
+                         let (tag, payload) = &entries[0];\n\
+                         let _ = payload;\n\
+                         match tag.as_str() {{\n\
+                             {}\n\
+                             other => Err(::serde::Error::custom(&format!(\
+                                 \"unknown variant `{{other}}` for enum {name}\"))),\n\
+                         }}\n\
+                     }}\n\
+                     _ => Err(::serde::Error::custom(\"expected variant tag for enum {name}\")),\n\
+                 }}\n\
+             }}\n\
+         }}",
+        unit_arms.join("\n"),
+        tagged_arms.join("\n")
+    )
+}
