@@ -1,0 +1,46 @@
+//! End-to-end candidate throughput: questions/second through the full
+//! lexicon → candidate generation → feature extraction → scoring pipeline,
+//! the serving-path number the ROADMAP's questions-per-second goal tracks.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::time::Duration;
+
+use wtq_bench::EXPERIMENT_SEED;
+use wtq_parser::SemanticParser;
+
+fn bench_candidate_throughput(c: &mut Criterion) {
+    let mut rng = ChaCha8Rng::seed_from_u64(EXPERIMENT_SEED);
+    let domains = wtq_dataset::all_domains();
+    // A handful of (question, table) pairs across domains, so the measured
+    // number reflects mixed question families rather than one lucky shape.
+    let mut pairs = Vec::new();
+    for (i, domain) in domains.iter().take(3).enumerate() {
+        let table = wtq_dataset::generate_table(domain, i, &mut rng);
+        let questions = wtq_dataset::generate_questions(&table, 4, &mut rng);
+        for q in questions {
+            pairs.push((q.question, table.clone()));
+        }
+    }
+    let parser = SemanticParser::with_prior();
+
+    let mut group = c.benchmark_group("candidate_throughput");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
+    // Per-question end-to-end parse (one index build + linking + candidate
+    // pool + scoring); divide the reported time by the pair count for the
+    // per-question cost, or invert for questions/second.
+    group.bench_function(format!("parse_{}_questions", pairs.len()), |b| {
+        b.iter(|| {
+            for (question, table) in &pairs {
+                let _ = parser.parse(question, table);
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_candidate_throughput);
+criterion_main!(benches);

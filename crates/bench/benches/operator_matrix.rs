@@ -1,13 +1,17 @@
 //! Table 10 / Table 2 ablation: evaluation, provenance and SQL translation
-//! cost for every lambda DCS operator family on the paper's sample tables.
+//! cost for every lambda DCS operator family on the paper's sample tables,
+//! plus the `exec_layer` group comparing the indexed execution layer against
+//! the scan reference on a scaled synthetic table.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use std::sync::Arc;
 use std::time::Duration;
 
-use wtq_dcs::{eval, parse_formula};
+use wtq_bench::exec::{bench_table, workloads};
+use wtq_dcs::{eval, eval_reference, parse_formula, Evaluator};
 use wtq_provenance::provenance;
-use wtq_sql::{execute, translate};
-use wtq_table::samples;
+use wtq_sql::{execute, execute_scan, execute_with_index, translate};
+use wtq_table::{samples, TableIndex};
 
 fn bench_operators(c: &mut Criterion) {
     let olympics = samples::olympics();
@@ -49,5 +53,39 @@ fn bench_operators(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_operators);
+/// Indexed execution layer vs the scan reference on a 2 000-row table:
+/// `scan` is the pre-index semantics, `indexed` a session sharing one
+/// prebuilt index (cold cache per call), `warm` a single reused session.
+fn bench_exec_layer(c: &mut Criterion) {
+    let table = bench_table(2000);
+    let index = Arc::new(TableIndex::new(&table));
+    let warm = Evaluator::with_index(&table, index.clone());
+    let mut group = c.benchmark_group("exec_layer");
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(1));
+    for (name, formula) in workloads(&table, &index) {
+        group.bench_function(format!("scan/{name}"), |b| {
+            b.iter(|| eval_reference(&formula, &table))
+        });
+        group.bench_function(format!("indexed/{name}"), |b| {
+            b.iter(|| {
+                let session = Evaluator::with_index(&table, index.clone());
+                session.eval(&formula)
+            })
+        });
+        group.bench_function(format!("warm/{name}"), |b| b.iter(|| warm.eval(&formula)));
+        if let Ok(query) = translate(&formula) {
+            group.bench_function(format!("sql_scan/{name}"), |b| {
+                b.iter(|| execute_scan(&query, &table))
+            });
+            group.bench_function(format!("sql_indexed/{name}"), |b| {
+                b.iter(|| execute_with_index(&query, &table, &index))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_operators, bench_exec_layer);
 criterion_main!(benches);

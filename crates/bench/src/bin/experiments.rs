@@ -8,8 +8,12 @@
 //! ```
 //!
 //! Sections: `table4`, `table5`, `table6`, `ksweep`, `table7`, `table9`,
-//! `figures`, `gallery`, `operators`, `examples`. With no argument every
-//! section is produced.
+//! `figures`, `gallery`, `operators`, `examples`, `exec`. With no argument
+//! every section is produced.
+//!
+//! `--exec-json [path]` additionally writes the execution-layer report
+//! (indexed vs scan timings, candidate throughput, cache statistics) as
+//! machine-readable JSON — `BENCH_exec.json` by default.
 
 use wtq_bench::{
     environment, k_sweep, raw_formula_control, table4, table5, table6, table7, table9,
@@ -27,6 +31,18 @@ fn wanted(section: &str) -> bool {
         Some(index) => args.get(index + 1).map(|s| s == section).unwrap_or(true),
         None => true,
     }
+}
+
+/// The `--exec-json [path]` flag: `Some(path)` when JSON output is wanted.
+fn exec_json_path() -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    let index = args.iter().position(|a| a == "--exec-json")?;
+    Some(
+        args.get(index + 1)
+            .filter(|next| !next.starts_with("--"))
+            .cloned()
+            .unwrap_or_else(|| "BENCH_exec.json".to_string()),
+    )
 }
 
 fn heading(title: &str) {
@@ -296,6 +312,53 @@ fn main() {
                 chain.execution.len(),
                 chain.columns.len()
             );
+        }
+    }
+
+    let json_path = exec_json_path();
+    if wanted("exec") || json_path.is_some() {
+        heading("Execution layer — indexed engines vs scan reference");
+        let report = wtq_bench::exec::exec_report(2000, 12);
+        println!(
+            "{} rows × {} columns; index build: {:.0} µs\n",
+            report.rows, report.columns, report.index_build_us
+        );
+        println!("| workload | scan µs | indexed µs | warm µs | speedup (cold) | speedup (warm) |");
+        println!("|---|---|---|---|---|---|");
+        for case in report.dcs.iter() {
+            println!(
+                "| dcs/{} | {:.1} | {:.1} | {:.1} | {:.1}× | {:.1}× |",
+                case.name,
+                case.scan_us,
+                case.indexed_cold_us,
+                case.indexed_warm_us,
+                case.speedup_cold,
+                case.speedup_warm
+            );
+        }
+        for case in report.sql.iter() {
+            println!(
+                "| sql/{} | {:.1} | {:.1} | {:.1} | {:.1}× | {:.1}× |",
+                case.name,
+                case.scan_us,
+                case.indexed_cold_us,
+                case.indexed_warm_us,
+                case.speedup_cold,
+                case.speedup_warm
+            );
+        }
+        println!(
+            "\nCandidate throughput: {:.0} questions/s ({:.0} µs/question); \
+             denotation cache {} hits / {} misses over one pool.",
+            report.candidate_throughput_qps,
+            report.candidate_parse_us,
+            report.cache_hits,
+            report.cache_misses
+        );
+        if let Some(path) = &json_path {
+            let json = serde_json::to_string_pretty(&report).expect("report serializes");
+            std::fs::write(path, json).expect("write exec report");
+            println!("\nWrote {path}.");
         }
     }
 

@@ -5,6 +5,8 @@
 //! (§7) maps to one function here; the binary prints the paper-vs-measured
 //! comparison and the benches time the underlying components.
 
+pub mod exec;
+
 use std::time::Instant;
 
 use rand::SeedableRng;

@@ -6,12 +6,24 @@
 //! tracing is what the provenance model of §4 consumes: the output provenance
 //! `P_O(Q, T)` of a value-denoting query is exactly the union of the traced
 //! cells of its denotation.
+//!
+//! The evaluator is **index-backed and stateful**: it consults the shared
+//! [`TableIndex`] (inverted value indexes, sorted numeric projections,
+//! value-sorted permutations) instead of scanning rows, and it memoizes the
+//! denotations of record-denoting subformulas across calls. A single
+//! [`Evaluator`] session therefore amortizes work across the hundreds of
+//! candidate formulas the semantic parser executes per question — shared
+//! bases like `Country.Greece` are evaluated once. The scan-based semantics
+//! it must agree with are kept in [`crate::reference`] as an executable
+//! specification, enforced by a differential proptest suite.
 
-use std::collections::BTreeSet;
+use std::cell::{Cell, RefCell};
+use std::collections::{BTreeSet, HashMap};
+use std::sync::Arc;
 
-use wtq_table::{CellRef, KnowledgeBase, RecordIdx, Table, Value};
+use wtq_table::{CellRef, KnowledgeBase, RecordIdx, Table, TableIndex, Value};
 
-use crate::ast::{AggregateOp, Formula, SuperlativeOp};
+use crate::ast::{AggregateOp, CompareOp, Formula, SuperlativeOp};
 use crate::error::DcsError;
 use crate::Result;
 
@@ -19,6 +31,11 @@ use crate::Result;
 /// candidates never approach this; the guard only protects against
 /// pathological inputs.
 pub const MAX_EVAL_DEPTH: usize = 64;
+
+/// Maximum number of memoized record denotations per evaluator session. The
+/// candidate generator produces a few hundred formulas per question, far
+/// below this; the cap only bounds memory for adversarial workloads.
+const DENOTATION_CACHE_CAP: usize = 8192;
 
 /// One value of a value-denoting formula, together with the cells that
 /// contain it.
@@ -124,18 +141,70 @@ impl Denotation {
     }
 }
 
-/// Evaluator bound to one table (and its KB view).
+/// Records whose numeric cell in `column` satisfies `op` against
+/// `threshold`, answered from the index's sorted numeric projection: binary
+/// search for the ordered operators, a linear pass over the numeric cells for
+/// `!=` (whose tolerance band is not a prefix/suffix).
+///
+/// Shared with `wtq-sql`'s WHERE planner, so both engines agree on
+/// comparison semantics by construction.
+pub fn compare_records(
+    index: &TableIndex,
+    column: usize,
+    op: CompareOp,
+    threshold: f64,
+) -> BTreeSet<RecordIdx> {
+    let col = index.column(column);
+    let matched: Box<dyn Iterator<Item = &(f64, RecordIdx)>> = match op {
+        CompareOp::Lt => Box::new(col.numeric_below(threshold, false).iter()),
+        CompareOp::Leq => Box::new(col.numeric_below(threshold, true).iter()),
+        CompareOp::Gt => Box::new(col.numeric_above(threshold, false).iter()),
+        CompareOp::Geq => Box::new(col.numeric_above(threshold, true).iter()),
+        CompareOp::Neq => Box::new(
+            col.numeric_entries()
+                .iter()
+                .filter(move |(n, _)| op.compare(*n, threshold)),
+        ),
+    };
+    matched.map(|&(_, record)| record).collect()
+}
+
+/// Evaluator bound to one table (and its indexed KB view). Create one per
+/// table and reuse it across formulas: the session memoizes record-denoting
+/// subformula results, so candidate pools sharing bases (`Country.Greece`
+/// under many projections and aggregates) pay for each base once.
 pub struct Evaluator<'a> {
     table: &'a Table,
     kb: KnowledgeBase<'a>,
+    /// Memoized denotations of record-denoting subformulas, keyed by the
+    /// formula's structure, together with the formula's nesting depth (so a
+    /// cache hit can still enforce the depth guard a fresh recursion would
+    /// have tripped). Sound because the table (and thus every denotation)
+    /// is immutable for the life of the session.
+    cache: RefCell<HashMap<Formula, (BTreeSet<RecordIdx>, usize)>>,
+    cache_hits: Cell<u64>,
+    cache_misses: Cell<u64>,
 }
 
 impl<'a> Evaluator<'a> {
-    /// Create an evaluator for `table`, building the KB inverted indexes.
+    /// Create an evaluator for `table`, building the columnar index.
     pub fn new(table: &'a Table) -> Self {
+        Self::with_kb(KnowledgeBase::new(table))
+    }
+
+    /// Create an evaluator sharing an already-built [`TableIndex`] of the
+    /// same table (no per-session index build).
+    pub fn with_index(table: &'a Table, index: Arc<TableIndex>) -> Self {
+        Self::with_kb(KnowledgeBase::with_index(table, index))
+    }
+
+    fn with_kb(kb: KnowledgeBase<'a>) -> Self {
         Evaluator {
-            table,
-            kb: KnowledgeBase::new(table),
+            table: kb.table(),
+            kb,
+            cache: RefCell::new(HashMap::new()),
+            cache_hits: Cell::new(0),
+            cache_misses: Cell::new(0),
         }
     }
 
@@ -149,15 +218,71 @@ impl<'a> Evaluator<'a> {
         &self.kb
     }
 
+    /// The columnar index backing this session.
+    pub fn index(&self) -> &TableIndex {
+        self.kb.index()
+    }
+
+    /// `(hits, misses)` of the cross-formula denotation cache, for
+    /// instrumentation and benchmarks.
+    pub fn cache_stats(&self) -> (u64, u64) {
+        (self.cache_hits.get(), self.cache_misses.get())
+    }
+
     /// Evaluate `formula` against the table.
     pub fn eval(&self, formula: &Formula) -> Result<Denotation> {
         self.eval_depth(formula, 0)
+    }
+
+    /// Whether a formula's denotation is worth memoizing: composite and
+    /// (potentially) record-denoting. Atomic formulas are cheaper to
+    /// re-evaluate than to look up.
+    fn cacheable(formula: &Formula) -> bool {
+        matches!(
+            formula,
+            Formula::Join { .. }
+                | Formula::CompareJoin { .. }
+                | Formula::Prev(_)
+                | Formula::Next(_)
+                | Formula::Intersect(_, _)
+                | Formula::Union(_, _)
+                | Formula::SuperlativeRecords { .. }
+                | Formula::RecordIndexSuperlative { .. }
+        )
     }
 
     fn eval_depth(&self, formula: &Formula, depth: usize) -> Result<Denotation> {
         if depth > MAX_EVAL_DEPTH {
             return Err(DcsError::DepthExceeded(MAX_EVAL_DEPTH));
         }
+        let cacheable = Self::cacheable(formula);
+        if cacheable {
+            if let Some((records, formula_depth)) = self.cache.borrow().get(formula) {
+                // A fresh evaluation of this subformula would recurse to
+                // `depth + formula_depth - 1`; replicate the depth guard it
+                // would have hit so cached and uncached evaluation (and the
+                // scan reference) report identical errors.
+                if depth + formula_depth - 1 > MAX_EVAL_DEPTH {
+                    return Err(DcsError::DepthExceeded(MAX_EVAL_DEPTH));
+                }
+                self.cache_hits.set(self.cache_hits.get() + 1);
+                return Ok(Denotation::Records(records.clone()));
+            }
+        }
+        let result = self.eval_node(formula, depth)?;
+        if cacheable {
+            self.cache_misses.set(self.cache_misses.get() + 1);
+            if let Denotation::Records(records) = &result {
+                let mut cache = self.cache.borrow_mut();
+                if cache.len() < DENOTATION_CACHE_CAP {
+                    cache.insert(formula.clone(), (records.clone(), formula.depth()));
+                }
+            }
+        }
+        Ok(result)
+    }
+
+    fn eval_node(&self, formula: &Formula, depth: usize) -> Result<Denotation> {
         match formula {
             Formula::Const(value) => Ok(self.eval_const(value)),
             Formula::AllRecords => Ok(Denotation::Records(self.table.record_indices().collect())),
@@ -174,17 +299,12 @@ impl<'a> Evaluator<'a> {
                     expected: "a single numeric value",
                     got: value.len(),
                 })?;
-                let mut records = BTreeSet::new();
-                for record in self.table.record_indices() {
-                    if let Some(cell) = self.table.value_at(record, column_idx) {
-                        if let Some(number) = cell.as_number() {
-                            if op.compare(number, threshold) {
-                                records.insert(record);
-                            }
-                        }
-                    }
-                }
-                Ok(Denotation::Records(records))
+                Ok(Denotation::Records(compare_records(
+                    self.index(),
+                    column_idx,
+                    *op,
+                    threshold,
+                )))
             }
             Formula::ColumnValues { column, records } => {
                 let column_idx = self.column(column)?;
@@ -272,7 +392,7 @@ impl<'a> Evaluator<'a> {
     }
 
     fn column(&self, name: &str) -> Result<usize> {
-        self.table
+        self.index()
             .column_index(name)
             .ok_or_else(|| DcsError::UnknownColumn(name.to_string()))
     }
@@ -313,14 +433,19 @@ impl<'a> Evaluator<'a> {
 
     fn project_column(&self, column: usize, records: &BTreeSet<RecordIdx>) -> Denotation {
         let mut out: Vec<TracedValue> = Vec::new();
+        // First-encounter position of each distinct value — O(1) per record
+        // versus the former linear scan (equivalent up to `Value`'s
+        // documented hash/equality boundary caveat).
+        let mut position: HashMap<Value, usize> = HashMap::new();
         for &record in records {
             let Some(value) = self.table.value_at(record, column) else {
                 continue;
             };
             let cell = CellRef::new(record, column);
-            if let Some(existing) = out.iter_mut().find(|tv| &tv.value == value) {
-                existing.cells.push(cell);
+            if let Some(&at) = position.get(value) {
+                out[at].cells.push(cell);
             } else {
+                position.insert(value.clone(), out.len());
                 out.push(TracedValue {
                     value: value.clone(),
                     cells: vec![cell],
@@ -366,9 +491,11 @@ impl<'a> Evaluator<'a> {
                 Ok(Denotation::Records(a.intersection(&b).copied().collect()))
             }
             (Denotation::Values(a), Denotation::Values(b)) => {
+                let present: std::collections::HashSet<&Value> =
+                    b.iter().map(|tv| &tv.value).collect();
                 let out = a
                     .into_iter()
-                    .filter(|tv| b.iter().any(|other| other.value == tv.value))
+                    .filter(|tv| present.contains(&tv.value))
                     .collect();
                 Ok(Denotation::Values(out))
             }
@@ -390,12 +517,19 @@ impl<'a> Evaluator<'a> {
                 Ok(Denotation::Records(a.union(&b).copied().collect()))
             }
             (Denotation::Values(mut a), Denotation::Values(b)) => {
+                let mut position: HashMap<Value, usize> = a
+                    .iter()
+                    .enumerate()
+                    .map(|(i, tv)| (tv.value.clone(), i))
+                    .collect();
                 for tv in b {
-                    if let Some(existing) = a.iter_mut().find(|e| e.value == tv.value) {
+                    if let Some(&at) = position.get(&tv.value) {
+                        let existing = &mut a[at];
                         existing.cells.extend(tv.cells);
                         existing.cells.sort_unstable();
                         existing.cells.dedup();
                     } else {
+                        position.insert(tv.value.clone(), a.len());
                         a.push(tv);
                     }
                 }
@@ -464,12 +598,31 @@ impl<'a> Evaluator<'a> {
         Ok(Denotation::Number(result))
     }
 
-    fn superlative_records(
+    /// The best (Ord-extreme) value of `column` among `records`. Walks the
+    /// index's value-sorted permutation from the appropriate end when the
+    /// record set is dense in the table (first member hit = extreme value);
+    /// falls back to the direct scan of the record set when it is sparse or
+    /// when the column has no consistent value order (NaN cells).
+    fn superlative_best(
         &self,
         op: SuperlativeOp,
         records: &BTreeSet<RecordIdx>,
         column: usize,
-    ) -> BTreeSet<RecordIdx> {
+    ) -> Option<Value> {
+        if records.is_empty() {
+            return None;
+        }
+        if let Some(order) = self.index().value_order(self.table, column) {
+            // Expected walk length is |table| / |records|; only walk when the
+            // set is dense enough that the walk beats the O(|records|) scan.
+            if records.len() * 4 >= order.len() {
+                let found = match op {
+                    SuperlativeOp::Argmax => order.iter().rev().find(|r| records.contains(r)),
+                    SuperlativeOp::Argmin => order.iter().find(|r| records.contains(r)),
+                };
+                return found.and_then(|&r| self.table.value_at(r, column).cloned());
+            }
+        }
         let mut best: Option<Value> = None;
         for &record in records {
             let Some(value) = self.table.value_at(record, column) else {
@@ -484,7 +637,16 @@ impl<'a> Evaluator<'a> {
                 best = Some(value.clone());
             }
         }
-        let Some(best) = best else {
+        best
+    }
+
+    fn superlative_records(
+        &self,
+        op: SuperlativeOp,
+        records: &BTreeSet<RecordIdx>,
+        column: usize,
+    ) -> BTreeSet<RecordIdx> {
+        let Some(best) = self.superlative_best(op, records, column) else {
             return BTreeSet::new();
         };
         records
@@ -562,25 +724,13 @@ impl<'a> Evaluator<'a> {
         rows.sort_unstable();
         rows.dedup();
         // Best key among those rows.
-        let mut best: Option<Value> = None;
-        for &record in &rows {
-            let Some(key) = self.table.value_at(record, key_column) else {
-                continue;
-            };
-            let better = match (&best, op) {
-                (None, _) => true,
-                (Some(current), SuperlativeOp::Argmax) => key > current,
-                (Some(current), SuperlativeOp::Argmin) => key < current,
-            };
-            if better {
-                best = Some(key.clone());
-            }
-        }
-        let Some(best) = best else {
+        let row_set: BTreeSet<RecordIdx> = rows.iter().copied().collect();
+        let Some(best) = self.superlative_best(op, &row_set, key_column) else {
             return Ok(Denotation::Values(Vec::new()));
         };
         // Return the candidate values of rows achieving the best key.
         let mut out: Vec<TracedValue> = Vec::new();
+        let mut position: HashMap<Value, usize> = HashMap::new();
         for &record in &rows {
             if self.table.value_at(record, key_column) != Some(&best) {
                 continue;
@@ -589,9 +739,10 @@ impl<'a> Evaluator<'a> {
                 continue;
             };
             let cell = CellRef::new(record, value_column);
-            if let Some(existing) = out.iter_mut().find(|tv| &tv.value == value) {
-                existing.cells.push(cell);
+            if let Some(&at) = position.get(value) {
+                out[at].cells.push(cell);
             } else {
+                position.insert(value.clone(), out.len());
                 out.push(TracedValue {
                     value: value.clone(),
                     cells: vec![cell],
@@ -976,5 +1127,103 @@ mod tests {
             q = Formula::Prev(Box::new(q));
         }
         assert!(matches!(eval(&q, &table), Err(DcsError::DepthExceeded(_))));
+    }
+
+    #[test]
+    fn cache_hit_does_not_mask_depth_guard() {
+        // The shallow branch caches B; the deep branch reaches B at a depth
+        // where a fresh recursion would exceed MAX_EVAL_DEPTH. The cache hit
+        // must report the same DepthExceeded the scan reference does.
+        let table = samples::olympics();
+        let mut b = Formula::join_str("Country", "Greece");
+        for _ in 0..10 {
+            b = Formula::Prev(Box::new(b));
+        }
+        let mut deep = b.clone();
+        for _ in 0..(MAX_EVAL_DEPTH - 4) {
+            deep = Formula::Prev(Box::new(deep));
+        }
+        let q = Formula::Intersect(Box::new(b), Box::new(deep));
+        let session = Evaluator::new(&table);
+        assert_eq!(
+            session.eval(&q),
+            crate::reference::eval_reference(&q, &table)
+        );
+        assert!(matches!(session.eval(&q), Err(DcsError::DepthExceeded(_))));
+    }
+
+    #[test]
+    fn session_caches_shared_record_bases() {
+        let table = samples::olympics();
+        let evaluator = Evaluator::new(&table);
+        let base = Formula::join_str("Country", "Greece");
+        let first = evaluator
+            .eval(&Formula::column_values("Year", base.clone()))
+            .unwrap();
+        let (hits, misses) = evaluator.cache_stats();
+        assert_eq!((hits, misses), (0, 1));
+        // Re-using the base inside a different composite hits the cache.
+        let second = evaluator
+            .eval(&Formula::aggregate(
+                AggregateOp::Max,
+                Formula::column_values("Year", base.clone()),
+            ))
+            .unwrap();
+        let (hits, _) = evaluator.cache_stats();
+        assert_eq!(hits, 1);
+        assert_eq!(first.values(), {
+            let Denotation::Number(n) = second else {
+                panic!("expected a number")
+            };
+            assert_eq!(n, 2004.0);
+            evaluator
+                .eval(&Formula::column_values("Year", base))
+                .unwrap()
+                .values()
+        });
+    }
+
+    #[test]
+    fn cached_and_fresh_sessions_agree() {
+        let table = samples::shipwrecks();
+        let session = Evaluator::new(&table);
+        let q = Formula::MostCommonValue {
+            op: SuperlativeOp::Argmax,
+            values: Box::new(Formula::column_values("Lake", Formula::AllRecords)),
+            column: "Lake".into(),
+        };
+        let warm = session.eval(&q).unwrap();
+        let warm_again = session.eval(&q).unwrap();
+        assert_eq!(warm, warm_again);
+        assert_eq!(warm, eval(&q, &table).unwrap());
+    }
+
+    #[test]
+    fn compare_records_matches_compare_semantics() {
+        let table = samples::squad();
+        let evaluator = Evaluator::new(&table);
+        let games = table.column_index("Games").unwrap();
+        for op in [
+            CompareOp::Lt,
+            CompareOp::Leq,
+            CompareOp::Gt,
+            CompareOp::Geq,
+            CompareOp::Neq,
+        ] {
+            for threshold in [-1.0, 0.0, 4.0, 6.0, 17.0, f64::NAN] {
+                let indexed = compare_records(evaluator.index(), games, op, threshold);
+                let scanned: BTreeSet<RecordIdx> = table
+                    .record_indices()
+                    .filter(|&r| {
+                        table
+                            .value_at(r, games)
+                            .and_then(|v| v.as_number())
+                            .map(|n| op.compare(n, threshold))
+                            .unwrap_or(false)
+                    })
+                    .collect();
+                assert_eq!(indexed, scanned, "op {op:?} threshold {threshold}");
+            }
+        }
     }
 }

@@ -19,8 +19,12 @@
 //! * [`parse_formula`] — a concrete textual syntax (`R[Year].Country.Greece`,
 //!   `max(...)`, `sub(...)`, …) with a round-trippable [`Display`]
 //!   implementation,
-//! * [`eval`] — the execution engine producing [`Denotation`]s with
-//!   cell-level tracking (the raw material of the provenance model),
+//! * [`eval`] — the index-backed execution engine producing [`Denotation`]s
+//!   with cell-level tracking (the raw material of the provenance model);
+//!   [`Evaluator`] is a stateful per-table session that memoizes
+//!   record-denoting subformulas across a candidate pool,
+//! * [`reference`] — the scan-based reference semantics the indexed engine
+//!   is differentially tested against,
 //! * [`typecheck`] — static classification of formulas into record-denoting /
 //!   value-denoting / numeric, used by the semantic parser's candidate
 //!   generation,
@@ -34,13 +38,15 @@ pub mod ast;
 pub mod error;
 pub mod eval;
 pub mod parse;
+pub mod reference;
 pub mod typecheck;
 
 pub use answer::Answer;
 pub use ast::{AggregateOp, CompareOp, Formula, SuperlativeOp};
 pub use error::DcsError;
-pub use eval::{eval, Denotation, Evaluator, TracedValue};
+pub use eval::{compare_records, eval, Denotation, Evaluator, TracedValue};
 pub use parse::parse_formula;
+pub use reference::eval_reference;
 pub use typecheck::{typecheck, FormulaType};
 
 /// Result alias used across the crate.

@@ -1,0 +1,266 @@
+//! Differential suite: the indexed evaluator must produce denotations —
+//! including provenance cell traces — identical to the scan-based reference
+//! semantics (`wtq_dcs::reference`) on random tables and random formulas,
+//! and a warm evaluator session (denotation cache populated) must agree with
+//! a cold one.
+
+use proptest::prelude::*;
+use wtq_dcs::{eval_reference, AggregateOp, CompareOp, Evaluator, Formula, SuperlativeOp};
+use wtq_table::{Table, TableBuilder, Value};
+
+/// Cell text drawn from a small vocabulary (so joins hit repeated values)
+/// plus numbers, dates and arbitrary short strings.
+fn cell_text() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just("Greece".to_string()),
+        Just("Athens".to_string()),
+        Just("France".to_string()),
+        Just("ab cd".to_string()),
+        Just(String::new()),
+        (0i32..40).prop_map(|n| n.to_string()),
+        (0i32..40).prop_map(|n| n.to_string()),
+        (1900i32..2020).prop_map(|y| format!("June {}, {}", (y % 27) + 1, y)),
+        proptest::string::string_regex("[a-z]{0,6}")
+            .expect("valid regex")
+            .prop_map(|s| s),
+        (0u32..4000).prop_map(|n| format!("{}.{:02}", n / 100, n % 100)),
+    ]
+}
+
+/// Random tables: 1–5 columns, 0–16 rows, mixed cell types.
+fn table_strategy() -> impl Strategy<Value = Table> {
+    (1usize..=5, 0usize..=16).prop_flat_map(|(cols, rows)| {
+        let header: Vec<String> = (0..cols).map(|i| format!("Col{i}")).collect();
+        proptest::collection::vec(proptest::collection::vec(cell_text(), cols), rows).prop_map(
+            move |rows| {
+                let mut builder = TableBuilder::new("diff").columns(header.clone());
+                for row in &rows {
+                    builder = builder.row_text(row).expect("arity matches");
+                }
+                builder.build().expect("non-empty header")
+            },
+        )
+    })
+}
+
+/// A column name valid for `num_columns`-wide tables, plus an occasionally
+/// unknown one (both engines must report the same error).
+fn column_name(num_columns: usize) -> impl Strategy<Value = String> {
+    prop_oneof![
+        (0..num_columns).prop_map(|i| format!("Col{i}")),
+        (0..num_columns).prop_map(|i| format!("Col{i}")),
+        (0..num_columns).prop_map(|i| format!("Col{i}")),
+        Just("Missing".to_string()),
+    ]
+}
+
+fn constant() -> impl Strategy<Value = Formula> {
+    prop_oneof![
+        cell_text().prop_map(|text| Formula::Const(Value::parse(&text))),
+        (0i32..40).prop_map(|n| Formula::Const(Value::num(f64::from(n)))),
+    ]
+}
+
+/// Record-denoting formulas over `cols`-wide tables.
+fn records_formula(cols: usize) -> impl Strategy<Value = Formula> {
+    let leaf = prop_oneof![
+        Just(Formula::AllRecords),
+        (column_name(cols), constant()).prop_map(|(column, values)| Formula::Join {
+            column,
+            values: Box::new(values)
+        }),
+        (column_name(cols), 0u8..5, -5f64..45f64).prop_map(|(column, op, threshold)| {
+            let op = [
+                CompareOp::Lt,
+                CompareOp::Leq,
+                CompareOp::Gt,
+                CompareOp::Geq,
+                CompareOp::Neq,
+            ][op as usize];
+            Formula::CompareJoin {
+                column,
+                op,
+                value: Box::new(Formula::Const(Value::Num(threshold))),
+            }
+        }),
+    ];
+    leaf.prop_recursive(3, 24, 4, move |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|r| Formula::Prev(Box::new(r))),
+            inner.clone().prop_map(|r| Formula::Next(Box::new(r))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Formula::Intersect(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Formula::Union(Box::new(a), Box::new(b))),
+            (inner.clone(), column_name(cols), any::<bool>()).prop_map(|(r, column, max)| {
+                Formula::SuperlativeRecords {
+                    op: if max {
+                        SuperlativeOp::Argmax
+                    } else {
+                        SuperlativeOp::Argmin
+                    },
+                    records: Box::new(r),
+                    column,
+                }
+            }),
+            (inner, any::<bool>()).prop_map(|(r, max)| Formula::RecordIndexSuperlative {
+                op: if max {
+                    SuperlativeOp::Argmax
+                } else {
+                    SuperlativeOp::Argmin
+                },
+                records: Box::new(r),
+            }),
+        ]
+    })
+}
+
+/// Any well-formed formula (records, values or numbers) over `cols`-wide
+/// tables, including the value-level operators.
+fn any_formula(cols: usize) -> impl Strategy<Value = Formula> {
+    records_formula(cols).prop_flat_map(move |records| {
+        let projected = records.clone();
+        let counted = records.clone();
+        let compared = records.clone();
+        prop_oneof![
+            Just(records),
+            column_name(cols).prop_map(move |column| Formula::ColumnValues {
+                column,
+                records: Box::new(projected.clone()),
+            }),
+            (column_name(cols), 0u8..5).prop_map(move |(column, op)| {
+                let op = [
+                    AggregateOp::Count,
+                    AggregateOp::Max,
+                    AggregateOp::Min,
+                    AggregateOp::Sum,
+                    AggregateOp::Avg,
+                ][op as usize];
+                Formula::Aggregate {
+                    op,
+                    sub: Box::new(Formula::ColumnValues {
+                        column,
+                        records: Box::new(counted.clone()),
+                    }),
+                }
+            }),
+            (column_name(cols), column_name(cols), any::<bool>()).prop_map(
+                move |(column, values_col, max)| {
+                    let op = if max {
+                        SuperlativeOp::Argmax
+                    } else {
+                        SuperlativeOp::Argmin
+                    };
+                    Formula::MostCommonValue {
+                        op,
+                        values: Box::new(Formula::ColumnValues {
+                            column: values_col,
+                            records: Box::new(Formula::AllRecords),
+                        }),
+                        column,
+                    }
+                }
+            ),
+            (
+                column_name(cols),
+                column_name(cols),
+                constant(),
+                any::<bool>()
+            )
+                .prop_map(move |(key_column, value_column, value, max)| {
+                    Formula::CompareValues {
+                        op: if max {
+                            SuperlativeOp::Argmax
+                        } else {
+                            SuperlativeOp::Argmin
+                        },
+                        values: Box::new(Formula::Union(
+                            Box::new(value),
+                            Box::new(Formula::ColumnValues {
+                                column: value_column.clone(),
+                                records: Box::new(compared.clone()),
+                            }),
+                        )),
+                        key_column,
+                        value_column,
+                    }
+                }),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Indexed execution equals the scan reference: same denotations (values
+    /// in the same order with the same cell traces, identical record sets,
+    /// identical numbers) and same errors.
+    #[test]
+    fn indexed_eval_matches_scan_reference(
+        (table, formula) in table_strategy()
+            .prop_flat_map(|t| {
+                let cols = t.num_columns();
+                (Just(t), any_formula(cols))
+            })
+    ) {
+        let session = Evaluator::new(&table);
+        prop_assert_eq!(session.eval(&formula), eval_reference(&formula, &table));
+    }
+
+    /// A warm session (memoized record denotations) agrees with the scan
+    /// reference on every formula of a pool sharing subformulas — the
+    /// cross-candidate cache must never change results.
+    #[test]
+    fn warm_session_matches_scan_reference(
+        (table, base) in table_strategy()
+            .prop_flat_map(|t| {
+                let cols = t.num_columns();
+                (Just(t), records_formula(cols))
+            })
+    ) {
+        let session = Evaluator::new(&table);
+        let pool: Vec<Formula> = (0..table.num_columns())
+            .flat_map(|c| {
+                let projection = Formula::ColumnValues {
+                    column: format!("Col{c}"),
+                    records: Box::new(base.clone()),
+                };
+                vec![
+                    projection.clone(),
+                    Formula::aggregate(AggregateOp::Count, base.clone()),
+                    Formula::aggregate(AggregateOp::Max, projection),
+                    Formula::SuperlativeRecords {
+                        op: SuperlativeOp::Argmax,
+                        records: Box::new(base.clone()),
+                        column: format!("Col{c}"),
+                    },
+                ]
+            })
+            .collect();
+        // Evaluate the pool twice: second pass is fully cache-backed.
+        for formula in pool.iter().chain(pool.iter()) {
+            prop_assert_eq!(session.eval(formula), eval_reference(formula, &table));
+        }
+    }
+
+    /// Traced provenance cells always point at in-bounds cells that really
+    /// hold the traced value.
+    #[test]
+    fn traces_point_at_matching_cells(
+        (table, formula) in table_strategy()
+            .prop_flat_map(|t| {
+                let cols = t.num_columns();
+                (Just(t), any_formula(cols))
+            })
+    ) {
+        let session = Evaluator::new(&table);
+        if let Ok(wtq_dcs::Denotation::Values(values)) = session.eval(&formula) {
+            for tv in &values {
+                for cell in &tv.cells {
+                    let held = table.value_at(cell.record, cell.column);
+                    prop_assert_eq!(held, Some(&tv.value));
+                }
+            }
+        }
+    }
+}

@@ -12,7 +12,7 @@
 use std::collections::HashSet;
 
 use wtq_dcs::{typecheck, AggregateOp, Answer, CompareOp, Evaluator, Formula, SuperlativeOp};
-use wtq_table::{ColumnType, Table};
+use wtq_table::Table;
 
 use crate::lexicon::QuestionAnalysis;
 
@@ -47,20 +47,31 @@ pub struct RawCandidate {
     pub answer: Answer,
 }
 
-/// Generate candidate formulas for a question over a table.
+/// Generate candidate formulas for a question over a table. Builds a fresh
+/// [`Evaluator`] session; callers running many questions (or holding a
+/// shared table index) should use [`generate_candidates_with`].
 pub fn generate_candidates(
     analysis: &QuestionAnalysis,
     table: &Table,
     config: &CandidateConfig,
 ) -> Vec<RawCandidate> {
-    let evaluator = Evaluator::new(table);
+    generate_candidates_with(analysis, &Evaluator::new(table), config)
+}
+
+/// Generate candidate formulas using an existing evaluator session. The
+/// session's denotation cache persists across the pool, so record bases
+/// shared by many candidates (joins, comparisons, superlatives) execute
+/// once; column-type metadata comes from the session's [`wtq_table::TableIndex`]
+/// instead of being recomputed per question.
+pub fn generate_candidates_with(
+    analysis: &QuestionAnalysis,
+    evaluator: &Evaluator<'_>,
+    config: &CandidateConfig,
+) -> Vec<RawCandidate> {
+    let table = evaluator.table();
     let links = analysis.top_value_links(config.max_value_links);
-    let numeric_columns: Vec<usize> = (0..table.num_columns())
-        .filter(|&c| matches!(table.column_type(c), ColumnType::Number | ColumnType::Date))
-        .collect();
-    let text_columns: Vec<usize> = (0..table.num_columns())
-        .filter(|&c| matches!(table.column_type(c), ColumnType::Text | ColumnType::Mixed))
-        .collect();
+    let numeric_columns = evaluator.index().numeric_columns();
+    let text_columns = evaluator.index().text_columns();
     let column_name = |c: usize| table.column_name(c).to_string();
 
     // ----- Record-denoting bases -------------------------------------------------
@@ -102,7 +113,7 @@ pub fn generate_candidates(
     }
     // Comparison joins from literal numbers.
     for &number in analysis.numbers.iter().take(3) {
-        for &column in &numeric_columns {
+        for &column in numeric_columns {
             for op in [CompareOp::Gt, CompareOp::Lt, CompareOp::Geq, CompareOp::Leq] {
                 record_bases.push(Formula::CompareJoin {
                     column: column_name(column),
@@ -129,7 +140,7 @@ pub fn generate_candidates(
         .cloned()
         .collect();
     for base in &superlative_sources {
-        for &column in &numeric_columns {
+        for &column in numeric_columns {
             for op in [SuperlativeOp::Argmax, SuperlativeOp::Argmin] {
                 record_bases.push(Formula::SuperlativeRecords {
                     op,
@@ -213,7 +224,7 @@ pub fn generate_candidates(
     }
 
     // Most-common values per text column.
-    for &column in &text_columns {
+    for &column in text_columns {
         for op in [SuperlativeOp::Argmax, SuperlativeOp::Argmin] {
             push(
                 Formula::MostCommonValue {
@@ -255,7 +266,7 @@ pub fn generate_candidates(
                 &mut out,
                 &mut seen,
             );
-            for &num in &numeric_columns {
+            for &num in numeric_columns {
                 let num_name = column_name(num);
                 push(
                     Formula::Sub(

@@ -90,9 +90,17 @@ const STOP_WORDS: &[&str] = &[
 ];
 
 /// Analyze a question against a table: tokenization, entity links, column
-/// links and numbers.
+/// links and numbers. Builds a fresh [`KnowledgeBase`] (and so a fresh table
+/// index); callers that already hold one should use
+/// [`analyze_question_with`] to share it.
 pub fn analyze_question(question: &str, table: &Table) -> QuestionAnalysis {
-    let kb = KnowledgeBase::new(table);
+    analyze_question_with(question, &KnowledgeBase::new(table))
+}
+
+/// Analyze a question against an existing knowledge-base view, reusing its
+/// shared table index instead of rebuilding it per question.
+pub fn analyze_question_with(question: &str, kb: &KnowledgeBase<'_>) -> QuestionAnalysis {
+    let table = kb.table();
     let tokens = tokenize(question);
     let lowered = question.to_lowercase();
 
@@ -147,7 +155,11 @@ pub fn analyze_question(question: &str, table: &Table) -> QuestionAnalysis {
 
     // Partial links: an unconsumed content token that appears as a word
     // inside a cell value still links to it ("Erie" → "Lake Erie", matching
-    // how the paper's Figure 9 question refers to the lake).
+    // how the paper's Figure 9 question refers to the lake). The distinct
+    // values are computed once per column, not once per token.
+    let distinct_per_column: Vec<Vec<Value>> = (0..table.num_columns())
+        .map(|column| table.distinct_column_values(column))
+        .collect();
     for (i, token) in tokens.iter().enumerate() {
         if consumed.contains(&i) || token.len() < 3 || STOP_WORDS.contains(&token.as_str()) {
             continue;
@@ -155,8 +167,8 @@ pub fn analyze_question(question: &str, table: &Table) -> QuestionAnalysis {
         if token.parse::<f64>().is_ok() {
             continue;
         }
-        for column in 0..table.num_columns() {
-            for value in table.distinct_column_values(column) {
+        for (column, distinct) in distinct_per_column.iter().enumerate() {
+            for value in distinct {
                 let text = value.to_string().to_lowercase();
                 let is_word_inside = text != *token
                     && text
@@ -165,11 +177,11 @@ pub fn analyze_question(question: &str, table: &Table) -> QuestionAnalysis {
                 if is_word_inside
                     && !value_links
                         .iter()
-                        .any(|l| l.column == column && l.value == value)
+                        .any(|l| l.column == column && l.value == *value)
                 {
                     value_links.push(ValueLink {
                         column,
-                        value,
+                        value: value.clone(),
                         phrase: token.clone(),
                     });
                 }

@@ -6,15 +6,18 @@
 //! top-k are shown to the user with their explanations (§6.3).
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 
-use wtq_dcs::{Answer, Formula};
-use wtq_table::Table;
+use wtq_dcs::{Answer, Evaluator, Formula};
+use wtq_table::{KnowledgeBase, Table, TableIndex};
 
-use crate::candidates::{generate_candidates, CandidateConfig, RawCandidate};
+use crate::candidates::{
+    generate_candidates, generate_candidates_with, CandidateConfig, RawCandidate,
+};
 use crate::features::{dot, extract_features, FeatureVector};
-use crate::lexicon::{analyze_question, QuestionAnalysis};
+use crate::lexicon::{analyze_question, analyze_question_with, QuestionAnalysis};
 
 /// A scored candidate query.
 #[derive(Debug, Clone)]
@@ -235,15 +238,44 @@ impl SemanticParser {
     }
 
     /// Parse a question into ranked candidates `Z_x`, highest score first.
+    ///
+    /// One [`TableIndex`] is built per call and shared between entity
+    /// linking and candidate execution; the execution session's denotation
+    /// cache is shared across the whole candidate pool.
     pub fn parse(&self, question: &str, table: &Table) -> Vec<Candidate> {
-        let analysis = self.analyze(question, table);
-        self.parse_analyzed(&analysis, table)
+        self.parse_with_index(question, table, Arc::new(TableIndex::new(table)))
+    }
+
+    /// Like [`SemanticParser::parse`] but sharing an already-built index of
+    /// `table`, so loops parsing many questions over the same tables (train,
+    /// deploy) do not rebuild indexes — pair with [`wtq_table::IndexCache`].
+    pub fn parse_with_index(
+        &self,
+        question: &str,
+        table: &Table,
+        index: Arc<TableIndex>,
+    ) -> Vec<Candidate> {
+        let kb = KnowledgeBase::with_index(table, index.clone());
+        let analysis = analyze_question_with(question, &kb);
+        let evaluator = Evaluator::with_index(table, index);
+        let raw = generate_candidates_with(&analysis, &evaluator, &self.config);
+        self.rank(raw, &analysis, table)
     }
 
     /// Parse from an existing analysis (avoids re-linking when the caller
     /// already has one).
     pub fn parse_analyzed(&self, analysis: &QuestionAnalysis, table: &Table) -> Vec<Candidate> {
         let raw = generate_candidates(analysis, table, &self.config);
+        self.rank(raw, analysis, table)
+    }
+
+    /// Score and rank raw candidates with the log-linear model.
+    fn rank(
+        &self,
+        raw: Vec<RawCandidate>,
+        analysis: &QuestionAnalysis,
+        table: &Table,
+    ) -> Vec<Candidate> {
         let mut candidates: Vec<Candidate> = raw
             .into_iter()
             .map(|RawCandidate { formula, answer }| {

@@ -17,7 +17,7 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
 use wtq_dcs::{Answer, Formula};
-use wtq_table::Catalog;
+use wtq_table::{Catalog, IndexCache};
 
 use crate::model::{formulas_equivalent, softmax, Candidate, SemanticParser};
 
@@ -106,6 +106,8 @@ pub struct ParserEvaluation {
 pub struct Trainer {
     /// Accumulated squared gradients per feature.
     adagrad: BTreeMap<String, f64>,
+    /// Shared table indexes, built once per table across epochs.
+    indexes: IndexCache,
     config: TrainConfig,
 }
 
@@ -114,6 +116,7 @@ impl Trainer {
     pub fn new(config: TrainConfig) -> Self {
         Trainer {
             adagrad: BTreeMap::new(),
+            indexes: IndexCache::new(),
             config,
         }
     }
@@ -150,7 +153,8 @@ impl Trainer {
         let Some(table) = catalog.get(&example.table) else {
             return false;
         };
-        let candidates = parser.parse(&example.question, table);
+        let index = self.indexes.get_or_build(table);
+        let candidates = parser.parse_with_index(&example.question, table, index);
         if candidates.is_empty() {
             return false;
         }
@@ -236,12 +240,14 @@ pub fn evaluate<'a>(
 ) -> ParserEvaluation {
     let mut evaluation = ParserEvaluation::default();
     let mut reciprocal_ranks = 0.0;
+    let mut indexes = IndexCache::new();
     for (example, gold) in examples {
         let Some(table) = catalog.get(&example.table) else {
             continue;
         };
         evaluation.examples += 1;
-        let candidates = parser.parse(&example.question, table);
+        let index = indexes.get_or_build(table);
+        let candidates = parser.parse_with_index(&example.question, table, index);
         let correct_rank = candidates
             .iter()
             .position(|candidate| formulas_equivalent(&candidate.formula, &gold));

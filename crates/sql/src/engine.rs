@@ -6,11 +6,36 @@
 //! translated SQL must compute the same answer as the lambda DCS evaluator,
 //! which is exactly how the paper argues its provenance model is aligned with
 //! relational provenance work.
+//!
+//! Execution is **index-backed**: [`execute`] builds (or
+//! [`execute_with_index`] borrows) a [`TableIndex`] and
+//!
+//! * plans indexable `WHERE` clauses (`Column = v`, numeric comparisons
+//!   against literals, `IN` lists, and `AND`/`OR` combinations of those)
+//!   directly against the inverted / sorted-numeric indexes instead of
+//!   evaluating the predicate per row,
+//! * resolves column names through the index's O(1) name map instead of a
+//!   linear scan per row,
+//! * deduplicates `UNION` / `DISTINCT` results with a hashed row-key set
+//!   instead of the former O(n²) `Vec::contains`.
+//!
+//! Both paths additionally memoize **subquery results** within one
+//! execution: queries are pure over an immutable table, so a scalar or `IN`
+//! subquery evaluated once per outer row (the translation's favourite shape,
+//! `WHERE Index IN (SELECT … WHERE C = (SELECT MAX(C) …))`) is executed
+//! once instead of O(rows) times, turning the nested-subquery row loop from
+//! O(n³) into O(n).
+//!
+//! [`execute_scan`] runs the same queries with no index (per-row linear
+//! column resolution, no planned filters) — the pre-index scan semantics —
+//! and is kept as the reference implementation for the differential suite.
 
-use std::collections::BTreeMap;
+use std::cell::RefCell;
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::rc::Rc;
 
-use wtq_dcs::AggregateOp;
-use wtq_table::{RecordIdx, Table, Value};
+use wtq_dcs::{compare_records, AggregateOp, CompareOp};
+use wtq_table::{RecordIdx, Table, TableIndex, Value};
 
 use crate::ast::{ArithOp, SqlExpr, SqlOrder, SqlQuery, SqlSelect};
 use crate::error::SqlError;
@@ -19,26 +44,133 @@ use crate::Result;
 /// Query output: a list of rows, each a list of values.
 pub type SqlResult = Vec<Vec<Value>>;
 
-/// Execute `query` against `table`.
+/// Memoized subquery state, keyed by the subquery node's address (stable for
+/// the duration of one `execute` call over the borrowed query AST): the
+/// result rows, plus a lazily-built membership set over the first column for
+/// `IN (subquery)` tests (turning the per-row needle search from O(result)
+/// into O(1)).
+#[derive(Default)]
+struct SubqueryCache {
+    results: RefCell<HashMap<usize, Rc<SqlResult>>>,
+    membership: RefCell<HashMap<usize, Rc<HashSet<Value>>>>,
+}
+
+/// Execution context: the table, (optionally) its columnar index, and the
+/// per-execution subquery cache. With no index the engine degrades to the
+/// original full-scan behavior.
+#[derive(Clone, Copy)]
+struct Ctx<'a> {
+    table: &'a Table,
+    index: Option<&'a TableIndex>,
+    subqueries: &'a SubqueryCache,
+}
+
+impl<'a> Ctx<'a> {
+    fn column_index(&self, name: &str) -> Option<usize> {
+        match self.index {
+            Some(index) => index.column_index(name),
+            None => self.table.column_index(name),
+        }
+    }
+}
+
+/// Execute a subquery through the per-execution cache. Sound because the
+/// table is immutable and queries are pure; errors are not cached (they
+/// recur identically on re-evaluation).
+fn execute_subquery(query: &SqlQuery, ctx: Ctx<'_>) -> Result<Rc<SqlResult>> {
+    let key = query as *const SqlQuery as usize;
+    if let Some(rows) = ctx.subqueries.results.borrow().get(&key) {
+        return Ok(rows.clone());
+    }
+    let rows = Rc::new(execute_query(query, ctx)?);
+    ctx.subqueries
+        .results
+        .borrow_mut()
+        .insert(key, rows.clone());
+    Ok(rows)
+}
+
+/// First-column membership set of a subquery's result, memoized per
+/// execution. Matches `rows.iter().any(|row| row.first() == Some(&v))` up
+/// to `Value`'s documented hash/equality boundary caveat (numeric pairs
+/// straddling a rounding-grid edge within the equality tolerance).
+fn subquery_membership(query: &SqlQuery, ctx: Ctx<'_>) -> Result<Rc<HashSet<Value>>> {
+    let key = query as *const SqlQuery as usize;
+    if let Some(set) = ctx.subqueries.membership.borrow().get(&key) {
+        return Ok(set.clone());
+    }
+    let rows = execute_subquery(query, ctx)?;
+    let set: Rc<HashSet<Value>> =
+        Rc::new(rows.iter().filter_map(|row| row.first()).cloned().collect());
+    ctx.subqueries
+        .membership
+        .borrow_mut()
+        .insert(key, set.clone());
+    Ok(set)
+}
+
+/// Execute `query` against `table`, building the columnar index first. When
+/// running many queries over one table, build the index once and use
+/// [`execute_with_index`].
 pub fn execute(query: &SqlQuery, table: &Table) -> Result<SqlResult> {
+    let index = TableIndex::new(table);
+    execute_with_index(query, table, &index)
+}
+
+/// Execute `query` against `table` using an already-built index of the same
+/// table (no per-call index build).
+pub fn execute_with_index(
+    query: &SqlQuery,
+    table: &Table,
+    index: &TableIndex,
+) -> Result<SqlResult> {
+    let subqueries = SubqueryCache::default();
+    execute_query(
+        query,
+        Ctx {
+            table,
+            index: Some(index),
+            subqueries: &subqueries,
+        },
+    )
+}
+
+/// Execute `query` with the pre-index scan semantics (no index, per-row
+/// linear column resolution, unplanned filters; semantics identical). Kept
+/// as the reference path for differential testing and benchmarks.
+pub fn execute_scan(query: &SqlQuery, table: &Table) -> Result<SqlResult> {
+    let subqueries = SubqueryCache::default();
+    execute_query(
+        query,
+        Ctx {
+            table,
+            index: None,
+            subqueries: &subqueries,
+        },
+    )
+}
+
+fn execute_query(query: &SqlQuery, ctx: Ctx<'_>) -> Result<SqlResult> {
     match query {
-        SqlQuery::Select(select) => execute_select(select, table),
+        SqlQuery::Select(select) => execute_select(select, ctx),
         SqlQuery::Union(left, right) => {
-            // SQL UNION deduplicates across the whole result set.
+            // SQL UNION deduplicates across the whole result set; the hashed
+            // row-key set keeps first occurrences in order.
             let mut rows: SqlResult = Vec::new();
-            for row in execute(left, table)?
+            let mut seen: HashSet<Vec<Value>> = HashSet::new();
+            for row in execute_query(left, ctx)?
                 .into_iter()
-                .chain(execute(right, table)?)
+                .chain(execute_query(right, ctx)?)
             {
-                if !rows.contains(&row) {
+                if seen.insert(row.clone()) {
                     rows.push(row);
                 }
             }
             Ok(rows)
         }
         SqlQuery::ScalarDifference(left, right) => {
-            let left = scalar_number(&execute(left, table)?)?;
-            let right = scalar_number(&execute(right, table)?)?;
+            let left = scalar_number(&execute_query(left, ctx)?)?;
+            let right = scalar_number(&execute_query(right, ctx)?)?;
             Ok(vec![vec![Value::Num(left - right)]])
         }
     }
@@ -87,42 +219,186 @@ impl EvalValue {
     }
 }
 
-fn execute_select(select: &SqlSelect, table: &Table) -> Result<SqlResult> {
-    // 1. Filter.
-    let mut matching: Vec<RecordIdx> = Vec::new();
-    for record in table.record_indices() {
-        let keep = match &select.filter {
-            None => true,
-            Some(filter) => eval_row(filter, table, record)?.truthy(),
-        };
-        if keep {
-            matching.push(record);
-        }
+/// Swap a comparison's operand order: `lit op cell` ⇔ `cell (swap op) lit`.
+fn swap_compare(op: CompareOp) -> CompareOp {
+    match op {
+        CompareOp::Lt => CompareOp::Gt,
+        CompareOp::Leq => CompareOp::Geq,
+        CompareOp::Gt => CompareOp::Lt,
+        CompareOp::Geq => CompareOp::Leq,
+        CompareOp::Neq => CompareOp::Neq,
     }
+}
+
+/// Plan an indexable `WHERE` clause: returns the matching records (ascending)
+/// when the predicate is a combination of per-column value / range / scalar
+/// subquery tests the index can answer, `None` when the engine must fall
+/// back to a row scan.
+///
+/// Planned predicates either cannot error per row (all referenced columns
+/// exist, literals only) or error identically to the first row's evaluation
+/// (scalar subqueries; the planner is only consulted for non-empty tables),
+/// so taking the fast path never changes observable behavior.
+fn index_filter(
+    expr: &SqlExpr,
+    ctx: Ctx<'_>,
+    index: &TableIndex,
+) -> Option<Result<Vec<RecordIdx>>> {
+    match expr {
+        SqlExpr::Equals(a, b) => {
+            if let Some((column, literal)) = column_literal(a, b) {
+                let column = index.column_index(column)?;
+                return Some(Ok(index.records_with_value(column, literal).to_vec()));
+            }
+            // Column = (scalar subquery): evaluate the subquery once, then a
+            // point lookup. The per-row path evaluates the same subquery for
+            // every record, erroring on the first row if it is not 1×1 —
+            // matched here by erroring before any row is produced.
+            let (column, query) = match (a.as_ref(), b.as_ref()) {
+                (SqlExpr::Column(name), SqlExpr::Scalar(query))
+                | (SqlExpr::Scalar(query), SqlExpr::Column(name)) => (name, query),
+                _ => return None,
+            };
+            let column = index.column_index(column)?;
+            let rows = match execute_subquery(query, ctx) {
+                Ok(rows) => rows,
+                Err(error) => return Some(Err(error)),
+            };
+            if rows.len() != 1 || rows[0].len() != 1 {
+                return Some(Err(SqlError::ScalarCardinality(rows.len())));
+            }
+            Some(Ok(index.records_with_value(column, &rows[0][0]).to_vec()))
+        }
+        SqlExpr::Compare(op, a, b) => {
+            let (column, literal, op) = match (a.as_ref(), b.as_ref()) {
+                (SqlExpr::Column(name), SqlExpr::Literal(value)) => (name, value, *op),
+                (SqlExpr::Literal(value), SqlExpr::Column(name)) => {
+                    (name, value, swap_compare(*op))
+                }
+                _ => return None,
+            };
+            let column = index.column_index(column)?;
+            // A non-numeric literal compares false against every row.
+            let Some(threshold) = literal.as_number() else {
+                return Some(Ok(Vec::new()));
+            };
+            Some(Ok(compare_records(index, column, op, threshold)
+                .into_iter()
+                .collect()))
+        }
+        SqlExpr::InList(inner, values) => {
+            let SqlExpr::Column(name) = inner.as_ref() else {
+                return None;
+            };
+            let column = index.column_index(name)?;
+            let mut records: Vec<RecordIdx> = values
+                .iter()
+                .flat_map(|value| index.records_with_value(column, value).iter().copied())
+                .collect();
+            records.sort_unstable();
+            records.dedup();
+            Some(Ok(records))
+        }
+        SqlExpr::And(a, b) => {
+            let left = match index_filter(a, ctx, index)? {
+                Ok(records) => records,
+                Err(error) => return Some(Err(error)),
+            };
+            if left.is_empty() {
+                // Mirror the row loop's `&&` short-circuit: with no row
+                // passing the left side, the right side is never evaluated
+                // (and so cannot error).
+                return Some(Ok(left));
+            }
+            let right = match index_filter(b, ctx, index)? {
+                Ok(records) => records,
+                Err(error) => return Some(Err(error)),
+            };
+            let right: HashSet<RecordIdx> = right.into_iter().collect();
+            Some(Ok(left.into_iter().filter(|r| right.contains(r)).collect()))
+        }
+        SqlExpr::Or(a, b) => {
+            let left = match index_filter(a, ctx, index)? {
+                Ok(records) => records,
+                Err(error) => return Some(Err(error)),
+            };
+            if left.len() == ctx.table.num_records() {
+                // Mirror the row loop's `||` short-circuit: every row passes
+                // the left side, so the right side is never evaluated.
+                return Some(Ok(left));
+            }
+            let right = match index_filter(b, ctx, index)? {
+                Ok(records) => records,
+                Err(error) => return Some(Err(error)),
+            };
+            let mut merged: Vec<RecordIdx> = left.into_iter().chain(right).collect();
+            merged.sort_unstable();
+            merged.dedup();
+            Some(Ok(merged))
+        }
+        _ => None,
+    }
+}
+
+/// The `(column, literal)` operands of a symmetric predicate, if that is
+/// what the two sides are.
+fn column_literal<'e>(a: &'e SqlExpr, b: &'e SqlExpr) -> Option<(&'e str, &'e Value)> {
+    match (a, b) {
+        (SqlExpr::Column(name), SqlExpr::Literal(value))
+        | (SqlExpr::Literal(value), SqlExpr::Column(name)) => Some((name, value)),
+        _ => None,
+    }
+}
+
+fn execute_select(select: &SqlSelect, ctx: Ctx<'_>) -> Result<SqlResult> {
+    // 1. Filter — through the index planner when possible, else a row scan.
+    // The planner is skipped for empty tables: the row loop never runs
+    // there, so nothing (not even an erroring scalar subquery) may execute.
+    let matching: Vec<RecordIdx> = match &select.filter {
+        None => ctx.table.record_indices().collect(),
+        Some(filter) => {
+            let planned = match ctx.index {
+                Some(index) if !ctx.table.is_empty() => index_filter(filter, ctx, index),
+                _ => None,
+            };
+            match planned {
+                Some(records) => records?,
+                None => {
+                    let mut matching = Vec::new();
+                    for record in ctx.table.record_indices() {
+                        if eval_row(filter, ctx, record)?.truthy() {
+                            matching.push(record);
+                        }
+                    }
+                    matching
+                }
+            }
+        }
+    };
 
     // 2. Group / aggregate / project, collecting (sort_key, row) pairs.
     let mut rows: Vec<(Option<Value>, Vec<Value>)> = Vec::new();
     if let Some(group_expr) = &select.group_by {
         let mut groups: BTreeMap<Value, Vec<RecordIdx>> = BTreeMap::new();
         for &record in &matching {
-            let key = eval_row(group_expr, table, record)?.as_value()?;
+            let key = eval_row(group_expr, ctx, record)?.as_value()?;
             groups.entry(key).or_default().push(record);
         }
         for (_key, records) in groups {
-            let row = project_aggregate(&select.projection, table, &records)?;
+            let row = project_aggregate(&select.projection, ctx, &records)?;
             let sort_key = match &select.order_by {
-                Some((expr, _)) => Some(eval_aggregate_expr(expr, table, &records)?.as_value()?),
+                Some((expr, _)) => Some(eval_aggregate_expr(expr, ctx, &records)?.as_value()?),
                 None => None,
             };
             rows.push((sort_key, row));
         }
     } else if projection_has_aggregate(&select.projection) {
-        let row = project_aggregate(&select.projection, table, &matching)?;
+        let row = project_aggregate(&select.projection, ctx, &matching)?;
         rows.push((None, row));
     } else {
         for &record in &matching {
             let row = if select.projection.is_empty() {
-                table
+                ctx.table
                     .record(record)
                     .map_err(|_| SqlError::Type("record out of range".into()))?
                     .to_vec()
@@ -130,11 +406,11 @@ fn execute_select(select: &SqlSelect, table: &Table) -> Result<SqlResult> {
                 select
                     .projection
                     .iter()
-                    .map(|expr| eval_row(expr, table, record).and_then(|v| v.as_value()))
+                    .map(|expr| eval_row(expr, ctx, record).and_then(|v| v.as_value()))
                     .collect::<Result<Vec<Value>>>()?
             };
             let sort_key = match &select.order_by {
-                Some((expr, _)) => Some(eval_row(expr, table, record)?.as_value()?),
+                Some((expr, _)) => Some(eval_row(expr, ctx, record)?.as_value()?),
                 None => None,
             };
             rows.push((sort_key, row));
@@ -152,10 +428,11 @@ fn execute_select(select: &SqlSelect, table: &Table) -> Result<SqlResult> {
         });
     }
 
-    // 4. Distinct and limit.
+    // 4. Distinct (hashed row-key set, first occurrence wins) and limit.
     let mut out: SqlResult = Vec::new();
+    let mut seen: HashSet<Vec<Value>> = HashSet::new();
     for (_, row) in rows {
-        if select.distinct && out.contains(&row) {
+        if select.distinct && !seen.insert(row.clone()) {
             continue;
         }
         out.push(row);
@@ -187,19 +464,19 @@ fn contains_aggregate(expr: &SqlExpr) -> bool {
 
 fn project_aggregate(
     projection: &[SqlExpr],
-    table: &Table,
+    ctx: Ctx<'_>,
     records: &[RecordIdx],
 ) -> Result<Vec<Value>> {
     projection
         .iter()
-        .map(|expr| eval_aggregate_expr(expr, table, records).and_then(|v| v.as_value()))
+        .map(|expr| eval_aggregate_expr(expr, ctx, records).and_then(|v| v.as_value()))
         .collect()
 }
 
 /// Evaluate an expression in aggregate context: aggregates range over
 /// `records`, other sub-expressions are evaluated on the first record of the
 /// group (they are group keys in every query the translation produces).
-fn eval_aggregate_expr(expr: &SqlExpr, table: &Table, records: &[RecordIdx]) -> Result<EvalValue> {
+fn eval_aggregate_expr(expr: &SqlExpr, ctx: Ctx<'_>, records: &[RecordIdx]) -> Result<EvalValue> {
     match expr {
         SqlExpr::Aggregate(op, inner) => {
             if *op == AggregateOp::Count {
@@ -207,7 +484,7 @@ fn eval_aggregate_expr(expr: &SqlExpr, table: &Table, records: &[RecordIdx]) -> 
             }
             let mut numbers = Vec::with_capacity(records.len());
             for &record in records {
-                let value = eval_row(inner, table, record)?;
+                let value = eval_row(inner, ctx, record)?;
                 numbers.push(value.as_number()?);
             }
             if numbers.is_empty() {
@@ -223,8 +500,8 @@ fn eval_aggregate_expr(expr: &SqlExpr, table: &Table, records: &[RecordIdx]) -> 
             Ok(EvalValue::Val(Value::Num(result)))
         }
         SqlExpr::Arith(op, left, right) => {
-            let left = eval_aggregate_expr(left, table, records)?.as_number()?;
-            let right = eval_aggregate_expr(right, table, records)?.as_number()?;
+            let left = eval_aggregate_expr(left, ctx, records)?.as_number()?;
+            let right = eval_aggregate_expr(right, ctx, records)?.as_number()?;
             let value = match op {
                 ArithOp::Add => left + right,
                 ArithOp::Sub => left - right,
@@ -232,20 +509,21 @@ fn eval_aggregate_expr(expr: &SqlExpr, table: &Table, records: &[RecordIdx]) -> 
             Ok(EvalValue::Val(Value::Num(value)))
         }
         other => match records.first() {
-            Some(&record) => eval_row(other, table, record),
+            Some(&record) => eval_row(other, ctx, record),
             None => Ok(EvalValue::Null),
         },
     }
 }
 
 /// Evaluate an expression against a single record.
-fn eval_row(expr: &SqlExpr, table: &Table, record: RecordIdx) -> Result<EvalValue> {
+fn eval_row(expr: &SqlExpr, ctx: Ctx<'_>, record: RecordIdx) -> Result<EvalValue> {
     match expr {
         SqlExpr::Column(name) => {
-            let column = table
+            let column = ctx
                 .column_index(name)
                 .ok_or_else(|| SqlError::UnknownColumn(name.clone()))?;
-            Ok(table
+            Ok(ctx
+                .table
                 .value_at(record, column)
                 .map(|v| EvalValue::Val(v.clone()))
                 .unwrap_or(EvalValue::Null))
@@ -256,16 +534,16 @@ fn eval_row(expr: &SqlExpr, table: &Table, record: RecordIdx) -> Result<EvalValu
             "aggregate used outside a projection or ORDER BY context".into(),
         )),
         SqlExpr::Equals(left, right) => {
-            let left = eval_row(left, table, record)?;
-            let right = eval_row(right, table, record)?;
+            let left = eval_row(left, ctx, record)?;
+            let right = eval_row(right, ctx, record)?;
             match (left, right) {
                 (EvalValue::Null, _) | (_, EvalValue::Null) => Ok(EvalValue::Bool(false)),
                 (l, r) => Ok(EvalValue::Bool(l.as_value()? == r.as_value()?)),
             }
         }
         SqlExpr::Compare(op, left, right) => {
-            let left = eval_row(left, table, record)?;
-            let right = eval_row(right, table, record)?;
+            let left = eval_row(left, ctx, record)?;
+            let right = eval_row(right, ctx, record)?;
             match (left, right) {
                 (EvalValue::Null, _) | (_, EvalValue::Null) => Ok(EvalValue::Bool(false)),
                 (l, r) => match (l.as_value()?.as_number(), r.as_value()?.as_number()) {
@@ -275,31 +553,30 @@ fn eval_row(expr: &SqlExpr, table: &Table, record: RecordIdx) -> Result<EvalValu
             }
         }
         SqlExpr::InSubquery(inner, query) => {
-            let needle = eval_row(inner, table, record)?;
+            let needle = eval_row(inner, ctx, record)?;
             let EvalValue::Val(needle) = needle else {
                 return Ok(EvalValue::Bool(false));
             };
-            let rows = execute(query, table)?;
-            let found = rows.iter().any(|row| row.first() == Some(&needle));
-            Ok(EvalValue::Bool(found))
+            let members = subquery_membership(query, ctx)?;
+            Ok(EvalValue::Bool(members.contains(&needle)))
         }
         SqlExpr::InList(inner, values) => {
-            let needle = eval_row(inner, table, record)?;
+            let needle = eval_row(inner, ctx, record)?;
             let EvalValue::Val(needle) = needle else {
                 return Ok(EvalValue::Bool(false));
             };
             Ok(EvalValue::Bool(values.contains(&needle)))
         }
         SqlExpr::Scalar(query) => {
-            let rows = execute(query, table)?;
+            let rows = execute_subquery(query, ctx)?;
             if rows.len() != 1 || rows[0].len() != 1 {
                 return Err(SqlError::ScalarCardinality(rows.len()));
             }
             Ok(EvalValue::Val(rows[0][0].clone()))
         }
         SqlExpr::Arith(op, left, right) => {
-            let left = eval_row(left, table, record)?.as_number()?;
-            let right = eval_row(right, table, record)?.as_number()?;
+            let left = eval_row(left, ctx, record)?.as_number()?;
+            let right = eval_row(right, ctx, record)?.as_number()?;
             let value = match op {
                 ArithOp::Add => left + right,
                 ArithOp::Sub => left - right,
@@ -307,10 +584,10 @@ fn eval_row(expr: &SqlExpr, table: &Table, record: RecordIdx) -> Result<EvalValu
             Ok(EvalValue::Val(Value::Num(value)))
         }
         SqlExpr::And(left, right) => Ok(EvalValue::Bool(
-            eval_row(left, table, record)?.truthy() && eval_row(right, table, record)?.truthy(),
+            eval_row(left, ctx, record)?.truthy() && eval_row(right, ctx, record)?.truthy(),
         )),
         SqlExpr::Or(left, right) => Ok(EvalValue::Bool(
-            eval_row(left, table, record)?.truthy() || eval_row(right, table, record)?.truthy(),
+            eval_row(left, ctx, record)?.truthy() || eval_row(right, ctx, record)?.truthy(),
         )),
     }
 }
@@ -532,6 +809,137 @@ mod tests {
         assert_eq!(
             rows,
             vec![vec![Value::str("St. Louis")], vec![Value::str("Beijing")]]
+        );
+    }
+
+    #[test]
+    fn indexed_and_scan_paths_agree_on_planned_filters() {
+        let table = samples::squad();
+        // An AND/OR combination the planner handles entirely from the index.
+        let filter = SqlExpr::Or(
+            Box::new(SqlExpr::And(
+                Box::new(SqlExpr::Compare(
+                    CompareOp::Geq,
+                    Box::new(col("Games")),
+                    Box::new(lit(Value::num(5.0))),
+                )),
+                Box::new(SqlExpr::Equals(
+                    Box::new(col("Position")),
+                    Box::new(lit(Value::str("DF"))),
+                )),
+            )),
+            Box::new(SqlExpr::InList(
+                Box::new(col("Name")),
+                vec![Value::str("Lucien Favre")],
+            )),
+        );
+        let q = SqlQuery::select(SqlSelect::project(vec![col("Name")]).with_filter(filter));
+        assert_eq!(
+            execute(&q, &table).unwrap(),
+            execute_scan(&q, &table).unwrap()
+        );
+
+        // A literal-on-the-left comparison takes the swapped-operator path.
+        let q = SqlQuery::select(SqlSelect::project(vec![col("Name")]).with_filter(
+            SqlExpr::Compare(
+                CompareOp::Lt,
+                Box::new(lit(Value::num(4.0))),
+                Box::new(col("Games")),
+            ),
+        ));
+        let rows = execute(&q, &table).unwrap();
+        assert_eq!(rows.len(), 4);
+        assert_eq!(rows, execute_scan(&q, &table).unwrap());
+    }
+
+    #[test]
+    fn unknown_filter_column_still_errors_lazily() {
+        // The planner must not turn a per-row error into an eager one or
+        // swallow it: an unknown column inside WHERE falls back to the scan
+        // path and errors exactly as before.
+        let table = samples::olympics();
+        let q = SqlQuery::select(SqlSelect::project(vec![col("City")]).with_filter(
+            SqlExpr::Equals(Box::new(col("Continent")), Box::new(lit(Value::str("X")))),
+        ));
+        assert!(matches!(
+            execute(&q, &table),
+            Err(SqlError::UnknownColumn(_))
+        ));
+    }
+
+    #[test]
+    fn scalar_subquery_filter_is_planned_and_agrees_with_scan() {
+        // SELECT City FROM T WHERE Year = (SELECT MAX(Year) FROM T)
+        let table = samples::olympics();
+        let max_year = SqlQuery::select(SqlSelect::project(vec![SqlExpr::Aggregate(
+            AggregateOp::Max,
+            Box::new(col("Year")),
+        )]));
+        let q = SqlQuery::select(SqlSelect::project(vec![col("City")]).with_filter(
+            SqlExpr::Equals(
+                Box::new(col("Year")),
+                Box::new(SqlExpr::Scalar(Box::new(max_year))),
+            ),
+        ));
+        let rows = execute(&q, &table).unwrap();
+        assert_eq!(rows, execute_scan(&q, &table).unwrap());
+        assert_eq!(rows, vec![vec![Value::str("Rio de Janeiro")]]);
+    }
+
+    #[test]
+    fn planner_preserves_boolean_short_circuits() {
+        let table = samples::olympics();
+        let many = SqlQuery::select(SqlSelect::project(vec![col("City")]));
+        let erroring = SqlExpr::Equals(
+            Box::new(col("City")),
+            Box::new(SqlExpr::Scalar(Box::new(many))),
+        );
+        // Left side matches nothing → the erroring right side must never run.
+        let q = SqlQuery::select(
+            SqlSelect::project(vec![col("City")]).with_filter(SqlExpr::And(
+                Box::new(SqlExpr::Equals(
+                    Box::new(col("Country")),
+                    Box::new(lit(Value::str("Atlantis"))),
+                )),
+                Box::new(erroring.clone()),
+            )),
+        );
+        assert_eq!(
+            execute(&q, &table).unwrap(),
+            execute_scan(&q, &table).unwrap()
+        );
+        assert!(execute(&q, &table).unwrap().is_empty());
+        // Left side matches everything → same for OR.
+        let q = SqlQuery::select(
+            SqlSelect::project(vec![col("City")]).with_filter(SqlExpr::Or(
+                Box::new(SqlExpr::Compare(
+                    CompareOp::Geq,
+                    Box::new(col("Year")),
+                    Box::new(lit(Value::num(0.0))),
+                )),
+                Box::new(erroring),
+            )),
+        );
+        assert_eq!(
+            execute(&q, &table).unwrap(),
+            execute_scan(&q, &table).unwrap()
+        );
+        assert_eq!(execute(&q, &table).unwrap().len(), table.num_records());
+    }
+
+    #[test]
+    fn execute_with_index_reuses_one_build() {
+        let table = samples::olympics();
+        let index = TableIndex::new(&table);
+        let q = SqlQuery::select(SqlSelect::project(vec![col("City")]).with_filter(
+            SqlExpr::Equals(
+                Box::new(col("Country")),
+                Box::new(lit(Value::str("Greece"))),
+            ),
+        ));
+        assert_eq!(
+            execute_with_index(&q, &table, &index).unwrap(),
+            execute(&q, &table).unwrap()
         );
     }
 }

@@ -11,10 +11,13 @@
 //!   `IN` subqueries, aggregates, `UNION`, `GROUP BY … ORDER BY … LIMIT`,
 //!   and arithmetic between scalar subqueries), with a pretty-printer,
 //! * [`translate`] — the lambda DCS → SQL translation of Table 10,
-//! * [`engine`] — an in-memory executor for that SQL fragment over a single
-//!   [`wtq_table::Table`], used to cross-validate the lambda DCS evaluator:
-//!   for every operator the translated SQL must return the same answer as the
-//!   direct lambda DCS execution.
+//! * [`engine`] — an index-backed in-memory executor for that SQL fragment
+//!   over a single [`wtq_table::Table`], used to cross-validate the lambda
+//!   DCS evaluator: for every operator the translated SQL must return the
+//!   same answer as the direct lambda DCS execution. Indexable `WHERE`
+//!   clauses are answered from the shared [`wtq_table::TableIndex`];
+//!   [`engine::execute_scan`] keeps the pre-index scan path for differential
+//!   testing.
 
 pub mod ast;
 pub mod engine;
@@ -22,7 +25,7 @@ pub mod error;
 pub mod translate;
 
 pub use ast::{SqlExpr, SqlOrder, SqlQuery, SqlSelect};
-pub use engine::{execute, SqlResult};
+pub use engine::{execute, execute_scan, execute_with_index, SqlResult};
 pub use error::SqlError;
 pub use translate::translate;
 

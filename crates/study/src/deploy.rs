@@ -22,7 +22,7 @@ use rand_chacha::ChaCha8Rng;
 
 use wtq_dcs::{Answer, Formula};
 use wtq_parser::{formulas_equivalent, Candidate, SemanticParser};
-use wtq_table::Catalog;
+use wtq_table::{Catalog, IndexCache};
 
 use crate::user::{SimulatedUser, UserDecision};
 
@@ -98,12 +98,14 @@ impl DeploymentExperiment {
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         let mut result = DeploymentResult::default();
         let mut reciprocal_ranks = 0.0;
+        let mut indexes = IndexCache::new();
         for example in examples {
             let Some(table) = catalog.get(&example.table) else {
                 continue;
             };
             result.questions += 1;
-            let candidates = parser.parse(&example.question, table);
+            let index = indexes.get_or_build(table);
+            let candidates = parser.parse_with_index(&example.question, table, index);
             let ranked_correct = candidates
                 .iter()
                 .position(|c| formulas_equivalent(&c.formula, &example.gold));
@@ -171,11 +173,13 @@ impl DeploymentExperiment {
         ks: &[usize],
     ) -> Vec<(usize, f64)> {
         let mut ranks: Vec<Option<usize>> = Vec::new();
+        let mut indexes = IndexCache::new();
         for example in examples {
             let Some(table) = catalog.get(&example.table) else {
                 continue;
             };
-            let candidates = parser.parse(&example.question, table);
+            let index = indexes.get_or_build(table);
+            let candidates = parser.parse_with_index(&example.question, table, index);
             ranks.push(
                 candidates
                     .iter()

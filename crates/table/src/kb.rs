@@ -2,95 +2,80 @@
 //!
 //! The paper views a table as `K ⊆ E × P × E`: entities `E` are all cell
 //! values plus all records, and each column header is a binary property
-//! mapping a cell value to the records in which it appears. This module
-//! materializes that view as inverted indexes so the evaluator and the
-//! semantic parser can answer `Column.value` joins and entity-linking lookups
-//! without scanning the table repeatedly.
+//! mapping a cell value to the records in which it appears. This module is a
+//! thin view over the shared [`TableIndex`] (which materializes the inverted
+//! indexes): the evaluator and the semantic parser answer `Column.value`
+//! joins and entity-linking lookups without scanning the table repeatedly,
+//! and — because the index is behind an `Arc` — without rebuilding it per
+//! question or per evaluation session.
 
-use std::collections::HashMap;
+use std::sync::Arc;
 
 use crate::cell::CellRef;
+use crate::index::TableIndex;
 use crate::table::{RecordIdx, Table};
 use crate::value::Value;
 
-/// Inverted index for one column: value → records containing it.
-#[derive(Debug, Clone, Default)]
-pub struct ColumnIndex {
-    by_value: HashMap<Value, Vec<RecordIdx>>,
-}
-
-impl ColumnIndex {
-    /// Records whose cell in this column equals `value` (the `C.v` join).
-    pub fn records(&self, value: &Value) -> &[RecordIdx] {
-        self.by_value.get(value).map(Vec::as_slice).unwrap_or(&[])
-    }
-
-    /// Number of distinct values in the column.
-    pub fn num_distinct(&self) -> usize {
-        self.by_value.len()
-    }
-
-    /// Iterate over `(value, records)` pairs in unspecified order.
-    pub fn entries(&self) -> impl Iterator<Item = (&Value, &Vec<RecordIdx>)> {
-        self.by_value.iter()
-    }
-}
+pub use crate::index::ColumnIndex;
 
 /// The knowledge-base view of one table.
 #[derive(Debug, Clone)]
 pub struct KnowledgeBase<'a> {
     table: &'a Table,
-    columns: Vec<ColumnIndex>,
+    index: Arc<TableIndex>,
 }
 
 impl<'a> KnowledgeBase<'a> {
-    /// Build the KB view (inverted index per column) of `table`.
+    /// Build the KB view of `table`, constructing a fresh [`TableIndex`].
+    /// When an index for the table already exists, use
+    /// [`KnowledgeBase::with_index`] to share it instead.
     pub fn new(table: &'a Table) -> Self {
-        let mut columns: Vec<ColumnIndex> = vec![ColumnIndex::default(); table.num_columns()];
-        for record in table.record_indices() {
-            let row = table.record(record).expect("record index in range");
-            for (column, value) in row.iter().enumerate() {
-                columns[column]
-                    .by_value
-                    .entry(value.clone())
-                    .or_default()
-                    .push(record);
-            }
+        KnowledgeBase {
+            table,
+            index: Arc::new(TableIndex::new(table)),
         }
-        KnowledgeBase { table, columns }
     }
 
-    /// The underlying table.
-    pub fn table(&self) -> &Table {
+    /// Build the KB view around an existing shared index of the same table.
+    pub fn with_index(table: &'a Table, index: Arc<TableIndex>) -> Self {
+        debug_assert_eq!(index.num_records(), table.num_records());
+        debug_assert_eq!(index.num_columns(), table.num_columns());
+        KnowledgeBase { table, index }
+    }
+
+    /// The underlying table (borrowed for the view's full lifetime).
+    pub fn table(&self) -> &'a Table {
         self.table
+    }
+
+    /// The shared columnar index backing this view.
+    pub fn index(&self) -> &Arc<TableIndex> {
+        &self.index
     }
 
     /// Index for a column.
     pub fn column(&self, column: usize) -> &ColumnIndex {
-        &self.columns[column]
+        self.index.column(column)
     }
 
     /// Records with `value` in `column` — the binary relation application
     /// `Column.value` (e.g. `Country.Greece`).
     pub fn join(&self, column: usize, value: &Value) -> &[RecordIdx] {
-        self.columns[column].records(value)
+        self.index.records_with_value(column, value)
     }
 
     /// All cells in `column` whose value equals `value` (used by the
     /// provenance rule for *Column Records* in Table 10).
     pub fn matching_cells(&self, column: usize, value: &Value) -> Vec<CellRef> {
-        self.join(column, value)
-            .iter()
-            .map(|&record| CellRef::new(record, column))
-            .collect()
+        self.index.matching_cells(column, value)
     }
 
     /// Every `(column, value)` pair whose value's text matches `text`,
     /// used for entity linking of question tokens to the table.
     pub fn link_text(&self, text: &str) -> Vec<(usize, Value)> {
         let mut out = Vec::new();
-        for (column, index) in self.columns.iter().enumerate() {
-            for (value, _records) in index.entries() {
+        for column in 0..self.index.num_columns() {
+            for (value, _records) in self.index.column(column).entries() {
                 if value.matches_text(text) {
                     out.push((column, value.clone()));
                 }
@@ -159,5 +144,15 @@ mod tests {
         let kb = KnowledgeBase::new(&table);
         let country = table.column_index("Country").unwrap();
         assert_eq!(kb.column(country).num_distinct(), 4);
+    }
+
+    #[test]
+    fn with_index_shares_one_build() {
+        let table = olympics();
+        let index = Arc::new(TableIndex::new(&table));
+        let kb = KnowledgeBase::with_index(&table, index.clone());
+        assert_eq!(Arc::strong_count(kb.index()), 2);
+        let country = table.column_index("Country").unwrap();
+        assert_eq!(kb.join(country, &Value::str("Greece")), &[0, 2]);
     }
 }

@@ -17,7 +17,10 @@
 //!   used by superlatives and comparisons,
 //! * [`Table`] and [`TableBuilder`] — the ordered relation itself,
 //! * [`CellRef`] — a (record, column) coordinate used by the provenance model,
-//! * [`kb::KnowledgeBase`] — the KB view with per-column inverted indexes,
+//! * [`index::TableIndex`] — the indexed columnar view (inverted indexes,
+//!   value-sorted permutations, sorted numeric projections, O(1) column-name
+//!   lookup) built once per table and shared by every engine,
+//! * [`kb::KnowledgeBase`] — the KB view over that index,
 //! * [`csv`] — a small TSV/CSV reader and writer (no external dependency),
 //! * [`catalog::Catalog`] — a named collection of tables,
 //! * [`samples`] — the example tables used throughout the paper's figures.
@@ -26,6 +29,7 @@ pub mod catalog;
 pub mod cell;
 pub mod csv;
 pub mod error;
+pub mod index;
 pub mod kb;
 pub mod samples;
 pub mod table;
@@ -34,6 +38,7 @@ pub mod value;
 pub use catalog::Catalog;
 pub use cell::CellRef;
 pub use error::TableError;
+pub use index::{ColumnIndex, IndexCache, TableIndex};
 pub use kb::KnowledgeBase;
 pub use table::{Column, ColumnType, RecordIdx, Table, TableBuilder};
 pub use value::{Date, Value};

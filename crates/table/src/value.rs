@@ -227,8 +227,16 @@ impl Eq for Value {}
 
 impl std::hash::Hash for Value {
     fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
-        // Hash must be compatible with the (case-insensitive, cross-type)
-        // equality above, so we hash a canonical form.
+        // Hash a canonical form compatible with the (case-insensitive,
+        // cross-type) equality above. Caveat: the tolerance-based numeric
+        // equality is not transitive, so no hash can be perfectly consistent
+        // with it — two numbers within the 1e-9 relative tolerance hash
+        // identically unless they straddle a 6-significant-digit rounding
+        // boundary (a ~1e-3 sliver of the already-rare equal-but-not-
+        // identical pairs). Hash-based containers therefore treat such
+        // boundary pairs as distinct; every engine (the KB inverted index
+        // since the seed, and the dedup/membership sets built on it) shares
+        // this behavior, so they stay consistent with each other.
         match self {
             Value::Str(s) => {
                 state.write_u8(2);
@@ -258,9 +266,23 @@ impl std::hash::Hash for Value {
 }
 
 fn canonical_f64_bits(n: f64) -> u64 {
-    // Collapse -0.0 to 0.0 and round to a fixed precision compatible with
-    // `numbers_equal`'s tolerance for typical table magnitudes.
-    let rounded = (n * 1e6).round() / 1e6;
+    // Collapse -0.0 to 0.0 and round to a granularity compatible with
+    // `numbers_equal`'s tolerance at every magnitude: that tolerance is
+    // relative (1e-9 · scale, floored at scale 1), so the rounding must be
+    // relative too — 6 significant digits for |n| > 1, 1e-6 absolute below
+    // (a fixed absolute precision would split equal values once |n| grows
+    // past ~1e3, giving equal-but-differently-hashed numbers).
+    if !n.is_finite() {
+        return n.to_bits();
+    }
+    let rounded = if n.abs() <= 1.0 {
+        (n * 1e6).round() / 1e6
+    } else {
+        // |n| ∈ (1, f64::MAX] keeps the exponent (and so the scale) finite.
+        let exponent = n.abs().log10().floor() as i32;
+        let scale = 10f64.powi(5 - exponent);
+        (n * scale).round() / scale
+    };
     if rounded == 0.0 {
         0f64.to_bits()
     } else {
@@ -548,5 +570,25 @@ mod tests {
         assert!(set.contains(&Value::str("GREECE")));
         set.insert(Value::num(2004.0));
         assert!(set.contains(&Value::year(2004)));
+    }
+
+    #[test]
+    fn hash_consistent_with_eq_across_magnitudes() {
+        use std::collections::HashSet;
+        // Pairs within the relative equality tolerance must land in the
+        // same hash bucket at every magnitude (the hash rounding is
+        // relative, like the tolerance).
+        for (a, b) in [
+            (2004.0, 2004.000002),
+            (1e9, 1e9 + 1.0),
+            (-2004.0, -2004.000002),
+            (0.5, 0.5 + 1e-10),
+            (1e-300, 2e-300),
+        ] {
+            assert_eq!(Value::num(a), Value::num(b), "{a} vs {b} not equal");
+            let mut set = HashSet::new();
+            set.insert(Value::num(a));
+            assert!(set.contains(&Value::num(b)), "{a} vs {b} hash differently");
+        }
     }
 }
