@@ -1,0 +1,33 @@
+//! Batch-serving throughput: questions/second through the shared
+//! `wtq_core::Engine` at growing worker-pool sizes, on the 2000-row bench
+//! table. This is the scaling curve the ROADMAP's "as fast as the hardware
+//! allows" goal tracks: the acceptance bar is > 1.5× questions/sec at 4
+//! workers vs 1 worker.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+use wtq_bench::exec::{batch_environment, bench_table, PARALLEL_WORKER_COUNTS};
+
+fn bench_batch_throughput(c: &mut Criterion) {
+    let table = bench_table(2000);
+    let (engine, catalog, requests) = batch_environment(&table, 16);
+
+    let mut group = c.benchmark_group("batch_throughput");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(5));
+    for workers in PARALLEL_WORKER_COUNTS {
+        // One iteration explains all requests; divide the reported time by
+        // the request count for seconds/question, or invert for
+        // questions/second at this pool size.
+        group.bench_function(
+            format!("explain_{}_questions_{}_workers", requests.len(), workers),
+            |b| b.iter(|| engine.explain_batch_with(workers, &catalog, &requests)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_batch_throughput);
+criterion_main!(benches);

@@ -355,6 +355,18 @@ fn main() {
             report.cache_hits,
             report.cache_misses
         );
+        println!(
+            "\nBatch serving over a shared Engine ({}-row table, explain incl. highlights):\n",
+            report.rows
+        );
+        println!("| workers | questions/s | speedup vs 1 worker |");
+        println!("|---|---|---|");
+        for case in report.parallel.iter() {
+            println!(
+                "| {} | {:.1} | {:.2}× |",
+                case.workers, case.qps, case.speedup_vs_serial
+            );
+        }
         if let Some(path) = &json_path {
             let json = serde_json::to_string_pretty(&report).expect("report serializes");
             std::fs::write(path, json).expect("write exec report");

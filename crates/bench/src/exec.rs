@@ -20,9 +20,10 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use serde::Serialize;
 
+use wtq_core::{Engine, ExplainRequest};
 use wtq_dcs::{AggregateOp, CompareOp, Evaluator, Formula, SuperlativeOp};
 use wtq_parser::SemanticParser;
-use wtq_table::{Table, TableIndex, Value};
+use wtq_table::{Catalog, Table, TableIndex, Value};
 
 use crate::EXPERIMENT_SEED;
 
@@ -41,6 +42,19 @@ pub struct ExecCase {
     pub speedup_cold: f64,
     /// `scan_us / indexed_warm_us`.
     pub speedup_warm: f64,
+}
+
+/// Batch-serving throughput at one worker-pool size.
+#[derive(Debug, Clone, Serialize)]
+pub struct ParallelCase {
+    /// Worker threads in the pool.
+    pub workers: usize,
+    /// End-to-end explained questions per second through
+    /// `Engine::explain_batch` (parse + utterance + SQL + highlights).
+    pub qps: f64,
+    /// `qps / qps_at_1_worker` — the scaling factor the ROADMAP's
+    /// throughput goal tracks.
+    pub speedup_vs_serial: f64,
 }
 
 /// The full execution-layer report (serialized to `BENCH_exec.json`).
@@ -64,6 +78,9 @@ pub struct ExecReport {
     /// candidate pool.
     pub cache_hits: u64,
     pub cache_misses: u64,
+    /// Batch-serving throughput on the bench table at growing worker-pool
+    /// sizes (1, 2, 4, 8) through the shared `Engine`.
+    pub parallel: Vec<ParallelCase>,
 }
 
 /// Time `f` repeatedly within a small budget; mean µs per call.
@@ -225,6 +242,8 @@ pub fn exec_report(rows: usize, questions: usize) -> ExecReport {
     }
     let (cache_hits, cache_misses) = session.cache_stats();
 
+    let parallel = parallel_cases(&table, (questions.len() * 2).max(8));
+
     ExecReport {
         rows,
         columns: table.num_columns(),
@@ -235,7 +254,58 @@ pub fn exec_report(rows: usize, questions: usize) -> ExecReport {
         candidate_parse_us,
         cache_hits,
         cache_misses,
+        parallel,
     }
+}
+
+/// Worker counts measured by the parallel section (and the
+/// `batch_throughput` Criterion bench).
+pub const PARALLEL_WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// Build the shared-`Engine` batch environment for `table`: a one-table
+/// catalog, a warm engine and `num_questions` generated requests.
+pub fn batch_environment(
+    table: &Table,
+    num_questions: usize,
+) -> (Engine, Catalog, Vec<ExplainRequest>) {
+    let mut rng = ChaCha8Rng::seed_from_u64(EXPERIMENT_SEED + 2);
+    let questions = wtq_dataset::generate_questions(table, num_questions, &mut rng);
+    let requests: Vec<ExplainRequest> = questions
+        .iter()
+        .map(|question| ExplainRequest::new(question.question.clone(), table.name()))
+        .collect();
+    let catalog: Catalog = [table.clone()].into_iter().collect();
+    let engine = Engine::new();
+    // Warm the index cache so every worker count measures pure serving.
+    engine.index_for(catalog.get(table.name()).expect("table inserted"));
+    (engine, catalog, requests)
+}
+
+/// Measure `Engine::explain_batch` throughput over `num_questions` generated
+/// questions on `table` at each of [`PARALLEL_WORKER_COUNTS`].
+fn parallel_cases(table: &Table, num_questions: usize) -> Vec<ParallelCase> {
+    let (engine, catalog, requests) = batch_environment(table, num_questions);
+    let mut cases: Vec<ParallelCase> = Vec::new();
+    for workers in PARALLEL_WORKER_COUNTS {
+        // Best of two runs smooths scheduler noise without a full
+        // Criterion-style sampling loop (this runs inside `experiments`).
+        let mut best = f64::INFINITY;
+        for _ in 0..2 {
+            let start = Instant::now();
+            let explanations = engine.explain_batch_with(workers, &catalog, &requests);
+            let elapsed = start.elapsed().as_secs_f64();
+            assert_eq!(explanations.len(), requests.len());
+            best = best.min(elapsed);
+        }
+        let qps = requests.len() as f64 / best.max(1e-9);
+        let speedup_vs_serial = cases.first().map(|c| qps / c.qps).unwrap_or(1.0);
+        cases.push(ParallelCase {
+            workers,
+            qps,
+            speedup_vs_serial,
+        });
+    }
+    cases
 }
 
 #[cfg(test)]
@@ -256,8 +326,17 @@ mod tests {
             assert!(case.indexed_cold_us > 0.0, "{}", case.name);
             assert!(case.indexed_warm_us > 0.0, "{}", case.name);
         }
+        // The parallel section covers every worker count with sane numbers.
+        assert_eq!(report.parallel.len(), PARALLEL_WORKER_COUNTS.len());
+        for (case, workers) in report.parallel.iter().zip(PARALLEL_WORKER_COUNTS) {
+            assert_eq!(case.workers, workers);
+            assert!(case.qps > 0.0);
+            assert!(case.speedup_vs_serial > 0.0);
+        }
+        assert!((report.parallel[0].speedup_vs_serial - 1.0).abs() < 1e-12);
         // The report serializes.
         let json = serde_json::to_string_pretty(&report).expect("serializes");
         assert!(json.contains("candidate_throughput_qps"));
+        assert!(json.contains("parallel"));
     }
 }

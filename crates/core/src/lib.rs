@@ -25,6 +25,13 @@
 //! The sub-crates are re-exported under their short names so downstream users
 //! need a single dependency:
 //!
+//! The serving path is split into two tiers: a shared, `Send + Sync`
+//! [`Engine`] (trained parser + thread-safe LRU index cache) and cheap
+//! per-request [`Session`]s; [`Engine::explain_batch`] fans a batch of
+//! questions out over a worker pool with deterministic, input-order
+//! results. [`ExplanationPipeline`] remains as the single-threaded
+//! convenience wrapper.
+//!
 //! | module | contents |
 //! |---|---|
 //! | [`table`] | web-table data model (§3.1) |
@@ -35,16 +42,20 @@
 //! | [`parser`] | the log-linear semantic parser (§6.2) |
 //! | [`dataset`] | synthetic WikiTableQuestions-style data (§6.1) |
 //! | [`study`] | simulated user study, deployment and feedback loops (§7) |
+//! | [`runtime`] | the worker-pool batch runtime backing `explain_batch` |
 
 pub use wtq_dataset as dataset;
 pub use wtq_dcs as dcs;
 pub use wtq_explain as explain;
 pub use wtq_parser as parser;
 pub use wtq_provenance as provenance;
+pub use wtq_runtime as runtime;
 pub use wtq_sql as sql;
 pub use wtq_study as study;
 pub use wtq_table as table;
 
+pub mod engine;
 pub mod pipeline;
 
+pub use engine::{Engine, EngineConfig, ExplainRequest, Explanation, Session};
 pub use pipeline::{ExplainedCandidate, ExplanationPipeline};

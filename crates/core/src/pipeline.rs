@@ -9,10 +9,12 @@
 
 use wtq_dcs::{Answer, Formula};
 use wtq_explain::utter;
-use wtq_parser::SemanticParser;
+use wtq_parser::{Candidate, SemanticParser};
 use wtq_provenance::{render, sample_highlights, Highlights};
 use wtq_sql::translate;
 use wtq_table::Table;
+
+use crate::engine::Engine;
 
 /// One candidate query together with all of its explanations.
 #[derive(Debug, Clone)]
@@ -33,6 +35,35 @@ pub struct ExplainedCandidate {
 }
 
 impl ExplainedCandidate {
+    /// Explain one parsed candidate: attach the utterance, the SQL rendering
+    /// and the provenance highlights. `None` when highlight computation
+    /// fails (the candidate does not evaluate on `table`).
+    pub(crate) fn from_candidate(candidate: Candidate, table: &Table) -> Option<Self> {
+        let highlights = Highlights::compute(&candidate.formula, table).ok()?;
+        Some(ExplainedCandidate {
+            utterance: utter(&candidate.formula),
+            sql: translate(&candidate.formula).ok().map(|q| q.to_sql()),
+            highlights,
+            formula: candidate.formula,
+            score: candidate.score,
+            answer: candidate.answer,
+        })
+    }
+
+    /// Explain a handwritten formula (score 0, answer from evaluation).
+    pub(crate) fn from_formula(formula: &Formula, table: &Table) -> wtq_dcs::Result<Self> {
+        let denotation = wtq_dcs::eval(formula, table)?;
+        let highlights = Highlights::compute(formula, table)?;
+        Ok(ExplainedCandidate {
+            utterance: utter(formula),
+            sql: translate(formula).ok().map(|q| q.to_sql()),
+            highlights,
+            formula: formula.clone(),
+            score: 0.0,
+            answer: Answer::from_denotation(&denotation),
+        })
+    }
+
     /// Plain-text rendering of the highlighted table (optionally sampled to a
     /// few rows for large tables, §5.3).
     pub fn render_highlights(&self, table: &Table, sampled: bool) -> String {
@@ -45,24 +76,44 @@ impl ExplainedCandidate {
     }
 }
 
-/// The end-to-end explanation pipeline.
+/// The end-to-end explanation pipeline — now a thin single-threaded wrapper
+/// over a one-worker [`Engine`], kept so existing callers and tests keep
+/// their familiar entry points. New code (and anything serving concurrent
+/// traffic) should hold an [`Engine`] directly and open [`crate::Session`]s
+/// per request.
 #[derive(Debug, Clone, Default)]
 pub struct ExplanationPipeline {
-    /// The semantic parser used to produce candidates.
-    pub parser: SemanticParser,
+    engine: Engine,
 }
 
 impl ExplanationPipeline {
     /// A pipeline around the baseline (prior-weighted) parser.
     pub fn new() -> Self {
         ExplanationPipeline {
-            parser: SemanticParser::with_prior(),
+            engine: Engine::new(),
         }
     }
 
     /// A pipeline around an already-trained parser.
     pub fn with_parser(parser: SemanticParser) -> Self {
-        ExplanationPipeline { parser }
+        ExplanationPipeline {
+            engine: Engine::with_parser(parser),
+        }
+    }
+
+    /// The semantic parser used to produce candidates.
+    pub fn parser(&self) -> &SemanticParser {
+        self.engine.parser()
+    }
+
+    /// The shared engine backing this pipeline.
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// Unwrap into the backing engine (e.g. to share it across threads).
+    pub fn into_engine(self) -> Engine {
+        self.engine
     }
 
     /// Parse `question` over `table` and explain the top-k candidates.
@@ -72,21 +123,7 @@ impl ExplanationPipeline {
         table: &Table,
         top_k: usize,
     ) -> Vec<ExplainedCandidate> {
-        self.parser
-            .parse_top_k(question, table, top_k)
-            .into_iter()
-            .filter_map(|candidate| {
-                let highlights = Highlights::compute(&candidate.formula, table).ok()?;
-                Some(ExplainedCandidate {
-                    utterance: utter(&candidate.formula),
-                    sql: translate(&candidate.formula).ok().map(|q| q.to_sql()),
-                    highlights,
-                    formula: candidate.formula,
-                    score: candidate.score,
-                    answer: candidate.answer,
-                })
-            })
-            .collect()
+        self.engine.explain_question(question, table, top_k)
     }
 
     /// Explain a single, already-known formula (used when a query is written
@@ -96,16 +133,7 @@ impl ExplanationPipeline {
         formula: &Formula,
         table: &Table,
     ) -> wtq_dcs::Result<ExplainedCandidate> {
-        let denotation = wtq_dcs::eval(formula, table)?;
-        let highlights = Highlights::compute(formula, table)?;
-        Ok(ExplainedCandidate {
-            utterance: utter(formula),
-            sql: translate(formula).ok().map(|q| q.to_sql()),
-            highlights,
-            formula: formula.clone(),
-            score: 0.0,
-            answer: Answer::from_denotation(&denotation),
-        })
+        self.engine.explain_formula(formula, table)
     }
 }
 

@@ -11,7 +11,7 @@ use std::sync::Arc;
 use serde::{Deserialize, Serialize};
 
 use wtq_dcs::{Answer, Evaluator, Formula};
-use wtq_table::{KnowledgeBase, Table, TableIndex};
+use wtq_table::{Table, TableIndex};
 
 use crate::candidates::{
     generate_candidates, generate_candidates_with, CandidateConfig, RawCandidate,
@@ -109,6 +109,18 @@ impl LogLinearModel {
     pub fn score(&self, features: &FeatureVector) -> f64 {
         dot(features, &self.weights)
     }
+}
+
+/// The candidate ordering used everywhere a pool is ranked: score
+/// descending, then formula size ascending, then formula text. Each side is
+/// `(score, formula.size(), formula text)`. Serving
+/// ([`SemanticParser::parse`]) and the trainer's per-epoch re-scoring pass
+/// both sort with this function, so the two paths cannot silently diverge.
+pub(crate) fn ranking_order(a: (f64, usize, &str), b: (f64, usize, &str)) -> std::cmp::Ordering {
+    b.0.partial_cmp(&a.0)
+        .unwrap_or(std::cmp::Ordering::Equal)
+        .then_with(|| a.1.cmp(&b.1))
+        .then_with(|| a.2.cmp(b.2))
 }
 
 /// Softmax over candidate scores — the normalized `p_θ(z | x, T)` of Eq. 4.
@@ -255,11 +267,18 @@ impl SemanticParser {
         table: &Table,
         index: Arc<TableIndex>,
     ) -> Vec<Candidate> {
-        let kb = KnowledgeBase::with_index(table, index.clone());
-        let analysis = analyze_question_with(question, &kb);
-        let evaluator = Evaluator::with_index(table, index);
-        let raw = generate_candidates_with(&analysis, &evaluator, &self.config);
-        self.rank(raw, &analysis, table)
+        self.parse_in_session(question, &Evaluator::with_index(table, index))
+    }
+
+    /// Like [`SemanticParser::parse_with_index`] but reusing an existing
+    /// evaluator session (and its cross-candidate denotation cache) — the
+    /// entry point a per-request `Session` holds on to, so several questions
+    /// answered against the same table within one request share both the
+    /// index and the memoized record bases.
+    pub fn parse_in_session(&self, question: &str, evaluator: &Evaluator<'_>) -> Vec<Candidate> {
+        let analysis = analyze_question_with(question, evaluator.kb());
+        let raw = generate_candidates_with(&analysis, evaluator, &self.config);
+        self.rank(raw, &analysis, evaluator.table())
     }
 
     /// Parse from an existing analysis (avoids re-linking when the caller
@@ -270,6 +289,9 @@ impl SemanticParser {
     }
 
     /// Score and rank raw candidates with the log-linear model.
+    ///
+    /// The ordering lives in [`ranking_order`], shared with the trainer's
+    /// re-scoring pass so serving and training can never rank differently.
     fn rank(
         &self,
         raw: Vec<RawCandidate>,
@@ -297,11 +319,10 @@ impl SemanticParser {
             })
             .collect();
         candidates.sort_by(|a, b| {
-            b.score
-                .partial_cmp(&a.score)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then_with(|| a.formula.size().cmp(&b.formula.size()))
-                .then_with(|| a.formula.to_string().cmp(&b.formula.to_string()))
+            ranking_order(
+                (a.score, a.formula.size(), &a.formula.to_string()),
+                (b.score, b.formula.size(), &b.formula.to_string()),
+            )
         });
         candidates
     }

@@ -16,10 +16,13 @@ use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
-use wtq_dcs::{Answer, Formula};
+use wtq_dcs::{Answer, Evaluator, Formula};
 use wtq_table::{Catalog, IndexCache};
 
-use crate::model::{formulas_equivalent, softmax, Candidate, SemanticParser};
+use crate::candidates::generate_candidates_with;
+use crate::features::{extract_features, FeatureVector};
+use crate::lexicon::analyze_question_with;
+use crate::model::{formulas_equivalent, softmax, SemanticParser};
 
 /// One training example: a question, its table, the gold answer, and (for
 /// annotated examples) the set of user-validated correct queries `Q_x`.
@@ -69,6 +72,11 @@ pub struct TrainConfig {
     pub l1: f64,
     /// Shuffle seed (training is deterministic given the seed).
     pub seed: u64,
+    /// Worker threads for the candidate-generation phase. Candidate pools
+    /// and feature vectors are weight-independent, so they are generated in
+    /// parallel up front; the AdaGrad updates themselves stay sequential, so
+    /// the trained weights are identical for every worker count.
+    pub workers: usize,
 }
 
 impl Default for TrainConfig {
@@ -78,6 +86,7 @@ impl Default for TrainConfig {
             learning_rate: 0.2,
             l1: 1e-4,
             seed: 13,
+            workers: wtq_runtime::default_workers(),
         }
     }
 }
@@ -102,11 +111,64 @@ pub struct ParserEvaluation {
     pub answer_accuracy: f64,
 }
 
+/// One generated candidate of a training example, with everything the
+/// gradient step needs precomputed: candidate generation and feature
+/// extraction depend only on the question and the table — never on the
+/// model weights — so they are computed once (in parallel across examples)
+/// and reused by every epoch's scoring pass.
+#[derive(Debug, Clone)]
+struct PreparedCandidate {
+    formula: Formula,
+    answer: Answer,
+    features: FeatureVector,
+    /// Cached `formula.size()` — second-level ranking tie-break.
+    size: usize,
+    /// Cached `formula.to_string()` — final ranking tie-break.
+    key: String,
+}
+
+/// A training example's precomputed candidate pool (generation order).
+#[derive(Debug, Clone)]
+struct PreparedExample {
+    candidates: Vec<PreparedCandidate>,
+}
+
+/// Generate the weight-independent part of one SGD step: the candidate pool
+/// and feature vectors for `example`. Thread-safe (`&IndexCache` is shared),
+/// so the trainer fans this out over a worker pool.
+fn prepare_example(
+    parser: &SemanticParser,
+    indexes: &IndexCache,
+    example: &TrainExample,
+    catalog: &Catalog,
+) -> Option<PreparedExample> {
+    let table = catalog.get(&example.table)?;
+    let index = indexes.get_or_build(table);
+    let evaluator = Evaluator::with_index(table, index);
+    let analysis = analyze_question_with(&example.question, evaluator.kb());
+    let raw = generate_candidates_with(&analysis, &evaluator, &parser.config);
+    let candidates = raw
+        .into_iter()
+        .map(|raw_candidate| {
+            let features = extract_features(&analysis, table, &raw_candidate);
+            PreparedCandidate {
+                size: raw_candidate.formula.size(),
+                key: raw_candidate.formula.to_string(),
+                formula: raw_candidate.formula,
+                answer: raw_candidate.answer,
+                features,
+            }
+        })
+        .collect();
+    Some(PreparedExample { candidates })
+}
+
 /// AdaGrad trainer for the log-linear parser.
 pub struct Trainer {
     /// Accumulated squared gradients per feature.
     adagrad: BTreeMap<String, f64>,
-    /// Shared table indexes, built once per table across epochs.
+    /// Shared table indexes, built once per table across epochs (and shared
+    /// across the candidate-generation workers).
     indexes: IndexCache,
     config: TrainConfig,
 }
@@ -125,18 +187,34 @@ impl Trainer {
     ///
     /// Annotated examples use the Eq. 7 indicator, all others the Eq. 5
     /// answer indicator; this is exactly the split objective of Eq. 8.
+    ///
+    /// Candidate generation (the expensive, weight-independent part of each
+    /// step) runs once up front on a worker pool; the sequential epochs then
+    /// only re-score the prepared pools with the current weights, so the
+    /// resulting parser is byte-identical to fully sequential training.
     pub fn train(
         &mut self,
         parser: &mut SemanticParser,
         examples: &[TrainExample],
         catalog: &Catalog,
     ) {
+        let prepared: Vec<Option<PreparedExample>> = {
+            let parser: &SemanticParser = parser;
+            let indexes = &self.indexes;
+            wtq_runtime::run_batch(
+                self.config.workers,
+                examples.iter().collect(),
+                |_, example| prepare_example(parser, indexes, example, catalog),
+            )
+        };
         let mut order: Vec<usize> = (0..examples.len()).collect();
         let mut rng = ChaCha8Rng::seed_from_u64(self.config.seed);
         for _epoch in 0..self.config.epochs {
             order.shuffle(&mut rng);
             for &index in &order {
-                self.train_on_example(parser, &examples[index], catalog);
+                if let Some(prepared) = &prepared[index] {
+                    self.step(parser, prepared, &examples[index]);
+                }
             }
         }
     }
@@ -150,19 +228,40 @@ impl Trainer {
         example: &TrainExample,
         catalog: &Catalog,
     ) -> bool {
-        let Some(table) = catalog.get(&example.table) else {
+        let Some(prepared) = prepare_example(parser, &self.indexes, example, catalog) else {
             return false;
         };
-        let index = self.indexes.get_or_build(table);
-        let candidates = parser.parse_with_index(&example.question, table, index);
-        if candidates.is_empty() {
+        self.step(parser, &prepared, example)
+    }
+
+    /// The weight-dependent half of a step: score the prepared pool with the
+    /// current weights, rank it exactly like `SemanticParser::parse` would,
+    /// and apply the AdaGrad update.
+    fn step(
+        &mut self,
+        parser: &mut SemanticParser,
+        prepared: &PreparedExample,
+        example: &TrainExample,
+    ) -> bool {
+        if prepared.candidates.is_empty() {
             return false;
         }
-        let scores: Vec<f64> = candidates.iter().map(|c| c.score).collect();
-        let probabilities = softmax(&scores);
-        let rewards: Vec<f64> = candidates
+        // Rank candidates under the current model — the same ordering
+        // `SemanticParser::rank` produces — so each epoch sees the pool in
+        // the order a fresh parse would have returned it.
+        let mut ranked: Vec<(&PreparedCandidate, f64)> = prepared
+            .candidates
             .iter()
-            .map(|candidate| reward(candidate, example))
+            .map(|candidate| (candidate, parser.model.score(&candidate.features)))
+            .collect();
+        ranked.sort_by(|(a, a_score), (b, b_score)| {
+            crate::model::ranking_order((*a_score, a.size, &a.key), (*b_score, b.size, &b.key))
+        });
+        let scores: Vec<f64> = ranked.iter().map(|(_, score)| *score).collect();
+        let probabilities = softmax(&scores);
+        let rewards: Vec<f64> = ranked
+            .iter()
+            .map(|(candidate, _)| reward(&candidate.formula, &candidate.answer, example))
             .collect();
         let reward_mass: f64 = probabilities.iter().zip(&rewards).map(|(p, r)| p * r).sum();
         if reward_mass <= 0.0 {
@@ -176,7 +275,7 @@ impl Trainer {
             .collect();
         // Gradient of the log-likelihood: Σ_z (q(z) - p(z)) φ(z).
         let mut gradient: BTreeMap<String, f64> = BTreeMap::new();
-        for ((candidate, q), p) in candidates.iter().zip(&posterior).zip(&probabilities) {
+        for (((candidate, _), q), p) in ranked.iter().zip(&posterior).zip(&probabilities) {
             let delta = q - p;
             if delta == 0.0 {
                 continue;
@@ -209,18 +308,18 @@ impl Trainer {
 
 /// The reward indicator: `r*` (Eq. 7) for annotated examples, `r` (Eq. 5)
 /// otherwise.
-fn reward(candidate: &Candidate, example: &TrainExample) -> f64 {
+fn reward(formula: &Formula, answer: &Answer, example: &TrainExample) -> f64 {
     if example.is_annotated() {
         if example
             .annotations
             .iter()
-            .any(|gold| formulas_equivalent(gold, &candidate.formula))
+            .any(|gold| formulas_equivalent(gold, formula))
         {
             1.0
         } else {
             0.0
         }
-    } else if candidate.answer == example.answer {
+    } else if answer == &example.answer {
         1.0
     } else {
         0.0
@@ -238,19 +337,32 @@ pub fn evaluate<'a>(
     catalog: &Catalog,
     k: usize,
 ) -> ParserEvaluation {
+    let items: Vec<(&TrainExample, Formula)> = examples.into_iter().collect();
+    // Per-example parsing is independent and read-only; fan it out and fold
+    // the per-example verdicts sequentially in input order, so the totals
+    // are identical to a single-threaded pass.
+    let indexes = IndexCache::new();
+    let verdicts: Vec<Option<(Option<usize>, bool)>> = wtq_runtime::run_batch(
+        wtq_runtime::default_workers(),
+        items,
+        |_, (example, gold)| {
+            let table = catalog.get(&example.table)?;
+            let index = indexes.get_or_build(table);
+            let candidates = parser.parse_with_index(&example.question, table, index);
+            let correct_rank = candidates
+                .iter()
+                .position(|candidate| formulas_equivalent(&candidate.formula, &gold));
+            let answer_match = candidates
+                .first()
+                .map(|top| top.answer == example.answer)
+                .unwrap_or(false);
+            Some((correct_rank, answer_match))
+        },
+    );
     let mut evaluation = ParserEvaluation::default();
     let mut reciprocal_ranks = 0.0;
-    let mut indexes = IndexCache::new();
-    for (example, gold) in examples {
-        let Some(table) = catalog.get(&example.table) else {
-            continue;
-        };
+    for (correct_rank, answer_match) in verdicts.into_iter().flatten() {
         evaluation.examples += 1;
-        let index = indexes.get_or_build(table);
-        let candidates = parser.parse_with_index(&example.question, table, index);
-        let correct_rank = candidates
-            .iter()
-            .position(|candidate| formulas_equivalent(&candidate.formula, &gold));
         if correct_rank == Some(0) {
             evaluation.correctness += 1.0;
         }
@@ -260,10 +372,8 @@ pub fn evaluate<'a>(
                 evaluation.bound_at_k += 1.0;
             }
         }
-        if let Some(top) = candidates.first() {
-            if top.answer == example.answer {
-                evaluation.answer_accuracy += 1.0;
-            }
+        if answer_match {
+            evaluation.answer_accuracy += 1.0;
         }
     }
     if evaluation.examples > 0 {
@@ -368,11 +478,11 @@ mod tests {
         let mut annotated_rewards = 0usize;
         let mut weak_rewards = 0usize;
         for candidate in &candidates {
-            if reward(candidate, &annotated) > 0.0 {
+            if reward(&candidate.formula, &candidate.answer, &annotated) > 0.0 {
                 annotated_rewards += 1;
                 assert!(formulas_equivalent(&candidate.formula, &gold));
             }
-            if reward(candidate, &weak) > 0.0 {
+            if reward(&candidate.formula, &candidate.answer, &weak) > 0.0 {
                 weak_rewards += 1;
             }
         }

@@ -74,6 +74,11 @@ pub struct DeploymentExperiment {
     /// Whether candidates are shown in random order (the paper randomizes to
     /// avoid biasing workers toward the parser's top choice).
     pub shuffle_display: bool,
+    /// Worker threads for the parsing phase. Parsing is read-only and
+    /// rng-free, so it fans out over a pool; the simulated-user phase stays
+    /// sequential, consuming the seeded RNG in example order — results are
+    /// byte-identical for every worker count.
+    pub workers: usize,
 }
 
 impl Default for DeploymentExperiment {
@@ -81,8 +86,26 @@ impl Default for DeploymentExperiment {
         DeploymentExperiment {
             top_k: 7,
             shuffle_display: true,
+            workers: wtq_runtime::default_workers(),
         }
     }
+}
+
+/// Parse every example's candidates in parallel over a shared index cache
+/// (`None` where the catalog has no such table). Pure with respect to the
+/// experiment RNG, so the fan-out cannot perturb downstream sampling.
+fn parse_examples(
+    parser: &SemanticParser,
+    examples: &[StudyExample],
+    catalog: &Catalog,
+    workers: usize,
+) -> Vec<Option<Vec<Candidate>>> {
+    let indexes = IndexCache::new();
+    wtq_runtime::run_batch(workers, examples.iter().collect(), |_, example| {
+        let table = catalog.get(&example.table)?;
+        let index = indexes.get_or_build(table);
+        Some(parser.parse_with_index(&example.question, table, index))
+    })
 }
 
 impl DeploymentExperiment {
@@ -98,14 +121,14 @@ impl DeploymentExperiment {
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         let mut result = DeploymentResult::default();
         let mut reciprocal_ranks = 0.0;
-        let mut indexes = IndexCache::new();
-        for example in examples {
-            let Some(table) = catalog.get(&example.table) else {
+        // Phase 1 (parallel): parse every question. Phase 2 (sequential):
+        // replay the simulated users in example order with the seeded RNG.
+        let parsed = parse_examples(parser, examples, catalog, self.workers);
+        for (example, candidates) in examples.iter().zip(parsed) {
+            let Some(candidates) = candidates else {
                 continue;
             };
             result.questions += 1;
-            let index = indexes.get_or_build(table);
-            let candidates = parser.parse_with_index(&example.question, table, index);
             let ranked_correct = candidates
                 .iter()
                 .position(|c| formulas_equivalent(&c.formula, &example.gold));
@@ -172,20 +195,19 @@ impl DeploymentExperiment {
         catalog: &Catalog,
         ks: &[usize],
     ) -> Vec<(usize, f64)> {
-        let mut ranks: Vec<Option<usize>> = Vec::new();
-        let mut indexes = IndexCache::new();
-        for example in examples {
-            let Some(table) = catalog.get(&example.table) else {
-                continue;
-            };
-            let index = indexes.get_or_build(table);
-            let candidates = parser.parse_with_index(&example.question, table, index);
-            ranks.push(
-                candidates
-                    .iter()
-                    .position(|c| formulas_equivalent(&c.formula, &example.gold)),
-            );
-        }
+        let parsed = parse_examples(parser, examples, catalog, wtq_runtime::default_workers());
+        let ranks: Vec<Option<usize>> = examples
+            .iter()
+            .zip(parsed)
+            .filter_map(|(example, candidates)| {
+                let candidates = candidates?;
+                Some(
+                    candidates
+                        .iter()
+                        .position(|c| formulas_equivalent(&c.formula, &example.gold)),
+                )
+            })
+            .collect();
         ks.iter()
             .map(|&k| {
                 let covered = ranks

@@ -22,7 +22,8 @@
 //! table it summarizes is in use.
 
 use std::collections::HashMap;
-use std::sync::{Arc, OnceLock};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock, RwLock};
 
 use crate::cell::CellRef;
 use crate::table::{ColumnType, RecordIdx, Table};
@@ -115,6 +116,10 @@ pub struct TableIndex {
     numeric_columns: Vec<usize>,
     text_columns: Vec<usize>,
     num_records: usize,
+    /// The indexed table's precomputed shape fingerprint
+    /// ([`Table::fingerprint`]), making [`TableIndex::describes`] a single
+    /// integer comparison on every cache lookup.
+    fingerprint: u64,
 }
 
 impl TableIndex {
@@ -142,6 +147,7 @@ impl TableIndex {
             numeric_columns,
             text_columns,
             num_records: table.num_records(),
+            fingerprint: table.fingerprint(),
         }
     }
 
@@ -185,17 +191,13 @@ impl TableIndex {
     }
 
     /// Whether this index plausibly describes `table`: same record count,
-    /// column count and (case-normalized) headers. A cheap structural check
-    /// used by [`IndexCache`]; it cannot detect a table that differs only in
-    /// cell contents, so caches must still be scoped to one catalog.
+    /// column count and (case-normalized) headers, compared through the
+    /// precomputed shape fingerprints — a single integer comparison, cheap
+    /// enough for the thread-safe [`IndexCache`] to run on every lookup. It
+    /// cannot detect a table that differs only in cell contents, so caches
+    /// must still be scoped to one catalog.
     pub fn describes(&self, table: &Table) -> bool {
-        self.num_records == table.num_records()
-            && self.columns.len() == table.num_columns()
-            && table
-                .columns()
-                .iter()
-                .enumerate()
-                .all(|(i, c)| self.by_name.get(&c.name.to_ascii_lowercase()) == Some(&i))
+        self.fingerprint == table.fingerprint()
     }
 
     /// Records of `column` in ascending cell-value order (stable: ties keep
@@ -262,46 +264,161 @@ fn build_column(table: &Table, column: usize) -> ColumnIndex {
     }
 }
 
-/// Memoized per-table indexes, keyed by table name. Training and deployment
-/// loops parse many questions over a handful of immutable tables; holding
-/// one cache per catalog amortizes the index build across every question on
-/// the same table. Table names are unique within a [`crate::Catalog`] — use
-/// one cache per catalog.
-#[derive(Debug, Clone, Default)]
+/// Default number of tables an [`IndexCache`] retains before evicting the
+/// least-recently-used entry.
+pub const DEFAULT_INDEX_CACHE_CAPACITY: usize = 256;
+
+/// Hit / miss / eviction counters of an [`IndexCache`], for instrumentation
+/// of serving and training loops.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from a cached index.
+    pub hits: u64,
+    /// Lookups that had to build (or rebuild) an index.
+    pub misses: u64,
+    /// Entries evicted by the LRU capacity bound.
+    pub evictions: u64,
+}
+
+/// One cached index plus its LRU recency stamp. The stamp is an atomic so a
+/// cache *hit* only needs the read lock — concurrent readers bump recency
+/// without serializing on a write lock.
+#[derive(Debug)]
+struct CacheEntry {
+    index: Arc<TableIndex>,
+    last_used: AtomicU64,
+}
+
+/// Memoized per-table indexes, keyed by table name. Training, deployment and
+/// serving loops parse many questions over a set of immutable tables;
+/// holding one cache per catalog amortizes the index build across every
+/// question on the same table. Table names are unique within a
+/// [`crate::Catalog`] — use one cache per catalog.
+///
+/// The cache is **thread-safe** (`&self` everywhere, internally an
+/// [`RwLock`]ed map): one instance can be shared by a pool of worker threads
+/// answering questions concurrently, with per-table lazy builds and an LRU
+/// capacity bound (default [`DEFAULT_INDEX_CACHE_CAPACITY`] tables) so
+/// memory does not grow without limit under traffic over a large catalog.
+/// Indexes are built *outside* the lock; if two threads race to index the
+/// same table, one build is discarded — both threads end up sharing a single
+/// `Arc`.
+#[derive(Debug)]
 pub struct IndexCache {
-    by_table: HashMap<String, Arc<TableIndex>>,
+    by_table: RwLock<HashMap<String, CacheEntry>>,
+    capacity: usize,
+    /// Monotonic recency clock; higher = more recently used.
+    clock: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl Default for IndexCache {
+    fn default() -> Self {
+        IndexCache::with_capacity(DEFAULT_INDEX_CACHE_CAPACITY)
+    }
 }
 
 impl IndexCache {
-    /// An empty cache.
+    /// An empty cache with the default capacity.
     pub fn new() -> Self {
         IndexCache::default()
     }
 
+    /// An empty cache retaining at most `capacity` tables (clamped to ≥ 1).
+    pub fn with_capacity(capacity: usize) -> Self {
+        IndexCache {
+            by_table: RwLock::new(HashMap::new()),
+            capacity: capacity.max(1),
+            clock: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// The maximum number of tables retained.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
     /// The shared index for `table`, building it on first request. A cached
-    /// entry is reused only when its shape (record count, column count and
-    /// headers) matches `table`; a same-named but different table replaces
-    /// the stale entry instead of silently answering from it.
-    pub fn get_or_build(&mut self, table: &Table) -> Arc<TableIndex> {
-        if let Some(existing) = self.by_table.get(table.name()) {
-            if existing.describes(table) {
-                return existing.clone();
+    /// entry is reused only when its shape fingerprint matches `table`; a
+    /// same-named but different table replaces the stale entry instead of
+    /// silently answering from it. Inserting beyond capacity evicts the
+    /// least-recently-used entry.
+    pub fn get_or_build(&self, table: &Table) -> Arc<TableIndex> {
+        if let Some(index) = self.lookup(table) {
+            return index;
+        }
+        // Build outside any lock: index construction is the expensive part,
+        // and holding the write lock across it would serialize every miss.
+        let built = Arc::new(TableIndex::new(table));
+        let mut map = self.by_table.write().expect("index cache poisoned");
+        // Another thread may have finished the same build first; share its
+        // entry so all sessions hold one Arc per table.
+        if let Some(existing) = map.get(table.name()) {
+            if existing.index.describes(table) {
+                existing.last_used.store(self.tick(), Ordering::Relaxed);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                return existing.index.clone();
             }
         }
-        let index = Arc::new(TableIndex::new(table));
-        self.by_table
-            .insert(table.name().to_string(), index.clone());
-        index
+        map.insert(
+            table.name().to_string(),
+            CacheEntry {
+                index: built.clone(),
+                last_used: AtomicU64::new(self.tick()),
+            },
+        );
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        while map.len() > self.capacity {
+            let oldest = map
+                .iter()
+                .min_by_key(|(_, entry)| entry.last_used.load(Ordering::Relaxed))
+                .map(|(name, _)| name.clone())
+                .expect("map over capacity is non-empty");
+            map.remove(&oldest);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+        built
     }
 
-    /// Number of tables indexed so far.
+    /// Read-lock fast path: a hit bumps the entry's recency stamp through
+    /// its atomic, so concurrent hits never contend on the write lock.
+    fn lookup(&self, table: &Table) -> Option<Arc<TableIndex>> {
+        let map = self.by_table.read().expect("index cache poisoned");
+        let entry = map.get(table.name())?;
+        if !entry.index.describes(table) {
+            return None;
+        }
+        entry.last_used.store(self.tick(), Ordering::Relaxed);
+        self.hits.fetch_add(1, Ordering::Relaxed);
+        Some(entry.index.clone())
+    }
+
+    fn tick(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Hit / miss / eviction counters since construction.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Number of tables currently cached.
     pub fn len(&self) -> usize {
-        self.by_table.len()
+        self.by_table.read().expect("index cache poisoned").len()
     }
 
-    /// Whether no index has been built yet.
+    /// Whether no index is currently cached.
     pub fn is_empty(&self) -> bool {
-        self.by_table.is_empty()
+        self.len() == 0
     }
 }
 
@@ -450,11 +567,13 @@ mod tests {
     #[test]
     fn index_cache_reuses_matching_and_replaces_stale_entries() {
         let table = olympics();
-        let mut cache = IndexCache::new();
+        let cache = IndexCache::new();
         let first = cache.get_or_build(&table);
         let again = cache.get_or_build(&table);
         assert!(Arc::ptr_eq(&first, &again));
         assert_eq!(cache.len(), 1);
+        assert_eq!(cache.stats().hits, 1);
+        assert_eq!(cache.stats().misses, 1);
         // A same-named table with a different shape must not reuse the entry.
         let other =
             Table::from_rows("olympics", &["Athlete", "Medal"], &[vec!["Louis", "Gold"]]).unwrap();
@@ -462,6 +581,107 @@ mod tests {
         assert!(!Arc::ptr_eq(&first, &rebuilt));
         assert_eq!(rebuilt.num_columns(), 2);
         assert!(!cache.is_empty());
+        assert_eq!(cache.stats().misses, 2);
+    }
+
+    fn named(name: &str) -> Table {
+        Table::from_rows(name, &["A"], &[vec!["1"]]).unwrap()
+    }
+
+    #[test]
+    fn index_cache_evicts_least_recently_used_beyond_capacity() {
+        let cache = IndexCache::with_capacity(2);
+        assert_eq!(cache.capacity(), 2);
+        let (a, b, c) = (named("a"), named("b"), named("c"));
+        cache.get_or_build(&a);
+        cache.get_or_build(&b);
+        // Touch `a` so `b` becomes the LRU entry, then overflow with `c`.
+        cache.get_or_build(&a);
+        cache.get_or_build(&c);
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.stats().evictions, 1);
+        // `a` and `c` are still cached (hits); `b` was evicted (miss).
+        let hits_before = cache.stats().hits;
+        cache.get_or_build(&a);
+        cache.get_or_build(&c);
+        assert_eq!(cache.stats().hits, hits_before + 2);
+        let misses_before = cache.stats().misses;
+        cache.get_or_build(&b);
+        assert_eq!(cache.stats().misses, misses_before + 1);
+    }
+
+    #[test]
+    fn index_cache_capacity_is_clamped_to_one() {
+        let cache = IndexCache::with_capacity(0);
+        assert_eq!(cache.capacity(), 1);
+        cache.get_or_build(&named("a"));
+        cache.get_or_build(&named("b"));
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn index_cache_is_shared_across_threads() {
+        let cache = IndexCache::new();
+        let tables: Vec<Table> = (0..4).map(|i| named(&format!("t{i}"))).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for table in &tables {
+                        let index = cache.get_or_build(table);
+                        assert!(index.describes(table));
+                    }
+                });
+            }
+        });
+        assert_eq!(cache.len(), 4);
+        let stats = cache.stats();
+        // Every lookup either hit or missed; racing builds may each count a
+        // miss, but the total accounts for all 16 lookups.
+        assert_eq!(stats.hits + stats.misses, 16);
+        assert!(stats.misses >= 4);
+    }
+
+    #[test]
+    fn describes_matches_fingerprint_semantics() {
+        let table = olympics();
+        let index = TableIndex::new(&table);
+        assert!(index.describes(&table));
+        // Same shape, different cell contents: indistinguishable by design.
+        let same_shape = Table::from_rows(
+            "other",
+            &["year", "COUNTRY", "City"],
+            &[
+                vec!["1", "x", "y"],
+                vec!["2", "x", "y"],
+                vec!["3", "x", "y"],
+                vec!["4", "x", "y"],
+                vec!["5", "x", "y"],
+            ],
+        )
+        .unwrap();
+        assert!(index.describes(&same_shape));
+        // Different record count, headers or column order: rejected.
+        let fewer_rows = Table::from_rows(
+            "olympics",
+            &["Year", "Country", "City"],
+            &[vec!["1896", "Greece", "Athens"]],
+        )
+        .unwrap();
+        assert!(!index.describes(&fewer_rows));
+        let renamed = Table::from_rows(
+            "olympics",
+            &["Year", "Country", "Town"],
+            &[
+                vec!["1896", "Greece", "Athens"],
+                vec!["1900", "France", "Paris"],
+                vec!["2004", "Greece", "Athens"],
+                vec!["2008", "China", "Beijing"],
+                vec!["2012", "UK", "London"],
+            ],
+        )
+        .unwrap();
+        assert!(!index.describes(&renamed));
     }
 
     #[test]

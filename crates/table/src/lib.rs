@@ -38,7 +38,7 @@ pub mod value;
 pub use catalog::Catalog;
 pub use cell::CellRef;
 pub use error::TableError;
-pub use index::{ColumnIndex, IndexCache, TableIndex};
+pub use index::{CacheStats, ColumnIndex, IndexCache, TableIndex, DEFAULT_INDEX_CACHE_CAPACITY};
 pub use kb::KnowledgeBase;
 pub use table::{Column, ColumnType, RecordIdx, Table, TableBuilder};
 pub use value::{Date, Value};

@@ -43,12 +43,51 @@ pub struct Column {
 /// A single web table: a header row plus an ordered list of records.
 ///
 /// Construct with [`TableBuilder`] or [`Table::from_rows`].
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Table {
     name: String,
     columns: Vec<Column>,
     /// `rows[record][column]`.
     rows: Vec<Vec<Value>>,
+    /// Precomputed shape fingerprint (record count, column count, normalized
+    /// headers, column types), set once at construction. Lets
+    /// [`crate::TableIndex::describes`] run as a single integer comparison on
+    /// every cache lookup instead of re-walking (and re-lowercasing) the
+    /// headers. Derived state: never serialized, recomputed on deserialize
+    /// (see the manual serde impls below), so a hand-edited data file cannot
+    /// smuggle in a fingerprint describing a different shape.
+    fingerprint: u64,
+}
+
+impl Serialize for Table {
+    fn to_value(&self) -> serde::Value {
+        // Field-name map matching what `#[derive(Serialize)]` produced before
+        // the fingerprint field existed — the wire format is unchanged.
+        serde::Value::Map(vec![
+            ("name".to_string(), self.name.to_value()),
+            ("columns".to_string(), self.columns.to_value()),
+            ("rows".to_string(), self.rows.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for Table {
+    fn from_value(value: &serde::Value) -> std::result::Result<Table, serde::Error> {
+        let entries = value
+            .as_map()
+            .ok_or_else(|| serde::Error::custom("expected map for Table"))?;
+        let name = String::from_value(serde::map_get(entries, "name"))?;
+        let columns = Vec::<Column>::from_value(serde::map_get(entries, "columns"))?;
+        let rows = Vec::<Vec<Value>>::from_value(serde::map_get(entries, "rows"))?;
+        // The fingerprint is derived, not trusted from the data file.
+        let fingerprint = shape_fingerprint(&columns, rows.len());
+        Ok(Table {
+            name,
+            columns,
+            rows,
+            fingerprint,
+        })
+    }
 }
 
 impl Table {
@@ -72,6 +111,16 @@ impl Table {
     /// The table's name (used by [`crate::Catalog`]).
     pub fn name(&self) -> &str {
         &self.name
+    }
+
+    /// The precomputed shape fingerprint: a 64-bit FNV-1a hash of the record
+    /// count, column count, case-normalized header names and inferred column
+    /// types. Two tables with equal fingerprints have (up to hash collision)
+    /// the same shape; differing cell *contents* are deliberately not
+    /// captured, exactly like the header walk this replaces — index caches
+    /// must still be scoped to one catalog.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
     }
 
     /// All columns in header order.
@@ -282,7 +331,7 @@ impl TableBuilder {
                 return Err(TableError::DuplicateColumn(name.clone()));
             }
         }
-        let columns = self
+        let columns: Vec<Column> = self
             .columns
             .iter()
             .enumerate()
@@ -291,11 +340,48 @@ impl TableBuilder {
                 column_type: infer_column_type(&self.rows, i),
             })
             .collect();
+        let fingerprint = shape_fingerprint(&columns, self.rows.len());
         Ok(Table {
             name: self.name,
             columns,
             rows: self.rows,
+            fingerprint,
         })
+    }
+}
+
+/// FNV-1a over the table's shape: record count, column count,
+/// length-prefixed lowercase header names and column types. Computed once at
+/// construction and stored on the table.
+fn shape_fingerprint(columns: &[Column], num_records: usize) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut hash = OFFSET;
+    let mut write = |bytes: &[u8]| {
+        for &byte in bytes {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(PRIME);
+        }
+    };
+    write(&(num_records as u64).to_le_bytes());
+    write(&(columns.len() as u64).to_le_bytes());
+    for column in columns {
+        // Length-prefixed so adjacent names cannot alias each other.
+        write(&(column.name.len() as u64).to_le_bytes());
+        for byte in column.name.bytes() {
+            write(&[byte.to_ascii_lowercase()]);
+        }
+        write(&[column_type_tag(column.column_type)]);
+    }
+    hash
+}
+
+fn column_type_tag(column_type: ColumnType) -> u8 {
+    match column_type {
+        ColumnType::Text => 0,
+        ColumnType::Number => 1,
+        ColumnType::Date => 2,
+        ColumnType::Mixed => 3,
     }
 }
 
@@ -441,6 +527,88 @@ mod tests {
         assert!(grid.contains("Country"));
         assert!(grid.contains("Rio de Janeiro"));
         assert_eq!(grid.lines().count(), 7);
+    }
+
+    #[test]
+    fn fingerprint_captures_shape_not_contents_or_name() {
+        let a = olympics();
+        // Same headers (case-insensitively), record count and column types:
+        // same fingerprint, whatever the name and cell contents.
+        let b = Table::from_rows(
+            "different-name",
+            &["YEAR", "country", "city"],
+            &[
+                vec!["1", "a", "b"],
+                vec!["2", "a", "b"],
+                vec!["3", "a", "b"],
+                vec!["4", "a", "b"],
+                vec!["5", "a", "b"],
+                vec!["6", "a", "b"],
+            ],
+        )
+        .unwrap();
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        // Any shape difference changes it: record count, header, type.
+        let shorter = Table::from_rows(
+            "olympics",
+            &["Year", "Country", "City"],
+            &[vec!["1896", "Greece", "Athens"]],
+        )
+        .unwrap();
+        assert_ne!(a.fingerprint(), shorter.fingerprint());
+        let renamed = Table::from_rows(
+            "olympics",
+            &["Year", "Country", "Town"],
+            &[
+                vec!["1", "a", "b"],
+                vec!["2", "a", "b"],
+                vec!["3", "a", "b"],
+                vec!["4", "a", "b"],
+                vec!["5", "a", "b"],
+                vec!["6", "a", "b"],
+            ],
+        )
+        .unwrap();
+        assert_ne!(a.fingerprint(), renamed.fingerprint());
+        let retyped = Table::from_rows(
+            "olympics",
+            &["Year", "Country", "City"],
+            &[
+                vec!["1", "a", "9"],
+                vec!["2", "a", "9"],
+                vec!["3", "a", "9"],
+                vec!["4", "a", "9"],
+                vec!["5", "a", "9"],
+                vec!["6", "a", "9"],
+            ],
+        )
+        .unwrap();
+        assert_ne!(a.fingerprint(), retyped.fingerprint());
+    }
+
+    #[test]
+    fn serde_omits_the_fingerprint_and_recomputes_it() {
+        let table = olympics();
+        let serialized = table.to_value();
+        // The wire format carries only the real data — no derived state a
+        // hand-edited file could get wrong.
+        let entries = serialized.as_map().unwrap();
+        let keys: Vec<&str> = entries.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(keys, vec!["name", "columns", "rows"]);
+        let restored = Table::from_value(&serialized).unwrap();
+        assert_eq!(restored, table);
+        assert_eq!(restored.fingerprint(), table.fingerprint());
+        // A pre-fingerprint data file (same three fields) still loads, and
+        // the fingerprint always reflects the deserialized shape.
+        let mut tampered_rows = restored.rows.clone();
+        tampered_rows.pop();
+        let tampered = serde::Value::Map(vec![
+            ("name".to_string(), table.name.to_value()),
+            ("columns".to_string(), table.columns.to_value()),
+            ("rows".to_string(), tampered_rows.to_value()),
+        ]);
+        let shorter = Table::from_value(&tampered).unwrap();
+        assert_ne!(shorter.fingerprint(), table.fingerprint());
     }
 
     #[test]
