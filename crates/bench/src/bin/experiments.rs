@@ -8,12 +8,14 @@
 //! ```
 //!
 //! Sections: `table4`, `table5`, `table6`, `ksweep`, `table7`, `table9`,
-//! `figures`, `gallery`, `operators`, `examples`, `exec`. With no argument
-//! every section is produced.
+//! `figures`, `gallery`, `operators`, `examples`, `exec`, `serve`. With no
+//! argument every section is produced.
 //!
 //! `--exec-json [path]` additionally writes the execution-layer report
-//! (indexed vs scan timings, candidate throughput, cache statistics) as
-//! machine-readable JSON — `BENCH_exec.json` by default.
+//! (indexed vs scan timings, candidate throughput, cache statistics, and —
+//! when the `serve` section ran — the loopback serving latency percentiles
+//! under `serving`) as machine-readable JSON — `BENCH_exec.json` by
+//! default.
 
 use wtq_bench::{
     environment, k_sweep, raw_formula_control, table4, table5, table6, table7, table9,
@@ -316,6 +318,7 @@ fn main() {
     }
 
     let json_path = exec_json_path();
+    let mut exec_report = None;
     if wanted("exec") || json_path.is_some() {
         heading("Execution layer — indexed engines vs scan reference");
         let report = wtq_bench::exec::exec_report(2000, 12);
@@ -367,11 +370,35 @@ fn main() {
                 case.workers, case.qps, case.speedup_vs_serial
             );
         }
-        if let Some(path) = &json_path {
-            let json = serde_json::to_string_pretty(&report).expect("report serializes");
-            std::fs::write(path, json).expect("write exec report");
-            println!("\nWrote {path}.");
+        exec_report = Some(report);
+    }
+
+    if wanted("serve") {
+        heading("Serving layer — loopback TCP server latency");
+        let serving = wtq_bench::serve::serving_report(512, 24, 2);
+        println!(
+            "{} questions over {} connections against a {}-row table (framed \
+             JSON protocol, default backpressure/admission config):\n",
+            serving.questions, serving.connections, serving.rows
+        );
+        println!("| metric | value |");
+        println!("|---|---|");
+        println!("| throughput | {:.1} questions/s |", serving.qps);
+        println!("| mean latency | {:.2} ms |", serving.mean_ms);
+        println!("| p50 | {:.2} ms |", serving.p50_ms);
+        println!("| p90 | {:.2} ms |", serving.p90_ms);
+        println!("| p99 | {:.2} ms |", serving.p99_ms);
+        println!("| max | {:.2} ms |", serving.max_ms);
+        println!("| backpressure rejections | {} |", serving.rejected);
+        if let Some(report) = exec_report.as_mut() {
+            report.serving = Some(serving);
         }
+    }
+
+    if let (Some(path), Some(report)) = (&json_path, &exec_report) {
+        let json = serde_json::to_string_pretty(report).expect("report serializes");
+        std::fs::write(path, json).expect("write exec report");
+        println!("\nWrote {path}.");
     }
 
     if wanted("examples") {

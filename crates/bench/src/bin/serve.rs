@@ -1,0 +1,70 @@
+//! Boot a `wtq-server` over the sample tables (plus optional generated
+//! ones) and serve until killed.
+//!
+//! ```text
+//! cargo run -p wtq-bench --bin serve --release [-- --addr 127.0.0.1:7878]
+//!     [--rows N]          # also register an N-row generated benchmark table
+//!     [--max-in-flight N] [--per-table-tokens N]
+//! ```
+//!
+//! Talk to it with the framed client (`wtq_server::Client`) or plain HTTP:
+//!
+//! ```text
+//! curl http://127.0.0.1:7878/tables
+//! curl http://127.0.0.1:7878/stats
+//! curl -d '{"question": "Which city hosted in 2008?", "table": "olympics", "top_k": null}' \
+//!      http://127.0.0.1:7878/explain
+//! ```
+
+use std::sync::Arc;
+
+use wtq_core::Engine;
+use wtq_server::{Server, ServerConfig};
+use wtq_table::{samples, Catalog};
+
+/// `--flag value` lookup over the raw argument list.
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|arg| arg == name)
+        .and_then(|index| args.get(index + 1))
+        .cloned()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let addr = flag(&args, "--addr").unwrap_or_else(|| "127.0.0.1:7878".to_string());
+
+    let mut config = ServerConfig::default();
+    if let Some(max_in_flight) = flag(&args, "--max-in-flight").and_then(|v| v.parse().ok()) {
+        config.max_in_flight = max_in_flight;
+    }
+    if let Some(tokens) = flag(&args, "--per-table-tokens").and_then(|v| v.parse().ok()) {
+        config.per_table_tokens = tokens;
+    }
+
+    let mut tables = samples::all_samples();
+    if let Some(rows) = flag(&args, "--rows").and_then(|v| v.parse().ok()) {
+        tables.push(wtq_bench::exec::bench_table(rows));
+    }
+    let catalog: Arc<Catalog> = Arc::new(tables.into_iter().collect());
+    let engine = Arc::new(Engine::new());
+
+    let handle = Server::bind(&addr, engine, catalog.clone(), config.clone())
+        .unwrap_or_else(|err| panic!("cannot bind {addr}: {err}"));
+    println!("wtq-server listening on {}", handle.local_addr());
+    println!(
+        "  in-flight bound: {}, per-table tokens: {}",
+        config.max_in_flight, config.per_table_tokens
+    );
+    println!("  tables:");
+    for summary in catalog.summaries() {
+        println!(
+            "    {} ({} rows × {} columns)",
+            summary.name,
+            summary.records,
+            summary.columns.len()
+        );
+    }
+    println!("serving until killed (ctrl-c) …");
+    handle.wait();
+}

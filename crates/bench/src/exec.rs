@@ -81,6 +81,9 @@ pub struct ExecReport {
     /// Batch-serving throughput on the bench table at growing worker-pool
     /// sizes (1, 2, 4, 8) through the shared `Engine`.
     pub parallel: Vec<ParallelCase>,
+    /// Loopback network-serving latency percentiles (`experiments
+    /// --section serve`); absent when the serving section was not run.
+    pub serving: Option<crate::serve::ServingReport>,
 }
 
 /// Time `f` repeatedly within a small budget; mean µs per call.
@@ -255,6 +258,7 @@ pub fn exec_report(rows: usize, questions: usize) -> ExecReport {
         cache_hits,
         cache_misses,
         parallel,
+        serving: None,
     }
 }
 

@@ -6,6 +6,7 @@
 //! comparison and the benches time the underlying components.
 
 pub mod exec;
+pub mod serve;
 
 use std::time::Instant;
 

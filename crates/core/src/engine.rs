@@ -25,10 +25,13 @@
 //! functions of `(question, table, model)`, so scheduling cannot leak into
 //! the output.
 
+use serde::{Deserialize, Serialize};
 use wtq_dcs::{Evaluator, Formula};
 use wtq_parser::{Candidate, SemanticParser};
+use wtq_runtime::{BatchError, CancelToken};
 use wtq_table::{Catalog, IndexCache, Table, TableIndex};
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use crate::pipeline::ExplainedCandidate;
@@ -92,6 +95,56 @@ pub struct Explanation {
     pub error: Option<String>,
 }
 
+/// A serializable point-in-time snapshot of an [`Engine`]'s configuration
+/// and serving counters — the single stats surface instrumentation (and a
+/// server's `stats` endpoint) reads instead of poking at ad-hoc accessors.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EngineStats {
+    /// Configured default top-k ([`EngineConfig::top_k`]).
+    pub top_k: usize,
+    /// Configured default worker count ([`EngineConfig::workers`]).
+    pub workers: usize,
+    /// LRU capacity of the index cache.
+    pub index_cache_capacity: usize,
+    /// Tables currently resident in the index cache.
+    pub cached_tables: usize,
+    /// Index-cache hit / miss / eviction counters since construction.
+    pub index_cache: wtq_table::CacheStats,
+    /// Questions answered through the engine's entry points
+    /// ([`Engine::explain_question`] and the batch paths).
+    pub questions_served: u64,
+    /// Batch calls answered ([`Engine::explain_batch`] and variants).
+    pub batches_served: u64,
+    /// Engine entry-point calls currently executing.
+    pub in_flight: u64,
+}
+
+/// Serving counters of an [`Engine`] (all atomics: incremented under
+/// `&self` from any worker thread).
+#[derive(Debug, Default)]
+struct EngineCounters {
+    questions_served: AtomicU64,
+    batches_served: AtomicU64,
+    in_flight: AtomicU64,
+}
+
+/// RAII in-flight marker: increments on entry, decrements on drop (panic
+/// included, so a panicking request never leaks an in-flight count).
+struct InFlightGuard<'a>(&'a AtomicU64);
+
+impl<'a> InFlightGuard<'a> {
+    fn enter(counter: &'a AtomicU64) -> Self {
+        counter.fetch_add(1, Ordering::Relaxed);
+        InFlightGuard(counter)
+    }
+}
+
+impl Drop for InFlightGuard<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
 /// The shared, immutable tier of the pipeline: trained parser + lexicon and
 /// candidate configuration + thread-safe index cache. `Send + Sync` by
 /// construction (a compile-time test in this module enforces it), so one
@@ -116,6 +169,7 @@ pub struct Engine {
     parser: SemanticParser,
     indexes: IndexCache,
     config: EngineConfig,
+    counters: EngineCounters,
 }
 
 impl Default for Engine {
@@ -151,6 +205,22 @@ impl Engine {
             parser,
             indexes: IndexCache::with_capacity(config.index_cache_capacity),
             config,
+            counters: EngineCounters::default(),
+        }
+    }
+
+    /// A serializable snapshot of the engine's configuration, index-cache
+    /// counters and serving counters — see [`EngineStats`].
+    pub fn stats(&self) -> EngineStats {
+        EngineStats {
+            top_k: self.config.top_k,
+            workers: self.config.workers,
+            index_cache_capacity: self.config.index_cache_capacity,
+            cached_tables: self.indexes.len(),
+            index_cache: self.indexes.stats(),
+            questions_served: self.counters.questions_served.load(Ordering::Relaxed),
+            batches_served: self.counters.batches_served.load(Ordering::Relaxed),
+            in_flight: self.counters.in_flight.load(Ordering::Relaxed),
         }
     }
 
@@ -194,7 +264,12 @@ impl Engine {
         table: &Table,
         top_k: usize,
     ) -> Vec<ExplainedCandidate> {
-        self.session(table).explain_question(question, top_k)
+        let _in_flight = InFlightGuard::enter(&self.counters.in_flight);
+        let explained = self.session(table).explain_question(question, top_k);
+        self.counters
+            .questions_served
+            .fetch_add(1, Ordering::Relaxed);
+        explained
     }
 
     /// Explain a single, already-known formula (used when a query is written
@@ -228,25 +303,64 @@ impl Engine {
         catalog: &Catalog,
         requests: &[ExplainRequest],
     ) -> Vec<Explanation> {
-        wtq_runtime::run_batch(workers, requests.iter().collect(), |_, request| {
-            let Some(table) = catalog.get(&request.table) else {
-                return Explanation {
-                    question: request.question.clone(),
-                    table: request.table.clone(),
-                    candidates: Vec::new(),
-                    error: Some(format!("unknown table: {}", request.table)),
-                };
-            };
-            let top_k = request.top_k.unwrap_or(self.config.top_k);
-            Explanation {
+        let _in_flight = InFlightGuard::enter(&self.counters.in_flight);
+        let explanations =
+            wtq_runtime::run_batch(workers, requests.iter().collect(), |_, request| {
+                self.explain_one(catalog, request)
+            });
+        self.record_batch(requests.len());
+        explanations
+    }
+
+    /// [`Engine::explain_batch`] under a [`CancelToken`] — the
+    /// graceful-shutdown hook for serving layers: cancelling mid-batch stops
+    /// queued questions and returns [`BatchError::Cancelled`], and a panic in
+    /// any worker surfaces as [`BatchError::JobPanicked`] instead of
+    /// unwinding into the caller's accept loop.
+    pub fn explain_batch_cancellable(
+        &self,
+        catalog: &Catalog,
+        requests: &[ExplainRequest],
+        cancel: &CancelToken,
+    ) -> Result<Vec<Explanation>, BatchError> {
+        let _in_flight = InFlightGuard::enter(&self.counters.in_flight);
+        let explanations = wtq_runtime::run_batch_cancellable(
+            self.config.workers,
+            requests.iter().collect(),
+            cancel,
+            |_, request| self.explain_one(catalog, request),
+        )?;
+        self.record_batch(requests.len());
+        Ok(explanations)
+    }
+
+    /// Answer one batch request (the per-item body shared by every batch
+    /// entry point).
+    fn explain_one(&self, catalog: &Catalog, request: &ExplainRequest) -> Explanation {
+        let Some(table) = catalog.get(&request.table) else {
+            return Explanation {
                 question: request.question.clone(),
                 table: request.table.clone(),
-                candidates: self
-                    .session(table)
-                    .explain_question(&request.question, top_k),
-                error: None,
-            }
-        })
+                candidates: Vec::new(),
+                error: Some(format!("unknown table: {}", request.table)),
+            };
+        };
+        let top_k = request.top_k.unwrap_or(self.config.top_k);
+        Explanation {
+            question: request.question.clone(),
+            table: request.table.clone(),
+            candidates: self
+                .session(table)
+                .explain_question(&request.question, top_k),
+            error: None,
+        }
+    }
+
+    fn record_batch(&self, questions: usize) {
+        self.counters.batches_served.fetch_add(1, Ordering::Relaxed);
+        self.counters
+            .questions_served
+            .fetch_add(questions as u64, Ordering::Relaxed);
     }
 }
 
@@ -413,6 +527,69 @@ mod tests {
         request.top_k = Some(1);
         let explanations = engine.explain_batch(&catalog, &[request]);
         assert_eq!(explanations[0].candidates.len(), 1);
+    }
+
+    #[test]
+    fn stats_snapshot_tracks_cache_and_serving_counters() {
+        let engine = Engine::new();
+        let catalog: Catalog = [samples::olympics()].into_iter().collect();
+        let fresh = engine.stats();
+        assert_eq!(fresh.top_k, engine.config().top_k);
+        assert_eq!(
+            fresh.index_cache_capacity,
+            engine.config().index_cache_capacity
+        );
+        assert_eq!(fresh.questions_served, 0);
+        assert_eq!(fresh.batches_served, 0);
+        assert_eq!(fresh.in_flight, 0);
+        assert_eq!(fresh.cached_tables, 0);
+
+        let table = samples::olympics();
+        engine.explain_question("Which city hosted in 2008?", &table, 1);
+        engine.explain_batch(
+            &catalog,
+            &[
+                ExplainRequest::new("Which city hosted in 2008?", "olympics"),
+                ExplainRequest::new("In what year did France hold the Olympics?", "olympics"),
+            ],
+        );
+        let stats = engine.stats();
+        assert_eq!(stats.questions_served, 3);
+        assert_eq!(stats.batches_served, 1);
+        assert_eq!(stats.in_flight, 0);
+        assert_eq!(stats.cached_tables, 1);
+        assert_eq!(stats.index_cache.misses, 1);
+        assert!(stats.index_cache.hits >= 2);
+
+        // The snapshot is serde-serializable and round-trips.
+        let json = serde_json::to_string(&stats).expect("stats serialize");
+        let back: EngineStats = serde_json::from_str(&json).expect("stats parse");
+        assert_eq!(back, stats);
+    }
+
+    #[test]
+    fn cancellable_batch_matches_plain_batch_and_cancels() {
+        let engine = Engine::new();
+        let catalog: Catalog = [samples::olympics()].into_iter().collect();
+        let requests = vec![
+            ExplainRequest::new("Which city hosted in 2008?", "olympics"),
+            ExplainRequest::new("Greece held its last Olympics in what year?", "olympics"),
+        ];
+        let cancel = CancelToken::new();
+        let checked = engine
+            .explain_batch_cancellable(&catalog, &requests, &cancel)
+            .expect("uncancelled batch succeeds");
+        let plain = engine.explain_batch(&catalog, &requests);
+        assert_eq!(checked.len(), plain.len());
+        for (a, b) in checked.iter().zip(&plain) {
+            assert_eq!(a.candidates.len(), b.candidates.len());
+        }
+
+        cancel.cancel();
+        assert!(matches!(
+            engine.explain_batch_cancellable(&catalog, &requests, &cancel),
+            Err(BatchError::Cancelled)
+        ));
     }
 
     #[test]

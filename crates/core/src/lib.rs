@@ -57,5 +57,5 @@ pub use wtq_table as table;
 pub mod engine;
 pub mod pipeline;
 
-pub use engine::{Engine, EngineConfig, ExplainRequest, Explanation, Session};
+pub use engine::{Engine, EngineConfig, EngineStats, ExplainRequest, Explanation, Session};
 pub use pipeline::{ExplainedCandidate, ExplanationPipeline};

@@ -1,0 +1,176 @@
+//! A blocking client for the framed JSON protocol — what tests, benches and
+//! the `serve` tooling use to talk to a [`crate::Server`].
+
+use std::net::{TcpStream, ToSocketAddrs};
+
+use wtq_table::TableSummary;
+
+use crate::wire::{
+    self, ExplainBatchBody, ExplainBody, FrameError, RequestBody, RequestEnvelope, ResponseBody,
+    ResponseEnvelope, StatsBody, WireError, WireExplanation,
+};
+
+/// Why a client call failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// A socket-level failure.
+    Io(std::io::Error),
+    /// The connection broke mid-frame (or the server closed it).
+    Frame(FrameError),
+    /// The server answered something that is not the protocol (bad JSON,
+    /// wrong version, mismatched correlation id, wrong body type).
+    Protocol(String),
+    /// The server answered with a structured error (backpressure,
+    /// unknown table, …).
+    Server(WireError),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(err) => write!(f, "i/o error: {err}"),
+            ClientError::Frame(err) => write!(f, "framing error: {err}"),
+            ClientError::Protocol(message) => write!(f, "protocol error: {message}"),
+            ClientError::Server(err) => write!(f, "server error: {err}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(err: std::io::Error) -> ClientError {
+        ClientError::Io(err)
+    }
+}
+
+impl From<FrameError> for ClientError {
+    fn from(err: FrameError) -> ClientError {
+        ClientError::Frame(err)
+    }
+}
+
+/// A blocking connection to a server. One request is in flight at a time;
+/// the client correlates responses by envelope id and checks the protocol
+/// version on every reply.
+pub struct Client {
+    stream: TcpStream,
+    next_id: u64,
+    max_frame_len: u32,
+}
+
+impl Client {
+    /// Connect to `addr`.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        Ok(Client {
+            stream,
+            next_id: 1,
+            max_frame_len: wire::DEFAULT_MAX_FRAME_LEN,
+        })
+    }
+
+    /// Raise (or lower) the largest response frame this client accepts —
+    /// large batches over wide tables can exceed the
+    /// [`wire::DEFAULT_MAX_FRAME_LEN`] default, and a frame over the limit
+    /// is a connection-fatal [`FrameError::TooLarge`] (the payload is left
+    /// unread, so the stream position cannot be trusted afterwards).
+    pub fn set_max_frame_len(&mut self, max_frame_len: u32) {
+        self.max_frame_len = max_frame_len;
+    }
+
+    /// Explain one question over the registered table `table`.
+    pub fn explain(
+        &mut self,
+        question: &str,
+        table: &str,
+        top_k: Option<usize>,
+    ) -> Result<WireExplanation, ClientError> {
+        let body = RequestBody::Explain(ExplainBody {
+            question: question.to_string(),
+            table: table.to_string(),
+            top_k,
+        });
+        match self.call(body)? {
+            ResponseBody::Explanation(explanation) => Ok(explanation),
+            other => Err(unexpected("Explanation", &other)),
+        }
+    }
+
+    /// Explain a batch of questions; results come back in request order.
+    pub fn explain_batch(
+        &mut self,
+        requests: Vec<ExplainBody>,
+    ) -> Result<Vec<WireExplanation>, ClientError> {
+        let body = RequestBody::ExplainBatch(ExplainBatchBody { requests });
+        match self.call(body)? {
+            ResponseBody::Batch(batch) => Ok(batch.explanations),
+            other => Err(unexpected("Batch", &other)),
+        }
+    }
+
+    /// List the tables registered on the server.
+    pub fn list_tables(&mut self) -> Result<Vec<TableSummary>, ClientError> {
+        match self.call(RequestBody::ListTables)? {
+            ResponseBody::Tables(tables) => Ok(tables.tables),
+            other => Err(unexpected("Tables", &other)),
+        }
+    }
+
+    /// Engine + server statistics.
+    pub fn stats(&mut self) -> Result<StatsBody, ClientError> {
+        match self.call(RequestBody::Stats)? {
+            ResponseBody::Stats(stats) => Ok(stats),
+            other => Err(unexpected("Stats", &other)),
+        }
+    }
+
+    /// Send one request and read its response body. Structured server
+    /// errors surface as [`ClientError::Server`].
+    pub fn call(&mut self, body: RequestBody) -> Result<ResponseBody, ClientError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let envelope = RequestEnvelope {
+            v: wire::PROTOCOL_VERSION,
+            id,
+            body,
+        };
+        let json = serde_json::to_string(&envelope)
+            .map_err(|err| ClientError::Protocol(format!("request serialization: {err}")))?;
+        wire::write_frame(&mut self.stream, json.as_bytes())?;
+
+        let payload = wire::read_frame(&mut self.stream, self.max_frame_len)?;
+        let text = std::str::from_utf8(&payload)
+            .map_err(|_| ClientError::Protocol("response is not UTF-8".to_string()))?;
+        let response: ResponseEnvelope = serde_json::from_str(text)
+            .map_err(|err| ClientError::Protocol(format!("response parse: {err}")))?;
+        if response.v != wire::PROTOCOL_VERSION {
+            return Err(ClientError::Protocol(format!(
+                "server speaks protocol version {}",
+                response.v
+            )));
+        }
+        if response.id != id {
+            return Err(ClientError::Protocol(format!(
+                "response id {} does not match request id {id}",
+                response.id
+            )));
+        }
+        match response.body {
+            ResponseBody::Error(err) => Err(ClientError::Server(err)),
+            body => Ok(body),
+        }
+    }
+}
+
+fn unexpected(wanted: &str, got: &ResponseBody) -> ClientError {
+    let variant = match got {
+        ResponseBody::Explanation(_) => "Explanation",
+        ResponseBody::Batch(_) => "Batch",
+        ResponseBody::Tables(_) => "Tables",
+        ResponseBody::Stats(_) => "Stats",
+        ResponseBody::Error(_) => "Error",
+    };
+    ClientError::Protocol(format!("expected a {wanted} response, got {variant}"))
+}

@@ -1,0 +1,242 @@
+//! A minimal hand-rolled HTTP/1.1 adapter over the same dispatch core as
+//! the framed protocol.
+//!
+//! One request per connection (`Connection: close`), JSON in and out:
+//!
+//! | route | body | answers with |
+//! |---|---|---|
+//! | `GET /stats` | — | [`ResponseBody::Stats`] |
+//! | `GET /tables` | — | [`ResponseBody::Tables`] |
+//! | `POST /explain` | [`ExplainBody`] JSON | [`ResponseBody::Explanation`] |
+//! | `POST /explain_batch` | [`ExplainBatchBody`] JSON | [`ResponseBody::Batch`] |
+//!
+//! The response body is always the JSON serialization of a
+//! [`ResponseBody`], so HTTP clients see exactly the payloads framed
+//! clients see; status codes mirror the error codes (429 + `Retry-After`
+//! for backpressure, 400 for malformed input, 404 for unknown tables and
+//! routes, 413 for oversized bodies, 500 for internal failures).
+
+use std::io::{Read, Write};
+use std::net::{Shutdown, TcpStream};
+use std::time::Duration;
+
+use crate::server::Shared;
+use crate::wire::{ErrorCode, ExplainBatchBody, ExplainBody, RequestBody, ResponseBody, WireError};
+
+/// Bound on the request head (request line + headers).
+const MAX_HEAD_LEN: usize = 16 * 1024;
+
+/// Serve one HTTP request on `stream`; `sniffed` holds the four
+/// already-read bytes of the method.
+pub(crate) fn handle_http(stream: &mut TcpStream, shared: &Shared, sniffed: [u8; 4]) {
+    shared.count_http_request();
+    let response = match read_request(stream, shared, sniffed) {
+        Ok((method, path, body)) => route(shared, &method, &path, &body),
+        Err(err) => err,
+    };
+    if write_response(stream, &response).is_err() {
+        return;
+    }
+    // Lingering close: half-close our side so the peer sees EOF, then drain
+    // whatever it still had in flight (e.g. body bytes past Content-Length).
+    // Closing with unread bytes would turn our FIN into an RST and could
+    // destroy the response before the peer reads it. The drain is bounded
+    // in both bytes and wall time so a slow-dripping client cannot pin the
+    // handler thread.
+    let _ = stream.shutdown(Shutdown::Write);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+    let deadline = std::time::Instant::now() + Duration::from_secs(2);
+    let mut sink = [0u8; 1024];
+    let mut drained = 0usize;
+    while drained < 64 * 1024 && std::time::Instant::now() < deadline {
+        match stream.read(&mut sink) {
+            Ok(n) if n > 0 => drained += n,
+            _ => break,
+        }
+    }
+}
+
+/// An HTTP-level response: status line pieces plus the JSON body.
+struct HttpResponse {
+    status: u16,
+    reason: &'static str,
+    retry_after_ms: Option<u64>,
+    body: String,
+}
+
+impl HttpResponse {
+    fn from_body(body: &ResponseBody) -> HttpResponse {
+        let (status, reason, retry_after_ms) = match body {
+            ResponseBody::Error(err) => status_for(err),
+            _ => (200, "OK", None),
+        };
+        HttpResponse {
+            status,
+            reason,
+            retry_after_ms,
+            body: serde_json::to_string(body).unwrap_or_else(|_| "{}".to_string()),
+        }
+    }
+
+    fn error(code: ErrorCode, message: impl Into<String>) -> HttpResponse {
+        HttpResponse::from_body(&ResponseBody::Error(WireError::new(code, message)))
+    }
+}
+
+fn status_for(err: &WireError) -> (u16, &'static str, Option<u64>) {
+    match err.code {
+        ErrorCode::Malformed => (400, "Bad Request", None),
+        ErrorCode::UnsupportedVersion => (400, "Bad Request", None),
+        ErrorCode::FrameTooLarge => (413, "Payload Too Large", None),
+        ErrorCode::BatchTooLarge => (413, "Payload Too Large", None),
+        ErrorCode::Overloaded => (429, "Too Many Requests", err.retry_after_ms),
+        ErrorCode::UnknownTable => (404, "Not Found", None),
+        ErrorCode::Internal => (500, "Internal Server Error", None),
+    }
+}
+
+/// Read the head and (Content-Length-delimited) body of one request. Reads
+/// in chunks (not byte-at-a-time — the head would otherwise cost one
+/// syscall per byte); bytes past the head terminator are the start of the
+/// body.
+fn read_request(
+    stream: &mut TcpStream,
+    shared: &Shared,
+    sniffed: [u8; 4],
+) -> Result<(String, String, Vec<u8>), HttpResponse> {
+    let mut head = sniffed.to_vec();
+    let mut chunk = [0u8; 1024];
+    let mut scanned = 0usize;
+    let body_start = loop {
+        // Scan only the unscanned tail (re-checking 3 bytes of overlap for
+        // a terminator split across chunks).
+        let from = scanned.saturating_sub(3);
+        if let Some(position) = head[from..]
+            .windows(4)
+            .position(|window| window == b"\r\n\r\n")
+        {
+            break from + position + 4;
+        }
+        scanned = head.len();
+        if head.len() >= MAX_HEAD_LEN {
+            return Err(HttpResponse::error(
+                ErrorCode::FrameTooLarge,
+                "request head too large",
+            ));
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => {
+                return Err(HttpResponse::error(
+                    ErrorCode::Malformed,
+                    "connection closed mid-head",
+                ))
+            }
+            Ok(n) => head.extend_from_slice(&chunk[..n]),
+            Err(err) if err.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => {
+                return Err(HttpResponse::error(ErrorCode::Malformed, "i/o error"));
+            }
+        }
+    };
+    let overread = head.split_off(body_start);
+    let head = String::from_utf8(head)
+        .map_err(|_| HttpResponse::error(ErrorCode::Malformed, "request head is not UTF-8"))?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or_default();
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or_default().to_string();
+    let path = parts.next().unwrap_or_default().to_string();
+
+    let mut content_length = 0usize;
+    for line in lines {
+        let Some((name, value)) = line.split_once(':') else {
+            continue;
+        };
+        if name.trim().eq_ignore_ascii_case("content-length") {
+            content_length = value
+                .trim()
+                .parse()
+                .map_err(|_| HttpResponse::error(ErrorCode::Malformed, "invalid Content-Length"))?;
+        }
+    }
+    if content_length > shared.max_frame_len() as usize {
+        return Err(HttpResponse::error(
+            ErrorCode::FrameTooLarge,
+            "request body exceeds the frame limit",
+        ));
+    }
+    let mut body = overread;
+    if body.len() > content_length {
+        // More than Content-Length arrived with the head; the excess is
+        // drained by the lingering close.
+        body.truncate(content_length);
+    } else {
+        let read_so_far = body.len();
+        body.resize(content_length, 0);
+        stream
+            .read_exact(&mut body[read_so_far..])
+            .map_err(|_| HttpResponse::error(ErrorCode::Malformed, "connection closed mid-body"))?;
+    }
+    Ok((method, path, body))
+}
+
+/// Map `(method, path, body)` to the shared dispatch core.
+fn route(shared: &Shared, method: &str, path: &str, body: &[u8]) -> HttpResponse {
+    let request = match (method, path) {
+        ("GET", "/stats") => RequestBody::Stats,
+        ("GET", "/tables") => RequestBody::ListTables,
+        ("POST", "/explain") => match parse_json::<ExplainBody>(shared, body) {
+            Ok(parsed) => RequestBody::Explain(parsed),
+            Err(response) => return response,
+        },
+        ("POST", "/explain_batch") => match parse_json::<ExplainBatchBody>(shared, body) {
+            Ok(parsed) => RequestBody::ExplainBatch(parsed),
+            Err(response) => return response,
+        },
+        _ => {
+            shared.count_protocol_error();
+            return HttpResponse {
+                status: 404,
+                reason: "Not Found",
+                retry_after_ms: None,
+                body: serde_json::to_string(&ResponseBody::Error(WireError::new(
+                    ErrorCode::Malformed,
+                    format!("no route for {method} {path}"),
+                )))
+                .unwrap_or_else(|_| "{}".to_string()),
+            };
+        }
+    };
+    HttpResponse::from_body(&shared.handle_request(request))
+}
+
+fn parse_json<T: serde::Deserialize>(shared: &Shared, body: &[u8]) -> Result<T, HttpResponse> {
+    let text = std::str::from_utf8(body).map_err(|_| {
+        shared.count_protocol_error();
+        HttpResponse::error(ErrorCode::Malformed, "body is not UTF-8")
+    })?;
+    serde_json::from_str(text).map_err(|err| {
+        shared.count_protocol_error();
+        HttpResponse::error(ErrorCode::Malformed, format!("invalid body: {err}"))
+    })
+}
+
+fn write_response(stream: &mut TcpStream, response: &HttpResponse) -> std::io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n",
+        response.status,
+        response.reason,
+        response.body.len()
+    );
+    if let Some(retry_after_ms) = response.retry_after_ms {
+        // Retry-After is whole seconds; round sub-second hints up.
+        head.push_str(&format!(
+            "Retry-After: {}\r\n",
+            retry_after_ms.div_ceil(1000).max(1)
+        ));
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(response.body.as_bytes())?;
+    stream.flush()
+}

@@ -1,0 +1,60 @@
+//! # wtq-server
+//!
+//! The serving layer of the explanation engine: a hand-rolled, zero-runtime
+//! network front-end over a shared [`wtq_core::Engine`], built entirely on
+//! `std::net` + `std::thread` (the build environment has no async runtime).
+//!
+//! Two protocols share one dispatch core:
+//!
+//! * **Framed JSON over TCP** ([`wire`]) — 4-byte big-endian length prefix,
+//!   then a versioned JSON envelope. This is the primary protocol: cheap to
+//!   parse, pipelineable, spoken by [`Client`].
+//! * **HTTP/1.1** ([`http`], private) — a minimal adapter for `curl` and
+//!   browsers: `GET /stats`, `GET /tables`, `POST /explain`,
+//!   `POST /explain_batch`, one request per connection.
+//!
+//! The serving semantics (documented on [`server`]):
+//!
+//! * **Backpressure** — a bounded in-flight queue; a full queue rejects
+//!   with a structured `Overloaded` error carrying `retry_after_ms`,
+//!   never queueing unboundedly and never hanging the client.
+//! * **Admission control** — per-table concurrency tokens keyed by the
+//!   table's shape fingerprint, so a giant table cannot starve the pool.
+//! * **Registry** — clients address preloaded tables by catalog name
+//!   ([`wtq_table::Catalog`]) instead of shipping rows per request;
+//!   `ListTables` returns [`wtq_table::TableSummary`] listings.
+//! * **Stats** — a `Stats` request snapshots [`wtq_core::EngineStats`]
+//!   (index-cache hit/miss/evictions, served counts, in-flight) plus the
+//!   server's own counters.
+//!
+//! ```no_run
+//! use std::sync::Arc;
+//! use wtq_core::Engine;
+//! use wtq_server::{Client, Server, ServerConfig};
+//! use wtq_table::{samples, Catalog};
+//!
+//! let engine = Arc::new(Engine::new());
+//! let catalog: Arc<Catalog> = Arc::new([samples::olympics()].into_iter().collect());
+//! let handle = Server::bind("127.0.0.1:0", engine, catalog, ServerConfig::default()).unwrap();
+//!
+//! let mut client = Client::connect(handle.local_addr()).unwrap();
+//! let explanation = client
+//!     .explain("Greece held its last Olympics in what year?", "olympics", None)
+//!     .unwrap();
+//! assert!(!explanation.candidates.is_empty());
+//! handle.shutdown();
+//! ```
+
+mod http;
+
+pub mod client;
+pub mod server;
+pub mod wire;
+
+pub use client::{Client, ClientError};
+pub use server::{Server, ServerConfig, ServerHandle};
+pub use wire::{
+    ErrorCode, ExplainBatchBody, ExplainBody, RequestBody, RequestEnvelope, ResponseBody,
+    ResponseEnvelope, ServerStats, StatsBody, TablesBody, WireBatch, WireCandidate, WireError,
+    WireExplanation, PROTOCOL_VERSION,
+};

@@ -1,0 +1,841 @@
+//! The serving layer: accept loop, per-connection protocol handling,
+//! backpressure and per-table admission control over a shared
+//! [`Engine`](wtq_core::Engine).
+//!
+//! ## Scheduling model
+//!
+//! Every data-plane request (`Explain`, `ExplainBatch`) must first take a
+//! slot in the **bounded in-flight queue** (`max_in_flight`). When the queue
+//! is full the request is *rejected immediately* with
+//! [`ErrorCode::Overloaded`] and a `retry_after_ms` hint — the server never
+//! buffers without bound, so memory under overload stays flat and clients
+//! get explicit backpressure instead of unbounded latency. `ListTables` and
+//! `Stats` are control-plane: they bypass the queue so operators can observe
+//! an overloaded server.
+//!
+//! Holding a slot, the request then passes **per-table admission control**
+//! (two layers, see [`TableGate`]): the table must be below its share of
+//! the in-flight queue (`max_table_in_flight`, rejected with a retry hint
+//! otherwise — a hot table's waiters must not fill the whole queue), and
+//! at most `per_table_tokens` requests may execute concurrently against
+//! tables sharing one shape fingerprint ([`wtq_table::Table::fingerprint`]).
+//! Excess requests for a hot (or giant) table wait within their bounded
+//! share while requests for other tables keep executing, so one table
+//! cannot starve the pool.
+//!
+//! ## Protocols
+//!
+//! Connections are sniffed on their first four bytes: an HTTP method prefix
+//! selects the hand-rolled HTTP/1.1 adapter ([`crate::http`]); anything else
+//! is treated as the length-prefix of the framed JSON protocol
+//! ([`crate::wire`]). The two share one dispatch core, so semantics
+//! (backpressure, admission, errors) are identical.
+
+use std::collections::HashMap;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use wtq_core::{Engine, ExplainRequest};
+use wtq_runtime::{BatchError, CancelToken};
+use wtq_table::Catalog;
+
+use crate::http;
+use crate::wire::{
+    self, ErrorCode, ExplainBatchBody, ExplainBody, FrameError, RequestBody, RequestEnvelope,
+    ResponseBody, ResponseEnvelope, ServerStats, StatsBody, TablesBody, WireBatch, WireError,
+    WireExplanation,
+};
+
+/// Tuning knobs of a [`Server`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bound on concurrently admitted data-plane requests; a full queue
+    /// rejects with [`ErrorCode::Overloaded`].
+    pub max_in_flight: usize,
+    /// Concurrent executions allowed per table shape fingerprint.
+    pub per_table_tokens: usize,
+    /// Bound on the share of the in-flight queue one table may occupy
+    /// (executing + waiting); a table over its share rejects with
+    /// [`ErrorCode::Overloaded`] so a hot table cannot fill the whole
+    /// queue and starve the others. Clamped to at least
+    /// `per_table_tokens`.
+    pub max_table_in_flight: usize,
+    /// Maximum accepted frame payload length.
+    pub max_frame_len: u32,
+    /// Maximum questions per `ExplainBatch` request.
+    pub max_batch: usize,
+    /// The `retry_after_ms` hint attached to overload rejections.
+    pub retry_after_ms: u64,
+    /// Upper bound on how long a request may wait for its table's
+    /// execution tokens before being rejected with a retry hint — caps
+    /// worst-case latency and guarantees a contended multi-token batch
+    /// cannot hang its client forever.
+    pub admission_timeout_ms: u64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            max_in_flight: 64,
+            per_table_tokens: 4,
+            max_table_in_flight: 16,
+            max_frame_len: wire::DEFAULT_MAX_FRAME_LEN,
+            max_batch: 256,
+            retry_after_ms: 50,
+            admission_timeout_ms: 30_000,
+        }
+    }
+}
+
+/// Monotonic serving counters (see [`ServerStats`]).
+#[derive(Debug, Default)]
+struct Counters {
+    connections: AtomicU64,
+    requests: AtomicU64,
+    http_requests: AtomicU64,
+    rejected_overload: AtomicU64,
+    rejected_table_busy: AtomicU64,
+    protocol_errors: AtomicU64,
+}
+
+/// Counters of one admission gate, both keyed by table shape fingerprint
+/// and guarded by the gate's single mutex.
+#[derive(Debug, Default)]
+struct GateState {
+    /// Requests currently *executing* against each table (≤ `tokens`).
+    executing: HashMap<u64, usize>,
+    /// Requests currently *occupying an in-flight slot* for each table —
+    /// executing or waiting for a token (≤ `max_queued`).
+    queued: HashMap<u64, usize>,
+}
+
+fn count_of(map: &HashMap<u64, usize>, fingerprint: u64) -> usize {
+    map.get(&fingerprint).copied().unwrap_or(0)
+}
+
+fn decrement(map: &mut HashMap<u64, usize>, fingerprint: u64, amount: usize) {
+    if let Some(count) = map.get_mut(&fingerprint) {
+        *count = count.saturating_sub(amount);
+        if *count == 0 {
+            map.remove(&fingerprint);
+        }
+    }
+}
+
+/// Per-table admission control, two-layered:
+///
+/// * **Occupancy** ([`TableGate::try_occupy`], non-blocking): bounds how
+///   many in-flight-queue slots one table may hold at once (executing *or*
+///   waiting). Without this, a hot table's waiters would fill the entire
+///   bounded queue and every other table's requests would bounce off
+///   `Overloaded` — exactly the cross-table starvation admission control
+///   exists to prevent.
+/// * **Execution tokens** ([`TableGate::acquire`], blocking): at most
+///   `tokens` requests execute concurrently per table. Tokens are claimed
+///   **incrementally in ascending fingerprint order** — the classic
+///   hierarchical-locking order, so multi-table batches cannot deadlock
+///   against each other, and a batch *camps* on the tokens it already
+///   holds, so sustained single-table traffic cannot livelock it out of
+///   ever seeing all its tables free at once.
+#[derive(Debug)]
+struct TableGate {
+    tokens: usize,
+    max_queued: usize,
+    state: Mutex<GateState>,
+    freed: Condvar,
+}
+
+impl TableGate {
+    fn new(tokens: usize, max_queued: usize) -> TableGate {
+        let tokens = tokens.max(1);
+        TableGate {
+            tokens,
+            // A queue share below the execution bound could never fill it.
+            max_queued: max_queued.max(tokens),
+            state: Mutex::new(GateState::default()),
+            freed: Condvar::new(),
+        }
+    }
+
+    /// Claim one in-flight-queue share per fingerprint, all-or-nothing and
+    /// without blocking. `None` when any of the tables has exhausted its
+    /// share — the caller rejects with a retry hint.
+    fn try_occupy(&self, fingerprints: Vec<u64>) -> Option<OccupancyGuard<'_>> {
+        let mut state = self.state.lock().expect("table gate poisoned");
+        if fingerprints
+            .iter()
+            .any(|&fp| count_of(&state.queued, fp) >= self.max_queued)
+        {
+            return None;
+        }
+        for fp in &fingerprints {
+            *state.queued.entry(*fp).or_insert(0) += 1;
+        }
+        Some(OccupancyGuard {
+            gate: self,
+            fingerprints,
+        })
+    }
+
+    /// Claim `weight` execution tokens per fingerprint (clamped to the
+    /// per-table bound), blocking as needed — a batch that fans out over an
+    /// N-worker engine pool claims N tokens, so admission bounds the
+    /// *work* hitting a table, not just the request count. `fingerprints`
+    /// must be sorted ascending and deduplicated. The wait is bounded by
+    /// `timeout` so a contended multi-token request cannot hang its client
+    /// forever; tokens already claimed are released on both timeout and
+    /// shutdown.
+    fn acquire<'a>(
+        &'a self,
+        fingerprints: Vec<u64>,
+        weight: usize,
+        timeout: Duration,
+        shutdown: &AtomicBool,
+    ) -> Acquire<'a> {
+        debug_assert!(fingerprints.windows(2).all(|pair| pair[0] < pair[1]));
+        let weight = weight.clamp(1, self.tokens);
+        let deadline = std::time::Instant::now() + timeout;
+        let mut state = self.state.lock().expect("table gate poisoned");
+        let mut held = 0;
+        while held < fingerprints.len() {
+            let bail = if shutdown.load(Ordering::Acquire) {
+                Some(Acquire::ShuttingDown)
+            } else if std::time::Instant::now() >= deadline {
+                Some(Acquire::TimedOut)
+            } else {
+                None
+            };
+            if let Some(outcome) = bail {
+                for &fp in &fingerprints[..held] {
+                    decrement(&mut state.executing, fp, weight);
+                }
+                drop(state);
+                self.freed.notify_all();
+                return outcome;
+            }
+            let next = fingerprints[held];
+            if count_of(&state.executing, next) + weight <= self.tokens {
+                *state.executing.entry(next).or_insert(0) += weight;
+                held += 1;
+                continue;
+            }
+            // Re-check the shutdown flag and the deadline periodically:
+            // shutdown() cannot know which condvars have waiters.
+            let (guard, _timeout) = self
+                .freed
+                .wait_timeout(state, Duration::from_millis(50))
+                .expect("table gate poisoned");
+            state = guard;
+        }
+        Acquire::Acquired(TableGuard {
+            gate: self,
+            fingerprints,
+            weight,
+        })
+    }
+}
+
+/// Outcome of [`TableGate::acquire`].
+enum Acquire<'a> {
+    /// Tokens claimed; released when the guard drops.
+    Acquired(TableGuard<'a>),
+    /// The admission timeout elapsed — reject with a retry hint.
+    TimedOut,
+    /// The server is shutting down.
+    ShuttingDown,
+}
+
+/// RAII release of claimed in-flight-queue shares.
+struct OccupancyGuard<'a> {
+    gate: &'a TableGate,
+    fingerprints: Vec<u64>,
+}
+
+impl Drop for OccupancyGuard<'_> {
+    fn drop(&mut self) {
+        let mut state = self.gate.state.lock().expect("table gate poisoned");
+        for &fp in &self.fingerprints {
+            decrement(&mut state.queued, fp, 1);
+        }
+    }
+}
+
+/// RAII release of claimed execution tokens.
+struct TableGuard<'a> {
+    gate: &'a TableGate,
+    fingerprints: Vec<u64>,
+    weight: usize,
+}
+
+impl Drop for TableGuard<'_> {
+    fn drop(&mut self) {
+        let mut state = self.gate.state.lock().expect("table gate poisoned");
+        for &fp in &self.fingerprints {
+            decrement(&mut state.executing, fp, self.weight);
+        }
+        drop(state);
+        self.gate.freed.notify_all();
+    }
+}
+
+/// RAII slot in the bounded in-flight queue.
+struct InFlightGuard<'a>(&'a AtomicU64);
+
+impl Drop for InFlightGuard<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+/// State shared between the accept loop, connection handlers and the
+/// [`ServerHandle`].
+pub(crate) struct Shared {
+    engine: Arc<Engine>,
+    catalog: Arc<Catalog>,
+    config: ServerConfig,
+    in_flight: AtomicU64,
+    admission: TableGate,
+    counters: Counters,
+    shutdown: AtomicBool,
+    cancel: CancelToken,
+    /// Clones of live connections (for shutdown), keyed by a connection id
+    /// so each handler can drop its entry on exit — a lingering clone would
+    /// otherwise hold the socket open past the handler (no EOF for the
+    /// peer) and grow without bound on a long-lived server.
+    connections: Mutex<HashMap<u64, TcpStream>>,
+}
+
+impl Shared {
+    /// Take a slot in the bounded in-flight queue, or `None` when full.
+    fn try_admit(&self) -> Option<InFlightGuard<'_>> {
+        let cap = self.config.max_in_flight as u64;
+        let mut current = self.in_flight.load(Ordering::Acquire);
+        loop {
+            if current >= cap {
+                return None;
+            }
+            match self.in_flight.compare_exchange(
+                current,
+                current + 1,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return Some(InFlightGuard(&self.in_flight)),
+                Err(observed) => current = observed,
+            }
+        }
+    }
+
+    /// The overload rejection, with the configured retry hint.
+    fn overloaded(&self) -> ResponseBody {
+        self.counters
+            .rejected_overload
+            .fetch_add(1, Ordering::Relaxed);
+        ResponseBody::Error(WireError {
+            code: ErrorCode::Overloaded,
+            message: format!(
+                "in-flight queue full ({} requests)",
+                self.config.max_in_flight
+            ),
+            retry_after_ms: Some(self.config.retry_after_ms),
+        })
+    }
+
+    /// The per-table queue-share rejection (still retryable by the client,
+    /// hence the same `Overloaded` code with a retry hint).
+    fn table_busy(&self) -> ResponseBody {
+        self.counters
+            .rejected_table_busy
+            .fetch_add(1, Ordering::Relaxed);
+        ResponseBody::Error(WireError {
+            code: ErrorCode::Overloaded,
+            message: format!(
+                "table's in-flight queue share full ({} requests per table)",
+                self.admission.max_queued
+            ),
+            retry_after_ms: Some(self.config.retry_after_ms),
+        })
+    }
+
+    /// Current serving counters.
+    pub(crate) fn server_stats(&self) -> ServerStats {
+        ServerStats {
+            connections: self.counters.connections.load(Ordering::Relaxed),
+            requests: self.counters.requests.load(Ordering::Relaxed),
+            http_requests: self.counters.http_requests.load(Ordering::Relaxed),
+            rejected_overload: self.counters.rejected_overload.load(Ordering::Relaxed),
+            rejected_table_busy: self.counters.rejected_table_busy.load(Ordering::Relaxed),
+            protocol_errors: self.counters.protocol_errors.load(Ordering::Relaxed),
+            in_flight: self.in_flight.load(Ordering::Acquire),
+            max_in_flight: self.config.max_in_flight as u64,
+            per_table_tokens: self.config.per_table_tokens as u64,
+            tables: self.catalog.len() as u64,
+        }
+    }
+
+    /// Count a protocol-level error response.
+    pub(crate) fn count_protocol_error(&self) {
+        self.counters
+            .protocol_errors
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn count_http_request(&self) {
+        self.counters.http_requests.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn max_frame_len(&self) -> u32 {
+        self.config.max_frame_len
+    }
+
+    fn admission_timeout(&self) -> Duration {
+        Duration::from_millis(self.config.admission_timeout_ms)
+    }
+
+    /// Answer one typed request body — the dispatch core shared by the
+    /// framed protocol and the HTTP adapter. Engine work runs under
+    /// `catch_unwind`, so a panicking job becomes an `Internal` error
+    /// response instead of killing the connection handler (and is invisible
+    /// to the accept loop either way).
+    pub(crate) fn handle_request(&self, body: RequestBody) -> ResponseBody {
+        match body {
+            RequestBody::ListTables => ResponseBody::Tables(TablesBody {
+                tables: self.catalog.summaries(),
+            }),
+            RequestBody::Stats => ResponseBody::Stats(StatsBody {
+                engine: self.engine.stats(),
+                server: self.server_stats(),
+            }),
+            RequestBody::Explain(request) => self.handle_explain(request),
+            RequestBody::ExplainBatch(batch) => self.handle_batch(batch),
+        }
+    }
+
+    fn handle_explain(&self, request: ExplainBody) -> ResponseBody {
+        let Some(_slot) = self.try_admit() else {
+            return self.overloaded();
+        };
+        let Some(table) = self.catalog.get(&request.table) else {
+            return ResponseBody::Error(WireError::new(
+                ErrorCode::UnknownTable,
+                format!("unknown table: {}", request.table),
+            ));
+        };
+        let fingerprint = table.fingerprint();
+        let Some(_share) = self.admission.try_occupy(vec![fingerprint]) else {
+            return self.table_busy();
+        };
+        let _tokens = match self.admission.acquire(
+            vec![fingerprint],
+            1,
+            self.admission_timeout(),
+            &self.shutdown,
+        ) {
+            Acquire::Acquired(tokens) => tokens,
+            Acquire::TimedOut => return self.table_busy(),
+            Acquire::ShuttingDown => {
+                return ResponseBody::Error(WireError::new(
+                    ErrorCode::Internal,
+                    "server shutting down",
+                ))
+            }
+        };
+        let top_k = request.top_k.unwrap_or(self.engine.config().top_k);
+        let explained = catch_unwind(AssertUnwindSafe(|| {
+            self.engine
+                .explain_question(&request.question, table, top_k)
+        }));
+        match explained {
+            Ok(candidates) => {
+                self.counters.requests.fetch_add(1, Ordering::Relaxed);
+                ResponseBody::Explanation(WireExplanation::from_candidates(
+                    &request.question,
+                    &request.table,
+                    &candidates,
+                    table,
+                ))
+            }
+            Err(_) => ResponseBody::Error(WireError::new(
+                ErrorCode::Internal,
+                "explanation job panicked",
+            )),
+        }
+    }
+
+    fn handle_batch(&self, batch: ExplainBatchBody) -> ResponseBody {
+        if batch.requests.len() > self.config.max_batch {
+            return ResponseBody::Error(WireError::new(
+                ErrorCode::BatchTooLarge,
+                format!(
+                    "batch of {} exceeds the {}-question limit",
+                    batch.requests.len(),
+                    self.config.max_batch
+                ),
+            ));
+        }
+        let Some(_slot) = self.try_admit() else {
+            return self.overloaded();
+        };
+        // Admission tokens for every distinct table the batch touches;
+        // unknown tables pass through (the engine answers those with a
+        // per-question error, matching the direct batch path).
+        let mut fingerprints: Vec<u64> = batch
+            .requests
+            .iter()
+            .filter_map(|request| self.catalog.get(&request.table))
+            .map(|table| table.fingerprint())
+            .collect();
+        fingerprints.sort_unstable();
+        fingerprints.dedup();
+        let Some(_share) = self.admission.try_occupy(fingerprints.clone()) else {
+            return self.table_busy();
+        };
+        // A batch fans out over the engine's worker pool (clamped to the
+        // batch size by the runtime), so it claims one token per worker it
+        // will actually run — admission bounds the concurrent *work* per
+        // table, not just the request count.
+        let weight = self
+            .engine
+            .config()
+            .workers
+            .clamp(1, batch.requests.len().max(1));
+        let _tokens = match self.admission.acquire(
+            fingerprints,
+            weight,
+            self.admission_timeout(),
+            &self.shutdown,
+        ) {
+            Acquire::Acquired(tokens) => tokens,
+            Acquire::TimedOut => return self.table_busy(),
+            Acquire::ShuttingDown => {
+                return ResponseBody::Error(WireError::new(
+                    ErrorCode::Internal,
+                    "server shutting down",
+                ))
+            }
+        };
+        let requests: Vec<ExplainRequest> = batch
+            .requests
+            .into_iter()
+            .map(|request| ExplainRequest {
+                question: request.question,
+                table: request.table,
+                top_k: request.top_k,
+            })
+            .collect();
+        match self
+            .engine
+            .explain_batch_cancellable(&self.catalog, &requests, &self.cancel)
+        {
+            Ok(explanations) => {
+                self.counters.requests.fetch_add(1, Ordering::Relaxed);
+                ResponseBody::Batch(WireBatch {
+                    explanations: explanations
+                        .iter()
+                        .map(|explanation| {
+                            WireExplanation::from_explanation(
+                                explanation,
+                                self.catalog.get(&explanation.table),
+                            )
+                        })
+                        .collect(),
+                })
+            }
+            Err(BatchError::Cancelled) => {
+                ResponseBody::Error(WireError::new(ErrorCode::Internal, "server shutting down"))
+            }
+            Err(BatchError::JobPanicked { index, message }) => ResponseBody::Error(WireError::new(
+                ErrorCode::Internal,
+                format!("batch job {index} panicked: {message}"),
+            )),
+        }
+    }
+}
+
+/// The serving front-end. [`Server::bind`] starts the accept loop on a
+/// background thread and returns a [`ServerHandle`] for observation and
+/// graceful shutdown.
+pub struct Server;
+
+impl Server {
+    /// Bind `addr` (use port 0 for an ephemeral test port) and start
+    /// serving `engine` over `catalog`'s tables.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        engine: Arc<Engine>,
+        catalog: Arc<Catalog>,
+        config: ServerConfig,
+    ) -> std::io::Result<ServerHandle> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let admission = TableGate::new(config.per_table_tokens, config.max_table_in_flight);
+        let shared = Arc::new(Shared {
+            engine,
+            catalog,
+            config,
+            in_flight: AtomicU64::new(0),
+            admission,
+            counters: Counters::default(),
+            shutdown: AtomicBool::new(false),
+            cancel: CancelToken::new(),
+            connections: Mutex::new(HashMap::new()),
+        });
+        let accept_shared = shared.clone();
+        let accept_thread = std::thread::Builder::new()
+            .name("wtq-server-accept".to_string())
+            .spawn(move || accept_loop(listener, accept_shared))?;
+        Ok(ServerHandle {
+            local_addr,
+            shared,
+            accept_thread: Some(accept_thread),
+        })
+    }
+}
+
+/// Handle on a running server: address, stats, graceful shutdown.
+pub struct ServerHandle {
+    local_addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (with the OS-chosen port when bound to port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// A snapshot of the serving counters, without a network round-trip.
+    pub fn server_stats(&self) -> ServerStats {
+        self.shared.server_stats()
+    }
+
+    /// Graceful shutdown: stop accepting, cancel queued batch work, unblock
+    /// admission waiters, close open connections and join the accept loop.
+    /// In-flight engine calls finish; queued batch questions do not start.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    /// Block until the server stops (i.e. until another holder of the
+    /// process calls for shutdown or the accept loop dies). Used by the
+    /// `serve` binary, which runs until killed.
+    pub fn wait(mut self) {
+        if let Some(thread) = self.accept_thread.take() {
+            let _ = thread.join();
+        }
+    }
+
+    fn shutdown_inner(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.shared.cancel.cancel();
+        // Close every open connection: handlers blocked in read() observe
+        // EOF/reset and exit.
+        for stream in self
+            .shared
+            .connections
+            .lock()
+            .expect("connection list poisoned")
+            .values()
+        {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+        // Unblock accept() with a throwaway connection to our own port.
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(thread) = self.accept_thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        if self.accept_thread.is_some() {
+            self.shutdown_inner();
+        }
+    }
+}
+
+/// The accept loop: one handler thread per connection. Handler panics are
+/// confined to their thread (and the dispatch core additionally catches
+/// unwinds), so nothing here can take the loop down short of the listener
+/// itself failing.
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+    let mut handlers: Vec<JoinHandle<()>> = Vec::new();
+    let mut next_connection_id: u64 = 0;
+    loop {
+        let (stream, _peer) = match listener.accept() {
+            Ok(accepted) => accepted,
+            Err(_) if shared.shutdown.load(Ordering::Acquire) => break,
+            Err(_) => {
+                // Persistent accept errors (e.g. fd exhaustion) would
+                // otherwise busy-spin this thread at 100% CPU.
+                std::thread::sleep(Duration::from_millis(10));
+                continue;
+            }
+        };
+        let connection_id = next_connection_id;
+        next_connection_id += 1;
+        // Register the connection *before* checking the shutdown flag: the
+        // flag store and the map iteration in `shutdown_inner` bracket a
+        // lock of the same mutex, so either this insert is visible to
+        // shutdown (which closes the stream) or the load below observes the
+        // flag — a connection can never slip between the two and leave a
+        // handler blocked in read() past shutdown.
+        if let Ok(clone) = stream.try_clone() {
+            shared
+                .connections
+                .lock()
+                .expect("connection list poisoned")
+                .insert(connection_id, clone);
+        }
+        if shared.shutdown.load(Ordering::Acquire) {
+            let _ = stream.shutdown(Shutdown::Both);
+            shared
+                .connections
+                .lock()
+                .expect("connection list poisoned")
+                .remove(&connection_id);
+            break;
+        }
+        shared.counters.connections.fetch_add(1, Ordering::Relaxed);
+        let handler_shared = shared.clone();
+        let spawned = std::thread::Builder::new()
+            .name("wtq-server-conn".to_string())
+            .spawn(move || {
+                handle_connection(stream, &handler_shared);
+                // Drop the shutdown clone so the socket actually closes
+                // with the handler (the HTTP adapter relies on the EOF).
+                handler_shared
+                    .connections
+                    .lock()
+                    .expect("connection list poisoned")
+                    .remove(&connection_id);
+            });
+        match spawned {
+            Ok(handle) => handlers.push(handle),
+            Err(_) => {
+                // Thread exhaustion: the closure (and its stream) is gone,
+                // but the registered clone would keep the socket open and
+                // the peer waiting forever. Close and deregister it.
+                let mut connections = shared.connections.lock().expect("connection list poisoned");
+                if let Some(clone) = connections.remove(&connection_id) {
+                    let _ = clone.shutdown(Shutdown::Both);
+                }
+            }
+        }
+        // Reap finished handlers so long-lived servers don't accumulate
+        // join handles.
+        handlers.retain(|handle| !handle.is_finished());
+    }
+    for handle in handlers {
+        let _ = handle.join();
+    }
+}
+
+/// Methods whose first four bytes select the HTTP adapter.
+const HTTP_PREFIXES: [&[u8; 4]; 6] = [b"GET ", b"POST", b"PUT ", b"HEAD", b"DELE", b"OPTI"];
+
+/// Sniff the protocol from the first four bytes, then run the matching
+/// handler until the peer disconnects.
+fn handle_connection(mut stream: TcpStream, shared: &Shared) {
+    let _ = stream.set_nodelay(true);
+    let first = match wire::read_prefix(&mut stream) {
+        Ok(first) => first,
+        Err(_) => return, // closed or torn before the protocol was even chosen
+    };
+    if HTTP_PREFIXES.contains(&&first) {
+        http::handle_http(&mut stream, shared, first);
+        return;
+    }
+    framed_loop(&mut stream, shared, Some(first));
+}
+
+/// The framed JSON protocol: read a frame, dispatch, answer, repeat.
+fn framed_loop(stream: &mut TcpStream, shared: &Shared, mut sniffed: Option<[u8; 4]>) {
+    loop {
+        let payload = match sniffed.take() {
+            Some(prefix) => {
+                wire::read_frame_after_prefix(stream, prefix, shared.config.max_frame_len)
+            }
+            None => wire::read_frame(stream, shared.config.max_frame_len),
+        };
+        let payload = match payload {
+            Ok(payload) => payload,
+            Err(FrameError::TooLarge { declared, max }) => {
+                // Answer, then close: the unread payload makes the stream
+                // position untrustworthy.
+                shared.count_protocol_error();
+                let response = ResponseEnvelope {
+                    v: wire::PROTOCOL_VERSION,
+                    id: 0,
+                    body: ResponseBody::Error(WireError::new(
+                        ErrorCode::FrameTooLarge,
+                        format!("frame of {declared} bytes exceeds the {max}-byte limit"),
+                    )),
+                };
+                let _ = send_response(stream, &response);
+                return;
+            }
+            Err(_) => return, // closed, truncated or I/O error: drop quietly
+        };
+        let response = dispatch_frame(shared, &payload);
+        if send_response(stream, &response).is_err() {
+            return;
+        }
+    }
+}
+
+/// Decode one frame payload into a request and answer it. Decode failures
+/// become structured `Malformed`/`UnsupportedVersion` errors.
+fn dispatch_frame(shared: &Shared, payload: &[u8]) -> ResponseEnvelope {
+    let text = match std::str::from_utf8(payload) {
+        Ok(text) => text,
+        Err(_) => {
+            shared.count_protocol_error();
+            return error_envelope(0, ErrorCode::Malformed, "frame payload is not UTF-8");
+        }
+    };
+    let envelope: RequestEnvelope = match serde_json::from_str(text) {
+        Ok(envelope) => envelope,
+        Err(err) => {
+            shared.count_protocol_error();
+            return error_envelope(0, ErrorCode::Malformed, format!("invalid request: {err}"));
+        }
+    };
+    if envelope.v != wire::PROTOCOL_VERSION {
+        shared.count_protocol_error();
+        return error_envelope(
+            envelope.id,
+            ErrorCode::UnsupportedVersion,
+            format!(
+                "protocol version {} not supported (server speaks {})",
+                envelope.v,
+                wire::PROTOCOL_VERSION
+            ),
+        );
+    }
+    ResponseEnvelope {
+        v: wire::PROTOCOL_VERSION,
+        id: envelope.id,
+        body: shared.handle_request(envelope.body),
+    }
+}
+
+fn error_envelope(id: u64, code: ErrorCode, message: impl Into<String>) -> ResponseEnvelope {
+    ResponseEnvelope {
+        v: wire::PROTOCOL_VERSION,
+        id,
+        body: ResponseBody::Error(WireError::new(code, message)),
+    }
+}
+
+fn send_response(stream: &mut TcpStream, response: &ResponseEnvelope) -> std::io::Result<()> {
+    let json = serde_json::to_string(response)
+        .map_err(|err| std::io::Error::new(std::io::ErrorKind::InvalidData, err.to_string()))?;
+    wire::write_frame(stream, json.as_bytes())
+}

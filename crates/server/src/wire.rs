@@ -1,0 +1,512 @@
+//! The wire format: length-prefixed JSON frames with versioned
+//! request/response envelopes.
+//!
+//! A frame is a 4-byte big-endian payload length followed by that many bytes
+//! of UTF-8 JSON. Both directions carry an *envelope* — `{v, id, body}` —
+//! where `v` is the protocol version ([`PROTOCOL_VERSION`]), `id` is a
+//! client-chosen correlation id echoed back in the response, and `body` is
+//! one of the typed request/response bodies below. Frames are independent:
+//! a client may pipeline several requests on one connection and match
+//! responses by `id` (the server answers in request order).
+//!
+//! Every decode failure maps to a *structured* [`WireError`] response —
+//! malformed JSON, an unknown body variant, an unsupported version or an
+//! oversized frame never kill the connection's peer silently, and never the
+//! server's accept loop. The only unrecoverable case is an oversized frame:
+//! after rejecting it the server closes the connection, because the stream
+//! position can no longer be trusted.
+
+use std::io::{Read, Write};
+
+use serde::{Deserialize, Serialize};
+use wtq_core::{EngineStats, ExplainedCandidate, Explanation};
+use wtq_table::{Table, TableSummary};
+
+/// The protocol version spoken by this build. Requests carrying any other
+/// version are answered with [`ErrorCode::UnsupportedVersion`].
+pub const PROTOCOL_VERSION: u64 = 1;
+
+/// Default upper bound on a frame's payload length (8 MiB). Servers reject
+/// larger declared lengths with [`ErrorCode::FrameTooLarge`] *before*
+/// allocating, so a hostile prefix cannot balloon memory.
+pub const DEFAULT_MAX_FRAME_LEN: u32 = 8 * 1024 * 1024;
+
+// ---------------------------------------------------------------------------
+// Framing
+// ---------------------------------------------------------------------------
+
+/// Why a frame could not be read.
+#[derive(Debug)]
+pub enum FrameError {
+    /// The peer closed the connection cleanly at a frame boundary.
+    Closed,
+    /// The stream ended mid-prefix or mid-payload.
+    Truncated,
+    /// The declared payload length exceeds the negotiated maximum.
+    TooLarge {
+        /// Length the prefix declared.
+        declared: u32,
+        /// The maximum this endpoint accepts.
+        max: u32,
+    },
+    /// An operating-system I/O error.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Closed => write!(f, "connection closed"),
+            FrameError::Truncated => write!(f, "stream ended inside a frame"),
+            FrameError::TooLarge { declared, max } => {
+                write!(f, "frame of {declared} bytes exceeds the {max}-byte limit")
+            }
+            FrameError::Io(err) => write!(f, "i/o error: {err}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<std::io::Error> for FrameError {
+    fn from(err: std::io::Error) -> FrameError {
+        FrameError::Io(err)
+    }
+}
+
+/// Write one frame: 4-byte big-endian length prefix, then the payload.
+pub fn write_frame(writer: &mut impl Write, payload: &[u8]) -> std::io::Result<()> {
+    let len = u32::try_from(payload.len()).map_err(|_| {
+        std::io::Error::new(std::io::ErrorKind::InvalidInput, "frame payload over 4 GiB")
+    })?;
+    writer.write_all(&len.to_be_bytes())?;
+    writer.write_all(payload)?;
+    writer.flush()
+}
+
+/// Read one frame's payload, enforcing `max` on the declared length.
+pub fn read_frame(reader: &mut impl Read, max: u32) -> Result<Vec<u8>, FrameError> {
+    let mut prefix = [0u8; 4];
+    read_exact_or_eof(reader, &mut prefix, true)?;
+    read_frame_after_prefix(reader, prefix, max)
+}
+
+/// Read just the 4-byte length prefix — the server's protocol sniffer uses
+/// this to tell HTTP traffic from framed traffic before committing.
+pub fn read_prefix(reader: &mut impl Read) -> Result<[u8; 4], FrameError> {
+    let mut prefix = [0u8; 4];
+    read_exact_or_eof(reader, &mut prefix, true)?;
+    Ok(prefix)
+}
+
+/// [`read_frame`] when the 4 prefix bytes were already consumed (the
+/// server's protocol sniffer reads them to tell HTTP from framed traffic).
+pub fn read_frame_after_prefix(
+    reader: &mut impl Read,
+    prefix: [u8; 4],
+    max: u32,
+) -> Result<Vec<u8>, FrameError> {
+    let declared = u32::from_be_bytes(prefix);
+    if declared > max {
+        return Err(FrameError::TooLarge { declared, max });
+    }
+    let mut payload = vec![0u8; declared as usize];
+    read_exact_or_eof(reader, &mut payload, false)?;
+    Ok(payload)
+}
+
+/// `read_exact` distinguishing a clean close (EOF before the first byte,
+/// when `at_boundary`) from a truncated frame (EOF anywhere else).
+fn read_exact_or_eof(
+    reader: &mut impl Read,
+    buf: &mut [u8],
+    at_boundary: bool,
+) -> Result<(), FrameError> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match reader.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return Err(if at_boundary && filled == 0 {
+                    FrameError::Closed
+                } else {
+                    FrameError::Truncated
+                });
+            }
+            Ok(n) => filled += n,
+            Err(err) if err.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(err) => return Err(FrameError::Io(err)),
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Envelopes
+// ---------------------------------------------------------------------------
+
+/// A client request: protocol version, correlation id and a typed body.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RequestEnvelope {
+    /// Protocol version; must equal [`PROTOCOL_VERSION`].
+    pub v: u64,
+    /// Client-chosen correlation id, echoed in the response.
+    pub id: u64,
+    /// The request body.
+    pub body: RequestBody,
+}
+
+/// The server's reply to one request.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ResponseEnvelope {
+    /// Protocol version of the responding server.
+    pub v: u64,
+    /// The request's correlation id (0 when the request was too malformed
+    /// to carry one).
+    pub id: u64,
+    /// The response body.
+    pub body: ResponseBody,
+}
+
+/// Typed request bodies.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum RequestBody {
+    /// Explain one question over a registered table.
+    Explain(ExplainBody),
+    /// Explain a batch of questions on the server's worker pool.
+    ExplainBatch(ExplainBatchBody),
+    /// List the tables registered in the server's catalog.
+    ListTables,
+    /// Engine + server statistics (control plane: never queued or rejected).
+    Stats,
+}
+
+/// One question addressed to a registered table by name.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExplainBody {
+    /// The natural-language question.
+    pub question: String,
+    /// Registry name of the table (see [`RequestBody::ListTables`]).
+    pub table: String,
+    /// Candidates to explain; the server's engine default when absent.
+    pub top_k: Option<usize>,
+}
+
+/// A batch of questions, answered in order.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExplainBatchBody {
+    /// The questions; capped by the server's `max_batch`.
+    pub requests: Vec<ExplainBody>,
+}
+
+/// Typed response bodies.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum ResponseBody {
+    /// The explained candidates of one question.
+    Explanation(WireExplanation),
+    /// Per-question results of a batch, in request order.
+    Batch(WireBatch),
+    /// The table registry listing.
+    Tables(TablesBody),
+    /// Engine + server statistics.
+    Stats(StatsBody),
+    /// A structured failure.
+    Error(WireError),
+}
+
+/// Batch results, in request order.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WireBatch {
+    /// One entry per batch request.
+    pub explanations: Vec<WireExplanation>,
+}
+
+/// The table registry listing.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TablesBody {
+    /// Summaries of every registered table, in name order.
+    pub tables: Vec<TableSummary>,
+}
+
+/// Engine + server statistics.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StatsBody {
+    /// Snapshot of the shared engine ([`wtq_core::Engine::stats`]).
+    pub engine: EngineStats,
+    /// Counters of the serving layer itself.
+    pub server: ServerStats,
+}
+
+/// Counters of the serving layer (all monotonic except `in_flight`).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ServerStats {
+    /// Connections accepted (TCP protocol and HTTP alike).
+    pub connections: u64,
+    /// Requests answered successfully.
+    pub requests: u64,
+    /// Requests served through the HTTP adapter.
+    pub http_requests: u64,
+    /// Requests rejected because the in-flight queue was full.
+    pub rejected_overload: u64,
+    /// Requests rejected because one table had exhausted its share of the
+    /// in-flight queue (`ServerConfig::max_table_in_flight`).
+    pub rejected_table_busy: u64,
+    /// Frames answered with a `Malformed`/`UnsupportedVersion`/
+    /// `FrameTooLarge` error.
+    pub protocol_errors: u64,
+    /// Requests currently holding an in-flight slot.
+    pub in_flight: u64,
+    /// The in-flight queue bound (`ServerConfig::max_in_flight`).
+    pub max_in_flight: u64,
+    /// Per-table admission tokens (`ServerConfig::per_table_tokens`).
+    pub per_table_tokens: u64,
+    /// Registered tables.
+    pub tables: u64,
+}
+
+/// A structured error response.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WireError {
+    /// Machine-readable error class.
+    pub code: ErrorCode,
+    /// Human-readable detail.
+    pub message: String,
+    /// For [`ErrorCode::Overloaded`]: how long the client should wait
+    /// before retrying.
+    pub retry_after_ms: Option<u64>,
+}
+
+impl WireError {
+    /// An error with no retry hint.
+    pub fn new(code: ErrorCode, message: impl Into<String>) -> WireError {
+        WireError {
+            code,
+            message: message.into(),
+            retry_after_ms: None,
+        }
+    }
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:?}: {}", self.code, self.message)
+    }
+}
+
+/// Machine-readable error classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ErrorCode {
+    /// The frame's payload was not a valid request envelope.
+    Malformed,
+    /// The envelope's `v` differs from the server's [`PROTOCOL_VERSION`].
+    UnsupportedVersion,
+    /// The frame's declared length exceeds the server's limit; the server
+    /// closes the connection after this error.
+    FrameTooLarge,
+    /// The bounded in-flight queue is full; retry after `retry_after_ms`.
+    Overloaded,
+    /// The request names a table absent from the registry.
+    UnknownTable,
+    /// The batch exceeds the server's `max_batch`.
+    BatchTooLarge,
+    /// The server is shutting down or a job failed internally.
+    Internal,
+}
+
+// ---------------------------------------------------------------------------
+// Explanations on the wire
+// ---------------------------------------------------------------------------
+
+/// One explained candidate, flattened for the wire: the formula and SQL as
+/// their canonical text renderings, the answer as its structured form, and
+/// the provenance highlights as the sampled plain-text rendering (§5.3)
+/// plus per-class cell counts.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WireCandidate {
+    /// Canonical rendering of the lambda DCS formula.
+    pub formula: String,
+    /// The parser's score.
+    pub score: f64,
+    /// The candidate's answer on the table.
+    pub answer: wtq_core::dcs::Answer,
+    /// The NL utterance explaining the query (§5.1).
+    pub utterance: String,
+    /// SQL rendering, when the formula falls in the translatable fragment.
+    pub sql: Option<String>,
+    /// Sampled plain-text rendering of the highlighted table (§5.2–5.3).
+    pub highlights: String,
+    /// Cells highlighted as query output.
+    pub output_cells: usize,
+    /// Cells highlighted as execution provenance.
+    pub execution_cells: usize,
+    /// Cells highlighted as column provenance.
+    pub column_cells: usize,
+}
+
+impl WireCandidate {
+    /// Flatten one explained candidate against the table it was computed on.
+    pub fn from_candidate(candidate: &ExplainedCandidate, table: &Table) -> WireCandidate {
+        let (output_cells, execution_cells, column_cells) = candidate.highlights.class_counts();
+        WireCandidate {
+            formula: candidate.formula.to_string(),
+            score: candidate.score,
+            answer: candidate.answer.clone(),
+            utterance: candidate.utterance.clone(),
+            sql: candidate.sql.clone(),
+            highlights: candidate.render_highlights(table, true),
+            output_cells,
+            execution_cells,
+            column_cells,
+        }
+    }
+}
+
+/// The explained candidates of one question, as returned to clients.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WireExplanation {
+    /// The question asked.
+    pub question: String,
+    /// The registry name it was asked against.
+    pub table: String,
+    /// The explained top-k candidates, in rank order.
+    pub candidates: Vec<WireCandidate>,
+    /// Why the question produced no candidates, when it failed outright.
+    pub error: Option<String>,
+}
+
+impl WireExplanation {
+    /// Flatten a core [`Explanation`]; `table` must be the catalog table the
+    /// explanation ran against (absent exactly when the explanation carries
+    /// an unknown-table error).
+    pub fn from_explanation(explanation: &Explanation, table: Option<&Table>) -> WireExplanation {
+        let candidates = match table {
+            Some(table) => explanation
+                .candidates
+                .iter()
+                .map(|candidate| WireCandidate::from_candidate(candidate, table))
+                .collect(),
+            None => Vec::new(),
+        };
+        WireExplanation {
+            question: explanation.question.clone(),
+            table: explanation.table.clone(),
+            candidates,
+            error: explanation.error.clone(),
+        }
+    }
+
+    /// Flatten the result of a direct [`wtq_core::Engine::explain_question`]
+    /// call — the reference path integration tests compare server responses
+    /// against, byte for byte.
+    pub fn from_candidates(
+        question: &str,
+        table_name: &str,
+        candidates: &[ExplainedCandidate],
+        table: &Table,
+    ) -> WireExplanation {
+        WireExplanation {
+            question: question.to_string(),
+            table: table_name.to_string(),
+            candidates: candidates
+                .iter()
+                .map(|candidate| WireCandidate::from_candidate(candidate, table))
+                .collect(),
+            error: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_round_trip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        let mut cursor = &buf[..];
+        assert_eq!(read_frame(&mut cursor, 64).unwrap(), b"hello");
+        assert_eq!(read_frame(&mut cursor, 64).unwrap(), b"");
+        assert!(matches!(
+            read_frame(&mut cursor, 64),
+            Err(FrameError::Closed)
+        ));
+    }
+
+    #[test]
+    fn oversized_and_truncated_frames_are_distinguished() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &[0u8; 32]).unwrap();
+        let mut cursor = &buf[..];
+        assert!(matches!(
+            read_frame(&mut cursor, 16),
+            Err(FrameError::TooLarge {
+                declared: 32,
+                max: 16
+            })
+        ));
+        // A prefix promising more bytes than the stream holds.
+        let mut cursor = &buf[..20];
+        assert!(matches!(
+            read_frame(&mut cursor, 64),
+            Err(FrameError::Truncated)
+        ));
+        // A torn prefix.
+        let mut cursor = &buf[..2];
+        assert!(matches!(
+            read_frame(&mut cursor, 64),
+            Err(FrameError::Truncated)
+        ));
+    }
+
+    #[test]
+    fn envelopes_round_trip_through_json() {
+        let request = RequestEnvelope {
+            v: PROTOCOL_VERSION,
+            id: 7,
+            body: RequestBody::Explain(ExplainBody {
+                question: "Which city hosted in 2008?".to_string(),
+                table: "olympics".to_string(),
+                top_k: Some(3),
+            }),
+        };
+        let json = serde_json::to_string(&request).unwrap();
+        let back: RequestEnvelope = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.v, PROTOCOL_VERSION);
+        assert_eq!(back.id, 7);
+        match back.body {
+            RequestBody::Explain(body) => {
+                assert_eq!(body.question, "Which city hosted in 2008?");
+                assert_eq!(body.table, "olympics");
+                assert_eq!(body.top_k, Some(3));
+            }
+            other => panic!("wrong body: {other:?}"),
+        }
+
+        // Unit variants serialize as bare strings.
+        let stats = RequestEnvelope {
+            v: PROTOCOL_VERSION,
+            id: 1,
+            body: RequestBody::Stats,
+        };
+        let json = serde_json::to_string(&stats).unwrap();
+        assert!(json.contains("\"Stats\""));
+        let back: RequestEnvelope = serde_json::from_str(&json).unwrap();
+        assert!(matches!(back.body, RequestBody::Stats));
+    }
+
+    #[test]
+    fn error_codes_round_trip() {
+        let err = WireError {
+            code: ErrorCode::Overloaded,
+            message: "queue full".to_string(),
+            retry_after_ms: Some(50),
+        };
+        let json = serde_json::to_string(&ResponseBody::Error(err.clone())).unwrap();
+        let back: ResponseBody = serde_json::from_str(&json).unwrap();
+        match back {
+            ResponseBody::Error(parsed) => assert_eq!(parsed, err),
+            other => panic!("wrong body: {other:?}"),
+        }
+    }
+}

@@ -6,9 +6,44 @@
 
 use std::collections::BTreeMap;
 
+use serde::{Deserialize, Serialize};
+
 use crate::error::TableError;
 use crate::table::Table;
 use crate::Result;
+
+/// A serializable description of one registered table — what a serving
+/// layer's `list_tables` surface hands to clients so they can reference
+/// preloaded tables by name instead of shipping rows per request.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TableSummary {
+    /// The table's registry name (the key clients use in requests).
+    pub name: String,
+    /// Number of data records.
+    pub records: usize,
+    /// Column headers, in table order.
+    pub columns: Vec<String>,
+    /// The table's shape fingerprint ([`Table::fingerprint`]) as a
+    /// fixed-width hex string — hex rather than a JSON number because the
+    /// full 64 bits do not survive an f64 round-trip.
+    pub fingerprint: String,
+}
+
+impl TableSummary {
+    /// Summarize one table.
+    pub fn of(table: &Table) -> TableSummary {
+        TableSummary {
+            name: table.name().to_string(),
+            records: table.num_records(),
+            columns: table
+                .columns()
+                .iter()
+                .map(|column| column.name.clone())
+                .collect(),
+            fingerprint: format!("{:016x}", table.fingerprint()),
+        }
+    }
+}
 
 /// A registry of tables keyed by their name.
 #[derive(Debug, Clone, Default)]
@@ -63,6 +98,17 @@ impl Catalog {
     pub fn names(&self) -> impl Iterator<Item = &str> {
         self.tables.keys().map(String::as_str)
     }
+
+    /// Serializable summaries of every registered table, in name order —
+    /// the registry listing a serving layer exposes to clients.
+    pub fn summaries(&self) -> Vec<TableSummary> {
+        self.tables.values().map(TableSummary::of).collect()
+    }
+
+    /// Summary of one table by name.
+    pub fn summary(&self, name: &str) -> Option<TableSummary> {
+        self.get(name).map(TableSummary::of)
+    }
 }
 
 impl FromIterator<Table> for Catalog {
@@ -103,6 +149,29 @@ mod tests {
         let replaced = catalog.insert(tiny("a"));
         assert!(replaced.is_some());
         assert_eq!(catalog.len(), 1);
+    }
+
+    #[test]
+    fn summaries_describe_the_registry() {
+        let catalog: Catalog = vec![
+            Table::from_rows("b", &["X", "Y"], &[vec!["1", "2"], vec!["3", "4"]]).unwrap(),
+            tiny("a"),
+        ]
+        .into_iter()
+        .collect();
+        let summaries = catalog.summaries();
+        assert_eq!(summaries.len(), 2);
+        assert_eq!(summaries[0].name, "a");
+        assert_eq!(summaries[1].name, "b");
+        assert_eq!(summaries[1].records, 2);
+        assert_eq!(summaries[1].columns, vec!["X", "Y"]);
+        assert_eq!(summaries[1].fingerprint.len(), 16);
+        assert_eq!(
+            summaries[1].fingerprint,
+            format!("{:016x}", catalog.get("b").unwrap().fingerprint())
+        );
+        assert_eq!(catalog.summary("a"), Some(summaries[0].clone()));
+        assert_eq!(catalog.summary("missing"), None);
     }
 
     #[test]

@@ -269,8 +269,9 @@ fn build_column(table: &Table, column: usize) -> ColumnIndex {
 pub const DEFAULT_INDEX_CACHE_CAPACITY: usize = 256;
 
 /// Hit / miss / eviction counters of an [`IndexCache`], for instrumentation
-/// of serving and training loops.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+/// of serving and training loops. Serializable so stats endpoints can embed
+/// a snapshot directly.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct CacheStats {
     /// Lookups answered from a cached index.
     pub hits: u64,

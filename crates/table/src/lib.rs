@@ -35,7 +35,7 @@ pub mod samples;
 pub mod table;
 pub mod value;
 
-pub use catalog::Catalog;
+pub use catalog::{Catalog, TableSummary};
 pub use cell::CellRef;
 pub use error::TableError;
 pub use index::{CacheStats, ColumnIndex, IndexCache, TableIndex, DEFAULT_INDEX_CACHE_CAPACITY};

@@ -1,0 +1,471 @@
+//! Client ↔ server integration: loopback proofs that the serving layer is a
+//! transparent, backpressured window onto the shared `Engine`.
+//!
+//! The three acceptance properties of the serving layer:
+//!
+//! 1. responses are **byte-identical** to direct `Engine::explain_question`
+//!    calls (the wire adds framing, not meaning),
+//! 2. a full in-flight queue yields an immediate backpressure rejection
+//!    with a retry hint — never a hang,
+//! 3. two tables of very different sizes both make progress under
+//!    concurrent load (per-table admission control).
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use wtq_core::{Engine, ExplainRequest};
+use wtq_server::{
+    Client, ClientError, ErrorCode, ExplainBody, Server, ServerConfig, ServerHandle,
+    WireExplanation,
+};
+use wtq_table::{samples, Catalog, Table};
+
+/// A deterministically generated "giant" table next to the small samples.
+fn big_table(rows: usize) -> Table {
+    let mut rng = ChaCha8Rng::seed_from_u64(20190416);
+    let domain = &wtq_dataset::all_domains()[0];
+    wtq_dataset::tablegen::generate_table_with_rows(domain, 0, rows, &mut rng)
+}
+
+fn serving_stack(
+    config: ServerConfig,
+    extra: Vec<Table>,
+) -> (Arc<Engine>, Arc<Catalog>, ServerHandle) {
+    let engine = Arc::new(Engine::new());
+    let mut tables = vec![samples::olympics(), samples::medals()];
+    tables.extend(extra);
+    let catalog: Arc<Catalog> = Arc::new(tables.into_iter().collect());
+    let handle = Server::bind("127.0.0.1:0", engine.clone(), catalog.clone(), config)
+        .expect("bind loopback server");
+    (engine, catalog, handle)
+}
+
+#[test]
+fn responses_are_byte_identical_to_direct_engine_calls() {
+    let (engine, catalog, handle) = serving_stack(ServerConfig::default(), Vec::new());
+    let mut client = Client::connect(handle.local_addr()).unwrap();
+
+    let cases = [
+        ("Greece held its last Olympics in what year?", "olympics", 7),
+        ("Which city hosted in 2008?", "olympics", 3),
+        (
+            "What is the difference in Total between Fiji and Tonga?",
+            "medals",
+            5,
+        ),
+    ];
+    for (question, table_name, top_k) in cases {
+        let served = client
+            .explain(question, table_name, Some(top_k))
+            .expect("server explains");
+        assert!(!served.candidates.is_empty(), "{question}");
+
+        // The reference path: the same shared engine, called directly, then
+        // flattened through the same wire conversion.
+        let table = catalog.get(table_name).unwrap();
+        let direct = WireExplanation::from_candidates(
+            question,
+            table_name,
+            &engine.explain_question(question, table, top_k),
+            table,
+        );
+        assert_eq!(
+            serde_json::to_string(&served).unwrap(),
+            serde_json::to_string(&direct).unwrap(),
+            "served explanation must serialize byte-identically for {question}"
+        );
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn batch_responses_match_the_direct_batch_path() {
+    let (engine, catalog, handle) = serving_stack(ServerConfig::default(), Vec::new());
+    let mut client = Client::connect(handle.local_addr()).unwrap();
+
+    let requests = vec![
+        ExplainBody {
+            question: "Greece held its last Olympics in what year?".to_string(),
+            table: "olympics".to_string(),
+            top_k: None,
+        },
+        ExplainBody {
+            question: "total Gold of Fiji?".to_string(),
+            table: "medals".to_string(),
+            top_k: Some(2),
+        },
+        ExplainBody {
+            question: "anything".to_string(),
+            table: "no-such-table".to_string(),
+            top_k: None,
+        },
+    ];
+    let served = client.explain_batch(requests.clone()).expect("batch runs");
+    assert_eq!(served.len(), 3);
+
+    let engine_requests: Vec<ExplainRequest> = requests
+        .iter()
+        .map(|request| ExplainRequest {
+            question: request.question.clone(),
+            table: request.table.clone(),
+            top_k: request.top_k,
+        })
+        .collect();
+    let direct = engine.explain_batch(&catalog, &engine_requests);
+    for (served, direct) in served.iter().zip(&direct) {
+        let direct_wire = WireExplanation::from_explanation(direct, catalog.get(&direct.table));
+        assert_eq!(
+            serde_json::to_string(served).unwrap(),
+            serde_json::to_string(&direct_wire).unwrap()
+        );
+    }
+    // The unknown table came back as a per-question error, not a failure.
+    assert!(served[2]
+        .error
+        .as_deref()
+        .unwrap()
+        .contains("no-such-table"));
+    assert!(served[2].candidates.is_empty());
+    handle.shutdown();
+}
+
+#[test]
+fn full_in_flight_queue_rejects_with_retry_after_instead_of_hanging() {
+    let config = ServerConfig {
+        max_in_flight: 1,
+        retry_after_ms: 77,
+        ..ServerConfig::default()
+    };
+    let (_engine, _catalog, handle) = serving_stack(config, vec![big_table(400)]);
+    let addr = handle.local_addr();
+
+    // Occupy the single in-flight slot with a slow batch over the big table.
+    let mut rng = ChaCha8Rng::seed_from_u64(7);
+    let questions = wtq_dataset::generate_questions(&big_table(400), 6, &mut rng);
+    let batch: Vec<ExplainBody> = questions
+        .iter()
+        .map(|question| ExplainBody {
+            question: question.question.clone(),
+            table: big_table(400).name().to_string(),
+            top_k: Some(2),
+        })
+        .collect();
+    let batch_thread = std::thread::spawn(move || {
+        let mut client = Client::connect(addr).expect("batch client connects");
+        client
+            .explain_batch(batch)
+            .expect("the slow batch succeeds")
+    });
+
+    // Wait (bounded) until the batch actually holds the slot.
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while handle.server_stats().in_flight == 0 {
+        assert!(
+            Instant::now() < deadline,
+            "batch never became in-flight; stats: {:?}",
+            handle.server_stats()
+        );
+        std::thread::yield_now();
+    }
+
+    // The queue is full: a single explain must be rejected immediately with
+    // the configured retry hint — not block until the batch finishes.
+    let mut client = Client::connect(addr).unwrap();
+    let start = Instant::now();
+    let rejection = client.explain("Which city hosted in 2008?", "olympics", None);
+    match rejection {
+        Err(ClientError::Server(err)) => {
+            assert_eq!(err.code, ErrorCode::Overloaded);
+            assert_eq!(err.retry_after_ms, Some(77));
+        }
+        other => panic!("expected an Overloaded rejection, got {other:?}"),
+    }
+    // "Immediately": the rejection must not have waited out the batch.
+    let in_flight_after = handle.server_stats().in_flight;
+    assert!(
+        in_flight_after > 0,
+        "rejection raced the batch (took {:?}); grow the batch if this flakes",
+        start.elapsed()
+    );
+
+    let explanations = batch_thread.join().expect("batch thread clean");
+    assert_eq!(explanations.len(), 6);
+    assert!(handle.server_stats().rejected_overload >= 1);
+
+    // Once the queue drains, the same request is admitted again.
+    let explanation = client
+        .explain("Which city hosted in 2008?", "olympics", None)
+        .expect("after drain the queue admits again");
+    assert!(!explanation.candidates.is_empty());
+    handle.shutdown();
+}
+
+#[test]
+fn hot_table_cannot_fill_the_whole_queue() {
+    // One table at its queue share must be rejected while other tables'
+    // requests are still admitted — the starvation the per-table occupancy
+    // bound exists to prevent.
+    let config = ServerConfig {
+        max_in_flight: 16,
+        per_table_tokens: 1,
+        max_table_in_flight: 1,
+        ..ServerConfig::default()
+    };
+    let big = big_table(400);
+    let big_name = big.name().to_string();
+    let (_engine, _catalog, handle) = serving_stack(config, vec![big]);
+    let addr = handle.local_addr();
+
+    let mut rng = ChaCha8Rng::seed_from_u64(13);
+    let questions = wtq_dataset::generate_questions(&big_table(400), 6, &mut rng);
+    let batch: Vec<ExplainBody> = questions
+        .iter()
+        .map(|question| ExplainBody {
+            question: question.question.clone(),
+            table: big_name.clone(),
+            top_k: Some(2),
+        })
+        .collect();
+    let batch_thread = std::thread::spawn(move || {
+        let mut client = Client::connect(addr).expect("batch client connects");
+        client
+            .explain_batch(batch)
+            .expect("the slow batch succeeds")
+    });
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while handle.server_stats().in_flight == 0 {
+        assert!(Instant::now() < deadline, "batch never became in-flight");
+        std::thread::yield_now();
+    }
+
+    // The big table holds its whole (1-slot) queue share: another request
+    // for it bounces with a retry hint...
+    let mut client = Client::connect(addr).unwrap();
+    match client.explain("anything", &big_name, Some(1)) {
+        Err(ClientError::Server(err)) => {
+            assert_eq!(err.code, ErrorCode::Overloaded);
+            assert!(err.retry_after_ms.is_some());
+            assert!(err.message.contains("share"), "{}", err.message);
+        }
+        other => panic!("expected a table-share rejection, got {other:?}"),
+    }
+    // ... while a request for a different table is admitted and completes,
+    // even though 15 of the 16 queue slots are still free for it.
+    let explanation = client
+        .explain("Which city hosted in 2008?", "olympics", None)
+        .expect("other tables stay admitted while one table is saturated");
+    assert!(!explanation.candidates.is_empty());
+
+    batch_thread.join().expect("batch thread clean");
+    let stats = handle.server_stats();
+    assert!(stats.rejected_table_busy >= 1, "{stats:?}");
+    assert_eq!(stats.rejected_overload, 0, "{stats:?}");
+    handle.shutdown();
+}
+
+#[test]
+fn asymmetric_tables_both_make_progress_under_concurrent_load() {
+    let config = ServerConfig {
+        max_in_flight: 16,
+        per_table_tokens: 1,
+        ..ServerConfig::default()
+    };
+    let big = big_table(300);
+    let big_name = big.name().to_string();
+    let (_engine, _catalog, handle) = serving_stack(config, vec![big]);
+    let addr = handle.local_addr();
+
+    let mut rng = ChaCha8Rng::seed_from_u64(11);
+    let big_questions = wtq_dataset::generate_questions(&big_table(300), 4, &mut rng);
+
+    std::thread::scope(|scope| {
+        // Two workers hammer the big table (serialized by the single
+        // admission token)...
+        let mut workers = Vec::new();
+        for worker in 0..2 {
+            let big_name = big_name.clone();
+            let big_questions = &big_questions;
+            workers.push(scope.spawn(move || {
+                let mut client = Client::connect(addr).expect("big client connects");
+                for question in big_questions.iter().skip(worker * 2).take(2) {
+                    let explanation = client
+                        .explain(&question.question, &big_name, Some(2))
+                        .expect("big-table request succeeds");
+                    assert_eq!(explanation.table, big_name);
+                }
+            }));
+        }
+        // ... while two workers keep asking about the small tables; with
+        // per-table admission the big table cannot occupy their tokens, so
+        // every small request completes too.
+        for _ in 0..2 {
+            workers.push(scope.spawn(move || {
+                let mut client = Client::connect(addr).expect("small client connects");
+                for _ in 0..3 {
+                    let explanation = client
+                        .explain("Which city hosted in 2008?", "olympics", Some(2))
+                        .expect("small-table request succeeds");
+                    assert!(!explanation.candidates.is_empty());
+                }
+            }));
+        }
+        for worker in workers {
+            worker.join().expect("worker clean");
+        }
+    });
+
+    let stats = handle.server_stats();
+    assert_eq!(stats.rejected_overload, 0, "{stats:?}");
+    assert_eq!(stats.requests, 2 * 2 + 2 * 3);
+    assert_eq!(stats.in_flight, 0);
+    handle.shutdown();
+}
+
+#[test]
+fn registry_and_stats_surfaces_reflect_the_serving_state() {
+    let (engine, catalog, handle) = serving_stack(ServerConfig::default(), Vec::new());
+    let mut client = Client::connect(handle.local_addr()).unwrap();
+
+    // The registry listing matches the catalog's own summaries.
+    let tables = client.list_tables().unwrap();
+    assert_eq!(tables, catalog.summaries());
+    assert_eq!(tables.len(), 2);
+    assert_eq!(tables[0].name, "medals");
+    assert_eq!(tables[1].name, "olympics");
+
+    let before = client.stats().unwrap();
+    assert_eq!(before.engine.questions_served, 0);
+    client
+        .explain("Which city hosted in 2008?", "olympics", None)
+        .unwrap();
+    client
+        .explain(
+            "In what year did France hold the Olympics?",
+            "olympics",
+            None,
+        )
+        .unwrap();
+    let after = client.stats().unwrap();
+    assert_eq!(after.engine.questions_served, 2);
+    assert!(after.engine.index_cache.hits >= 1, "{after:?}");
+    assert_eq!(after.engine.index_cache.misses, 1);
+    assert_eq!(after.server.requests, 2);
+    assert_eq!(after.server.in_flight, 0);
+    assert_eq!(after.server.tables, 2);
+    assert!(after.server.connections >= 1);
+    // The client-visible engine snapshot is the engine's own.
+    assert_eq!(after.engine, engine.stats());
+    handle.shutdown();
+}
+
+/// Speak minimal HTTP/1.1 against the same port and parse the JSON body.
+fn http_request(addr: std::net::SocketAddr, request: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    stream.write_all(request.as_bytes()).unwrap();
+    stream.flush().unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).unwrap();
+    let status: u16 = response
+        .split_whitespace()
+        .nth(1)
+        .expect("status code")
+        .parse()
+        .expect("numeric status");
+    let body = response
+        .split_once("\r\n\r\n")
+        .map(|(_, body)| body.to_string())
+        .unwrap_or_default();
+    (status, body)
+}
+
+#[test]
+fn http_adapter_serves_the_same_dispatch_core() {
+    let (engine, catalog, handle) = serving_stack(ServerConfig::default(), Vec::new());
+    let addr = handle.local_addr();
+
+    let (status, body) = http_request(addr, "GET /tables HTTP/1.1\r\nHost: x\r\n\r\n");
+    assert_eq!(status, 200);
+    assert!(body.contains("\"olympics\""));
+    assert!(body.contains("\"medals\""));
+
+    let explain = r#"{"question": "Which city hosted in 2008?", "table": "olympics", "top_k": 2}"#;
+    let request = format!(
+        "POST /explain HTTP/1.1\r\nHost: x\r\nContent-Length: {}\r\n\r\n{}",
+        explain.len(),
+        explain
+    );
+    let (status, body) = http_request(addr, &request);
+    assert_eq!(status, 200);
+    // The HTTP body is the same ResponseBody JSON framed clients get.
+    let parsed: wtq_server::ResponseBody = serde_json::from_str(&body).unwrap();
+    match parsed {
+        wtq_server::ResponseBody::Explanation(explanation) => {
+            let table = catalog.get("olympics").unwrap();
+            let direct = WireExplanation::from_candidates(
+                "Which city hosted in 2008?",
+                "olympics",
+                &engine.explain_question("Which city hosted in 2008?", table, 2),
+                table,
+            );
+            assert_eq!(
+                serde_json::to_string(&explanation).unwrap(),
+                serde_json::to_string(&direct).unwrap()
+            );
+        }
+        other => panic!("expected an explanation, got {other:?}"),
+    }
+
+    let (status, _) = http_request(addr, "GET /stats HTTP/1.1\r\nHost: x\r\n\r\n");
+    assert_eq!(status, 200);
+    let (status, _) = http_request(addr, "GET /no-such-route HTTP/1.1\r\nHost: x\r\n\r\n");
+    assert_eq!(status, 404);
+    let (status, _) = http_request(
+        addr,
+        "POST /explain HTTP/1.1\r\nHost: x\r\nContent-Length: 7\r\n\r\nnot json",
+    );
+    assert_eq!(status, 400);
+
+    let unknown = r#"{"question": "q", "table": "nope", "top_k": null}"#;
+    let request = format!(
+        "POST /explain HTTP/1.1\r\nHost: x\r\nContent-Length: {}\r\n\r\n{}",
+        unknown.len(),
+        unknown
+    );
+    let (status, _) = http_request(addr, &request);
+    assert_eq!(status, 404);
+    handle.shutdown();
+}
+
+#[test]
+fn graceful_shutdown_stops_accepting_and_drains() {
+    let (_engine, _catalog, handle) = serving_stack(ServerConfig::default(), Vec::new());
+    let addr = handle.local_addr();
+    let mut client = Client::connect(addr).unwrap();
+    client
+        .explain("Which city hosted in 2008?", "olympics", None)
+        .unwrap();
+    handle.shutdown();
+
+    // The existing connection is closed...
+    let after = client.explain("Which city hosted in 2008?", "olympics", None);
+    assert!(after.is_err(), "connection must be closed after shutdown");
+    // ... and the port no longer accepts (allow the OS a moment to tear it
+    // down, then expect connect to fail or the socket to be dead).
+    let reconnect = TcpStream::connect(addr);
+    if let Ok(mut stream) = reconnect {
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        let _ = stream.write_all(&8u32.to_be_bytes());
+        let mut buf = [0u8; 1];
+        // No handler is alive to answer.
+        assert!(matches!(stream.read(&mut buf), Ok(0) | Err(_)));
+    }
+}
