@@ -393,6 +393,32 @@ fn main() {
         if let Some(report) = exec_report.as_mut() {
             report.serving = Some(serving);
         }
+
+        heading("Serving layer — connection scaling (epoll reactor)");
+        let idle = wtq_bench::serve::idle_connections_report(5000, 8, 24, 512);
+        println!(
+            "{} idle connections held open ({} requested; soft fd limit {}) \
+             while {} active clients replay {} questions:\n",
+            idle.idle_connections,
+            idle.requested_idle,
+            idle.nofile_soft_limit,
+            idle.active_connections,
+            idle.questions
+        );
+        println!("| metric | value |");
+        println!("|---|---|");
+        println!(
+            "| server open-connections gauge | {} |",
+            idle.server_open_connections
+        );
+        println!("| reactor threads | {} |", idle.reactor_threads);
+        println!("| dispatch threads | {} |", idle.dispatch_threads);
+        println!("| throughput | {:.1} questions/s |", idle.qps);
+        println!("| p50 | {:.2} ms |", idle.p50_ms);
+        println!("| p99 | {:.2} ms |", idle.p99_ms);
+        if let Some(report) = exec_report.as_mut() {
+            report.idle_serving = Some(idle);
+        }
     }
 
     if let (Some(path), Some(report)) = (&json_path, &exec_report) {

@@ -84,6 +84,10 @@ pub struct ExecReport {
     /// Loopback network-serving latency percentiles (`experiments
     /// --section serve`); absent when the serving section was not run.
     pub serving: Option<crate::serve::ServingReport>,
+    /// Connection-scaling proof: thousands of idle sockets held open by
+    /// the epoll reactor while a handful of active clients keep full
+    /// throughput (`experiments --section serve`).
+    pub idle_serving: Option<crate::serve::IdleConnectionsReport>,
 }
 
 /// Time `f` repeatedly within a small budget; mean µs per call.
@@ -259,6 +263,7 @@ pub fn exec_report(rows: usize, questions: usize) -> ExecReport {
         cache_misses,
         parallel,
         serving: None,
+        idle_serving: None,
     }
 }
 

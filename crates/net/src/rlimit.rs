@@ -1,0 +1,38 @@
+//! Open-file limit helpers for many-connection servers and benches.
+//!
+//! A 5000-idle-connection bench needs ~2 fds per loopback connection in
+//! one process; the default soft `RLIMIT_NOFILE` (often 1024) would kill
+//! it at accept time. The soft limit can be raised to the hard limit
+//! without privileges, so benches call [`raise_nofile_limit`] and clamp
+//! their connection counts to what they actually got.
+
+use std::io;
+
+use crate::sys;
+
+/// The current `(soft, hard)` open-file limits.
+pub fn nofile_limit() -> io::Result<(u64, u64)> {
+    let mut limit = sys::rlimit {
+        rlim_cur: 0,
+        rlim_max: 0,
+    };
+    sys::cvt(unsafe { sys::getrlimit(sys::RLIMIT_NOFILE, &mut limit) })?;
+    Ok((limit.rlim_cur, limit.rlim_max))
+}
+
+/// Raise the soft open-file limit toward `wanted` (capped by the hard
+/// limit, which unprivileged processes cannot exceed). Returns the soft
+/// limit actually in effect afterwards; never lowers it.
+pub fn raise_nofile_limit(wanted: u64) -> io::Result<u64> {
+    let (soft, hard) = nofile_limit()?;
+    if wanted <= soft {
+        return Ok(soft);
+    }
+    let target = wanted.min(hard);
+    let limit = sys::rlimit {
+        rlim_cur: target,
+        rlim_max: hard,
+    };
+    sys::cvt(unsafe { sys::setrlimit(sys::RLIMIT_NOFILE, &limit) })?;
+    Ok(target)
+}

@@ -1,0 +1,77 @@
+//! Cross-thread reactor wakeup over a nonblocking pipe.
+//!
+//! A reactor blocked in [`crate::Poller::wait`] cannot see work queued by
+//! other threads (a completed response, a new connection, shutdown). The
+//! waker is the classic self-pipe: the reactor registers the read end in
+//! its poller; any thread holding a [`Waker`] writes one byte to the write
+//! end, turning the queued work into a readiness event.
+
+use std::io;
+use std::os::unix::io::RawFd;
+use std::sync::Arc;
+
+use crate::sys;
+
+/// The write end of the wakeup pipe — cheap to clone, safe to use from any
+/// thread.
+#[derive(Debug, Clone)]
+pub struct Waker {
+    write_fd: Arc<OwnedFd>,
+}
+
+/// The read end, owned by the reactor that registered it.
+#[derive(Debug)]
+pub struct WakeReceiver {
+    read_fd: OwnedFd,
+}
+
+#[derive(Debug)]
+struct OwnedFd(RawFd);
+
+impl Drop for OwnedFd {
+    fn drop(&mut self) {
+        unsafe { sys::close(self.0) };
+    }
+}
+
+/// A connected waker pair.
+pub fn waker() -> io::Result<(Waker, WakeReceiver)> {
+    let (read_fd, write_fd) = sys::nonblocking_pipe()?;
+    Ok((
+        Waker {
+            write_fd: Arc::new(OwnedFd(write_fd)),
+        },
+        WakeReceiver {
+            read_fd: OwnedFd(read_fd),
+        },
+    ))
+}
+
+impl Waker {
+    /// Make the paired receiver's fd readable. A full pipe means a wakeup
+    /// is already pending, which is exactly the state we want — the
+    /// `WouldBlock` is success, not failure.
+    pub fn wake(&self) {
+        let byte = 1u8;
+        unsafe { sys::write(self.write_fd.0, &byte, 1) };
+    }
+}
+
+impl WakeReceiver {
+    /// The fd to register for readability.
+    pub fn fd(&self) -> RawFd {
+        self.read_fd.0
+    }
+
+    /// Consume all pending wakeups so a level-triggered poller stops
+    /// reporting the pipe readable.
+    pub fn drain(&self) {
+        let mut sink = [0u8; 64];
+        loop {
+            let n = unsafe { sys::read(self.read_fd.0, sink.as_mut_ptr(), sink.len()) };
+            if n <= 0 || (n as usize) < sink.len() {
+                break;
+            }
+        }
+    }
+}

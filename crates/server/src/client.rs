@@ -1,7 +1,14 @@
 //! A blocking client for the framed JSON protocol — what tests, benches and
 //! the `serve` tooling use to talk to a [`crate::Server`].
+//!
+//! Production callers should prefer [`Client::connect_with`] (bounded
+//! connect/read/write waits instead of indefinite blocking) and the
+//! `*_with_retry` helpers, which honor the server's `retry_after_ms`
+//! backpressure hint instead of forcing every caller to hand-roll the
+//! backoff loop.
 
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
 use wtq_table::TableSummary;
 
@@ -50,6 +57,40 @@ impl From<FrameError> for ClientError {
     }
 }
 
+/// Timeouts for [`Client::connect_with`]. `None` fields block
+/// indefinitely, matching the plain [`Client::connect`] behavior.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ConnectOptions {
+    /// Bound on establishing the TCP connection.
+    pub connect_timeout: Option<Duration>,
+    /// Bound on each socket read while awaiting a response.
+    pub read_timeout: Option<Duration>,
+    /// Bound on each socket write while sending a request.
+    pub write_timeout: Option<Duration>,
+}
+
+/// How the `*_with_retry` helpers respond to `Overloaded` rejections.
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Retries after the initial attempt (so `max_retries: 2` sends at
+    /// most 3 requests).
+    pub max_retries: u32,
+    /// Backoff when the rejection carries no `retry_after_ms` hint.
+    pub default_backoff: Duration,
+    /// Upper bound on any single backoff sleep, whatever the server hints.
+    pub max_backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 3,
+            default_backoff: Duration::from_millis(50),
+            max_backoff: Duration::from_secs(2),
+        }
+    }
+}
+
 /// A blocking connection to a server. One request is in flight at a time;
 /// the client correlates responses by envelope id and checks the protocol
 /// version on every reply.
@@ -62,13 +103,56 @@ pub struct Client {
 impl Client {
     /// Connect to `addr`.
     pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
-        let stream = TcpStream::connect(addr)?;
+        Client::connect_with(addr, ConnectOptions::default())
+    }
+
+    /// Connect to `addr` with explicit timeouts. A `connect_timeout`
+    /// bounds each candidate address; read/write timeouts persist on the
+    /// connection (a timed-out read surfaces as [`ClientError::Io`] with
+    /// kind `WouldBlock`/`TimedOut`, and the connection should be dropped:
+    /// a late response would desynchronize the stream).
+    pub fn connect_with(
+        addr: impl ToSocketAddrs,
+        options: ConnectOptions,
+    ) -> std::io::Result<Client> {
+        let stream = match options.connect_timeout {
+            None => TcpStream::connect(addr)?,
+            Some(timeout) => {
+                let addrs: Vec<SocketAddr> = addr.to_socket_addrs()?.collect();
+                let mut last_err = None;
+                let mut connected = None;
+                for candidate in addrs {
+                    match TcpStream::connect_timeout(&candidate, timeout) {
+                        Ok(stream) => {
+                            connected = Some(stream);
+                            break;
+                        }
+                        Err(err) => last_err = Some(err),
+                    }
+                }
+                connected.ok_or_else(|| {
+                    last_err.unwrap_or_else(|| {
+                        std::io::Error::new(
+                            std::io::ErrorKind::InvalidInput,
+                            "address resolved to nothing",
+                        )
+                    })
+                })?
+            }
+        };
         let _ = stream.set_nodelay(true);
+        stream.set_read_timeout(options.read_timeout)?;
+        stream.set_write_timeout(options.write_timeout)?;
         Ok(Client {
             stream,
             next_id: 1,
             max_frame_len: wire::DEFAULT_MAX_FRAME_LEN,
         })
+    }
+
+    /// Change the per-read timeout on the live connection.
+    pub fn set_read_timeout(&mut self, timeout: Option<Duration>) -> std::io::Result<()> {
+        self.stream.set_read_timeout(timeout)
     }
 
     /// Raise (or lower) the largest response frame this client accepts —
@@ -123,6 +207,73 @@ impl Client {
         match self.call(RequestBody::Stats)? {
             ResponseBody::Stats(stats) => Ok(stats),
             other => Err(unexpected("Stats", &other)),
+        }
+    }
+
+    /// [`Client::explain`] with backpressure retries: an `Overloaded`
+    /// rejection sleeps out the server's `retry_after_ms` hint (bounded by
+    /// the policy) and tries again. Rejections keep the connection alive,
+    /// so retries reuse it.
+    pub fn explain_with_retry(
+        &mut self,
+        question: &str,
+        table: &str,
+        top_k: Option<usize>,
+        policy: &RetryPolicy,
+    ) -> Result<WireExplanation, ClientError> {
+        let body = RequestBody::Explain(ExplainBody {
+            question: question.to_string(),
+            table: table.to_string(),
+            top_k,
+        });
+        match self.call_with_retry(body, policy)? {
+            ResponseBody::Explanation(explanation) => Ok(explanation),
+            other => Err(unexpected("Explanation", &other)),
+        }
+    }
+
+    /// [`Client::explain_batch`] with backpressure retries (see
+    /// [`Client::explain_with_retry`]).
+    pub fn explain_batch_with_retry(
+        &mut self,
+        requests: Vec<ExplainBody>,
+        policy: &RetryPolicy,
+    ) -> Result<Vec<WireExplanation>, ClientError> {
+        let body = RequestBody::ExplainBatch(ExplainBatchBody { requests });
+        match self.call_with_retry(body, policy)? {
+            ResponseBody::Batch(batch) => Ok(batch.explanations),
+            other => Err(unexpected("Batch", &other)),
+        }
+    }
+
+    /// [`Client::call`], but an [`ErrorCode::Overloaded`] rejection is
+    /// retried up to `policy.max_retries` times, sleeping the server's
+    /// `retry_after_ms` hint (or `policy.default_backoff` without one,
+    /// always capped by `policy.max_backoff`) between attempts. Any other
+    /// outcome — success, a different server error, an I/O failure —
+    /// returns immediately; the final rejection is returned as-is when the
+    /// budget runs out.
+    pub fn call_with_retry(
+        &mut self,
+        body: RequestBody,
+        policy: &RetryPolicy,
+    ) -> Result<ResponseBody, ClientError> {
+        let mut attempts_left = policy.max_retries;
+        loop {
+            match self.call(body.clone()) {
+                Err(ClientError::Server(err))
+                    if err.code == wire::ErrorCode::Overloaded && attempts_left > 0 =>
+                {
+                    attempts_left -= 1;
+                    let backoff = err
+                        .retry_after_ms
+                        .map(Duration::from_millis)
+                        .unwrap_or(policy.default_backoff)
+                        .min(policy.max_backoff);
+                    std::thread::sleep(backoff);
+                }
+                outcome => return outcome,
+            }
         }
     }
 

@@ -1,0 +1,476 @@
+//! The per-connection protocol state machine driven by the reactor.
+//!
+//! A [`Conn`] owns one nonblocking socket and turns readiness events into
+//! protocol progress without ever blocking: reads feed the resumable
+//! decoders ([`wire::FrameDecoder`] / [`crate::http::HttpParser`]) and park
+//! complete requests in an ordered pending queue; writes drain the outbox.
+//! The reactor pulls at most one pending request at a time into the worker
+//! pool (`busy`), preserving the blocking server's answer-in-request-order
+//! guarantee for pipelined clients, and applies the close choreography each
+//! protocol needs (immediate close after an oversized frame, lingering
+//! drain after an HTTP response).
+
+use std::collections::VecDeque;
+use std::io::{Read, Write};
+use std::net::{Shutdown, TcpStream};
+use std::time::{Duration, Instant};
+
+use crate::http::{self, HttpParser, HttpRequest};
+use crate::server::Shared;
+use crate::wire::{
+    self, ErrorCode, FrameDecoder, FrameError, ResponseBody, ResponseEnvelope, WireError,
+};
+
+/// Methods whose first four bytes select the HTTP adapter.
+const HTTP_PREFIXES: [&[u8; 4]; 6] = [b"GET ", b"POST", b"PUT ", b"HEAD", b"DELE", b"OPTI"];
+
+/// Bytes a lingering HTTP close will drain before giving up on the peer.
+const DRAIN_LIMIT: usize = 64 * 1024;
+
+/// Decoded-but-unanswered requests one connection may queue before the
+/// reactor stops reading it — the blocking server never read ahead at all,
+/// so a bounded read-ahead is strictly more permissive while still denying
+/// a pipelining client unbounded server memory.
+const PENDING_LIMIT: usize = 64;
+
+/// Wall-clock bound on the lingering drain.
+const DRAIN_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// A request decoded off the socket, waiting its turn on the worker pool.
+#[derive(Debug)]
+pub(crate) enum JobKind {
+    /// One framed-protocol payload (the bytes between length prefixes).
+    Frame(Vec<u8>),
+    /// One complete HTTP request.
+    Http(HttpRequest),
+}
+
+/// An entry of the ordered pending queue: either work for the dispatcher
+/// or a protocol-fatal response that must go out *after* the answers to
+/// every earlier pipelined request.
+#[derive(Debug)]
+enum PendingItem {
+    Job(JobKind),
+    /// Queue these bytes, then apply the close mode. Terminal: later input
+    /// is never parsed.
+    Fatal(Vec<u8>, CloseMode),
+}
+
+/// What to do once the outbox drains.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum CloseMode {
+    /// Keep serving.
+    Open,
+    /// Close outright (framed protocol after an oversized frame: the
+    /// stream position is untrustworthy).
+    CloseAfterFlush,
+    /// Half-close our side and drain the peer's leftovers before closing
+    /// (HTTP lingering close — a hard close with unread bytes would turn
+    /// our FIN into an RST and could destroy the response in flight).
+    DrainAfterFlush,
+}
+
+/// Which protocol the connection speaks, with its resumable parser state.
+enum Proto {
+    /// Fewer than four bytes seen — protocol not chosen yet.
+    Sniff(Vec<u8>),
+    Framed(FrameDecoder),
+    Http(HttpParser),
+    /// HTTP response sent and write side shut; discarding peer leftovers
+    /// until EOF, `DRAIN_LIMIT` bytes or `deadline`.
+    Draining {
+        deadline: Instant,
+        drained: usize,
+    },
+}
+
+/// What `handle_readable`/`handle_writable` concluded.
+#[must_use]
+#[derive(Debug, PartialEq, Eq)]
+pub(crate) enum IoOutcome {
+    /// Still alive; the reactor re-evaluates interest and pending work.
+    Continue,
+    /// Close and deregister now.
+    Close,
+}
+
+pub(crate) struct Conn {
+    stream: TcpStream,
+    /// Generation stamp so a stale worker completion for a recycled slab
+    /// slot is dropped instead of answering the wrong connection.
+    pub(crate) gen: u64,
+    proto: Proto,
+    /// Decoded-but-unsubmitted requests, in arrival order.
+    pending: VecDeque<PendingItem>,
+    /// Whether one request is out with the worker pool.
+    pub(crate) busy: bool,
+    /// Response bytes awaiting socket writability.
+    outbox: VecDeque<Vec<u8>>,
+    /// How much of `outbox.front()` is already written.
+    front_written: usize,
+    close_mode: CloseMode,
+    /// The peer sent EOF; never read again (except while draining).
+    peer_eof: bool,
+    /// A fatal response was queued; stop parsing input.
+    read_poisoned: bool,
+    /// The interest currently registered with the poller — the reactor
+    /// skips the `epoll_ctl(MOD)` syscall when it is already right.
+    pub(crate) registered_interest: wtq_net::Interest,
+}
+
+impl Conn {
+    pub(crate) fn new(stream: TcpStream, gen: u64) -> std::io::Result<Conn> {
+        stream.set_nonblocking(true)?;
+        let _ = stream.set_nodelay(true);
+        Ok(Conn {
+            stream,
+            gen,
+            proto: Proto::Sniff(Vec::with_capacity(4)),
+            pending: VecDeque::new(),
+            busy: false,
+            outbox: VecDeque::new(),
+            front_written: 0,
+            close_mode: CloseMode::Open,
+            peer_eof: false,
+            read_poisoned: false,
+            registered_interest: wtq_net::Interest::READABLE,
+        })
+    }
+
+    pub(crate) fn stream(&self) -> &TcpStream {
+        &self.stream
+    }
+
+    /// Drain the socket's readable bytes through the protocol machine.
+    pub(crate) fn handle_readable(&mut self, scratch: &mut [u8], shared: &Shared) -> IoOutcome {
+        if self.peer_eof || (self.read_poisoned && !matches!(self.proto, Proto::Draining { .. })) {
+            return IoOutcome::Continue;
+        }
+        loop {
+            match self.stream.read(scratch) {
+                Ok(0) => {
+                    self.peer_eof = true;
+                    break;
+                }
+                Ok(n) => {
+                    let buffered = &scratch[..n];
+                    match self.feed(buffered, shared) {
+                        IoOutcome::Continue => {}
+                        IoOutcome::Close => return IoOutcome::Close,
+                    }
+                    if self.read_poisoned && !matches!(self.proto, Proto::Draining { .. }) {
+                        return IoOutcome::Continue;
+                    }
+                    // Enforce the read-ahead bound *inside* the loop, not
+                    // just when interest is recomputed: a client keeping
+                    // the socket buffer full must not grow `pending`
+                    // without limit or pin this reactor thread. Unread
+                    // bytes stay in the kernel buffer; the level-triggered
+                    // poller re-reports them once the queue drains.
+                    if self.pending.len() >= PENDING_LIMIT {
+                        break;
+                    }
+                }
+                Err(err) if err.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(err) if err.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => return IoOutcome::Close,
+            }
+        }
+        if self.peer_eof {
+            return self.handle_eof(shared);
+        }
+        IoOutcome::Continue
+    }
+
+    /// Route freshly read bytes into the current protocol state.
+    fn feed(&mut self, mut input: &[u8], shared: &Shared) -> IoOutcome {
+        if let Proto::Sniff(buf) = &mut self.proto {
+            let take = input.len().min(4 - buf.len());
+            buf.extend_from_slice(&input[..take]);
+            input = &input[take..];
+            if buf.len() < 4 {
+                return IoOutcome::Continue;
+            }
+            let first: [u8; 4] = buf[..4].try_into().expect("sniff buffer holds 4 bytes");
+            if HTTP_PREFIXES.contains(&&first) {
+                shared.count_http_request();
+                let mut parser = HttpParser::new(shared.max_frame_len() as usize);
+                // Replay the sniffed bytes into the chosen parser.
+                if Self::feed_http(&mut parser, &first, &mut self.pending) {
+                    self.read_poisoned = true;
+                }
+                self.proto = Proto::Http(parser);
+                if self.read_poisoned {
+                    return IoOutcome::Continue;
+                }
+            } else {
+                let mut decoder = FrameDecoder::new(shared.max_frame_len());
+                let mut sniffed: &[u8] = &first;
+                let outcome =
+                    Self::feed_framed(&mut decoder, &mut sniffed, shared, &mut self.pending);
+                self.proto = Proto::Framed(decoder);
+                if let Some(fatal) = outcome {
+                    self.push_fatal(fatal, CloseMode::CloseAfterFlush);
+                    return IoOutcome::Continue;
+                }
+            }
+        }
+        match &mut self.proto {
+            Proto::Sniff(_) => unreachable!("sniff resolved above"),
+            Proto::Framed(decoder) => {
+                match Self::feed_framed(decoder, &mut input, shared, &mut self.pending) {
+                    Some(fatal) => {
+                        self.push_fatal(fatal, CloseMode::CloseAfterFlush);
+                        IoOutcome::Continue
+                    }
+                    None => IoOutcome::Continue,
+                }
+            }
+            Proto::Http(parser) => {
+                if Self::feed_http(parser, input, &mut self.pending) {
+                    self.read_poisoned = true;
+                }
+                IoOutcome::Continue
+            }
+            Proto::Draining {
+                deadline: _,
+                drained,
+            } => {
+                *drained += input.len();
+                if *drained > DRAIN_LIMIT {
+                    return IoOutcome::Close;
+                }
+                IoOutcome::Continue
+            }
+        }
+    }
+
+    /// Feed the framed decoder; complete payloads become pending jobs.
+    /// Returns the fatal response bytes on an oversized frame.
+    fn feed_framed(
+        decoder: &mut FrameDecoder,
+        input: &mut &[u8],
+        shared: &Shared,
+        pending: &mut VecDeque<PendingItem>,
+    ) -> Option<Vec<u8>> {
+        loop {
+            match decoder.feed(input) {
+                Ok(Some(payload)) => pending.push_back(PendingItem::Job(JobKind::Frame(payload))),
+                Ok(None) => return None,
+                Err(FrameError::TooLarge { declared, max }) => {
+                    shared.count_protocol_error();
+                    let envelope = ResponseEnvelope {
+                        v: wire::PROTOCOL_VERSION,
+                        id: 0,
+                        body: ResponseBody::Error(WireError::new(
+                            ErrorCode::FrameTooLarge,
+                            format!("frame of {declared} bytes exceeds the {max}-byte limit"),
+                        )),
+                    };
+                    return Some(encode_envelope(&envelope));
+                }
+                Err(_) => unreachable!("a pure decoder cannot hit I/O errors"),
+            }
+        }
+    }
+
+    /// Feed the HTTP parser; a complete request becomes the pending job, a
+    /// parser error becomes a fatal drain-then-close response. Returns
+    /// whether a fatal response was queued.
+    fn feed_http(
+        parser: &mut HttpParser,
+        input: &[u8],
+        pending: &mut VecDeque<PendingItem>,
+    ) -> bool {
+        match parser.feed(input) {
+            Ok(Some(request)) => {
+                pending.push_back(PendingItem::Job(JobKind::Http(request)));
+                false
+            }
+            Ok(None) => false,
+            Err(response) => {
+                pending.push_back(PendingItem::Fatal(
+                    http::response_bytes(&response),
+                    CloseMode::DrainAfterFlush,
+                ));
+                true
+            }
+        }
+    }
+
+    fn push_fatal(&mut self, bytes: Vec<u8>, mode: CloseMode) {
+        self.pending.push_back(PendingItem::Fatal(bytes, mode));
+        self.read_poisoned = true;
+    }
+
+    /// EOF arrived: decide whether anything still owes the peer bytes.
+    fn handle_eof(&mut self, _shared: &Shared) -> IoOutcome {
+        match &mut self.proto {
+            // Draining exists to wait for exactly this EOF.
+            Proto::Draining { .. } => IoOutcome::Close,
+            // Torn before the protocol was even chosen.
+            Proto::Sniff(_) => {
+                if self.idle() {
+                    IoOutcome::Close
+                } else {
+                    IoOutcome::Continue
+                }
+            }
+            Proto::Framed(_) => {
+                // Clean close at a boundary or truncated mid-frame: either
+                // way nothing new to answer; finish flushing what's queued
+                // (the reactor closes once idle).
+                if self.idle() {
+                    IoOutcome::Close
+                } else {
+                    IoOutcome::Continue
+                }
+            }
+            Proto::Http(parser) => {
+                // A request torn mid-head/mid-body still gets a structured
+                // answer (the peer may have only half-closed its side).
+                if let Some(response) = parser.eof_error() {
+                    if !self.busy && !self.read_poisoned {
+                        self.push_fatal(
+                            http::response_bytes(&response),
+                            CloseMode::DrainAfterFlush,
+                        );
+                    }
+                }
+                if self.idle() {
+                    IoOutcome::Close
+                } else {
+                    IoOutcome::Continue
+                }
+            }
+        }
+    }
+
+    /// Flush the outbox as far as the socket allows.
+    pub(crate) fn handle_writable(&mut self) -> IoOutcome {
+        while let Some(front) = self.outbox.front() {
+            if self.front_written >= front.len() {
+                self.outbox.pop_front();
+                self.front_written = 0;
+                continue;
+            }
+            match self.stream.write(&front[self.front_written..]) {
+                Ok(0) => return IoOutcome::Close,
+                Ok(n) => self.front_written += n,
+                Err(err) if err.kind() == std::io::ErrorKind::WouldBlock => {
+                    return IoOutcome::Continue
+                }
+                Err(err) if err.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => return IoOutcome::Close,
+            }
+        }
+        IoOutcome::Continue
+    }
+
+    /// Accept a completed response from the worker pool.
+    pub(crate) fn complete_response(&mut self, bytes: Vec<u8>) {
+        self.busy = false;
+        self.outbox.push_back(bytes);
+        if matches!(self.proto, Proto::Http(_)) {
+            // One request per HTTP connection: after this response, drain
+            // and close.
+            self.close_mode = CloseMode::DrainAfterFlush;
+        }
+    }
+
+    /// Hand the next pending request to the caller (the reactor submits it
+    /// to the worker pool), or apply a queued fatal response. At most one
+    /// request is out at a time.
+    pub(crate) fn next_job(&mut self) -> Option<JobKind> {
+        if self.busy || self.close_mode != CloseMode::Open {
+            return None;
+        }
+        match self.pending.pop_front() {
+            None => None,
+            Some(PendingItem::Job(kind)) => {
+                self.busy = true;
+                Some(kind)
+            }
+            Some(PendingItem::Fatal(bytes, mode)) => {
+                self.outbox.push_back(bytes);
+                self.close_mode = mode;
+                // Anything decoded after the poison is unanswerable.
+                self.pending.clear();
+                None
+            }
+        }
+    }
+
+    /// Post-flush transition: `Close` to close now, `Continue` otherwise.
+    /// Starts the HTTP lingering drain when due.
+    pub(crate) fn after_flush(&mut self) -> IoOutcome {
+        if !self.outbox.is_empty() {
+            return IoOutcome::Continue;
+        }
+        match self.close_mode {
+            CloseMode::CloseAfterFlush => IoOutcome::Close,
+            CloseMode::DrainAfterFlush => {
+                if self.peer_eof {
+                    // Nothing left to drain; the FIN already arrived.
+                    return IoOutcome::Close;
+                }
+                let _ = self.stream.shutdown(Shutdown::Write);
+                self.proto = Proto::Draining {
+                    deadline: Instant::now() + DRAIN_TIMEOUT,
+                    drained: 0,
+                };
+                self.close_mode = CloseMode::Open;
+                self.read_poisoned = false;
+                IoOutcome::Continue
+            }
+            CloseMode::Open => {
+                if self.peer_eof && self.idle() && !matches!(self.proto, Proto::Draining { .. }) {
+                    IoOutcome::Close
+                } else {
+                    IoOutcome::Continue
+                }
+            }
+        }
+    }
+
+    /// No request in flight, nothing pending, nothing to write.
+    fn idle(&self) -> bool {
+        !self.busy && self.pending.is_empty() && self.outbox.is_empty()
+    }
+
+    /// Whether the reactor should watch for readability.
+    pub(crate) fn wants_read(&self) -> bool {
+        if self.peer_eof {
+            return false;
+        }
+        if matches!(self.proto, Proto::Draining { .. }) {
+            return true;
+        }
+        !self.read_poisoned
+            && self.close_mode == CloseMode::Open
+            && self.pending.len() < PENDING_LIMIT
+    }
+
+    /// Whether the reactor should watch for writability.
+    pub(crate) fn wants_write(&self) -> bool {
+        !self.outbox.is_empty()
+    }
+
+    /// The drain deadline, when the connection is in the lingering-drain
+    /// state — the reactor polls with a timeout while any exist.
+    pub(crate) fn drain_deadline(&self) -> Option<Instant> {
+        match &self.proto {
+            Proto::Draining { deadline, .. } => Some(*deadline),
+            _ => None,
+        }
+    }
+}
+
+fn encode_envelope(envelope: &ResponseEnvelope) -> Vec<u8> {
+    let json = serde_json::to_string(envelope).unwrap_or_else(|_| {
+        // An unserializable error envelope is unreachable (it is all plain
+        // strings), but never answer garbage.
+        "{}".to_string()
+    });
+    wire::encode_frame(json.as_bytes()).unwrap_or_default()
+}

@@ -1,5 +1,7 @@
 //! A minimal hand-rolled HTTP/1.1 adapter over the same dispatch core as
-//! the framed protocol.
+//! the framed protocol — parsed *incrementally*, so a connection that
+//! dribbles its request one byte at a time costs a little buffered state,
+//! never a blocked thread.
 //!
 //! One request per connection (`Connection: close`), JSON in and out:
 //!
@@ -15,10 +17,13 @@
 //! clients see; status codes mirror the error codes (429 + `Retry-After`
 //! for backpressure, 400 for malformed input, 404 for unknown tables and
 //! routes, 413 for oversized bodies, 500 for internal failures).
-
-use std::io::{Read, Write};
-use std::net::{Shutdown, TcpStream};
-use std::time::Duration;
+//!
+//! [`HttpParser`] is the read half as a resumable state machine: feed it
+//! socket bytes as they arrive and it yields one [`HttpRequest`] when the
+//! head and `Content-Length` body are complete, or the [`HttpResponse`]
+//! error to answer with (oversized head, bad `Content-Length`, body over
+//! the frame limit). The write half is [`response_bytes`]; the lingering
+//! close that used to block a thread is the reactor's `Draining` state.
 
 use crate::server::Shared;
 use crate::wire::{ErrorCode, ExplainBatchBody, ExplainBody, RequestBody, ResponseBody, WireError};
@@ -26,38 +31,9 @@ use crate::wire::{ErrorCode, ExplainBatchBody, ExplainBody, RequestBody, Respons
 /// Bound on the request head (request line + headers).
 const MAX_HEAD_LEN: usize = 16 * 1024;
 
-/// Serve one HTTP request on `stream`; `sniffed` holds the four
-/// already-read bytes of the method.
-pub(crate) fn handle_http(stream: &mut TcpStream, shared: &Shared, sniffed: [u8; 4]) {
-    shared.count_http_request();
-    let response = match read_request(stream, shared, sniffed) {
-        Ok((method, path, body)) => route(shared, &method, &path, &body),
-        Err(err) => err,
-    };
-    if write_response(stream, &response).is_err() {
-        return;
-    }
-    // Lingering close: half-close our side so the peer sees EOF, then drain
-    // whatever it still had in flight (e.g. body bytes past Content-Length).
-    // Closing with unread bytes would turn our FIN into an RST and could
-    // destroy the response before the peer reads it. The drain is bounded
-    // in both bytes and wall time so a slow-dripping client cannot pin the
-    // handler thread.
-    let _ = stream.shutdown(Shutdown::Write);
-    let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
-    let deadline = std::time::Instant::now() + Duration::from_secs(2);
-    let mut sink = [0u8; 1024];
-    let mut drained = 0usize;
-    while drained < 64 * 1024 && std::time::Instant::now() < deadline {
-        match stream.read(&mut sink) {
-            Ok(n) if n > 0 => drained += n,
-            _ => break,
-        }
-    }
-}
-
 /// An HTTP-level response: status line pieces plus the JSON body.
-struct HttpResponse {
+#[derive(Debug)]
+pub(crate) struct HttpResponse {
     status: u16,
     reason: &'static str,
     retry_after_ms: Option<u64>,
@@ -65,7 +41,7 @@ struct HttpResponse {
 }
 
 impl HttpResponse {
-    fn from_body(body: &ResponseBody) -> HttpResponse {
+    pub(crate) fn from_body(body: &ResponseBody) -> HttpResponse {
         let (status, reason, retry_after_ms) = match body {
             ResponseBody::Error(err) => status_for(err),
             _ => (200, "OK", None),
@@ -78,7 +54,7 @@ impl HttpResponse {
         }
     }
 
-    fn error(code: ErrorCode, message: impl Into<String>) -> HttpResponse {
+    pub(crate) fn error(code: ErrorCode, message: impl Into<String>) -> HttpResponse {
         HttpResponse::from_body(&ResponseBody::Error(WireError::new(code, message)))
     }
 }
@@ -95,50 +71,143 @@ fn status_for(err: &WireError) -> (u16, &'static str, Option<u64>) {
     }
 }
 
-/// Read the head and (Content-Length-delimited) body of one request. Reads
-/// in chunks (not byte-at-a-time — the head would otherwise cost one
-/// syscall per byte); bytes past the head terminator are the start of the
-/// body.
-fn read_request(
-    stream: &mut TcpStream,
-    shared: &Shared,
-    sniffed: [u8; 4],
-) -> Result<(String, String, Vec<u8>), HttpResponse> {
-    let mut head = sniffed.to_vec();
-    let mut chunk = [0u8; 1024];
-    let mut scanned = 0usize;
-    let body_start = loop {
-        // Scan only the unscanned tail (re-checking 3 bytes of overlap for
-        // a terminator split across chunks).
-        let from = scanned.saturating_sub(3);
-        if let Some(position) = head[from..]
-            .windows(4)
-            .position(|window| window == b"\r\n\r\n")
-        {
-            break from + position + 4;
+/// One fully received request, ready for [`route`].
+#[derive(Debug)]
+pub(crate) struct HttpRequest {
+    pub method: String,
+    pub path: String,
+    pub body: Vec<u8>,
+}
+
+/// The incremental read half: head accumulation (with a split-terminator
+/// scan window), then `Content-Length` body accumulation.
+pub(crate) struct HttpParser {
+    state: ParserState,
+    /// The server's frame limit, bounding the request body.
+    max_body: usize,
+}
+
+enum ParserState {
+    /// Accumulating the head; `scanned` marks how far the `\r\n\r\n` scan
+    /// has already looked (re-checking 3 bytes of overlap for a terminator
+    /// split across feeds).
+    Head { head: Vec<u8>, scanned: usize },
+    /// Head parsed; accumulating `content_length` body bytes.
+    Body {
+        method: String,
+        path: String,
+        content_length: usize,
+        body: Vec<u8>,
+    },
+    /// A request was produced (one per connection) or an error answered;
+    /// further bytes are the peer's leftovers, ignored here and drained by
+    /// the reactor's lingering close.
+    Done,
+}
+
+impl HttpParser {
+    /// A parser for one request; `max_body` is the server's frame limit.
+    pub(crate) fn new(max_body: usize) -> HttpParser {
+        HttpParser {
+            state: ParserState::Head {
+                head: Vec::with_capacity(256),
+                scanned: 0,
+            },
+            max_body,
         }
-        scanned = head.len();
-        if head.len() >= MAX_HEAD_LEN {
-            return Err(HttpResponse::error(
-                ErrorCode::FrameTooLarge,
-                "request head too large",
-            ));
-        }
-        match stream.read(&mut chunk) {
-            Ok(0) => {
-                return Err(HttpResponse::error(
-                    ErrorCode::Malformed,
-                    "connection closed mid-head",
-                ))
+    }
+
+    /// Feed socket bytes. `Ok(Some(request))` once the request is
+    /// complete, `Ok(None)` while more bytes are needed, `Err(response)`
+    /// when the request is unanswerable as asked (oversized head or body,
+    /// malformed `Content-Length`) — the connection answers it and closes.
+    pub(crate) fn feed(&mut self, input: &[u8]) -> Result<Option<HttpRequest>, HttpResponse> {
+        match &mut self.state {
+            ParserState::Head { head, scanned } => {
+                head.extend_from_slice(input);
+                let from = scanned.saturating_sub(3);
+                let Some(position) = head[from..]
+                    .windows(4)
+                    .position(|window| window == b"\r\n\r\n")
+                else {
+                    *scanned = head.len();
+                    if head.len() >= MAX_HEAD_LEN {
+                        self.state = ParserState::Done;
+                        return Err(HttpResponse::error(
+                            ErrorCode::FrameTooLarge,
+                            "request head too large",
+                        ));
+                    }
+                    return Ok(None);
+                };
+                let body_start = from + position + 4;
+                let mut head = std::mem::take(head);
+                let overread = head.split_off(body_start);
+                let (method, path, content_length) = match parse_head(head, self.max_body) {
+                    Ok(parsed) => parsed,
+                    Err(response) => {
+                        self.state = ParserState::Done;
+                        return Err(response);
+                    }
+                };
+                let mut body = overread;
+                if body.len() > content_length {
+                    // More than Content-Length arrived with the head; the
+                    // excess is the peer's problem, drained at close.
+                    body.truncate(content_length);
+                }
+                self.state = ParserState::Body {
+                    method,
+                    path,
+                    content_length,
+                    body,
+                };
+                // The body may already be complete (or empty).
+                self.feed(&[])
             }
-            Ok(n) => head.extend_from_slice(&chunk[..n]),
-            Err(err) if err.kind() == std::io::ErrorKind::Interrupted => continue,
-            Err(_) => {
-                return Err(HttpResponse::error(ErrorCode::Malformed, "i/o error"));
+            ParserState::Body {
+                method,
+                path,
+                content_length,
+                body,
+            } => {
+                let want = *content_length - body.len();
+                body.extend_from_slice(&input[..input.len().min(want)]);
+                if body.len() < *content_length {
+                    return Ok(None);
+                }
+                let request = HttpRequest {
+                    method: std::mem::take(method),
+                    path: std::mem::take(path),
+                    body: std::mem::take(body),
+                };
+                self.state = ParserState::Done;
+                Ok(Some(request))
             }
+            ParserState::Done => Ok(None),
         }
-    };
-    let overread = head.split_off(body_start);
+    }
+
+    /// The error to answer with when the peer hangs up mid-request —
+    /// `None` once the request was already complete.
+    pub(crate) fn eof_error(&self) -> Option<HttpResponse> {
+        match &self.state {
+            ParserState::Head { .. } => Some(HttpResponse::error(
+                ErrorCode::Malformed,
+                "connection closed mid-head",
+            )),
+            ParserState::Body { .. } => Some(HttpResponse::error(
+                ErrorCode::Malformed,
+                "connection closed mid-body",
+            )),
+            ParserState::Done => None,
+        }
+    }
+}
+
+/// Parse a complete head (request line + headers, including the trailing
+/// `\r\n\r\n`) into `(method, path, content_length)`.
+fn parse_head(head: Vec<u8>, max_body: usize) -> Result<(String, String, usize), HttpResponse> {
     let head = String::from_utf8(head)
         .map_err(|_| HttpResponse::error(ErrorCode::Malformed, "request head is not UTF-8"))?;
     let mut lines = head.split("\r\n");
@@ -159,29 +228,17 @@ fn read_request(
                 .map_err(|_| HttpResponse::error(ErrorCode::Malformed, "invalid Content-Length"))?;
         }
     }
-    if content_length > shared.max_frame_len() as usize {
+    if content_length > max_body {
         return Err(HttpResponse::error(
             ErrorCode::FrameTooLarge,
             "request body exceeds the frame limit",
         ));
     }
-    let mut body = overread;
-    if body.len() > content_length {
-        // More than Content-Length arrived with the head; the excess is
-        // drained by the lingering close.
-        body.truncate(content_length);
-    } else {
-        let read_so_far = body.len();
-        body.resize(content_length, 0);
-        stream
-            .read_exact(&mut body[read_so_far..])
-            .map_err(|_| HttpResponse::error(ErrorCode::Malformed, "connection closed mid-body"))?;
-    }
-    Ok((method, path, body))
+    Ok((method, path, content_length))
 }
 
 /// Map `(method, path, body)` to the shared dispatch core.
-fn route(shared: &Shared, method: &str, path: &str, body: &[u8]) -> HttpResponse {
+pub(crate) fn route(shared: &Shared, method: &str, path: &str, body: &[u8]) -> HttpResponse {
     let request = match (method, path) {
         ("GET", "/stats") => RequestBody::Stats,
         ("GET", "/tables") => RequestBody::ListTables,
@@ -221,7 +278,8 @@ fn parse_json<T: serde::Deserialize>(shared: &Shared, body: &[u8]) -> Result<T, 
     })
 }
 
-fn write_response(stream: &mut TcpStream, response: &HttpResponse) -> std::io::Result<()> {
+/// Serialize a response to the bytes the connection's outbox will flush.
+pub(crate) fn response_bytes(response: &HttpResponse) -> Vec<u8> {
     let mut head = format!(
         "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n",
         response.status,
@@ -236,7 +294,118 @@ fn write_response(stream: &mut TcpStream, response: &HttpResponse) -> std::io::R
         ));
     }
     head.push_str("\r\n");
-    stream.write_all(head.as_bytes())?;
-    stream.write_all(response.body.as_bytes())?;
-    stream.flush()
+    let mut bytes = head.into_bytes();
+    bytes.extend_from_slice(response.body.as_bytes());
+    bytes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn feed_all(
+        parser: &mut HttpParser,
+        bytes: &[u8],
+    ) -> Result<Option<HttpRequest>, HttpResponse> {
+        parser.feed(bytes)
+    }
+
+    #[test]
+    fn parses_a_request_fed_byte_by_byte() {
+        let raw = b"POST /explain HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\nbody";
+        let mut parser = HttpParser::new(1024);
+        let mut request = None;
+        for byte in raw {
+            match parser.feed(std::slice::from_ref(byte)).expect("no error") {
+                Some(complete) => request = Some(complete),
+                None => continue,
+            }
+        }
+        let request = request.expect("request completes on the last byte");
+        assert_eq!(request.method, "POST");
+        assert_eq!(request.path, "/explain");
+        assert_eq!(request.body, b"body");
+    }
+
+    #[test]
+    fn parses_a_request_fed_in_one_chunk_with_overread() {
+        let raw = b"GET /stats HTTP/1.1\r\nHost: x\r\n\r\n";
+        let mut parser = HttpParser::new(1024);
+        let request = feed_all(&mut parser, raw).unwrap().expect("complete");
+        assert_eq!(request.method, "GET");
+        assert_eq!(request.path, "/stats");
+        assert!(request.body.is_empty());
+    }
+
+    #[test]
+    fn body_beyond_content_length_is_truncated() {
+        let raw = b"POST /explain HTTP/1.1\r\nContent-Length: 2\r\n\r\nabEXTRA";
+        let mut parser = HttpParser::new(1024);
+        let request = feed_all(&mut parser, raw).unwrap().expect("complete");
+        assert_eq!(request.body, b"ab");
+    }
+
+    #[test]
+    fn oversized_head_is_rejected() {
+        let mut parser = HttpParser::new(1024);
+        let filler = vec![b'a'; MAX_HEAD_LEN + 1];
+        let err = parser.feed(&filler).expect_err("head over the limit");
+        assert_eq!(err.status, 413);
+    }
+
+    #[test]
+    fn oversized_body_is_rejected_at_the_head() {
+        let raw = b"POST /explain HTTP/1.1\r\nContent-Length: 4096\r\n\r\n";
+        let mut parser = HttpParser::new(1024);
+        let err = feed_all(&mut parser, raw).expect_err("body over the frame limit");
+        assert_eq!(err.status, 413);
+    }
+
+    #[test]
+    fn invalid_content_length_is_malformed() {
+        let raw = b"POST /explain HTTP/1.1\r\nContent-Length: banana\r\n\r\n";
+        let mut parser = HttpParser::new(1024);
+        let err = feed_all(&mut parser, raw).expect_err("unparseable length");
+        assert_eq!(err.status, 400);
+    }
+
+    #[test]
+    fn eof_errors_name_the_phase() {
+        let mut parser = HttpParser::new(1024);
+        parser.feed(b"GET /st").unwrap();
+        assert!(parser.eof_error().unwrap().body.contains("mid-head"));
+        let mut parser = HttpParser::new(1024);
+        parser
+            .feed(b"POST /x HTTP/1.1\r\nContent-Length: 9\r\n\r\nab")
+            .unwrap();
+        assert!(parser.eof_error().unwrap().body.contains("mid-body"));
+        let mut parser = HttpParser::new(1024);
+        parser.feed(b"GET / HTTP/1.1\r\n\r\n").unwrap();
+        assert!(parser.eof_error().is_none());
+    }
+
+    #[test]
+    fn terminator_split_across_feeds_is_found() {
+        let mut parser = HttpParser::new(1024);
+        assert!(parser.feed(b"GET / HTTP/1.1\r").unwrap().is_none());
+        assert!(parser.feed(b"\n\r").unwrap().is_none());
+        let request = parser.feed(b"\n").unwrap().expect("complete");
+        assert_eq!(request.method, "GET");
+    }
+
+    #[test]
+    fn response_bytes_carry_status_and_retry_after() {
+        let response = HttpResponse {
+            status: 429,
+            reason: "Too Many Requests",
+            retry_after_ms: Some(50),
+            body: "{}".to_string(),
+        };
+        let bytes = response_bytes(&response);
+        let text = String::from_utf8(bytes).unwrap();
+        assert!(text.starts_with("HTTP/1.1 429 Too Many Requests\r\n"));
+        assert!(text.contains("Retry-After: 1\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+        assert!(text.ends_with("\r\n\r\n{}"));
+    }
 }

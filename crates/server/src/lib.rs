@@ -1,8 +1,13 @@
 //! # wtq-server
 //!
 //! The serving layer of the explanation engine: a hand-rolled, zero-runtime
-//! network front-end over a shared [`wtq_core::Engine`], built entirely on
-//! `std::net` + `std::thread` (the build environment has no async runtime).
+//! network front-end over a shared [`wtq_core::Engine`], built on `std`
+//! plus the `wtq-net` epoll primitives (the build environment has no async
+//! runtime). Connection I/O is a nonblocking readiness loop — a single
+//! acceptor, a small reactor pool owning every socket, incremental
+//! per-connection protocol state machines, and a fixed dispatch pool where
+//! blocking admission/engine work lives — so thread count scales with
+//! in-flight work, never with connection count.
 //!
 //! Two protocols share one dispatch core:
 //!
@@ -45,13 +50,15 @@
 //! handle.shutdown();
 //! ```
 
+mod conn;
 mod http;
+mod reactor;
 
 pub mod client;
 pub mod server;
 pub mod wire;
 
-pub use client::{Client, ClientError};
+pub use client::{Client, ClientError, ConnectOptions, RetryPolicy};
 pub use server::{Server, ServerConfig, ServerHandle};
 pub use wire::{
     ErrorCode, ExplainBatchBody, ExplainBody, RequestBody, RequestEnvelope, ResponseBody,

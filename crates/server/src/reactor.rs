@@ -1,0 +1,477 @@
+//! The readiness loop: a small pool of reactor threads owns every client
+//! socket, a single blocking acceptor feeds them, and a fixed worker pool
+//! answers requests — thread count scales with *work*, never with
+//! connection count.
+//!
+//! ```text
+//!            ┌──────────┐   Register     ┌───────────────┐
+//!  accept()  │ acceptor │ ─────────────► │ reactor 0..R  │  epoll_wait
+//!            └──────────┘  (round robin) │  Conn slab    │ ◄──────────┐
+//!                                        └──────┬────────┘            │
+//!                                          Job  │    ▲ Complete       │
+//!                                               ▼    │ (waker pipe)   │
+//!                                        ┌───────────┴───┐            │
+//!                                        │ dispatch pool │ ───────────┘
+//!                                        │ (admission +  │   responses
+//!                                        │  Engine work) │
+//!                                        └───────────────┘
+//! ```
+//!
+//! Each reactor multiplexes its connections over one `wtq_net::Poller`
+//! (epoll), parsing incrementally via the [`Conn`] state machines. Complete
+//! requests go to the dispatch pool, which runs the *unchanged* admission
+//! and engine machinery (`Shared::handle_request`) and pushes the response
+//! bytes back through the reactor's command queue + waker pipe; the
+//! reactor writes them out on writability. Ten thousand idle connections
+//! therefore cost ten thousand slab entries and epoll registrations — not
+//! ten thousand stacks.
+
+use std::collections::VecDeque;
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::os::unix::io::AsRawFd;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::Ordering;
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use wtq_net::{Interest, Poller, WakeReceiver, Waker};
+
+use crate::conn::{Conn, IoOutcome, JobKind};
+use crate::http;
+use crate::server::{dispatch_frame, error_envelope, Shared};
+use crate::wire::{self, ErrorCode};
+
+/// The token reserved for the waker pipe.
+const WAKER_TOKEN: u64 = u64::MAX;
+
+/// Cross-thread input to a reactor, delivered via its command queue and
+/// waker pipe.
+pub(crate) enum Command {
+    /// A freshly accepted socket to own.
+    Register(TcpStream),
+    /// A worker finished the request `(token, gen)` had in flight.
+    Complete {
+        token: u64,
+        gen: u64,
+        bytes: Vec<u8>,
+    },
+    /// Close every connection and exit the loop.
+    Shutdown,
+}
+
+/// The handle other threads use to reach a reactor.
+pub(crate) struct ReactorShared {
+    commands: Mutex<VecDeque<Command>>,
+    waker: Waker,
+    /// Set once the loop has exited: further commands are dropped (which
+    /// closes any registered stream) instead of queueing forever.
+    dead: std::sync::atomic::AtomicBool,
+    shared: Arc<Shared>,
+}
+
+impl ReactorShared {
+    pub(crate) fn push(&self, command: Command) {
+        if self.dead.load(Ordering::Acquire) {
+            return; // dropping a Register closes its socket
+        }
+        {
+            let mut commands = self.commands.lock().expect("reactor queue poisoned");
+            commands.push_back(command);
+        }
+        self.shared.note_reactor_queue(1);
+        self.waker.wake();
+    }
+
+    fn pop(&self) -> Option<Command> {
+        let command = self
+            .commands
+            .lock()
+            .expect("reactor queue poisoned")
+            .pop_front();
+        if command.is_some() {
+            self.shared.note_reactor_queue(-1);
+        }
+        command
+    }
+}
+
+/// One request on its way to the dispatch pool.
+pub(crate) struct Job {
+    reactor: Arc<ReactorShared>,
+    token: u64,
+    gen: u64,
+    kind: JobKind,
+}
+
+/// A minimal slab: stable `u64` tokens for epoll, O(1) insert/remove,
+/// generation stamps against token reuse.
+struct Slab {
+    slots: Vec<Option<Conn>>,
+    free: Vec<usize>,
+    next_gen: u64,
+}
+
+impl Slab {
+    fn new() -> Slab {
+        Slab {
+            slots: Vec::new(),
+            free: Vec::new(),
+            next_gen: 0,
+        }
+    }
+
+    fn insert(&mut self, stream: TcpStream) -> std::io::Result<(u64, &mut Conn)> {
+        let gen = self.next_gen;
+        self.next_gen += 1;
+        let conn = Conn::new(stream, gen)?;
+        let index = match self.free.pop() {
+            Some(index) => {
+                self.slots[index] = Some(conn);
+                index
+            }
+            None => {
+                self.slots.push(Some(conn));
+                self.slots.len() - 1
+            }
+        };
+        Ok((
+            index as u64,
+            self.slots[index].as_mut().expect("just inserted"),
+        ))
+    }
+
+    fn get_mut(&mut self, token: u64) -> Option<&mut Conn> {
+        self.slots.get_mut(token as usize)?.as_mut()
+    }
+
+    fn remove(&mut self, token: u64) -> Option<Conn> {
+        let slot = self.slots.get_mut(token as usize)?;
+        let conn = slot.take();
+        if conn.is_some() {
+            self.free.push(token as usize);
+        }
+        conn
+    }
+
+    fn tokens(&self) -> Vec<u64> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter(|(_, slot)| slot.is_some())
+            .map(|(index, _)| index as u64)
+            .collect()
+    }
+}
+
+/// One reactor thread: the poller, its connections, and the queues tying
+/// it to the acceptor and the dispatch pool.
+pub(crate) struct Reactor {
+    poller: Poller,
+    wake_receiver: WakeReceiver,
+    conns: Slab,
+    shared: Arc<Shared>,
+    rshared: Arc<ReactorShared>,
+    jobs: Sender<Job>,
+}
+
+impl Reactor {
+    /// Build a reactor and its shared handle.
+    pub(crate) fn new(
+        shared: Arc<Shared>,
+        jobs: Sender<Job>,
+    ) -> std::io::Result<(Reactor, Arc<ReactorShared>)> {
+        let (waker, wake_receiver) = wtq_net::waker()?;
+        let mut poller = Poller::new()?;
+        poller.add(wake_receiver.fd(), WAKER_TOKEN, Interest::READABLE)?;
+        let rshared = Arc::new(ReactorShared {
+            commands: Mutex::new(VecDeque::new()),
+            waker,
+            dead: std::sync::atomic::AtomicBool::new(false),
+            shared: shared.clone(),
+        });
+        Ok((
+            Reactor {
+                poller,
+                wake_receiver,
+                conns: Slab::new(),
+                shared,
+                rshared: rshared.clone(),
+                jobs,
+            },
+            rshared,
+        ))
+    }
+
+    /// The event loop; returns on [`Command::Shutdown`].
+    pub(crate) fn run(mut self) {
+        let mut events = Vec::new();
+        let mut scratch = vec![0u8; 16 * 1024];
+        loop {
+            let timeout = self.next_timeout();
+            if self.poller.wait(&mut events, timeout).is_err() {
+                // A failing poller cannot make progress; treat it like
+                // shutdown rather than spinning.
+                break;
+            }
+            for event in events.drain(..) {
+                if event.token == WAKER_TOKEN {
+                    self.wake_receiver.drain();
+                    continue;
+                }
+                self.handle_io(event.token, event.readable, event.writable, &mut scratch);
+            }
+            if self.drain_commands() {
+                break;
+            }
+            self.expire_drains();
+        }
+        self.close_all();
+        self.rshared.dead.store(true, Ordering::Release);
+        // Drop (and thereby close) anything queued after the flag flipped.
+        while self.rshared.pop().is_some() {}
+    }
+
+    /// A poll timeout only while lingering drains need a clock.
+    fn next_timeout(&self) -> Option<Duration> {
+        let now = Instant::now();
+        self.conns
+            .slots
+            .iter()
+            .flatten()
+            .filter_map(|conn| conn.drain_deadline())
+            .map(|deadline| deadline.saturating_duration_since(now))
+            .min()
+            .map(|remaining| remaining.max(Duration::from_millis(10)))
+    }
+
+    /// Close lingering drains whose deadline passed.
+    fn expire_drains(&mut self) {
+        let now = Instant::now();
+        let expired: Vec<u64> = self
+            .conns
+            .slots
+            .iter()
+            .enumerate()
+            .filter_map(|(index, slot)| {
+                let deadline = slot.as_ref()?.drain_deadline()?;
+                (deadline <= now).then_some(index as u64)
+            })
+            .collect();
+        for token in expired {
+            self.close(token);
+        }
+    }
+
+    fn handle_io(&mut self, token: u64, readable: bool, writable: bool, scratch: &mut [u8]) {
+        let Some(conn) = self.conns.get_mut(token) else {
+            return; // stale event for a just-closed connection
+        };
+        if writable && conn.handle_writable() == IoOutcome::Close {
+            self.close(token);
+            return;
+        }
+        if readable {
+            let outcome = {
+                let shared = self.shared.clone();
+                let conn = self.conns.get_mut(token).expect("checked above");
+                conn.handle_readable(scratch, &shared)
+            };
+            if outcome == IoOutcome::Close {
+                self.close(token);
+                return;
+            }
+        }
+        self.service(token);
+    }
+
+    /// Submit pending work, apply close transitions, refresh interest.
+    fn service(&mut self, token: u64) {
+        // Submit at most one request to the worker pool.
+        let job = {
+            let Some(conn) = self.conns.get_mut(token) else {
+                return;
+            };
+            conn.next_job().map(|kind| Job {
+                reactor: self.rshared.clone(),
+                token,
+                gen: conn.gen,
+                kind,
+            })
+        };
+        if let Some(job) = job {
+            if self.jobs.send(job).is_err() {
+                // Dispatch pool gone: only happens during shutdown.
+                self.close(token);
+                return;
+            }
+        }
+        let Some(conn) = self.conns.get_mut(token) else {
+            return;
+        };
+        // Opportunistic flush: most responses fit the socket buffer, so
+        // they complete without a writability round-trip.
+        if conn.wants_write() && conn.handle_writable() == IoOutcome::Close {
+            self.close(token);
+            return;
+        }
+        if conn.after_flush() == IoOutcome::Close {
+            self.close(token);
+            return;
+        }
+        let Some(conn) = self.conns.get_mut(token) else {
+            return;
+        };
+        let interest = Interest {
+            readable: conn.wants_read(),
+            writable: conn.wants_write(),
+        };
+        if interest == conn.registered_interest {
+            return; // the common readable→readable case: no syscall
+        }
+        conn.registered_interest = interest;
+        let fd = conn.stream().as_raw_fd();
+        if self.poller.modify(fd, token, interest).is_err() {
+            self.close(token);
+        }
+    }
+
+    fn register(&mut self, stream: TcpStream) {
+        let Ok((token, conn)) = self.conns.insert(stream) else {
+            return; // set_nonblocking failed; the dropped stream closes
+        };
+        let fd = conn.stream().as_raw_fd();
+        if self.poller.add(fd, token, Interest::READABLE).is_err() {
+            self.conns.remove(token);
+            return;
+        }
+        self.shared.note_connection_opened();
+    }
+
+    fn close(&mut self, token: u64) {
+        if let Some(conn) = self.conns.remove(token) {
+            let _ = self.poller.delete(conn.stream().as_raw_fd());
+            let _ = conn.stream().shutdown(Shutdown::Both);
+            self.shared.note_connection_closed();
+        }
+    }
+
+    fn close_all(&mut self) {
+        for token in self.conns.tokens() {
+            self.close(token);
+        }
+    }
+
+    /// Apply queued commands; `true` means shutdown.
+    fn drain_commands(&mut self) -> bool {
+        while let Some(command) = self.rshared.pop() {
+            match command {
+                Command::Register(stream) => self.register(stream),
+                Command::Complete { token, gen, bytes } => {
+                    let fresh = match self.conns.get_mut(token) {
+                        Some(conn) if conn.gen == gen => {
+                            conn.complete_response(bytes);
+                            true
+                        }
+                        // The connection died while its request ran; the
+                        // response has no one to go to.
+                        _ => false,
+                    };
+                    if fresh {
+                        self.service(token);
+                    }
+                }
+                Command::Shutdown => return true,
+            }
+        }
+        false
+    }
+}
+
+/// The blocking accept loop: hand every socket to a reactor, round-robin.
+pub(crate) fn accept_loop(
+    listener: TcpListener,
+    shared: Arc<Shared>,
+    reactors: Vec<Arc<ReactorShared>>,
+) {
+    let mut next = 0usize;
+    loop {
+        let (stream, _peer) = match listener.accept() {
+            Ok(accepted) => accepted,
+            Err(_) if shared.is_shutting_down() => break,
+            Err(_) => {
+                // Persistent accept errors (e.g. fd exhaustion) would
+                // otherwise busy-spin this thread at 100% CPU.
+                std::thread::sleep(Duration::from_millis(10));
+                continue;
+            }
+        };
+        if shared.is_shutting_down() {
+            let _ = stream.shutdown(Shutdown::Both);
+            break;
+        }
+        shared.count_connection();
+        reactors[next % reactors.len()].push(Command::Register(stream));
+        next = next.wrapping_add(1);
+    }
+}
+
+/// One dispatch worker: pull a request, run the unchanged admission +
+/// engine machinery, push the response bytes back to the owning reactor.
+pub(crate) fn dispatch_worker(shared: Arc<Shared>, jobs: Arc<Mutex<Receiver<Job>>>) {
+    loop {
+        // Holding the mutex while blocked in recv() is the intended
+        // sharing pattern: idle workers queue on the mutex instead.
+        let job = {
+            let receiver = jobs.lock().expect("job receiver poisoned");
+            receiver.recv()
+        };
+        let Ok(job) = job else {
+            return; // all senders dropped: shutdown
+        };
+        let is_http = matches!(job.kind, JobKind::Http(_));
+        let bytes = catch_unwind(AssertUnwindSafe(|| respond(&shared, job.kind)))
+            .unwrap_or_else(|_| fallback_internal_error(is_http));
+        job.reactor.push(Command::Complete {
+            token: job.token,
+            gen: job.gen,
+            bytes,
+        });
+    }
+}
+
+/// Answer one request as raw response bytes.
+fn respond(shared: &Shared, kind: JobKind) -> Vec<u8> {
+    match kind {
+        JobKind::Frame(payload) => {
+            let envelope = dispatch_frame(shared, &payload);
+            let json = serde_json::to_string(&envelope).unwrap_or_else(|err| {
+                serde_json::to_string(&error_envelope(
+                    0,
+                    ErrorCode::Internal,
+                    format!("response serialization failed: {err}"),
+                ))
+                .unwrap_or_else(|_| "{}".to_string())
+            });
+            wire::encode_frame(json.as_bytes()).unwrap_or_default()
+        }
+        JobKind::Http(request) => {
+            let response = http::route(shared, &request.method, &request.path, &request.body);
+            http::response_bytes(&response)
+        }
+    }
+}
+
+/// The response for a request whose handler panicked *outside* the
+/// engine's own `catch_unwind` — the worker must survive and the client
+/// must still hear something structured.
+fn fallback_internal_error(is_http: bool) -> Vec<u8> {
+    if is_http {
+        let response = http::HttpResponse::error(ErrorCode::Internal, "request handler panicked");
+        http::response_bytes(&response)
+    } else {
+        let envelope = error_envelope(0, ErrorCode::Internal, "request handler panicked");
+        let json = serde_json::to_string(&envelope).unwrap_or_else(|_| "{}".to_string());
+        wire::encode_frame(json.as_bytes()).unwrap_or_default()
+    }
+}

@@ -30,12 +30,23 @@
 //! is treated as the length-prefix of the framed JSON protocol
 //! ([`crate::wire`]). The two share one dispatch core, so semantics
 //! (backpressure, admission, errors) are identical.
+//!
+//! ## I/O model
+//!
+//! Connection I/O is a nonblocking readiness loop ([`crate::reactor`]):
+//! one blocking acceptor hands sockets to a small pool of epoll reactor
+//! threads whose per-connection state machines ([`crate::conn`]) parse
+//! frames incrementally; complete requests run on a fixed dispatch pool
+//! (where the blocking admission waits live) and responses are written
+//! back on writability. Thread count scales with in-flight *work*
+//! (`dispatch_threads`), never with connection count — tens of thousands
+//! of idle clients cost buffered state, not stacks.
 
 use std::collections::HashMap;
-use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -43,11 +54,10 @@ use wtq_core::{Engine, ExplainRequest};
 use wtq_runtime::{BatchError, CancelToken};
 use wtq_table::Catalog;
 
-use crate::http;
+use crate::reactor::{self, Command, Reactor, ReactorShared};
 use crate::wire::{
-    self, ErrorCode, ExplainBatchBody, ExplainBody, FrameError, RequestBody, RequestEnvelope,
-    ResponseBody, ResponseEnvelope, ServerStats, StatsBody, TablesBody, WireBatch, WireError,
-    WireExplanation,
+    self, ErrorCode, ExplainBatchBody, ExplainBody, RequestBody, RequestEnvelope, ResponseBody,
+    ResponseEnvelope, ServerStats, StatsBody, TablesBody, WireBatch, WireError, WireExplanation,
 };
 
 /// Tuning knobs of a [`Server`].
@@ -75,6 +85,16 @@ pub struct ServerConfig {
     /// worst-case latency and guarantees a contended multi-token batch
     /// cannot hang its client forever.
     pub admission_timeout_ms: u64,
+    /// Reactor (epoll event-loop) threads owning the sockets. Connections
+    /// are spread round-robin; a handful suffices for tens of thousands of
+    /// connections because reactors never block on protocol work.
+    pub reactor_threads: usize,
+    /// Dispatch worker threads running requests (admission waits and
+    /// engine calls block *here*, not on reactors). `0` auto-sizes to
+    /// `max_in_flight + 2`: enough for every admitted request to block in
+    /// per-table admission while headroom remains for control-plane
+    /// requests and immediate overload rejections.
+    pub dispatch_threads: usize,
 }
 
 impl Default for ServerConfig {
@@ -87,6 +107,24 @@ impl Default for ServerConfig {
             max_batch: 256,
             retry_after_ms: 50,
             admission_timeout_ms: 30_000,
+            reactor_threads: 2,
+            dispatch_threads: 0,
+        }
+    }
+}
+
+impl ServerConfig {
+    /// The reactor pool size actually spawned.
+    pub(crate) fn resolved_reactor_threads(&self) -> usize {
+        self.reactor_threads.max(1)
+    }
+
+    /// The dispatch pool size actually spawned (see `dispatch_threads`).
+    pub(crate) fn resolved_dispatch_threads(&self) -> usize {
+        if self.dispatch_threads == 0 {
+            self.max_in_flight + 2
+        } else {
+            self.dispatch_threads
         }
     }
 }
@@ -291,8 +329,8 @@ impl Drop for InFlightGuard<'_> {
     }
 }
 
-/// State shared between the accept loop, connection handlers and the
-/// [`ServerHandle`].
+/// State shared between the acceptor, the reactors, the dispatch pool and
+/// the [`ServerHandle`].
 pub(crate) struct Shared {
     engine: Arc<Engine>,
     catalog: Arc<Catalog>,
@@ -302,11 +340,12 @@ pub(crate) struct Shared {
     counters: Counters,
     shutdown: AtomicBool,
     cancel: CancelToken,
-    /// Clones of live connections (for shutdown), keyed by a connection id
-    /// so each handler can drop its entry on exit — a lingering clone would
-    /// otherwise hold the socket open past the handler (no EOF for the
-    /// peer) and grow without bound on a long-lived server.
-    connections: Mutex<HashMap<u64, TcpStream>>,
+    /// Connections currently registered with a reactor (gauge).
+    open_connections: AtomicU64,
+    /// Commands queued toward reactors but not yet applied (gauge): the
+    /// observable depth of the I/O layer itself, distinct from the
+    /// in-flight request queue.
+    reactor_queue: AtomicI64,
 }
 
 impl Shared {
@@ -365,6 +404,7 @@ impl Shared {
     pub(crate) fn server_stats(&self) -> ServerStats {
         ServerStats {
             connections: self.counters.connections.load(Ordering::Relaxed),
+            open_connections: self.open_connections.load(Ordering::Relaxed),
             requests: self.counters.requests.load(Ordering::Relaxed),
             http_requests: self.counters.http_requests.load(Ordering::Relaxed),
             rejected_overload: self.counters.rejected_overload.load(Ordering::Relaxed),
@@ -374,7 +414,35 @@ impl Shared {
             max_in_flight: self.config.max_in_flight as u64,
             per_table_tokens: self.config.per_table_tokens as u64,
             tables: self.catalog.len() as u64,
+            reactor_queue_depth: self.reactor_queue.load(Ordering::Relaxed).max(0) as u64,
+            reactor_threads: self.config.resolved_reactor_threads() as u64,
+            dispatch_threads: self.config.resolved_dispatch_threads() as u64,
         }
+    }
+
+    /// Whether graceful shutdown has begun.
+    pub(crate) fn is_shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::Acquire)
+    }
+
+    /// Count one accepted connection (monotonic).
+    pub(crate) fn count_connection(&self) {
+        self.counters.connections.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A connection was registered with a reactor (gauge up).
+    pub(crate) fn note_connection_opened(&self) {
+        self.open_connections.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A connection left its reactor (gauge down).
+    pub(crate) fn note_connection_closed(&self) {
+        self.open_connections.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Track the reactor command-queue depth gauge.
+    pub(crate) fn note_reactor_queue(&self, delta: i64) {
+        self.reactor_queue.fetch_add(delta, Ordering::Relaxed);
     }
 
     /// Count a protocol-level error response.
@@ -556,9 +624,9 @@ impl Shared {
     }
 }
 
-/// The serving front-end. [`Server::bind`] starts the accept loop on a
-/// background thread and returns a [`ServerHandle`] for observation and
-/// graceful shutdown.
+/// The serving front-end. [`Server::bind`] spawns the acceptor, the
+/// reactor pool and the dispatch pool, and returns a [`ServerHandle`] for
+/// observation and graceful shutdown.
 pub struct Server;
 
 impl Server {
@@ -582,17 +650,98 @@ impl Server {
             counters: Counters::default(),
             shutdown: AtomicBool::new(false),
             cancel: CancelToken::new(),
-            connections: Mutex::new(HashMap::new()),
+            open_connections: AtomicU64::new(0),
+            reactor_queue: AtomicI64::new(0),
         });
-        let accept_shared = shared.clone();
-        let accept_thread = std::thread::Builder::new()
-            .name("wtq-server-accept".to_string())
-            .spawn(move || accept_loop(listener, accept_shared))?;
+
+        let (job_sender, job_receiver) = mpsc::channel();
+        let job_receiver = Arc::new(Mutex::new(job_receiver));
+        let mut dispatch_threads = Vec::new();
+        let mut reactors = Vec::new();
+        let mut reactor_threads = Vec::new();
+
+        let spawned = Self::spawn_layers(
+            &shared,
+            listener,
+            &job_sender,
+            &job_receiver,
+            &mut dispatch_threads,
+            &mut reactors,
+            &mut reactor_threads,
+        );
+        let accept_thread = match spawned {
+            Ok(accept_thread) => accept_thread,
+            Err(err) => {
+                // A partial failure (e.g. thread or fd exhaustion mid-way)
+                // must not leak the layers already spawned: reactors get a
+                // Shutdown command, and once their `jobs` Sender clones die
+                // with them, dropping ours drains the dispatch pool too.
+                shared.shutdown.store(true, Ordering::Release);
+                for rshared in &reactors {
+                    rshared.push(Command::Shutdown);
+                }
+                for thread in reactor_threads {
+                    let _ = thread.join();
+                }
+                drop(job_sender);
+                for thread in dispatch_threads {
+                    let _ = thread.join();
+                }
+                return Err(err);
+            }
+        };
+
         Ok(ServerHandle {
             local_addr,
             shared,
             accept_thread: Some(accept_thread),
+            reactors,
+            reactor_threads,
+            job_sender: Some(job_sender),
+            dispatch_threads,
         })
+    }
+
+    /// Spawn the dispatch pool, the reactor pool and the acceptor, pushing
+    /// every created handle into the caller's vectors so a mid-way failure
+    /// leaves the caller holding everything that needs tearing down.
+    #[allow(clippy::too_many_arguments)]
+    fn spawn_layers(
+        shared: &Arc<Shared>,
+        listener: TcpListener,
+        job_sender: &mpsc::Sender<reactor::Job>,
+        job_receiver: &Arc<Mutex<mpsc::Receiver<reactor::Job>>>,
+        dispatch_threads: &mut Vec<JoinHandle<()>>,
+        reactors: &mut Vec<Arc<ReactorShared>>,
+        reactor_threads: &mut Vec<JoinHandle<()>>,
+    ) -> std::io::Result<JoinHandle<()>> {
+        // Dispatch pool: where admission waits and engine calls block.
+        for index in 0..shared.config.resolved_dispatch_threads() {
+            let worker_shared = shared.clone();
+            let worker_jobs = job_receiver.clone();
+            dispatch_threads.push(
+                std::thread::Builder::new()
+                    .name(format!("wtq-dispatch-{index}"))
+                    .spawn(move || reactor::dispatch_worker(worker_shared, worker_jobs))?,
+            );
+        }
+
+        // Reactor pool: owns every socket.
+        for index in 0..shared.config.resolved_reactor_threads() {
+            let (reactor, rshared) = Reactor::new(shared.clone(), job_sender.clone())?;
+            reactors.push(rshared);
+            reactor_threads.push(
+                std::thread::Builder::new()
+                    .name(format!("wtq-reactor-{index}"))
+                    .spawn(move || reactor.run())?,
+            );
+        }
+
+        let accept_shared = shared.clone();
+        let accept_reactors = reactors.clone();
+        std::thread::Builder::new()
+            .name("wtq-server-accept".to_string())
+            .spawn(move || reactor::accept_loop(listener, accept_shared, accept_reactors))
     }
 }
 
@@ -601,6 +750,11 @@ pub struct ServerHandle {
     local_addr: SocketAddr,
     shared: Arc<Shared>,
     accept_thread: Option<JoinHandle<()>>,
+    reactors: Vec<Arc<ReactorShared>>,
+    reactor_threads: Vec<JoinHandle<()>>,
+    /// Dropped at shutdown so dispatch workers observe a closed channel.
+    job_sender: Option<mpsc::Sender<reactor::Job>>,
+    dispatch_threads: Vec<JoinHandle<()>>,
 }
 
 impl ServerHandle {
@@ -615,7 +769,7 @@ impl ServerHandle {
     }
 
     /// Graceful shutdown: stop accepting, cancel queued batch work, unblock
-    /// admission waiters, close open connections and join the accept loop.
+    /// admission waiters, close open connections and join every layer.
     /// In-flight engine calls finish; queued batch questions do not start.
     pub fn shutdown(mut self) {
         self.shutdown_inner();
@@ -633,20 +787,25 @@ impl ServerHandle {
     fn shutdown_inner(&mut self) {
         self.shared.shutdown.store(true, Ordering::Release);
         self.shared.cancel.cancel();
-        // Close every open connection: handlers blocked in read() observe
-        // EOF/reset and exit.
-        for stream in self
-            .shared
-            .connections
-            .lock()
-            .expect("connection list poisoned")
-            .values()
-        {
-            let _ = stream.shutdown(Shutdown::Both);
-        }
-        // Unblock accept() with a throwaway connection to our own port.
+        // Unblock accept() with a throwaway connection to our own port and
+        // retire the acceptor first, so no new sockets race the reactor
+        // teardown below.
         let _ = TcpStream::connect(self.local_addr);
         if let Some(thread) = self.accept_thread.take() {
+            let _ = thread.join();
+        }
+        // Reactors close every connection on their way out: clients
+        // blocked in read() observe EOF/reset.
+        for rshared in &self.reactors {
+            rshared.push(Command::Shutdown);
+        }
+        for thread in self.reactor_threads.drain(..) {
+            let _ = thread.join();
+        }
+        // A closed channel drains the dispatch pool; workers blocked in
+        // admission observe the shutdown flag within its poll interval.
+        drop(self.job_sender.take());
+        for thread in self.dispatch_threads.drain(..) {
             let _ = thread.join();
         }
     }
@@ -654,145 +813,18 @@ impl ServerHandle {
 
 impl Drop for ServerHandle {
     fn drop(&mut self) {
-        if self.accept_thread.is_some() {
+        if self.accept_thread.is_some()
+            || !self.reactor_threads.is_empty()
+            || !self.dispatch_threads.is_empty()
+        {
             self.shutdown_inner();
-        }
-    }
-}
-
-/// The accept loop: one handler thread per connection. Handler panics are
-/// confined to their thread (and the dispatch core additionally catches
-/// unwinds), so nothing here can take the loop down short of the listener
-/// itself failing.
-fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
-    let mut handlers: Vec<JoinHandle<()>> = Vec::new();
-    let mut next_connection_id: u64 = 0;
-    loop {
-        let (stream, _peer) = match listener.accept() {
-            Ok(accepted) => accepted,
-            Err(_) if shared.shutdown.load(Ordering::Acquire) => break,
-            Err(_) => {
-                // Persistent accept errors (e.g. fd exhaustion) would
-                // otherwise busy-spin this thread at 100% CPU.
-                std::thread::sleep(Duration::from_millis(10));
-                continue;
-            }
-        };
-        let connection_id = next_connection_id;
-        next_connection_id += 1;
-        // Register the connection *before* checking the shutdown flag: the
-        // flag store and the map iteration in `shutdown_inner` bracket a
-        // lock of the same mutex, so either this insert is visible to
-        // shutdown (which closes the stream) or the load below observes the
-        // flag — a connection can never slip between the two and leave a
-        // handler blocked in read() past shutdown.
-        if let Ok(clone) = stream.try_clone() {
-            shared
-                .connections
-                .lock()
-                .expect("connection list poisoned")
-                .insert(connection_id, clone);
-        }
-        if shared.shutdown.load(Ordering::Acquire) {
-            let _ = stream.shutdown(Shutdown::Both);
-            shared
-                .connections
-                .lock()
-                .expect("connection list poisoned")
-                .remove(&connection_id);
-            break;
-        }
-        shared.counters.connections.fetch_add(1, Ordering::Relaxed);
-        let handler_shared = shared.clone();
-        let spawned = std::thread::Builder::new()
-            .name("wtq-server-conn".to_string())
-            .spawn(move || {
-                handle_connection(stream, &handler_shared);
-                // Drop the shutdown clone so the socket actually closes
-                // with the handler (the HTTP adapter relies on the EOF).
-                handler_shared
-                    .connections
-                    .lock()
-                    .expect("connection list poisoned")
-                    .remove(&connection_id);
-            });
-        match spawned {
-            Ok(handle) => handlers.push(handle),
-            Err(_) => {
-                // Thread exhaustion: the closure (and its stream) is gone,
-                // but the registered clone would keep the socket open and
-                // the peer waiting forever. Close and deregister it.
-                let mut connections = shared.connections.lock().expect("connection list poisoned");
-                if let Some(clone) = connections.remove(&connection_id) {
-                    let _ = clone.shutdown(Shutdown::Both);
-                }
-            }
-        }
-        // Reap finished handlers so long-lived servers don't accumulate
-        // join handles.
-        handlers.retain(|handle| !handle.is_finished());
-    }
-    for handle in handlers {
-        let _ = handle.join();
-    }
-}
-
-/// Methods whose first four bytes select the HTTP adapter.
-const HTTP_PREFIXES: [&[u8; 4]; 6] = [b"GET ", b"POST", b"PUT ", b"HEAD", b"DELE", b"OPTI"];
-
-/// Sniff the protocol from the first four bytes, then run the matching
-/// handler until the peer disconnects.
-fn handle_connection(mut stream: TcpStream, shared: &Shared) {
-    let _ = stream.set_nodelay(true);
-    let first = match wire::read_prefix(&mut stream) {
-        Ok(first) => first,
-        Err(_) => return, // closed or torn before the protocol was even chosen
-    };
-    if HTTP_PREFIXES.contains(&&first) {
-        http::handle_http(&mut stream, shared, first);
-        return;
-    }
-    framed_loop(&mut stream, shared, Some(first));
-}
-
-/// The framed JSON protocol: read a frame, dispatch, answer, repeat.
-fn framed_loop(stream: &mut TcpStream, shared: &Shared, mut sniffed: Option<[u8; 4]>) {
-    loop {
-        let payload = match sniffed.take() {
-            Some(prefix) => {
-                wire::read_frame_after_prefix(stream, prefix, shared.config.max_frame_len)
-            }
-            None => wire::read_frame(stream, shared.config.max_frame_len),
-        };
-        let payload = match payload {
-            Ok(payload) => payload,
-            Err(FrameError::TooLarge { declared, max }) => {
-                // Answer, then close: the unread payload makes the stream
-                // position untrustworthy.
-                shared.count_protocol_error();
-                let response = ResponseEnvelope {
-                    v: wire::PROTOCOL_VERSION,
-                    id: 0,
-                    body: ResponseBody::Error(WireError::new(
-                        ErrorCode::FrameTooLarge,
-                        format!("frame of {declared} bytes exceeds the {max}-byte limit"),
-                    )),
-                };
-                let _ = send_response(stream, &response);
-                return;
-            }
-            Err(_) => return, // closed, truncated or I/O error: drop quietly
-        };
-        let response = dispatch_frame(shared, &payload);
-        if send_response(stream, &response).is_err() {
-            return;
         }
     }
 }
 
 /// Decode one frame payload into a request and answer it. Decode failures
 /// become structured `Malformed`/`UnsupportedVersion` errors.
-fn dispatch_frame(shared: &Shared, payload: &[u8]) -> ResponseEnvelope {
+pub(crate) fn dispatch_frame(shared: &Shared, payload: &[u8]) -> ResponseEnvelope {
     let text = match std::str::from_utf8(payload) {
         Ok(text) => text,
         Err(_) => {
@@ -826,16 +858,14 @@ fn dispatch_frame(shared: &Shared, payload: &[u8]) -> ResponseEnvelope {
     }
 }
 
-fn error_envelope(id: u64, code: ErrorCode, message: impl Into<String>) -> ResponseEnvelope {
+pub(crate) fn error_envelope(
+    id: u64,
+    code: ErrorCode,
+    message: impl Into<String>,
+) -> ResponseEnvelope {
     ResponseEnvelope {
         v: wire::PROTOCOL_VERSION,
         id,
         body: ResponseBody::Error(WireError::new(code, message)),
     }
-}
-
-fn send_response(stream: &mut TcpStream, response: &ResponseEnvelope) -> std::io::Result<()> {
-    let json = serde_json::to_string(response)
-        .map_err(|err| std::io::Error::new(std::io::ErrorKind::InvalidData, err.to_string()))?;
-    wire::write_frame(stream, json.as_bytes())
 }

@@ -74,6 +74,117 @@ impl From<std::io::Error> for FrameError {
     }
 }
 
+/// Encode one frame into a buffer: 4-byte big-endian length prefix, then
+/// the payload. The nonblocking serving path queues these bytes on a
+/// connection's outbox instead of writing to a stream.
+pub fn encode_frame(payload: &[u8]) -> std::io::Result<Vec<u8>> {
+    let len = u32::try_from(payload.len()).map_err(|_| {
+        std::io::Error::new(std::io::ErrorKind::InvalidInput, "frame payload over 4 GiB")
+    })?;
+    let mut buf = Vec::with_capacity(4 + payload.len());
+    buf.extend_from_slice(&len.to_be_bytes());
+    buf.extend_from_slice(payload);
+    Ok(buf)
+}
+
+/// A resumable frame decoder for nonblocking reads: feed it whatever bytes
+/// the socket had — one at a time or many frames at once — and it hands
+/// back complete payloads as they materialize, preserving the blocking
+/// reader's robustness guarantees (an oversized declared length is
+/// rejected *before* the payload is buffered, and the error is sticky:
+/// the stream position is untrustworthy afterwards).
+#[derive(Debug)]
+pub struct FrameDecoder {
+    max: u32,
+    state: DecodeState,
+}
+
+#[derive(Debug)]
+enum DecodeState {
+    /// Collecting the 4-byte length prefix.
+    Prefix { buf: [u8; 4], filled: usize },
+    /// Collecting `declared` payload bytes.
+    Payload { declared: usize, payload: Vec<u8> },
+    /// A `TooLarge` frame was seen; every further feed re-errors.
+    Poisoned { declared: u32 },
+}
+
+impl FrameDecoder {
+    /// A decoder enforcing `max` on every declared payload length.
+    pub fn new(max: u32) -> FrameDecoder {
+        FrameDecoder {
+            max,
+            state: DecodeState::Prefix {
+                buf: [0u8; 4],
+                filled: 0,
+            },
+        }
+    }
+
+    /// Consume bytes from the front of `input` (the slice is advanced past
+    /// what was eaten) until one frame completes or `input` runs dry.
+    /// `Ok(Some(payload))` leaves any trailing bytes — the start of the
+    /// next frame — in `input`, so callers loop until `Ok(None)`.
+    pub fn feed(&mut self, input: &mut &[u8]) -> Result<Option<Vec<u8>>, FrameError> {
+        loop {
+            match &mut self.state {
+                DecodeState::Prefix { buf, filled } => {
+                    let take = input.len().min(4 - *filled);
+                    buf[*filled..*filled + take].copy_from_slice(&input[..take]);
+                    *filled += take;
+                    *input = &input[take..];
+                    if *filled < 4 {
+                        return Ok(None);
+                    }
+                    let declared = u32::from_be_bytes(*buf);
+                    if declared > self.max {
+                        self.state = DecodeState::Poisoned { declared };
+                        return Err(FrameError::TooLarge {
+                            declared,
+                            max: self.max,
+                        });
+                    }
+                    self.state = DecodeState::Payload {
+                        declared: declared as usize,
+                        payload: Vec::with_capacity(declared as usize),
+                    };
+                }
+                DecodeState::Payload { declared, payload } => {
+                    let want = *declared - payload.len();
+                    let take = input.len().min(want);
+                    payload.extend_from_slice(&input[..take]);
+                    *input = &input[take..];
+                    if payload.len() < *declared {
+                        return Ok(None);
+                    }
+                    let complete = std::mem::take(payload);
+                    self.state = DecodeState::Prefix {
+                        buf: [0u8; 4],
+                        filled: 0,
+                    };
+                    return Ok(Some(complete));
+                }
+                DecodeState::Poisoned { declared } => {
+                    return Err(FrameError::TooLarge {
+                        declared: *declared,
+                        max: self.max,
+                    });
+                }
+            }
+        }
+    }
+
+    /// Whether the decoder sits mid-frame — an EOF here is a truncation,
+    /// not a clean close.
+    pub fn mid_frame(&self) -> bool {
+        match &self.state {
+            DecodeState::Prefix { filled, .. } => *filled != 0,
+            DecodeState::Payload { .. } => true,
+            DecodeState::Poisoned { .. } => false,
+        }
+    }
+}
+
 /// Write one frame: 4-byte big-endian length prefix, then the payload.
 pub fn write_frame(writer: &mut impl Write, payload: &[u8]) -> std::io::Result<()> {
     let len = u32::try_from(payload.len()).map_err(|_| {
@@ -91,16 +202,17 @@ pub fn read_frame(reader: &mut impl Read, max: u32) -> Result<Vec<u8>, FrameErro
     read_frame_after_prefix(reader, prefix, max)
 }
 
-/// Read just the 4-byte length prefix — the server's protocol sniffer uses
-/// this to tell HTTP traffic from framed traffic before committing.
+/// Read just the 4-byte length prefix. (The nonblocking server sniffs
+/// protocols through [`FrameDecoder`] instead; this blocking form remains
+/// for synchronous tooling.)
 pub fn read_prefix(reader: &mut impl Read) -> Result<[u8; 4], FrameError> {
     let mut prefix = [0u8; 4];
     read_exact_or_eof(reader, &mut prefix, true)?;
     Ok(prefix)
 }
 
-/// [`read_frame`] when the 4 prefix bytes were already consumed (the
-/// server's protocol sniffer reads them to tell HTTP from framed traffic).
+/// [`read_frame`] when the 4 prefix bytes were already consumed (e.g. by
+/// [`read_prefix`]).
 pub fn read_frame_after_prefix(
     reader: &mut impl Read,
     prefix: [u8; 4],
@@ -241,6 +353,9 @@ pub struct StatsBody {
 pub struct ServerStats {
     /// Connections accepted (TCP protocol and HTTP alike).
     pub connections: u64,
+    /// Connections currently registered with a reactor (gauge) — the
+    /// many-idle-clients capacity the epoll loop exists for.
+    pub open_connections: u64,
     /// Requests answered successfully.
     pub requests: u64,
     /// Requests served through the HTTP adapter.
@@ -261,6 +376,14 @@ pub struct ServerStats {
     pub per_table_tokens: u64,
     /// Registered tables.
     pub tables: u64,
+    /// Commands queued toward reactors but not yet applied (gauge) —
+    /// overload observable at the I/O layer, not just the request queue.
+    pub reactor_queue_depth: u64,
+    /// Reactor (event-loop) threads serving all connections.
+    pub reactor_threads: u64,
+    /// Dispatch worker threads running requests — with the reactor model
+    /// this, not the connection count, bounds the server's thread count.
+    pub dispatch_threads: u64,
 }
 
 /// A structured error response.
@@ -457,6 +580,86 @@ mod tests {
             read_frame(&mut cursor, 64),
             Err(FrameError::Truncated)
         ));
+    }
+
+    #[test]
+    fn decoder_handles_byte_at_a_time_feeding() {
+        let mut stream = Vec::new();
+        write_frame(&mut stream, b"hello").unwrap();
+        write_frame(&mut stream, b"").unwrap();
+        write_frame(&mut stream, b"worlds").unwrap();
+
+        let mut decoder = FrameDecoder::new(64);
+        let mut frames = Vec::new();
+        for byte in &stream {
+            let mut input = std::slice::from_ref(byte);
+            // Keep polling until the byte is consumed *and* no further
+            // frame completes — a zero-length frame materializes on its
+            // last prefix byte with nothing left to feed.
+            while let Some(frame) = decoder.feed(&mut input).unwrap() {
+                frames.push(frame);
+            }
+        }
+        assert_eq!(
+            frames,
+            vec![b"hello".to_vec(), b"".to_vec(), b"worlds".to_vec()]
+        );
+        assert!(!decoder.mid_frame());
+    }
+
+    #[test]
+    fn decoder_yields_multiple_frames_from_one_buffer() {
+        let mut stream = Vec::new();
+        write_frame(&mut stream, b"one").unwrap();
+        write_frame(&mut stream, b"two").unwrap();
+        let mut decoder = FrameDecoder::new(64);
+        let mut input = &stream[..];
+        assert_eq!(decoder.feed(&mut input).unwrap().unwrap(), b"one");
+        assert_eq!(decoder.feed(&mut input).unwrap().unwrap(), b"two");
+        assert!(decoder.feed(&mut input).unwrap().is_none());
+        assert!(input.is_empty());
+    }
+
+    #[test]
+    fn decoder_rejects_oversized_frames_before_buffering_and_stays_poisoned() {
+        let mut decoder = FrameDecoder::new(16);
+        let mut input: &[u8] = &4096u32.to_be_bytes();
+        assert!(matches!(
+            decoder.feed(&mut input),
+            Err(FrameError::TooLarge {
+                declared: 4096,
+                max: 16
+            })
+        ));
+        // Sticky: the stream position is untrustworthy now.
+        let mut more: &[u8] = b"abcd";
+        assert!(matches!(
+            decoder.feed(&mut more),
+            Err(FrameError::TooLarge { .. })
+        ));
+        assert!(!decoder.mid_frame());
+    }
+
+    #[test]
+    fn decoder_tracks_mid_frame_for_truncation_detection() {
+        let mut decoder = FrameDecoder::new(64);
+        assert!(!decoder.mid_frame());
+        let mut input: &[u8] = &[0x00, 0x00];
+        assert!(decoder.feed(&mut input).unwrap().is_none());
+        assert!(decoder.mid_frame(), "half a prefix is mid-frame");
+        let mut rest: &[u8] = &[0x00, 0x03, b'a'];
+        assert!(decoder.feed(&mut rest).unwrap().is_none());
+        assert!(decoder.mid_frame(), "a partial payload is mid-frame");
+        let mut tail: &[u8] = b"bc";
+        assert_eq!(decoder.feed(&mut tail).unwrap().unwrap(), b"abc");
+        assert!(!decoder.mid_frame());
+    }
+
+    #[test]
+    fn encode_frame_matches_write_frame() {
+        let mut written = Vec::new();
+        write_frame(&mut written, b"payload").unwrap();
+        assert_eq!(encode_frame(b"payload").unwrap(), written);
     }
 
     #[test]

@@ -19,7 +19,7 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use wtq_core::{Engine, ExplainRequest};
 use wtq_server::{
-    Client, ClientError, ErrorCode, ExplainBody, Server, ServerConfig, ServerHandle,
+    Client, ClientError, ErrorCode, ExplainBody, RetryPolicy, Server, ServerConfig, ServerHandle,
     WireExplanation,
 };
 use wtq_table::{samples, Catalog, Table};
@@ -205,6 +205,76 @@ fn full_in_flight_queue_rejects_with_retry_after_instead_of_hanging() {
 }
 
 #[test]
+fn retry_helper_rides_out_backpressure_and_respects_its_budget() {
+    let config = ServerConfig {
+        max_in_flight: 1,
+        retry_after_ms: 10,
+        ..ServerConfig::default()
+    };
+    let (_engine, _catalog, handle) = serving_stack(config, vec![big_table(400)]);
+    let addr = handle.local_addr();
+
+    // Occupy the single in-flight slot with a slow batch over the big table.
+    let mut rng = ChaCha8Rng::seed_from_u64(29);
+    let questions = wtq_dataset::generate_questions(&big_table(400), 6, &mut rng);
+    let batch: Vec<ExplainBody> = questions
+        .iter()
+        .map(|question| ExplainBody {
+            question: question.question.clone(),
+            table: big_table(400).name().to_string(),
+            top_k: Some(2),
+        })
+        .collect();
+    let batch_thread = std::thread::spawn(move || {
+        let mut client = Client::connect(addr).expect("batch client connects");
+        client
+            .explain_batch(batch)
+            .expect("the slow batch succeeds")
+    });
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while handle.server_stats().in_flight == 0 {
+        assert!(Instant::now() < deadline, "batch never became in-flight");
+        std::thread::yield_now();
+    }
+
+    // A tight budget gives up: the final rejection surfaces as-is, after
+    // max_retries + 1 total attempts (observable in the rejection counter).
+    let mut client = Client::connect(addr).unwrap();
+    let stingy = RetryPolicy {
+        max_retries: 2,
+        default_backoff: Duration::from_millis(5),
+        max_backoff: Duration::from_millis(20),
+    };
+    match client.explain_with_retry("Which city hosted in 2008?", "olympics", None, &stingy) {
+        Err(ClientError::Server(err)) => {
+            assert_eq!(err.code, ErrorCode::Overloaded);
+            assert_eq!(err.retry_after_ms, Some(10));
+        }
+        other => panic!("expected the budget to run out on a full queue, got {other:?}"),
+    }
+    assert!(
+        handle.server_stats().rejected_overload >= 3,
+        "each attempt must have reached the server: {:?}",
+        handle.server_stats()
+    );
+
+    // A generous budget rides the rejections out and succeeds once the
+    // batch drains — without the caller ever seeing an Overloaded error.
+    let generous = RetryPolicy {
+        max_retries: 10_000,
+        default_backoff: Duration::from_millis(10),
+        max_backoff: Duration::from_millis(50),
+    };
+    let explanation = client
+        .explain_with_retry("Which city hosted in 2008?", "olympics", None, &generous)
+        .expect("retries outlast the slow batch");
+    assert!(!explanation.candidates.is_empty());
+
+    batch_thread.join().expect("batch thread clean");
+    handle.shutdown();
+}
+
+#[test]
 fn hot_table_cannot_fill_the_whole_queue() {
     // One table at its queue share must be rejected while other tables'
     // requests are still admitted — the starvation the per-table occupancy
@@ -357,6 +427,15 @@ fn registry_and_stats_surfaces_reflect_the_serving_state() {
     assert_eq!(after.server.in_flight, 0);
     assert_eq!(after.server.tables, 2);
     assert!(after.server.connections >= 1);
+    // The I/O layer is observable too: this client's connection is open,
+    // the reactor pool is a fixed handful of threads, and the dispatch
+    // pool — not the connection count — bounds worker threads.
+    assert!(after.server.open_connections >= 1, "{after:?}");
+    assert!(after.server.reactor_threads >= 1, "{after:?}");
+    assert!(
+        after.server.dispatch_threads >= after.server.max_in_flight,
+        "{after:?}"
+    );
     // The client-visible engine snapshot is the engine's own.
     assert_eq!(after.engine, engine.stats());
     handle.shutdown();
