@@ -10,7 +10,7 @@ use std::time::Duration;
 use wtq_bench::exec::{bench_table, workloads};
 use wtq_dcs::{eval, eval_reference, parse_formula, Evaluator};
 use wtq_provenance::provenance;
-use wtq_sql::{execute, execute_scan, execute_with_index, translate};
+use wtq_sql::{translate, PlanMode, SqlEngine};
 use wtq_table::{samples, TableIndex};
 
 fn bench_operators(c: &mut Criterion) {
@@ -46,7 +46,7 @@ fn bench_operators(c: &mut Criterion) {
         });
         if let Ok(sql) = translate(&formula) {
             group.bench_function(format!("sql/{name}"), |b| {
-                b.iter(|| execute(&sql, &olympics))
+                b.iter(|| SqlEngine::new(&olympics).execute(&sql, PlanMode::Auto))
             });
         }
     }
@@ -56,6 +56,9 @@ fn bench_operators(c: &mut Criterion) {
 /// Indexed execution layer vs the scan reference on a 2 000-row table:
 /// `scan` is the pre-index semantics, `indexed` a session sharing one
 /// prebuilt index (cold cache per call), `warm` a single reused session.
+/// For SQL: `sql_scan` is `ForceScan`, `sql_cold` a fresh cost-based
+/// engine per call (columnar kernels, no index), `sql_warm` the reused
+/// cost-based engine holding the shared index.
 fn bench_exec_layer(c: &mut Criterion) {
     let table = bench_table(2000);
     let index = Arc::new(TableIndex::new(&table));
@@ -76,11 +79,15 @@ fn bench_exec_layer(c: &mut Criterion) {
         });
         group.bench_function(format!("warm/{name}"), |b| b.iter(|| warm.eval(&formula)));
         if let Ok(query) = translate(&formula) {
+            let warm_engine = SqlEngine::with_index(&table, &index);
             group.bench_function(format!("sql_scan/{name}"), |b| {
-                b.iter(|| execute_scan(&query, &table))
+                b.iter(|| warm_engine.execute(&query, PlanMode::ForceScan))
             });
-            group.bench_function(format!("sql_indexed/{name}"), |b| {
-                b.iter(|| execute_with_index(&query, &table, &index))
+            group.bench_function(format!("sql_cold/{name}"), |b| {
+                b.iter(|| SqlEngine::new(&table).execute(&query, PlanMode::Auto))
+            });
+            group.bench_function(format!("sql_warm/{name}"), |b| {
+                b.iter(|| warm_engine.execute(&query, PlanMode::Auto))
             });
         }
     }

@@ -351,6 +351,16 @@ fn main() {
             );
         }
         println!(
+            "\nPlanner decisions over the SQL workloads (Auto mode): \
+             {} columnar-kernel / {} index / {} row-scan; \
+             estimated {} vs actual {} matching rows.",
+            report.planner.kernel_chosen,
+            report.planner.index_chosen,
+            report.planner.scan_chosen,
+            report.planner.estimated_rows,
+            report.planner.actual_rows
+        );
+        println!(
             "\nCandidate throughput: {:.0} questions/s ({:.0} µs/question); \
              denotation cache {} hits / {} misses over one pool.",
             report.candidate_throughput_qps,

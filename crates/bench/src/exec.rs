@@ -7,11 +7,18 @@
 //! generation — executed three ways:
 //!
 //! * **scan** — the pre-index reference semantics (`wtq_dcs::eval_reference`
-//!   / `wtq_sql::execute_scan`),
-//! * **indexed (cold)** — a fresh session per call over a shared
-//!   [`TableIndex`] (measures the index-backed operators alone),
-//! * **indexed (warm)** — one session reused across calls (adds the
-//!   cross-candidate denotation cache, the deployment configuration).
+//!   / `PlanMode::ForceScan`),
+//! * **cold** — no pre-built state per call: a fresh DCS session over a
+//!   shared [`TableIndex`], and for SQL a fresh [`wtq_sql::SqlEngine`] in
+//!   `Auto` mode (cost-based: columnar kernels, no index build),
+//! * **warm** — reused state across calls: a warm DCS session (adds the
+//!   cross-candidate denotation cache) and an `Auto`-mode engine holding
+//!   the shared index (the deployment configuration).
+//!
+//! The SQL section also snapshots the planner decision counters
+//! ([`wtq_sql::PlannerStats`]) around its workloads, so the report records
+//! which physical plans the cost model picked and how its selectivity
+//! estimates tracked reality.
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -23,6 +30,7 @@ use serde::Serialize;
 use wtq_core::{Engine, ExplainRequest};
 use wtq_dcs::{AggregateOp, CompareOp, Evaluator, Formula, SuperlativeOp};
 use wtq_parser::SemanticParser;
+use wtq_sql::{PlanMode, SqlEngine};
 use wtq_table::{Catalog, Table, TableIndex, Value};
 
 use crate::EXPERIMENT_SEED;
@@ -34,9 +42,9 @@ pub struct ExecCase {
     pub name: String,
     /// Scan reference, µs per execution.
     pub scan_us: f64,
-    /// Fresh indexed session per execution (shared index), µs.
+    /// Cold execution per call (fresh session / cold cost-based engine), µs.
     pub indexed_cold_us: f64,
-    /// One reused indexed session (warm denotation cache), µs.
+    /// Warm execution (reused session / warm cost-based engine), µs.
     pub indexed_warm_us: f64,
     /// `scan_us / indexed_cold_us`.
     pub speedup_cold: f64,
@@ -68,8 +76,11 @@ pub struct ExecReport {
     pub index_build_us: f64,
     /// Lambda DCS operator workloads.
     pub dcs: Vec<ExecCase>,
-    /// SQL engine workloads (indexed planner vs scan path).
+    /// SQL engine workloads (cost-based planner vs scan path).
     pub sql: Vec<ExecCase>,
+    /// Planner decisions taken while timing the SQL workloads (scan vs
+    /// index vs columnar kernel, estimated vs actual matching rows).
+    pub planner: wtq_sql::PlannerStats,
     /// End-to-end questions/second through lexicon → candidates → scoring.
     pub candidate_throughput_qps: f64,
     /// Mean per-question parse time backing the throughput number, µs.
@@ -103,6 +114,27 @@ fn time_us<F: FnMut()>(mut f: F) -> f64 {
         f();
     }
     start.elapsed().as_secs_f64() * 1e6 / f64::from(iters)
+}
+
+/// Interleaved timing rounds per workload. Each round times every variant
+/// back to back and the per-variant medians are reported, so machine-load
+/// drift hits all variants alike instead of whichever was measured last.
+const MEASURE_ROUNDS: usize = 5;
+
+fn median(mut samples: Vec<f64>) -> f64 {
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    samples[samples.len() / 2]
+}
+
+/// Median µs per call for each variant, sampled in interleaved rounds.
+fn interleaved_us(fns: &mut [&mut dyn FnMut()]) -> Vec<f64> {
+    let mut samples = vec![Vec::with_capacity(MEASURE_ROUNDS); fns.len()];
+    for _ in 0..MEASURE_ROUNDS {
+        for (slot, f) in samples.iter_mut().zip(fns.iter_mut()) {
+            slot.push(time_us(&mut **f));
+        }
+    }
+    samples.into_iter().map(median).collect()
 }
 
 /// The synthetic benchmark table: the first dataset domain scaled to `rows`.
@@ -179,16 +211,19 @@ pub fn exec_report(rows: usize, questions: usize) -> ExecReport {
     let warm = Evaluator::with_index(&table, index.clone());
     let mut dcs = Vec::new();
     for (name, formula) in workloads(&table, &index) {
-        let scan_us = time_us(|| {
-            let _ = wtq_dcs::eval_reference(&formula, &table);
-        });
-        let indexed_cold_us = time_us(|| {
-            let session = Evaluator::with_index(&table, index.clone());
-            let _ = session.eval(&formula);
-        });
-        let indexed_warm_us = time_us(|| {
-            let _ = warm.eval(&formula);
-        });
+        let timings = interleaved_us(&mut [
+            &mut || {
+                let _ = wtq_dcs::eval_reference(&formula, &table);
+            },
+            &mut || {
+                let session = Evaluator::with_index(&table, index.clone());
+                let _ = session.eval(&formula);
+            },
+            &mut || {
+                let _ = warm.eval(&formula);
+            },
+        ]);
+        let (scan_us, indexed_cold_us, indexed_warm_us) = (timings[0], timings[1], timings[2]);
         dcs.push(ExecCase {
             name,
             scan_us,
@@ -200,19 +235,24 @@ pub fn exec_report(rows: usize, questions: usize) -> ExecReport {
     }
 
     let mut sql = Vec::new();
+    let warm_engine = SqlEngine::with_index(&table, &index);
+    let planner_before = wtq_sql::planner_stats();
     for (name, formula) in workloads(&table, &index) {
         let Ok(query) = wtq_sql::translate(&formula) else {
             continue;
         };
-        let scan_us = time_us(|| {
-            let _ = wtq_sql::execute_scan(&query, &table);
-        });
-        let indexed_cold_us = time_us(|| {
-            let _ = wtq_sql::execute(&query, &table);
-        });
-        let indexed_warm_us = time_us(|| {
-            let _ = wtq_sql::execute_with_index(&query, &table, &index);
-        });
+        let timings = interleaved_us(&mut [
+            &mut || {
+                let _ = warm_engine.execute(&query, PlanMode::ForceScan);
+            },
+            &mut || {
+                let _ = SqlEngine::new(&table).execute(&query, PlanMode::Auto);
+            },
+            &mut || {
+                let _ = warm_engine.execute(&query, PlanMode::Auto);
+            },
+        ]);
+        let (scan_us, indexed_cold_us, indexed_warm_us) = (timings[0], timings[1], timings[2]);
         sql.push(ExecCase {
             name,
             scan_us,
@@ -222,6 +262,7 @@ pub fn exec_report(rows: usize, questions: usize) -> ExecReport {
             speedup_warm: scan_us / indexed_warm_us,
         });
     }
+    let planner = planner_delta(planner_before, wtq_sql::planner_stats());
 
     // End-to-end candidate throughput on a regular-size generated table with
     // generated questions (lexicon → candidates → scoring).
@@ -257,6 +298,7 @@ pub fn exec_report(rows: usize, questions: usize) -> ExecReport {
         index_build_us,
         dcs,
         sql,
+        planner,
         candidate_throughput_qps,
         candidate_parse_us,
         cache_hits,
@@ -264,6 +306,21 @@ pub fn exec_report(rows: usize, questions: usize) -> ExecReport {
         parallel,
         serving: None,
         idle_serving: None,
+    }
+}
+
+/// The planner counters accumulated between two snapshots (the counters are
+/// process-wide and monotone; the difference isolates one bench section).
+fn planner_delta(
+    before: wtq_sql::PlannerStats,
+    after: wtq_sql::PlannerStats,
+) -> wtq_sql::PlannerStats {
+    wtq_sql::PlannerStats {
+        scan_chosen: after.scan_chosen - before.scan_chosen,
+        index_chosen: after.index_chosen - before.index_chosen,
+        kernel_chosen: after.kernel_chosen - before.kernel_chosen,
+        estimated_rows: after.estimated_rows - before.estimated_rows,
+        actual_rows: after.actual_rows - before.actual_rows,
     }
 }
 
@@ -343,9 +400,16 @@ mod tests {
             assert!(case.speedup_vs_serial > 0.0);
         }
         assert!((report.parallel[0].speedup_vs_serial - 1.0).abs() < 1e-12);
+        // The SQL section exercised the planner: every workload was planned
+        // (never a row-scan fallback) on both the cold kernel path and the
+        // warm index-or-kernel path.
+        assert!(report.planner.kernel_chosen > 0);
+        assert!(report.planner.index_chosen + report.planner.kernel_chosen > 0);
+        assert!(report.planner.actual_rows > 0);
         // The report serializes.
         let json = serde_json::to_string_pretty(&report).expect("serializes");
         assert!(json.contains("candidate_throughput_qps"));
+        assert!(json.contains("planner"));
         assert!(json.contains("parallel"));
     }
 }

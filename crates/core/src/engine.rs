@@ -117,6 +117,9 @@ pub struct EngineStats {
     pub batches_served: u64,
     /// Engine entry-point calls currently executing.
     pub in_flight: u64,
+    /// SQL planner decision counters (process-wide): scan vs index vs
+    /// columnar-kernel choices and estimated vs actual selectivity.
+    pub planner: wtq_sql::PlannerStats,
 }
 
 /// Serving counters of an [`Engine`] (all atomics: incremented under
@@ -221,6 +224,7 @@ impl Engine {
             questions_served: self.counters.questions_served.load(Ordering::Relaxed),
             batches_served: self.counters.batches_served.load(Ordering::Relaxed),
             in_flight: self.counters.in_flight.load(Ordering::Relaxed),
+            planner: wtq_sql::planner_stats(),
         }
     }
 

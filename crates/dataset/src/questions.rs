@@ -376,7 +376,7 @@ fn build<R: Rng>(table: &Table, family: QuestionFamily, rng: &mut R) -> Option<(
             let num_name = column_name(num);
             let values: Vec<f64> = table
                 .record_indices()
-                .filter_map(|r| table.value_at(r, num).and_then(Value::as_number))
+                .filter_map(|r| table.number_at(r, num))
                 .collect();
             if values.is_empty() {
                 return None;

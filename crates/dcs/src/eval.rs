@@ -442,12 +442,12 @@ impl<'a> Evaluator<'a> {
                 continue;
             };
             let cell = CellRef::new(record, column);
-            if let Some(&at) = position.get(value) {
+            if let Some(&at) = position.get(&value) {
                 out[at].cells.push(cell);
             } else {
                 position.insert(value.clone(), out.len());
                 out.push(TracedValue {
-                    value: value.clone(),
+                    value,
                     cells: vec![cell],
                 });
             }
@@ -620,7 +620,7 @@ impl<'a> Evaluator<'a> {
                     SuperlativeOp::Argmax => order.iter().rev().find(|r| records.contains(r)),
                     SuperlativeOp::Argmin => order.iter().find(|r| records.contains(r)),
                 };
-                return found.and_then(|&r| self.table.value_at(r, column).cloned());
+                return found.and_then(|&r| self.table.value_at(r, column));
             }
         }
         let mut best: Option<Value> = None;
@@ -630,11 +630,11 @@ impl<'a> Evaluator<'a> {
             };
             let better = match (&best, op) {
                 (None, _) => true,
-                (Some(current), SuperlativeOp::Argmax) => value > current,
-                (Some(current), SuperlativeOp::Argmin) => value < current,
+                (Some(current), SuperlativeOp::Argmax) => &value > current,
+                (Some(current), SuperlativeOp::Argmin) => &value < current,
             };
             if better {
-                best = Some(value.clone());
+                best = Some(value);
             }
         }
         best
@@ -652,7 +652,7 @@ impl<'a> Evaluator<'a> {
         records
             .iter()
             .copied()
-            .filter(|&record| self.table.value_at(record, column) == Some(&best))
+            .filter(|&record| self.table.eq_at(record, column, &best))
             .collect()
     }
 
@@ -732,19 +732,19 @@ impl<'a> Evaluator<'a> {
         let mut out: Vec<TracedValue> = Vec::new();
         let mut position: HashMap<Value, usize> = HashMap::new();
         for &record in &rows {
-            if self.table.value_at(record, key_column) != Some(&best) {
+            if !self.table.eq_at(record, key_column, &best) {
                 continue;
             }
             let Some(value) = self.table.value_at(record, value_column) else {
                 continue;
             };
             let cell = CellRef::new(record, value_column);
-            if let Some(&at) = position.get(value) {
+            if let Some(&at) = position.get(&value) {
                 out[at].cells.push(cell);
             } else {
                 position.insert(value.clone(), out.len());
                 out.push(TracedValue {
-                    value: value.clone(),
+                    value,
                     cells: vec![cell],
                 });
             }

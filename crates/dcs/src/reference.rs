@@ -51,7 +51,7 @@ fn eval_depth(formula: &Formula, table: &Table, depth: usize) -> Result<Denotati
             };
             let mut records = BTreeSet::new();
             for value in &wanted {
-                records.extend(table.records_with_value(column_idx, value));
+                records.extend(table.filter_eq(column_idx, value));
             }
             Ok(Denotation::Records(records))
         }
@@ -65,11 +65,9 @@ fn eval_depth(formula: &Formula, table: &Table, depth: usize) -> Result<Denotati
             })?;
             let mut records = BTreeSet::new();
             for record in table.record_indices() {
-                if let Some(cell) = table.value_at(record, column_idx) {
-                    if let Some(number) = cell.as_number() {
-                        if op.compare(number, threshold) {
-                            records.insert(record);
-                        }
+                if let Some(number) = table.number_at(record, column_idx) {
+                    if op.compare(number, threshold) {
+                        records.insert(record);
                     }
                 }
             }
@@ -194,7 +192,7 @@ fn eval_depth(formula: &Formula, table: &Table, depth: usize) -> Result<Denotati
             }
             let counts: Vec<usize> = candidates
                 .iter()
-                .map(|tv| table.records_with_value(column_idx, &tv.value).len())
+                .map(|tv| table.filter_eq(column_idx, &tv.value).len())
                 .collect();
             let best = match op {
                 SuperlativeOp::Argmax => counts.iter().copied().max().unwrap_or(0),
@@ -206,7 +204,7 @@ fn eval_depth(formula: &Formula, table: &Table, depth: usize) -> Result<Denotati
                 .filter(|(_, count)| *count == best)
                 .map(|(tv, _)| {
                     let cells = table
-                        .records_with_value(column_idx, &tv.value)
+                        .filter_eq(column_idx, &tv.value)
                         .into_iter()
                         .map(|record| CellRef::new(record, column_idx))
                         .collect();
@@ -239,7 +237,7 @@ fn eval_depth(formula: &Formula, table: &Table, depth: usize) -> Result<Denotati
             };
             let mut rows: Vec<RecordIdx> = Vec::new();
             for tv in &candidates {
-                rows.extend(table.records_with_value(value_idx, &tv.value));
+                rows.extend(table.filter_eq(value_idx, &tv.value));
             }
             rows.sort_unstable();
             rows.dedup();
@@ -250,11 +248,11 @@ fn eval_depth(formula: &Formula, table: &Table, depth: usize) -> Result<Denotati
                 };
                 let better = match (&best, op) {
                     (None, _) => true,
-                    (Some(current), SuperlativeOp::Argmax) => key > current,
-                    (Some(current), SuperlativeOp::Argmin) => key < current,
+                    (Some(current), SuperlativeOp::Argmax) => &key > current,
+                    (Some(current), SuperlativeOp::Argmin) => &key < current,
                 };
                 if better {
-                    best = Some(key.clone());
+                    best = Some(key);
                 }
             }
             let Some(best) = best else {
@@ -262,18 +260,18 @@ fn eval_depth(formula: &Formula, table: &Table, depth: usize) -> Result<Denotati
             };
             let mut out: Vec<TracedValue> = Vec::new();
             for &record in &rows {
-                if table.value_at(record, key_idx) != Some(&best) {
+                if !table.eq_at(record, key_idx, &best) {
                     continue;
                 }
                 let Some(value) = table.value_at(record, value_idx) else {
                     continue;
                 };
                 let cell = CellRef::new(record, value_idx);
-                if let Some(existing) = out.iter_mut().find(|tv| &tv.value == value) {
+                if let Some(existing) = out.iter_mut().find(|tv| tv.value == value) {
                     existing.cells.push(cell);
                 } else {
                     out.push(TracedValue {
-                        value: value.clone(),
+                        value,
                         cells: vec![cell],
                     });
                 }
@@ -300,7 +298,7 @@ fn eval_const(table: &Table, value: &Value) -> Denotation {
     let mut cells = Vec::new();
     for column in 0..table.num_columns() {
         for record in table.record_indices() {
-            if table.value_at(record, column) == Some(value) {
+            if table.eq_at(record, column, value) {
                 cells.push(CellRef::new(record, column));
             }
         }
@@ -319,11 +317,11 @@ fn project_column(table: &Table, column: usize, records: &BTreeSet<RecordIdx>) -
             continue;
         };
         let cell = CellRef::new(record, column);
-        if let Some(existing) = out.iter_mut().find(|tv| &tv.value == value) {
+        if let Some(existing) = out.iter_mut().find(|tv| tv.value == value) {
             existing.cells.push(cell);
         } else {
             out.push(TracedValue {
-                value: value.clone(),
+                value,
                 cells: vec![cell],
             });
         }
@@ -344,11 +342,11 @@ fn superlative_records(
         };
         let better = match (&best, op) {
             (None, _) => true,
-            (Some(current), SuperlativeOp::Argmax) => value > current,
-            (Some(current), SuperlativeOp::Argmin) => value < current,
+            (Some(current), SuperlativeOp::Argmax) => &value > current,
+            (Some(current), SuperlativeOp::Argmin) => &value < current,
         };
         if better {
-            best = Some(value.clone());
+            best = Some(value);
         }
     }
     let Some(best) = best else {
@@ -357,7 +355,7 @@ fn superlative_records(
     records
         .iter()
         .copied()
-        .filter(|&record| table.value_at(record, column) == Some(&best))
+        .filter(|&record| table.eq_at(record, column, &best))
         .collect()
 }
 

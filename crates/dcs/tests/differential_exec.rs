@@ -258,7 +258,7 @@ proptest! {
             for tv in &values {
                 for cell in &tv.cells {
                     let held = table.value_at(cell.record, cell.column);
-                    prop_assert_eq!(held, Some(&tv.value));
+                    prop_assert_eq!(held, Some(tv.value.clone()));
                 }
             }
         }

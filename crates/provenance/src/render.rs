@@ -37,7 +37,7 @@ pub fn render_text(table: &Table, highlights: &Highlights) -> String {
         let row: Vec<String> = (0..table.num_columns())
             .map(|column| {
                 let cell = CellRef::new(record, column);
-                text_cell(highlights.kind(cell), &table.cell_value(cell).to_string())
+                text_cell(highlights.kind(cell), &table.cell_text(cell))
             })
             .collect();
         cells.push(row);
@@ -76,7 +76,7 @@ pub fn render_ansi(table: &Table, highlights: &Highlights) -> String {
     for record in table.record_indices() {
         for column in 0..table.num_columns() {
             let cell = CellRef::new(record, column);
-            let text = format!("{:<18}", table.cell_value(cell).to_string());
+            let text = format!("{:<18}", table.cell_text(cell));
             match highlights.kind(cell) {
                 HighlightKind::Colored => out.push_str(&format!("{COLORED}{text}{RESET}")),
                 HighlightKind::Framed => out.push_str(&format!("{FRAMED}{text}{RESET}")),
@@ -117,7 +117,7 @@ pub fn render_html(table: &Table, highlights: &Highlights) -> String {
             };
             out.push_str(&format!(
                 "<td class=\"{class}\">{}</td>",
-                escape(&table.cell_value(cell).to_string())
+                escape(&table.cell_text(cell))
             ));
         }
         out.push_str("</tr>\n");

@@ -102,8 +102,7 @@ fn output_provenance(
                 .column_cells(column_idx)
                 .filter(|cell| {
                     table
-                        .cell_value(*cell)
-                        .as_number()
+                        .number_at(cell.record, cell.column)
                         .map(|n| op.compare(n, threshold))
                         .unwrap_or(false)
                 })

@@ -96,10 +96,7 @@ fn project_rows(table: &Table, records: &[RecordIdx]) -> Table {
     let mut builder =
         TableBuilder::new(table.name()).columns(table.columns().iter().map(|c| c.name.clone()));
     for &record in records {
-        let row = table
-            .record(record)
-            .expect("sampled record exists")
-            .to_vec();
+        let row = table.record_values(record).expect("sampled record exists");
         builder = builder.row(row).expect("arity preserved");
     }
     builder

@@ -7,42 +7,168 @@
 //! which is exactly how the paper argues its provenance model is aligned with
 //! relational provenance work.
 //!
-//! Execution is **index-backed**: [`execute`] builds (or
-//! [`execute_with_index`] borrows) a [`TableIndex`] and
+//! # Execution modes
 //!
-//! * plans indexable `WHERE` clauses (`Column = v`, numeric comparisons
-//!   against literals, `IN` lists, and `AND`/`OR` combinations of those)
-//!   directly against the inverted / sorted-numeric indexes instead of
-//!   evaluating the predicate per row,
-//! * resolves column names through the index's O(1) name map instead of a
-//!   linear scan per row,
-//! * deduplicates `UNION` / `DISTINCT` results with a hashed row-key set
-//!   instead of the former O(n²) `Vec::contains`.
+//! [`SqlEngine`] binds a table (and optionally a pre-built [`TableIndex`])
+//! and executes queries under one of three [`PlanMode`]s:
 //!
-//! Both paths additionally memoize **subquery results** within one
-//! execution: queries are pure over an immutable table, so a scalar or `IN`
-//! subquery evaluated once per outer row (the translation's favourite shape,
-//! `WHERE Index IN (SELECT … WHERE C = (SELECT MAX(C) …))`) is executed
-//! once instead of O(rows) times, turning the nested-subquery row loop from
-//! O(n³) into O(n).
+//! * [`PlanMode::ForceScan`] — the pre-index reference semantics: per-row
+//!   linear column resolution, the predicate interpreted on every row, no
+//!   typed kernels. Kept byte-for-byte boring as the oracle of the
+//!   differential suites.
+//! * [`PlanMode::ForceIndex`] — always answer plannable `WHERE` clauses from
+//!   the inverted / sorted-numeric index, building it on first use if the
+//!   engine was not given one.
+//! * [`PlanMode::Auto`] — cost-based. Plannable clauses (`Column = v`,
+//!   numeric comparisons against literals, `IN` lists, scalar-subquery
+//!   equalities, `Index IN (subquery)` record-membership tests, and
+//!   `AND`/`OR` combinations of those) run as either an index lookup or a
+//!   **columnar kernel** sweep over the table's typed column vectors
+//!   ([`Table::filter_eq`] and friends); everything else falls back to the
+//!   row scan.
 //!
-//! [`execute_scan`] runs the same queries with no index (per-row linear
-//! column resolution, no planned filters) — the pre-index scan semantics —
-//! and is kept as the reference implementation for the differential suite.
+//! # Cost model
+//!
+//! The planner's cost inputs are the table size and, when an index is
+//! already warm, its bucket sizes (a free histogram):
+//!
+//! * **Cold** (no index built yet): a kernel sweep is `O(rows)` over a
+//!   typed vector, an interpreted scan is `O(rows)` with per-row `Value`
+//!   dispatch, and an index *build* is `Ω(cells · log rows)` — strictly more
+//!   than either. A single query therefore never builds an index: Auto runs
+//!   the kernels and can never lose to the scan.
+//! * **Warm** (index present): a point lookup returns a precomputed bucket
+//!   in `O(matches)`, which beats any sweep for selective predicates. For
+//!   dense predicates (estimated matches ≥ half the table) the planner
+//!   prefers the kernel sweep: range lookups materialize through a
+//!   `BTreeSet` (`O(matches · log matches)`), so at high selectivity the
+//!   flat `O(rows)` sweep wins and is already sorted.
+//!
+//! Estimated selectivity comes from the index buckets (`=`, `IN`), the
+//! sorted-numeric partitions (comparisons), and the mean bucket size
+//! (scalar subqueries); `AND` takes the min, `OR` the capped sum. Every
+//! Auto decision is counted in the process-wide [`crate::PlannerStats`],
+//! together with estimated vs actual matching rows.
+//!
+//! All modes memoize **subquery results** within one execution: queries are
+//! pure over an immutable table, so a scalar or `IN` subquery evaluated once
+//! per outer row (the translation's favourite shape, `WHERE Index IN
+//! (SELECT … WHERE C = (SELECT MAX(C) …))`) is executed once instead of
+//! O(rows) times, turning the nested-subquery row loop from O(n³) into O(n).
 
 use std::cell::RefCell;
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::rc::Rc;
+use std::sync::OnceLock;
 
 use wtq_dcs::{compare_records, AggregateOp, CompareOp};
 use wtq_table::{RecordIdx, Table, TableIndex, Value};
 
 use crate::ast::{ArithOp, SqlExpr, SqlOrder, SqlQuery, SqlSelect};
 use crate::error::SqlError;
+use crate::stats;
 use crate::Result;
 
 /// Query output: a list of rows, each a list of values.
 pub type SqlResult = Vec<Vec<Value>>;
+
+/// How [`SqlEngine::execute`] plans `WHERE` clauses.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum PlanMode {
+    /// Cost-based: columnar kernels when cold, index-vs-kernel by estimated
+    /// selectivity when an index is warm. Never builds an index. Records
+    /// its decisions in [`crate::planner_stats`].
+    #[default]
+    Auto,
+    /// The pre-index reference semantics (per-row interpreted scan, linear
+    /// column resolution). The differential oracle.
+    ForceScan,
+    /// Always answer plannable filters from the [`TableIndex`], building it
+    /// lazily if the engine was not constructed with one.
+    ForceIndex,
+}
+
+/// A query executor bound to one table, owning the lazily-built index that
+/// [`PlanMode::ForceIndex`] may require. Construct once per table (or per
+/// request) and run any number of queries through [`SqlEngine::execute`].
+#[derive(Debug)]
+pub struct SqlEngine<'a> {
+    table: &'a Table,
+    /// An index supplied by the caller (e.g. the serving layer's shared
+    /// cache); preferred over `built` whenever present.
+    shared: Option<&'a TableIndex>,
+    /// Index built on demand by `ForceIndex`. `Auto` only ever *reads* this
+    /// — a warm engine stays warm, a cold one never pays the build.
+    built: OnceLock<TableIndex>,
+}
+
+impl<'a> SqlEngine<'a> {
+    /// An engine with no pre-built index: `Auto` plans cold (kernels only),
+    /// `ForceIndex` builds on first use.
+    pub fn new(table: &'a Table) -> Self {
+        SqlEngine {
+            table,
+            shared: None,
+            built: OnceLock::new(),
+        }
+    }
+
+    /// An engine borrowing an already-built index of the same table (no
+    /// per-call build; `Auto` plans warm).
+    pub fn with_index(table: &'a Table, index: &'a TableIndex) -> Self {
+        SqlEngine {
+            table,
+            shared: Some(index),
+            built: OnceLock::new(),
+        }
+    }
+
+    /// The bound table.
+    pub fn table(&self) -> &'a Table {
+        self.table
+    }
+
+    /// Execute `query` under `mode`. All modes compute identical results on
+    /// identical inputs — only the physical plan differs.
+    pub fn execute(&self, query: &SqlQuery, mode: PlanMode) -> Result<SqlResult> {
+        let subqueries = SubqueryCache::default();
+        let ctx = match mode {
+            PlanMode::Auto => Ctx {
+                table: self.table,
+                index: self.warm_index(),
+                kernels: true,
+                observe: true,
+                subqueries: &subqueries,
+            },
+            PlanMode::ForceScan => Ctx {
+                table: self.table,
+                index: None,
+                kernels: false,
+                observe: false,
+                subqueries: &subqueries,
+            },
+            PlanMode::ForceIndex => Ctx {
+                table: self.table,
+                index: Some(self.force_index()),
+                kernels: false,
+                observe: false,
+                subqueries: &subqueries,
+            },
+        };
+        execute_query(query, ctx)
+    }
+
+    /// The index if one is already available — never triggers a build.
+    fn warm_index(&self) -> Option<&TableIndex> {
+        self.shared.or_else(|| self.built.get())
+    }
+
+    /// The index, building (once) if the caller supplied none.
+    fn force_index(&self) -> &TableIndex {
+        self.shared
+            .unwrap_or_else(|| self.built.get_or_init(|| TableIndex::new(self.table)))
+    }
+}
 
 /// Memoized subquery state, keyed by the subquery node's address (stable for
 /// the duration of one `execute` call over the borrowed query AST): the
@@ -55,13 +181,18 @@ struct SubqueryCache {
     membership: RefCell<HashMap<usize, Rc<HashSet<Value>>>>,
 }
 
-/// Execution context: the table, (optionally) its columnar index, and the
-/// per-execution subquery cache. With no index the engine degrades to the
-/// original full-scan behavior.
+/// Execution context threaded through one `execute` call: the table, the
+/// warm index (if any), whether columnar kernels may run, whether planner
+/// decisions are recorded, and the per-execution subquery cache.
 #[derive(Clone, Copy)]
 struct Ctx<'a> {
     table: &'a Table,
     index: Option<&'a TableIndex>,
+    /// Columnar kernels allowed (Auto). `ForceScan`/`ForceIndex` keep the
+    /// historical physical plans exactly.
+    kernels: bool,
+    /// Record decisions in the process-wide planner counters (Auto only).
+    observe: bool,
     subqueries: &'a SubqueryCache,
 }
 
@@ -107,47 +238,6 @@ fn subquery_membership(query: &SqlQuery, ctx: Ctx<'_>) -> Result<Rc<HashSet<Valu
         .borrow_mut()
         .insert(key, set.clone());
     Ok(set)
-}
-
-/// Execute `query` against `table`, building the columnar index first. When
-/// running many queries over one table, build the index once and use
-/// [`execute_with_index`].
-pub fn execute(query: &SqlQuery, table: &Table) -> Result<SqlResult> {
-    let index = TableIndex::new(table);
-    execute_with_index(query, table, &index)
-}
-
-/// Execute `query` against `table` using an already-built index of the same
-/// table (no per-call index build).
-pub fn execute_with_index(
-    query: &SqlQuery,
-    table: &Table,
-    index: &TableIndex,
-) -> Result<SqlResult> {
-    let subqueries = SubqueryCache::default();
-    execute_query(
-        query,
-        Ctx {
-            table,
-            index: Some(index),
-            subqueries: &subqueries,
-        },
-    )
-}
-
-/// Execute `query` with the pre-index scan semantics (no index, per-row
-/// linear column resolution, unplanned filters; semantics identical). Kept
-/// as the reference path for differential testing and benchmarks.
-pub fn execute_scan(query: &SqlQuery, table: &Table) -> Result<SqlResult> {
-    let subqueries = SubqueryCache::default();
-    execute_query(
-        query,
-        Ctx {
-            table,
-            index: None,
-            subqueries: &subqueries,
-        },
-    )
 }
 
 fn execute_query(query: &SqlQuery, ctx: Ctx<'_>) -> Result<SqlResult> {
@@ -230,25 +320,146 @@ fn swap_compare(op: CompareOp) -> CompareOp {
     }
 }
 
-/// Plan an indexable `WHERE` clause: returns the matching records (ascending)
-/// when the predicate is a combination of per-column value / range / scalar
-/// subquery tests the index can answer, `None` when the engine must fall
+/// The physical backend a planned filter runs on.
+#[derive(Clone, Copy)]
+enum Backend<'a> {
+    /// Bucket / sorted-partition lookups against a warm [`TableIndex`].
+    Index(&'a TableIndex),
+    /// Columnar kernel sweeps over the table's typed column vectors.
+    Kernel,
+}
+
+/// Plan and execute a `WHERE` clause, or `None` to fall back to the row
+/// scan. Chooses the backend by the cost model described in the module docs
+/// and (under `observe`) records the decision and its estimated vs actual
+/// selectivity.
+fn plan_filter(expr: &SqlExpr, ctx: Ctx<'_>) -> Option<Result<Vec<RecordIdx>>> {
+    let rows = ctx.table.num_records();
+    let (backend, estimated) = match ctx.index {
+        Some(index) => {
+            // Plannability and selectivity in one walk over the predicate;
+            // `None` (unplannable shape or unknown column) → row scan.
+            let estimated = estimate_matches(expr, index, rows)?;
+            if ctx.kernels && 2 * estimated >= rows {
+                // Dense predicate: range lookups materialize through a
+                // BTreeSet, so the flat typed sweep wins.
+                (Backend::Kernel, estimated)
+            } else {
+                (Backend::Index(index), estimated)
+            }
+        }
+        // Cold with kernels (Auto): sweep, never build. With no histogram
+        // the planner assumes half the table matches.
+        None if ctx.kernels => (Backend::Kernel, rows / 2),
+        // ForceScan: nothing is planned.
+        None => return None,
+    };
+    let result = planned_filter(expr, ctx, backend)?;
+    if ctx.observe {
+        match backend {
+            Backend::Index(_) => stats::record_index_chosen(),
+            Backend::Kernel => stats::record_kernel_chosen(),
+        }
+        if let Ok(records) = &result {
+            stats::record_selectivity(estimated as u64, records.len() as u64);
+        }
+    }
+    Some(result)
+}
+
+/// Estimated matching rows of a plannable predicate, from the warm index's
+/// bucket sizes; `None` when the shape (or a column) is not plannable. The
+/// plannable shapes here mirror [`planned_filter`] exactly.
+fn estimate_matches(expr: &SqlExpr, index: &TableIndex, rows: usize) -> Option<usize> {
+    match expr {
+        SqlExpr::Equals(a, b) => {
+            if let Some((column, literal)) = column_literal(a, b) {
+                let column = index.column_index(column)?;
+                return Some(index.records_with_value(column, literal).len());
+            }
+            // Column = (scalar subquery): the needle is unknown until the
+            // subquery runs, so estimate with the mean bucket size.
+            let column = match (a.as_ref(), b.as_ref()) {
+                (SqlExpr::Column(name), SqlExpr::Scalar(_))
+                | (SqlExpr::Scalar(_), SqlExpr::Column(name)) => name,
+                _ => return None,
+            };
+            let column = index.column_index(column)?;
+            let distinct = index.column(column).num_distinct().max(1);
+            Some((rows / distinct).max(1))
+        }
+        SqlExpr::Compare(op, a, b) => {
+            let (column, literal, op) = compare_parts(*op, a, b)?;
+            let column = index.column_index(column)?;
+            let Some(threshold) = literal.as_number() else {
+                return Some(0);
+            };
+            let col = index.column(column);
+            Some(match op {
+                CompareOp::Lt => col.numeric_below(threshold, false).len(),
+                CompareOp::Leq => col.numeric_below(threshold, true).len(),
+                CompareOp::Gt => col.numeric_above(threshold, false).len(),
+                CompareOp::Geq => col.numeric_above(threshold, true).len(),
+                CompareOp::Neq => col.numeric_entries().len(),
+            })
+        }
+        SqlExpr::InList(inner, values) => {
+            let SqlExpr::Column(name) = inner.as_ref() else {
+                return None;
+            };
+            let column = index.column_index(name)?;
+            let total: usize = values
+                .iter()
+                .map(|value| index.records_with_value(column, value).len())
+                .sum();
+            Some(total.min(rows))
+        }
+        // `Index IN (subquery)`: the result size is the subquery's, unknown
+        // until it runs — assume half the table.
+        SqlExpr::InSubquery(inner, _) if matches!(inner.as_ref(), SqlExpr::Index) => Some(rows / 2),
+        SqlExpr::And(a, b) => {
+            Some(estimate_matches(a, index, rows)?.min(estimate_matches(b, index, rows)?))
+        }
+        SqlExpr::Or(a, b) => {
+            Some((estimate_matches(a, index, rows)? + estimate_matches(b, index, rows)?).min(rows))
+        }
+        _ => None,
+    }
+}
+
+/// The `(column, literal, op)` of a comparison after normalizing a
+/// literal-on-the-left operand order.
+fn compare_parts<'e>(
+    op: CompareOp,
+    a: &'e SqlExpr,
+    b: &'e SqlExpr,
+) -> Option<(&'e str, &'e Value, CompareOp)> {
+    match (a, b) {
+        (SqlExpr::Column(name), SqlExpr::Literal(value)) => Some((name, value, op)),
+        (SqlExpr::Literal(value), SqlExpr::Column(name)) => Some((name, value, swap_compare(op))),
+        _ => None,
+    }
+}
+
+/// Execute a plannable `WHERE` clause on `backend`: returns the matching
+/// records (ascending) when the predicate is a combination of per-column
+/// value / range / scalar subquery tests, `None` when the engine must fall
 /// back to a row scan.
 ///
 /// Planned predicates either cannot error per row (all referenced columns
 /// exist, literals only) or error identically to the first row's evaluation
 /// (scalar subqueries; the planner is only consulted for non-empty tables),
 /// so taking the fast path never changes observable behavior.
-fn index_filter(
+fn planned_filter(
     expr: &SqlExpr,
     ctx: Ctx<'_>,
-    index: &TableIndex,
+    backend: Backend<'_>,
 ) -> Option<Result<Vec<RecordIdx>>> {
     match expr {
         SqlExpr::Equals(a, b) => {
             if let Some((column, literal)) = column_literal(a, b) {
-                let column = index.column_index(column)?;
-                return Some(Ok(index.records_with_value(column, literal).to_vec()));
+                let column = ctx.column_index(column)?;
+                return Some(Ok(lookup_eq(ctx, backend, column, literal)));
             }
             // Column = (scalar subquery): evaluate the subquery once, then a
             // point lookup. The per-row path evaluates the same subquery for
@@ -259,7 +470,7 @@ fn index_filter(
                 | (SqlExpr::Scalar(query), SqlExpr::Column(name)) => (name, query),
                 _ => return None,
             };
-            let column = index.column_index(column)?;
+            let column = ctx.column_index(column)?;
             let rows = match execute_subquery(query, ctx) {
                 Ok(rows) => rows,
                 Err(error) => return Some(Err(error)),
@@ -267,40 +478,71 @@ fn index_filter(
             if rows.len() != 1 || rows[0].len() != 1 {
                 return Some(Err(SqlError::ScalarCardinality(rows.len())));
             }
-            Some(Ok(index.records_with_value(column, &rows[0][0]).to_vec()))
+            Some(Ok(lookup_eq(ctx, backend, column, &rows[0][0])))
         }
         SqlExpr::Compare(op, a, b) => {
-            let (column, literal, op) = match (a.as_ref(), b.as_ref()) {
-                (SqlExpr::Column(name), SqlExpr::Literal(value)) => (name, value, *op),
-                (SqlExpr::Literal(value), SqlExpr::Column(name)) => {
-                    (name, value, swap_compare(*op))
-                }
-                _ => return None,
-            };
-            let column = index.column_index(column)?;
+            let (column, literal, op) = compare_parts(*op, a, b)?;
+            let column = ctx.column_index(column)?;
             // A non-numeric literal compares false against every row.
             let Some(threshold) = literal.as_number() else {
                 return Some(Ok(Vec::new()));
             };
-            Some(Ok(compare_records(index, column, op, threshold)
-                .into_iter()
-                .collect()))
+            Some(Ok(match backend {
+                Backend::Index(index) => compare_records(index, column, op, threshold)
+                    .into_iter()
+                    .collect(),
+                Backend::Kernel => ctx.table.filter_num(column, |n| op.compare(n, threshold)),
+            }))
         }
         SqlExpr::InList(inner, values) => {
             let SqlExpr::Column(name) = inner.as_ref() else {
                 return None;
             };
-            let column = index.column_index(name)?;
-            let mut records: Vec<RecordIdx> = values
+            let column = ctx.column_index(name)?;
+            Some(Ok(match backend {
+                Backend::Index(index) => {
+                    let mut records: Vec<RecordIdx> = values
+                        .iter()
+                        .flat_map(|value| index.records_with_value(column, value).iter().copied())
+                        .collect();
+                    records.sort_unstable();
+                    records.dedup();
+                    records
+                }
+                Backend::Kernel => ctx.table.filter_in(column, values),
+            }))
+        }
+        SqlExpr::InSubquery(inner, query) => {
+            // Only the translation's favourite shape `Index IN (subquery)`:
+            // its matching records are the subquery's first-column values
+            // read back as record indices, so the per-row membership loop
+            // collapses to one pass over the (memoized) result set. The
+            // `contains` re-check reproduces the row loop's hash-set
+            // semantics exactly — a candidate survives iff the row loop's
+            // `members.contains(Num(record))` test would.
+            if !matches!(inner.as_ref(), SqlExpr::Index) {
+                return None;
+            }
+            let members = match subquery_membership(query, ctx) {
+                Ok(members) => members,
+                Err(error) => return Some(Err(error)),
+            };
+            let rows = ctx.table.num_records();
+            let mut records: Vec<RecordIdx> = members
                 .iter()
-                .flat_map(|value| index.records_with_value(column, value).iter().copied())
+                .filter_map(|member| member.as_number())
+                .filter(|n| n.is_finite())
+                .map(f64::round)
+                .filter(|&n| n >= 0.0 && n < rows as f64)
+                .map(|n| n as RecordIdx)
+                .filter(|&record| members.contains(&Value::Num(record as f64)))
                 .collect();
             records.sort_unstable();
             records.dedup();
             Some(Ok(records))
         }
         SqlExpr::And(a, b) => {
-            let left = match index_filter(a, ctx, index)? {
+            let left = match planned_filter(a, ctx, backend)? {
                 Ok(records) => records,
                 Err(error) => return Some(Err(error)),
             };
@@ -310,7 +552,7 @@ fn index_filter(
                 // (and so cannot error).
                 return Some(Ok(left));
             }
-            let right = match index_filter(b, ctx, index)? {
+            let right = match planned_filter(b, ctx, backend)? {
                 Ok(records) => records,
                 Err(error) => return Some(Err(error)),
             };
@@ -318,7 +560,7 @@ fn index_filter(
             Some(Ok(left.into_iter().filter(|r| right.contains(r)).collect()))
         }
         SqlExpr::Or(a, b) => {
-            let left = match index_filter(a, ctx, index)? {
+            let left = match planned_filter(a, ctx, backend)? {
                 Ok(records) => records,
                 Err(error) => return Some(Err(error)),
             };
@@ -327,7 +569,7 @@ fn index_filter(
                 // the left side, so the right side is never evaluated.
                 return Some(Ok(left));
             }
-            let right = match index_filter(b, ctx, index)? {
+            let right = match planned_filter(b, ctx, backend)? {
                 Ok(records) => records,
                 Err(error) => return Some(Err(error)),
             };
@@ -337,6 +579,16 @@ fn index_filter(
             Some(Ok(merged))
         }
         _ => None,
+    }
+}
+
+/// Point equality lookup on the chosen backend. Both agree with the row
+/// scan's `Value` equality (the kernel by per-layout construction, the
+/// index by its build).
+fn lookup_eq(ctx: Ctx<'_>, backend: Backend<'_>, column: usize, value: &Value) -> Vec<RecordIdx> {
+    match backend {
+        Backend::Index(index) => index.records_with_value(column, value).to_vec(),
+        Backend::Kernel => ctx.table.filter_eq(column, value),
     }
 }
 
@@ -351,19 +603,23 @@ fn column_literal<'e>(a: &'e SqlExpr, b: &'e SqlExpr) -> Option<(&'e str, &'e Va
 }
 
 fn execute_select(select: &SqlSelect, ctx: Ctx<'_>) -> Result<SqlResult> {
-    // 1. Filter — through the index planner when possible, else a row scan.
-    // The planner is skipped for empty tables: the row loop never runs
-    // there, so nothing (not even an erroring scalar subquery) may execute.
+    // 1. Filter — through the planner when possible, else a row scan. The
+    // planner is skipped for empty tables: the row loop never runs there,
+    // so nothing (not even an erroring scalar subquery) may execute.
     let matching: Vec<RecordIdx> = match &select.filter {
         None => ctx.table.record_indices().collect(),
         Some(filter) => {
-            let planned = match ctx.index {
-                Some(index) if !ctx.table.is_empty() => index_filter(filter, ctx, index),
-                _ => None,
+            let planned = if ctx.table.is_empty() {
+                None
+            } else {
+                plan_filter(filter, ctx)
             };
             match planned {
                 Some(records) => records?,
                 None => {
+                    if ctx.observe {
+                        stats::record_scan_chosen();
+                    }
                     let mut matching = Vec::new();
                     for record in ctx.table.record_indices() {
                         if eval_row(filter, ctx, record)?.truthy() {
@@ -399,9 +655,8 @@ fn execute_select(select: &SqlSelect, ctx: Ctx<'_>) -> Result<SqlResult> {
         for &record in &matching {
             let row = if select.projection.is_empty() {
                 ctx.table
-                    .record(record)
+                    .record_values(record)
                     .map_err(|_| SqlError::Type("record out of range".into()))?
-                    .to_vec()
             } else {
                 select
                     .projection
@@ -482,6 +737,18 @@ fn eval_aggregate_expr(expr: &SqlExpr, ctx: Ctx<'_>, records: &[RecordIdx]) -> R
             if *op == AggregateOp::Count {
                 return Ok(EvalValue::Val(Value::Num(records.len() as f64)));
             }
+            // Columnar fast path (Auto only): a fully-numeric column folds
+            // directly over its typed f64 vector — no per-row Value
+            // round-trip, and per-row evaluation cannot error there.
+            if ctx.kernels {
+                if let SqlExpr::Column(name) = inner.as_ref() {
+                    if let Some(column) = ctx.column_index(name) {
+                        if let Some(values) = ctx.table.dense_f64(column) {
+                            return Ok(fold_dense(*op, values, records));
+                        }
+                    }
+                }
+            }
             let mut numbers = Vec::with_capacity(records.len());
             for &record in records {
                 let value = eval_row(inner, ctx, record)?;
@@ -515,6 +782,23 @@ fn eval_aggregate_expr(expr: &SqlExpr, ctx: Ctx<'_>, records: &[RecordIdx]) -> R
     }
 }
 
+/// Fold an aggregate over the records' entries of a dense (null-free) f64
+/// column — same fold order and same results as the per-row path.
+fn fold_dense(op: AggregateOp, values: &[f64], records: &[RecordIdx]) -> EvalValue {
+    if records.is_empty() {
+        return EvalValue::Null;
+    }
+    let nums = records.iter().map(|&record| values[record]);
+    let result = match op {
+        AggregateOp::Max => nums.fold(f64::NEG_INFINITY, f64::max),
+        AggregateOp::Min => nums.fold(f64::INFINITY, f64::min),
+        AggregateOp::Sum => nums.sum(),
+        AggregateOp::Avg => nums.sum::<f64>() / records.len() as f64,
+        AggregateOp::Count => unreachable!("count handled before the fast path"),
+    };
+    EvalValue::Val(Value::Num(result))
+}
+
 /// Evaluate an expression against a single record.
 fn eval_row(expr: &SqlExpr, ctx: Ctx<'_>, record: RecordIdx) -> Result<EvalValue> {
     match expr {
@@ -525,7 +809,7 @@ fn eval_row(expr: &SqlExpr, ctx: Ctx<'_>, record: RecordIdx) -> Result<EvalValue
             Ok(ctx
                 .table
                 .value_at(record, column)
-                .map(|v| EvalValue::Val(v.clone()))
+                .map(EvalValue::Val)
                 .unwrap_or(EvalValue::Null))
         }
         SqlExpr::Index => Ok(EvalValue::Val(Value::Num(record as f64))),
@@ -605,6 +889,16 @@ mod tests {
 
     fn lit(value: Value) -> SqlExpr {
         SqlExpr::Literal(value)
+    }
+
+    /// Cold cost-based execution (no pre-built index).
+    fn execute(query: &SqlQuery, table: &Table) -> Result<SqlResult> {
+        SqlEngine::new(table).execute(query, PlanMode::Auto)
+    }
+
+    /// The scan reference.
+    fn execute_scan(query: &SqlQuery, table: &Table) -> Result<SqlResult> {
+        SqlEngine::new(table).execute(query, PlanMode::ForceScan)
     }
 
     #[test]
@@ -813,9 +1107,9 @@ mod tests {
     }
 
     #[test]
-    fn indexed_and_scan_paths_agree_on_planned_filters() {
+    fn all_plan_modes_agree_on_planned_filters() {
         let table = samples::squad();
-        // An AND/OR combination the planner handles entirely from the index.
+        // An AND/OR combination the planner handles without a row scan.
         let filter = SqlExpr::Or(
             Box::new(SqlExpr::And(
                 Box::new(SqlExpr::Compare(
@@ -834,10 +1128,13 @@ mod tests {
             )),
         );
         let q = SqlQuery::select(SqlSelect::project(vec![col("Name")]).with_filter(filter));
-        assert_eq!(
-            execute(&q, &table).unwrap(),
-            execute_scan(&q, &table).unwrap()
-        );
+        let engine = SqlEngine::new(&table);
+        let scan = engine.execute(&q, PlanMode::ForceScan).unwrap();
+        assert_eq!(engine.execute(&q, PlanMode::Auto).unwrap(), scan);
+        assert_eq!(engine.execute(&q, PlanMode::ForceIndex).unwrap(), scan);
+        // ForceIndex built the engine's own index; Auto now plans warm and
+        // must still agree.
+        assert_eq!(engine.execute(&q, PlanMode::Auto).unwrap(), scan);
 
         // A literal-on-the-left comparison takes the swapped-operator path.
         let q = SqlQuery::select(SqlSelect::project(vec![col("Name")]).with_filter(
@@ -928,18 +1225,89 @@ mod tests {
     }
 
     #[test]
-    fn execute_with_index_reuses_one_build() {
+    fn shared_index_engine_agrees_across_modes() {
         let table = samples::olympics();
         let index = TableIndex::new(&table);
+        let engine = SqlEngine::with_index(&table, &index);
         let q = SqlQuery::select(SqlSelect::project(vec![col("City")]).with_filter(
             SqlExpr::Equals(
                 Box::new(col("Country")),
                 Box::new(lit(Value::str("Greece"))),
             ),
         ));
-        assert_eq!(
-            execute_with_index(&q, &table, &index).unwrap(),
-            execute(&q, &table).unwrap()
-        );
+        let scan = engine.execute(&q, PlanMode::ForceScan).unwrap();
+        assert_eq!(engine.execute(&q, PlanMode::ForceIndex).unwrap(), scan);
+        assert_eq!(engine.execute(&q, PlanMode::Auto).unwrap(), scan);
+    }
+
+    #[test]
+    fn auto_mode_records_planner_decisions() {
+        let table = samples::olympics();
+        let q = SqlQuery::select(SqlSelect::project(vec![col("City")]).with_filter(
+            SqlExpr::Equals(
+                Box::new(col("Country")),
+                Box::new(lit(Value::str("Greece"))),
+            ),
+        ));
+        // Cold Auto: the equality is answered by a columnar kernel. Counter
+        // assertions are deltas (the counters are process-wide and other
+        // tests run concurrently).
+        let before = crate::planner_stats();
+        let rows = execute(&q, &table).unwrap();
+        let after = crate::planner_stats();
+        assert_eq!(rows.len(), 2);
+        assert!(after.kernel_chosen > before.kernel_chosen);
+        assert!(after.actual_rows >= before.actual_rows + rows.len() as u64);
+        assert!(after.estimated_rows > before.estimated_rows);
+
+        // Warm Auto on a selective predicate: the index path is chosen and
+        // the bucket-size estimate is exact.
+        let index = TableIndex::new(&table);
+        let engine = SqlEngine::with_index(&table, &index);
+        let before = crate::planner_stats();
+        engine.execute(&q, PlanMode::Auto).unwrap();
+        let after = crate::planner_stats();
+        assert!(after.index_chosen > before.index_chosen);
+
+        // ForceScan never records decisions.
+        let before = crate::planner_stats();
+        engine.execute(&q, PlanMode::ForceScan).unwrap();
+        let after = crate::planner_stats();
+        assert_eq!(after.scan_chosen, before.scan_chosen);
+    }
+
+    #[test]
+    fn unplannable_filter_counts_as_scan() {
+        let table = samples::olympics();
+        // `Index = 2` is not a plannable shape (no column name).
+        let q = SqlQuery::select(SqlSelect::project(vec![col("City")]).with_filter(
+            SqlExpr::Equals(Box::new(SqlExpr::Index), Box::new(lit(Value::num(2.0)))),
+        ));
+        let before = crate::planner_stats();
+        let rows = execute(&q, &table).unwrap();
+        let after = crate::planner_stats();
+        assert_eq!(rows.len(), 1);
+        assert!(after.scan_chosen > before.scan_chosen);
+    }
+
+    #[test]
+    fn dense_aggregate_fast_path_matches_reference() {
+        let table = samples::medals();
+        for op in [
+            AggregateOp::Max,
+            AggregateOp::Min,
+            AggregateOp::Sum,
+            AggregateOp::Avg,
+        ] {
+            let q = SqlQuery::select(SqlSelect::project(vec![SqlExpr::Aggregate(
+                op,
+                Box::new(col("Gold")),
+            )]));
+            assert_eq!(
+                execute(&q, &table).unwrap(),
+                execute_scan(&q, &table).unwrap(),
+                "aggregate {op:?} diverged from the scan reference"
+            );
+        }
     }
 }

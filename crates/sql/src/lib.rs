@@ -11,22 +11,29 @@
 //!   `IN` subqueries, aggregates, `UNION`, `GROUP BY … ORDER BY … LIMIT`,
 //!   and arithmetic between scalar subqueries), with a pretty-printer,
 //! * [`translate`] — the lambda DCS → SQL translation of Table 10,
-//! * [`engine`] — an index-backed in-memory executor for that SQL fragment
+//! * [`engine`] — a cost-based in-memory executor for that SQL fragment
 //!   over a single [`wtq_table::Table`], used to cross-validate the lambda
 //!   DCS evaluator: for every operator the translated SQL must return the
-//!   same answer as the direct lambda DCS execution. Indexable `WHERE`
-//!   clauses are answered from the shared [`wtq_table::TableIndex`];
-//!   [`engine::execute_scan`] keeps the pre-index scan path for differential
-//!   testing.
+//!   same answer as the direct lambda DCS execution. An [`SqlEngine`] runs
+//!   queries under a [`PlanMode`]: `Auto` picks per predicate between the
+//!   shared [`wtq_table::TableIndex`] and the table's columnar kernels by
+//!   estimated selectivity (and never builds an index for a single cold
+//!   query); `ForceScan` keeps the pre-index scan path as the oracle of the
+//!   differential suites; `ForceIndex` pins the indexed path. `Auto`
+//!   decisions are counted in the process-wide [`PlannerStats`]
+//!   ([`planner_stats`]), which the serving layers expose on their stats
+//!   endpoints.
 
 pub mod ast;
 pub mod engine;
 pub mod error;
+pub mod stats;
 pub mod translate;
 
 pub use ast::{SqlExpr, SqlOrder, SqlQuery, SqlSelect};
-pub use engine::{execute, execute_scan, execute_with_index, SqlResult};
+pub use engine::{PlanMode, SqlEngine, SqlResult};
 pub use error::SqlError;
+pub use stats::{planner_stats, reset_planner_stats, PlannerStats};
 pub use translate::translate;
 
 /// Result alias used across the crate.

@@ -1,0 +1,83 @@
+//! Planner observability: process-wide counters of every `WHERE`-planning
+//! decision the engine takes in [`PlanMode::Auto`][crate::PlanMode::Auto].
+//!
+//! The counters answer two operational questions:
+//!
+//! * **which path runs** — how often the planner fell back to a row scan,
+//!   answered from the inverted index, or ran a columnar kernel sweep, and
+//! * **how good the cost model is** — cumulative estimated vs actual
+//!   matching rows for planned filters, so a drifting selectivity model
+//!   shows up as a widening gap between the two sums.
+//!
+//! They are plain relaxed atomics (one `fetch_add` per planned filter, no
+//! contention-sensitive paths), snapshotted by [`planner_stats`] into a
+//! serializable [`PlannerStats`] that the core engine embeds in its stats
+//! surface and the server serves over the `Stats` wire endpoint.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use serde::{Deserialize, Serialize};
+
+static SCAN_CHOSEN: AtomicU64 = AtomicU64::new(0);
+static INDEX_CHOSEN: AtomicU64 = AtomicU64::new(0);
+static KERNEL_CHOSEN: AtomicU64 = AtomicU64::new(0);
+static ESTIMATED_ROWS: AtomicU64 = AtomicU64::new(0);
+static ACTUAL_ROWS: AtomicU64 = AtomicU64::new(0);
+
+/// A point-in-time snapshot of the planner decision counters. Serializable
+/// so stats endpoints can embed it directly.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PlannerStats {
+    /// Filters that fell back to the per-row interpreted scan (predicate
+    /// shape not plannable, or the table was empty / unindexed in a mode
+    /// without kernels).
+    pub scan_chosen: u64,
+    /// Filters answered from the inverted / sorted-numeric index.
+    pub index_chosen: u64,
+    /// Filters answered by columnar kernel sweeps over the typed vectors.
+    pub kernel_chosen: u64,
+    /// Sum of the planner's estimated matching-row counts over all planned
+    /// filters (bucket-size selectivity; half the table when planning cold
+    /// without an index histogram).
+    pub estimated_rows: u64,
+    /// Sum of the actual matching-row counts of the same filters.
+    pub actual_rows: u64,
+}
+
+/// Snapshot the process-wide planner counters.
+pub fn planner_stats() -> PlannerStats {
+    PlannerStats {
+        scan_chosen: SCAN_CHOSEN.load(Ordering::Relaxed),
+        index_chosen: INDEX_CHOSEN.load(Ordering::Relaxed),
+        kernel_chosen: KERNEL_CHOSEN.load(Ordering::Relaxed),
+        estimated_rows: ESTIMATED_ROWS.load(Ordering::Relaxed),
+        actual_rows: ACTUAL_ROWS.load(Ordering::Relaxed),
+    }
+}
+
+/// Reset all counters to zero. Intended for benchmark harnesses that report
+/// per-section planner behavior; concurrent executions may interleave.
+pub fn reset_planner_stats() {
+    SCAN_CHOSEN.store(0, Ordering::Relaxed);
+    INDEX_CHOSEN.store(0, Ordering::Relaxed);
+    KERNEL_CHOSEN.store(0, Ordering::Relaxed);
+    ESTIMATED_ROWS.store(0, Ordering::Relaxed);
+    ACTUAL_ROWS.store(0, Ordering::Relaxed);
+}
+
+pub(crate) fn record_scan_chosen() {
+    SCAN_CHOSEN.fetch_add(1, Ordering::Relaxed);
+}
+
+pub(crate) fn record_index_chosen() {
+    INDEX_CHOSEN.fetch_add(1, Ordering::Relaxed);
+}
+
+pub(crate) fn record_kernel_chosen() {
+    KERNEL_CHOSEN.fetch_add(1, Ordering::Relaxed);
+}
+
+pub(crate) fn record_selectivity(estimated: u64, actual: u64) {
+    ESTIMATED_ROWS.fetch_add(estimated, Ordering::Relaxed);
+    ACTUAL_ROWS.fetch_add(actual, Ordering::Relaxed);
+}

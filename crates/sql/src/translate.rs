@@ -364,9 +364,14 @@ fn constant_values(formula: &Formula) -> Option<Vec<Value>> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::engine::execute;
+    use crate::engine::{PlanMode, SqlEngine};
+    use crate::{Result, SqlQuery, SqlResult};
     use wtq_dcs::{eval, parse_formula, Answer};
     use wtq_table::{samples, Table};
+
+    fn execute(query: &SqlQuery, table: &Table) -> Result<SqlResult> {
+        SqlEngine::new(table).execute(query, PlanMode::Auto)
+    }
 
     /// Execute both the lambda DCS formula and its SQL translation and assert
     /// they produce the same canonical answer.

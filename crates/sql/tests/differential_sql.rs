@@ -1,14 +1,44 @@
-//! Differential suite: the index-backed SQL engine (`execute`) must return
-//! rows identical to the pre-index scan path (`execute_scan`) on random
-//! tables and queries — including the WHERE shapes the index planner
-//! handles (`=`, numeric comparisons, `IN` lists, `AND`/`OR`) and the
-//! hashed `DISTINCT` / `UNION` dedup.
+//! Differential suite: every physical plan of the SQL engine — cold
+//! cost-based (`Auto` with no index: columnar kernels), warm cost-based
+//! (`Auto` with a pre-built index: index-vs-kernel by estimated
+//! selectivity) and the pinned indexed path (`ForceIndex`) — must return
+//! rows identical to the `ForceScan` reference on random tables and
+//! queries, including the WHERE shapes the planner handles (`=`, numeric
+//! comparisons, `IN` lists, `AND`/`OR`) and the hashed `DISTINCT` /
+//! `UNION` dedup.
 
 use proptest::prelude::*;
 use wtq_dcs::CompareOp;
 use wtq_sql::ast::{SqlExpr, SqlQuery, SqlSelect};
-use wtq_sql::{execute, execute_scan, translate};
-use wtq_table::{Table, TableBuilder, Value};
+use wtq_sql::{translate, PlanMode, SqlEngine};
+use wtq_table::{Table, TableBuilder, TableIndex, Value};
+
+/// Run `query` under every plan mode (cold Auto, warm Auto, ForceIndex)
+/// and check each against the ForceScan reference: same rows in the same
+/// order, or the same error.
+fn assert_all_modes_match_scan(
+    query: &SqlQuery,
+    table: &Table,
+) -> std::result::Result<(), proptest::test_runner::TestCaseError> {
+    let index = TableIndex::new(table);
+    let cold = SqlEngine::new(table);
+    let warm = SqlEngine::with_index(table, &index);
+    let scanned = cold.execute(query, PlanMode::ForceScan);
+    for (label, outcome) in [
+        ("cold Auto", cold.execute(query, PlanMode::Auto)),
+        ("warm Auto", warm.execute(query, PlanMode::Auto)),
+        ("ForceIndex", warm.execute(query, PlanMode::ForceIndex)),
+    ] {
+        match (&outcome, &scanned) {
+            (Ok(a), Ok(b)) => prop_assert_eq!(a, b, "{} rows diverge", label),
+            (Err(a), Err(b)) => {
+                prop_assert_eq!(a.to_string(), b.to_string(), "{} errors diverge", label)
+            }
+            (a, b) => prop_assert!(false, "{label}: result kinds diverge: {a:?} vs {b:?}"),
+        }
+    }
+    Ok(())
+}
 
 fn cell_text() -> impl Strategy<Value = String> {
     prop_oneof![
@@ -94,10 +124,10 @@ fn filter_strategy(cols: usize) -> impl Strategy<Value = SqlExpr> {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(192))]
 
-    /// Indexed SELECT (planned WHERE + hashed DISTINCT) equals the scan
-    /// path, row for row, error for error.
+    /// Planned SELECT (planned WHERE + hashed DISTINCT) equals the scan
+    /// path under every plan mode, row for row, error for error.
     #[test]
-    fn indexed_select_matches_scan(
+    fn planned_select_matches_scan(
         (table, filter, distinct, project) in table_strategy().prop_flat_map(|t| {
             let cols = t.num_columns();
             let projection = (any::<bool>(), column_expr(cols))
@@ -114,13 +144,7 @@ proptest! {
             limit: None,
         };
         let q = SqlQuery::Select(select);
-        let indexed = execute(&q, &table);
-        let scanned = execute_scan(&q, &table);
-        match (indexed, scanned) {
-            (Ok(a), Ok(b)) => prop_assert_eq!(a, b),
-            (Err(a), Err(b)) => prop_assert_eq!(a.to_string(), b.to_string()),
-            (a, b) => prop_assert!(false, "result kinds diverge: {a:?} vs {b:?}"),
-        }
+        assert_all_modes_match_scan(&q, &table)?;
     }
 
     /// UNION dedup via the hashed row-key set equals the scan path's dedup.
@@ -139,19 +163,13 @@ proptest! {
             SqlQuery::select(SqlSelect::project(vec![projection]).with_filter(filter))
         };
         let q = SqlQuery::Union(Box::new(side(f1, p1)), Box::new(side(f2, p2)));
-        let indexed = execute(&q, &table);
-        let scanned = execute_scan(&q, &table);
-        match (indexed, scanned) {
-            (Ok(a), Ok(b)) => prop_assert_eq!(a, b),
-            (Err(a), Err(b)) => prop_assert_eq!(a.to_string(), b.to_string()),
-            (a, b) => prop_assert!(false, "result kinds diverge: {a:?} vs {b:?}"),
-        }
+        assert_all_modes_match_scan(&q, &table)?;
     }
 }
 
 /// Translation-driven differential check: every paper operator's SQL form
-/// runs identically through the indexed and scan engines, and matches the
-/// lambda DCS answer where the translation is value-compatible.
+/// runs identically through all plan modes, and matches the lambda DCS
+/// answer where the translation is value-compatible.
 #[test]
 fn translated_operator_queries_match_scan() {
     let olympics = wtq_table::samples::olympics();
@@ -179,10 +197,22 @@ fn translated_operator_queries_match_scan() {
         let Ok(sql) = translate(&formula) else {
             continue;
         };
-        assert_eq!(
-            execute(&sql, table).expect("indexed executes"),
-            execute_scan(&sql, table).expect("scan executes"),
-            "divergence on {text}"
-        );
+        let index = TableIndex::new(table);
+        let cold = SqlEngine::new(table);
+        let warm = SqlEngine::with_index(table, &index);
+        let scanned = cold
+            .execute(&sql, PlanMode::ForceScan)
+            .expect("scan executes");
+        for (label, mode, engine) in [
+            ("cold Auto", PlanMode::Auto, &cold),
+            ("warm Auto", PlanMode::Auto, &warm),
+            ("ForceIndex", PlanMode::ForceIndex, &warm),
+        ] {
+            assert_eq!(
+                engine.execute(&sql, mode).expect("planned executes"),
+                scanned,
+                "{label} divergence on {text}"
+            );
+        }
     }
 }

@@ -14,7 +14,7 @@ use crate::table::RecordIdx;
 /// Coordinate of a single table cell: `(record, column)`.
 ///
 /// Both components are indexes into the owning [`crate::Table`]; the cell's
-/// value is `table.cell_value(cell)`. Ordering is row-major (record first)
+/// text is `table.cell_text(cell)`. Ordering is row-major (record first)
 /// so that sorted sets of cells read top-to-bottom, left-to-right.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct CellRef {

@@ -103,7 +103,7 @@ pub fn write_table(table: &Table, delimiter: Delimiter) -> String {
     out.push_str(&header.join(&delim.to_string()));
     out.push('\n');
     for record in table.record_indices() {
-        let row = table.record(record).expect("record in range");
+        let row = table.record_values(record).expect("record in range");
         let fields: Vec<String> = row
             .iter()
             .map(|v| quote_field(&v.to_string(), delim))
@@ -124,23 +124,23 @@ mod tests {
         let text = "Year,Country,City\n1896,Greece,Athens\n2008,China,Beijing\n";
         let table = read_table("olympics", text, Delimiter::Comma).unwrap();
         assert_eq!(table.num_records(), 2);
-        assert_eq!(table.value_at(1, 2), Some(&Value::str("Beijing")));
-        assert_eq!(table.value_at(0, 0), Some(&Value::num(1896.0)));
+        assert_eq!(table.value_at(1, 2), Some(Value::str("Beijing")));
+        assert_eq!(table.value_at(0, 0), Some(Value::num(1896.0)));
     }
 
     #[test]
     fn reads_tsv_with_commas_inside_fields() {
         let text = "Name\tNote\nAlice\tHello, world\n";
         let table = read_table("t", text, Delimiter::Tab).unwrap();
-        assert_eq!(table.value_at(0, 1), Some(&Value::str("Hello, world")));
+        assert_eq!(table.value_at(0, 1), Some(Value::str("Hello, world")));
     }
 
     #[test]
     fn quoted_fields_and_escaped_quotes() {
         let text = "A,B\n\"x, y\",\"say \"\"hi\"\"\"\n";
         let table = read_table("t", text, Delimiter::Comma).unwrap();
-        assert_eq!(table.value_at(0, 0), Some(&Value::str("x, y")));
-        assert_eq!(table.value_at(0, 1), Some(&Value::str("say \"hi\"")));
+        assert_eq!(table.value_at(0, 0), Some(Value::str("x, y")));
+        assert_eq!(table.value_at(0, 1), Some(Value::str("say \"hi\"")));
     }
 
     #[test]
@@ -173,11 +173,8 @@ mod tests {
             let text = write_table(&table, delim);
             let parsed = read_table("medals", &text, delim).unwrap();
             assert_eq!(parsed.num_records(), table.num_records());
-            assert_eq!(
-                parsed.value_at(2, 0),
-                Some(&Value::str("New Caledonia, FR"))
-            );
-            assert_eq!(parsed.value_at(0, 1), Some(&Value::num(130.0)));
+            assert_eq!(parsed.value_at(2, 0), Some(Value::str("New Caledonia, FR")));
+            assert_eq!(parsed.value_at(0, 1), Some(Value::num(130.0)));
         }
     }
 

@@ -215,7 +215,7 @@ impl TableIndex {
                     // Sort by a precomputed key equivalent to `Value::cmp` —
                     // avoids per-comparison lowercase allocations.
                     order.sort_by_cached_key(|&record| {
-                        SortKey::of(table.value_at(record, column).expect("in range"))
+                        SortKey::of(&table.value_at(record, column).expect("in range"))
                     });
                     order
                 })
@@ -245,7 +245,6 @@ fn build_column(table: &Table, column: usize) -> ColumnIndex {
         let value = table
             .value_at(record, column)
             .expect("record index in range");
-        by_value.entry(value.clone()).or_default().push(record);
         if let Some(number) = value.as_number() {
             if number.is_nan() {
                 sortable = false;
@@ -253,6 +252,7 @@ fn build_column(table: &Table, column: usize) -> ColumnIndex {
                 numeric.push((number, record));
             }
         }
+        by_value.entry(value).or_default().push(record);
     }
     numeric.sort_by(|a, b| a.partial_cmp(b).expect("NaN keys excluded"));
     ColumnIndex {
@@ -512,7 +512,7 @@ mod tests {
             for value in table.distinct_column_values(column) {
                 assert_eq!(
                     index.records_with_value(column, &value),
-                    table.records_with_value(column, &value).as_slice()
+                    table.filter_eq(column, &value).as_slice()
                 );
             }
         }
@@ -531,7 +531,7 @@ mod tests {
             for pair in order.windows(2) {
                 let a = table.value_at(pair[0], column).unwrap();
                 let b = table.value_at(pair[1], column).unwrap();
-                assert!(a.cmp(b) != std::cmp::Ordering::Greater);
+                assert!(a.cmp(&b) != std::cmp::Ordering::Greater);
             }
         }
     }

@@ -15,7 +15,11 @@
 //!
 //! * [`Value`] — typed cell values (string / number / date) with a total order
 //!   used by superlatives and comparisons,
-//! * [`Table`] and [`TableBuilder`] — the ordered relation itself,
+//! * [`Table`] and [`TableBuilder`] — the ordered relation itself, stored as
+//!   typed column vectors ([`column::ColumnData`]: flat `f64`s + null bitmap,
+//!   dictionary-encoded strings, packed date ordinals) behind an accessor
+//!   API with batch kernels (`filter_eq` / `filter_in` / `filter_num` /
+//!   `stats_sum|min|max`),
 //! * [`CellRef`] — a (record, column) coordinate used by the provenance model,
 //! * [`index::TableIndex`] — the indexed columnar view (inverted indexes,
 //!   value-sorted permutations, sorted numeric projections, O(1) column-name
@@ -27,6 +31,7 @@
 
 pub mod catalog;
 pub mod cell;
+pub mod column;
 pub mod csv;
 pub mod error;
 pub mod index;
@@ -37,6 +42,7 @@ pub mod value;
 
 pub use catalog::{Catalog, TableSummary};
 pub use cell::CellRef;
+pub use column::{DateColumn, DictColumn, DictId, F64Column};
 pub use error::TableError;
 pub use index::{CacheStats, ColumnIndex, IndexCache, TableIndex, DEFAULT_INDEX_CACHE_CAPACITY};
 pub use kb::KnowledgeBase;

@@ -222,7 +222,7 @@ mod tests {
     fn olympics_matches_figure_one() {
         let t = olympics();
         let country = t.column_index("Country").unwrap();
-        let greece_records = t.records_with_value(country, &Value::str("Greece"));
+        let greece_records = t.filter_eq(country, &Value::str("Greece"));
         assert_eq!(greece_records.len(), 2);
         assert_eq!(t.column_type(0), ColumnType::Number);
     }
@@ -232,10 +232,10 @@ mod tests {
         let t = medals();
         let nation = t.column_index("Nation").unwrap();
         let total = t.column_index("Total").unwrap();
-        let fiji = t.records_with_value(nation, &Value::str("Fiji"))[0];
-        let tonga = t.records_with_value(nation, &Value::str("Tonga"))[0];
-        assert_eq!(t.value_at(fiji, total), Some(&Value::num(130.0)));
-        assert_eq!(t.value_at(tonga, total), Some(&Value::num(20.0)));
+        let fiji = t.filter_eq(nation, &Value::str("Fiji"))[0];
+        let tonga = t.filter_eq(nation, &Value::str("Tonga"))[0];
+        assert_eq!(t.value_at(fiji, total), Some(Value::num(130.0)));
+        assert_eq!(t.value_at(tonga, total), Some(Value::num(20.0)));
     }
 
     #[test]

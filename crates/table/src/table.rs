@@ -1,14 +1,26 @@
-//! The ordered web-table relation of §3.1.
+//! The ordered web-table relation of §3.1, stored columnar.
 //!
 //! Records are ordered top to bottom; each record has a unique `Index`
 //! (0, 1, 2, …) and a `Prev` pointer to the record above it. Columns are
 //! named, and cell values are typed [`Value`]s.
+//!
+//! Storage is column-major: each column lives in the densest typed vector
+//! its cells admit (see [`crate::column::ColumnData`]) — flat `f64`s with a
+//! null bitmap, dictionary-encoded strings, packed date ordinals, or a
+//! `Vec<Value>` fallback for heterogeneous columns. Consumers never see the
+//! layout: they go through the accessor API (`value_at`, `eq_at`,
+//! `number_at`, `cell_text`, `record_values`) or the batch kernels
+//! (`filter_eq`, `filter_in`, `filter_num`, `stats_sum|min|max`), all of
+//! which reproduce the exact per-row [`Value`] semantics the row-major
+//! representation had. The serde wire format still speaks rows — the
+//! columnar layout is an in-memory detail, byte-invisible on the wire.
 
 use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
 use std::fmt;
 
 use crate::cell::CellRef;
+use crate::column::{ColumnData, DateColumn, DictColumn, F64Column};
 use crate::error::TableError;
 use crate::value::Value;
 use crate::Result;
@@ -43,12 +55,14 @@ pub struct Column {
 /// A single web table: a header row plus an ordered list of records.
 ///
 /// Construct with [`TableBuilder`] or [`Table::from_rows`].
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct Table {
     name: String,
     columns: Vec<Column>,
-    /// `rows[record][column]`.
-    rows: Vec<Vec<Value>>,
+    /// Typed column vectors, one per header, each holding `num_records`
+    /// cells. The only place in the crate that knows the storage layout.
+    cols: Vec<ColumnData>,
+    num_records: usize,
     /// Precomputed shape fingerprint (record count, column count, normalized
     /// headers, column types), set once at construction. Lets
     /// [`crate::TableIndex::describes`] run as a single integer comparison on
@@ -59,14 +73,40 @@ pub struct Table {
     fingerprint: u64,
 }
 
+impl PartialEq for Table {
+    fn eq(&self, other: &Table) -> bool {
+        // Same observable contents as the row-major derive produced:
+        // name, columns, and every cell under `Value` equality.
+        self.name == other.name
+            && self.columns == other.columns
+            && self.num_records == other.num_records
+            && (0..self.num_records).all(|r| {
+                (0..self.cols.len()).all(|c| match self.cols[c].value_at(r) {
+                    Some(v) => other.cols[c].eq_at(r, &v),
+                    None => false,
+                })
+            })
+    }
+}
+
 impl Serialize for Table {
     fn to_value(&self) -> serde::Value {
-        // Field-name map matching what `#[derive(Serialize)]` produced before
-        // the fingerprint field existed — the wire format is unchanged.
+        // Field-name map matching what `#[derive(Serialize)]` produced when
+        // the table stored `rows: Vec<Vec<Value>>` — the wire format is
+        // byte-identical: rows are materialized from the columns, cell
+        // values bit-exact.
+        let rows: Vec<Vec<Value>> = (0..self.num_records)
+            .map(|r| {
+                self.cols
+                    .iter()
+                    .map(|col| col.value_at(r).expect("record in range"))
+                    .collect()
+            })
+            .collect();
         serde::Value::Map(vec![
             ("name".to_string(), self.name.to_value()),
             ("columns".to_string(), self.columns.to_value()),
-            ("rows".to_string(), self.rows.to_value()),
+            ("rows".to_string(), rows.to_value()),
         ])
     }
 }
@@ -79,14 +119,7 @@ impl Deserialize for Table {
         let name = String::from_value(serde::map_get(entries, "name"))?;
         let columns = Vec::<Column>::from_value(serde::map_get(entries, "columns"))?;
         let rows = Vec::<Vec<Value>>::from_value(serde::map_get(entries, "rows"))?;
-        // The fingerprint is derived, not trusted from the data file.
-        let fingerprint = shape_fingerprint(&columns, rows.len());
-        Ok(Table {
-            name,
-            columns,
-            rows,
-            fingerprint,
-        })
+        Ok(Table::from_parts(name, columns, rows))
     }
 }
 
@@ -106,6 +139,37 @@ impl Table {
             builder = builder.row_text(row)?;
         }
         builder.build()
+    }
+
+    /// Assemble from already-validated parts, transposing row-major cells
+    /// into typed columns. Short rows are padded with empty cells, extra
+    /// cells dropped (data files are written by us, so ragged rows only
+    /// arise from hand edits).
+    fn from_parts(name: String, columns: Vec<Column>, rows: Vec<Vec<Value>>) -> Table {
+        let num_records = rows.len();
+        // The fingerprint is derived, not trusted from the data file.
+        let fingerprint = shape_fingerprint(&columns, num_records);
+        let mut per_column: Vec<Vec<Value>> = columns
+            .iter()
+            .map(|_| Vec::with_capacity(num_records))
+            .collect();
+        for row in rows {
+            let mut cells = row.into_iter();
+            for column in per_column.iter_mut() {
+                column.push(cells.next().unwrap_or_else(|| Value::Str(String::new())));
+            }
+        }
+        let cols = per_column
+            .into_iter()
+            .map(ColumnData::from_values)
+            .collect();
+        Table {
+            name,
+            columns,
+            cols,
+            num_records,
+            fingerprint,
+        }
     }
 
     /// The table's name (used by [`crate::Catalog`]).
@@ -135,12 +199,12 @@ impl Table {
 
     /// Number of records (rows).
     pub fn num_records(&self) -> usize {
-        self.rows.len()
+        self.num_records
     }
 
     /// Whether the table has no records.
     pub fn is_empty(&self) -> bool {
-        self.rows.is_empty()
+        self.num_records == 0
     }
 
     /// Index of the column with the given (case-insensitive) header.
@@ -166,26 +230,81 @@ impl Table {
         self.columns[column].column_type
     }
 
-    /// The full record (row) at `index`.
-    pub fn record(&self, index: RecordIdx) -> Result<&[Value]> {
-        self.rows
-            .get(index)
-            .map(Vec::as_slice)
-            .ok_or(TableError::RecordOutOfBounds {
+    /// Materialize the record (row) at `index` as owned values — the one
+    /// sanctioned row materializer, for `SELECT *` projections, CSV export
+    /// and sampling. Everything else should use the cell accessors below.
+    pub fn record_values(&self, index: RecordIdx) -> Result<Vec<Value>> {
+        if index >= self.num_records {
+            return Err(TableError::RecordOutOfBounds {
                 index,
-                len: self.rows.len(),
-            })
+                len: self.num_records,
+            });
+        }
+        Ok(self
+            .cols
+            .iter()
+            .map(|col| col.value_at(index).expect("record in range"))
+            .collect())
     }
 
-    /// Value of the cell at `(record, column)`, if in bounds.
-    pub fn value_at(&self, record: RecordIdx, column: usize) -> Option<&Value> {
-        self.rows.get(record).and_then(|row| row.get(column))
+    /// Value of the cell at `(record, column)`, if in bounds. Owned:
+    /// reconstructed bit-exact from the typed column storage.
+    pub fn value_at(&self, record: RecordIdx, column: usize) -> Option<Value> {
+        self.cols.get(column).and_then(|col| col.value_at(record))
     }
 
-    /// Value at a [`CellRef`]; panics if out of bounds (cell refs are only
-    /// produced by evaluation over the same table, so OOB is a logic error).
-    pub fn cell_value(&self, cell: CellRef) -> &Value {
-        &self.rows[cell.record][cell.column]
+    /// Display text of the cell at a [`CellRef`] — the provenance
+    /// renderers' shim; equals `value.to_string()` of the cell. Panics on an
+    /// out-of-range column (cell refs are only produced by evaluation over
+    /// the same table, so OOB is a logic error).
+    pub fn cell_text(&self, cell: CellRef) -> String {
+        self.cols[cell.column].text_at(cell.record)
+    }
+
+    /// The cell's numeric content (`Value::as_number` semantics) without
+    /// materializing a [`Value`]. `None` out of bounds or non-numeric.
+    pub fn number_at(&self, record: RecordIdx, column: usize) -> Option<f64> {
+        self.cols.get(column).and_then(|col| col.number_at(record))
+    }
+
+    /// Whether the cell at `(record, column)` equals `needle` under
+    /// [`Value`] equality, without materializing the cell. `false` out of
+    /// bounds.
+    pub fn eq_at(&self, record: RecordIdx, column: usize, needle: &Value) -> bool {
+        self.cols
+            .get(column)
+            .is_some_and(|col| col.eq_at(record, needle))
+    }
+
+    /// Typed view of an all-numeric column, when `column` is stored as one.
+    pub fn column_f64(&self, column: usize) -> Option<F64Column<'_>> {
+        match self.cols.get(column)? {
+            ColumnData::F64 { values, nulls } => Some(F64Column { values, nulls }),
+            _ => None,
+        }
+    }
+
+    /// Typed view of a dictionary-encoded string column, when `column` is
+    /// stored as one.
+    pub fn column_dict(&self, column: usize) -> Option<DictColumn<'_>> {
+        match self.cols.get(column)? {
+            ColumnData::Dict(data) => Some(DictColumn { data }),
+            _ => None,
+        }
+    }
+
+    /// Typed view of an all-date column, when `column` is stored as one.
+    pub fn column_date(&self, column: usize) -> Option<DateColumn<'_>> {
+        match self.cols.get(column)? {
+            ColumnData::Date { ords } => Some(DateColumn { ords }),
+            _ => None,
+        }
+    }
+
+    /// The dense numeric vector of `column` when every cell is numeric —
+    /// the no-branch fast path for aggregate kernels.
+    pub fn dense_f64(&self, column: usize) -> Option<&[f64]> {
+        self.cols.get(column)?.dense_f64()
     }
 
     /// All cells of one column, top to bottom.
@@ -214,23 +333,58 @@ impl Table {
         (next < self.num_records()).then_some(next)
     }
 
-    /// Records whose cell in `column` equals `value` — the binary relation
-    /// `Column.value` of the KB view, e.g. `Country.Greece`.
-    pub fn records_with_value(&self, column: usize, value: &Value) -> Vec<RecordIdx> {
-        self.rows
-            .iter()
-            .enumerate()
-            .filter(|(_, row)| &row[column] == value)
-            .map(|(i, _)| i)
-            .collect()
+    /// Records whose cell in `column` equals `value`, ascending — the
+    /// binary relation `Column.value` of the KB view (e.g. `Country.Greece`)
+    /// as a batch kernel over the typed column. Semantics identical to a
+    /// per-row `value_at == value` scan.
+    pub fn filter_eq(&self, column: usize, value: &Value) -> Vec<RecordIdx> {
+        self.cols[column].filter_eq(value)
+    }
+
+    /// Records whose cell in `column` equals *any* of `values`, ascending
+    /// and deduplicated — the batch kernel behind `IN (…)` predicates.
+    pub fn filter_in(&self, column: usize, values: &[Value]) -> Vec<RecordIdx> {
+        let mut out: Vec<RecordIdx> = Vec::new();
+        for value in values {
+            out.extend(self.cols[column].filter_eq(value));
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Records whose cell in `column` has numeric content satisfying `pred`
+    /// — the batch kernel behind numeric comparisons. The predicate sees
+    /// exactly the values `Value::as_number` would produce per row
+    /// (including NaN cells); non-numeric cells never match.
+    pub fn filter_num<F: Fn(f64) -> bool>(&self, column: usize, pred: F) -> Vec<RecordIdx> {
+        self.cols[column].filter_num(pred)
+    }
+
+    /// Sum of the numeric contents of `column` (non-numeric cells skipped);
+    /// `None` when no cell is numeric.
+    pub fn stats_sum(&self, column: usize) -> Option<f64> {
+        self.cols.get(column)?.stats_sum()
+    }
+
+    /// Minimum of the numeric contents of `column`; `None` when no cell is
+    /// numeric.
+    pub fn stats_min(&self, column: usize) -> Option<f64> {
+        self.cols.get(column)?.stats_min()
+    }
+
+    /// Maximum of the numeric contents of `column`; `None` when no cell is
+    /// numeric.
+    pub fn stats_max(&self, column: usize) -> Option<f64> {
+        self.cols.get(column)?.stats_max()
     }
 
     /// Distinct values appearing in `column`, in first-appearance order.
     pub fn distinct_column_values(&self, column: usize) -> Vec<Value> {
         let mut seen: HashSet<Value> = HashSet::new();
         let mut out = Vec::new();
-        for row in &self.rows {
-            let v = row[column].clone();
+        for record in 0..self.num_records {
+            let v = self.cols[column].value_at(record).expect("record in range");
             if seen.insert(v.clone()) {
                 out.push(v);
             }
@@ -240,10 +394,13 @@ impl Table {
 
     /// Render as a plain-text grid (used by examples and error messages).
     pub fn to_text_grid(&self) -> String {
+        let texts: Vec<Vec<String>> = (0..self.num_records)
+            .map(|r| self.cols.iter().map(|col| col.text_at(r)).collect())
+            .collect();
         let mut widths: Vec<usize> = self.columns.iter().map(|c| c.name.len()).collect();
-        for row in &self.rows {
-            for (i, value) in row.iter().enumerate() {
-                widths[i] = widths[i].max(value.to_string().len());
+        for row in &texts {
+            for (i, text) in row.iter().enumerate() {
+                widths[i] = widths[i].max(text.len());
             }
         }
         let mut out = String::new();
@@ -251,13 +408,9 @@ impl Table {
             out.push_str(&format!("{:<width$}  ", column.name, width = widths[i]));
         }
         out.push('\n');
-        for row in &self.rows {
-            for (i, value) in row.iter().enumerate() {
-                out.push_str(&format!(
-                    "{:<width$}  ",
-                    value.to_string(),
-                    width = widths[i]
-                ));
+        for row in &texts {
+            for (i, text) in row.iter().enumerate() {
+                out.push_str(&format!("{:<width$}  ", text, width = widths[i]));
             }
             out.push('\n');
         }
@@ -320,7 +473,8 @@ impl TableBuilder {
         self.row(values)
     }
 
-    /// Finalize the table, inferring column types and validating headers.
+    /// Finalize the table, inferring column types, validating headers and
+    /// transposing the accumulated rows into typed columns.
     pub fn build(self) -> Result<Table> {
         if self.columns.is_empty() {
             return Err(TableError::EmptyTable);
@@ -340,13 +494,7 @@ impl TableBuilder {
                 column_type: infer_column_type(&self.rows, i),
             })
             .collect();
-        let fingerprint = shape_fingerprint(&columns, self.rows.len());
-        Ok(Table {
-            name: self.name,
-            columns,
-            rows: self.rows,
-            fingerprint,
-        })
+        Ok(Table::from_parts(self.name, columns, self.rows))
     }
 }
 
@@ -465,13 +613,86 @@ mod tests {
     }
 
     #[test]
-    fn records_with_value_matches_paper_example() {
+    fn filter_eq_matches_paper_example() {
         // Country.Greece on the Figure 1 table returns records {0, 2} here
         // (the paper writes {0, n-4} for its elided table).
         let t = olympics();
         let col = t.column_index("Country").unwrap();
-        let records = t.records_with_value(col, &Value::str("Greece"));
+        let records = t.filter_eq(col, &Value::str("Greece"));
         assert_eq!(records, vec![0, 2]);
+        // Case-insensitively, via the dictionary's folded lookup.
+        assert_eq!(t.filter_eq(col, &Value::str("greece")), vec![0, 2]);
+    }
+
+    #[test]
+    fn filter_in_unions_sorted_and_deduplicated() {
+        let t = olympics();
+        let col = t.column_index("Country").unwrap();
+        let records = t.filter_in(
+            col,
+            &[
+                Value::str("China"),
+                Value::str("Greece"),
+                Value::str("greece"),
+            ],
+        );
+        assert_eq!(records, vec![0, 2, 3]);
+    }
+
+    #[test]
+    fn filter_num_applies_predicate_to_numeric_contents() {
+        let t = olympics();
+        let year = t.column_index("Year").unwrap();
+        let country = t.column_index("Country").unwrap();
+        assert_eq!(t.filter_num(year, |n| n >= 2008.0), vec![3, 4, 5]);
+        // A text column has no numeric contents.
+        assert_eq!(t.filter_num(country, |_| true), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn typed_views_match_storage_layout() {
+        let t = olympics();
+        let year = t.column_index("Year").unwrap();
+        let country = t.column_index("Country").unwrap();
+        let years = t.column_f64(year).expect("all-numeric column");
+        assert_eq!(years.values()[2], 2004.0);
+        assert!(!years.any_null());
+        assert_eq!(t.dense_f64(year).unwrap().len(), 6);
+        let countries = t.column_dict(country).expect("all-string column");
+        assert_eq!(countries.text(0), "Greece");
+        // "Greece" appears twice but is interned once.
+        assert_eq!(countries.entries().len(), 5);
+        assert_eq!(countries.ids()[0], countries.ids()[2]);
+        assert!(t.column_f64(country).is_none());
+        assert!(t.column_dict(year).is_none());
+        assert!(t.column_date(year).is_none());
+    }
+
+    #[test]
+    fn stats_kernels_fold_numeric_contents() {
+        let t = olympics();
+        let year = t.column_index("Year").unwrap();
+        let country = t.column_index("Country").unwrap();
+        assert_eq!(t.stats_min(year), Some(1896.0));
+        assert_eq!(t.stats_max(year), Some(2016.0));
+        assert_eq!(t.stats_sum(year), Some(11836.0));
+        assert_eq!(t.stats_sum(country), None);
+    }
+
+    #[test]
+    fn cell_accessors_agree_with_materialized_values() {
+        let t = olympics();
+        for r in t.record_indices() {
+            for c in 0..t.num_columns() {
+                let v = t.value_at(r, c).unwrap();
+                assert!(t.eq_at(r, c, &v));
+                assert_eq!(t.number_at(r, c), v.as_number());
+                assert_eq!(t.cell_text(CellRef::new(r, c)), v.to_string());
+            }
+        }
+        assert_eq!(t.value_at(6, 0), None);
+        assert_eq!(t.number_at(6, 0), None);
+        assert!(!t.eq_at(6, 0, &Value::num(1896.0)));
     }
 
     #[test]
@@ -514,9 +735,17 @@ mod tests {
     #[test]
     fn record_out_of_bounds_is_an_error() {
         let t = olympics();
-        assert!(t.record(5).is_ok());
+        assert!(t.record_values(5).is_ok());
+        assert_eq!(
+            t.record_values(2).unwrap(),
+            vec![
+                Value::num(2004.0),
+                Value::str("Greece"),
+                Value::str("Athens")
+            ]
+        );
         assert!(matches!(
-            t.record(6),
+            t.record_values(6),
             Err(TableError::RecordOutOfBounds { index: 6, len: 6 })
         ));
     }
@@ -600,7 +829,10 @@ mod tests {
         assert_eq!(restored.fingerprint(), table.fingerprint());
         // A pre-fingerprint data file (same three fields) still loads, and
         // the fingerprint always reflects the deserialized shape.
-        let mut tampered_rows = restored.rows.clone();
+        let mut tampered_rows: Vec<Vec<Value>> = restored
+            .record_indices()
+            .map(|r| restored.record_values(r).unwrap())
+            .collect();
         tampered_rows.pop();
         let tampered = serde::Value::Map(vec![
             ("name".to_string(), table.name.to_value()),

@@ -5,7 +5,15 @@ use wtq_core::ExplanationPipeline;
 use wtq_dcs::{eval, parse_formula, Answer};
 use wtq_parser::formulas_equivalent;
 use wtq_provenance::HighlightKind;
-use wtq_sql::{execute, translate};
+use wtq_sql::{translate, PlanMode, SqlEngine};
+
+/// Run a translated query under the cost-based planner (cold).
+fn execute(
+    query: &wtq_sql::SqlQuery,
+    table: &wtq_table::Table,
+) -> wtq_sql::Result<wtq_sql::SqlResult> {
+    SqlEngine::new(table).execute(query, PlanMode::Auto)
+}
 use wtq_table::{samples, CellRef};
 
 #[test]
