@@ -8,14 +8,14 @@
 //! ```
 //!
 //! Sections: `table4`, `table5`, `table6`, `ksweep`, `table7`, `table9`,
-//! `figures`, `gallery`, `operators`, `examples`, `exec`, `serve`. With no
-//! argument every section is produced.
+//! `figures`, `gallery`, `operators`, `examples`, `exec`, `serve`,
+//! `cache`. With no argument every section is produced.
 //!
 //! `--exec-json [path]` additionally writes the execution-layer report
 //! (indexed vs scan timings, candidate throughput, cache statistics, and —
-//! when the `serve` section ran — the loopback serving latency percentiles
-//! under `serving`) as machine-readable JSON — `BENCH_exec.json` by
-//! default.
+//! when the `serve` / `cache` sections ran — the loopback serving latency
+//! percentiles under `serving` and the Zipfian answer-cache replay under
+//! `caching`) as machine-readable JSON — `BENCH_exec.json` by default.
 
 use wtq_bench::{
     environment, k_sweep, raw_formula_control, table4, table5, table6, table7, table9,
@@ -400,6 +400,10 @@ fn main() {
         println!("| p99 | {:.2} ms |", serving.p99_ms);
         println!("| max | {:.2} ms |", serving.max_ms);
         println!("| backpressure rejections | {} |", serving.rejected);
+        println!(
+            "| answer cache | {} hits / {} misses / {} collapsed |",
+            serving.cache_hits, serving.cache_misses, serving.cache_collapsed_waiters
+        );
         if let Some(report) = exec_report.as_mut() {
             report.serving = Some(serving);
         }
@@ -428,6 +432,47 @@ fn main() {
         println!("| p99 | {:.2} ms |", idle.p99_ms);
         if let Some(report) = exec_report.as_mut() {
             report.idle_serving = Some(idle);
+        }
+    }
+
+    if wanted("cache") {
+        heading("Caching layer — Zipfian replay through the answer cache");
+        let caching = wtq_bench::cache::caching_report(512, 40, 240, 4);
+        println!(
+            "{} requests per skew drawn Zipf(s) from a {}-question pool over \
+             a {}-row table; each trace replayed through the bare Engine and \
+             a fresh CachedEngine (misses included):\n",
+            caching.skews[0].requests, caching.question_pool, caching.rows
+        );
+        println!("| skew | distinct | hit rate | uncached q/s | cached q/s | speedup |");
+        println!("|---|---|---|---|---|---|");
+        for case in caching.skews.iter() {
+            println!(
+                "| {:.1} | {} | {:.1}% | {:.1} | {:.1} | {:.1}× |",
+                case.skew,
+                case.distinct_questions,
+                case.hit_rate * 100.0,
+                case.uncached_qps,
+                case.cached_qps,
+                case.speedup
+            );
+        }
+        let served = &caching.served;
+        println!(
+            "\nServed over loopback TCP at s = {:.1} ({} requests, {} connections): \
+             {:.1} q/s uncached vs {:.1} q/s cached ({:.1}×), hit rate {:.1}%, \
+             {} single-flight collapses.",
+            served.skew,
+            served.requests,
+            served.connections,
+            served.uncached_qps,
+            served.cached_qps,
+            served.speedup,
+            served.hit_rate * 100.0,
+            served.collapsed_waiters
+        );
+        if let Some(report) = exec_report.as_mut() {
+            report.caching = Some(caching);
         }
     }
 

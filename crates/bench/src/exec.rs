@@ -99,6 +99,10 @@ pub struct ExecReport {
     /// the epoll reactor while a handful of active clients keep full
     /// throughput (`experiments --section serve`).
     pub idle_serving: Option<crate::serve::IdleConnectionsReport>,
+    /// Answer-cache effectiveness on Zipfian question replays
+    /// (`experiments --section cache`); absent when that section was not
+    /// run.
+    pub caching: Option<crate::cache::CachingReport>,
 }
 
 /// Time `f` repeatedly within a small budget; mean µs per call.
@@ -306,6 +310,7 @@ pub fn exec_report(rows: usize, questions: usize) -> ExecReport {
         parallel,
         serving: None,
         idle_serving: None,
+        caching: None,
     }
 }
 

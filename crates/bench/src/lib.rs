@@ -5,6 +5,7 @@
 //! (§7) maps to one function here; the binary prints the paper-vs-measured
 //! comparison and the benches time the underlying components.
 
+pub mod cache;
 pub mod exec;
 pub mod serve;
 

@@ -45,6 +45,14 @@ pub struct ServingReport {
     /// Requests rejected by backpressure during the run (0 unless the
     /// in-flight bound is set below the connection count).
     pub rejected: u64,
+    /// Answer-cache hits observed by the server during the run (the
+    /// default config serves with the deduplicating cache enabled).
+    pub cache_hits: u64,
+    /// Answer-cache misses observed by the server during the run.
+    pub cache_misses: u64,
+    /// Concurrent identical requests that reused an in-flight leader's
+    /// execution instead of re-executing (single-flight collapse).
+    pub cache_collapsed_waiters: u64,
 }
 
 /// Boot a loopback server over `table` (plus the engine defaults), ready
@@ -139,6 +147,14 @@ pub fn serving_report(rows: usize, questions: usize, connections: usize) -> Serv
     let started = Instant::now();
     let (latencies, rejected) = replay_workload(addr, &workload, connections);
     let elapsed = started.elapsed().as_secs_f64();
+    let cache = {
+        let mut client = Client::connect(addr).expect("stats client connects");
+        client
+            .stats()
+            .expect("stats request succeeds")
+            .engine
+            .answer_cache
+    };
     handle.shutdown();
     let mut latencies_ms: Vec<f64> = latencies
         .iter()
@@ -159,6 +175,9 @@ pub fn serving_report(rows: usize, questions: usize, connections: usize) -> Serv
         p99_ms: percentile(&latencies_ms, 0.99),
         max_ms: latencies_ms.last().copied().unwrap_or(0.0),
         rejected,
+        cache_hits: cache.hits,
+        cache_misses: cache.misses,
+        cache_collapsed_waiters: cache.collapsed_waiters,
     }
 }
 
@@ -330,7 +349,11 @@ mod tests {
         assert!(report.p50_ms <= report.p90_ms);
         assert!(report.p90_ms <= report.p99_ms);
         assert!(report.p99_ms <= report.max_ms);
+        // The default server config serves through the answer cache, so
+        // every request registered as a lookup.
+        assert!(report.cache_hits + report.cache_misses >= report.questions as u64);
         let json = serde_json::to_string(&report).expect("report serializes");
         assert!(json.contains("p99_ms"));
+        assert!(json.contains("cache_hits"));
     }
 }

@@ -120,6 +120,10 @@ pub struct EngineStats {
     /// SQL planner decision counters (process-wide): scan vs index vs
     /// columnar-kernel choices and estimated vs actual selectivity.
     pub planner: wtq_sql::PlannerStats,
+    /// Deduplicating answer-cache counters, populated when the engine is
+    /// served through a [`crate::CachedEngine`]; all-zero on a bare engine
+    /// (which has no answer cache).
+    pub answer_cache: wtq_cache::CacheStats,
 }
 
 /// Serving counters of an [`Engine`] (all atomics: incremented under
@@ -225,6 +229,7 @@ impl Engine {
             batches_served: self.counters.batches_served.load(Ordering::Relaxed),
             in_flight: self.counters.in_flight.load(Ordering::Relaxed),
             planner: wtq_sql::planner_stats(),
+            answer_cache: wtq_cache::CacheStats::default(),
         }
     }
 

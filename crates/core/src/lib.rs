@@ -54,8 +54,10 @@ pub use wtq_sql as sql;
 pub use wtq_study as study;
 pub use wtq_table as table;
 
+pub mod cached;
 pub mod engine;
 pub mod pipeline;
 
+pub use cached::{BatchPlan, CachedAnswer, CachedEngine};
 pub use engine::{Engine, EngineConfig, EngineStats, ExplainRequest, Explanation, Session};
 pub use pipeline::{ExplainedCandidate, ExplanationPipeline};

@@ -62,6 +62,49 @@ impl QuestionAnalysis {
     }
 }
 
+/// Canonicalize a question for comparison and cache keying: lowercase,
+/// collapse whitespace runs to single spaces, trim, and strip trailing
+/// sentence punctuation (`?`, `!`, and `.` — except a `.` that follows a
+/// digit, which [`tokenize`] treats as part of a decimal number).
+///
+/// This is the **single source of truth** for question identity: answer
+/// caches key on `normalize_question(q)` and question analysis itself runs
+/// on the normalized text, so two questions with equal normalizations are
+/// *guaranteed* to produce identical analyses (and therefore identical
+/// parses and answers) — the normalization cannot drift from parse-time
+/// tokenization because parsing consumes its output. The function is
+/// idempotent, and deliberately conservative: it never touches interior
+/// punctuation, so `tokenize(normalize_question(q)) == tokenize(q)` holds
+/// for every question.
+pub fn normalize_question(question: &str) -> String {
+    let mut out = String::with_capacity(question.len());
+    let mut pending_space = false;
+    for c in question.chars() {
+        if c.is_whitespace() {
+            pending_space = !out.is_empty();
+        } else {
+            if pending_space {
+                out.push(' ');
+                pending_space = false;
+            }
+            out.extend(c.to_lowercase());
+        }
+    }
+    loop {
+        let mut chars = out.chars().rev();
+        let strip = match chars.next() {
+            Some('?') | Some('!') | Some(' ') => true,
+            Some('.') => !chars.next().is_some_and(|p| p.is_ascii_digit()),
+            _ => false,
+        };
+        if !strip {
+            break;
+        }
+        out.pop();
+    }
+    out
+}
+
 /// Tokenize a question: lowercase, split on whitespace and punctuation while
 /// keeping decimal numbers and hyphenated words intact.
 pub fn tokenize(question: &str) -> Vec<String> {
@@ -101,8 +144,12 @@ pub fn analyze_question(question: &str, table: &Table) -> QuestionAnalysis {
 /// shared table index instead of rebuilding it per question.
 pub fn analyze_question_with(question: &str, kb: &KnowledgeBase<'_>) -> QuestionAnalysis {
     let table = kb.table();
-    let tokens = tokenize(question);
-    let lowered = question.to_lowercase();
+    // Analysis runs on the canonical question: tokenization is invariant
+    // under normalization, and `lowered` becoming the normalized text is
+    // what makes answers a function of the normalized question — the
+    // property answer caches rely on.
+    let lowered = normalize_question(question);
+    let tokens = tokenize(&lowered);
 
     // Column links: a column is linked when its full lower-cased header
     // appears as a phrase in the question.
@@ -217,6 +264,50 @@ mod tests {
         assert!(tokens.contains(&"a-league".to_string()));
         assert!(tokens.contains(&"how".to_string()));
         assert!(!tokens.iter().any(|t| t.contains('?')));
+    }
+
+    #[test]
+    fn normalize_question_canonicalizes_and_is_idempotent() {
+        assert_eq!(
+            normalize_question("  Which   YEAR did Greece host?  "),
+            "which year did greece host"
+        );
+        assert_eq!(normalize_question("How many games?!"), "how many games");
+        assert_eq!(normalize_question("It ended."), "it ended");
+        // A '.' after a digit is part of a decimal number, not punctuation.
+        assert_eq!(normalize_question("costs 2."), "costs 2.");
+        for q in ["Which year did Greece host?", "costs 2.", "", "   ", "a?!."] {
+            let once = normalize_question(q);
+            assert_eq!(normalize_question(&once), once, "idempotent on {q:?}");
+        }
+    }
+
+    #[test]
+    fn tokenize_is_invariant_under_normalization() {
+        // The guarantee cache keys depend on: normalizing first never
+        // changes what the tokenizer produces.
+        for q in [
+            "How many rows have a Rating of 7.5 in the USL A-League?",
+            "  Which   YEAR did Greece host?  ",
+            "costs 2.",
+            "Was it Lake Huron, or Lake Erie?!",
+            "what is -3.5 plus 2",
+            "",
+        ] {
+            assert_eq!(tokenize(&normalize_question(q)), tokenize(q), "on {q:?}");
+        }
+    }
+
+    #[test]
+    fn variant_phrasings_share_an_analysis() {
+        let table = samples::olympics();
+        let a = analyze_question("Greece held its last Olympics in what year?", &table);
+        let b = analyze_question("  greece held its LAST Olympics in what year  ", &table);
+        assert_eq!(a.tokens, b.tokens);
+        assert_eq!(a.lowered, b.lowered);
+        assert_eq!(a.value_links, b.value_links);
+        assert_eq!(a.column_links, b.column_links);
+        assert_eq!(a.numbers, b.numbers);
     }
 
     #[test]

@@ -31,6 +31,6 @@ pub mod train;
 
 pub use candidates::{generate_candidates, generate_candidates_with, CandidateConfig};
 pub use features::{extract_features, FeatureVector};
-pub use lexicon::{analyze_question, analyze_question_with, QuestionAnalysis};
+pub use lexicon::{analyze_question, analyze_question_with, normalize_question, QuestionAnalysis};
 pub use model::{formulas_equivalent, Candidate, LogLinearModel, SemanticParser};
 pub use train::{ParserEvaluation, TrainConfig, TrainExample, Trainer};

@@ -205,7 +205,7 @@ impl Client {
     /// Engine + server statistics.
     pub fn stats(&mut self) -> Result<StatsBody, ClientError> {
         match self.call(RequestBody::Stats)? {
-            ResponseBody::Stats(stats) => Ok(stats),
+            ResponseBody::Stats(stats) => Ok(*stats),
             other => Err(unexpected("Stats", &other)),
         }
     }

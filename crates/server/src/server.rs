@@ -50,7 +50,8 @@ use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use wtq_core::{Engine, ExplainRequest};
+use wtq_cache::{Begin, CacheConfig};
+use wtq_core::{CachedEngine, Engine, ExplainRequest, Explanation};
 use wtq_runtime::{BatchError, CancelToken};
 use wtq_table::Catalog;
 
@@ -95,6 +96,14 @@ pub struct ServerConfig {
     /// per-table admission while headroom remains for control-plane
     /// requests and immediate overload rejections.
     pub dispatch_threads: usize,
+    /// Entry capacity of the deduplicating answer cache; `0` disables
+    /// caching entirely. Cache lookups run *before* the in-flight queue
+    /// gate (control-plane-style), so a request the cache can answer is
+    /// never rejected with `Overloaded`.
+    pub cache_capacity: usize,
+    /// TTL of answer-cache entries in milliseconds; `0` means entries
+    /// never expire by age (LRU and epoch invalidation still apply).
+    pub cache_ttl_ms: u64,
 }
 
 impl Default for ServerConfig {
@@ -109,6 +118,8 @@ impl Default for ServerConfig {
             admission_timeout_ms: 30_000,
             reactor_threads: 2,
             dispatch_threads: 0,
+            cache_capacity: 4096,
+            cache_ttl_ms: 0,
         }
     }
 }
@@ -333,6 +344,11 @@ impl Drop for InFlightGuard<'_> {
 /// the [`ServerHandle`].
 pub(crate) struct Shared {
     engine: Arc<Engine>,
+    /// The deduplicating answer cache over `engine`, when
+    /// `cache_capacity > 0`. Lookups happen before the in-flight gate;
+    /// single-flight collapse means a thundering herd on one hot question
+    /// costs one engine run.
+    cached: Option<CachedEngine>,
     catalog: Arc<Catalog>,
     config: ServerConfig,
     in_flight: AtomicU64,
@@ -474,29 +490,77 @@ impl Shared {
             RequestBody::ListTables => ResponseBody::Tables(TablesBody {
                 tables: self.catalog.summaries(),
             }),
-            RequestBody::Stats => ResponseBody::Stats(StatsBody {
-                engine: self.engine.stats(),
+            RequestBody::Stats => ResponseBody::Stats(Box::new(StatsBody {
+                // The cached wrapper's snapshot carries the answer-cache
+                // counters; a bare engine reports them all-zero.
+                engine: match &self.cached {
+                    Some(cached) => cached.stats(),
+                    None => self.engine.stats(),
+                },
                 server: self.server_stats(),
-            }),
+            })),
             RequestBody::Explain(request) => self.handle_explain(request),
             RequestBody::ExplainBatch(batch) => self.handle_batch(batch),
         }
     }
 
     fn handle_explain(&self, request: ExplainBody) -> ResponseBody {
-        let Some(_slot) = self.try_admit() else {
-            return self.overloaded();
-        };
+        // Table resolution and the cache probe run *before* the in-flight
+        // gate, control-plane-style: a request the cache can answer (or
+        // reject as unknown) must never bounce off `Overloaded`, so
+        // clients never receive a `retry_after_ms` hint for an answer the
+        // server already holds.
         let Some(table) = self.catalog.get(&request.table) else {
             return ResponseBody::Error(WireError::new(
                 ErrorCode::UnknownTable,
                 format!("unknown table: {}", request.table),
             ));
         };
+        let key = self
+            .cached
+            .as_ref()
+            .map(|cached| cached.key_for(&request.question, table, request.top_k));
+        if let (Some(cached), Some(key)) = (&self.cached, &key) {
+            if let Some(candidates) = cached.probe(key) {
+                self.counters.requests.fetch_add(1, Ordering::Relaxed);
+                return ResponseBody::Explanation(WireExplanation::from_candidates(
+                    &request.question,
+                    &request.table,
+                    &candidates,
+                    table,
+                ));
+            }
+        }
+        let Some(_slot) = self.try_admit() else {
+            return self.overloaded();
+        };
         let fingerprint = table.fingerprint();
         let Some(_share) = self.admission.try_occupy(vec![fingerprint]) else {
             return self.table_busy();
         };
+        // Join or lead the single-flight before blocking on execution
+        // tokens: concurrent identical requests collapse onto one leader's
+        // engine run, receiving its answer without claiming tokens of
+        // their own (they do hold queue slots — collapsed waiters are
+        // still bounded load).
+        let flight = match (&self.cached, key) {
+            (Some(cached), Some(key)) => match cached.begin(&key) {
+                Begin::Hit(candidates) | Begin::Collapsed(candidates) => {
+                    self.counters.requests.fetch_add(1, Ordering::Relaxed);
+                    return ResponseBody::Explanation(WireExplanation::from_candidates(
+                        &request.question,
+                        &request.table,
+                        &candidates,
+                        table,
+                    ));
+                }
+                Begin::Lead(guard) => Some(guard),
+            },
+            _ => None,
+        };
+        // From here on, every early return drops `flight`, abandoning it —
+        // collapsed waiters wake and retry as leaders, degrading to
+        // exactly the uncached behavior instead of hanging.
         let _tokens = match self.admission.acquire(
             vec![fingerprint],
             1,
@@ -513,9 +577,14 @@ impl Shared {
             }
         };
         let top_k = request.top_k.unwrap_or(self.engine.config().top_k);
-        let explained = catch_unwind(AssertUnwindSafe(|| {
-            self.engine
-                .explain_question(&request.question, table, top_k)
+        let explained = catch_unwind(AssertUnwindSafe(|| match (self.cached.as_ref(), flight) {
+            (Some(cached), Some(guard)) => {
+                cached.execute_flight(guard, &request.question, table, top_k)
+            }
+            _ => Arc::new(
+                self.engine
+                    .explain_question(&request.question, table, top_k),
+            ),
         }));
         match explained {
             Ok(candidates) => {
@@ -545,14 +614,69 @@ impl Shared {
                 ),
             ));
         }
+        let requests: Vec<ExplainRequest> = batch
+            .requests
+            .into_iter()
+            .map(|request| ExplainRequest {
+                question: request.question,
+                table: request.table,
+                top_k: request.top_k,
+            })
+            .collect();
+
+        if let Some(cached) = &self.cached {
+            // Probe every item before any gate: cached items cost no
+            // admission weight, and a fully-cached batch (like a scalar
+            // cache hit) skips the in-flight queue entirely — it can
+            // never be rejected with a retry hint.
+            let plan = cached.plan_batch(&self.catalog, &requests);
+            if plan.is_fully_cached() {
+                let result = cached.execute_batch(plan, &self.catalog, &requests, &self.cancel);
+                return self.batch_response(result);
+            }
+            let Some(_slot) = self.try_admit() else {
+                return self.overloaded();
+            };
+            // Admission tokens only for tables that still *execute*;
+            // weight scales with the deduplicated misses, not the batch
+            // size, so a mostly-cached batch claims proportionally little.
+            let mut fingerprints: Vec<u64> = plan
+                .pending_request_indices()
+                .filter_map(|index| self.catalog.get(&requests[index].table))
+                .map(|table| table.fingerprint())
+                .collect();
+            fingerprints.sort_unstable();
+            fingerprints.dedup();
+            let Some(_share) = self.admission.try_occupy(fingerprints.clone()) else {
+                return self.table_busy();
+            };
+            let weight = self.engine.config().workers.clamp(1, plan.missing().max(1));
+            let _tokens = match self.admission.acquire(
+                fingerprints,
+                weight,
+                self.admission_timeout(),
+                &self.shutdown,
+            ) {
+                Acquire::Acquired(tokens) => tokens,
+                Acquire::TimedOut => return self.table_busy(),
+                Acquire::ShuttingDown => {
+                    return ResponseBody::Error(WireError::new(
+                        ErrorCode::Internal,
+                        "server shutting down",
+                    ))
+                }
+            };
+            let result = cached.execute_batch(plan, &self.catalog, &requests, &self.cancel);
+            return self.batch_response(result);
+        }
+
         let Some(_slot) = self.try_admit() else {
             return self.overloaded();
         };
         // Admission tokens for every distinct table the batch touches;
         // unknown tables pass through (the engine answers those with a
         // per-question error, matching the direct batch path).
-        let mut fingerprints: Vec<u64> = batch
-            .requests
+        let mut fingerprints: Vec<u64> = requests
             .iter()
             .filter_map(|request| self.catalog.get(&request.table))
             .map(|table| table.fingerprint())
@@ -566,11 +690,7 @@ impl Shared {
         // batch size by the runtime), so it claims one token per worker it
         // will actually run — admission bounds the concurrent *work* per
         // table, not just the request count.
-        let weight = self
-            .engine
-            .config()
-            .workers
-            .clamp(1, batch.requests.len().max(1));
+        let weight = self.engine.config().workers.clamp(1, requests.len().max(1));
         let _tokens = match self.admission.acquire(
             fingerprints,
             weight,
@@ -586,19 +706,16 @@ impl Shared {
                 ))
             }
         };
-        let requests: Vec<ExplainRequest> = batch
-            .requests
-            .into_iter()
-            .map(|request| ExplainRequest {
-                question: request.question,
-                table: request.table,
-                top_k: request.top_k,
-            })
-            .collect();
-        match self
+        let result = self
             .engine
-            .explain_batch_cancellable(&self.catalog, &requests, &self.cancel)
-        {
+            .explain_batch_cancellable(&self.catalog, &requests, &self.cancel);
+        self.batch_response(result)
+    }
+
+    /// Render a batch outcome to the wire — shared by the cached and
+    /// uncached batch paths so responses are structurally identical.
+    fn batch_response(&self, result: Result<Vec<Explanation>, BatchError>) -> ResponseBody {
+        match result {
             Ok(explanations) => {
                 self.counters.requests.fetch_add(1, Ordering::Relaxed);
                 ResponseBody::Batch(WireBatch {
@@ -641,8 +758,20 @@ impl Server {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
         let admission = TableGate::new(config.per_table_tokens, config.max_table_in_flight);
+        let cached = (config.cache_capacity > 0).then(|| {
+            CachedEngine::new(
+                engine.clone(),
+                CacheConfig {
+                    capacity: config.cache_capacity,
+                    ttl: (config.cache_ttl_ms > 0)
+                        .then(|| Duration::from_millis(config.cache_ttl_ms)),
+                    ..CacheConfig::default()
+                },
+            )
+        });
         let shared = Arc::new(Shared {
             engine,
+            cached,
             catalog,
             config,
             in_flight: AtomicU64::new(0),

@@ -319,8 +319,9 @@ pub enum ResponseBody {
     Batch(WireBatch),
     /// The table registry listing.
     Tables(TablesBody),
-    /// Engine + server statistics.
-    Stats(StatsBody),
+    /// Engine + server statistics (boxed: the stats snapshot is by far
+    /// the largest body and would otherwise size every response).
+    Stats(Box<StatsBody>),
     /// A structured failure.
     Error(WireError),
 }

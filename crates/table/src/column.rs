@@ -488,6 +488,66 @@ impl ColumnData {
             _ => None,
         }
     }
+
+    /// Feed the column's cell *contents* to `write` as canonical bytes —
+    /// the content half of [`crate::Table`]'s content fingerprint. Every
+    /// byte sequence is layout-derived but value-determined: floats by
+    /// bits, strings length-prefixed by exact bytes, dates by packed
+    /// ordinal — so two columns hash alike iff their cells are bit-equal,
+    /// regardless of how `from_values` happened to store them (the layout
+    /// choice is itself a function of the values). A leading per-variant
+    /// tag keeps e.g. the string `"1"` from aliasing the number `1`.
+    pub fn hash_content(&self, write: &mut dyn FnMut(&[u8])) {
+        match self {
+            ColumnData::F64 { values, nulls } => {
+                write(&[0]);
+                for (i, v) in values.iter().enumerate() {
+                    write(&[u8::from(nulls.is_null(i))]);
+                    write(&v.to_bits().to_le_bytes());
+                }
+            }
+            ColumnData::Dict(dict) => {
+                write(&[1]);
+                // Entries are interned in first-appearance order, which is
+                // determined by the cell sequence — ids alone pin contents
+                // once the entry table is folded in.
+                write(&(dict.entries.len() as u64).to_le_bytes());
+                for entry in &dict.entries {
+                    write(&(entry.len() as u64).to_le_bytes());
+                    write(entry.as_bytes());
+                }
+                for &id in &dict.ids {
+                    write(&id.to_le_bytes());
+                }
+            }
+            ColumnData::Date { ords } => {
+                write(&[2]);
+                for &ord in ords {
+                    write(&ord.to_le_bytes());
+                }
+            }
+            ColumnData::Mixed(values) => {
+                write(&[3]);
+                for value in values {
+                    match value {
+                        Value::Num(n) => {
+                            write(&[0]);
+                            write(&n.to_bits().to_le_bytes());
+                        }
+                        Value::Str(s) => {
+                            write(&[1]);
+                            write(&(s.len() as u64).to_le_bytes());
+                            write(s.as_bytes());
+                        }
+                        Value::Date(d) => {
+                            write(&[2]);
+                            write(&date_ordinal(*d).to_le_bytes());
+                        }
+                    }
+                }
+            }
+        }
+    }
 }
 
 /// Borrowed typed view of an all-numeric column.

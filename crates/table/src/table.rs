@@ -71,6 +71,14 @@ pub struct Table {
     /// (see the manual serde impls below), so a hand-edited data file cannot
     /// smuggle in a fingerprint describing a different shape.
     fingerprint: u64,
+    /// Precomputed *content* fingerprint: the shape fingerprint extended
+    /// with every cell's canonical bytes (see
+    /// [`crate::column::ColumnData::hash_content`]). Two tables with equal
+    /// content fingerprints answer every question identically (up to hash
+    /// collision), which is what answer caches key on — the shape
+    /// fingerprint deliberately ignores cell contents and would alias
+    /// them. Derived state, like `fingerprint`: never serialized.
+    content_fingerprint: u64,
 }
 
 impl PartialEq for Table {
@@ -159,16 +167,18 @@ impl Table {
                 column.push(cells.next().unwrap_or_else(|| Value::Str(String::new())));
             }
         }
-        let cols = per_column
+        let cols: Vec<ColumnData> = per_column
             .into_iter()
             .map(ColumnData::from_values)
             .collect();
+        let content_fingerprint = content_fingerprint(fingerprint, &cols);
         Table {
             name,
             columns,
             cols,
             num_records,
             fingerprint,
+            content_fingerprint,
         }
     }
 
@@ -185,6 +195,17 @@ impl Table {
     /// must still be scoped to one catalog.
     pub fn fingerprint(&self) -> u64 {
         self.fingerprint
+    }
+
+    /// The precomputed content fingerprint: the shape fingerprint extended
+    /// with every cell's canonical bytes. Unlike [`Table::fingerprint`],
+    /// differing cell contents produce differing fingerprints (up to hash
+    /// collision), so equal content fingerprints mean the tables answer
+    /// every question identically — the property answer caches need. The
+    /// table *name* is still excluded: renaming a table does not change
+    /// its answers.
+    pub fn content_fingerprint(&self) -> u64 {
+        self.content_fingerprint
     }
 
     /// All columns in header order.
@@ -524,6 +545,25 @@ fn shape_fingerprint(columns: &[Column], num_records: usize) -> u64 {
     hash
 }
 
+/// Extend the shape fingerprint with every column's cell contents (FNV-1a
+/// over the canonical bytes each [`ColumnData`] emits). Seeding with the
+/// shape hash means shape differences and content differences both
+/// perturb the result.
+fn content_fingerprint(shape: u64, cols: &[ColumnData]) -> u64 {
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut hash = shape;
+    let mut write = |bytes: &[u8]| {
+        for &byte in bytes {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(PRIME);
+        }
+    };
+    for col in cols {
+        col.hash_content(&mut write);
+    }
+    hash
+}
+
 fn column_type_tag(column_type: ColumnType) -> u8 {
     match column_type {
         ColumnType::Text => 0,
@@ -813,6 +853,47 @@ mod tests {
         )
         .unwrap();
         assert_ne!(a.fingerprint(), retyped.fingerprint());
+    }
+
+    #[test]
+    fn content_fingerprint_captures_cell_contents_not_name() {
+        let a = olympics();
+        // Identical contents under a different name: same content
+        // fingerprint (renaming a table does not change its answers).
+        let renamed = Table::from_rows(
+            "other-name",
+            &["Year", "Country", "City"],
+            &[
+                vec!["1896", "Greece", "Athens"],
+                vec!["1900", "France", "Paris"],
+                vec!["2004", "Greece", "Athens"],
+                vec!["2008", "China", "Beijing"],
+                vec!["2012", "UK", "London"],
+                vec!["2016", "Brazil", "Rio de Janeiro"],
+            ],
+        )
+        .unwrap();
+        assert_eq!(a.content_fingerprint(), renamed.content_fingerprint());
+        // Same shape, one cell edited: the shape fingerprint aliases, the
+        // content fingerprint must not.
+        let edited = Table::from_rows(
+            "olympics",
+            &["Year", "Country", "City"],
+            &[
+                vec!["1896", "Greece", "Athens"],
+                vec!["1900", "France", "Paris"],
+                vec!["2004", "Greece", "Athens"],
+                vec!["2008", "China", "Shanghai"],
+                vec!["2012", "UK", "London"],
+                vec!["2016", "Brazil", "Rio de Janeiro"],
+            ],
+        )
+        .unwrap();
+        assert_eq!(a.fingerprint(), edited.fingerprint());
+        assert_ne!(a.content_fingerprint(), edited.content_fingerprint());
+        // It survives the serde roundtrip (recomputed, never serialized).
+        let restored = Table::from_value(&a.to_value()).unwrap();
+        assert_eq!(restored.content_fingerprint(), a.content_fingerprint());
     }
 
     #[test]

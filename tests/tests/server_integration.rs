@@ -436,8 +436,14 @@ fn registry_and_stats_surfaces_reflect_the_serving_state() {
         after.server.dispatch_threads >= after.server.max_in_flight,
         "{after:?}"
     );
-    // The client-visible engine snapshot is the engine's own.
-    assert_eq!(after.engine, engine.stats());
+    // The client-visible engine snapshot is the engine's own, plus the
+    // serving layer's answer-cache counters (both questions were cold, so
+    // each registered one miss and one insertion).
+    let mut expected = engine.stats();
+    expected.answer_cache = after.engine.answer_cache.clone();
+    assert_eq!(after.engine, expected);
+    assert_eq!(after.engine.answer_cache.misses, 2, "{after:?}");
+    assert_eq!(after.engine.answer_cache.insertions, 2, "{after:?}");
     handle.shutdown();
 }
 
