@@ -1,6 +1,12 @@
 //! End-to-end candidate throughput: questions/second through the full
 //! lexicon → candidate generation → feature extraction → scoring pipeline,
 //! the serving-path number the ROADMAP's questions-per-second goal tracks.
+//!
+//! Three cases: the historical per-question `parse` (fresh index per call,
+//! tracked across PRs), the session path with interned features and a
+//! reused scratch (the deployment configuration), and the string-keyed
+//! reference pipeline on identical sessions — the interned-vs-reference
+//! pair is the headline speedup of the feature-interning rework.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use rand::SeedableRng;
@@ -8,7 +14,9 @@ use rand_chacha::ChaCha8Rng;
 use std::time::Duration;
 
 use wtq_bench::EXPERIMENT_SEED;
-use wtq_parser::SemanticParser;
+use wtq_dcs::Evaluator;
+use wtq_parser::reference::{parse_in_session_reference, ReferenceModel};
+use wtq_parser::{ScratchSpace, SemanticParser};
 
 fn bench_candidate_throughput(c: &mut Criterion) {
     let mut rng = ChaCha8Rng::seed_from_u64(EXPERIMENT_SEED);
@@ -39,6 +47,32 @@ fn bench_candidate_throughput(c: &mut Criterion) {
             }
         })
     });
+    // The session path (interned features, reused scratch) against the
+    // string-keyed reference over identical warm evaluator sessions.
+    let evaluators: Vec<Evaluator<'_>> = pairs
+        .iter()
+        .map(|(_, table)| Evaluator::new(table))
+        .collect();
+    let mut scratch = ScratchSpace::new();
+    group.bench_function(format!("session_parse_{}_questions", pairs.len()), |b| {
+        b.iter(|| {
+            for ((question, _), evaluator) in pairs.iter().zip(&evaluators) {
+                let _ = parser.parse_in_session_with(question, evaluator, &mut scratch);
+            }
+        })
+    });
+    let reference = ReferenceModel::from_model(&parser.model);
+    group.bench_function(
+        format!("reference_session_parse_{}_questions", pairs.len()),
+        |b| {
+            b.iter(|| {
+                for ((question, _), evaluator) in pairs.iter().zip(&evaluators) {
+                    let _ =
+                        parse_in_session_reference(&reference, &parser.config, question, evaluator);
+                }
+            })
+        },
+    );
     group.finish();
 }
 

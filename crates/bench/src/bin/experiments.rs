@@ -8,14 +8,15 @@
 //! ```
 //!
 //! Sections: `table4`, `table5`, `table6`, `ksweep`, `table7`, `table9`,
-//! `figures`, `gallery`, `operators`, `examples`, `exec`, `serve`,
-//! `cache`. With no argument every section is produced.
+//! `figures`, `gallery`, `operators`, `examples`, `exec`, `parse`,
+//! `serve`, `cache`. With no argument every section is produced.
 //!
 //! `--exec-json [path]` additionally writes the execution-layer report
 //! (indexed vs scan timings, candidate throughput, cache statistics, and —
-//! when the `serve` / `cache` sections ran — the loopback serving latency
-//! percentiles under `serving` and the Zipfian answer-cache replay under
-//! `caching`) as machine-readable JSON — `BENCH_exec.json` by default.
+//! when the `parse` / `serve` / `cache` sections ran — the parse-stage
+//! breakdown under `parsing`, the loopback serving latency percentiles
+//! under `serving` and the Zipfian answer-cache replay under `caching`) as
+//! machine-readable JSON — `BENCH_exec.json` by default.
 
 use wtq_bench::{
     environment, k_sweep, raw_formula_control, table4, table5, table6, table7, table9,
@@ -381,6 +382,53 @@ fn main() {
             );
         }
         exec_report = Some(report);
+    }
+
+    if wanted("parse") {
+        heading("Parsing layer — interned features vs string-keyed reference");
+        let parsing = wtq_bench::parse::parsing_report(8);
+        println!(
+            "{} questions per operator workload, one warm evaluator session \
+             per workload shared by both pipelines (interleaved medians):\n",
+            parsing.questions_per_workload
+        );
+        println!("| workload | family | reference µs/q | interned µs/q | speedup |");
+        println!("|---|---|---|---|---|");
+        for case in parsing.cases.iter() {
+            println!(
+                "| {} | {} | {:.1} | {:.1} | {:.1}× |",
+                case.name, case.family, case.reference_us, case.interned_us, case.speedup
+            );
+        }
+        println!(
+            "\nAggregate: {:.0} questions/s interned vs {:.0} questions/s \
+             string-keyed ({:.1}×).",
+            parsing.interned_qps, parsing.reference_qps, parsing.speedup
+        );
+        let stages = &parsing.stages;
+        println!(
+            "\nInterned-pipeline stage breakdown over {} parses (µs/question):\n",
+            stages.questions
+        );
+        println!("| stage | µs/question | share |");
+        println!("|---|---|---|");
+        for (name, us) in [
+            ("tokenize", stages.tokenize_us),
+            ("lexicon", stages.lexicon_us),
+            ("candidates", stages.candidates_us),
+            ("eval", stages.eval_us),
+            ("features", stages.features_us),
+            ("score", stages.score_us),
+        ] {
+            println!(
+                "| {name} | {:.1} | {:.1}% |",
+                us,
+                100.0 * us / stages.total_us.max(1e-9)
+            );
+        }
+        if let Some(report) = exec_report.as_mut() {
+            report.parsing = Some(parsing);
+        }
     }
 
     if wanted("serve") {

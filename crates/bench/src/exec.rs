@@ -103,10 +103,14 @@ pub struct ExecReport {
     /// (`experiments --section cache`); absent when that section was not
     /// run.
     pub caching: Option<crate::cache::CachingReport>,
+    /// Parse-pipeline stage breakdown and interned-vs-string-keyed feature
+    /// comparison (`experiments --section parse`); absent when that section
+    /// was not run.
+    pub parsing: Option<crate::parse::ParsingReport>,
 }
 
 /// Time `f` repeatedly within a small budget; mean µs per call.
-fn time_us<F: FnMut()>(mut f: F) -> f64 {
+pub(crate) fn time_us<F: FnMut()>(mut f: F) -> f64 {
     // One warm-up call calibrates the iteration count.
     let start = Instant::now();
     f();
@@ -125,13 +129,13 @@ fn time_us<F: FnMut()>(mut f: F) -> f64 {
 /// drift hits all variants alike instead of whichever was measured last.
 const MEASURE_ROUNDS: usize = 5;
 
-fn median(mut samples: Vec<f64>) -> f64 {
+pub(crate) fn median(mut samples: Vec<f64>) -> f64 {
     samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
     samples[samples.len() / 2]
 }
 
 /// Median µs per call for each variant, sampled in interleaved rounds.
-fn interleaved_us(fns: &mut [&mut dyn FnMut()]) -> Vec<f64> {
+pub(crate) fn interleaved_us(fns: &mut [&mut dyn FnMut()]) -> Vec<f64> {
     let mut samples = vec![Vec::with_capacity(MEASURE_ROUNDS); fns.len()];
     for _ in 0..MEASURE_ROUNDS {
         for (slot, f) in samples.iter_mut().zip(fns.iter_mut()) {
@@ -311,6 +315,7 @@ pub fn exec_report(rows: usize, questions: usize) -> ExecReport {
         serving: None,
         idle_serving: None,
         caching: None,
+        parsing: None,
     }
 }
 

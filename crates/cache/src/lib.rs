@@ -31,7 +31,7 @@
 //! Every decision is counted ([`CacheStats`]) so serving layers can expose
 //! hit rate, collapse effectiveness, evictions and resident bytes.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
@@ -149,12 +149,26 @@ struct Entry<V> {
     last_used: u64,
 }
 
-/// One shard: a plain map with O(n)-scan LRU eviction. Shard capacities
-/// are small (total / shards), so the scan stays cheap and avoids a linked
-/// list's unsafe bookkeeping.
+/// One shard: the entry map plus an eviction-ordered recency index. Use
+/// stamps come from the cache-wide monotonic clock, so they are unique and
+/// `by_recency.iter().next()` is always the least-recently-used key —
+/// eviction is O(log n) instead of the previous full-shard min-scan, and a
+/// safe ordered map avoids a linked list's unsafe bookkeeping.
 struct Shard<V> {
     entries: HashMap<CacheKey, Entry<V>>,
+    /// `last_used` stamp → key, mirrored with `entries` under the shard
+    /// lock. The first entry is the eviction victim.
+    by_recency: BTreeMap<u64, CacheKey>,
     capacity: usize,
+}
+
+impl<V> Shard<V> {
+    /// Remove `key` from both maps, keeping the recency index in sync.
+    fn remove(&mut self, key: &CacheKey) -> Option<Entry<V>> {
+        let entry = self.entries.remove(key)?;
+        self.by_recency.remove(&entry.last_used);
+        Some(entry)
+    }
 }
 
 /// State of one in-flight computation.
@@ -255,6 +269,7 @@ impl<V> AnswerCache<V> {
                 .map(|_| {
                     Mutex::new(Shard {
                         entries: HashMap::new(),
+                        by_recency: BTreeMap::new(),
                         capacity: per_shard,
                     })
                 })
@@ -325,14 +340,16 @@ impl<V> AnswerCache<V> {
             Some(_) => {
                 let stamp = self.clock.fetch_add(1, Ordering::Relaxed);
                 let entry = shard.entries.get_mut(key).expect("entry just seen");
-                entry.last_used = stamp;
+                let previous_stamp = std::mem::replace(&mut entry.last_used, stamp);
                 let value = entry.value.clone();
+                shard.by_recency.remove(&previous_stamp);
+                shard.by_recency.insert(stamp, key.clone());
                 self.counters.hits.fetch_add(1, Ordering::Relaxed);
                 return Some(value);
             }
         };
         if let Some(counter) = drop_reason {
-            let removed = shard.entries.remove(key).expect("entry just seen");
+            let removed = shard.remove(key).expect("entry just seen");
             counter.fetch_add(1, Ordering::Relaxed);
             self.note_removed(&removed);
         }
@@ -358,6 +375,15 @@ impl<V> AnswerCache<V> {
                 match flights.get(key) {
                     Some(flight) => flight.clone(),
                     None => {
+                        // A leader may have completed between our miss
+                        // above and this lock: `complete()` inserts into
+                        // the cache *before* removing its flight under
+                        // this mutex, so if the flight is gone the entry
+                        // is visible — re-check before leading a
+                        // duplicate computation.
+                        if let Some(value) = self.probe(key) {
+                            return Begin::Hit(value);
+                        }
                         let flight = Arc::new(Flight {
                             state: Mutex::new(FlightState::Pending),
                             done: Condvar::new(),
@@ -400,17 +426,17 @@ impl<V> AnswerCache<V> {
         let shared = Arc::new(value);
         let stamp = self.clock.fetch_add(1, Ordering::Relaxed);
         let mut shard = self.shard(key).lock().expect("cache shard poisoned");
-        if let Some(previous) = shard.entries.remove(key) {
+        if let Some(previous) = shard.remove(key) {
             self.note_removed(&previous);
         }
         while shard.entries.len() >= shard.capacity {
             let oldest = shard
-                .entries
+                .by_recency
                 .iter()
-                .min_by_key(|(_, entry)| entry.last_used)
-                .map(|(key, _)| key.clone())
+                .next()
+                .map(|(_, key)| key.clone())
                 .expect("non-empty shard");
-            let removed = shard.entries.remove(&oldest).expect("oldest entry");
+            let removed = shard.remove(&oldest).expect("oldest entry");
             self.counters.evictions_lru.fetch_add(1, Ordering::Relaxed);
             self.note_removed(&removed);
         }
@@ -424,6 +450,7 @@ impl<V> AnswerCache<V> {
                 last_used: stamp,
             },
         );
+        shard.by_recency.insert(stamp, key.clone());
         self.counters.insertions.fetch_add(1, Ordering::Relaxed);
         self.counters.entries.fetch_add(1, Ordering::Relaxed);
         self.counters
@@ -559,6 +586,33 @@ mod tests {
         assert_eq!(stats.evictions_lru, 1);
         assert_eq!(stats.entries, 2);
         assert_eq!(stats.bytes, 20);
+    }
+
+    #[test]
+    fn eviction_follows_recency_under_touch_and_overwrite_churn() {
+        let cache: AnswerCache<u32> = AnswerCache::new(CacheConfig {
+            capacity: 4,
+            ttl: None,
+            shards: 1,
+        });
+        for (i, q) in ["a", "b", "c", "d"].iter().enumerate() {
+            cache.insert(&key(1, q), i as u32, 1);
+        }
+        // Touch "a" and "b", refresh "c" by overwriting it: "d" is the LRU.
+        assert!(cache.lookup(&key(1, "a")).is_some());
+        assert!(cache.lookup(&key(1, "b")).is_some());
+        cache.insert(&key(1, "c"), 9, 1);
+        cache.insert(&key(1, "e"), 4, 1);
+        assert!(cache.lookup(&key(1, "d")).is_none(), "d was the LRU entry");
+        // The survivors were all just touched; "e" is now the LRU.
+        assert!(cache.lookup(&key(1, "a")).is_some());
+        assert!(cache.lookup(&key(1, "b")).is_some());
+        assert_eq!(*cache.lookup(&key(1, "c")).expect("refreshed"), 9);
+        cache.insert(&key(1, "f"), 5, 1);
+        assert!(cache.lookup(&key(1, "e")).is_none(), "e was the LRU entry");
+        let stats = cache.stats();
+        assert_eq!(stats.evictions_lru, 2);
+        assert_eq!(stats.entries, 4);
     }
 
     #[test]

@@ -120,6 +120,10 @@ pub struct EngineStats {
     /// SQL planner decision counters (process-wide): scan vs index vs
     /// columnar-kernel choices and estimated vs actual selectivity.
     pub planner: wtq_sql::PlannerStats,
+    /// Parse-pipeline stage timings (process-wide): tokenize, lexicon,
+    /// candidate composition, formula execution, feature extraction and
+    /// scoring spans per question.
+    pub parsing: wtq_parser::ParseStats,
     /// Deduplicating answer-cache counters, populated when the engine is
     /// served through a [`crate::CachedEngine`]; all-zero on a bare engine
     /// (which has no answer cache).
@@ -229,6 +233,7 @@ impl Engine {
             batches_served: self.counters.batches_served.load(Ordering::Relaxed),
             in_flight: self.counters.in_flight.load(Ordering::Relaxed),
             planner: wtq_sql::planner_stats(),
+            parsing: wtq_parser::parse_stats(),
             answer_cache: wtq_cache::CacheStats::default(),
         }
     }
@@ -262,6 +267,7 @@ impl Engine {
         Session {
             parser: &self.parser,
             evaluator: Evaluator::with_index(table, self.index_for(table)),
+            scratch: std::cell::RefCell::new(wtq_parser::ScratchSpace::new()),
         }
     }
 
@@ -380,6 +386,9 @@ impl Engine {
 pub struct Session<'a> {
     parser: &'a SemanticParser,
     evaluator: Evaluator<'a>,
+    /// Reusable parse working buffers — allocated once per session, reused
+    /// by every question it answers (another reason sessions are not `Sync`).
+    scratch: std::cell::RefCell<wtq_parser::ScratchSpace>,
 }
 
 impl<'a> Session<'a> {
@@ -402,7 +411,8 @@ impl<'a> Session<'a> {
     /// Parse a question into ranked candidates, sharing this session's
     /// index and denotation memos.
     pub fn parse(&self, question: &str) -> Vec<Candidate> {
-        self.parser.parse_in_session(question, &self.evaluator)
+        self.parser
+            .parse_in_session_with(question, &self.evaluator, &mut self.scratch.borrow_mut())
     }
 
     /// Parse `question` and explain the top-k candidates (utterance, SQL

@@ -295,6 +295,30 @@ impl Formula {
         out
     }
 
+    /// Visit every sub-formula of `self` including `self`, pre-order, without
+    /// allocating the intermediate vectors [`Formula::sub_formulas`] builds —
+    /// the traversal used on per-candidate hot paths (feature extraction).
+    pub fn visit(&self, f: &mut impl FnMut(&Formula)) {
+        f(self);
+        match self {
+            Formula::Const(_) | Formula::AllRecords => {}
+            Formula::Join { values: sub, .. }
+            | Formula::CompareJoin { value: sub, .. }
+            | Formula::ColumnValues { records: sub, .. }
+            | Formula::Prev(sub)
+            | Formula::Next(sub)
+            | Formula::Aggregate { sub, .. }
+            | Formula::SuperlativeRecords { records: sub, .. }
+            | Formula::RecordIndexSuperlative { records: sub, .. }
+            | Formula::MostCommonValue { values: sub, .. }
+            | Formula::CompareValues { values: sub, .. } => sub.visit(f),
+            Formula::Intersect(a, b) | Formula::Union(a, b) | Formula::Sub(a, b) => {
+                a.visit(f);
+                b.visit(f);
+            }
+        }
+    }
+
     /// Column headers mentioned anywhere in the formula (projected, selected,
     /// aggregated or used as a superlative key) — the columns contributing to
     /// `P_C` (Equation 3).

@@ -10,6 +10,7 @@
 //! stays fast.
 
 use std::collections::HashSet;
+use std::time::Instant;
 
 use wtq_dcs::{typecheck, AggregateOp, Answer, CompareOp, Evaluator, Formula, SuperlativeOp};
 use wtq_table::Table;
@@ -67,6 +68,18 @@ pub fn generate_candidates_with(
     analysis: &QuestionAnalysis,
     evaluator: &Evaluator<'_>,
     config: &CandidateConfig,
+) -> Vec<RawCandidate> {
+    generate_candidates_timed(analysis, evaluator, config, &mut 0)
+}
+
+/// Like [`generate_candidates_with`], but accumulates the time spent inside
+/// `evaluator.eval` calls into `eval_ns`, so the parse pipeline can report
+/// formula execution separately from candidate composition.
+pub(crate) fn generate_candidates_timed(
+    analysis: &QuestionAnalysis,
+    evaluator: &Evaluator<'_>,
+    config: &CandidateConfig,
+    eval_ns: &mut u64,
 ) -> Vec<RawCandidate> {
     let table = evaluator.table();
     let links = analysis.top_value_links(config.max_value_links);
@@ -157,7 +170,10 @@ pub fn generate_candidates_with(
         if live_bases.len() >= config.max_record_bases {
             break;
         }
-        if let Ok(denotation) = evaluator.eval(&base) {
+        let eval_start = Instant::now();
+        let result = evaluator.eval(&base);
+        *eval_ns += eval_start.elapsed().as_nanos() as u64;
+        if let Ok(denotation) = result {
             if !denotation.is_empty() {
                 live_bases.push(base);
             }
@@ -167,6 +183,7 @@ pub fn generate_candidates_with(
     // ----- Value- and number-denoting candidates ---------------------------------
     let mut seen: HashSet<Formula> = HashSet::new();
     let mut out: Vec<RawCandidate> = Vec::new();
+    let push_eval_ns = std::cell::Cell::new(0u64);
     let push = |formula: Formula, out: &mut Vec<RawCandidate>, seen: &mut HashSet<Formula>| {
         if out.len() >= config.max_candidates || seen.contains(&formula) {
             return;
@@ -174,7 +191,10 @@ pub fn generate_candidates_with(
         if typecheck(&formula).is_err() {
             return;
         }
-        let Ok(denotation) = evaluator.eval(&formula) else {
+        let eval_start = Instant::now();
+        let result = evaluator.eval(&formula);
+        push_eval_ns.set(push_eval_ns.get() + eval_start.elapsed().as_nanos() as u64);
+        let Ok(denotation) = result else {
             return;
         };
         if denotation.is_empty() {
@@ -305,6 +325,7 @@ pub fn generate_candidates_with(
         }
     }
 
+    *eval_ns += push_eval_ns.get();
     out
 }
 

@@ -1,6 +1,6 @@
-//! Feature extraction `φ(x, T, z)` (Eq. 4).
+//! Feature extraction `φ(x, T, z)` (Eq. 4), over interned feature ids.
 //!
-//! Features are sparse name → value pairs combining three signal sources, in
+//! Features are sparse id → value pairs combining three signal sources, in
 //! the style of the log-linear parsers the paper builds on:
 //!
 //! * **formula shape** — which operators the candidate uses, its size,
@@ -10,344 +10,389 @@
 //!   agree with the operators used,
 //! * **denotation** — the type and size of the candidate's answer, matched
 //!   against the question's wh-words.
+//!
+//! The hot path is engineered around two invariants:
+//!
+//! * a [`FeatureVec`] is a `Vec<(FeatureId, f64)>` sorted by id, and static
+//!   ids are assigned in name order ([`crate::symbols`]), so iterating it
+//!   reproduces the old `BTreeMap<String, f64>` iteration order exactly —
+//!   dot products sum in the same sequence and scores stay bit-identical to
+//!   [`crate::reference::extract_features_reference`];
+//! * everything that depends only on the *question* (trigger phrase hits,
+//!   wh-word expectations, link texts, column mentions) is computed once per
+//!   question in a [`QuestionContext`] and shared by every candidate,
+//!   instead of being re-derived per candidate as it historically was.
+//!
+//! A single [`Formula::visit`] walk per candidate replaces the historical
+//! ~9 allocating `sub_formulas()` traversals.
 
 use std::collections::BTreeMap;
 
 use wtq_dcs::{AggregateOp, Answer, Formula, SuperlativeOp};
-use wtq_table::Table;
+use wtq_table::{Table, Value};
 
 use crate::candidates::RawCandidate;
 use crate::lexicon::QuestionAnalysis;
+use crate::symbols::{
+    family_id, op_id, root_index, scalar_id, trig_id, FeatureId, Scalar, TrigSlot, NUM_ROOTS,
+    NUM_TRIGGERS, TRIGGER_PHRASES, WANTS_NUMBER_PHRASES,
+};
 
-/// A sparse feature vector.
-pub type FeatureVector = BTreeMap<String, f64>;
-
-fn bump(features: &mut FeatureVector, name: &str, delta: f64) {
-    *features.entry(name.to_string()).or_insert(0.0) += delta;
+/// A sparse feature vector: `(FeatureId, f64)` pairs sorted by id.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FeatureVec {
+    entries: Vec<(FeatureId, f64)>,
 }
 
-fn set(features: &mut FeatureVector, name: &str, value: f64) {
-    features.insert(name.to_string(), value);
-}
+impl FeatureVec {
+    /// An empty feature vector.
+    pub fn new() -> FeatureVec {
+        FeatureVec::default()
+    }
 
-/// Root operator label used for the `family:` feature.
-fn root_label(formula: &Formula) -> &'static str {
-    match formula {
-        Formula::Const(_) => "const",
-        Formula::AllRecords => "all_records",
-        Formula::Join { .. } => "join",
-        Formula::CompareJoin { .. } => "compare_join",
-        Formula::ColumnValues { .. } => "column_values",
-        Formula::Prev(_) => "prev",
-        Formula::Next(_) => "next",
-        Formula::Intersect(_, _) => "intersect",
-        Formula::Union(_, _) => "union",
-        Formula::Aggregate {
-            op: AggregateOp::Count,
-            ..
-        } => "count",
-        Formula::Aggregate { .. } => "aggregate",
-        Formula::SuperlativeRecords { .. } => "superlative",
-        Formula::RecordIndexSuperlative { .. } => "index_superlative",
-        Formula::MostCommonValue { .. } => "most_common",
-        Formula::CompareValues { .. } => "compare_values",
-        Formula::Sub(_, _) => "difference",
+    /// Build from unsorted pairs: stable-sorts by id and merges duplicate
+    /// ids by summing their values in push order (the semantics of the old
+    /// `bump` accumulation). `pairs` is drained but keeps its capacity, so
+    /// callers can reuse it as a scratch buffer.
+    pub fn from_pairs(pairs: &mut Vec<(FeatureId, f64)>) -> FeatureVec {
+        pairs.sort_by_key(|(id, _)| *id);
+        let mut entries: Vec<(FeatureId, f64)> = Vec::with_capacity(pairs.len());
+        for &(id, value) in pairs.iter() {
+            match entries.last_mut() {
+                Some((last, total)) if *last == id => *total += value,
+                _ => entries.push((id, value)),
+            }
+        }
+        pairs.clear();
+        FeatureVec { entries }
+    }
+
+    /// The `(id, value)` pairs in ascending id order.
+    pub fn iter(&self) -> std::slice::Iter<'_, (FeatureId, f64)> {
+        self.entries.iter()
+    }
+
+    /// Number of present features.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no features are present.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The value of a feature by id.
+    pub fn value(&self, id: FeatureId) -> Option<f64> {
+        self.entries
+            .binary_search_by_key(&id, |(i, _)| *i)
+            .ok()
+            .map(|index| self.entries[index].1)
+    }
+
+    /// The value of a feature by name (test/debug convenience).
+    pub fn get(&self, name: &str) -> Option<f64> {
+        crate::symbols::lookup(name).and_then(|id| self.value(id))
+    }
+
+    /// Dot product against a dense weight vector indexed by feature id.
+    /// Ids beyond the dense vector's length weigh zero. Terms are summed in
+    /// id order — which is name order — matching the reference walk.
+    pub fn dot_dense(&self, weights: &[f64]) -> f64 {
+        self.entries
+            .iter()
+            .map(|&(id, value)| value * weights.get(id.index()).copied().unwrap_or(0.0))
+            .sum()
+    }
+
+    /// Merge-walk dot product against another sparse vector (both sorted by
+    /// id), for sparse-sparse scoring without densification.
+    pub fn dot_sparse(&self, other: &FeatureVec) -> f64 {
+        let (mut i, mut j) = (0usize, 0usize);
+        let mut total = 0.0;
+        while i < self.entries.len() && j < other.entries.len() {
+            let (a, av) = self.entries[i];
+            let (b, bv) = other.entries[j];
+            match a.cmp(&b) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    total += av * bv;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        total
+    }
+
+    /// The vector as a name-keyed map (diagnostics and differential tests).
+    pub fn to_named(&self) -> BTreeMap<String, f64> {
+        self.entries
+            .iter()
+            .map(|&(id, value)| (crate::symbols::feature_name(id), value))
+            .collect()
     }
 }
 
-fn operators_used(formula: &Formula) -> Vec<&'static str> {
-    formula
-        .sub_formulas()
-        .iter()
-        .map(|f| root_label(f))
-        .collect()
+/// Everything about the *question* that feature extraction needs, computed
+/// once per question instead of once per candidate: trigger-phrase hits,
+/// the numeric-answer expectation, lowered value-link texts, rendered
+/// number literals and per-column mention flags.
+#[derive(Debug, Clone)]
+pub struct QuestionContext {
+    triggered: [bool; NUM_TRIGGERS],
+    wants_number: bool,
+    link_texts: Vec<String>,
+    number_texts: Vec<String>,
+    /// `(header, header appears in the lowered question)` per table column.
+    columns: Vec<(String, bool)>,
 }
 
-/// Constants appearing anywhere in the formula, rendered as lower-case text.
-fn constants_of(formula: &Formula) -> Vec<String> {
-    formula
-        .sub_formulas()
-        .iter()
-        .filter_map(|f| match f {
-            Formula::Const(value) => Some(value.to_string().to_lowercase()),
-            _ => None,
-        })
-        .collect()
+impl QuestionContext {
+    /// Precompute the question-level feature signals for one analysis.
+    pub fn new(analysis: &QuestionAnalysis, table: &Table) -> QuestionContext {
+        let mut triggered = [false; NUM_TRIGGERS];
+        for (slot, phrases) in triggered.iter_mut().zip(TRIGGER_PHRASES.iter()) {
+            *slot = analysis.mentions_any(phrases);
+        }
+        QuestionContext {
+            triggered,
+            wants_number: analysis.mentions_any(&WANTS_NUMBER_PHRASES),
+            link_texts: analysis
+                .value_links
+                .iter()
+                .map(|link| link.value.to_string().to_lowercase())
+                .collect(),
+            number_texts: analysis
+                .numbers
+                .iter()
+                .map(|n| Value::Num(*n).to_string())
+                .collect(),
+            columns: (0..table.num_columns())
+                .map(|column| {
+                    let header = table.column_name(column).to_string();
+                    let mentioned = analysis.lowered.contains(&header.to_lowercase());
+                    (header, mentioned)
+                })
+                .collect(),
+        }
+    }
+
+    /// Whether `column` (a header as mentioned by a formula) appears in the
+    /// question. Falls back to a direct substring test for names that are
+    /// not table headers (hand-written formulas), preserving the historical
+    /// per-candidate semantics.
+    fn column_mentioned(&self, analysis: &QuestionAnalysis, column: &str) -> bool {
+        self.columns
+            .iter()
+            .find(|(header, _)| header == column)
+            .map(|(_, mentioned)| *mentioned)
+            .unwrap_or_else(|| analysis.lowered.contains(&column.to_lowercase()))
+    }
 }
 
-/// Extract the feature vector of one candidate.
+/// Operator usage collected by the single formula walk.
+#[derive(Debug, Default)]
+struct WalkFacts {
+    op_counts: [u32; NUM_ROOTS],
+    max_aggregate: bool,
+    min_aggregate: bool,
+    sum: bool,
+    avg: bool,
+    argmax: bool,
+    argmin: bool,
+    last: bool,
+    first: bool,
+}
+
+impl WalkFacts {
+    fn size(&self) -> u32 {
+        self.op_counts.iter().sum()
+    }
+
+    fn has(&self, root: usize) -> bool {
+        self.op_counts[root] > 0
+    }
+}
+
+/// Extract the feature vector of one candidate (fresh per-question context
+/// and scratch — the convenience entry point; hot loops use
+/// [`extract_features_in`] with a shared [`QuestionContext`]).
 pub fn extract_features(
     analysis: &QuestionAnalysis,
     table: &Table,
     candidate: &RawCandidate,
-) -> FeatureVector {
-    let mut features = FeatureVector::new();
+) -> FeatureVec {
+    let context = QuestionContext::new(analysis, table);
+    extract_features_in(
+        analysis,
+        &context,
+        candidate,
+        &mut Vec::new(),
+        &mut Vec::new(),
+    )
+}
+
+/// Extract the feature vector of one candidate, reusing the question-level
+/// `context` and the caller's scratch buffers (`pairs` for the unsorted
+/// feature pairs, `constants` for the formula's lowered constants; both are
+/// cleared before use and drained after).
+pub fn extract_features_in(
+    analysis: &QuestionAnalysis,
+    context: &QuestionContext,
+    candidate: &RawCandidate,
+    pairs: &mut Vec<(FeatureId, f64)>,
+    constants: &mut Vec<String>,
+) -> FeatureVec {
+    pairs.clear();
+    constants.clear();
     let formula = &candidate.formula;
 
-    // ---- Formula shape -----------------------------------------------------
-    set(
-        &mut features,
-        &format!("family:{}", root_label(formula)),
-        1.0,
-    );
-    let operators = operators_used(formula);
-    for op in &operators {
-        bump(&mut features, &format!("op:{op}"), 1.0);
+    // ---- Formula shape (one pre-order walk) ---------------------------------
+    let mut facts = WalkFacts::default();
+    formula.visit(&mut |sub| {
+        facts.op_counts[root_index(sub)] += 1;
+        match sub {
+            Formula::Const(value) => constants.push(value.to_string().to_lowercase()),
+            Formula::Aggregate { op, .. } => match op {
+                AggregateOp::Max => facts.max_aggregate = true,
+                AggregateOp::Min => facts.min_aggregate = true,
+                AggregateOp::Sum => facts.sum = true,
+                AggregateOp::Avg => facts.avg = true,
+                AggregateOp::Count => {}
+            },
+            Formula::SuperlativeRecords { op, .. } | Formula::CompareValues { op, .. } => {
+                match op {
+                    SuperlativeOp::Argmax => facts.argmax = true,
+                    SuperlativeOp::Argmin => facts.argmin = true,
+                }
+            }
+            Formula::RecordIndexSuperlative { op, .. } => match op {
+                SuperlativeOp::Argmax => facts.last = true,
+                SuperlativeOp::Argmin => facts.first = true,
+            },
+            _ => {}
+        }
+    });
+    pairs.push((family_id(root_index(formula)), 1.0));
+    for (root, &count) in facts.op_counts.iter().enumerate() {
+        if count > 0 {
+            // The reference bumps `op:{label}` by 1.0 per occurrence; small
+            // integer sums are exact, so emitting the count is identical.
+            pairs.push((op_id(root), count as f64));
+        }
     }
-    set(&mut features, "size", formula.size() as f64 / 8.0);
+    pairs.push((scalar_id(Scalar::Size), facts.size() as f64 / 8.0));
 
     // ---- Question / formula alignment ---------------------------------------
-    let constants = constants_of(formula);
     let mut grounded = 0usize;
-    for constant in &constants {
-        if analysis.lowered.contains(constant)
-            || analysis
-                .numbers
-                .iter()
-                .any(|n| wtq_table::Value::Num(*n).to_string() == *constant)
+    let mut ungrounded = 0usize;
+    for constant in constants.iter() {
+        if analysis.lowered.contains(constant.as_str())
+            || context.number_texts.iter().any(|text| text == constant)
         {
             grounded += 1;
         } else {
-            bump(&mut features, "const_not_in_question", 1.0);
+            ungrounded += 1;
         }
     }
+    if ungrounded > 0 {
+        pairs.push((scalar_id(Scalar::ConstNotInQuestion), ungrounded as f64));
+    }
     if !constants.is_empty() {
-        set(
-            &mut features,
-            "const_coverage",
+        pairs.push((
+            scalar_id(Scalar::ConstCoverage),
             grounded as f64 / constants.len() as f64,
-        );
+        ));
     }
     // Linked values the formula fails to use (a correct parse usually uses
     // every linked entity).
-    let unused_links = analysis
-        .value_links
+    let unused_links = context
+        .link_texts
         .iter()
-        .filter(|link| {
-            let text = link.value.to_string().to_lowercase();
-            !constants.iter().any(|c| c == &text)
-        })
+        .filter(|text| !constants.iter().any(|c| c == *text))
         .count();
-    set(&mut features, "unused_links", unused_links as f64);
+    pairs.push((scalar_id(Scalar::UnusedLinks), unused_links as f64));
 
     let mut columns_in_question = 0usize;
+    let mut columns_missing = 0usize;
     let mentioned_columns = formula.columns_mentioned();
     for column in &mentioned_columns {
-        if analysis.lowered.contains(&column.to_lowercase()) {
+        if context.column_mentioned(analysis, column) {
             columns_in_question += 1;
         } else {
-            bump(&mut features, "col_not_in_question", 1.0);
+            columns_missing += 1;
         }
     }
-    if !mentioned_columns.is_empty() {
-        set(
-            &mut features,
-            "col_coverage",
-            columns_in_question as f64 / mentioned_columns.len() as f64,
-        );
+    if columns_missing > 0 {
+        pairs.push((scalar_id(Scalar::ColNotInQuestion), columns_missing as f64));
     }
-    let _ = table;
+    if !mentioned_columns.is_empty() {
+        pairs.push((
+            scalar_id(Scalar::ColCoverage),
+            columns_in_question as f64 / mentioned_columns.len() as f64,
+        ));
+    }
 
     // ---- Trigger phrase / operator agreement --------------------------------
-    let triggers: &[(&str, &[&str])] = &[
-        (
-            "count",
-            &["how many", "number of", "how often", "how many times"],
-        ),
-        (
-            "difference",
-            &["difference", "how many more", "how much more", "more rows"],
-        ),
-        (
-            "aggregate_max",
-            &["highest", "most", "largest", "greatest", "maximum", "top"],
-        ),
-        (
-            "aggregate_min",
-            &["lowest", "least", "smallest", "fewest", "minimum", "bottom"],
-        ),
-        (
-            "sum",
-            &["total", "sum", "in total", "altogether", "combined"],
-        ),
-        ("avg", &["average", "mean"]),
-        ("prev", &["before", "above", "previous", "prior"]),
-        ("next", &["after", "below", "next", "following"]),
-        ("last", &["last", "latest", "final", "most recent"]),
-        ("first", &["first", "earliest"]),
-        (
-            "compare",
-            &[
-                "higher", "lower", "older", "younger", "bigger", "smaller", "longer", "shorter",
-            ],
-        ),
-        (
-            "most_common",
-            &[
-                "most common",
-                "appears the most",
-                "most frequent",
-                "most often",
-            ],
-        ),
-        ("union", &[" or "]),
-        ("intersect", &[" and also ", " both "]),
-        (
-            "comparison",
-            &[
-                "more than",
-                "less than",
-                "at least",
-                "at most",
-                "over",
-                "under",
-            ],
-        ),
+    // Kind indexes follow `symbols::TRIGGER_KINDS`.
+    let uses_agg_max = facts.max_aggregate || facts.argmax || facts.last;
+    let uses_agg_min = facts.min_aggregate || facts.argmin || facts.first;
+    let used: [bool; NUM_TRIGGERS] = [
+        facts.has(9),  // count
+        facts.has(15), // difference
+        uses_agg_max,  // aggregate_max
+        uses_agg_min,  // aggregate_min
+        facts.sum,
+        facts.avg,
+        facts.has(5),                                       // prev
+        facts.has(6),                                       // next
+        facts.last || facts.max_aggregate || facts.argmax,  // last
+        facts.first || facts.min_aggregate || facts.argmin, // first
+        facts.has(14),                                      // compare → compare_values
+        facts.has(13),                                      // most_common
+        facts.has(8),                                       // union
+        facts.has(7),                                       // intersect
+        facts.has(3),                                       // comparison → compare_join
     ];
-    let has_op = |name: &str| operators.contains(&name);
-    let uses_max_aggregate = formula.sub_formulas().iter().any(|f| {
-        matches!(
-            f,
-            Formula::Aggregate {
-                op: AggregateOp::Max,
-                ..
-            }
-        )
-    });
-    let uses_min_aggregate = formula.sub_formulas().iter().any(|f| {
-        matches!(
-            f,
-            Formula::Aggregate {
-                op: AggregateOp::Min,
-                ..
-            }
-        )
-    });
-    let uses_sum = formula.sub_formulas().iter().any(|f| {
-        matches!(
-            f,
-            Formula::Aggregate {
-                op: AggregateOp::Sum,
-                ..
-            }
-        )
-    });
-    let uses_avg = formula.sub_formulas().iter().any(|f| {
-        matches!(
-            f,
-            Formula::Aggregate {
-                op: AggregateOp::Avg,
-                ..
-            }
-        )
-    });
-    let uses_argmax = formula.sub_formulas().iter().any(|f| {
-        matches!(
-            f,
-            Formula::SuperlativeRecords {
-                op: SuperlativeOp::Argmax,
-                ..
-            } | Formula::CompareValues {
-                op: SuperlativeOp::Argmax,
-                ..
-            }
-        )
-    });
-    let uses_argmin = formula.sub_formulas().iter().any(|f| {
-        matches!(
-            f,
-            Formula::SuperlativeRecords {
-                op: SuperlativeOp::Argmin,
-                ..
-            } | Formula::CompareValues {
-                op: SuperlativeOp::Argmin,
-                ..
-            }
-        )
-    });
-    let uses_last = formula.sub_formulas().iter().any(|f| {
-        matches!(
-            f,
-            Formula::RecordIndexSuperlative {
-                op: SuperlativeOp::Argmax,
-                ..
-            }
-        )
-    });
-    let uses_first = formula.sub_formulas().iter().any(|f| {
-        matches!(
-            f,
-            Formula::RecordIndexSuperlative {
-                op: SuperlativeOp::Argmin,
-                ..
-            }
-        )
-    });
-    for (kind, phrases) in triggers {
-        let triggered = analysis.mentions_any(phrases);
-        let used = match *kind {
-            "count" => has_op("count"),
-            "difference" => has_op("difference"),
-            "aggregate_max" => uses_max_aggregate || uses_argmax || uses_last,
-            "aggregate_min" => uses_min_aggregate || uses_argmin || uses_first,
-            "sum" => uses_sum,
-            "avg" => uses_avg,
-            "prev" => has_op("prev"),
-            "next" => has_op("next"),
-            "last" => uses_last || uses_max_aggregate || uses_argmax,
-            "first" => uses_first || uses_min_aggregate || uses_argmin,
-            "compare" => has_op("compare_values"),
-            "most_common" => has_op("most_common"),
-            "union" => has_op("union"),
-            "intersect" => has_op("intersect"),
-            "comparison" => has_op("compare_join"),
-            _ => false,
-        };
-        match (triggered, used) {
-            (true, true) => bump(&mut features, &format!("trig+op:{kind}"), 1.0),
-            (true, false) => bump(&mut features, &format!("trig-op:{kind}"), 1.0),
-            (false, true) => bump(&mut features, &format!("op-trig:{kind}"), 1.0),
+    for (kind, &used_kind) in used.iter().enumerate() {
+        match (context.triggered[kind], used_kind) {
+            (true, true) => pairs.push((trig_id(TrigSlot::Agree, kind), 1.0)),
+            (true, false) => pairs.push((trig_id(TrigSlot::TriggeredUnused, kind), 1.0)),
+            (false, true) => pairs.push((trig_id(TrigSlot::UsedUntriggered, kind), 1.0)),
             (false, false) => {}
         }
     }
 
     // ---- Denotation features -------------------------------------------------
     match &candidate.answer {
-        Answer::Number(_) => set(&mut features, "answer:number", 1.0),
+        Answer::Number(_) => pairs.push((scalar_id(Scalar::AnswerNumber), 1.0)),
         Answer::Values(values) => {
-            set(&mut features, "answer:values", 1.0);
-            set(
-                &mut features,
-                "answer_size",
+            pairs.push((scalar_id(Scalar::AnswerValues), 1.0));
+            pairs.push((
+                scalar_id(Scalar::AnswerSize),
                 (values.len() as f64).min(6.0) / 6.0,
-            );
+            ));
             if values.len() == 1 {
-                set(&mut features, "answer:singleton", 1.0);
+                pairs.push((scalar_id(Scalar::AnswerSingleton), 1.0));
             }
             if values.iter().all(|v| v.as_number().is_some()) {
-                set(&mut features, "answer:numeric_values", 1.0);
+                pairs.push((scalar_id(Scalar::AnswerNumericValues), 1.0));
             }
         }
-        Answer::Records(_) => set(&mut features, "answer:records", 1.0),
+        Answer::Records(_) => pairs.push((scalar_id(Scalar::AnswerRecords), 1.0)),
     }
-    let wants_number = analysis.mentions_any(&["how many", "how much", "number of", "difference"]);
     let is_number = matches!(candidate.answer, Answer::Number(_));
-    match (wants_number, is_number) {
-        (true, true) => set(&mut features, "wh:number_match", 1.0),
-        (true, false) => set(&mut features, "wh:number_mismatch", 1.0),
-        (false, true) => set(&mut features, "wh:unexpected_number", 1.0),
+    match (context.wants_number, is_number) {
+        (true, true) => pairs.push((scalar_id(Scalar::WhNumberMatch), 1.0)),
+        (true, false) => pairs.push((scalar_id(Scalar::WhNumberMismatch), 1.0)),
+        (false, true) => pairs.push((scalar_id(Scalar::WhUnexpectedNumber), 1.0)),
         (false, false) => {}
     }
 
-    features
-}
-
-/// Dot product of a feature vector with a weight vector.
-pub fn dot(features: &FeatureVector, weights: &BTreeMap<String, f64>) -> f64 {
-    features
-        .iter()
-        .map(|(name, value)| value * weights.get(name).copied().unwrap_or(0.0))
-        .sum()
+    constants.clear();
+    FeatureVec::from_pairs(pairs)
 }
 
 #[cfg(test)]
@@ -355,6 +400,7 @@ mod tests {
     use super::*;
     use crate::candidates::{generate_candidates, CandidateConfig};
     use crate::lexicon::analyze_question;
+    use crate::reference::extract_features_reference;
     use wtq_dcs::parse_formula;
     use wtq_table::samples;
 
@@ -371,11 +417,12 @@ mod tests {
         let gold = candidate(&table, "max(R[Year].Country.Greece)");
         let features = extract_features(&analysis, &table, &gold);
         assert!(
-            features.contains_key("trig+op:last"),
-            "features: {features:?}"
+            features.get("trig+op:last").is_some(),
+            "features: {:?}",
+            features.to_named()
         );
-        assert_eq!(features.get("const_coverage"), Some(&1.0));
-        assert!(features.get("unused_links").copied().unwrap_or(9.0) < 1.0);
+        assert_eq!(features.get("const_coverage"), Some(1.0));
+        assert!(features.get("unused_links").unwrap_or(9.0) < 1.0);
     }
 
     #[test]
@@ -384,14 +431,8 @@ mod tests {
         let analysis = analyze_question("Greece held its last Olympics in what year?", &table);
         let wrong = candidate(&table, "max(R[Year].Country.China)");
         let features = extract_features(&analysis, &table, &wrong);
-        assert!(
-            features
-                .get("const_not_in_question")
-                .copied()
-                .unwrap_or(0.0)
-                >= 1.0
-        );
-        assert!(features.get("unused_links").copied().unwrap_or(0.0) >= 1.0);
+        assert!(features.get("const_not_in_question").unwrap_or(0.0) >= 1.0);
+        assert!(features.get("unused_links").unwrap_or(0.0) >= 1.0);
     }
 
     #[test]
@@ -404,15 +445,15 @@ mod tests {
         // A plain count ignores the "difference" trigger.
         let plain = candidate(&table, "count(Lake.\"Lake Huron\")");
         let features = extract_features(&analysis, &table, &plain);
-        assert!(features.contains_key("trig-op:difference"));
+        assert!(features.get("trig-op:difference").is_some());
         // The gold difference agrees with it.
         let gold = candidate(
             &table,
             "sub(count(Lake.\"Lake Huron\"), count(Lake.\"Lake Erie\"))",
         );
         let features = extract_features(&analysis, &table, &gold);
-        assert!(features.contains_key("trig+op:difference"));
-        assert!(features.contains_key("wh:number_match"));
+        assert!(features.get("trig+op:difference").is_some());
+        assert!(features.get("wh:number_match").is_some());
     }
 
     #[test]
@@ -427,18 +468,78 @@ mod tests {
         for candidate in &candidates {
             let features = extract_features(&analysis, &table, candidate);
             assert!(!features.is_empty());
-            assert!(features.values().all(|v| v.is_finite()));
+            assert!(features.iter().all(|(_, v)| v.is_finite()));
         }
     }
 
     #[test]
-    fn dot_product_uses_only_present_features() {
-        let mut features = FeatureVector::new();
-        features.insert("a".into(), 2.0);
-        features.insert("b".into(), -1.0);
-        let mut weights = BTreeMap::new();
-        weights.insert("a".to_string(), 0.5);
-        weights.insert("c".to_string(), 100.0);
-        assert_eq!(dot(&features, &weights), 1.0);
+    fn interned_features_match_the_string_keyed_reference() {
+        // The differential contract, checked here on the fixed sample suite
+        // (the proptest suite fuzzes it over random tables/questions): same
+        // names, and bit-identical values.
+        let cases = [
+            (
+                samples::olympics(),
+                "Greece held its last Olympics in what year?",
+            ),
+            (
+                samples::shipwrecks(),
+                "How many more ships were wrecked in Lake Huron than in Lake Erie?",
+            ),
+            (
+                samples::medals(),
+                "What is the difference in Total between Fiji and Tonga?",
+            ),
+        ];
+        for (table, question) in cases {
+            let analysis = analyze_question(question, &table);
+            let candidates = generate_candidates(&analysis, &table, &CandidateConfig::default());
+            assert!(!candidates.is_empty());
+            for candidate in &candidates {
+                let interned = extract_features(&analysis, &table, candidate).to_named();
+                let reference = extract_features_reference(&analysis, &table, candidate);
+                assert_eq!(
+                    interned.len(),
+                    reference.len(),
+                    "feature sets differ on {}",
+                    candidate.formula
+                );
+                for ((a_name, a_value), (b_name, b_value)) in interned.iter().zip(reference.iter())
+                {
+                    assert_eq!(a_name, b_name);
+                    assert_eq!(
+                        a_value.to_bits(),
+                        b_value.to_bits(),
+                        "{a_name} differs on {}",
+                        candidate.formula
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dot_products_use_only_present_features_and_match_reference() {
+        let table = samples::olympics();
+        let analysis = analyze_question("Greece held its last Olympics in what year?", &table);
+        let gold = candidate(&table, "max(R[Year].Country.Greece)");
+        let features = extract_features(&analysis, &table, &gold);
+        // Dense weights: 1.0 everywhere a feature exists plus a weight on a
+        // feature the vector does not contain.
+        let model = crate::model::LogLinearModel::with_prior();
+        let reference_weights = model.sorted_weights();
+        let dense_score = model.score(&features);
+        let reference_score = crate::reference::dot_reference(
+            &crate::reference::extract_features_reference(&analysis, &table, &gold),
+            &reference_weights,
+        );
+        assert_eq!(dense_score.to_bits(), reference_score.to_bits());
+        // Sparse-sparse merge walk agrees with the dense product.
+        let mut weight_pairs: Vec<(FeatureId, f64)> = reference_weights
+            .iter()
+            .map(|(name, value)| (crate::symbols::intern(name), *value))
+            .collect();
+        let sparse_weights = FeatureVec::from_pairs(&mut weight_pairs);
+        assert!((features.dot_sparse(&sparse_weights) - dense_score).abs() < 1e-12);
     }
 }

@@ -143,14 +143,30 @@ pub fn analyze_question(question: &str, table: &Table) -> QuestionAnalysis {
 /// Analyze a question against an existing knowledge-base view, reusing its
 /// shared table index instead of rebuilding it per question.
 pub fn analyze_question_with(question: &str, kb: &KnowledgeBase<'_>) -> QuestionAnalysis {
-    let table = kb.table();
+    let (lowered, tokens) = tokenize_stage(question);
+    link_stage(lowered, tokens, kb)
+}
+
+/// The tokenize stage of question analysis: canonicalize and tokenize.
+/// Split out so the parse pipeline can time it separately from linking.
+pub(crate) fn tokenize_stage(question: &str) -> (String, Vec<String>) {
     // Analysis runs on the canonical question: tokenization is invariant
     // under normalization, and `lowered` becoming the normalized text is
     // what makes answers a function of the normalized question — the
     // property answer caches rely on.
     let lowered = normalize_question(question);
     let tokens = tokenize(&lowered);
+    (lowered, tokens)
+}
 
+/// The entity-linking stage of question analysis: value links, column links
+/// and literal numbers against the knowledge-base view.
+pub(crate) fn link_stage(
+    lowered: String,
+    tokens: Vec<String>,
+    kb: &KnowledgeBase<'_>,
+) -> QuestionAnalysis {
+    let table = kb.table();
     // Column links: a column is linked when its full lower-cased header
     // appears as a phrase in the question.
     let mut column_links = Vec::new();

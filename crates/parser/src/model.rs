@@ -4,9 +4,18 @@
 //! `p_θ(z | x, T) ∝ exp(φ(x, T, z)ᵀ θ)`, over the candidates `Z_x` produced
 //! for a question. At deployment the candidates are ranked by score and the
 //! top-k are shown to the user with their explanations (§6.3).
+//!
+//! Weights are stored **densely**, indexed by [`FeatureId`]: scoring one
+//! candidate is a walk over its sorted feature pairs with direct slot loads
+//! instead of the historical per-feature B-tree string lookups. A parallel
+//! `present` bitmap remembers which features *exist* in the model (including
+//! explicit zeros the L1 regularizer shrank), so the serialized form — a
+//! name-keyed map — stays byte-identical to the original
+//! `BTreeMap<String, f64>` representation.
 
 use std::collections::BTreeMap;
 use std::sync::Arc;
+use std::time::Instant;
 
 use serde::{Deserialize, Serialize};
 
@@ -14,10 +23,13 @@ use wtq_dcs::{Answer, Evaluator, Formula};
 use wtq_table::{Table, TableIndex};
 
 use crate::candidates::{
-    generate_candidates, generate_candidates_with, CandidateConfig, RawCandidate,
+    generate_candidates, generate_candidates_timed, CandidateConfig, RawCandidate,
 };
-use crate::features::{dot, extract_features, FeatureVector};
-use crate::lexicon::{analyze_question, analyze_question_with, QuestionAnalysis};
+use crate::features::{extract_features_in, FeatureVec, QuestionContext};
+use crate::lexicon::{analyze_question, link_stage, tokenize_stage, QuestionAnalysis};
+use crate::scratch::ScratchSpace;
+use crate::stats::{record_parse, ParseSpans};
+use crate::symbols::{self, FeatureId, TRIGGER_KINDS};
 
 /// A scored candidate query.
 #[derive(Debug, Clone)]
@@ -27,15 +39,42 @@ pub struct Candidate {
     /// Its canonical answer on the table.
     pub answer: Answer,
     /// The extracted feature vector `φ(x, T, z)`.
-    pub features: FeatureVector,
+    pub features: FeatureVec,
     /// The model score `φᵀθ`.
     pub score: f64,
 }
 
-/// Log-linear model parameters `θ` (a sparse weight vector).
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+/// Log-linear model parameters `θ`: a dense weight vector indexed by
+/// [`FeatureId`], plus a presence bitmap tracking which features the model
+/// carries (zero-weight entries included — the historical sparse map kept
+/// L1-shrunk zeros, and serialization preserves them).
+#[derive(Debug, Clone, Default)]
 pub struct LogLinearModel {
+    weights: Vec<f64>,
+    present: Vec<bool>,
+}
+
+/// The serialized form of [`LogLinearModel`]: the original name-keyed map,
+/// so trained-model files are byte-compatible across the interning change.
+#[derive(Serialize, Deserialize)]
+struct LogLinearModelRepr {
     weights: BTreeMap<String, f64>,
+}
+
+impl Serialize for LogLinearModel {
+    fn to_value(&self) -> serde::Value {
+        LogLinearModelRepr {
+            weights: self.sorted_weights(),
+        }
+        .to_value()
+    }
+}
+
+impl Deserialize for LogLinearModel {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        let repr = LogLinearModelRepr::from_value(value)?;
+        Ok(LogLinearModel::from_named_weights(repr.weights))
+    }
 }
 
 impl LogLinearModel {
@@ -59,55 +98,92 @@ impl LogLinearModel {
             ("wh:unexpected_number", -0.4),
             ("size", -0.3),
         ] {
-            model.weights.insert(name.to_string(), weight);
+            model.set_weight(name, weight);
         }
-        for kind in [
-            "count",
-            "difference",
-            "aggregate_max",
-            "aggregate_min",
-            "sum",
-            "avg",
-            "prev",
-            "next",
-            "last",
-            "first",
-            "compare",
-            "most_common",
-            "union",
-            "intersect",
-            "comparison",
-        ] {
-            model.weights.insert(format!("trig+op:{kind}"), 1.0);
-            model.weights.insert(format!("trig-op:{kind}"), -0.6);
-            model.weights.insert(format!("op-trig:{kind}"), -0.6);
+        for kind in TRIGGER_KINDS {
+            model.set_weight(&format!("trig+op:{kind}"), 1.0);
+            model.set_weight(&format!("trig-op:{kind}"), -0.6);
+            model.set_weight(&format!("op-trig:{kind}"), -0.6);
         }
         model
     }
 
-    /// The weight of one feature.
+    /// A model from a name-keyed weight map (deserialization, migration).
+    pub fn from_named_weights(weights: BTreeMap<String, f64>) -> Self {
+        let mut model = LogLinearModel::new();
+        for (name, weight) in weights {
+            model.set_weight(&name, weight);
+        }
+        model
+    }
+
+    fn ensure_slot(&mut self, id: FeatureId) {
+        let index = id.index();
+        if index >= self.weights.len() {
+            self.weights.resize(index + 1, 0.0);
+            self.present.resize(index + 1, false);
+        }
+    }
+
+    /// The weight of one feature by name (zero when absent).
     pub fn weight(&self, name: &str) -> f64 {
-        self.weights.get(name).copied().unwrap_or(0.0)
+        symbols::lookup(name)
+            .map(|id| self.weight_by_id(id))
+            .unwrap_or(0.0)
     }
 
-    /// Mutable access to the weights (used by the trainer).
-    pub fn weights_mut(&mut self) -> &mut BTreeMap<String, f64> {
-        &mut self.weights
+    /// The weight of one feature by id (zero when absent).
+    pub fn weight_by_id(&self, id: FeatureId) -> f64 {
+        self.weights.get(id.index()).copied().unwrap_or(0.0)
     }
 
-    /// Read access to the weights.
-    pub fn weights(&self) -> &BTreeMap<String, f64> {
+    /// Set one feature's weight by name, interning the name if needed. The
+    /// feature becomes *present* (serialized even when the weight is zero).
+    pub fn set_weight(&mut self, name: &str, weight: f64) {
+        self.set_weight_by_id(symbols::intern(name), weight);
+    }
+
+    /// Set one feature's weight by id, marking it present.
+    pub fn set_weight_by_id(&mut self, id: FeatureId, weight: f64) {
+        self.ensure_slot(id);
+        self.weights[id.index()] = weight;
+        self.present[id.index()] = true;
+    }
+
+    /// The dense weight slice (indexed by [`FeatureId`]).
+    pub fn dense_weights(&self) -> &[f64] {
         &self.weights
+    }
+
+    /// The present weights as a sorted name → weight map — the historical
+    /// sparse representation (zero-weight entries included).
+    pub fn sorted_weights(&self) -> BTreeMap<String, f64> {
+        self.present
+            .iter()
+            .enumerate()
+            .filter(|(_, present)| **present)
+            .map(|(index, _)| {
+                (
+                    symbols::feature_name(FeatureId::from_index(index)),
+                    self.weights[index],
+                )
+            })
+            .collect()
     }
 
     /// Number of non-zero weights.
     pub fn num_parameters(&self) -> usize {
-        self.weights.values().filter(|w| **w != 0.0).count()
+        self.present
+            .iter()
+            .zip(&self.weights)
+            .filter(|(present, weight)| **present && **weight != 0.0)
+            .count()
     }
 
-    /// Score a feature vector.
-    pub fn score(&self, features: &FeatureVector) -> f64 {
-        dot(features, &self.weights)
+    /// Score a feature vector (`φᵀθ`, summed in feature-id order — which is
+    /// name order, so scores are bit-identical to the string-keyed walk).
+    pub fn score(&self, features: &FeatureVec) -> f64 {
+        features.dot_dense(&self.weights)
     }
 }
 
@@ -276,9 +352,38 @@ impl SemanticParser {
     /// answered against the same table within one request share both the
     /// index and the memoized record bases.
     pub fn parse_in_session(&self, question: &str, evaluator: &Evaluator<'_>) -> Vec<Candidate> {
-        let analysis = analyze_question_with(question, evaluator.kb());
-        let raw = generate_candidates_with(&analysis, evaluator, &self.config);
-        self.rank(raw, &analysis, evaluator.table())
+        self.parse_in_session_with(question, evaluator, &mut ScratchSpace::new())
+    }
+
+    /// Like [`SemanticParser::parse_in_session`] but reusing the caller's
+    /// [`ScratchSpace`], so a session answering many questions allocates its
+    /// working buffers once. Records the per-stage timing spans into the
+    /// process-wide [`crate::parse_stats`] counters.
+    pub fn parse_in_session_with(
+        &self,
+        question: &str,
+        evaluator: &Evaluator<'_>,
+        scratch: &mut ScratchSpace,
+    ) -> Vec<Candidate> {
+        let start = Instant::now();
+        let (lowered, tokens) = tokenize_stage(question);
+        let tokenized = Instant::now();
+        let analysis = link_stage(lowered, tokens, evaluator.kb());
+        let linked = Instant::now();
+        let mut eval_ns = 0u64;
+        let raw = generate_candidates_timed(&analysis, evaluator, &self.config, &mut eval_ns);
+        let generated = Instant::now();
+        let (candidates, features_ns, score_ns) =
+            self.rank_timed(raw, &analysis, evaluator.table(), scratch);
+        record_parse(&ParseSpans {
+            tokenize_ns: (tokenized - start).as_nanos() as u64,
+            lexicon_ns: (linked - tokenized).as_nanos() as u64,
+            candidates_ns: ((generated - linked).as_nanos() as u64).saturating_sub(eval_ns),
+            eval_ns,
+            features_ns,
+            score_ns,
+        });
+        candidates
     }
 
     /// Parse from an existing analysis (avoids re-linking when the caller
@@ -289,42 +394,76 @@ impl SemanticParser {
     }
 
     /// Score and rank raw candidates with the log-linear model.
-    ///
-    /// The ordering lives in [`ranking_order`], shared with the trainer's
-    /// re-scoring pass so serving and training can never rank differently.
     fn rank(
         &self,
         raw: Vec<RawCandidate>,
         analysis: &QuestionAnalysis,
         table: &Table,
     ) -> Vec<Candidate> {
-        let mut candidates: Vec<Candidate> = raw
+        self.rank_timed(raw, analysis, table, &mut ScratchSpace::new())
+            .0
+    }
+
+    /// Score and rank raw candidates, returning the feature-extraction and
+    /// scoring span durations.
+    ///
+    /// The ordering lives in [`ranking_order`], shared with the trainer's
+    /// re-scoring pass so serving and training can never rank differently.
+    /// Question-level signals are hoisted into one [`QuestionContext`];
+    /// ranking keys (`formula.size()`, `formula.to_string()`) are computed
+    /// once per candidate instead of inside the sort comparator.
+    fn rank_timed(
+        &self,
+        raw: Vec<RawCandidate>,
+        analysis: &QuestionAnalysis,
+        table: &Table,
+        scratch: &mut ScratchSpace,
+    ) -> (Vec<Candidate>, u64, u64) {
+        let start = Instant::now();
+        let context = QuestionContext::new(analysis, table);
+        scratch.features.clear();
+        for candidate in &raw {
+            scratch.features.push(extract_features_in(
+                analysis,
+                &context,
+                candidate,
+                &mut scratch.pairs,
+                &mut scratch.constants,
+            ));
+        }
+        let extracted = Instant::now();
+        let mut scored: Vec<(Candidate, usize, String)> = raw
             .into_iter()
-            .map(|RawCandidate { formula, answer }| {
-                let features = extract_features(
-                    analysis,
-                    table,
-                    &RawCandidate {
-                        formula: formula.clone(),
-                        answer: answer.clone(),
-                    },
-                );
+            .zip(scratch.features.drain(..))
+            .map(|(RawCandidate { formula, answer }, features)| {
                 let score = self.model.score(&features);
-                Candidate {
-                    formula,
-                    answer,
-                    features,
-                    score,
-                }
+                let size = formula.size();
+                let key = formula.to_string();
+                (
+                    Candidate {
+                        formula,
+                        answer,
+                        features,
+                        score,
+                    },
+                    size,
+                    key,
+                )
             })
             .collect();
-        candidates.sort_by(|a, b| {
-            ranking_order(
-                (a.score, a.formula.size(), &a.formula.to_string()),
-                (b.score, b.formula.size(), &b.formula.to_string()),
-            )
+        scored.sort_by(|(a, a_size, a_key), (b, b_size, b_key)| {
+            ranking_order((a.score, *a_size, a_key), (b.score, *b_size, b_key))
         });
-        candidates
+        let candidates = scored
+            .into_iter()
+            .map(|(candidate, _, _)| candidate)
+            .collect();
+        let done = Instant::now();
+        (
+            candidates,
+            (extracted - start).as_nanos() as u64,
+            (done - extracted).as_nanos() as u64,
+        )
     }
 
     /// The top-k candidates (the set shown to users at deployment).
@@ -428,11 +567,53 @@ mod tests {
     fn model_parameter_bookkeeping() {
         let mut model = LogLinearModel::new();
         assert_eq!(model.num_parameters(), 0);
-        model.weights_mut().insert("x".into(), 1.5);
-        model.weights_mut().insert("y".into(), 0.0);
+        model.set_weight("x", 1.5);
+        model.set_weight("y", 0.0);
         assert_eq!(model.num_parameters(), 1);
         assert_eq!(model.weight("x"), 1.5);
         assert_eq!(model.weight("missing"), 0.0);
         assert!(LogLinearModel::with_prior().num_parameters() > 10);
+        // "y" is present (serialized) even though it weighs zero.
+        assert!(model.sorted_weights().contains_key("y"));
+    }
+
+    #[test]
+    fn model_serialization_is_the_historical_name_keyed_map() {
+        let model = LogLinearModel::with_prior();
+        let json = serde_json::to_string(&model).expect("model serialize");
+        // The wire form is {"weights":{"name":weight,...}} with names in
+        // sorted order — exactly what the BTreeMap-backed struct produced.
+        assert!(json.starts_with("{\"weights\":{"));
+        assert!(json.contains("\"const_coverage\":2"));
+        let back: LogLinearModel = serde_json::from_str(&json).expect("model parse");
+        assert_eq!(back.sorted_weights(), model.sorted_weights());
+        assert_eq!(
+            serde_json::to_string(&back).expect("reserialize"),
+            json,
+            "roundtrip must be byte-identical"
+        );
+    }
+
+    #[test]
+    fn scratch_reuse_parses_identically() {
+        let table = samples::olympics();
+        let parser = SemanticParser::with_prior();
+        let evaluator = Evaluator::new(&table);
+        let mut scratch = ScratchSpace::new();
+        let questions = [
+            "Greece held its last Olympics in what year?",
+            "Which city hosted in 2008?",
+            "How many times did Athens host?",
+        ];
+        for question in questions {
+            let fresh = parser.parse_in_session(question, &evaluator);
+            let reused = parser.parse_in_session_with(question, &evaluator, &mut scratch);
+            assert_eq!(fresh.len(), reused.len());
+            for (a, b) in fresh.iter().zip(&reused) {
+                assert_eq!(a.formula, b.formula);
+                assert_eq!(a.score.to_bits(), b.score.to_bits());
+                assert_eq!(a.features, b.features);
+            }
+        }
     }
 }

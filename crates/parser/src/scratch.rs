@@ -1,0 +1,31 @@
+//! Reusable per-session scratch buffers for the parse hot path.
+//!
+//! Parsing one question allocates the same handful of working buffers —
+//! the unsorted feature-pair builder, the formula-constant list, the
+//! per-candidate feature/score staging area — once per question when a
+//! fresh scratch is used, or **zero** times per question when a serving
+//! session threads one [`ScratchSpace`] through every parse (the buffers
+//! keep their high-water-mark capacity).
+
+use crate::features::FeatureVec;
+use crate::symbols::FeatureId;
+
+/// Reusable working memory for [`crate::SemanticParser::parse_in_session_with`].
+/// Plain `Default`-constructed state; never holds results across calls,
+/// only capacity.
+#[derive(Debug, Default)]
+pub struct ScratchSpace {
+    /// Unsorted `(id, value)` pairs for one candidate's features.
+    pub(crate) pairs: Vec<(FeatureId, f64)>,
+    /// Lowered constant texts of one candidate's formula.
+    pub(crate) constants: Vec<String>,
+    /// Extracted feature vectors of the whole pool, in generation order.
+    pub(crate) features: Vec<FeatureVec>,
+}
+
+impl ScratchSpace {
+    /// A fresh, empty scratch space.
+    pub fn new() -> ScratchSpace {
+        ScratchSpace::default()
+    }
+}

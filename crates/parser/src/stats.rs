@@ -1,0 +1,104 @@
+//! Parse-pipeline observability: process-wide timing spans for each stage
+//! of question parsing.
+//!
+//! Every [`crate::SemanticParser::parse_in_session`] call is decomposed
+//! into monotonic-clock spans — tokenize, lexicon (entity linking),
+//! candidate composition, candidate execution (`eval`), feature extraction
+//! and scoring/ranking — accumulated into plain relaxed atomics (one batch
+//! of `fetch_add`s per question, nothing on the per-candidate path) and
+//! snapshotted by [`parse_stats`] into a serializable [`ParseStats`] that
+//! the core engine embeds in its stats surface, mirroring
+//! `wtq_sql::PlannerStats`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use serde::{Deserialize, Serialize};
+
+static QUESTIONS: AtomicU64 = AtomicU64::new(0);
+static TOKENIZE_NS: AtomicU64 = AtomicU64::new(0);
+static LEXICON_NS: AtomicU64 = AtomicU64::new(0);
+static CANDIDATES_NS: AtomicU64 = AtomicU64::new(0);
+static EVAL_NS: AtomicU64 = AtomicU64::new(0);
+static FEATURES_NS: AtomicU64 = AtomicU64::new(0);
+static SCORE_NS: AtomicU64 = AtomicU64::new(0);
+
+/// A point-in-time snapshot of the parse-stage timing counters.
+/// Serializable so stats endpoints can embed it directly; all spans are
+/// cumulative nanoseconds across every question parsed by the process.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ParseStats {
+    /// Questions parsed end to end (`parse_in_session` calls).
+    pub questions: u64,
+    /// Normalization + tokenization time.
+    pub tokenize_ns: u64,
+    /// Entity linking time (value links, column links, numbers).
+    pub lexicon_ns: u64,
+    /// Candidate composition time, *excluding* formula execution.
+    pub candidates_ns: u64,
+    /// Formula execution time during candidate generation (the evaluator
+    /// calls that filter record bases and denote candidates).
+    pub eval_ns: u64,
+    /// Feature extraction time (question context + per-candidate vectors).
+    pub features_ns: u64,
+    /// Scoring and ranking time (dot products + sort).
+    pub score_ns: u64,
+}
+
+impl ParseStats {
+    /// Total time across all spans.
+    pub fn total_ns(&self) -> u64 {
+        self.tokenize_ns
+            + self.lexicon_ns
+            + self.candidates_ns
+            + self.eval_ns
+            + self.features_ns
+            + self.score_ns
+    }
+}
+
+/// One parse's span measurements, flushed to the global counters in a
+/// single batch by [`record_parse`].
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct ParseSpans {
+    pub tokenize_ns: u64,
+    pub lexicon_ns: u64,
+    pub candidates_ns: u64,
+    pub eval_ns: u64,
+    pub features_ns: u64,
+    pub score_ns: u64,
+}
+
+pub(crate) fn record_parse(spans: &ParseSpans) {
+    QUESTIONS.fetch_add(1, Ordering::Relaxed);
+    TOKENIZE_NS.fetch_add(spans.tokenize_ns, Ordering::Relaxed);
+    LEXICON_NS.fetch_add(spans.lexicon_ns, Ordering::Relaxed);
+    CANDIDATES_NS.fetch_add(spans.candidates_ns, Ordering::Relaxed);
+    EVAL_NS.fetch_add(spans.eval_ns, Ordering::Relaxed);
+    FEATURES_NS.fetch_add(spans.features_ns, Ordering::Relaxed);
+    SCORE_NS.fetch_add(spans.score_ns, Ordering::Relaxed);
+}
+
+/// Snapshot the process-wide parse-stage counters.
+pub fn parse_stats() -> ParseStats {
+    ParseStats {
+        questions: QUESTIONS.load(Ordering::Relaxed),
+        tokenize_ns: TOKENIZE_NS.load(Ordering::Relaxed),
+        lexicon_ns: LEXICON_NS.load(Ordering::Relaxed),
+        candidates_ns: CANDIDATES_NS.load(Ordering::Relaxed),
+        eval_ns: EVAL_NS.load(Ordering::Relaxed),
+        features_ns: FEATURES_NS.load(Ordering::Relaxed),
+        score_ns: SCORE_NS.load(Ordering::Relaxed),
+    }
+}
+
+/// Reset all counters to zero. Intended for benchmark harnesses that report
+/// per-section stage breakdowns; concurrent parses may interleave.
+pub fn reset_parse_stats() {
+    QUESTIONS.store(0, Ordering::Relaxed);
+    TOKENIZE_NS.store(0, Ordering::Relaxed);
+    LEXICON_NS.store(0, Ordering::Relaxed);
+    CANDIDATES_NS.store(0, Ordering::Relaxed);
+    EVAL_NS.store(0, Ordering::Relaxed);
+    FEATURES_NS.store(0, Ordering::Relaxed);
+    SCORE_NS.store(0, Ordering::Relaxed);
+}

@@ -10,8 +10,6 @@
 //! objective of Eq. 8. Optimization uses AdaGrad with L1 regularization,
 //! following the paper (and [30]).
 
-use std::collections::BTreeMap;
-
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -20,9 +18,10 @@ use wtq_dcs::{Answer, Evaluator, Formula};
 use wtq_table::{Catalog, IndexCache};
 
 use crate::candidates::generate_candidates_with;
-use crate::features::{extract_features, FeatureVector};
+use crate::features::{extract_features, FeatureVec};
 use crate::lexicon::analyze_question_with;
 use crate::model::{formulas_equivalent, softmax, SemanticParser};
+use crate::symbols::FeatureId;
 
 /// One training example: a question, its table, the gold answer, and (for
 /// annotated examples) the set of user-validated correct queries `Q_x`.
@@ -120,7 +119,7 @@ pub struct ParserEvaluation {
 struct PreparedCandidate {
     formula: Formula,
     answer: Answer,
-    features: FeatureVector,
+    features: FeatureVec,
     /// Cached `formula.size()` — second-level ranking tie-break.
     size: usize,
     /// Cached `formula.to_string()` — final ranking tie-break.
@@ -163,10 +162,20 @@ fn prepare_example(
     Some(PreparedExample { candidates })
 }
 
-/// AdaGrad trainer for the log-linear parser.
+/// AdaGrad trainer for the log-linear parser. Per-feature state is dense,
+/// indexed by [`FeatureId`] — the gradient step walks the touched ids with
+/// direct slot loads instead of B-tree string lookups.
 pub struct Trainer {
-    /// Accumulated squared gradients per feature.
-    adagrad: BTreeMap<String, f64>,
+    /// Accumulated squared gradients per feature (dense, by feature id).
+    adagrad: Vec<f64>,
+    /// Gradient accumulator reused across steps (dense, by feature id).
+    gradient: Vec<f64>,
+    /// Which `gradient` slots hold live values for the current step.
+    in_gradient: Vec<bool>,
+    /// The ids with live gradient slots, in first-touched order; sorted
+    /// before applying updates so the L1 shrinkage visits features in the
+    /// same (name) order the historical map-keyed loop did.
+    touched: Vec<u32>,
     /// Shared table indexes, built once per table across epochs (and shared
     /// across the candidate-generation workers).
     indexes: IndexCache,
@@ -177,7 +186,10 @@ impl Trainer {
     /// Create a trainer with the given hyper-parameters.
     pub fn new(config: TrainConfig) -> Self {
         Trainer {
-            adagrad: BTreeMap::new(),
+            adagrad: Vec::new(),
+            gradient: Vec::new(),
+            in_gradient: Vec::new(),
+            touched: Vec::new(),
             indexes: IndexCache::new(),
             config,
         }
@@ -273,42 +285,64 @@ impl Trainer {
             .zip(&rewards)
             .map(|(p, r)| p * r / reward_mass)
             .collect();
-        // Gradient of the log-likelihood: Σ_z (q(z) - p(z)) φ(z).
-        let mut gradient: BTreeMap<String, f64> = BTreeMap::new();
+        // Gradient of the log-likelihood: Σ_z (q(z) - p(z)) φ(z), accumulated
+        // into the dense reusable buffer. A feature is "touched" (and gets an
+        // L1 shrinkage pass) as soon as it appears in any candidate with a
+        // non-zero delta — even when its summed gradient cancels to exactly
+        // zero — matching the historical map-entry semantics.
         for (((candidate, _), q), p) in ranked.iter().zip(&posterior).zip(&probabilities) {
             let delta = q - p;
             if delta == 0.0 {
                 continue;
             }
-            for (name, value) in &candidate.features {
-                *gradient.entry(name.clone()).or_insert(0.0) += delta * value;
+            for (id, value) in candidate.features.iter() {
+                let index = id.index();
+                if index >= self.gradient.len() {
+                    self.gradient.resize(index + 1, 0.0);
+                    self.in_gradient.resize(index + 1, false);
+                }
+                if !self.in_gradient[index] {
+                    self.in_gradient[index] = true;
+                    self.touched.push(index as u32);
+                }
+                self.gradient[index] += delta * value;
             }
         }
-        // AdaGrad update with L1 shrinkage.
-        let weights = parser.model.weights_mut();
-        for (name, g) in gradient {
-            let accumulated = self.adagrad.entry(name.clone()).or_insert(0.0);
-            *accumulated += g * g;
-            let step = self.config.learning_rate / (accumulated.sqrt() + 1e-8);
-            let entry = weights.entry(name).or_insert(0.0);
-            *entry += step * g;
+        // AdaGrad update with L1 shrinkage, visiting features in id order
+        // (= name order, so the walk matches the old map iteration; the
+        // per-feature updates are independent either way).
+        self.touched.sort_unstable();
+        for i in 0..self.touched.len() {
+            let index = self.touched[i] as usize;
+            let g = self.gradient[index];
+            self.gradient[index] = 0.0;
+            self.in_gradient[index] = false;
+            if index >= self.adagrad.len() {
+                self.adagrad.resize(index + 1, 0.0);
+            }
+            self.adagrad[index] += g * g;
+            let step = self.config.learning_rate / (self.adagrad[index].sqrt() + 1e-8);
+            let id = FeatureId::from_index(index);
+            let mut weight = parser.model.weight_by_id(id) + step * g;
             // Soft-threshold toward zero (L1).
             let shrink = self.config.l1 * step;
-            if *entry > shrink {
-                *entry -= shrink;
-            } else if *entry < -shrink {
-                *entry += shrink;
+            if weight > shrink {
+                weight -= shrink;
+            } else if weight < -shrink {
+                weight += shrink;
             } else {
-                *entry = 0.0;
+                weight = 0.0;
             }
+            parser.model.set_weight_by_id(id, weight);
         }
+        self.touched.clear();
         true
     }
 }
 
 /// The reward indicator: `r*` (Eq. 7) for annotated examples, `r` (Eq. 5)
 /// otherwise.
-fn reward(formula: &Formula, answer: &Answer, example: &TrainExample) -> f64 {
+pub(crate) fn reward(formula: &Formula, answer: &Answer, example: &TrainExample) -> f64 {
     if example.is_annotated() {
         if example
             .annotations
@@ -564,7 +598,7 @@ mod tests {
             .train(&mut parser, &examples, &catalog);
             let mut weights: Vec<(String, i64)> = parser
                 .model
-                .weights()
+                .sorted_weights()
                 .iter()
                 .map(|(k, v)| (k.clone(), (v * 1e9) as i64))
                 .collect();
