@@ -9,14 +9,16 @@
 //!
 //! Sections: `table4`, `table5`, `table6`, `ksweep`, `table7`, `table9`,
 //! `figures`, `gallery`, `operators`, `examples`, `exec`, `parse`,
-//! `serve`, `cache`. With no argument every section is produced.
+//! `serve`, `cache`, `obs`. With no argument every section is produced.
 //!
 //! `--exec-json [path]` additionally writes the execution-layer report
 //! (indexed vs scan timings, candidate throughput, cache statistics, and —
-//! when the `parse` / `serve` / `cache` sections ran — the parse-stage
-//! breakdown under `parsing`, the loopback serving latency percentiles
-//! under `serving` and the Zipfian answer-cache replay under `caching`) as
-//! machine-readable JSON — `BENCH_exec.json` by default.
+//! when the `parse` / `serve` / `cache` / `obs` sections ran — the
+//! parse-stage breakdown under `parsing`, the loopback serving latency
+//! percentiles under `serving`, the Zipfian answer-cache replay under
+//! `caching` and the `/metrics`-scraped percentiles plus tracing overhead
+//! under `observability`) as machine-readable JSON — `BENCH_exec.json` by
+//! default.
 
 use wtq_bench::{
     environment, k_sweep, raw_formula_control, table4, table5, table6, table7, table9,
@@ -521,6 +523,51 @@ fn main() {
         );
         if let Some(report) = exec_report.as_mut() {
             report.caching = Some(caching);
+        }
+    }
+
+    if wanted("obs") {
+        heading("Observability layer — /metrics percentiles and tracing overhead");
+        let obs = wtq_bench::obs::obs_report(512, 48, 2, 7);
+        println!(
+            "{} requests over {} connections against a {}-row table, every \
+             request traced; percentiles recovered from the /metrics scrape \
+             (bucket upper-bound resolution):\n",
+            obs.questions, obs.connections, obs.rows
+        );
+        println!("| metric | value |");
+        println!("|---|---|");
+        println!("| requests observed | {} |", obs.requests_observed);
+        println!("| p50 | {:.2} ms |", obs.request_p50_ms);
+        println!("| p90 | {:.2} ms |", obs.request_p90_ms);
+        println!("| p99 | {:.2} ms |", obs.request_p99_ms);
+        println!("| mean | {:.2} ms |", obs.request_mean_ms);
+        println!("\nPer-stage breakdown (same scrape):\n");
+        println!("| stage | observations | p50 ms | p99 ms | mean ms |");
+        println!("|---|---|---|---|---|");
+        for stage in obs.stages.iter() {
+            println!(
+                "| {} | {} | {:.3} | {:.3} | {:.3} |",
+                stage.stage, stage.observations, stage.p50_ms, stage.p99_ms, stage.mean_ms
+            );
+        }
+        println!(
+            "\nTrace rings: {} traced (period {}), {} recent / {} slowest \
+             held at scrape time.",
+            obs.traces_sampled, obs.trace_sample_period, obs.recent_traces, obs.slowest_traces
+        );
+        println!(
+            "\nTracing overhead (default sampling vs disabled, {} interleaved \
+             rounds × {} requests): {:.1} q/s sampled vs {:.1} q/s disabled \
+             — ratio {:.3}.",
+            obs.overhead.rounds,
+            obs.overhead.questions_per_round,
+            obs.overhead.qps_sampled,
+            obs.overhead.qps_disabled,
+            obs.overhead.ratio
+        );
+        if let Some(report) = exec_report.as_mut() {
+            report.observability = Some(obs);
         }
     }
 

@@ -107,6 +107,9 @@ pub struct ExecReport {
     /// comparison (`experiments --section parse`); absent when that section
     /// was not run.
     pub parsing: Option<crate::parse::ParsingReport>,
+    /// `/metrics`-scraped latency percentiles and tracing overhead
+    /// (`experiments --section obs`); absent when that section was not run.
+    pub observability: Option<crate::obs::ObsReport>,
 }
 
 /// Time `f` repeatedly within a small budget; mean µs per call.
@@ -316,6 +319,7 @@ pub fn exec_report(rows: usize, questions: usize) -> ExecReport {
         idle_serving: None,
         caching: None,
         parsing: None,
+        observability: None,
     }
 }
 

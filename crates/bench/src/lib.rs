@@ -7,6 +7,7 @@
 
 pub mod cache;
 pub mod exec;
+pub mod obs;
 pub mod parse;
 pub mod serve;
 

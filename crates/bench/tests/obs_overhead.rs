@@ -1,0 +1,39 @@
+//! Observability overhead regression gate: request tracing at the default
+//! sampling rate (1 in 16) must keep at least 95% of the throughput of a
+//! server with tracing disabled. The per-request cost of the layer is a
+//! handful of monotonic-clock reads and relaxed counter increments plus,
+//! on sampled requests, one ring push behind a mutex — this gate is what
+//! keeps it that way.
+//!
+//! Timing discipline mirrors `parse_regression.rs`: the two servers are
+//! measured interleaved (sampled, disabled, sampled, disabled, …) over the
+//! same question workload and compared on medians across rounds, so
+//! machine-load drift hits both variants alike.
+
+use wtq_bench::obs::tracing_overhead;
+
+/// The real gate runs in release (the dedicated CI step). Under a debug
+/// `cargo test` the whole workspace's test binaries share the machine, so
+/// a 5% throughput margin is noise — there the gate only rejects a
+/// wholesale collapse.
+#[cfg(not(debug_assertions))]
+const GATE: f64 = 0.95;
+#[cfg(debug_assertions)]
+const GATE: f64 = 0.70;
+
+#[test]
+fn tracing_at_default_sampling_keeps_95_percent_of_throughput() {
+    let overhead = tracing_overhead(256, 32, 2, 7);
+    assert!(
+        overhead.qps_disabled > 0.0 && overhead.qps_sampled > 0.0,
+        "degenerate run: {overhead:?}"
+    );
+    assert!(
+        overhead.ratio >= GATE,
+        "tracing overhead regressed: {:.1} q/s sampled vs {:.1} q/s disabled \
+         (ratio {:.3}, gate {GATE})",
+        overhead.qps_sampled,
+        overhead.qps_disabled,
+        overhead.ratio
+    );
+}

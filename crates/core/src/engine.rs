@@ -117,8 +117,11 @@ pub struct EngineStats {
     pub batches_served: u64,
     /// Engine entry-point calls currently executing.
     pub in_flight: u64,
-    /// SQL planner decision counters (process-wide): scan vs index vs
-    /// columnar-kernel choices and estimated vs actual selectivity.
+    /// SQL planner decision counters: scan vs index vs columnar-kernel
+    /// choices and estimated vs actual selectivity. Read through the
+    /// process-wide shim ([`wtq_sql::planner_stats`]), which is deprecated
+    /// for one release — the canonical counters now live per-engine on
+    /// [`wtq_sql::PlannerCounters`].
     pub planner: wtq_sql::PlannerStats,
     /// Parse-pipeline stage timings (process-wide): tokenize, lexicon,
     /// candidate composition, formula execution, feature extraction and

@@ -1,0 +1,28 @@
+//! # wtq-obs
+//!
+//! The observability substrate of the serving stack: a [`Registry`] of
+//! named counters, gauges and log-linear latency [`Histogram`]s that one
+//! scrape surface (`GET /metrics`) renders in Prometheus text format, plus
+//! sampled per-request traces ([`Tracer`] / [`RequestTrace`]) kept in a
+//! fixed-size ring of recent and slowest requests (`GET /trace/recent`).
+//!
+//! Zero dependencies beyond `serde` (the workspace-wide serialization
+//! baseline every stats snapshot already uses). Hot-path cost is designed
+//! around relaxed atomics: a counter increment is one `fetch_add`, a
+//! histogram observation is two `fetch_add`s plus a usually-quiet max
+//! update, and an unsampled request never touches the trace ring.
+//!
+//! The registry is the *one source of truth for the scrape surface*: the
+//! serving layer registers its native metrics (per-endpoint request
+//! counters, stage latency histograms) directly, and re-registers the
+//! pre-existing snapshot counters (`ServerStats`, `EngineStats`,
+//! `PlannerStats`, `CacheStats`, the parse-stage timers) as mirrored
+//! entries synced from their canonical atomics at scrape time — so the
+//! subsystems keep their existing one-`fetch_add` write paths while
+//! `/metrics` exposes everything under one coherent naming scheme.
+
+pub mod registry;
+pub mod trace;
+
+pub use registry::{Counter, Gauge, Histogram, HistogramSnapshot, Registry};
+pub use trace::{RequestTrace, SpanSnapshot, TraceSnapshot, Tracer};

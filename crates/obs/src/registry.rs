@@ -1,0 +1,567 @@
+//! The metrics registry: named counters, gauges and log-linear bucketed
+//! histograms, rendered as Prometheus text exposition.
+//!
+//! Handles are `Arc`s handed out at registration; the hot path touches
+//! only the handle's atomics, never the registry lock. Registration is
+//! idempotent — asking for an existing `(name, label)` returns the same
+//! handle — so subsystems can register lazily without coordination.
+//!
+//! ## Histogram bucket scheme
+//!
+//! Log-linear, HDR-style: values below 8 get exact unit buckets, and every
+//! power-of-two octave above is split into 8 linear sub-buckets, so the
+//! relative bucket width is at most 12.5% across the full `u64` range.
+//! Recording is `O(1)` bit arithmetic (no search) and percentiles are
+//! derived from the bucket counts, clamped to the exactly-tracked maximum.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A monotonic counter. `set` exists for *mirrored* entries — registry
+/// counters fed from another subsystem's canonical atomic at scrape time —
+/// and must only ever be handed monotonic inputs.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Add one.
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Add `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Overwrite with an absolute value (mirror sync only).
+    pub fn set(&self, value: u64) {
+        self.0.store(value, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A point-in-time value that can go up and down.
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// Overwrite the value.
+    pub fn set(&self, value: i64) {
+        self.0.store(value, Ordering::Relaxed);
+    }
+
+    /// Adjust by `delta`.
+    pub fn add(&self, delta: i64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Sub-bucket resolution: 2^3 = 8 linear sub-buckets per octave.
+const SUB_BITS: u32 = 3;
+const SUB: usize = 1 << SUB_BITS;
+/// Unit buckets for 0..8, then 8 sub-buckets for each octave 2^3..2^63.
+const BUCKETS: usize = SUB + (64 - SUB_BITS as usize) * SUB;
+
+/// The bucket index of `value` — exact below [`SUB`], log-linear above.
+fn bucket_index(value: u64) -> usize {
+    if value < SUB as u64 {
+        return value as usize;
+    }
+    let exp = 63 - value.leading_zeros();
+    let sub = ((value >> (exp - SUB_BITS)) & (SUB as u64 - 1)) as usize;
+    SUB + ((exp - SUB_BITS) as usize) * SUB + sub
+}
+
+/// The inclusive lower bound of bucket `index`.
+fn bucket_lower(index: usize) -> u64 {
+    if index < SUB {
+        return index as u64;
+    }
+    let octave = ((index - SUB) / SUB) as u32 + SUB_BITS;
+    let sub = ((index - SUB) % SUB) as u64;
+    (1u64 << octave) + sub * (1u64 << (octave - SUB_BITS))
+}
+
+/// The exclusive upper bound of bucket `index` (`u64::MAX` for the last).
+fn bucket_upper(index: usize) -> u64 {
+    if index + 1 >= BUCKETS {
+        u64::MAX
+    } else {
+        bucket_lower(index + 1)
+    }
+}
+
+/// A log-linear latency histogram over `u64` values (the serving layer
+/// records nanoseconds). Recording is two relaxed `fetch_add`s (bucket +
+/// sum) and a max update that loads without writing on the common path.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: Box<[AtomicU64; BUCKETS]>,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        // `AtomicU64` is not Copy; build the array through a Vec.
+        let buckets: Vec<AtomicU64> = (0..BUCKETS).map(|_| AtomicU64::new(0)).collect();
+        let buckets: Box<[AtomicU64; BUCKETS]> = buckets
+            .into_boxed_slice()
+            .try_into()
+            .expect("bucket count is fixed");
+        Histogram {
+            buckets,
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    /// Record one observation.
+    pub fn observe(&self, value: u64) {
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        if self.max.load(Ordering::Relaxed) < value {
+            self.max.fetch_max(value, Ordering::Relaxed);
+        }
+    }
+
+    /// A consistent-enough snapshot (concurrent observations may tear
+    /// between buckets and sum; each individual counter is exact).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = Vec::new();
+        let mut count = 0u64;
+        for (index, bucket) in self.buckets.iter().enumerate() {
+            let n = bucket.load(Ordering::Relaxed);
+            if n > 0 {
+                count += n;
+                buckets.push((bucket_upper(index), n));
+            }
+        }
+        HistogramSnapshot {
+            buckets,
+            count,
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A frozen histogram: `(exclusive upper bound, count)` for every non-empty
+/// bucket, in ascending bound order, plus exact total/sum/max.
+#[derive(Debug, Clone)]
+pub struct HistogramSnapshot {
+    /// Non-empty buckets as `(upper_bound, count)`, ascending.
+    pub buckets: Vec<(u64, u64)>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observed values.
+    pub sum: u64,
+    /// Largest observed value (exact, not bucketed).
+    pub max: u64,
+}
+
+impl HistogramSnapshot {
+    /// The `q`-quantile (`0.0..=1.0`), derived from the bucket counts:
+    /// the midpoint of the bucket holding the rank, clamped to the exact
+    /// maximum. `0` when empty.
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut cumulative = 0u64;
+        let mut lower = 0u64;
+        for &(upper, count) in &self.buckets {
+            cumulative += count;
+            if cumulative >= rank {
+                let mid = lower + (upper.saturating_sub(lower)) / 2;
+                return mid.min(self.max);
+            }
+            lower = upper;
+        }
+        self.max
+    }
+
+    /// Mean observed value (`0` when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// What a registry entry is.
+enum Kind {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+impl Kind {
+    fn type_name(&self) -> &'static str {
+        match self {
+            Kind::Counter(_) => "counter",
+            Kind::Gauge(_) => "gauge",
+            Kind::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// One registered metric: a family name, an optional single label pair
+/// (several entries may share a family, e.g. per-endpoint counters), help
+/// text and the live handle.
+struct Entry {
+    family: String,
+    label: Option<(&'static str, String)>,
+    help: &'static str,
+    kind: Kind,
+}
+
+/// The metric registry. Registration takes the lock; recording never does
+/// (handles are `Arc`s). Rendering sorts by `(family, label)` so scrape
+/// output is deterministic and families stay adjacent.
+#[derive(Default)]
+pub struct Registry {
+    entries: Mutex<Vec<Entry>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Get or register the counter `name`.
+    pub fn counter(&self, name: &str, help: &'static str) -> Arc<Counter> {
+        self.counter_with(name, None, help)
+    }
+
+    /// Get or register a labeled counter, e.g.
+    /// `counter_labeled("wtq_requests_total", "endpoint", "explain", …)`.
+    pub fn counter_labeled(
+        &self,
+        name: &str,
+        key: &'static str,
+        value: &str,
+        help: &'static str,
+    ) -> Arc<Counter> {
+        self.counter_with(name, Some((key, value.to_string())), help)
+    }
+
+    fn counter_with(
+        &self,
+        name: &str,
+        label: Option<(&'static str, String)>,
+        help: &'static str,
+    ) -> Arc<Counter> {
+        let mut entries = self.entries.lock().expect("registry poisoned");
+        if let Some(entry) = find(&entries, name, &label) {
+            if let Kind::Counter(counter) = &entry.kind {
+                return counter.clone();
+            }
+            panic!("metric {name} registered with a different type");
+        }
+        let counter = Arc::new(Counter::default());
+        entries.push(Entry {
+            family: name.to_string(),
+            label,
+            help,
+            kind: Kind::Counter(counter.clone()),
+        });
+        counter
+    }
+
+    /// Get or register the gauge `name`.
+    pub fn gauge(&self, name: &str, help: &'static str) -> Arc<Gauge> {
+        let mut entries = self.entries.lock().expect("registry poisoned");
+        if let Some(entry) = find(&entries, name, &None) {
+            if let Kind::Gauge(gauge) = &entry.kind {
+                return gauge.clone();
+            }
+            panic!("metric {name} registered with a different type");
+        }
+        let gauge = Arc::new(Gauge::default());
+        entries.push(Entry {
+            family: name.to_string(),
+            label: None,
+            help,
+            kind: Kind::Gauge(gauge.clone()),
+        });
+        gauge
+    }
+
+    /// Get or register the histogram `name`.
+    pub fn histogram(&self, name: &str, help: &'static str) -> Arc<Histogram> {
+        self.histogram_with(name, None, help)
+    }
+
+    /// Get or register a labeled histogram (e.g. per-stage latency).
+    pub fn histogram_labeled(
+        &self,
+        name: &str,
+        key: &'static str,
+        value: &str,
+        help: &'static str,
+    ) -> Arc<Histogram> {
+        self.histogram_with(name, Some((key, value.to_string())), help)
+    }
+
+    fn histogram_with(
+        &self,
+        name: &str,
+        label: Option<(&'static str, String)>,
+        help: &'static str,
+    ) -> Arc<Histogram> {
+        let mut entries = self.entries.lock().expect("registry poisoned");
+        if let Some(entry) = find(&entries, name, &label) {
+            if let Kind::Histogram(histogram) = &entry.kind {
+                return histogram.clone();
+            }
+            panic!("metric {name} registered with a different type");
+        }
+        let histogram = Arc::new(Histogram::default());
+        entries.push(Entry {
+            family: name.to_string(),
+            label,
+            help,
+            kind: Kind::Histogram(histogram.clone()),
+        });
+        histogram
+    }
+
+    /// Render every registered metric as Prometheus text exposition
+    /// (`# HELP` / `# TYPE` comments, one sample line per counter/gauge,
+    /// cumulative `_bucket`/`_sum`/`_count` series per histogram with
+    /// nanosecond values rendered as seconds).
+    pub fn render(&self) -> String {
+        let mut entries = self.entries.lock().expect("registry poisoned");
+        entries.sort_by(|a, b| (&a.family, &a.label).cmp(&(&b.family, &b.label)));
+        let mut out = String::with_capacity(4096);
+        let mut last_family: Option<String> = None;
+        for entry in entries.iter() {
+            if last_family.as_deref() != Some(entry.family.as_str()) {
+                out.push_str(&format!("# HELP {} {}\n", entry.family, entry.help));
+                out.push_str(&format!(
+                    "# TYPE {} {}\n",
+                    entry.family,
+                    entry.kind.type_name()
+                ));
+                last_family = Some(entry.family.clone());
+            }
+            let label = |extra: Option<(&str, String)>| -> String {
+                let mut pairs = Vec::new();
+                if let Some((key, value)) = &entry.label {
+                    pairs.push(format!("{key}=\"{value}\""));
+                }
+                if let Some((key, value)) = extra {
+                    pairs.push(format!("{key}=\"{value}\""));
+                }
+                if pairs.is_empty() {
+                    String::new()
+                } else {
+                    format!("{{{}}}", pairs.join(","))
+                }
+            };
+            match &entry.kind {
+                Kind::Counter(counter) => {
+                    out.push_str(&format!(
+                        "{}{} {}\n",
+                        entry.family,
+                        label(None),
+                        counter.get()
+                    ));
+                }
+                Kind::Gauge(gauge) => {
+                    out.push_str(&format!(
+                        "{}{} {}\n",
+                        entry.family,
+                        label(None),
+                        gauge.get()
+                    ));
+                }
+                Kind::Histogram(histogram) => {
+                    let snapshot = histogram.snapshot();
+                    let mut cumulative = 0u64;
+                    for (upper, count) in &snapshot.buckets {
+                        cumulative += count;
+                        let le = *upper as f64 / 1e9;
+                        out.push_str(&format!(
+                            "{}_bucket{} {}\n",
+                            entry.family,
+                            label(Some(("le", format!("{le}")))),
+                            cumulative
+                        ));
+                    }
+                    out.push_str(&format!(
+                        "{}_bucket{} {}\n",
+                        entry.family,
+                        label(Some(("le", "+Inf".to_string()))),
+                        snapshot.count
+                    ));
+                    out.push_str(&format!(
+                        "{}_sum{} {}\n",
+                        entry.family,
+                        label(None),
+                        snapshot.sum as f64 / 1e9
+                    ));
+                    out.push_str(&format!(
+                        "{}_count{} {}\n",
+                        entry.family,
+                        label(None),
+                        snapshot.count
+                    ));
+                }
+            }
+        }
+        out
+    }
+}
+
+fn find<'a>(
+    entries: &'a [Entry],
+    name: &str,
+    label: &Option<(&'static str, String)>,
+) -> Option<&'a Entry> {
+    entries
+        .iter()
+        .find(|entry| entry.family == name && &entry.label == label)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_is_monotone_and_bounds_bracket_values() {
+        let mut values: Vec<u64> = (0..64u32)
+            .flat_map(|shift| {
+                [0u64, 1, 3]
+                    .into_iter()
+                    .map(move |offset| (1u64 << shift).saturating_add(offset))
+            })
+            .collect();
+        values.sort_unstable();
+        let mut last = 0usize;
+        for value in values {
+            let index = bucket_index(value);
+            assert!(index >= last, "index regressed at {value}");
+            last = index;
+            assert!(bucket_lower(index) <= value, "lower > value at {value}");
+            assert!(
+                value < bucket_upper(index) || bucket_upper(index) == u64::MAX,
+                "upper <= value at {value}"
+            );
+        }
+        assert!(bucket_index(u64::MAX) < BUCKETS);
+    }
+
+    #[test]
+    fn small_values_get_exact_buckets() {
+        for value in 0..8u64 {
+            assert_eq!(bucket_index(value), value as usize);
+            assert_eq!(bucket_lower(value as usize), value);
+        }
+    }
+
+    #[test]
+    fn histogram_percentiles_track_a_known_distribution() {
+        let histogram = Histogram::default();
+        // 100 observations: 1..=100 microseconds in nanoseconds.
+        for i in 1..=100u64 {
+            histogram.observe(i * 1_000);
+        }
+        let snapshot = histogram.snapshot();
+        assert_eq!(snapshot.count, 100);
+        assert_eq!(snapshot.max, 100_000);
+        let p50 = snapshot.percentile(0.50);
+        let p99 = snapshot.percentile(0.99);
+        // Log-linear buckets bound the relative error at 12.5%.
+        assert!(
+            (p50 as f64 - 50_000.0).abs() / 50_000.0 < 0.15,
+            "p50 off: {p50}"
+        );
+        assert!(
+            (p99 as f64 - 99_000.0).abs() / 99_000.0 < 0.15,
+            "p99 off: {p99}"
+        );
+        assert_eq!(snapshot.percentile(1.0), snapshot.max);
+        assert!(snapshot.percentile(0.0) > 0);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let snapshot = Histogram::default().snapshot();
+        assert_eq!(snapshot.count, 0);
+        assert_eq!(snapshot.percentile(0.5), 0);
+        assert_eq!(snapshot.mean(), 0.0);
+    }
+
+    #[test]
+    fn registration_is_idempotent_and_type_checked() {
+        let registry = Registry::new();
+        let a = registry.counter("wtq_test_total", "help");
+        let b = registry.counter("wtq_test_total", "help");
+        a.inc();
+        b.add(2);
+        assert_eq!(a.get(), 3);
+        let labeled = registry.counter_labeled("wtq_test_total", "kind", "x", "help");
+        labeled.inc();
+        assert_eq!(a.get(), 3, "labeled entry is distinct");
+    }
+
+    #[test]
+    #[should_panic(expected = "different type")]
+    fn re_registering_with_another_type_panics() {
+        let registry = Registry::new();
+        let _ = registry.counter("wtq_test_total", "help");
+        let _ = registry.gauge("wtq_test_total", "help");
+    }
+
+    #[test]
+    fn render_emits_prometheus_text() {
+        let registry = Registry::new();
+        registry.counter("wtq_b_total", "b help").add(7);
+        registry.gauge("wtq_a_gauge", "a help").set(-3);
+        registry
+            .counter_labeled("wtq_req_total", "endpoint", "explain", "per endpoint")
+            .add(2);
+        registry
+            .counter_labeled("wtq_req_total", "endpoint", "stats", "per endpoint")
+            .add(1);
+        let histogram = registry.histogram("wtq_latency_seconds", "latency");
+        histogram.observe(1_000_000); // 1ms
+        histogram.observe(2_000_000);
+
+        let text = registry.render();
+        assert!(text.contains("# TYPE wtq_a_gauge gauge\nwtq_a_gauge -3\n"));
+        assert!(text.contains("# TYPE wtq_b_total counter\nwtq_b_total 7\n"));
+        assert!(text.contains("wtq_req_total{endpoint=\"explain\"} 2"));
+        assert!(text.contains("wtq_req_total{endpoint=\"stats\"} 1"));
+        // One TYPE line per family, even with several labeled entries.
+        assert_eq!(text.matches("# TYPE wtq_req_total counter").count(), 1);
+        assert!(text.contains("# TYPE wtq_latency_seconds histogram"));
+        assert!(text.contains("wtq_latency_seconds_bucket{le=\"+Inf\"} 2"));
+        assert!(text.contains("wtq_latency_seconds_count 2"));
+        assert!(text.contains("wtq_latency_seconds_sum 0.003"));
+        // Every non-comment line is `name[{labels}] value` with a finite value.
+        for line in text.lines().filter(|line| !line.starts_with('#')) {
+            let (_, value) = line.rsplit_once(' ').expect("sample line has a value");
+            let parsed: f64 = value.parse().expect("value parses");
+            assert!(parsed.is_finite());
+        }
+    }
+}

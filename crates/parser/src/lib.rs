@@ -48,6 +48,6 @@ pub use features::{extract_features, FeatureVec, QuestionContext};
 pub use lexicon::{analyze_question, analyze_question_with, normalize_question, QuestionAnalysis};
 pub use model::{formulas_equivalent, Candidate, LogLinearModel, SemanticParser};
 pub use scratch::ScratchSpace;
-pub use stats::{parse_stats, reset_parse_stats, ParseStats};
+pub use stats::{parse_stats, reset_parse_stats, take_last_parse_stats, ParseStats};
 pub use symbols::{feature_name, intern, lookup, FeatureId};
 pub use train::{ParserEvaluation, TrainConfig, TrainExample, Trainer};

@@ -10,6 +10,7 @@
 //! the core engine embeds in its stats surface, mirroring
 //! `wtq_sql::PlannerStats`.
 
+use std::cell::Cell;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use serde::{Deserialize, Serialize};
@@ -68,6 +69,15 @@ pub(crate) struct ParseSpans {
     pub score_ns: u64,
 }
 
+thread_local! {
+    /// The most recent parse's spans on this thread, for callers that want
+    /// the *per-question* breakdown (request tracing) rather than the
+    /// cumulative process counters. Thread-local is exact here: a parse
+    /// runs inline on its calling thread, so the caller that triggered it
+    /// reads back precisely its own spans.
+    static LAST_PARSE: Cell<Option<ParseSpans>> = const { Cell::new(None) };
+}
+
 pub(crate) fn record_parse(spans: &ParseSpans) {
     QUESTIONS.fetch_add(1, Ordering::Relaxed);
     TOKENIZE_NS.fetch_add(spans.tokenize_ns, Ordering::Relaxed);
@@ -76,6 +86,23 @@ pub(crate) fn record_parse(spans: &ParseSpans) {
     EVAL_NS.fetch_add(spans.eval_ns, Ordering::Relaxed);
     FEATURES_NS.fetch_add(spans.features_ns, Ordering::Relaxed);
     SCORE_NS.fetch_add(spans.score_ns, Ordering::Relaxed);
+    LAST_PARSE.with(|last| last.set(Some(*spans)));
+}
+
+/// Take the stage breakdown of the most recent parse on *this thread* (the
+/// parse pipeline runs inline on its caller), clearing it so a second take
+/// cannot attribute one parse to two requests. `None` when no parse has
+/// completed on this thread since the last take.
+pub fn take_last_parse_stats() -> Option<ParseStats> {
+    LAST_PARSE.with(|last| last.take()).map(|spans| ParseStats {
+        questions: 1,
+        tokenize_ns: spans.tokenize_ns,
+        lexicon_ns: spans.lexicon_ns,
+        candidates_ns: spans.candidates_ns,
+        eval_ns: spans.eval_ns,
+        features_ns: spans.features_ns,
+        score_ns: spans.score_ns,
+    })
 }
 
 /// Snapshot the process-wide parse-stage counters.

@@ -14,7 +14,7 @@ use wtq_table::TableSummary;
 
 use crate::wire::{
     self, ExplainBatchBody, ExplainBody, FrameError, RequestBody, RequestEnvelope, ResponseBody,
-    ResponseEnvelope, StatsBody, WireError, WireExplanation,
+    ResponseEnvelope, StatsBody, TraceRecentBody, WireError, WireExplanation,
 };
 
 /// Why a client call failed.
@@ -210,6 +210,23 @@ impl Client {
         }
     }
 
+    /// The server's metrics registry as Prometheus exposition text — the
+    /// same bytes `GET /metrics` serves.
+    pub fn metrics(&mut self) -> Result<String, ClientError> {
+        match self.call(RequestBody::Metrics)? {
+            ResponseBody::Metrics(metrics) => Ok(metrics.text),
+            other => Err(unexpected("Metrics", &other)),
+        }
+    }
+
+    /// The server's sampled request traces (recent + slowest rings).
+    pub fn trace_recent(&mut self) -> Result<TraceRecentBody, ClientError> {
+        match self.call(RequestBody::TraceRecent)? {
+            ResponseBody::TraceRecent(traces) => Ok(traces),
+            other => Err(unexpected("TraceRecent", &other)),
+        }
+    }
+
     /// [`Client::explain`] with backpressure retries: an `Overloaded`
     /// rejection sleeps out the server's `retry_after_ms` hint (bounded by
     /// the policy) and tries again. Rejections keep the connection alive,
@@ -321,6 +338,8 @@ fn unexpected(wanted: &str, got: &ResponseBody) -> ClientError {
         ResponseBody::Batch(_) => "Batch",
         ResponseBody::Tables(_) => "Tables",
         ResponseBody::Stats(_) => "Stats",
+        ResponseBody::Metrics(_) => "Metrics",
+        ResponseBody::TraceRecent(_) => "TraceRecent",
         ResponseBody::Error(_) => "Error",
     };
     ClientError::Protocol(format!("expected a {wanted} response, got {variant}"))

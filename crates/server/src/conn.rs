@@ -45,12 +45,35 @@ pub(crate) enum JobKind {
     Http(HttpRequest),
 }
 
+/// Observability metadata stamped on a job as it completes decoding: the
+/// instant the request's first bytes arrived (the anchor every trace span
+/// is measured against) and how long receive+decode took.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct JobMeta {
+    /// When the request's first undecoded bytes arrived at the reactor.
+    pub(crate) started: Instant,
+    /// First byte to complete request (incremental parse time included).
+    pub(crate) decode_ns: u64,
+}
+
+impl JobMeta {
+    /// Close the decode window: `begun` is the first-byte instant (or now,
+    /// for a request that completed within another's read batch).
+    fn stamp(begun: Option<Instant>) -> JobMeta {
+        let started = begun.unwrap_or_else(Instant::now);
+        JobMeta {
+            started,
+            decode_ns: started.elapsed().as_nanos() as u64,
+        }
+    }
+}
+
 /// An entry of the ordered pending queue: either work for the dispatcher
 /// or a protocol-fatal response that must go out *after* the answers to
 /// every earlier pipelined request.
 #[derive(Debug)]
 enum PendingItem {
-    Job(JobKind),
+    Job(JobKind, JobMeta),
     /// Queue these bytes, then apply the close mode. Terminal: later input
     /// is never parsed.
     Fatal(Vec<u8>, CloseMode),
@@ -113,6 +136,9 @@ pub(crate) struct Conn {
     peer_eof: bool,
     /// A fatal response was queued; stop parsing input.
     read_poisoned: bool,
+    /// When the in-progress request's first bytes arrived; taken as each
+    /// request completes decoding (see [`JobMeta`]).
+    request_started: Option<Instant>,
     /// The interest currently registered with the poller — the reactor
     /// skips the `epoll_ctl(MOD)` syscall when it is already right.
     pub(crate) registered_interest: wtq_net::Interest,
@@ -133,6 +159,7 @@ impl Conn {
             close_mode: CloseMode::Open,
             peer_eof: false,
             read_poisoned: false,
+            request_started: None,
             registered_interest: wtq_net::Interest::READABLE,
         })
     }
@@ -184,6 +211,9 @@ impl Conn {
 
     /// Route freshly read bytes into the current protocol state.
     fn feed(&mut self, mut input: &[u8], shared: &Shared) -> IoOutcome {
+        if !input.is_empty() && self.request_started.is_none() {
+            self.request_started = Some(Instant::now());
+        }
         if let Proto::Sniff(buf) = &mut self.proto {
             let take = input.len().min(4 - buf.len());
             buf.extend_from_slice(&input[..take]);
@@ -196,7 +226,12 @@ impl Conn {
                 shared.count_http_request();
                 let mut parser = HttpParser::new(shared.max_frame_len() as usize);
                 // Replay the sniffed bytes into the chosen parser.
-                if Self::feed_http(&mut parser, &first, &mut self.pending) {
+                if Self::feed_http(
+                    &mut parser,
+                    &first,
+                    &mut self.pending,
+                    &mut self.request_started,
+                ) {
                     self.read_poisoned = true;
                 }
                 self.proto = Proto::Http(parser);
@@ -206,8 +241,13 @@ impl Conn {
             } else {
                 let mut decoder = FrameDecoder::new(shared.max_frame_len());
                 let mut sniffed: &[u8] = &first;
-                let outcome =
-                    Self::feed_framed(&mut decoder, &mut sniffed, shared, &mut self.pending);
+                let outcome = Self::feed_framed(
+                    &mut decoder,
+                    &mut sniffed,
+                    shared,
+                    &mut self.pending,
+                    &mut self.request_started,
+                );
                 self.proto = Proto::Framed(decoder);
                 if let Some(fatal) = outcome {
                     self.push_fatal(fatal, CloseMode::CloseAfterFlush);
@@ -218,7 +258,13 @@ impl Conn {
         match &mut self.proto {
             Proto::Sniff(_) => unreachable!("sniff resolved above"),
             Proto::Framed(decoder) => {
-                match Self::feed_framed(decoder, &mut input, shared, &mut self.pending) {
+                match Self::feed_framed(
+                    decoder,
+                    &mut input,
+                    shared,
+                    &mut self.pending,
+                    &mut self.request_started,
+                ) {
                     Some(fatal) => {
                         self.push_fatal(fatal, CloseMode::CloseAfterFlush);
                         IoOutcome::Continue
@@ -227,7 +273,7 @@ impl Conn {
                 }
             }
             Proto::Http(parser) => {
-                if Self::feed_http(parser, input, &mut self.pending) {
+                if Self::feed_http(parser, input, &mut self.pending, &mut self.request_started) {
                     self.read_poisoned = true;
                 }
                 IoOutcome::Continue
@@ -252,10 +298,17 @@ impl Conn {
         input: &mut &[u8],
         shared: &Shared,
         pending: &mut VecDeque<PendingItem>,
+        started: &mut Option<Instant>,
     ) -> Option<Vec<u8>> {
         loop {
             match decoder.feed(input) {
-                Ok(Some(payload)) => pending.push_back(PendingItem::Job(JobKind::Frame(payload))),
+                Ok(Some(payload)) => {
+                    // Pipelined frames completing within one read batch
+                    // each take the shared first-byte stamp once; the rest
+                    // anchor at completion (their bytes arrived together).
+                    let meta = JobMeta::stamp(started.take());
+                    pending.push_back(PendingItem::Job(JobKind::Frame(payload), meta));
+                }
                 Ok(None) => return None,
                 Err(FrameError::TooLarge { declared, max }) => {
                     shared.count_protocol_error();
@@ -281,10 +334,12 @@ impl Conn {
         parser: &mut HttpParser,
         input: &[u8],
         pending: &mut VecDeque<PendingItem>,
+        started: &mut Option<Instant>,
     ) -> bool {
         match parser.feed(input) {
             Ok(Some(request)) => {
-                pending.push_back(PendingItem::Job(JobKind::Http(request)));
+                let meta = JobMeta::stamp(started.take());
+                pending.push_back(PendingItem::Job(JobKind::Http(request), meta));
                 false
             }
             Ok(None) => false,
@@ -381,15 +436,15 @@ impl Conn {
     /// Hand the next pending request to the caller (the reactor submits it
     /// to the worker pool), or apply a queued fatal response. At most one
     /// request is out at a time.
-    pub(crate) fn next_job(&mut self) -> Option<JobKind> {
+    pub(crate) fn next_job(&mut self) -> Option<(JobKind, JobMeta)> {
         if self.busy || self.close_mode != CloseMode::Open {
             return None;
         }
         match self.pending.pop_front() {
             None => None,
-            Some(PendingItem::Job(kind)) => {
+            Some(PendingItem::Job(kind, meta)) => {
                 self.busy = true;
-                Some(kind)
+                Some((kind, meta))
             }
             Some(PendingItem::Fatal(bytes, mode)) => {
                 self.outbox.push_back(bytes);

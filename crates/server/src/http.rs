@@ -9,14 +9,18 @@
 //! |---|---|---|
 //! | `GET /stats` | — | [`ResponseBody::Stats`] |
 //! | `GET /tables` | — | [`ResponseBody::Tables`] |
+//! | `GET /metrics` | — | Prometheus exposition text (`text/plain`) |
+//! | `GET /trace/recent` | — | [`ResponseBody::TraceRecent`] |
 //! | `POST /explain` | [`ExplainBody`] JSON | [`ResponseBody::Explanation`] |
 //! | `POST /explain_batch` | [`ExplainBatchBody`] JSON | [`ResponseBody::Batch`] |
 //!
 //! The response body is always the JSON serialization of a
-//! [`ResponseBody`], so HTTP clients see exactly the payloads framed
-//! clients see; status codes mirror the error codes (429 + `Retry-After`
-//! for backpressure, 400 for malformed input, 404 for unknown tables and
-//! routes, 413 for oversized bodies, 500 for internal failures).
+//! [`ResponseBody`] — except `GET /metrics`, which unwraps the rendered
+//! registry to raw `text/plain` so Prometheus can scrape it directly — so
+//! HTTP clients see exactly the payloads framed clients see; status codes
+//! mirror the error codes (429 + `Retry-After` for backpressure, 400 for
+//! malformed input, 404 for unknown tables and routes, 413 for oversized
+//! bodies, 500 for internal failures).
 //!
 //! [`HttpParser`] is the read half as a resumable state machine: feed it
 //! socket bytes as they arrive and it yields one [`HttpRequest`] when the
@@ -31,12 +35,13 @@ use crate::wire::{ErrorCode, ExplainBatchBody, ExplainBody, RequestBody, Respons
 /// Bound on the request head (request line + headers).
 const MAX_HEAD_LEN: usize = 16 * 1024;
 
-/// An HTTP-level response: status line pieces plus the JSON body.
+/// An HTTP-level response: status line pieces plus the body.
 #[derive(Debug)]
 pub(crate) struct HttpResponse {
     status: u16,
     reason: &'static str,
     retry_after_ms: Option<u64>,
+    content_type: &'static str,
     body: String,
 }
 
@@ -46,16 +51,33 @@ impl HttpResponse {
             ResponseBody::Error(err) => status_for(err),
             _ => (200, "OK", None),
         };
+        // `GET /metrics` unwraps the rendered registry to raw text so
+        // a Prometheus scraper needs no JSON decoding.
+        if let ResponseBody::Metrics(metrics) = body {
+            return HttpResponse {
+                status,
+                reason,
+                retry_after_ms,
+                content_type: "text/plain; version=0.0.4",
+                body: metrics.text.clone(),
+            };
+        }
         HttpResponse {
             status,
             reason,
             retry_after_ms,
+            content_type: "application/json",
             body: serde_json::to_string(body).unwrap_or_else(|_| "{}".to_string()),
         }
     }
 
     pub(crate) fn error(code: ErrorCode, message: impl Into<String>) -> HttpResponse {
         HttpResponse::from_body(&ResponseBody::Error(WireError::new(code, message)))
+    }
+
+    /// The HTTP status code (the trace records it as the outcome).
+    pub(crate) fn status(&self) -> u16 {
+        self.status
     }
 }
 
@@ -237,11 +259,20 @@ fn parse_head(head: Vec<u8>, max_body: usize) -> Result<(String, String, usize),
     Ok((method, path, content_length))
 }
 
-/// Map `(method, path, body)` to the shared dispatch core.
-pub(crate) fn route(shared: &Shared, method: &str, path: &str, body: &[u8]) -> HttpResponse {
+/// Map `(method, path, body)` to the shared dispatch core. `trace` is the
+/// request's sampled trace, threaded into the handlers.
+pub(crate) fn route(
+    shared: &Shared,
+    method: &str,
+    path: &str,
+    body: &[u8],
+    trace: &mut Option<wtq_obs::RequestTrace>,
+) -> HttpResponse {
     let request = match (method, path) {
         ("GET", "/stats") => RequestBody::Stats,
         ("GET", "/tables") => RequestBody::ListTables,
+        ("GET", "/metrics") => RequestBody::Metrics,
+        ("GET", "/trace/recent") => RequestBody::TraceRecent,
         ("POST", "/explain") => match parse_json::<ExplainBody>(shared, body) {
             Ok(parsed) => RequestBody::Explain(parsed),
             Err(response) => return response,
@@ -256,6 +287,7 @@ pub(crate) fn route(shared: &Shared, method: &str, path: &str, body: &[u8]) -> H
                 status: 404,
                 reason: "Not Found",
                 retry_after_ms: None,
+                content_type: "application/json",
                 body: serde_json::to_string(&ResponseBody::Error(WireError::new(
                     ErrorCode::Malformed,
                     format!("no route for {method} {path}"),
@@ -264,7 +296,7 @@ pub(crate) fn route(shared: &Shared, method: &str, path: &str, body: &[u8]) -> H
             };
         }
     };
-    HttpResponse::from_body(&shared.handle_request(request))
+    HttpResponse::from_body(&shared.handle_request(request, trace))
 }
 
 fn parse_json<T: serde::Deserialize>(shared: &Shared, body: &[u8]) -> Result<T, HttpResponse> {
@@ -281,9 +313,10 @@ fn parse_json<T: serde::Deserialize>(shared: &Shared, body: &[u8]) -> Result<T, 
 /// Serialize a response to the bytes the connection's outbox will flush.
 pub(crate) fn response_bytes(response: &HttpResponse) -> Vec<u8> {
     let mut head = format!(
-        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n",
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
         response.status,
         response.reason,
+        response.content_type,
         response.body.len()
     );
     if let Some(retry_after_ms) = response.retry_after_ms {
@@ -399,13 +432,26 @@ mod tests {
             status: 429,
             reason: "Too Many Requests",
             retry_after_ms: Some(50),
+            content_type: "application/json",
             body: "{}".to_string(),
         };
         let bytes = response_bytes(&response);
         let text = String::from_utf8(bytes).unwrap();
         assert!(text.starts_with("HTTP/1.1 429 Too Many Requests\r\n"));
         assert!(text.contains("Retry-After: 1\r\n"));
+        assert!(text.contains("Content-Type: application/json\r\n"));
         assert!(text.contains("Connection: close\r\n"));
         assert!(text.ends_with("\r\n\r\n{}"));
+    }
+
+    #[test]
+    fn metrics_bodies_render_as_plain_text() {
+        let response = HttpResponse::from_body(&ResponseBody::Metrics(crate::wire::MetricsBody {
+            text: "# TYPE wtq_server_requests_total counter\n".to_string(),
+        }));
+        assert_eq!(response.status(), 200);
+        let text = String::from_utf8(response_bytes(&response)).unwrap();
+        assert!(text.contains("Content-Type: text/plain; version=0.0.4\r\n"));
+        assert!(text.ends_with("# TYPE wtq_server_requests_total counter\n"));
     }
 }

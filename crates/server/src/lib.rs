@@ -15,8 +15,9 @@
 //!   then a versioned JSON envelope. This is the primary protocol: cheap to
 //!   parse, pipelineable, spoken by [`Client`].
 //! * **HTTP/1.1** ([`http`], private) — a minimal adapter for `curl` and
-//!   browsers: `GET /stats`, `GET /tables`, `POST /explain`,
-//!   `POST /explain_batch`, one request per connection.
+//!   browsers: `GET /stats`, `GET /tables`, `GET /metrics`,
+//!   `GET /trace/recent`, `POST /explain`, `POST /explain_batch`, one
+//!   request per connection.
 //!
 //! The serving semantics (documented on [`server`]):
 //!
@@ -31,6 +32,12 @@
 //! * **Stats** — a `Stats` request snapshots [`wtq_core::EngineStats`]
 //!   (index-cache hit/miss/evictions, served counts, in-flight) plus the
 //!   server's own counters.
+//! * **Observability** ([`obs`], private) — every counter above plus
+//!   latency histograms render as Prometheus text through `GET /metrics`
+//!   (or the framed `Metrics` request), and a configurable fraction of
+//!   requests is traced stage-by-stage into the rings `GET /trace/recent`
+//!   serves. Both are control-plane: reachable while the in-flight queue
+//!   is saturated.
 //!
 //! ```no_run
 //! use std::sync::Arc;
@@ -52,6 +59,7 @@
 
 mod conn;
 mod http;
+mod obs;
 mod reactor;
 
 pub mod client;
@@ -61,7 +69,10 @@ pub mod wire;
 pub use client::{Client, ClientError, ConnectOptions, RetryPolicy};
 pub use server::{Server, ServerConfig, ServerHandle};
 pub use wire::{
-    ErrorCode, ExplainBatchBody, ExplainBody, RequestBody, RequestEnvelope, ResponseBody,
-    ResponseEnvelope, ServerStats, StatsBody, TablesBody, WireBatch, WireCandidate, WireError,
-    WireExplanation, PROTOCOL_VERSION,
+    ErrorCode, ExplainBatchBody, ExplainBody, MetricsBody, RequestBody, RequestEnvelope,
+    ResponseBody, ResponseEnvelope, ServerStats, StatsBody, TablesBody, TraceRecentBody, WireBatch,
+    WireCandidate, WireError, WireExplanation, PROTOCOL_VERSION,
 };
+// Re-exported so downstream consumers of `TraceRecentBody` can name the
+// snapshot types without depending on `wtq-obs` directly.
+pub use wtq_obs::{SpanSnapshot, TraceSnapshot};

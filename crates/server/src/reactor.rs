@@ -37,10 +37,10 @@ use std::time::{Duration, Instant};
 
 use wtq_net::{Interest, Poller, WakeReceiver, Waker};
 
-use crate::conn::{Conn, IoOutcome, JobKind};
+use crate::conn::{Conn, IoOutcome, JobKind, JobMeta};
 use crate::http;
 use crate::server::{dispatch_frame, error_envelope, Shared};
-use crate::wire::{self, ErrorCode};
+use crate::wire::{self, ErrorCode, ResponseBody};
 
 /// The token reserved for the waker pipe.
 const WAKER_TOKEN: u64 = u64::MAX;
@@ -102,6 +102,7 @@ pub(crate) struct Job {
     token: u64,
     gen: u64,
     kind: JobKind,
+    meta: JobMeta,
 }
 
 /// A minimal slab: stable `u64` tokens for epoll, O(1) insert/remove,
@@ -292,11 +293,12 @@ impl Reactor {
             let Some(conn) = self.conns.get_mut(token) else {
                 return;
             };
-            conn.next_job().map(|kind| Job {
+            conn.next_job().map(|(kind, meta)| Job {
                 reactor: self.rshared.clone(),
                 token,
                 gen: conn.gen,
                 kind,
+                meta,
             })
         };
         if let Some(job) = job {
@@ -430,7 +432,8 @@ pub(crate) fn dispatch_worker(shared: Arc<Shared>, jobs: Arc<Mutex<Receiver<Job>
             return; // all senders dropped: shutdown
         };
         let is_http = matches!(job.kind, JobKind::Http(_));
-        let bytes = catch_unwind(AssertUnwindSafe(|| respond(&shared, job.kind)))
+        let meta = job.meta;
+        let bytes = catch_unwind(AssertUnwindSafe(|| respond(&shared, job.kind, meta)))
             .unwrap_or_else(|_| fallback_internal_error(is_http));
         job.reactor.push(Command::Complete {
             token: job.token,
@@ -440,11 +443,35 @@ pub(crate) fn dispatch_worker(shared: Arc<Shared>, jobs: Arc<Mutex<Receiver<Job>
     }
 }
 
-/// Answer one request as raw response bytes.
-fn respond(shared: &Shared, kind: JobKind) -> Vec<u8> {
-    match kind {
+/// Nanoseconds between two instants (0 when `end` precedes `start`).
+fn ns_between(start: Instant, end: Instant) -> u64 {
+    end.saturating_duration_since(start).as_nanos() as u64
+}
+
+/// Answer one request as raw response bytes. This is where a sampled
+/// request's trace is born and finished: the reactor stamped arrival and
+/// decode time on the job ([`JobMeta`]), the handlers append their stage
+/// spans, and the encode span plus the end-to-end latency histogram close
+/// the request out.
+fn respond(shared: &Shared, kind: JobKind, meta: JobMeta) -> Vec<u8> {
+    let obs = shared.obs();
+    let entered = Instant::now();
+    let wait_ns = ns_between(meta.started, entered).saturating_sub(meta.decode_ns);
+    obs.stage_decode.observe(meta.decode_ns);
+    obs.stage_queue_wait.observe(wait_ns);
+    let mut trace = obs.tracer().start(meta.started);
+    if let Some(trace) = trace.as_mut() {
+        trace.record_ns("decode", 0, meta.decode_ns);
+        trace.record_ns("queue_wait", meta.decode_ns, wait_ns);
+    }
+    let (bytes, status) = match kind {
         JobKind::Frame(payload) => {
-            let envelope = dispatch_frame(shared, &payload);
+            let envelope = dispatch_frame(shared, &payload, &mut trace);
+            let status = match &envelope.body {
+                ResponseBody::Error(err) => format!("{:?}", err.code),
+                _ => "ok".to_string(),
+            };
+            let encode_start = Instant::now();
             let json = serde_json::to_string(&envelope).unwrap_or_else(|err| {
                 serde_json::to_string(&error_envelope(
                     0,
@@ -453,12 +480,46 @@ fn respond(shared: &Shared, kind: JobKind) -> Vec<u8> {
                 ))
                 .unwrap_or_else(|_| "{}".to_string())
             });
-            wire::encode_frame(json.as_bytes()).unwrap_or_default()
+            let bytes = wire::encode_frame(json.as_bytes()).unwrap_or_default();
+            finish_encode(shared, &mut trace, encode_start);
+            (bytes, status)
         }
         JobKind::Http(request) => {
-            let response = http::route(shared, &request.method, &request.path, &request.body);
-            http::response_bytes(&response)
+            let response = http::route(
+                shared,
+                &request.method,
+                &request.path,
+                &request.body,
+                &mut trace,
+            );
+            let status = response.status().to_string();
+            let encode_start = Instant::now();
+            let bytes = http::response_bytes(&response);
+            finish_encode(shared, &mut trace, encode_start);
+            (bytes, status)
         }
+    };
+    let total_ns = ns_between(meta.started, Instant::now());
+    obs.request_duration.observe(total_ns);
+    if let Some(trace) = trace {
+        obs.tracer().finish(trace, &status, total_ns);
+    }
+    bytes
+}
+
+/// Close the encode span (histogram + trace).
+fn finish_encode(
+    shared: &Shared,
+    trace: &mut Option<wtq_obs::RequestTrace>,
+    encode_start: Instant,
+) {
+    let encode_end = Instant::now();
+    shared
+        .obs()
+        .stage_encode
+        .observe(ns_between(encode_start, encode_end));
+    if let Some(trace) = trace.as_mut() {
+        trace.record("encode", encode_start, encode_end);
     }
 }
 

@@ -48,17 +48,20 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use wtq_cache::{Begin, CacheConfig};
 use wtq_core::{CachedEngine, Engine, ExplainRequest, Explanation};
+use wtq_obs::RequestTrace;
 use wtq_runtime::{BatchError, CancelToken};
 use wtq_table::Catalog;
 
+use crate::obs::Obs;
 use crate::reactor::{self, Command, Reactor, ReactorShared};
 use crate::wire::{
-    self, ErrorCode, ExplainBatchBody, ExplainBody, RequestBody, RequestEnvelope, ResponseBody,
-    ResponseEnvelope, ServerStats, StatsBody, TablesBody, WireBatch, WireError, WireExplanation,
+    self, ErrorCode, ExplainBatchBody, ExplainBody, MetricsBody, RequestBody, RequestEnvelope,
+    ResponseBody, ResponseEnvelope, ServerStats, StatsBody, TablesBody, TraceRecentBody, WireBatch,
+    WireError, WireExplanation,
 };
 
 /// Tuning knobs of a [`Server`].
@@ -104,6 +107,13 @@ pub struct ServerConfig {
     /// TTL of answer-cache entries in milliseconds; `0` means entries
     /// never expire by age (LRU and epoch invalidation still apply).
     pub cache_ttl_ms: u64,
+    /// Fraction of requests sampled into the trace rings (deterministic
+    /// every-Nth with `N = round(1/rate)`). `0.0` disables tracing
+    /// entirely — sampled-out requests cost one relaxed counter increment.
+    pub trace_sample_rate: f64,
+    /// Capacity of each trace ring (most-recent and slowest); see
+    /// `GET /trace/recent`.
+    pub trace_ring_size: usize,
 }
 
 impl Default for ServerConfig {
@@ -120,6 +130,8 @@ impl Default for ServerConfig {
             dispatch_threads: 0,
             cache_capacity: 4096,
             cache_ttl_ms: 0,
+            trace_sample_rate: 0.0625,
+            trace_ring_size: 128,
         }
     }
 }
@@ -362,6 +374,9 @@ pub(crate) struct Shared {
     /// observable depth of the I/O layer itself, distinct from the
     /// in-flight request queue.
     reactor_queue: AtomicI64,
+    /// The observability surface: metrics registry, native latency
+    /// histograms and the request tracer (see [`crate::obs`]).
+    obs: Obs,
 }
 
 impl Shared {
@@ -433,6 +448,27 @@ impl Shared {
             reactor_queue_depth: self.reactor_queue.load(Ordering::Relaxed).max(0) as u64,
             reactor_threads: self.config.resolved_reactor_threads() as u64,
             dispatch_threads: self.config.resolved_dispatch_threads() as u64,
+            uptime_ms: self.obs.uptime_ms(),
+            explain_requests: self.obs.explain_requests.get(),
+            explain_batch_requests: self.obs.explain_batch_requests.get(),
+            stats_requests: self.obs.stats_requests.get(),
+            tables_requests: self.obs.tables_requests.get(),
+            metrics_requests: self.obs.metrics_requests.get(),
+            trace_requests: self.obs.trace_requests.get(),
+        }
+    }
+
+    /// The observability surface (registry, tracer, native histograms).
+    pub(crate) fn obs(&self) -> &Obs {
+        &self.obs
+    }
+
+    /// A fresh engine snapshot — from the cached wrapper when present, so
+    /// the answer-cache counters are live rather than all-zero.
+    fn engine_stats(&self) -> wtq_core::EngineStats {
+        match &self.cached {
+            Some(cached) => cached.stats(),
+            None => self.engine.stats(),
         }
     }
 
@@ -484,27 +520,82 @@ impl Shared {
     /// framed protocol and the HTTP adapter. Engine work runs under
     /// `catch_unwind`, so a panicking job becomes an `Internal` error
     /// response instead of killing the connection handler (and is invisible
-    /// to the accept loop either way).
-    pub(crate) fn handle_request(&self, body: RequestBody) -> ResponseBody {
+    /// to the accept loop either way). `trace` is the request's sampled
+    /// trace, when it drew a sampling slot — handlers append stage spans
+    /// to it.
+    pub(crate) fn handle_request(
+        &self,
+        body: RequestBody,
+        trace: &mut Option<RequestTrace>,
+    ) -> ResponseBody {
         match body {
-            RequestBody::ListTables => ResponseBody::Tables(TablesBody {
-                tables: self.catalog.summaries(),
-            }),
-            RequestBody::Stats => ResponseBody::Stats(Box::new(StatsBody {
-                // The cached wrapper's snapshot carries the answer-cache
-                // counters; a bare engine reports them all-zero.
-                engine: match &self.cached {
-                    Some(cached) => cached.stats(),
-                    None => self.engine.stats(),
-                },
-                server: self.server_stats(),
-            })),
-            RequestBody::Explain(request) => self.handle_explain(request),
-            RequestBody::ExplainBatch(batch) => self.handle_batch(batch),
+            RequestBody::ListTables => {
+                self.obs.tables_requests.inc();
+                if let Some(trace) = trace {
+                    trace.set_endpoint("tables");
+                }
+                ResponseBody::Tables(TablesBody {
+                    tables: self.catalog.summaries(),
+                })
+            }
+            RequestBody::Stats => {
+                self.obs.stats_requests.inc();
+                if let Some(trace) = trace {
+                    trace.set_endpoint("stats");
+                }
+                ResponseBody::Stats(Box::new(StatsBody {
+                    // The cached wrapper's snapshot carries the answer-cache
+                    // counters; a bare engine reports them all-zero.
+                    engine: self.engine_stats(),
+                    server: self.server_stats(),
+                }))
+            }
+            RequestBody::Metrics => {
+                self.obs.metrics_requests.inc();
+                if let Some(trace) = trace {
+                    trace.set_endpoint("metrics");
+                }
+                ResponseBody::Metrics(MetricsBody {
+                    text: self.obs.render(&self.engine_stats(), &self.server_stats()),
+                })
+            }
+            RequestBody::TraceRecent => {
+                self.obs.trace_requests.inc();
+                if let Some(trace) = trace {
+                    trace.set_endpoint("trace");
+                }
+                let (recent, slowest) = self.obs.tracer().snapshot();
+                ResponseBody::TraceRecent(TraceRecentBody {
+                    sample_period: self.obs.tracer().period(),
+                    sampled: self.obs.tracer().sampled(),
+                    recent,
+                    slowest,
+                })
+            }
+            RequestBody::Explain(request) => {
+                self.obs.explain_requests.inc();
+                if let Some(trace) = trace {
+                    trace.set_endpoint("explain");
+                    trace.set_detail(format!("{} @ {}", request.question, request.table));
+                }
+                self.handle_explain(request, trace)
+            }
+            RequestBody::ExplainBatch(batch) => {
+                self.obs.explain_batch_requests.inc();
+                if let Some(trace) = trace {
+                    trace.set_endpoint("explain_batch");
+                    trace.set_detail(format!("{} questions", batch.requests.len()));
+                }
+                self.handle_batch(batch, trace)
+            }
         }
     }
 
-    fn handle_explain(&self, request: ExplainBody) -> ResponseBody {
+    fn handle_explain(
+        &self,
+        request: ExplainBody,
+        trace: &mut Option<RequestTrace>,
+    ) -> ResponseBody {
         // Table resolution and the cache probe run *before* the in-flight
         // gate, control-plane-style: a request the cache can answer (or
         // reject as unknown) must never bounce off `Overloaded`, so
@@ -516,21 +607,32 @@ impl Shared {
                 format!("unknown table: {}", request.table),
             ));
         };
+        let probe_start = Instant::now();
         let key = self
             .cached
             .as_ref()
             .map(|cached| cached.key_for(&request.question, table, request.top_k));
-        if let (Some(cached), Some(key)) = (&self.cached, &key) {
-            if let Some(candidates) = cached.probe(key) {
-                self.counters.requests.fetch_add(1, Ordering::Relaxed);
-                return ResponseBody::Explanation(WireExplanation::from_candidates(
-                    &request.question,
-                    &request.table,
-                    &candidates,
-                    table,
-                ));
-            }
+        let probed = match (&self.cached, &key) {
+            (Some(cached), Some(key)) => cached.probe(key),
+            _ => None,
+        };
+        let probe_end = Instant::now();
+        self.obs
+            .stage_cache_probe
+            .observe(span_ns(probe_start, probe_end));
+        if let Some(trace) = trace.as_mut() {
+            trace.record("cache_probe", probe_start, probe_end);
         }
+        if let Some(candidates) = probed {
+            self.counters.requests.fetch_add(1, Ordering::Relaxed);
+            return ResponseBody::Explanation(WireExplanation::from_candidates(
+                &request.question,
+                &request.table,
+                &candidates,
+                table,
+            ));
+        }
+        let admit_start = Instant::now();
         let Some(_slot) = self.try_admit() else {
             return self.overloaded();
         };
@@ -576,6 +678,13 @@ impl Shared {
                 ))
             }
         };
+        let admit_end = Instant::now();
+        self.obs
+            .stage_admission_wait
+            .observe(span_ns(admit_start, admit_end));
+        if let Some(trace) = trace.as_mut() {
+            trace.record("admission_wait", admit_start, admit_end);
+        }
         let top_k = request.top_k.unwrap_or(self.engine.config().top_k);
         let explained = catch_unwind(AssertUnwindSafe(|| match (self.cached.as_ref(), flight) {
             (Some(cached), Some(guard)) => {
@@ -586,6 +695,20 @@ impl Shared {
                     .explain_question(&request.question, table, top_k),
             ),
         }));
+        let eval_end = Instant::now();
+        self.obs.stage_eval.observe(span_ns(admit_end, eval_end));
+        if let Some(trace) = trace.as_mut() {
+            trace.record("eval", admit_end, eval_end);
+        }
+        // The parse pipeline ran inline on this thread (unless the cache
+        // or single-flight answered); always *take* its last-parse spans so
+        // a stale breakdown can never be attributed to a later request.
+        if let Some(parse) = wtq_parser::take_last_parse_stats() {
+            self.obs.observe_parse(&parse);
+            if let Some(trace) = trace.as_mut() {
+                record_parse_spans(trace, admit_end, &parse);
+            }
+        }
         match explained {
             Ok(candidates) => {
                 self.counters.requests.fetch_add(1, Ordering::Relaxed);
@@ -603,7 +726,11 @@ impl Shared {
         }
     }
 
-    fn handle_batch(&self, batch: ExplainBatchBody) -> ResponseBody {
+    fn handle_batch(
+        &self,
+        batch: ExplainBatchBody,
+        trace: &mut Option<RequestTrace>,
+    ) -> ResponseBody {
         if batch.requests.len() > self.config.max_batch {
             return ResponseBody::Error(WireError::new(
                 ErrorCode::BatchTooLarge,
@@ -631,9 +758,12 @@ impl Shared {
             // never be rejected with a retry hint.
             let plan = cached.plan_batch(&self.catalog, &requests);
             if plan.is_fully_cached() {
+                let eval_start = Instant::now();
                 let result = cached.execute_batch(plan, &self.catalog, &requests, &self.cancel);
+                self.observe_batch_eval(eval_start, trace);
                 return self.batch_response(result);
             }
+            let admit_start = Instant::now();
             let Some(_slot) = self.try_admit() else {
                 return self.overloaded();
             };
@@ -666,10 +796,13 @@ impl Shared {
                     ))
                 }
             };
+            let eval_start = self.observe_batch_admission(admit_start, trace);
             let result = cached.execute_batch(plan, &self.catalog, &requests, &self.cancel);
+            self.observe_batch_eval(eval_start, trace);
             return self.batch_response(result);
         }
 
+        let admit_start = Instant::now();
         let Some(_slot) = self.try_admit() else {
             return self.overloaded();
         };
@@ -706,10 +839,39 @@ impl Shared {
                 ))
             }
         };
+        let eval_start = self.observe_batch_admission(admit_start, trace);
         let result = self
             .engine
             .explain_batch_cancellable(&self.catalog, &requests, &self.cancel);
+        self.observe_batch_eval(eval_start, trace);
         self.batch_response(result)
+    }
+
+    /// Close a batch's admission-wait span and return the eval start point.
+    /// (Batch parses fan out over worker threads, so batches record no
+    /// per-question parse breakdown — only the coarse stage spans.)
+    fn observe_batch_admission(
+        &self,
+        admit_start: Instant,
+        trace: &mut Option<RequestTrace>,
+    ) -> Instant {
+        let admit_end = Instant::now();
+        self.obs
+            .stage_admission_wait
+            .observe(span_ns(admit_start, admit_end));
+        if let Some(trace) = trace.as_mut() {
+            trace.record("admission_wait", admit_start, admit_end);
+        }
+        admit_end
+    }
+
+    /// Close a batch's eval span.
+    fn observe_batch_eval(&self, eval_start: Instant, trace: &mut Option<RequestTrace>) {
+        let eval_end = Instant::now();
+        self.obs.stage_eval.observe(span_ns(eval_start, eval_end));
+        if let Some(trace) = trace.as_mut() {
+            trace.record("eval", eval_start, eval_end);
+        }
     }
 
     /// Render a batch outcome to the wire — shared by the cached and
@@ -769,6 +931,7 @@ impl Server {
                 },
             )
         });
+        let obs = Obs::new(config.trace_sample_rate, config.trace_ring_size);
         let shared = Arc::new(Shared {
             engine,
             cached,
@@ -781,6 +944,7 @@ impl Server {
             cancel: CancelToken::new(),
             open_connections: AtomicU64::new(0),
             reactor_queue: AtomicI64::new(0),
+            obs,
         });
 
         let (job_sender, job_receiver) = mpsc::channel();
@@ -951,9 +1115,44 @@ impl Drop for ServerHandle {
     }
 }
 
+/// Nanoseconds between two instants (0 when `end` precedes `start`).
+fn span_ns(start: Instant, end: Instant) -> u64 {
+    end.saturating_duration_since(start).as_nanos() as u64
+}
+
+/// Attach one parse's stage breakdown as sub-spans of the `eval` span.
+/// The stages run sequentially, so laying their durations back-to-back
+/// from the eval start reconstructs the real timeline (any unattributed
+/// eval time — SQL translation, highlight rendering — trails at the end).
+fn record_parse_spans(
+    trace: &mut RequestTrace,
+    eval_start: Instant,
+    parse: &wtq_parser::ParseStats,
+) {
+    let base = eval_start
+        .saturating_duration_since(trace.started())
+        .as_nanos() as u64;
+    let mut offset = 0u64;
+    for (name, ns) in [
+        ("parse:tokenize", parse.tokenize_ns),
+        ("parse:lexicon", parse.lexicon_ns),
+        ("parse:candidates", parse.candidates_ns),
+        ("parse:eval", parse.eval_ns),
+        ("parse:features", parse.features_ns),
+        ("parse:score", parse.score_ns),
+    ] {
+        trace.record_ns(name, base + offset, ns);
+        offset += ns;
+    }
+}
+
 /// Decode one frame payload into a request and answer it. Decode failures
 /// become structured `Malformed`/`UnsupportedVersion` errors.
-pub(crate) fn dispatch_frame(shared: &Shared, payload: &[u8]) -> ResponseEnvelope {
+pub(crate) fn dispatch_frame(
+    shared: &Shared,
+    payload: &[u8],
+    trace: &mut Option<RequestTrace>,
+) -> ResponseEnvelope {
     let text = match std::str::from_utf8(payload) {
         Ok(text) => text,
         Err(_) => {
@@ -983,7 +1182,7 @@ pub(crate) fn dispatch_frame(shared: &Shared, payload: &[u8]) -> ResponseEnvelop
     ResponseEnvelope {
         v: wire::PROTOCOL_VERSION,
         id: envelope.id,
-        body: shared.handle_request(envelope.body),
+        body: shared.handle_request(envelope.body, trace),
     }
 }
 

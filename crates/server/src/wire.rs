@@ -290,6 +290,10 @@ pub enum RequestBody {
     ListTables,
     /// Engine + server statistics (control plane: never queued or rejected).
     Stats,
+    /// Prometheus-style metrics text (control plane, like `Stats`).
+    Metrics,
+    /// Recent and slowest sampled request traces (control plane).
+    TraceRecent,
 }
 
 /// One question addressed to a registered table by name.
@@ -322,6 +326,10 @@ pub enum ResponseBody {
     /// Engine + server statistics (boxed: the stats snapshot is by far
     /// the largest body and would otherwise size every response).
     Stats(Box<StatsBody>),
+    /// The rendered metrics registry.
+    Metrics(MetricsBody),
+    /// Sampled request traces.
+    TraceRecent(TraceRecentBody),
     /// A structured failure.
     Error(WireError),
 }
@@ -347,6 +355,28 @@ pub struct StatsBody {
     pub engine: EngineStats,
     /// Counters of the serving layer itself.
     pub server: ServerStats,
+}
+
+/// The metrics registry rendered as Prometheus exposition text (the same
+/// bytes `GET /metrics` serves).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MetricsBody {
+    /// Prometheus text: `# HELP`/`# TYPE` comment lines plus samples.
+    pub text: String,
+}
+
+/// Sampled request traces: the most recent window plus the slowest seen.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TraceRecentBody {
+    /// The sampling period: 1 of every `sample_period` requests is traced
+    /// (0 when tracing is disabled).
+    pub sample_period: u64,
+    /// Requests sampled into the rings since startup.
+    pub sampled: u64,
+    /// The most recent sampled traces, oldest first.
+    pub recent: Vec<wtq_obs::TraceSnapshot>,
+    /// The slowest sampled traces, fastest first.
+    pub slowest: Vec<wtq_obs::TraceSnapshot>,
 }
 
 /// Counters of the serving layer (all monotonic except `in_flight`).
@@ -385,6 +415,20 @@ pub struct ServerStats {
     /// Dispatch worker threads running requests — with the reactor model
     /// this, not the connection count, bounds the server's thread count.
     pub dispatch_threads: u64,
+    /// Milliseconds since the server started.
+    pub uptime_ms: u64,
+    /// `Explain` requests handled (either protocol).
+    pub explain_requests: u64,
+    /// `ExplainBatch` requests handled.
+    pub explain_batch_requests: u64,
+    /// `Stats` requests handled.
+    pub stats_requests: u64,
+    /// `ListTables` requests handled.
+    pub tables_requests: u64,
+    /// `Metrics` requests handled.
+    pub metrics_requests: u64,
+    /// `TraceRecent` requests handled.
+    pub trace_requests: u64,
 }
 
 /// A structured error response.

@@ -47,8 +47,9 @@
 //! Estimated selectivity comes from the index buckets (`=`, `IN`), the
 //! sorted-numeric partitions (comparisons), and the mean bucket size
 //! (scalar subqueries); `AND` takes the min, `OR` the capped sum. Every
-//! Auto decision is counted in the process-wide [`crate::PlannerStats`],
-//! together with estimated vs actual matching rows.
+//! Auto decision is counted in the engine's own [`PlannerCounters`] set
+//! (mirrored into the deprecated process-wide [`crate::planner_stats`]
+//! shim), together with estimated vs actual matching rows.
 //!
 //! All modes memoize **subquery results** within one execution: queries are
 //! pure over an immutable table, so a scalar or `IN` subquery evaluated once
@@ -59,14 +60,14 @@
 use std::cell::RefCell;
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::rc::Rc;
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 
 use wtq_dcs::{compare_records, AggregateOp, CompareOp};
 use wtq_table::{RecordIdx, Table, TableIndex, Value};
 
 use crate::ast::{ArithOp, SqlExpr, SqlOrder, SqlQuery, SqlSelect};
 use crate::error::SqlError;
-use crate::stats;
+use crate::stats::{PlannerCounters, PlannerStats};
 use crate::Result;
 
 /// Query output: a list of rows, each a list of values.
@@ -100,6 +101,10 @@ pub struct SqlEngine<'a> {
     /// Index built on demand by `ForceIndex`. `Auto` only ever *reads* this
     /// — a warm engine stays warm, a cold one never pays the build.
     built: OnceLock<TableIndex>,
+    /// This engine's planner decision counters. Fresh per engine by
+    /// default; a long-lived owner (the serving layer) can share one set
+    /// across its per-request engines via [`SqlEngine::with_counters`].
+    counters: Arc<PlannerCounters>,
 }
 
 impl<'a> SqlEngine<'a> {
@@ -110,6 +115,7 @@ impl<'a> SqlEngine<'a> {
             table,
             shared: None,
             built: OnceLock::new(),
+            counters: Arc::new(PlannerCounters::new()),
         }
     }
 
@@ -120,12 +126,28 @@ impl<'a> SqlEngine<'a> {
             table,
             shared: Some(index),
             built: OnceLock::new(),
+            counters: Arc::new(PlannerCounters::new()),
         }
+    }
+
+    /// Record planner decisions into `counters` instead of this engine's
+    /// own fresh set — how a long-lived owner accumulates across the
+    /// short-lived per-request engines it constructs.
+    pub fn with_counters(mut self, counters: Arc<PlannerCounters>) -> Self {
+        self.counters = counters;
+        self
     }
 
     /// The bound table.
     pub fn table(&self) -> &'a Table {
         self.table
+    }
+
+    /// Snapshot this engine's planner decision counters (unlike the
+    /// process-wide [`crate::planner_stats`] shim, unaffected by other
+    /// engines).
+    pub fn planner_stats(&self) -> PlannerStats {
+        self.counters.snapshot()
     }
 
     /// Execute `query` under `mode`. All modes compute identical results on
@@ -137,21 +159,21 @@ impl<'a> SqlEngine<'a> {
                 table: self.table,
                 index: self.warm_index(),
                 kernels: true,
-                observe: true,
+                observe: Some(&self.counters),
                 subqueries: &subqueries,
             },
             PlanMode::ForceScan => Ctx {
                 table: self.table,
                 index: None,
                 kernels: false,
-                observe: false,
+                observe: None,
                 subqueries: &subqueries,
             },
             PlanMode::ForceIndex => Ctx {
                 table: self.table,
                 index: Some(self.force_index()),
                 kernels: false,
-                observe: false,
+                observe: None,
                 subqueries: &subqueries,
             },
         };
@@ -191,8 +213,9 @@ struct Ctx<'a> {
     /// Columnar kernels allowed (Auto). `ForceScan`/`ForceIndex` keep the
     /// historical physical plans exactly.
     kernels: bool,
-    /// Record decisions in the process-wide planner counters (Auto only).
-    observe: bool,
+    /// The engine's planner counters to record decisions into (Auto only;
+    /// each record also bumps the deprecated process-wide shim).
+    observe: Option<&'a PlannerCounters>,
     subqueries: &'a SubqueryCache,
 }
 
@@ -355,13 +378,13 @@ fn plan_filter(expr: &SqlExpr, ctx: Ctx<'_>) -> Option<Result<Vec<RecordIdx>>> {
         None => return None,
     };
     let result = planned_filter(expr, ctx, backend)?;
-    if ctx.observe {
+    if let Some(counters) = ctx.observe {
         match backend {
-            Backend::Index(_) => stats::record_index_chosen(),
-            Backend::Kernel => stats::record_kernel_chosen(),
+            Backend::Index(_) => counters.record_index_chosen(),
+            Backend::Kernel => counters.record_kernel_chosen(),
         }
         if let Ok(records) = &result {
-            stats::record_selectivity(estimated as u64, records.len() as u64);
+            counters.record_selectivity(estimated as u64, records.len() as u64);
         }
     }
     Some(result)
@@ -617,8 +640,8 @@ fn execute_select(select: &SqlSelect, ctx: Ctx<'_>) -> Result<SqlResult> {
             match planned {
                 Some(records) => records?,
                 None => {
-                    if ctx.observe {
-                        stats::record_scan_chosen();
+                    if let Some(counters) = ctx.observe {
+                        counters.record_scan_chosen();
                     }
                     let mut matching = Vec::new();
                     for record in ctx.table.record_indices() {
@@ -1274,6 +1297,34 @@ mod tests {
         engine.execute(&q, PlanMode::ForceScan).unwrap();
         let after = crate::planner_stats();
         assert_eq!(after.scan_chosen, before.scan_chosen);
+    }
+
+    #[test]
+    fn planner_counters_are_per_engine() {
+        let table = samples::olympics();
+        let q = SqlQuery::select(SqlSelect::project(vec![col("City")]).with_filter(
+            SqlExpr::Equals(
+                Box::new(col("Country")),
+                Box::new(lit(Value::str("Greece"))),
+            ),
+        ));
+        let a = SqlEngine::new(&table);
+        let b = SqlEngine::new(&table);
+        a.execute(&q, PlanMode::Auto).unwrap();
+        // Per-engine counters are exact (no deltas needed): engine `b` saw
+        // nothing even though `a` ran concurrently with the whole suite.
+        assert_eq!(a.planner_stats().kernel_chosen, 1);
+        assert_eq!(b.planner_stats(), PlannerStats::default());
+
+        // A shared set accumulates across short-lived engines.
+        let shared = Arc::new(PlannerCounters::new());
+        for _ in 0..2 {
+            SqlEngine::new(&table)
+                .with_counters(shared.clone())
+                .execute(&q, PlanMode::Auto)
+                .unwrap();
+        }
+        assert_eq!(shared.snapshot().kernel_chosen, 2);
     }
 
     #[test]

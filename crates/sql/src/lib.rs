@@ -33,7 +33,7 @@ pub mod translate;
 pub use ast::{SqlExpr, SqlOrder, SqlQuery, SqlSelect};
 pub use engine::{PlanMode, SqlEngine, SqlResult};
 pub use error::SqlError;
-pub use stats::{planner_stats, reset_planner_stats, PlannerStats};
+pub use stats::{planner_stats, reset_planner_stats, PlannerCounters, PlannerStats};
 pub use translate::translate;
 
 /// Result alias used across the crate.

@@ -1,5 +1,5 @@
-//! Planner observability: process-wide counters of every `WHERE`-planning
-//! decision the engine takes in [`PlanMode::Auto`][crate::PlanMode::Auto].
+//! Planner observability: counters of every `WHERE`-planning decision the
+//! engine takes in [`PlanMode::Auto`][crate::PlanMode::Auto].
 //!
 //! The counters answer two operational questions:
 //!
@@ -9,10 +9,21 @@
 //!   matching rows for planned filters, so a drifting selectivity model
 //!   shows up as a widening gap between the two sums.
 //!
-//! They are plain relaxed atomics (one `fetch_add` per planned filter, no
-//! contention-sensitive paths), snapshotted by [`planner_stats`] into a
+//! The canonical home of the counters is the per-engine [`PlannerCounters`]
+//! set: every [`SqlEngine`][crate::SqlEngine] owns one (or shares one via
+//! [`SqlEngine::with_counters`][crate::SqlEngine::with_counters]), so two
+//! engines — or interleaved tests and benches — no longer bleed decision
+//! counts into each other. They are plain relaxed atomics (one `fetch_add`
+//! per planned filter, no contention-sensitive paths), snapshotted into a
 //! serializable [`PlannerStats`] that the core engine embeds in its stats
 //! surface and the server serves over the `Stats` wire endpoint.
+//!
+//! The historical process-wide counters remain as a **deprecated read shim
+//! for one release**: every per-engine record also bumps the globals, so
+//! [`planner_stats`] still observes all activity in the process. New code
+//! should read a specific engine's counters instead; the globals (and
+//! [`reset_planner_stats`]) will be removed once the remaining aggregate
+//! consumers move over.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -44,7 +55,68 @@ pub struct PlannerStats {
     pub actual_rows: u64,
 }
 
+/// One engine's planner decision counters. Records are relaxed atomics, so
+/// a set can be shared across threads behind an `Arc` (the serving layer
+/// keeps one per served engine and hands it to every per-request
+/// [`SqlEngine`][crate::SqlEngine]).
+///
+/// Every record also bumps the deprecated process-wide shim counters read
+/// by [`planner_stats`], so aggregate consumers keep working for one
+/// release while they migrate to per-engine reads.
+#[derive(Debug, Default)]
+pub struct PlannerCounters {
+    scan_chosen: AtomicU64,
+    index_chosen: AtomicU64,
+    kernel_chosen: AtomicU64,
+    estimated_rows: AtomicU64,
+    actual_rows: AtomicU64,
+}
+
+impl PlannerCounters {
+    /// A fresh all-zero set.
+    pub fn new() -> PlannerCounters {
+        PlannerCounters::default()
+    }
+
+    /// Snapshot this engine's counters.
+    pub fn snapshot(&self) -> PlannerStats {
+        PlannerStats {
+            scan_chosen: self.scan_chosen.load(Ordering::Relaxed),
+            index_chosen: self.index_chosen.load(Ordering::Relaxed),
+            kernel_chosen: self.kernel_chosen.load(Ordering::Relaxed),
+            estimated_rows: self.estimated_rows.load(Ordering::Relaxed),
+            actual_rows: self.actual_rows.load(Ordering::Relaxed),
+        }
+    }
+
+    pub(crate) fn record_scan_chosen(&self) {
+        self.scan_chosen.fetch_add(1, Ordering::Relaxed);
+        SCAN_CHOSEN.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_index_chosen(&self) {
+        self.index_chosen.fetch_add(1, Ordering::Relaxed);
+        INDEX_CHOSEN.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_kernel_chosen(&self) {
+        self.kernel_chosen.fetch_add(1, Ordering::Relaxed);
+        KERNEL_CHOSEN.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_selectivity(&self, estimated: u64, actual: u64) {
+        self.estimated_rows.fetch_add(estimated, Ordering::Relaxed);
+        self.actual_rows.fetch_add(actual, Ordering::Relaxed);
+        ESTIMATED_ROWS.fetch_add(estimated, Ordering::Relaxed);
+        ACTUAL_ROWS.fetch_add(actual, Ordering::Relaxed);
+    }
+}
+
 /// Snapshot the process-wide planner counters.
+///
+/// **Deprecated read shim (one release):** counters are now per-engine
+/// ([`PlannerCounters`]); this aggregate sums every engine in the process
+/// and will be removed once its remaining consumers read per-engine sets.
 pub fn planner_stats() -> PlannerStats {
     PlannerStats {
         scan_chosen: SCAN_CHOSEN.load(Ordering::Relaxed),
@@ -63,21 +135,4 @@ pub fn reset_planner_stats() {
     KERNEL_CHOSEN.store(0, Ordering::Relaxed);
     ESTIMATED_ROWS.store(0, Ordering::Relaxed);
     ACTUAL_ROWS.store(0, Ordering::Relaxed);
-}
-
-pub(crate) fn record_scan_chosen() {
-    SCAN_CHOSEN.fetch_add(1, Ordering::Relaxed);
-}
-
-pub(crate) fn record_index_chosen() {
-    INDEX_CHOSEN.fetch_add(1, Ordering::Relaxed);
-}
-
-pub(crate) fn record_kernel_chosen() {
-    KERNEL_CHOSEN.fetch_add(1, Ordering::Relaxed);
-}
-
-pub(crate) fn record_selectivity(estimated: u64, actual: u64) {
-    ESTIMATED_ROWS.fetch_add(estimated, Ordering::Relaxed);
-    ACTUAL_ROWS.fetch_add(actual, Ordering::Relaxed);
 }

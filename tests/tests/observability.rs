@@ -1,0 +1,373 @@
+//! Observability integration: the `/metrics` scrape and `/trace/recent`
+//! ring are trustworthy and stay reachable under pressure.
+//!
+//! Three acceptance properties of the observability layer:
+//!
+//! 1. `/metrics` is **well-formed Prometheus text** — every sample line
+//!    parses, every family is typed, and counters only ever move up
+//!    between scrapes,
+//! 2. `/trace/recent` returns **coherent traces under concurrent load** —
+//!    monotonic sequence numbers, named stage spans, sane timings,
+//! 3. both surfaces are **control-plane**: they answer immediately while
+//!    the in-flight queue is saturated, exactly like `Stats`.
+
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use wtq_core::Engine;
+use wtq_server::{Client, ExplainBody, Server, ServerConfig, ServerHandle};
+use wtq_table::{samples, Catalog, Table};
+
+/// A deterministically generated "giant" table next to the small samples.
+fn big_table(rows: usize) -> Table {
+    let mut rng = ChaCha8Rng::seed_from_u64(20190416);
+    let domain = &wtq_dataset::all_domains()[0];
+    wtq_dataset::tablegen::generate_table_with_rows(domain, 0, rows, &mut rng)
+}
+
+fn serving_stack(
+    config: ServerConfig,
+    extra: Vec<Table>,
+) -> (Arc<Engine>, Arc<Catalog>, ServerHandle) {
+    let engine = Arc::new(Engine::new());
+    let mut tables = vec![samples::olympics(), samples::medals()];
+    tables.extend(extra);
+    let catalog: Arc<Catalog> = Arc::new(tables.into_iter().collect());
+    let handle = Server::bind("127.0.0.1:0", engine.clone(), catalog.clone(), config)
+        .expect("bind loopback server");
+    (engine, catalog, handle)
+}
+
+/// Parse Prometheus text into `(series name with labels) → value`, checking
+/// shape along the way: every family carries `# HELP` and `# TYPE` before
+/// its first sample, every sample line is `name[{labels}] value` with a
+/// parseable value. Returns the samples plus each family's declared type.
+fn parse_prometheus(text: &str) -> (HashMap<String, f64>, HashMap<String, String>) {
+    let mut samples = HashMap::new();
+    let mut types = HashMap::new();
+    let mut helped: Vec<String> = Vec::new();
+    for line in text.lines() {
+        assert!(!line.trim().is_empty(), "no blank lines in the exposition");
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let family = rest.split_whitespace().next().expect("family after HELP");
+            helped.push(family.to_string());
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.split_whitespace();
+            let family = parts.next().expect("family after TYPE");
+            let kind = parts.next().expect("type name");
+            assert!(
+                matches!(kind, "counter" | "gauge" | "histogram"),
+                "unknown type {kind} for {family}"
+            );
+            types.insert(family.to_string(), kind.to_string());
+            continue;
+        }
+        assert!(!line.starts_with('#'), "unexpected comment: {line}");
+        let (series, value) = line.rsplit_once(' ').expect("sample line has a value");
+        let value: f64 = value.parse().unwrap_or_else(|_| {
+            panic!("unparseable value in line: {line}");
+        });
+        assert!(value.is_finite(), "non-finite sample: {line}");
+        let family = series
+            .split('{')
+            .next()
+            .expect("series name")
+            .trim_end_matches("_bucket")
+            .trim_end_matches("_sum")
+            .trim_end_matches("_count");
+        // Histogram series strip back to their family; plain counters and
+        // gauges are their own family.
+        assert!(
+            types.contains_key(family) || types.contains_key(series.split('{').next().unwrap()),
+            "sample before its # TYPE: {line}"
+        );
+        samples.insert(series.to_string(), value);
+    }
+    for family in types.keys() {
+        assert!(
+            helped.contains(family),
+            "family {family} is typed but has no HELP"
+        );
+    }
+    (samples, types)
+}
+
+#[test]
+fn metrics_scrape_is_well_formed_and_counters_are_monotonic() {
+    let (_engine, _catalog, handle) = serving_stack(ServerConfig::default(), Vec::new());
+    let mut client = Client::connect(handle.local_addr()).unwrap();
+
+    client
+        .explain("Which city hosted in 2008?", "olympics", None)
+        .unwrap();
+    let first = client.metrics().unwrap();
+    let (before, types) = parse_prometheus(&first);
+
+    // One registry covers every layer: server, engine, parser stages,
+    // planner, caches.
+    for family in [
+        "wtq_server_requests_total",
+        "wtq_server_endpoint_requests_total",
+        "wtq_server_uptime_seconds",
+        "wtq_engine_questions_served_total",
+        "wtq_index_cache_ops_total",
+        "wtq_answer_cache_ops_total",
+        "wtq_planner_decisions_total",
+        "wtq_parse_questions_total",
+        "wtq_parse_stage_ns_total",
+        "wtq_request_duration_seconds",
+        "wtq_request_stage_duration_seconds",
+        "wtq_parse_stage_duration_seconds",
+    ] {
+        assert!(types.contains_key(family), "missing family {family}");
+    }
+
+    // Drive more traffic, scrape again: counter-typed series never move
+    // backwards, and the request counters moved forward by the exact count.
+    for _ in 0..3 {
+        client
+            .explain(
+                "In what year did France hold the Olympics?",
+                "olympics",
+                None,
+            )
+            .unwrap();
+    }
+    let second = client.metrics().unwrap();
+    let (after, _) = parse_prometheus(&second);
+    for (series, value) in &before {
+        let family = series.split('{').next().unwrap();
+        let base = family
+            .trim_end_matches("_bucket")
+            .trim_end_matches("_sum")
+            .trim_end_matches("_count");
+        let is_counter = types.get(family).map(String::as_str) == Some("counter")
+            || types.get(base).map(String::as_str) == Some("histogram");
+        if !is_counter {
+            continue;
+        }
+        let now = after
+            .get(series)
+            .unwrap_or_else(|| panic!("series {series} vanished between scrapes"));
+        assert!(
+            now >= value,
+            "counter {series} moved backwards: {value} -> {now}"
+        );
+    }
+    assert_eq!(
+        after["wtq_server_endpoint_requests_total{endpoint=\"explain\"}"]
+            - before["wtq_server_endpoint_requests_total{endpoint=\"explain\"}"],
+        3.0
+    );
+    assert_eq!(
+        after["wtq_server_endpoint_requests_total{endpoint=\"metrics\"}"],
+        2.0
+    );
+    // The three repeats were answer-cache hits: the engine executed two
+    // distinct questions and the cache absorbed the rest.
+    assert!(after["wtq_engine_questions_served_total"] >= 2.0);
+    assert!(after["wtq_answer_cache_ops_total{op=\"hit\"}"] >= 2.0);
+    handle.shutdown();
+}
+
+#[test]
+fn trace_recent_is_coherent_under_concurrent_load() {
+    let config = ServerConfig {
+        trace_sample_rate: 1.0,
+        ..ServerConfig::default()
+    };
+    let (_engine, _catalog, handle) = serving_stack(config, Vec::new());
+    let addr = handle.local_addr();
+
+    // Four clients hammer explains while a poller reads the ring mid-load;
+    // every poll must return a well-formed snapshot, not just the last one.
+    std::thread::scope(|scope| {
+        for worker in 0..4 {
+            scope.spawn(move || {
+                let mut client = Client::connect(addr).expect("load client connects");
+                for round in 0..6 {
+                    let question = if (worker + round) % 2 == 0 {
+                        "Which city hosted in 2008?"
+                    } else {
+                        "In what year did France hold the Olympics?"
+                    };
+                    client
+                        .explain(question, "olympics", Some(2))
+                        .expect("load request succeeds");
+                }
+            });
+        }
+        scope.spawn(move || {
+            let mut client = Client::connect(addr).expect("poll client connects");
+            for _ in 0..5 {
+                let body = client.trace_recent().expect("poll succeeds under load");
+                for trace in body.recent.iter().chain(&body.slowest) {
+                    assert!(!trace.endpoint.is_empty(), "{trace:?}");
+                    assert!(trace.total_us > 0.0, "{trace:?}");
+                }
+            }
+        });
+    });
+
+    let mut client = Client::connect(addr).unwrap();
+    let body = client.trace_recent().unwrap();
+    assert_eq!(body.sample_period, 1);
+    assert!(body.sampled >= 24, "{}", body.sampled);
+    assert!(!body.recent.is_empty());
+    assert!(!body.slowest.is_empty());
+
+    // Recent ring: ordered by finish time (not seq — concurrent requests
+    // finish out of start order), with each sample number appearing once.
+    let mut seqs: Vec<u64> = body.recent.iter().map(|trace| trace.seq).collect();
+    seqs.sort_unstable();
+    seqs.dedup();
+    assert_eq!(seqs.len(), body.recent.len(), "duplicate seq in the ring");
+    // Slowest ring: ascending by total duration.
+    for pair in body.slowest.windows(2) {
+        assert!(pair[0].total_us <= pair[1].total_us, "{pair:?}");
+    }
+    // Every explain trace carries the common stage spans; with only two
+    // distinct questions most executions are answer-cache hits, whose
+    // traces legitimately stop at cache_probe. Pick a cache-miss trace
+    // (one that reached eval) for the full pipeline assertion.
+    for trace in body.recent.iter().filter(|t| t.endpoint == "explain") {
+        let names: Vec<&str> = trace.spans.iter().map(|s| s.name.as_str()).collect();
+        for stage in ["decode", "queue_wait", "cache_probe", "encode"] {
+            assert!(names.contains(&stage), "missing {stage}: {names:?}");
+        }
+    }
+    let explain = body
+        .recent
+        .iter()
+        .find(|trace| trace.endpoint == "explain" && trace.spans.iter().any(|s| s.name == "eval"))
+        .expect("a cache-miss explain trace in the ring");
+    assert_eq!(explain.status, "ok", "{explain:?}");
+    assert!(explain.detail.contains("olympics"), "{explain:?}");
+    let span_names: Vec<&str> = explain
+        .spans
+        .iter()
+        .map(|span| span.name.as_str())
+        .collect();
+    for stage in [
+        "decode",
+        "queue_wait",
+        "cache_probe",
+        "admission_wait",
+        "eval",
+        "encode",
+    ] {
+        assert!(
+            span_names.contains(&stage),
+            "missing {stage}: {span_names:?}"
+        );
+    }
+    for span in &explain.spans {
+        assert!(span.start_us >= 0.0, "{span:?}");
+        assert!(
+            span.start_us + span.duration_us <= explain.total_us * 1.5 + 1.0,
+            "span past the request end: {span:?} vs total {}",
+            explain.total_us
+        );
+    }
+    handle.shutdown();
+}
+
+/// Speak minimal HTTP/1.1 against the same port; returns status, headers
+/// and body.
+fn http_request(addr: std::net::SocketAddr, request: &str) -> (u16, String, String) {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    stream.write_all(request.as_bytes()).unwrap();
+    stream.flush().unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).unwrap();
+    let status: u16 = response
+        .split_whitespace()
+        .nth(1)
+        .expect("status code")
+        .parse()
+        .expect("numeric status");
+    let (head, body) = response
+        .split_once("\r\n\r\n")
+        .map(|(head, body)| (head.to_string(), body.to_string()))
+        .unwrap_or_default();
+    (status, head, body)
+}
+
+#[test]
+fn metrics_and_traces_stay_reachable_while_the_queue_is_saturated() {
+    let config = ServerConfig {
+        max_in_flight: 1,
+        trace_sample_rate: 1.0,
+        ..ServerConfig::default()
+    };
+    let (_engine, _catalog, handle) = serving_stack(config, vec![big_table(400)]);
+    let addr = handle.local_addr();
+
+    // Occupy the single in-flight slot with a slow batch over the big table.
+    let mut rng = ChaCha8Rng::seed_from_u64(7);
+    let questions = wtq_dataset::generate_questions(&big_table(400), 6, &mut rng);
+    let batch: Vec<ExplainBody> = questions
+        .iter()
+        .map(|question| ExplainBody {
+            question: question.question.clone(),
+            table: big_table(400).name().to_string(),
+            top_k: Some(2),
+        })
+        .collect();
+    let batch_thread = std::thread::spawn(move || {
+        let mut client = Client::connect(addr).expect("batch client connects");
+        client
+            .explain_batch(batch)
+            .expect("the slow batch succeeds")
+    });
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while handle.server_stats().in_flight == 0 {
+        assert!(Instant::now() < deadline, "batch never became in-flight");
+        std::thread::yield_now();
+    }
+
+    // Control-plane surfaces answer while the queue is full — framed…
+    let mut client = Client::connect(addr).unwrap();
+    let text = client
+        .metrics()
+        .expect("metrics must bypass the in-flight queue");
+    assert!(text.contains("wtq_server_in_flight 1"), "queue not full?");
+    let traces = client
+        .trace_recent()
+        .expect("trace ring must bypass the in-flight queue");
+    assert_eq!(traces.sample_period, 1);
+    // …and over HTTP, with the scrape content type.
+    let (status, head, body) = http_request(addr, "GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n");
+    assert_eq!(status, 200);
+    assert!(
+        head.contains("text/plain; version=0.0.4"),
+        "scrape content type missing:\n{head}"
+    );
+    assert!(body.contains("# TYPE wtq_request_duration_seconds histogram"));
+    let (status, head, body) = http_request(addr, "GET /trace/recent HTTP/1.1\r\nHost: x\r\n\r\n");
+    assert_eq!(status, 200);
+    assert!(head.contains("application/json"), "{head}");
+    let parsed: wtq_server::ResponseBody = serde_json::from_str(&body).expect("JSON trace body");
+    assert!(
+        matches!(parsed, wtq_server::ResponseBody::TraceRecent(_)),
+        "unexpected body"
+    );
+
+    // Both still count as served requests even under saturation, and the
+    // queue itself never admitted them.
+    assert!(handle.server_stats().in_flight >= 1);
+
+    let explanations = batch_thread.join().expect("batch thread clean");
+    assert_eq!(explanations.len(), 6);
+    handle.shutdown();
+}
