@@ -9,7 +9,8 @@
 //!
 //! Sections: `table4`, `table5`, `table6`, `ksweep`, `table7`, `table9`,
 //! `figures`, `gallery`, `operators`, `examples`, `exec`, `parse`,
-//! `serve`, `cache`, `obs`. With no argument every section is produced.
+//! `serve`, `cache`, `encode`, `obs`. With no argument every section is
+//! produced.
 //!
 //! `--exec-json [path]` additionally writes the execution-layer report
 //! (indexed vs scan timings, candidate throughput, cache statistics, and —
@@ -523,6 +524,47 @@ fn main() {
         );
         if let Some(report) = exec_report.as_mut() {
             report.caching = Some(caching);
+        }
+    }
+
+    if wanted("encode") {
+        heading("Encode-once serving — hit-path splice vs rebuild-and-serialize");
+        let encode = wtq_bench::encode::encode_report(512, 40, 6, 240, 4);
+        println!(
+            "Hit-path frame assembly over a {}-row table (reused buffers on \
+             both sides, byte-identical output asserted):\n",
+            encode.rows
+        );
+        println!("| question | candidates | frame bytes | rebuild µs | splice µs | speedup |");
+        println!("|---|---|---|---|---|---|");
+        for case in encode.micro.iter() {
+            println!(
+                "| {} | {} | {} | {:.1} | {:.1} | {:.1}× |",
+                case.question,
+                case.candidates,
+                case.frame_bytes,
+                case.rebuild_us,
+                case.splice_us,
+                case.speedup
+            );
+        }
+        let served = &encode.served;
+        println!(
+            "\nMedian micro speedup {:.1}×. Served over loopback TCP at \
+             s = {:.1} ({} requests, {} connections, hit rate {:.1}%): \
+             {:.1} q/s rebuilding every hit vs {:.1} q/s splicing cached \
+             bytes ({:.2}×).",
+            encode.median_micro_speedup,
+            served.skew,
+            served.requests,
+            served.connections,
+            served.hit_rate * 100.0,
+            served.rebuild_qps,
+            served.spliced_qps,
+            served.speedup
+        );
+        if let Some(report) = exec_report.as_mut() {
+            report.encode = Some(encode);
         }
     }
 

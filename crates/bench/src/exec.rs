@@ -15,10 +15,10 @@
 //!   cross-candidate denotation cache) and an `Auto`-mode engine holding
 //!   the shared index (the deployment configuration).
 //!
-//! The SQL section also snapshots the planner decision counters
-//! ([`wtq_sql::PlannerStats`]) around its workloads, so the report records
-//! which physical plans the cost model picked and how its selectivity
-//! estimates tracked reality.
+//! The SQL section also shares one [`wtq_sql::PlannerCounters`] set across
+//! the engines it constructs and snapshots it after its workloads, so the
+//! report records which physical plans the cost model picked and how its
+//! selectivity estimates tracked reality.
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -103,6 +103,10 @@ pub struct ExecReport {
     /// (`experiments --section cache`); absent when that section was not
     /// run.
     pub caching: Option<crate::cache::CachingReport>,
+    /// Encode-once hit-path timings and the served `encode_once` A/B
+    /// (`experiments --section encode`); absent when that section was not
+    /// run.
+    pub encode: Option<crate::encode::EncodeReport>,
     /// Parse-pipeline stage breakdown and interned-vs-string-keyed feature
     /// comparison (`experiments --section parse`); absent when that section
     /// was not run.
@@ -246,8 +250,11 @@ pub fn exec_report(rows: usize, questions: usize) -> ExecReport {
     }
 
     let mut sql = Vec::new();
-    let warm_engine = SqlEngine::with_index(&table, &index);
-    let planner_before = wtq_sql::planner_stats();
+    // One shared counter set across every engine this section constructs, so
+    // the report isolates exactly the decisions taken by its own workloads.
+    let planner_counters = Arc::new(wtq_sql::PlannerCounters::new());
+    let warm_engine =
+        SqlEngine::with_index(&table, &index).with_counters(Arc::clone(&planner_counters));
     for (name, formula) in workloads(&table, &index) {
         let Ok(query) = wtq_sql::translate(&formula) else {
             continue;
@@ -257,7 +264,9 @@ pub fn exec_report(rows: usize, questions: usize) -> ExecReport {
                 let _ = warm_engine.execute(&query, PlanMode::ForceScan);
             },
             &mut || {
-                let _ = SqlEngine::new(&table).execute(&query, PlanMode::Auto);
+                let _ = SqlEngine::new(&table)
+                    .with_counters(Arc::clone(&planner_counters))
+                    .execute(&query, PlanMode::Auto);
             },
             &mut || {
                 let _ = warm_engine.execute(&query, PlanMode::Auto);
@@ -273,7 +282,7 @@ pub fn exec_report(rows: usize, questions: usize) -> ExecReport {
             speedup_warm: scan_us / indexed_warm_us,
         });
     }
-    let planner = planner_delta(planner_before, wtq_sql::planner_stats());
+    let planner = planner_counters.snapshot();
 
     // End-to-end candidate throughput on a regular-size generated table with
     // generated questions (lexicon → candidates → scoring).
@@ -318,23 +327,9 @@ pub fn exec_report(rows: usize, questions: usize) -> ExecReport {
         serving: None,
         idle_serving: None,
         caching: None,
+        encode: None,
         parsing: None,
         observability: None,
-    }
-}
-
-/// The planner counters accumulated between two snapshots (the counters are
-/// process-wide and monotone; the difference isolates one bench section).
-fn planner_delta(
-    before: wtq_sql::PlannerStats,
-    after: wtq_sql::PlannerStats,
-) -> wtq_sql::PlannerStats {
-    wtq_sql::PlannerStats {
-        scan_chosen: after.scan_chosen - before.scan_chosen,
-        index_chosen: after.index_chosen - before.index_chosen,
-        kernel_chosen: after.kernel_chosen - before.kernel_chosen,
-        estimated_rows: after.estimated_rows - before.estimated_rows,
-        actual_rows: after.actual_rows - before.actual_rows,
     }
 }
 

@@ -6,6 +6,7 @@
 //! comparison and the benches time the underlying components.
 
 pub mod cache;
+pub mod encode;
 pub mod exec;
 pub mod obs;
 pub mod parse;

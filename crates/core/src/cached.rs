@@ -17,7 +17,8 @@
 //!   fresh run — the cache key cannot drift from tokenization because they
 //!   are the same function.
 //!
-//! What is cached is the [`ExplainedCandidate`] payload, **not** the
+//! What is cached is the [`ExplainedCandidate`] payload — together with
+//! its wire serialization, see [`CachedCandidates`] — **not** the
 //! enclosing [`Explanation`]: the explanation echoes the raw (caller's)
 //! question and table name, which must reflect each request verbatim, so
 //! they are re-attached per request. Candidate explanation is an rng-free
@@ -37,16 +38,63 @@ use wtq_table::{Catalog, Table};
 
 use crate::engine::{Engine, EngineStats, ExplainRequest, Explanation};
 use crate::pipeline::ExplainedCandidate;
+use crate::wire;
 
-/// The cached answer payload: the explained top-k candidates of one
-/// `(table contents, normalized question, top_k)` triple.
-pub type CachedAnswer = Arc<Vec<ExplainedCandidate>>;
+/// The cached answer payload of one `(table contents, normalized
+/// question, top_k)` triple: the explained top-k candidates *plus* their
+/// wire serialization ([`wire::candidates_json`]), computed once when the
+/// flight completes. A cache hit hands servers pre-encoded bytes to
+/// splice straight into a response envelope — the encode-once path —
+/// while the structured candidates stay available for callers that
+/// inspect them. Derefs to the candidate list, so code written against
+/// the pre-encode-once payload keeps working unchanged.
+#[derive(Debug)]
+pub struct CachedCandidates {
+    candidates: Vec<ExplainedCandidate>,
+    /// `serde_json` bytes of the wire `candidates` array, shared so the
+    /// serving layer can hold them beyond the cache entry's lifetime.
+    body: Arc<Vec<u8>>,
+}
 
-/// Rough resident size of a candidate list, for the cache's byte gauge:
-/// the inline struct plus its dominant heap strings.
-fn approx_bytes(candidates: &[ExplainedCandidate]) -> usize {
-    std::mem::size_of::<Vec<ExplainedCandidate>>()
-        + candidates
+impl CachedCandidates {
+    /// Explain-and-serialize once: flatten `candidates` against `table`
+    /// (the table they were computed on) into their canonical JSON bytes.
+    pub fn new(candidates: Vec<ExplainedCandidate>, table: &Table) -> CachedCandidates {
+        let body = Arc::new(wire::candidates_json(&candidates, table));
+        CachedCandidates { candidates, body }
+    }
+
+    /// The explained candidates.
+    pub fn candidates(&self) -> &[ExplainedCandidate] {
+        &self.candidates
+    }
+
+    /// The candidates' canonical JSON-array bytes, serialized at flight
+    /// completion (see [`wire::candidates_json`]).
+    pub fn body(&self) -> &Arc<Vec<u8>> {
+        &self.body
+    }
+}
+
+impl std::ops::Deref for CachedCandidates {
+    type Target = Vec<ExplainedCandidate>;
+
+    fn deref(&self) -> &Vec<ExplainedCandidate> {
+        &self.candidates
+    }
+}
+
+/// A shared cached answer (see [`CachedCandidates`]).
+pub type CachedAnswer = Arc<CachedCandidates>;
+
+/// Rough resident size of a cached answer, for the cache's byte gauge:
+/// the inline struct plus its dominant heap strings and the serialized
+/// body bytes.
+fn approx_bytes(value: &CachedCandidates) -> usize {
+    std::mem::size_of::<CachedCandidates>()
+        + value.body().len()
+        + value
+            .candidates()
             .iter()
             .map(|c| {
                 std::mem::size_of::<ExplainedCandidate>()
@@ -61,7 +109,7 @@ fn approx_bytes(candidates: &[ExplainedCandidate]) -> usize {
 /// `Arc` across every serving thread.
 pub struct CachedEngine {
     engine: Arc<Engine>,
-    cache: AnswerCache<Vec<ExplainedCandidate>>,
+    cache: AnswerCache<CachedCandidates>,
 }
 
 impl CachedEngine {
@@ -90,7 +138,7 @@ impl CachedEngine {
     }
 
     /// The underlying answer cache (for instrumentation and tests).
-    pub fn cache(&self) -> &AnswerCache<Vec<ExplainedCandidate>> {
+    pub fn cache(&self) -> &AnswerCache<CachedCandidates> {
         &self.cache
     }
 
@@ -123,7 +171,7 @@ impl CachedEngine {
     /// work (admission control) between leading and executing: a
     /// [`Begin::Lead`] holds the flight; complete it with the computed
     /// candidates or drop it to abandon (waiters then retry as leaders).
-    pub fn begin(&self, key: &CacheKey) -> Begin<'_, Vec<ExplainedCandidate>> {
+    pub fn begin(&self, key: &CacheKey) -> Begin<'_, CachedCandidates> {
         self.cache.begin(key)
     }
 
@@ -133,14 +181,17 @@ impl CachedEngine {
     /// question/top_k always match the flight's key.
     pub fn execute_flight(
         &self,
-        guard: FlightGuard<'_, Vec<ExplainedCandidate>>,
+        guard: FlightGuard<'_, CachedCandidates>,
         question: &str,
         table: &Table,
         top_k: usize,
     ) -> CachedAnswer {
         let explained = self.engine.explain_question(question, table, top_k);
-        let bytes = approx_bytes(&explained);
-        guard.complete(explained, bytes)
+        // Serialize here, exactly once per flight: every hit on this entry
+        // reuses the bytes instead of re-rendering and re-encoding.
+        let value = CachedCandidates::new(explained, table);
+        let bytes = approx_bytes(&value);
+        guard.complete(value, bytes)
     }
 
     /// Explain one question through the cache: a hit answers from memory,
@@ -210,9 +261,13 @@ impl CachedEngine {
             .pending
             .iter()
             .zip(computed)
-            .map(|((key, _), explanation)| {
-                let bytes = approx_bytes(&explanation.candidates);
-                self.cache.insert(key, explanation.candidates, bytes)
+            .map(|(&(ref key, index), explanation)| {
+                let table = catalog
+                    .get(&requests[index].table)
+                    .expect("planned table vanished from an immutable catalog");
+                let value = CachedCandidates::new(explanation.candidates, table);
+                let bytes = approx_bytes(&value);
+                self.cache.insert(key, value, bytes)
             })
             .collect();
         Ok(plan
@@ -221,8 +276,8 @@ impl CachedEngine {
             .zip(requests)
             .map(|(slot, request)| {
                 let (candidates, error) = match slot {
-                    BatchSlot::Hit(value) => (value.as_ref().clone(), None),
-                    BatchSlot::Pending(unique) => (answers[unique].as_ref().clone(), None),
+                    BatchSlot::Hit(value) => (value.candidates().to_vec(), None),
+                    BatchSlot::Pending(unique) => (answers[unique].candidates().to_vec(), None),
                     BatchSlot::UnknownTable => (
                         Vec::new(),
                         Some(format!("unknown table: {}", request.table)),

@@ -118,10 +118,11 @@ pub struct EngineStats {
     /// Engine entry-point calls currently executing.
     pub in_flight: u64,
     /// SQL planner decision counters: scan vs index vs columnar-kernel
-    /// choices and estimated vs actual selectivity. Read through the
-    /// process-wide shim ([`wtq_sql::planner_stats`]), which is deprecated
-    /// for one release — the canonical counters now live per-engine on
-    /// [`wtq_sql::PlannerCounters`].
+    /// choices and estimated vs actual selectivity. Snapshotted from this
+    /// engine's own [`wtq_sql::PlannerCounters`] set
+    /// ([`Engine::planner_counters`]); anything executing SQL on the
+    /// engine's behalf shares that set, so the numbers cover exactly this
+    /// engine's activity, not the whole process.
     pub planner: wtq_sql::PlannerStats,
     /// Parse-pipeline stage timings (process-wide): tokenize, lexicon,
     /// candidate composition, formula execution, feature extraction and
@@ -184,6 +185,12 @@ pub struct Engine {
     indexes: IndexCache,
     config: EngineConfig,
     counters: EngineCounters,
+    /// SQL planner decision counters attributed to this engine. The engine
+    /// itself only *translates* formulas to SQL; callers that execute the
+    /// translations (benches, validation suites) share this set via
+    /// [`Engine::planner_counters`] so the activity lands on the engine's
+    /// stats surface.
+    planner: Arc<wtq_sql::PlannerCounters>,
 }
 
 impl Default for Engine {
@@ -220,7 +227,17 @@ impl Engine {
             indexes: IndexCache::with_capacity(config.index_cache_capacity),
             config,
             counters: EngineCounters::default(),
+            planner: Arc::new(wtq_sql::PlannerCounters::new()),
         }
+    }
+
+    /// This engine's SQL planner decision counters. Hand a clone of the
+    /// `Arc` to any [`wtq_sql::SqlEngine`] executing translated formulas on
+    /// this engine's behalf (via
+    /// [`SqlEngine::with_counters`][wtq_sql::SqlEngine::with_counters]) and
+    /// the decisions show up in [`Engine::stats`].
+    pub fn planner_counters(&self) -> Arc<wtq_sql::PlannerCounters> {
+        Arc::clone(&self.planner)
     }
 
     /// A serializable snapshot of the engine's configuration, index-cache
@@ -235,7 +252,7 @@ impl Engine {
             questions_served: self.counters.questions_served.load(Ordering::Relaxed),
             batches_served: self.counters.batches_served.load(Ordering::Relaxed),
             in_flight: self.counters.in_flight.load(Ordering::Relaxed),
-            planner: wtq_sql::planner_stats(),
+            planner: self.planner.snapshot(),
             parsing: wtq_parser::parse_stats(),
             answer_cache: wtq_cache::CacheStats::default(),
         }

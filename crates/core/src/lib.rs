@@ -57,7 +57,9 @@ pub use wtq_table as table;
 pub mod cached;
 pub mod engine;
 pub mod pipeline;
+pub mod wire;
 
-pub use cached::{BatchPlan, CachedAnswer, CachedEngine};
+pub use cached::{BatchPlan, CachedAnswer, CachedCandidates, CachedEngine};
 pub use engine::{Engine, EngineConfig, EngineStats, ExplainRequest, Explanation, Session};
 pub use pipeline::{ExplainedCandidate, ExplanationPipeline};
+pub use wire::{candidates_json, WireCandidate};

@@ -1,0 +1,72 @@
+//! Wire-shape candidate rendering: the flattened form explained
+//! candidates take in server responses, plus its canonical JSON bytes.
+//!
+//! [`WireCandidate`] lives here (rather than in `wtq-server`) so the
+//! caching layer can serialize a flight's result **once**, at completion
+//! time, and every later cache hit can splice those bytes straight into a
+//! response envelope instead of re-rendering highlights and re-running
+//! `serde_json` — the encode-once serving path. The server re-exports the
+//! type unchanged, so the wire format is untouched.
+
+use serde::{Deserialize, Serialize};
+use wtq_table::Table;
+
+use crate::pipeline::ExplainedCandidate;
+
+/// One explained candidate, flattened for the wire: the formula and SQL as
+/// their canonical text renderings, the answer as its structured form, and
+/// the provenance highlights as the sampled plain-text rendering (§5.3)
+/// plus per-class cell counts.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WireCandidate {
+    /// Canonical rendering of the lambda DCS formula.
+    pub formula: String,
+    /// The parser's score.
+    pub score: f64,
+    /// The candidate's answer on the table.
+    pub answer: crate::dcs::Answer,
+    /// The NL utterance explaining the query (§5.1).
+    pub utterance: String,
+    /// SQL rendering, when the formula falls in the translatable fragment.
+    pub sql: Option<String>,
+    /// Sampled plain-text rendering of the highlighted table (§5.2–5.3).
+    pub highlights: String,
+    /// Cells highlighted as query output.
+    pub output_cells: usize,
+    /// Cells highlighted as execution provenance.
+    pub execution_cells: usize,
+    /// Cells highlighted as column provenance.
+    pub column_cells: usize,
+}
+
+impl WireCandidate {
+    /// Flatten one explained candidate against the table it was computed on.
+    pub fn from_candidate(candidate: &ExplainedCandidate, table: &Table) -> WireCandidate {
+        let (output_cells, execution_cells, column_cells) = candidate.highlights.class_counts();
+        WireCandidate {
+            formula: candidate.formula.to_string(),
+            score: candidate.score,
+            answer: candidate.answer.clone(),
+            utterance: candidate.utterance.clone(),
+            sql: candidate.sql.clone(),
+            highlights: candidate.render_highlights(table, true),
+            output_cells,
+            execution_cells,
+            column_cells,
+        }
+    }
+}
+
+/// The candidates' wire serialization: the JSON array a response's
+/// `candidates` field carries, byte-for-byte — rendering a JSON array is
+/// position-independent, so these bytes splice verbatim into any envelope
+/// that would have serialized the same `Vec<WireCandidate>`.
+pub fn candidates_json(candidates: &[ExplainedCandidate], table: &Table) -> Vec<u8> {
+    let wire: Vec<WireCandidate> = candidates
+        .iter()
+        .map(|candidate| WireCandidate::from_candidate(candidate, table))
+        .collect();
+    serde_json::to_string(&wire)
+        .unwrap_or_else(|_| "[]".to_string())
+        .into_bytes()
+}

@@ -14,6 +14,9 @@
 //!   shutdown) can interrupt a blocked [`Poller::wait`].
 //! * [`rlimit`] — `RLIMIT_NOFILE` helpers so many-connection benches can
 //!   raise the soft fd limit and clamp honestly to what they got.
+//! * [`write_vectored`] — a `writev(2)` gather write, so multi-segment
+//!   responses (frame head, cached body, static tail) reach the socket in
+//!   one syscall without an intermediate concatenation.
 //!
 //! What this crate is *not*: a runtime. There are no futures, no tasks, no
 //! executors — the server builds its event loop and per-connection state
@@ -24,10 +27,12 @@
 pub mod poller;
 pub mod rlimit;
 pub mod sys;
+pub mod vectored;
 pub mod waker;
 
 pub use poller::{Event, Interest, Poller};
 pub use rlimit::{nofile_limit, raise_nofile_limit};
+pub use vectored::write_vectored;
 pub use waker::{waker, WakeReceiver, Waker};
 
 #[cfg(test)]

@@ -109,10 +109,19 @@ pub const O_NONBLOCK: c_int = 0x0004;
 pub const F_GETFL: c_int = 3;
 pub const F_SETFL: c_int = 4;
 
+/// `struct iovec` for `writev(2)` — one gather segment.
+#[repr(C)]
+#[derive(Clone, Copy)]
+pub struct iovec {
+    pub iov_base: *const u8,
+    pub iov_len: usize,
+}
+
 extern "C" {
     pub fn close(fd: RawFd) -> c_int;
     pub fn read(fd: RawFd, buf: *mut u8, count: usize) -> isize;
     pub fn write(fd: RawFd, buf: *const u8, count: usize) -> isize;
+    pub fn writev(fd: RawFd, iov: *const iovec, iovcnt: c_int) -> isize;
     pub fn fcntl(fd: RawFd, cmd: c_int, arg: c_int) -> c_int;
     #[cfg(target_os = "linux")]
     pub fn pipe2(fds: *mut RawFd, flags: c_int) -> c_int;

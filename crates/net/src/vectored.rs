@@ -1,0 +1,104 @@
+//! Vectored (gather) writes over raw fds — `writev(2)` declared by hand
+//! like the rest of [`crate::sys`].
+//!
+//! The serving layer's encode-once hit path keeps a response as up to a
+//! few discontiguous segments (pooled frame head, shared cached body,
+//! static tail). A single [`write_vectored`] call pushes all of them into
+//! the socket in one syscall, without first concatenating them into a
+//! fresh allocation — the kernel gathers straight from the segments.
+
+use std::io;
+use std::os::unix::io::RawFd;
+
+use crate::sys;
+
+/// The most segments one call hands to the kernel. POSIX guarantees
+/// `IOV_MAX >= 16`; responses use at most a handful of segments, and any
+/// excess is simply reported as a short write for the caller to resume.
+pub const MAX_SEGMENTS: usize = 8;
+
+/// Write as much of `segments` (in order) as the fd accepts in one
+/// `writev(2)` call, returning the number of bytes consumed. Empty
+/// segments are skipped; segments beyond [`MAX_SEGMENTS`] wait for the
+/// next call (a short write, exactly as if the socket buffer had filled).
+///
+/// The fd is used for the duration of the call only; the caller keeps
+/// ownership. On nonblocking sockets a full buffer surfaces as
+/// [`io::ErrorKind::WouldBlock`], like `write(2)`.
+pub fn write_vectored(fd: RawFd, segments: &[&[u8]]) -> io::Result<usize> {
+    let mut iov = [sys::iovec {
+        iov_base: std::ptr::null(),
+        iov_len: 0,
+    }; MAX_SEGMENTS];
+    let mut count = 0;
+    for segment in segments {
+        if segment.is_empty() {
+            continue;
+        }
+        if count == MAX_SEGMENTS {
+            break;
+        }
+        iov[count] = sys::iovec {
+            iov_base: segment.as_ptr(),
+            iov_len: segment.len(),
+        };
+        count += 1;
+    }
+    if count == 0 {
+        return Ok(0);
+    }
+    let rc = unsafe { sys::writev(fd, iov.as_ptr(), count as sys::c_int) };
+    if rc < 0 {
+        Err(sys::last_errno())
+    } else {
+        Ok(rc as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Read;
+    use std::net::{TcpListener, TcpStream};
+    use std::os::unix::io::AsRawFd;
+
+    fn socket_pair() -> (TcpStream, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let client = TcpStream::connect(listener.local_addr().unwrap()).expect("connect");
+        let (server, _) = listener.accept().expect("accept");
+        (client, server)
+    }
+
+    #[test]
+    fn gathers_segments_in_order() {
+        let (client, mut server) = socket_pair();
+        let written =
+            write_vectored(client.as_raw_fd(), &[b"head|", b"", b"body|", b"tail"]).unwrap();
+        assert_eq!(written, 14);
+        drop(client);
+        let mut received = Vec::new();
+        server.read_to_end(&mut received).unwrap();
+        assert_eq!(received, b"head|body|tail");
+    }
+
+    #[test]
+    fn all_empty_segments_write_nothing() {
+        let (client, _server) = socket_pair();
+        assert_eq!(write_vectored(client.as_raw_fd(), &[b"", b""]).unwrap(), 0);
+        assert_eq!(write_vectored(client.as_raw_fd(), &[]).unwrap(), 0);
+    }
+
+    #[test]
+    fn full_nonblocking_socket_reports_would_block() {
+        let (client, _server) = socket_pair();
+        client.set_nonblocking(true).unwrap();
+        let chunk = vec![0u8; 1 << 20];
+        let err = loop {
+            match write_vectored(client.as_raw_fd(), &[&chunk, &chunk]) {
+                Ok(_) => continue,
+                Err(err) => break err,
+            }
+        };
+        assert_eq!(err.kind(), std::io::ErrorKind::WouldBlock);
+    }
+}

@@ -11,15 +11,16 @@
 //! drain after an HTTP response).
 
 use std::collections::VecDeque;
-use std::io::{Read, Write};
+use std::io::Read;
 use std::net::{Shutdown, TcpStream};
+use std::os::unix::io::AsRawFd;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crate::http::{self, HttpParser, HttpRequest};
+use crate::reactor::BufferPool;
 use crate::server::Shared;
-use crate::wire::{
-    self, ErrorCode, FrameDecoder, FrameError, ResponseBody, ResponseEnvelope, WireError,
-};
+use crate::wire::{self, ErrorCode, FrameDecoder, FrameError, WireError};
 
 /// Methods whose first four bytes select the HTTP adapter.
 const HTTP_PREFIXES: [&[u8; 4]; 6] = [b"GET ", b"POST", b"PUT ", b"HEAD", b"DELE", b"OPTI"];
@@ -35,6 +36,53 @@ const PENDING_LIMIT: usize = 64;
 
 /// Wall-clock bound on the lingering drain.
 const DRAIN_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// One response in the outbox, segmented so a cache hit goes out without
+/// intermediate copies: the per-response head (a pooled buffer holding the
+/// frame prefix and spliced envelope head, or a whole conventionally
+/// encoded response), the shared cached candidate bytes, and the static
+/// envelope tail. The three segments flush in one `writev(2)`.
+#[derive(Debug)]
+pub(crate) struct Response {
+    pub(crate) head: Vec<u8>,
+    pub(crate) body: Option<Arc<Vec<u8>>>,
+    pub(crate) tail: &'static [u8],
+}
+
+impl Response {
+    /// A single-segment response (errors, non-hit answers).
+    pub(crate) fn whole(head: Vec<u8>) -> Response {
+        Response {
+            head,
+            body: None,
+            tail: b"",
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.head.len() + self.body.as_ref().map_or(0, |body| body.len()) + self.tail.len()
+    }
+
+    /// The unwritten segment slices, starting `written` bytes in.
+    fn remaining<'a>(&'a self, mut written: usize, segments: &mut [&'a [u8]; 3]) -> usize {
+        let mut count = 0;
+        let parts: [&[u8]; 3] = [
+            &self.head,
+            self.body.as_ref().map_or(&[][..], |body| body.as_slice()),
+            self.tail,
+        ];
+        for part in parts {
+            if written >= part.len() {
+                written -= part.len();
+                continue;
+            }
+            segments[count] = &part[written..];
+            written = 0;
+            count += 1;
+        }
+        count
+    }
+}
 
 /// A request decoded off the socket, waiting its turn on the worker pool.
 #[derive(Debug)]
@@ -127,9 +175,10 @@ pub(crate) struct Conn {
     pending: VecDeque<PendingItem>,
     /// Whether one request is out with the worker pool.
     pub(crate) busy: bool,
-    /// Response bytes awaiting socket writability.
-    outbox: VecDeque<Vec<u8>>,
-    /// How much of `outbox.front()` is already written.
+    /// Responses awaiting socket writability.
+    outbox: VecDeque<Response>,
+    /// How much of `outbox.front()` is already written (an offset into its
+    /// concatenated segments).
     front_written: usize,
     close_mode: CloseMode,
     /// The peer sent EOF; never read again (except while draining).
@@ -312,15 +361,16 @@ impl Conn {
                 Ok(None) => return None,
                 Err(FrameError::TooLarge { declared, max }) => {
                     shared.count_protocol_error();
-                    let envelope = ResponseEnvelope {
-                        v: wire::PROTOCOL_VERSION,
-                        id: 0,
-                        body: ResponseBody::Error(WireError::new(
+                    // `error_frame` encodes by direct byte writing and is
+                    // infallible — unlike the old serde round-trip, whose
+                    // failure path silently answered with an empty frame.
+                    return Some(wire::error_frame(
+                        0,
+                        &WireError::new(
                             ErrorCode::FrameTooLarge,
                             format!("frame of {declared} bytes exceeds the {max}-byte limit"),
-                        )),
-                    };
-                    return Some(encode_envelope(&envelope));
+                        ),
+                    ));
                 }
                 Err(_) => unreachable!("a pure decoder cannot hit I/O errors"),
             }
@@ -401,15 +451,20 @@ impl Conn {
         }
     }
 
-    /// Flush the outbox as far as the socket allows.
-    pub(crate) fn handle_writable(&mut self) -> IoOutcome {
+    /// Flush the outbox as far as the socket allows. A response's head,
+    /// cached body and tail go out gathered in one `writev(2)`; fully
+    /// flushed head buffers are recycled into the reactor's pool.
+    pub(crate) fn handle_writable(&mut self, pool: &mut BufferPool) -> IoOutcome {
         while let Some(front) = self.outbox.front() {
             if self.front_written >= front.len() {
-                self.outbox.pop_front();
+                let done = self.outbox.pop_front().expect("front checked above");
+                pool.recycle(done.head);
                 self.front_written = 0;
                 continue;
             }
-            match self.stream.write(&front[self.front_written..]) {
+            let mut segments: [&[u8]; 3] = [&[]; 3];
+            let count = front.remaining(self.front_written, &mut segments);
+            match wtq_net::write_vectored(self.stream.as_raw_fd(), &segments[..count]) {
                 Ok(0) => return IoOutcome::Close,
                 Ok(n) => self.front_written += n,
                 Err(err) if err.kind() == std::io::ErrorKind::WouldBlock => {
@@ -423,9 +478,9 @@ impl Conn {
     }
 
     /// Accept a completed response from the worker pool.
-    pub(crate) fn complete_response(&mut self, bytes: Vec<u8>) {
+    pub(crate) fn complete_response(&mut self, response: Response) {
         self.busy = false;
-        self.outbox.push_back(bytes);
+        self.outbox.push_back(response);
         if matches!(self.proto, Proto::Http(_)) {
             // One request per HTTP connection: after this response, drain
             // and close.
@@ -447,7 +502,7 @@ impl Conn {
                 Some((kind, meta))
             }
             Some(PendingItem::Fatal(bytes, mode)) => {
-                self.outbox.push_back(bytes);
+                self.outbox.push_back(Response::whole(bytes));
                 self.close_mode = mode;
                 // Anything decoded after the poison is unanswerable.
                 self.pending.clear();
@@ -519,13 +574,4 @@ impl Conn {
             _ => None,
         }
     }
-}
-
-fn encode_envelope(envelope: &ResponseEnvelope) -> Vec<u8> {
-    let json = serde_json::to_string(envelope).unwrap_or_else(|_| {
-        // An unserializable error envelope is unreachable (it is all plain
-        // strings), but never answer garbage.
-        "{}".to_string()
-    });
-    wire::encode_frame(json.as_bytes()).unwrap_or_default()
 }

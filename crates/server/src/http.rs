@@ -29,8 +29,12 @@
 //! the frame limit). The write half is [`response_bytes`]; the lingering
 //! close that used to block a thread is the reactor's `Draining` state.
 
-use crate::server::Shared;
-use crate::wire::{ErrorCode, ExplainBatchBody, ExplainBody, RequestBody, ResponseBody, WireError};
+use std::sync::Arc;
+
+use crate::server::{Reply, Shared};
+use crate::wire::{
+    self, ErrorCode, ExplainBatchBody, ExplainBody, RequestBody, ResponseBody, WireError,
+};
 
 /// Bound on the request head (request line + headers).
 const MAX_HEAD_LEN: usize = 16 * 1024;
@@ -259,6 +263,29 @@ fn parse_head(head: Vec<u8>, max_body: usize) -> Result<(String, String, usize),
     Ok((method, path, content_length))
 }
 
+/// A routed request's answer: a structured [`HttpResponse`] to serialize,
+/// or a cache hit served straight from the candidate bytes stored at
+/// flight completion (`POST /explain` reuses the same cached body the
+/// framed protocol splices).
+pub(crate) enum Routed {
+    Plain(HttpResponse),
+    CachedExplanation {
+        question: String,
+        table: String,
+        body: Arc<Vec<u8>>,
+    },
+}
+
+impl Routed {
+    /// The status code the trace records as the outcome.
+    pub(crate) fn status(&self) -> u16 {
+        match self {
+            Routed::Plain(response) => response.status(),
+            Routed::CachedExplanation { .. } => 200,
+        }
+    }
+}
+
 /// Map `(method, path, body)` to the shared dispatch core. `trace` is the
 /// request's sampled trace, threaded into the handlers.
 pub(crate) fn route(
@@ -267,7 +294,7 @@ pub(crate) fn route(
     path: &str,
     body: &[u8],
     trace: &mut Option<wtq_obs::RequestTrace>,
-) -> HttpResponse {
+) -> Routed {
     let request = match (method, path) {
         ("GET", "/stats") => RequestBody::Stats,
         ("GET", "/tables") => RequestBody::ListTables,
@@ -275,15 +302,15 @@ pub(crate) fn route(
         ("GET", "/trace/recent") => RequestBody::TraceRecent,
         ("POST", "/explain") => match parse_json::<ExplainBody>(shared, body) {
             Ok(parsed) => RequestBody::Explain(parsed),
-            Err(response) => return response,
+            Err(response) => return Routed::Plain(response),
         },
         ("POST", "/explain_batch") => match parse_json::<ExplainBatchBody>(shared, body) {
             Ok(parsed) => RequestBody::ExplainBatch(parsed),
-            Err(response) => return response,
+            Err(response) => return Routed::Plain(response),
         },
         _ => {
             shared.count_protocol_error();
-            return HttpResponse {
+            return Routed::Plain(HttpResponse {
                 status: 404,
                 reason: "Not Found",
                 retry_after_ms: None,
@@ -293,10 +320,21 @@ pub(crate) fn route(
                     format!("no route for {method} {path}"),
                 )))
                 .unwrap_or_else(|_| "{}".to_string()),
-            };
+            });
         }
     };
-    HttpResponse::from_body(&shared.handle_request(request, trace))
+    match shared.handle_request(request, trace) {
+        Reply::Full(body) => Routed::Plain(HttpResponse::from_body(&body)),
+        Reply::CachedExplanation {
+            question,
+            table,
+            body,
+        } => Routed::CachedExplanation {
+            question,
+            table,
+            body,
+        },
+    }
 }
 
 fn parse_json<T: serde::Deserialize>(shared: &Shared, body: &[u8]) -> Result<T, HttpResponse> {
@@ -312,24 +350,63 @@ fn parse_json<T: serde::Deserialize>(shared: &Shared, body: &[u8]) -> Result<T, 
 
 /// Serialize a response to the bytes the connection's outbox will flush.
 pub(crate) fn response_bytes(response: &HttpResponse) -> Vec<u8> {
-    let mut head = format!(
-        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
+    let mut bytes = Vec::with_capacity(128 + response.body.len());
+    response_bytes_into(response, &mut bytes);
+    bytes
+}
+
+/// [`response_bytes`] into a caller-provided (pooled) buffer.
+pub(crate) fn response_bytes_into(response: &HttpResponse, out: &mut Vec<u8>) {
+    write_response_head(
+        out,
         response.status,
         response.reason,
+        response.retry_after_ms,
         response.content_type,
-        response.body.len()
+        response.body.len(),
     );
-    if let Some(retry_after_ms) = response.retry_after_ms {
+    out.extend_from_slice(response.body.as_bytes());
+}
+
+/// The head of an encode-once `POST /explain` hit: status line and headers
+/// (`Content-Length` covers the spliced JSON body: head + cached candidate
+/// bytes + [`wire::SPLICE_BODY_TAIL`]), then the JSON body's head up to the
+/// `candidates` field — the reactor sends the cached bytes and the tail as
+/// separate `writev` segments.
+pub(crate) fn spliced_response_head(
+    out: &mut Vec<u8>,
+    question: &str,
+    table: &str,
+    cached_body_len: usize,
+) {
+    let mut json_head = Vec::with_capacity(64 + question.len() + table.len());
+    wire::splice_body_head(&mut json_head, question, table);
+    let content_length = json_head.len() + cached_body_len + wire::SPLICE_BODY_TAIL.len();
+    write_response_head(out, 200, "OK", None, "application/json", content_length);
+    out.extend_from_slice(&json_head);
+}
+
+fn write_response_head(
+    out: &mut Vec<u8>,
+    status: u16,
+    reason: &str,
+    retry_after_ms: Option<u64>,
+    content_type: &str,
+    content_length: usize,
+) {
+    out.extend_from_slice(
+        format!(
+            "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {content_length}\r\nConnection: close\r\n",
+        )
+        .as_bytes(),
+    );
+    if let Some(retry_after_ms) = retry_after_ms {
         // Retry-After is whole seconds; round sub-second hints up.
-        head.push_str(&format!(
-            "Retry-After: {}\r\n",
-            retry_after_ms.div_ceil(1000).max(1)
-        ));
+        out.extend_from_slice(
+            format!("Retry-After: {}\r\n", retry_after_ms.div_ceil(1000).max(1)).as_bytes(),
+        );
     }
-    head.push_str("\r\n");
-    let mut bytes = head.into_bytes();
-    bytes.extend_from_slice(response.body.as_bytes());
-    bytes
+    out.extend_from_slice(b"\r\n");
 }
 
 #[cfg(test)]

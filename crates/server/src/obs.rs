@@ -46,6 +46,10 @@ pub(crate) struct Obs {
     pub(crate) metrics_requests: Arc<Counter>,
     pub(crate) trace_requests: Arc<Counter>,
 
+    // Native: responses that could not encode and were answered with a
+    // structured `Internal` error instead (never an empty frame).
+    pub(crate) encode_failures: Arc<Counter>,
+
     // Native: latency histograms (nanosecond observations).
     pub(crate) request_duration: Arc<Histogram>,
     pub(crate) stage_decode: Arc<Histogram>,
@@ -290,6 +294,10 @@ impl Obs {
             tables_requests: endpoint("tables"),
             metrics_requests: endpoint("metrics"),
             trace_requests: endpoint("trace"),
+            encode_failures: registry.counter(
+                "wtq_server_encode_failures_total",
+                "Responses that failed to encode and degraded to a structured Internal error",
+            ),
             request_duration: registry.histogram(
                 "wtq_request_duration_seconds",
                 "End-to-end request latency, first byte to response encoded",

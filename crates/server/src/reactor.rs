@@ -37,13 +37,51 @@ use std::time::{Duration, Instant};
 
 use wtq_net::{Interest, Poller, WakeReceiver, Waker};
 
-use crate::conn::{Conn, IoOutcome, JobKind, JobMeta};
+use crate::conn::{Conn, IoOutcome, JobKind, JobMeta, Response};
 use crate::http;
-use crate::server::{dispatch_frame, error_envelope, Shared};
-use crate::wire::{self, ErrorCode, ResponseBody};
+use crate::server::{dispatch_frame, FrameResponse, Shared};
+use crate::wire::{self, ErrorCode, ResponseBody, WireError};
 
 /// The token reserved for the waker pipe.
 const WAKER_TOKEN: u64 = u64::MAX;
+
+/// Buffers over this capacity are dropped instead of recycled — one giant
+/// response must not pin its memory in the pool forever.
+const POOL_MAX_RETAINED_CAPACITY: usize = 64 * 1024;
+
+/// Bound on pooled buffers (matching a reactor's plausible in-flight
+/// responses, not its connection count).
+const POOL_MAX_BUFFERS: usize = 64;
+
+/// A per-reactor free list of response write buffers. A buffer travels
+/// reactor → job → dispatch worker (the response encodes into it) →
+/// `Command::Complete` → connection outbox, and returns here once flushed
+/// — steady-state serving allocates no per-response head buffers.
+pub(crate) struct BufferPool {
+    free: Vec<Vec<u8>>,
+}
+
+impl BufferPool {
+    pub(crate) fn new() -> BufferPool {
+        BufferPool { free: Vec::new() }
+    }
+
+    /// An empty buffer, reusing a recycled allocation when one is free.
+    pub(crate) fn take(&mut self) -> Vec<u8> {
+        self.free
+            .pop()
+            .unwrap_or_else(|| Vec::with_capacity(4 * 1024))
+    }
+
+    /// Return a flushed buffer to the free list.
+    pub(crate) fn recycle(&mut self, mut buffer: Vec<u8>) {
+        if buffer.capacity() > POOL_MAX_RETAINED_CAPACITY || self.free.len() >= POOL_MAX_BUFFERS {
+            return;
+        }
+        buffer.clear();
+        self.free.push(buffer);
+    }
+}
 
 /// Cross-thread input to a reactor, delivered via its command queue and
 /// waker pipe.
@@ -54,7 +92,7 @@ pub(crate) enum Command {
     Complete {
         token: u64,
         gen: u64,
-        bytes: Vec<u8>,
+        response: Response,
     },
     /// Close every connection and exit the loop.
     Shutdown,
@@ -96,13 +134,15 @@ impl ReactorShared {
     }
 }
 
-/// One request on its way to the dispatch pool.
+/// One request on its way to the dispatch pool, carrying a pooled write
+/// buffer for its response head.
 pub(crate) struct Job {
     reactor: Arc<ReactorShared>,
     token: u64,
     gen: u64,
     kind: JobKind,
     meta: JobMeta,
+    buf: Vec<u8>,
 }
 
 /// A minimal slab: stable `u64` tokens for epoll, O(1) insert/remove,
@@ -174,6 +214,7 @@ pub(crate) struct Reactor {
     shared: Arc<Shared>,
     rshared: Arc<ReactorShared>,
     jobs: Sender<Job>,
+    pool: BufferPool,
 }
 
 impl Reactor {
@@ -199,6 +240,7 @@ impl Reactor {
                 shared,
                 rshared: rshared.clone(),
                 jobs,
+                pool: BufferPool::new(),
             },
             rshared,
         ))
@@ -268,7 +310,7 @@ impl Reactor {
         let Some(conn) = self.conns.get_mut(token) else {
             return; // stale event for a just-closed connection
         };
-        if writable && conn.handle_writable() == IoOutcome::Close {
+        if writable && conn.handle_writable(&mut self.pool) == IoOutcome::Close {
             self.close(token);
             return;
         }
@@ -293,15 +335,17 @@ impl Reactor {
             let Some(conn) = self.conns.get_mut(token) else {
                 return;
             };
-            conn.next_job().map(|(kind, meta)| Job {
+            conn.next_job().map(|(kind, meta)| (kind, meta, conn.gen))
+        };
+        if let Some((kind, meta, gen)) = job {
+            let job = Job {
                 reactor: self.rshared.clone(),
                 token,
-                gen: conn.gen,
+                gen,
                 kind,
                 meta,
-            })
-        };
-        if let Some(job) = job {
+                buf: self.pool.take(),
+            };
             if self.jobs.send(job).is_err() {
                 // Dispatch pool gone: only happens during shutdown.
                 self.close(token);
@@ -313,7 +357,7 @@ impl Reactor {
         };
         // Opportunistic flush: most responses fit the socket buffer, so
         // they complete without a writability round-trip.
-        if conn.wants_write() && conn.handle_writable() == IoOutcome::Close {
+        if conn.wants_write() && conn.handle_writable(&mut self.pool) == IoOutcome::Close {
             self.close(token);
             return;
         }
@@ -369,10 +413,14 @@ impl Reactor {
         while let Some(command) = self.rshared.pop() {
             match command {
                 Command::Register(stream) => self.register(stream),
-                Command::Complete { token, gen, bytes } => {
+                Command::Complete {
+                    token,
+                    gen,
+                    response,
+                } => {
                     let fresh = match self.conns.get_mut(token) {
                         Some(conn) if conn.gen == gen => {
-                            conn.complete_response(bytes);
+                            conn.complete_response(response);
                             true
                         }
                         // The connection died while its request ran; the
@@ -431,14 +479,21 @@ pub(crate) fn dispatch_worker(shared: Arc<Shared>, jobs: Arc<Mutex<Receiver<Job>
         let Ok(job) = job else {
             return; // all senders dropped: shutdown
         };
-        let is_http = matches!(job.kind, JobKind::Http(_));
-        let meta = job.meta;
-        let bytes = catch_unwind(AssertUnwindSafe(|| respond(&shared, job.kind, meta)))
+        let Job {
+            reactor,
+            token,
+            gen,
+            kind,
+            meta,
+            buf,
+        } = job;
+        let is_http = matches!(kind, JobKind::Http(_));
+        let response = catch_unwind(AssertUnwindSafe(|| respond(&shared, kind, meta, buf)))
             .unwrap_or_else(|_| fallback_internal_error(is_http));
-        job.reactor.push(Command::Complete {
-            token: job.token,
-            gen: job.gen,
-            bytes,
+        reactor.push(Command::Complete {
+            token,
+            gen,
+            response,
         });
     }
 }
@@ -448,12 +503,13 @@ fn ns_between(start: Instant, end: Instant) -> u64 {
     end.saturating_duration_since(start).as_nanos() as u64
 }
 
-/// Answer one request as raw response bytes. This is where a sampled
-/// request's trace is born and finished: the reactor stamped arrival and
-/// decode time on the job ([`JobMeta`]), the handlers append their stage
-/// spans, and the encode span plus the end-to-end latency histogram close
-/// the request out.
-fn respond(shared: &Shared, kind: JobKind, meta: JobMeta) -> Vec<u8> {
+/// Answer one request as a segmented [`Response`], encoding the head into
+/// the job's pooled buffer. This is where a sampled request's trace is
+/// born and finished: the reactor stamped arrival and decode time on the
+/// job ([`JobMeta`]), the handlers append their stage spans, and the
+/// encode span plus the end-to-end latency histogram close the request
+/// out.
+fn respond(shared: &Shared, kind: JobKind, meta: JobMeta, buf: Vec<u8>) -> Response {
     let obs = shared.obs();
     let entered = Instant::now();
     let wait_ns = ns_between(meta.started, entered).saturating_sub(meta.decode_ns);
@@ -464,39 +520,96 @@ fn respond(shared: &Shared, kind: JobKind, meta: JobMeta) -> Vec<u8> {
         trace.record_ns("decode", 0, meta.decode_ns);
         trace.record_ns("queue_wait", meta.decode_ns, wait_ns);
     }
-    let (bytes, status) = match kind {
-        JobKind::Frame(payload) => {
-            let envelope = dispatch_frame(shared, &payload, &mut trace);
-            let status = match &envelope.body {
-                ResponseBody::Error(err) => format!("{:?}", err.code),
-                _ => "ok".to_string(),
-            };
-            let encode_start = Instant::now();
-            let json = serde_json::to_string(&envelope).unwrap_or_else(|err| {
-                serde_json::to_string(&error_envelope(
-                    0,
-                    ErrorCode::Internal,
-                    format!("response serialization failed: {err}"),
-                ))
-                .unwrap_or_else(|_| "{}".to_string())
-            });
-            let bytes = wire::encode_frame(json.as_bytes()).unwrap_or_default();
-            finish_encode(shared, &mut trace, encode_start);
-            (bytes, status)
-        }
+    let mut head = buf;
+    head.clear();
+    let (response, status) = match kind {
+        JobKind::Frame(payload) => match dispatch_frame(shared, &payload, &mut trace) {
+            FrameResponse::Cached {
+                id,
+                question,
+                table,
+                body,
+            } => {
+                let encode_start = Instant::now();
+                let framed = wire::spliced_frame_head(&mut head, id, &question, &table, body.len());
+                let response = if framed {
+                    Response {
+                        head,
+                        body: Some(body),
+                        tail: wire::SPLICE_ENVELOPE_TAIL,
+                    }
+                } else {
+                    // The assembled frame would overflow the u32 length
+                    // prefix; answer structured, never a garbage frame.
+                    obs.encode_failures.inc();
+                    Response::whole(wire::error_frame(
+                        id,
+                        &WireError::new(ErrorCode::Internal, "response exceeds the frame format"),
+                    ))
+                };
+                finish_encode(shared, &mut trace, encode_start);
+                (response, "ok".to_string())
+            }
+            FrameResponse::Full(envelope) => {
+                let status = match &envelope.body {
+                    ResponseBody::Error(err) => format!("{:?}", err.code),
+                    _ => "ok".to_string(),
+                };
+                let encode_start = Instant::now();
+                let encoded = serde_json::to_string(&envelope)
+                    .map_err(|err| format!("response serialization failed: {err}"))
+                    .and_then(|json| {
+                        wire::encode_frame_into(json.as_bytes(), &mut head)
+                            .map_err(|err| format!("response exceeds the frame format: {err}"))
+                    });
+                let response = match encoded {
+                    Ok(()) => Response::whole(head),
+                    Err(message) => {
+                        // An unencodable response answers with a structured
+                        // `Internal` envelope (built by infallible direct
+                        // byte writing) and is counted — never swallowed
+                        // into an empty frame.
+                        obs.encode_failures.inc();
+                        Response::whole(wire::error_frame(
+                            envelope.id,
+                            &WireError::new(ErrorCode::Internal, message),
+                        ))
+                    }
+                };
+                finish_encode(shared, &mut trace, encode_start);
+                (response, status)
+            }
+        },
         JobKind::Http(request) => {
-            let response = http::route(
+            let routed = http::route(
                 shared,
                 &request.method,
                 &request.path,
                 &request.body,
                 &mut trace,
             );
-            let status = response.status().to_string();
+            let status = routed.status().to_string();
             let encode_start = Instant::now();
-            let bytes = http::response_bytes(&response);
+            let response = match routed {
+                http::Routed::CachedExplanation {
+                    question,
+                    table,
+                    body,
+                } => {
+                    http::spliced_response_head(&mut head, &question, &table, body.len());
+                    Response {
+                        head,
+                        body: Some(body),
+                        tail: wire::SPLICE_BODY_TAIL,
+                    }
+                }
+                http::Routed::Plain(plain) => {
+                    http::response_bytes_into(&plain, &mut head);
+                    Response::whole(head)
+                }
+            };
             finish_encode(shared, &mut trace, encode_start);
-            (bytes, status)
+            (response, status)
         }
     };
     let total_ns = ns_between(meta.started, Instant::now());
@@ -504,7 +617,7 @@ fn respond(shared: &Shared, kind: JobKind, meta: JobMeta) -> Vec<u8> {
     if let Some(trace) = trace {
         obs.tracer().finish(trace, &status, total_ns);
     }
-    bytes
+    response
 }
 
 /// Close the encode span (histogram + trace).
@@ -526,13 +639,14 @@ fn finish_encode(
 /// The response for a request whose handler panicked *outside* the
 /// engine's own `catch_unwind` — the worker must survive and the client
 /// must still hear something structured.
-fn fallback_internal_error(is_http: bool) -> Vec<u8> {
-    if is_http {
+fn fallback_internal_error(is_http: bool) -> Response {
+    Response::whole(if is_http {
         let response = http::HttpResponse::error(ErrorCode::Internal, "request handler panicked");
         http::response_bytes(&response)
     } else {
-        let envelope = error_envelope(0, ErrorCode::Internal, "request handler panicked");
-        let json = serde_json::to_string(&envelope).unwrap_or_else(|_| "{}".to_string());
-        wire::encode_frame(json.as_bytes()).unwrap_or_default()
-    }
+        wire::error_frame(
+            0,
+            &WireError::new(ErrorCode::Internal, "request handler panicked"),
+        )
+    })
 }

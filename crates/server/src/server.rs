@@ -51,7 +51,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use wtq_cache::{Begin, CacheConfig};
-use wtq_core::{CachedEngine, Engine, ExplainRequest, Explanation};
+use wtq_core::{CachedAnswer, CachedCandidates, CachedEngine, Engine, ExplainRequest, Explanation};
 use wtq_obs::RequestTrace;
 use wtq_runtime::{BatchError, CancelToken};
 use wtq_table::Catalog;
@@ -114,6 +114,12 @@ pub struct ServerConfig {
     /// Capacity of each trace ring (most-recent and slowest); see
     /// `GET /trace/recent`.
     pub trace_ring_size: usize,
+    /// Serve cache hits from the serialized candidate bytes stored at
+    /// flight completion (splicing them into the response envelope by
+    /// direct byte writing) instead of re-rendering highlights and
+    /// re-running `serde_json` per hit. Off is only useful for A/B
+    /// benchmarking the encode path.
+    pub encode_once: bool,
 }
 
 impl Default for ServerConfig {
@@ -132,6 +138,7 @@ impl Default for ServerConfig {
             cache_ttl_ms: 0,
             trace_sample_rate: 0.0625,
             trace_ring_size: 128,
+            encode_once: true,
         }
     }
 }
@@ -150,6 +157,35 @@ impl ServerConfig {
             self.dispatch_threads
         }
     }
+}
+
+/// A handler's answer: either a fully structured body the encoder
+/// serializes as before, or a cache hit whose candidates JSON was already
+/// serialized at flight completion — the wire layers splice those bytes
+/// into the response instead of re-encoding (the encode-once path).
+pub(crate) enum Reply {
+    Full(ResponseBody),
+    CachedExplanation {
+        /// The request's question text, echoed verbatim (cache keys are
+        /// normalized, so only the candidate bytes are key-invariant).
+        question: String,
+        /// The request's table name, echoed verbatim.
+        table: String,
+        /// The serialized `candidates` JSON array, shared with the cache.
+        body: Arc<Vec<u8>>,
+    },
+}
+
+/// A framed request's answer, mirroring [`Reply`] with the envelope id
+/// attached: `Full` serializes the whole envelope, `Cached` splices.
+pub(crate) enum FrameResponse {
+    Full(ResponseEnvelope),
+    Cached {
+        id: u64,
+        question: String,
+        table: String,
+        body: Arc<Vec<u8>>,
+    },
 }
 
 /// Monotonic serving counters (see [`ServerStats`]).
@@ -527,37 +563,37 @@ impl Shared {
         &self,
         body: RequestBody,
         trace: &mut Option<RequestTrace>,
-    ) -> ResponseBody {
+    ) -> Reply {
         match body {
             RequestBody::ListTables => {
                 self.obs.tables_requests.inc();
                 if let Some(trace) = trace {
                     trace.set_endpoint("tables");
                 }
-                ResponseBody::Tables(TablesBody {
+                Reply::Full(ResponseBody::Tables(TablesBody {
                     tables: self.catalog.summaries(),
-                })
+                }))
             }
             RequestBody::Stats => {
                 self.obs.stats_requests.inc();
                 if let Some(trace) = trace {
                     trace.set_endpoint("stats");
                 }
-                ResponseBody::Stats(Box::new(StatsBody {
+                Reply::Full(ResponseBody::Stats(Box::new(StatsBody {
                     // The cached wrapper's snapshot carries the answer-cache
                     // counters; a bare engine reports them all-zero.
                     engine: self.engine_stats(),
                     server: self.server_stats(),
-                }))
+                })))
             }
             RequestBody::Metrics => {
                 self.obs.metrics_requests.inc();
                 if let Some(trace) = trace {
                     trace.set_endpoint("metrics");
                 }
-                ResponseBody::Metrics(MetricsBody {
+                Reply::Full(ResponseBody::Metrics(MetricsBody {
                     text: self.obs.render(&self.engine_stats(), &self.server_stats()),
-                })
+                }))
             }
             RequestBody::TraceRecent => {
                 self.obs.trace_requests.inc();
@@ -565,12 +601,12 @@ impl Shared {
                     trace.set_endpoint("trace");
                 }
                 let (recent, slowest) = self.obs.tracer().snapshot();
-                ResponseBody::TraceRecent(TraceRecentBody {
+                Reply::Full(ResponseBody::TraceRecent(TraceRecentBody {
                     sample_period: self.obs.tracer().period(),
                     sampled: self.obs.tracer().sampled(),
                     recent,
                     slowest,
-                })
+                }))
             }
             RequestBody::Explain(request) => {
                 self.obs.explain_requests.inc();
@@ -586,26 +622,50 @@ impl Shared {
                     trace.set_endpoint("explain_batch");
                     trace.set_detail(format!("{} questions", batch.requests.len()));
                 }
-                self.handle_batch(batch, trace)
+                Reply::Full(self.handle_batch(batch, trace))
             }
         }
     }
 
-    fn handle_explain(
+    /// Answer an explain request from a completed flight's value: the
+    /// encode-once path hands back the bytes serialized at completion;
+    /// with `encode_once` off the response is rebuilt from the candidates
+    /// (the pre-PR-10 behavior, kept for A/B benchmarking).
+    fn explanation_reply(
         &self,
-        request: ExplainBody,
-        trace: &mut Option<RequestTrace>,
-    ) -> ResponseBody {
+        question: String,
+        table_name: String,
+        value: &CachedAnswer,
+        table: &wtq_table::Table,
+    ) -> Reply {
+        self.counters.requests.fetch_add(1, Ordering::Relaxed);
+        if self.config.encode_once {
+            Reply::CachedExplanation {
+                body: Arc::clone(value.body()),
+                question,
+                table: table_name,
+            }
+        } else {
+            Reply::Full(ResponseBody::Explanation(WireExplanation::from_candidates(
+                &question,
+                &table_name,
+                value.candidates(),
+                table,
+            )))
+        }
+    }
+
+    fn handle_explain(&self, request: ExplainBody, trace: &mut Option<RequestTrace>) -> Reply {
         // Table resolution and the cache probe run *before* the in-flight
         // gate, control-plane-style: a request the cache can answer (or
         // reject as unknown) must never bounce off `Overloaded`, so
         // clients never receive a `retry_after_ms` hint for an answer the
         // server already holds.
         let Some(table) = self.catalog.get(&request.table) else {
-            return ResponseBody::Error(WireError::new(
+            return Reply::Full(ResponseBody::Error(WireError::new(
                 ErrorCode::UnknownTable,
                 format!("unknown table: {}", request.table),
-            ));
+            )));
         };
         let probe_start = Instant::now();
         let key = self
@@ -623,22 +683,16 @@ impl Shared {
         if let Some(trace) = trace.as_mut() {
             trace.record("cache_probe", probe_start, probe_end);
         }
-        if let Some(candidates) = probed {
-            self.counters.requests.fetch_add(1, Ordering::Relaxed);
-            return ResponseBody::Explanation(WireExplanation::from_candidates(
-                &request.question,
-                &request.table,
-                &candidates,
-                table,
-            ));
+        if let Some(value) = probed {
+            return self.explanation_reply(request.question, request.table, &value, table);
         }
         let admit_start = Instant::now();
         let Some(_slot) = self.try_admit() else {
-            return self.overloaded();
+            return Reply::Full(self.overloaded());
         };
         let fingerprint = table.fingerprint();
         let Some(_share) = self.admission.try_occupy(vec![fingerprint]) else {
-            return self.table_busy();
+            return Reply::Full(self.table_busy());
         };
         // Join or lead the single-flight before blocking on execution
         // tokens: concurrent identical requests collapse onto one leader's
@@ -647,14 +701,8 @@ impl Shared {
         // still bounded load).
         let flight = match (&self.cached, key) {
             (Some(cached), Some(key)) => match cached.begin(&key) {
-                Begin::Hit(candidates) | Begin::Collapsed(candidates) => {
-                    self.counters.requests.fetch_add(1, Ordering::Relaxed);
-                    return ResponseBody::Explanation(WireExplanation::from_candidates(
-                        &request.question,
-                        &request.table,
-                        &candidates,
-                        table,
-                    ));
+                Begin::Hit(value) | Begin::Collapsed(value) => {
+                    return self.explanation_reply(request.question, request.table, &value, table);
                 }
                 Begin::Lead(guard) => Some(guard),
             },
@@ -670,12 +718,12 @@ impl Shared {
             &self.shutdown,
         ) {
             Acquire::Acquired(tokens) => tokens,
-            Acquire::TimedOut => return self.table_busy(),
+            Acquire::TimedOut => return Reply::Full(self.table_busy()),
             Acquire::ShuttingDown => {
-                return ResponseBody::Error(WireError::new(
+                return Reply::Full(ResponseBody::Error(WireError::new(
                     ErrorCode::Internal,
                     "server shutting down",
-                ))
+                )))
             }
         };
         let admit_end = Instant::now();
@@ -690,10 +738,14 @@ impl Shared {
             (Some(cached), Some(guard)) => {
                 cached.execute_flight(guard, &request.question, table, top_k)
             }
-            _ => Arc::new(
+            // Without a cache the candidates still serialize here, once,
+            // on the worker that computed them — the encode-once path is
+            // the same either way, only nothing is retained.
+            _ => Arc::new(CachedCandidates::new(
                 self.engine
                     .explain_question(&request.question, table, top_k),
-            ),
+                table,
+            )),
         }));
         let eval_end = Instant::now();
         self.obs.stage_eval.observe(span_ns(admit_end, eval_end));
@@ -710,19 +762,11 @@ impl Shared {
             }
         }
         match explained {
-            Ok(candidates) => {
-                self.counters.requests.fetch_add(1, Ordering::Relaxed);
-                ResponseBody::Explanation(WireExplanation::from_candidates(
-                    &request.question,
-                    &request.table,
-                    &candidates,
-                    table,
-                ))
-            }
-            Err(_) => ResponseBody::Error(WireError::new(
+            Ok(value) => self.explanation_reply(request.question, request.table, &value, table),
+            Err(_) => Reply::Full(ResponseBody::Error(WireError::new(
                 ErrorCode::Internal,
                 "explanation job panicked",
-            )),
+            ))),
         }
     }
 
@@ -1152,24 +1196,32 @@ pub(crate) fn dispatch_frame(
     shared: &Shared,
     payload: &[u8],
     trace: &mut Option<RequestTrace>,
-) -> ResponseEnvelope {
+) -> FrameResponse {
     let text = match std::str::from_utf8(payload) {
         Ok(text) => text,
         Err(_) => {
             shared.count_protocol_error();
-            return error_envelope(0, ErrorCode::Malformed, "frame payload is not UTF-8");
+            return FrameResponse::Full(error_envelope(
+                0,
+                ErrorCode::Malformed,
+                "frame payload is not UTF-8",
+            ));
         }
     };
     let envelope: RequestEnvelope = match serde_json::from_str(text) {
         Ok(envelope) => envelope,
         Err(err) => {
             shared.count_protocol_error();
-            return error_envelope(0, ErrorCode::Malformed, format!("invalid request: {err}"));
+            return FrameResponse::Full(error_envelope(
+                0,
+                ErrorCode::Malformed,
+                format!("invalid request: {err}"),
+            ));
         }
     };
     if envelope.v != wire::PROTOCOL_VERSION {
         shared.count_protocol_error();
-        return error_envelope(
+        return FrameResponse::Full(error_envelope(
             envelope.id,
             ErrorCode::UnsupportedVersion,
             format!(
@@ -1177,12 +1229,25 @@ pub(crate) fn dispatch_frame(
                 envelope.v,
                 wire::PROTOCOL_VERSION
             ),
-        );
+        ));
     }
-    ResponseEnvelope {
-        v: wire::PROTOCOL_VERSION,
-        id: envelope.id,
-        body: shared.handle_request(envelope.body, trace),
+    let id = envelope.id;
+    match shared.handle_request(envelope.body, trace) {
+        Reply::Full(body) => FrameResponse::Full(ResponseEnvelope {
+            v: wire::PROTOCOL_VERSION,
+            id,
+            body,
+        }),
+        Reply::CachedExplanation {
+            question,
+            table,
+            body,
+        } => FrameResponse::Cached {
+            id,
+            question,
+            table,
+            body,
+        },
     }
 }
 

@@ -78,13 +78,22 @@ impl From<std::io::Error> for FrameError {
 /// the payload. The nonblocking serving path queues these bytes on a
 /// connection's outbox instead of writing to a stream.
 pub fn encode_frame(payload: &[u8]) -> std::io::Result<Vec<u8>> {
+    let mut buf = Vec::with_capacity(4 + payload.len());
+    encode_frame_into(payload, &mut buf)?;
+    Ok(buf)
+}
+
+/// [`encode_frame`] into a caller-provided buffer — the reusable-buffer
+/// variant the pooled serving path appends into (the buffer is *not*
+/// cleared; callers clear recycled buffers themselves).
+pub fn encode_frame_into(payload: &[u8], out: &mut Vec<u8>) -> std::io::Result<()> {
     let len = u32::try_from(payload.len()).map_err(|_| {
         std::io::Error::new(std::io::ErrorKind::InvalidInput, "frame payload over 4 GiB")
     })?;
-    let mut buf = Vec::with_capacity(4 + payload.len());
-    buf.extend_from_slice(&len.to_be_bytes());
-    buf.extend_from_slice(payload);
-    Ok(buf)
+    out.reserve(4 + payload.len());
+    out.extend_from_slice(&len.to_be_bytes());
+    out.extend_from_slice(payload);
+    Ok(())
 }
 
 /// A resumable frame decoder for nonblocking reads: feed it whatever bytes
@@ -484,49 +493,11 @@ pub enum ErrorCode {
 // Explanations on the wire
 // ---------------------------------------------------------------------------
 
-/// One explained candidate, flattened for the wire: the formula and SQL as
-/// their canonical text renderings, the answer as its structured form, and
-/// the provenance highlights as the sampled plain-text rendering (§5.3)
-/// plus per-class cell counts.
-#[derive(Debug, Clone, Serialize, Deserialize)]
-pub struct WireCandidate {
-    /// Canonical rendering of the lambda DCS formula.
-    pub formula: String,
-    /// The parser's score.
-    pub score: f64,
-    /// The candidate's answer on the table.
-    pub answer: wtq_core::dcs::Answer,
-    /// The NL utterance explaining the query (§5.1).
-    pub utterance: String,
-    /// SQL rendering, when the formula falls in the translatable fragment.
-    pub sql: Option<String>,
-    /// Sampled plain-text rendering of the highlighted table (§5.2–5.3).
-    pub highlights: String,
-    /// Cells highlighted as query output.
-    pub output_cells: usize,
-    /// Cells highlighted as execution provenance.
-    pub execution_cells: usize,
-    /// Cells highlighted as column provenance.
-    pub column_cells: usize,
-}
-
-impl WireCandidate {
-    /// Flatten one explained candidate against the table it was computed on.
-    pub fn from_candidate(candidate: &ExplainedCandidate, table: &Table) -> WireCandidate {
-        let (output_cells, execution_cells, column_cells) = candidate.highlights.class_counts();
-        WireCandidate {
-            formula: candidate.formula.to_string(),
-            score: candidate.score,
-            answer: candidate.answer.clone(),
-            utterance: candidate.utterance.clone(),
-            sql: candidate.sql.clone(),
-            highlights: candidate.render_highlights(table, true),
-            output_cells,
-            execution_cells,
-            column_cells,
-        }
-    }
-}
+// `WireCandidate` lives in `wtq-core` (see `wtq_core::wire`) so the
+// caching layer can serialize a flight's candidates once, at completion
+// time — the encode-once path. Re-exported here unchanged, so wire-format
+// consumers keep their import path.
+pub use wtq_core::wire::WireCandidate;
 
 /// The explained candidates of one question, as returned to clients.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -579,6 +550,159 @@ impl WireExplanation {
                 .map(|candidate| WireCandidate::from_candidate(candidate, table))
                 .collect(),
             error: None,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Envelope splicing (the encode-once hit path)
+// ---------------------------------------------------------------------------
+//
+// The vendored serde_json has no `RawValue`, so cached pre-serialized
+// bytes cannot ride through a normal `to_string` call. Instead the hit
+// path assembles envelopes by direct byte writing: a *head* (everything
+// up to and including `"candidates":`), the cached candidates-array
+// bytes, and a static *tail*. The writers below replicate the vendored
+// serializer's string/number rendering exactly, and the proptests in
+// `tests/` pin the spliced output byte-identical to a full
+// `serde_json::to_string` of the equivalent envelope.
+
+/// Tail of a spliced framed explanation envelope: everything after the
+/// candidates array.
+pub const SPLICE_ENVELOPE_TAIL: &[u8] = b",\"error\":null}}}";
+
+/// Tail of a spliced bare [`ResponseBody::Explanation`] (the HTTP form).
+pub const SPLICE_BODY_TAIL: &[u8] = b",\"error\":null}}";
+
+/// Append `s` as a JSON string literal, byte-identical to the vendored
+/// serde_json's string writer.
+pub fn write_json_string(out: &mut Vec<u8>, s: &str) {
+    out.push(b'"');
+    for c in s.chars() {
+        match c {
+            '"' => out.extend_from_slice(b"\\\""),
+            '\\' => out.extend_from_slice(b"\\\\"),
+            '\n' => out.extend_from_slice(b"\\n"),
+            '\r' => out.extend_from_slice(b"\\r"),
+            '\t' => out.extend_from_slice(b"\\t"),
+            c if (c as u32) < 0x20 => {
+                out.extend_from_slice(format!("\\u{:04x}", c as u32).as_bytes());
+            }
+            c => {
+                let mut utf8 = [0u8; 4];
+                out.extend_from_slice(c.encode_utf8(&mut utf8).as_bytes());
+            }
+        }
+    }
+    out.push(b'"');
+}
+
+/// Append a `u64` as the vendored serde_json renders it: integers pass
+/// through the `f64` value model, so very large ids round and huge ones
+/// fall out of the integral fast path — replicated here exactly so
+/// spliced envelopes match full serialization bit for bit.
+pub fn write_json_u64(out: &mut Vec<u8>, n: u64) {
+    let n = n as f64;
+    if !n.is_finite() {
+        out.extend_from_slice(b"null");
+    } else if n.fract() == 0.0 && n.abs() < 9e15 {
+        out.extend_from_slice(format!("{}", n as i64).as_bytes());
+    } else {
+        out.extend_from_slice(format!("{n}").as_bytes());
+    }
+}
+
+/// Append the head of a spliced bare explanation body:
+/// `{"Explanation":{"question":…,"table":…,"candidates":` — follow with
+/// the cached candidates-array bytes and [`SPLICE_BODY_TAIL`].
+pub fn splice_body_head(out: &mut Vec<u8>, question: &str, table: &str) {
+    out.extend_from_slice(b"{\"Explanation\":{\"question\":");
+    write_json_string(out, question);
+    out.extend_from_slice(b",\"table\":");
+    write_json_string(out, table);
+    out.extend_from_slice(b",\"candidates\":");
+}
+
+/// Append the head of a spliced framed explanation envelope:
+/// `{"v":1,"id":…,"body":{"Explanation":{…,"candidates":` — follow with
+/// the cached candidates-array bytes and [`SPLICE_ENVELOPE_TAIL`].
+pub fn splice_envelope_head(out: &mut Vec<u8>, id: u64, question: &str, table: &str) {
+    out.extend_from_slice(b"{\"v\":");
+    write_json_u64(out, PROTOCOL_VERSION);
+    out.extend_from_slice(b",\"id\":");
+    write_json_u64(out, id);
+    out.extend_from_slice(b",\"body\":");
+    splice_body_head(out, question, table);
+}
+
+/// Assemble the *frame head* of a spliced explanation response into
+/// `out` (cleared first): the 4-byte length prefix covering head + the
+/// `body_len` cached bytes + [`SPLICE_ENVELOPE_TAIL`], then the envelope
+/// head. Returns `false` (leaving `out` empty) when the assembled
+/// payload would overflow the `u32` frame prefix — the caller falls back
+/// to a structured error.
+pub fn spliced_frame_head(
+    out: &mut Vec<u8>,
+    id: u64,
+    question: &str,
+    table: &str,
+    body_len: usize,
+) -> bool {
+    out.clear();
+    out.extend_from_slice(&[0u8; 4]);
+    splice_envelope_head(out, id, question, table);
+    let payload = (out.len() - 4)
+        .saturating_add(body_len)
+        .saturating_add(SPLICE_ENVELOPE_TAIL.len());
+    match u32::try_from(payload) {
+        Ok(len) => {
+            out[..4].copy_from_slice(&len.to_be_bytes());
+            true
+        }
+        Err(_) => {
+            out.clear();
+            false
+        }
+    }
+}
+
+/// Build one complete error-envelope frame (length prefix + JSON) by
+/// direct byte writing. Infallible by construction — this is what the
+/// serving layer emits when response serialization itself fails, so a
+/// client always hears something structured rather than an empty frame.
+pub fn error_frame(id: u64, error: &WireError) -> Vec<u8> {
+    let mut out = Vec::with_capacity(96 + error.message.len());
+    out.extend_from_slice(&[0u8; 4]);
+    out.extend_from_slice(b"{\"v\":");
+    write_json_u64(&mut out, PROTOCOL_VERSION);
+    out.extend_from_slice(b",\"id\":");
+    write_json_u64(&mut out, id);
+    out.extend_from_slice(b",\"body\":{\"Error\":{\"code\":");
+    write_json_string(&mut out, error.code.wire_name());
+    out.extend_from_slice(b",\"message\":");
+    write_json_string(&mut out, &error.message);
+    out.extend_from_slice(b",\"retry_after_ms\":");
+    match error.retry_after_ms {
+        Some(ms) => write_json_u64(&mut out, ms),
+        None => out.extend_from_slice(b"null"),
+    }
+    out.extend_from_slice(b"}}}");
+    let len = (out.len() - 4) as u32;
+    out[..4].copy_from_slice(&len.to_be_bytes());
+    out
+}
+
+impl ErrorCode {
+    /// The externally-tagged unit-variant name serde writes on the wire.
+    fn wire_name(self) -> &'static str {
+        match self {
+            ErrorCode::Malformed => "Malformed",
+            ErrorCode::UnsupportedVersion => "UnsupportedVersion",
+            ErrorCode::FrameTooLarge => "FrameTooLarge",
+            ErrorCode::Overloaded => "Overloaded",
+            ErrorCode::UnknownTable => "UnknownTable",
+            ErrorCode::BatchTooLarge => "BatchTooLarge",
+            ErrorCode::Internal => "Internal",
         }
     }
 }
@@ -755,6 +879,257 @@ mod tests {
         match back {
             ResponseBody::Error(parsed) => assert_eq!(parsed, err),
             other => panic!("wrong body: {other:?}"),
+        }
+    }
+
+    /// The full-serialization reference a spliced envelope must match.
+    fn reference_envelope(
+        id: u64,
+        question: &str,
+        table: &str,
+        candidates: &[WireCandidate],
+    ) -> (String, String) {
+        let envelope = ResponseEnvelope {
+            v: PROTOCOL_VERSION,
+            id,
+            body: ResponseBody::Explanation(WireExplanation {
+                question: question.to_string(),
+                table: table.to_string(),
+                candidates: candidates.to_vec(),
+                error: None,
+            }),
+        };
+        let body = match &envelope.body {
+            ResponseBody::Explanation(_) => serde_json::to_string(&envelope.body).unwrap(),
+            _ => unreachable!(),
+        };
+        (serde_json::to_string(&envelope).unwrap(), body)
+    }
+
+    fn splice(
+        id: u64,
+        question: &str,
+        table: &str,
+        candidates: &[WireCandidate],
+    ) -> (Vec<u8>, Vec<u8>) {
+        let cached = serde_json::to_string(&candidates.to_vec())
+            .unwrap()
+            .into_bytes();
+        let mut framed = Vec::new();
+        splice_envelope_head(&mut framed, id, question, table);
+        framed.extend_from_slice(&cached);
+        framed.extend_from_slice(SPLICE_ENVELOPE_TAIL);
+        let mut body = Vec::new();
+        splice_body_head(&mut body, question, table);
+        body.extend_from_slice(&cached);
+        body.extend_from_slice(SPLICE_BODY_TAIL);
+        (framed, body)
+    }
+
+    fn sample_candidate(seed: u64) -> WireCandidate {
+        WireCandidate {
+            formula: format!("count(rows {seed})"),
+            score: seed as f64 * 0.25 - 1.5,
+            answer: wtq_core::dcs::Answer::Number(seed as f64 + 0.5),
+            utterance: format!("counts \"row\" #{seed}\nacross the table"),
+            sql: seed.is_multiple_of(2).then(|| format!("SELECT COUNT(*) FROM t{seed}")),
+            highlights: format!("| r{seed} |\t…"),
+            output_cells: seed as usize,
+            execution_cells: seed as usize * 2,
+            column_cells: 1,
+        }
+    }
+
+    #[test]
+    fn spliced_envelopes_match_full_serialization() {
+        let candidates: Vec<WireCandidate> = (0..3).map(sample_candidate).collect();
+        for (id, question, table) in [
+            (0u64, "plain question", "olympics"),
+            (7, "with \"quotes\" and \\ backslash", "t\tname"),
+            (u64::MAX, "newline\nand control\u{1}char", "ünïcødé 表"),
+        ] {
+            let (full_env, full_body) = reference_envelope(id, question, table, &candidates);
+            let (framed, body) = splice(id, question, table, &candidates);
+            assert_eq!(String::from_utf8(framed).unwrap(), full_env);
+            assert_eq!(String::from_utf8(body).unwrap(), full_body);
+        }
+        // Empty candidate lists splice too.
+        let (full_env, _) = reference_envelope(3, "q", "t", &[]);
+        let (framed, _) = splice(3, "q", "t", &[]);
+        assert_eq!(String::from_utf8(framed).unwrap(), full_env);
+    }
+
+    #[test]
+    fn spliced_frame_head_prefixes_the_assembled_length() {
+        let candidates: Vec<WireCandidate> = (0..2).map(sample_candidate).collect();
+        let cached = serde_json::to_string(&candidates).unwrap().into_bytes();
+        let mut head = vec![1, 2, 3]; // recycled buffer with leftovers
+        assert!(spliced_frame_head(
+            &mut head,
+            42,
+            "q?",
+            "medals",
+            cached.len()
+        ));
+        let mut frame = head.clone();
+        frame.extend_from_slice(&cached);
+        frame.extend_from_slice(SPLICE_ENVELOPE_TAIL);
+        let declared = u32::from_be_bytes(frame[..4].try_into().unwrap());
+        assert_eq!(declared as usize, frame.len() - 4);
+        let (reference, _) = reference_envelope(42, "q?", "medals", &candidates);
+        assert_eq!(encode_frame(reference.as_bytes()).unwrap(), frame);
+    }
+
+    #[test]
+    fn error_frames_match_full_serialization() {
+        for (id, code, message, retry) in [
+            (
+                0u64,
+                ErrorCode::Internal,
+                "handler panicked".to_string(),
+                None,
+            ),
+            (
+                9,
+                ErrorCode::Overloaded,
+                "queue \"full\"\n".to_string(),
+                Some(50u64),
+            ),
+            (
+                u64::MAX,
+                ErrorCode::FrameTooLarge,
+                "×\u{2}".to_string(),
+                None,
+            ),
+        ] {
+            let error = WireError {
+                code,
+                message,
+                retry_after_ms: retry,
+            };
+            let envelope = ResponseEnvelope {
+                v: PROTOCOL_VERSION,
+                id,
+                body: ResponseBody::Error(error.clone()),
+            };
+            let reference =
+                encode_frame(serde_json::to_string(&envelope).unwrap().as_bytes()).unwrap();
+            assert_eq!(error_frame(id, &error), reference);
+        }
+    }
+}
+
+#[cfg(test)]
+mod splice_proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use proptest::string::string_regex;
+
+    /// Text exercising every branch of the JSON escaper: the full printable
+    /// ASCII range (includes `"` and `\`), escaped whitespace, raw control
+    /// characters, and multi-byte unicode.
+    fn arb_text(max_len: usize) -> proptest::string::RegexGeneratorStrategy {
+        let pattern = format!("[ -~\\n\\r\\t\u{1}\u{2}\u{1f}àé表🙂]{{0,{max_len}}}");
+        string_regex(&pattern).expect("valid escaper-coverage pattern")
+    }
+
+    fn arb_candidate() -> BoxedStrategy<WireCandidate> {
+        (
+            (arb_text(24), any::<f64>(), any::<f64>(), arb_text(40)),
+            (
+                prop_oneof![Just(None), arb_text(24).prop_map(Some),],
+                arb_text(48),
+                0usize..1000,
+            ),
+        )
+            .prop_map(
+                |((formula, score, answer, utterance), (sql, highlights, cells))| WireCandidate {
+                    formula,
+                    score,
+                    answer: wtq_core::dcs::Answer::Number(answer),
+                    utterance,
+                    sql,
+                    highlights,
+                    output_cells: cells,
+                    execution_cells: cells / 2,
+                    column_cells: cells % 7,
+                },
+            )
+            .boxed()
+    }
+
+    proptest! {
+        /// The tentpole pin: across random ids, questions, table names and
+        /// candidate payloads (quotes, backslashes, control characters,
+        /// non-ASCII — everything the escaper handles), a spliced envelope
+        /// is byte-identical to `serde_json::to_string` of the equivalent
+        /// [`ResponseEnvelope`], and the spliced bare body to the
+        /// equivalent [`ResponseBody`].
+        #[test]
+        fn spliced_envelopes_are_byte_identical_to_serde(
+            id in any::<u64>(),
+            question in arb_text(60),
+            table in arb_text(30),
+            candidates in proptest::collection::vec(arb_candidate(), 0..4),
+        ) {
+            let cached = serde_json::to_string(&candidates).unwrap().into_bytes();
+
+            let envelope = ResponseEnvelope {
+                v: PROTOCOL_VERSION,
+                id,
+                body: ResponseBody::Explanation(WireExplanation {
+                    question: question.clone(),
+                    table: table.clone(),
+                    candidates: candidates.clone(),
+                    error: None,
+                }),
+            };
+            let full = serde_json::to_string(&envelope).unwrap();
+            let mut spliced = Vec::new();
+            splice_envelope_head(&mut spliced, id, &question, &table);
+            spliced.extend_from_slice(&cached);
+            spliced.extend_from_slice(SPLICE_ENVELOPE_TAIL);
+            prop_assert_eq!(&spliced, full.as_bytes());
+
+            let full_body = serde_json::to_string(&envelope.body).unwrap();
+            let mut spliced_body = Vec::new();
+            splice_body_head(&mut spliced_body, &question, &table);
+            spliced_body.extend_from_slice(&cached);
+            spliced_body.extend_from_slice(SPLICE_BODY_TAIL);
+            prop_assert_eq!(&spliced_body, full_body.as_bytes());
+
+            let mut head = vec![0xFFu8; 7]; // dirty recycled buffer
+            prop_assert!(spliced_frame_head(&mut head, id, &question, &table, cached.len()));
+            head.extend_from_slice(&cached);
+            head.extend_from_slice(SPLICE_ENVELOPE_TAIL);
+            prop_assert_eq!(&head, &encode_frame(full.as_bytes()).unwrap());
+        }
+
+        #[test]
+        fn error_frames_are_byte_identical_to_serde(
+            id in any::<u64>(),
+            message in arb_text(60),
+            retry in prop_oneof![Just(None), any::<u64>().prop_map(Some)],
+            code_index in 0usize..7,
+        ) {
+            let code = [
+                ErrorCode::Malformed,
+                ErrorCode::UnsupportedVersion,
+                ErrorCode::FrameTooLarge,
+                ErrorCode::Overloaded,
+                ErrorCode::UnknownTable,
+                ErrorCode::BatchTooLarge,
+                ErrorCode::Internal,
+            ][code_index];
+            let error = WireError { code, message, retry_after_ms: retry };
+            let envelope = ResponseEnvelope {
+                v: PROTOCOL_VERSION,
+                id,
+                body: ResponseBody::Error(error.clone()),
+            };
+            let reference =
+                encode_frame(serde_json::to_string(&envelope).unwrap().as_bytes()).unwrap();
+            prop_assert_eq!(error_frame(id, &error), reference);
         }
     }
 }

@@ -47,9 +47,8 @@
 //! Estimated selectivity comes from the index buckets (`=`, `IN`), the
 //! sorted-numeric partitions (comparisons), and the mean bucket size
 //! (scalar subqueries); `AND` takes the min, `OR` the capped sum. Every
-//! Auto decision is counted in the engine's own [`PlannerCounters`] set
-//! (mirrored into the deprecated process-wide [`crate::planner_stats`]
-//! shim), together with estimated vs actual matching rows.
+//! Auto decision is counted in the engine's own [`PlannerCounters`] set,
+//! together with estimated vs actual matching rows.
 //!
 //! All modes memoize **subquery results** within one execution: queries are
 //! pure over an immutable table, so a scalar or `IN` subquery evaluated once
@@ -78,7 +77,7 @@ pub type SqlResult = Vec<Vec<Value>>;
 pub enum PlanMode {
     /// Cost-based: columnar kernels when cold, index-vs-kernel by estimated
     /// selectivity when an index is warm. Never builds an index. Records
-    /// its decisions in [`crate::planner_stats`].
+    /// its decisions in the engine's [`PlannerCounters`].
     #[default]
     Auto,
     /// The pre-index reference semantics (per-row interpreted scan, linear
@@ -143,9 +142,8 @@ impl<'a> SqlEngine<'a> {
         self.table
     }
 
-    /// Snapshot this engine's planner decision counters (unlike the
-    /// process-wide [`crate::planner_stats`] shim, unaffected by other
-    /// engines).
+    /// Snapshot this engine's planner decision counters (unaffected by any
+    /// other engine in the process).
     pub fn planner_stats(&self) -> PlannerStats {
         self.counters.snapshot()
     }
@@ -1272,31 +1270,28 @@ mod tests {
                 Box::new(lit(Value::str("Greece"))),
             ),
         ));
-        // Cold Auto: the equality is answered by a columnar kernel. Counter
-        // assertions are deltas (the counters are process-wide and other
-        // tests run concurrently).
-        let before = crate::planner_stats();
-        let rows = execute(&q, &table).unwrap();
-        let after = crate::planner_stats();
+        // Cold Auto: the equality is answered by a columnar kernel.
+        // Per-engine counters are exact — no deltas, no interference from
+        // concurrently running tests.
+        let cold = SqlEngine::new(&table);
+        let rows = cold.execute(&q, PlanMode::Auto).unwrap();
+        let stats = cold.planner_stats();
         assert_eq!(rows.len(), 2);
-        assert!(after.kernel_chosen > before.kernel_chosen);
-        assert!(after.actual_rows >= before.actual_rows + rows.len() as u64);
-        assert!(after.estimated_rows > before.estimated_rows);
+        assert_eq!(stats.kernel_chosen, 1);
+        assert_eq!(stats.actual_rows, rows.len() as u64);
+        assert!(stats.estimated_rows > 0);
 
         // Warm Auto on a selective predicate: the index path is chosen and
         // the bucket-size estimate is exact.
         let index = TableIndex::new(&table);
         let engine = SqlEngine::with_index(&table, &index);
-        let before = crate::planner_stats();
         engine.execute(&q, PlanMode::Auto).unwrap();
-        let after = crate::planner_stats();
-        assert!(after.index_chosen > before.index_chosen);
+        assert_eq!(engine.planner_stats().index_chosen, 1);
 
         // ForceScan never records decisions.
-        let before = crate::planner_stats();
-        engine.execute(&q, PlanMode::ForceScan).unwrap();
-        let after = crate::planner_stats();
-        assert_eq!(after.scan_chosen, before.scan_chosen);
+        let scan_engine = SqlEngine::with_index(&table, &index);
+        scan_engine.execute(&q, PlanMode::ForceScan).unwrap();
+        assert_eq!(scan_engine.planner_stats(), PlannerStats::default());
     }
 
     #[test]
@@ -1334,11 +1329,10 @@ mod tests {
         let q = SqlQuery::select(SqlSelect::project(vec![col("City")]).with_filter(
             SqlExpr::Equals(Box::new(SqlExpr::Index), Box::new(lit(Value::num(2.0)))),
         ));
-        let before = crate::planner_stats();
-        let rows = execute(&q, &table).unwrap();
-        let after = crate::planner_stats();
+        let engine = SqlEngine::new(&table);
+        let rows = engine.execute(&q, PlanMode::Auto).unwrap();
         assert_eq!(rows.len(), 1);
-        assert!(after.scan_chosen > before.scan_chosen);
+        assert_eq!(engine.planner_stats().scan_chosen, 1);
     }
 
     #[test]

@@ -9,31 +9,20 @@
 //!   matching rows for planned filters, so a drifting selectivity model
 //!   shows up as a widening gap between the two sums.
 //!
-//! The canonical home of the counters is the per-engine [`PlannerCounters`]
-//! set: every [`SqlEngine`][crate::SqlEngine] owns one (or shares one via
+//! The counters live per engine in a [`PlannerCounters`] set: every
+//! [`SqlEngine`][crate::SqlEngine] owns one (or shares one via
 //! [`SqlEngine::with_counters`][crate::SqlEngine::with_counters]), so two
-//! engines — or interleaved tests and benches — no longer bleed decision
+//! engines — or interleaved tests and benches — never bleed decision
 //! counts into each other. They are plain relaxed atomics (one `fetch_add`
 //! per planned filter, no contention-sensitive paths), snapshotted into a
 //! serializable [`PlannerStats`] that the core engine embeds in its stats
-//! surface and the server serves over the `Stats` wire endpoint.
-//!
-//! The historical process-wide counters remain as a **deprecated read shim
-//! for one release**: every per-engine record also bumps the globals, so
-//! [`planner_stats`] still observes all activity in the process. New code
-//! should read a specific engine's counters instead; the globals (and
-//! [`reset_planner_stats`]) will be removed once the remaining aggregate
-//! consumers move over.
+//! surface and the server serves over the `Stats` wire endpoint. A
+//! long-lived owner that wants an aggregate view keeps one shared set and
+//! hands it to every engine it constructs.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use serde::{Deserialize, Serialize};
-
-static SCAN_CHOSEN: AtomicU64 = AtomicU64::new(0);
-static INDEX_CHOSEN: AtomicU64 = AtomicU64::new(0);
-static KERNEL_CHOSEN: AtomicU64 = AtomicU64::new(0);
-static ESTIMATED_ROWS: AtomicU64 = AtomicU64::new(0);
-static ACTUAL_ROWS: AtomicU64 = AtomicU64::new(0);
 
 /// A point-in-time snapshot of the planner decision counters. Serializable
 /// so stats endpoints can embed it directly.
@@ -59,10 +48,6 @@ pub struct PlannerStats {
 /// a set can be shared across threads behind an `Arc` (the serving layer
 /// keeps one per served engine and hands it to every per-request
 /// [`SqlEngine`][crate::SqlEngine]).
-///
-/// Every record also bumps the deprecated process-wide shim counters read
-/// by [`planner_stats`], so aggregate consumers keep working for one
-/// release while they migrate to per-engine reads.
 #[derive(Debug, Default)]
 pub struct PlannerCounters {
     scan_chosen: AtomicU64,
@@ -91,48 +76,18 @@ impl PlannerCounters {
 
     pub(crate) fn record_scan_chosen(&self) {
         self.scan_chosen.fetch_add(1, Ordering::Relaxed);
-        SCAN_CHOSEN.fetch_add(1, Ordering::Relaxed);
     }
 
     pub(crate) fn record_index_chosen(&self) {
         self.index_chosen.fetch_add(1, Ordering::Relaxed);
-        INDEX_CHOSEN.fetch_add(1, Ordering::Relaxed);
     }
 
     pub(crate) fn record_kernel_chosen(&self) {
         self.kernel_chosen.fetch_add(1, Ordering::Relaxed);
-        KERNEL_CHOSEN.fetch_add(1, Ordering::Relaxed);
     }
 
     pub(crate) fn record_selectivity(&self, estimated: u64, actual: u64) {
         self.estimated_rows.fetch_add(estimated, Ordering::Relaxed);
         self.actual_rows.fetch_add(actual, Ordering::Relaxed);
-        ESTIMATED_ROWS.fetch_add(estimated, Ordering::Relaxed);
-        ACTUAL_ROWS.fetch_add(actual, Ordering::Relaxed);
     }
-}
-
-/// Snapshot the process-wide planner counters.
-///
-/// **Deprecated read shim (one release):** counters are now per-engine
-/// ([`PlannerCounters`]); this aggregate sums every engine in the process
-/// and will be removed once its remaining consumers read per-engine sets.
-pub fn planner_stats() -> PlannerStats {
-    PlannerStats {
-        scan_chosen: SCAN_CHOSEN.load(Ordering::Relaxed),
-        index_chosen: INDEX_CHOSEN.load(Ordering::Relaxed),
-        kernel_chosen: KERNEL_CHOSEN.load(Ordering::Relaxed),
-        estimated_rows: ESTIMATED_ROWS.load(Ordering::Relaxed),
-        actual_rows: ACTUAL_ROWS.load(Ordering::Relaxed),
-    }
-}
-
-/// Reset all counters to zero. Intended for benchmark harnesses that report
-/// per-section planner behavior; concurrent executions may interleave.
-pub fn reset_planner_stats() {
-    SCAN_CHOSEN.store(0, Ordering::Relaxed);
-    INDEX_CHOSEN.store(0, Ordering::Relaxed);
-    KERNEL_CHOSEN.store(0, Ordering::Relaxed);
-    ESTIMATED_ROWS.store(0, Ordering::Relaxed);
-    ACTUAL_ROWS.store(0, Ordering::Relaxed);
 }
